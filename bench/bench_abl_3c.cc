@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: 3C decomposition of the L1-I and L1-D miss curves.
+ *
+ * Explains the shapes behind Figures 3/4/8: which part of the miss
+ * rate responds to cache size (capacity), which to associativity or
+ * layout (conflict), and which is irreducible at a given trace length
+ * (compulsory — also the scale-divisor artifact short reproductions
+ * must watch for).
+ */
+
+#include "bench_common.hh"
+#include "cache/three_c.hh"
+#include "trace/trace_io.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    TextTable t("Ablation: 3C miss decomposition vs. cache size "
+                "(direct-mapped, 16B blocks, multiprogrammed suite)");
+    t.setHeader({"cache", "size KW", "miss %", "compulsory %",
+                 "capacity %", "conflict %"});
+
+    for (const bool iside : {true, false}) {
+        for (std::uint32_t kw : {1u, 4u, 16u}) {
+            cache::CacheConfig config;
+            config.name = iside ? "L1-I" : "L1-D";
+            config.sizeBytes = kiloWordsToBytes(kw);
+            config.blockBytes = 16;
+            cache::ThreeCCache cache(config);
+
+            // Replay the multiprogrammed reference stream.
+            for (const auto &slice : model.schedule().slices()) {
+                const auto &trace = model.traceOf(slice.bench);
+                const auto &prog = model.program(slice.bench);
+                for (std::uint32_t b = slice.blockBegin;
+                     b < slice.blockEnd; ++b) {
+                    const auto &ev = trace.blocks[b];
+                    if (iside) {
+                        const Addr base = prog.blockAddr(ev.block);
+                        const auto len = static_cast<std::uint32_t>(
+                            prog.block(ev.block).size());
+                        for (std::uint32_t k = 0; k < len; ++k)
+                            cache.access(base + k * bytesPerWord,
+                                         false);
+                    } else {
+                        const auto [begin, end] = trace.memRange(b);
+                        for (std::uint32_t m = begin; m < end; ++m) {
+                            cache.access(trace.memRefs[m].addr,
+                                         trace.memRefs[m].store != 0);
+                        }
+                    }
+                }
+            }
+
+            const auto &s = cache.stats();
+            const double miss_pct =
+                100.0 * static_cast<double>(s.misses()) /
+                static_cast<double>(s.accesses);
+            t.addRow({config.name, TextTable::num(std::uint64_t{kw}),
+                      TextTable::num(miss_pct, 2),
+                      TextTable::num(100.0 * s.fraction(s.compulsory),
+                                     1),
+                      TextTable::num(100.0 * s.fraction(s.capacity),
+                                     1),
+                      TextTable::num(100.0 * s.fraction(s.conflict),
+                                     1)});
+        }
+    }
+    std::cout << t.render();
+    std::cout << "\nCapacity misses shrink with size (the Figure 3/8 "
+                 "slopes); conflict misses\nare what associativity "
+                 "would recover (bench_abl_assoc); the compulsory\n"
+                 "share is bounded by trace length — rerun with a "
+                 "smaller scale divisor\nto watch it drop.\n";
+    return 0;
+}

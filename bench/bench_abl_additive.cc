@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: additive CPI accounting vs. a cycle-accurate pipeline.
+ *
+ * The paper's methodology (and our CpiEngine) adds stall sources —
+ * miss cycles, branch waste, load delays — as if they never overlap.
+ * This bench replays the same workloads through the scoreboarded
+ * in-order pipeline (cpusim/pipeline_sim) and reports both CPIs.
+ * Interlocked hardware also hides load delays using the *dynamic*
+ * distance of the unscheduled code, so the pipeline lands between the
+ * additive engine's static and dynamic load schemes — both effects
+ * are visible in the columns.
+ */
+
+#include "bench_common.hh"
+#include "cpusim/pipeline_sim.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    TextTable t("Ablation: additive accounting vs. cycle-accurate "
+                "pipeline (8KW+8KW, P=10, b=l=depth)");
+    t.setHeader({"depth", "additive static", "additive dynamic",
+                 "pipeline (interlock)", "overlap error %"});
+
+    for (std::uint32_t depth = 0; depth <= 3; ++depth) {
+        core::DesignPoint p;
+        p.branchSlots = depth;
+        p.loadSlots = depth;
+        const double add_static = model.evaluate(p).cpi();
+
+        core::DesignPoint pd = p;
+        pd.loadScheme = cpusim::LoadScheme::Dynamic;
+        const double add_dynamic = model.evaluate(pd).cpi();
+
+        // Cycle-accurate run: same artifacts, benchmarks back-to-back
+        // against one shared hierarchy.
+        cache::CacheHierarchy hierarchy(p.hierarchyConfig());
+        cpusim::PipelineStats total;
+        for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+            cpusim::PipelineConfig pc;
+            pc.branchSlots = depth;
+            pc.loadSlots = depth;
+            cpusim::PipelineSim sim(pc, hierarchy, model.program(i),
+                                    model.xlat(i, depth),
+                                    model.traceOf(i));
+            const auto &s = sim.run();
+            total.cycles += s.cycles;
+            total.usefulInsts += s.usefulInsts;
+            total.loadInterlockCycles += s.loadInterlockCycles;
+        }
+        const double pipe_cpi = total.cpi();
+
+        // Overlap error: the additive model with the same (dynamic-
+        // distance) load policy, relative to the real machine.
+        const double err =
+            100.0 * (add_dynamic - pipe_cpi) / pipe_cpi;
+
+        t.addRow({TextTable::num(std::uint64_t{depth}),
+                  TextTable::num(add_static, 3),
+                  TextTable::num(add_dynamic, 3),
+                  TextTable::num(pipe_cpi, 3),
+                  TextTable::num(err, 2)});
+    }
+    std::cout << t.render();
+    std::cout
+        << "\nThe pipeline interlocks on unscheduled code, so its "
+           "load-delay cost sits\nbetween the additive engine's "
+           "static (compile-time motion only) and dynamic\n(perfect "
+           "reordering) policies; the residual difference vs. the "
+           "dynamic column\nis the stall-overlap error of additive "
+           "accounting.\n";
+    return 0;
+}

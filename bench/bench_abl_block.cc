@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: block size versus refill rate.
+ *
+ * The paper states that "for each value of miss penalty the block
+ * size was selected to achieve the lowest CPI" (Section 3.1) and then
+ * uses B = 4 W at P = 10. This bench recomputes that choice: for each
+ * refill rate (4/2/1 words per cycle + 2-cycle startup), sweep the
+ * block size with the penalty derived from the refill model, and
+ * report total CPI. Fast refill favors long blocks (prefetch effect);
+ * slow refill punishes them.
+ */
+
+#include "bench_common.hh"
+#include "cache/memory.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    TextTable t("Ablation: total CPI vs. block size per refill rate "
+                "(8KW+8KW L1, b=l=2, penalty = 2 + B/rate)");
+    t.setHeader({"block W", "rate 4 W/cyc", "rate 2 W/cyc",
+                 "rate 1 W/cyc"});
+
+    for (std::uint32_t block_words : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<std::string> row{
+            TextTable::num(std::uint64_t{block_words})};
+        for (std::uint32_t rate : {4u, 2u, 1u}) {
+            const cache::RefillConfig refill{2, rate};
+            const auto penalty = cache::MissPenalty::fromRefill(
+                refill, block_words * bytesPerWord);
+
+            core::DesignPoint p;
+            p.branchSlots = 2;
+            p.loadSlots = 2;
+            p.blockWords = block_words;
+            p.missPenaltyCycles = penalty.cycles();
+            const double cpi = model.evaluate(p).cpi();
+            row.push_back(TextTable::num(cpi, 3) + " (P=" +
+                          std::to_string(penalty.cycles()) + ")");
+        }
+        t.addRow(std::move(row));
+    }
+    std::cout << t.render();
+    return 0;
+}

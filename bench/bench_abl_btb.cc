@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: BTB geometry.
+ *
+ * The paper fixes the BTB at 256 entries because that is the largest
+ * SRAM with single-cycle access at the target cycle time. This bench
+ * shows what that constraint costs: prediction quality and branch CPI
+ * versus entry count and associativity (at b = 2). The flattening of
+ * the curve past a few hundred entries is why profiling-based static
+ * schemes are competitive (the paper's [HCC89, KT91] remark).
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    TextTable t("Ablation: BTB geometry at b=2 (8KW+8KW L1, P=10)");
+    t.setHeader({"entries", "assoc", "hit %", "correct %", "cyc/CTI",
+                 "branch dCPI", "storage B"});
+
+    for (std::uint32_t entries : {16u, 64u, 256u, 1024u, 4096u}) {
+        for (std::uint32_t assoc : {1u, 4u}) {
+            core::DesignPoint p;
+            p.branchSlots = 2;
+            p.branchScheme = cpusim::BranchScheme::Btb;
+            p.btb.entries = entries;
+            p.btb.assoc = assoc;
+            const auto &res = model.evaluate(p);
+            const auto &bs = res.btb;
+            const double hit =
+                100.0 * static_cast<double>(bs.hits) /
+                static_cast<double>(bs.lookups);
+            const double correct =
+                100.0 * static_cast<double>(bs.correct) /
+                static_cast<double>(bs.lookups);
+            t.addRow({TextTable::num(std::uint64_t{entries}),
+                      TextTable::num(std::uint64_t{assoc}),
+                      TextTable::num(hit, 1),
+                      TextTable::num(correct, 1),
+                      TextTable::num(res.aggregate.cyclesPerCti(), 2),
+                      TextTable::num(res.aggregate.branchCpi(), 3),
+                      TextTable::num(p.btb.storageBytes())});
+        }
+    }
+    std::cout << t.render();
+
+    core::DesignPoint squash;
+    squash.branchSlots = 2;
+    std::cout << "\nsquashing delayed branches (software): branch dCPI "
+              << TextTable::num(
+                     model.evaluate(squash).aggregate.branchCpi(), 3)
+              << " with zero prediction hardware\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: the full two-level hierarchy behind the flat penalty.
+ *
+ * The paper's Section 3 experiments assume a constant L1 miss penalty
+ * — in effect an L2 that always hits. This bench runs the real
+ * Figure 1 hierarchy (unified L2 + DRAM refill) and sweeps the L2
+ * size, showing when the flat-penalty abstraction is faithful (L2
+ * large enough to hold the multiprogrammed working set) and when it
+ * is optimistic.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cache/hierarchy.hh"
+#include "cpusim/cpi_engine.hh"
+#include "sched/branch_sched.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    // Build the shared workloads once via the model's artifacts.
+    std::vector<cpusim::BenchWorkload> workloads;
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+        cpusim::BenchWorkload w;
+        w.program = &model.program(i);
+        w.xlat = &model.xlat(i, 2);
+        w.trace = &model.traceOf(i);
+        workloads.push_back(w);
+    }
+
+    TextTable t("Ablation: full L2 hierarchy vs. flat penalty "
+                "(8KW+8KW L1, b=l=2, L2 hit 10cyc, memory +40cyc)");
+    t.setHeader({"L2", "CPI", "L1D miss %", "L2 miss %",
+                 "mem refs/kinst"});
+
+    auto run = [&](const char *label,
+                   std::optional<std::uint64_t> l2_bytes) {
+        cache::HierarchyConfig hc;
+        hc.l1i.sizeBytes = kiloWordsToBytes(8);
+        hc.l1i.blockBytes = 16;
+        hc.l1d.sizeBytes = kiloWordsToBytes(8);
+        hc.l1d.blockBytes = 16;
+        if (l2_bytes) {
+            hc.flatPenalty.reset();
+            hc.l2.sizeBytes = *l2_bytes;
+            hc.l2.blockBytes = 64;
+            hc.l2HitCycles = 10;
+            hc.memoryCycles = 40;
+        } else {
+            hc.flatPenalty = 10;
+        }
+        cache::CacheHierarchy hierarchy(hc);
+
+        cpusim::EngineConfig ec;
+        ec.branchSlots = 2;
+        ec.loadSlots = 2;
+        cpusim::CpiEngine engine(ec, hierarchy, workloads);
+        engine.run(model.schedule());
+        const auto agg = engine.aggregate();
+
+        const double l1d_miss = 100.0 * hierarchy.l1d().stats().missRate();
+        double l2_miss = 0.0;
+        if (hierarchy.l2())
+            l2_miss = 100.0 * hierarchy.l2()->stats().missRate();
+        const double mem_per_kinst =
+            hierarchy.l2()
+                ? 1000.0 *
+                      static_cast<double>(hierarchy.stats().l2Misses) /
+                      static_cast<double>(agg.usefulInsts)
+                : 0.0;
+
+        t.addRow({label, TextTable::num(agg.cpi(), 3),
+                  TextTable::num(l1d_miss, 2),
+                  TextTable::num(l2_miss, 2),
+                  TextTable::num(mem_per_kinst, 2)});
+    };
+
+    run("flat P=10 (paper)", std::nullopt);
+    for (std::uint64_t kb : {128u, 256u, 512u, 1024u, 4096u})
+        run((std::to_string(kb) + " KB").c_str(),
+            std::uint64_t{kb} * 1024);
+
+    std::cout << t.render();
+    return 0;
+}

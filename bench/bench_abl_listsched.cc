@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: three ways to account for load delay slots.
+ *
+ *   analytic static   — the paper's model (Table 5): expected
+ *                       shortfall over the block-bounded e-distribution;
+ *   list-scheduled    — a real critical-path list scheduler reorders
+ *                       every block, a scoreboard replays the trace;
+ *   analytic dynamic  — the unbounded-reordering lower bound.
+ *
+ * Agreement between the first two validates the paper's abstraction;
+ * the gap to the third is what out-of-order issue buys.
+ */
+
+#include "bench_common.hh"
+#include "sched/list_sched.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+
+    TextTable t("Ablation: load-delay stall CPI across the suite");
+    t.setHeader({"l", "analytic static", "list-scheduled",
+                 "analytic dynamic"});
+
+    Counter insts = 0;
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i)
+        insts += model.traceOf(i).instCount;
+    const auto &analytic = model.loadDelayStats();
+
+    for (std::uint32_t l = 1; l <= 3; ++l) {
+        Counter scheduled = 0;
+        for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+            scheduled += sched::evaluateListScheduling(
+                             model.program(i), model.traceOf(i), l)
+                             .stallCycles;
+        }
+        auto cpi = [&](Counter cycles) {
+            return TextTable::num(static_cast<double>(cycles) /
+                                      static_cast<double>(insts),
+                                  3);
+        };
+        t.addRow({TextTable::num(std::uint64_t{l}),
+                  cpi(analytic.totalDelayCycles(l, false)),
+                  cpi(scheduled),
+                  cpi(analytic.totalDelayCycles(l, true))});
+    }
+    std::cout << t.render();
+    std::cout
+        << "\nThe real scheduler lands between the paper's analytic "
+           "bound (column 1,\nconservative: it cannot see "
+           "multi-instruction motion such as hoisting a\nload's "
+           "address computation along with it) and the unbounded "
+           "reordering\nbound (column 3).\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction bench binaries.
+ *
+ * Every bench accepts an optional scale divisor as argv[1] (Table 1
+ * instruction counts are divided by it; default 200, i.e. ~12M
+ * simulated instructions for the full suite) and prints one table or
+ * figure series, paper anchors included, via the experiment registry.
+ */
+
+#ifndef PIPECACHE_BENCH_BENCH_COMMON_HH
+#define PIPECACHE_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiments.hh"
+
+namespace pipecache::bench {
+
+inline core::SuiteConfig
+suiteFromArgs(int argc, char **argv, double default_scale = 200.0)
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = default_scale;
+    if (argc > 1) {
+        config.scaleDivisor = std::atof(argv[1]);
+        if (config.scaleDivisor < 1.0) {
+            // Garbage or a sub-1 divisor would silently mean "run the
+            // paper's full 2.4G instructions" — refuse instead.
+            std::cerr << "usage: " << argv[0]
+                      << " [scale-divisor >= 1]\n";
+            std::exit(2);
+        }
+    }
+    return config;
+}
+
+} // namespace pipecache::bench
+
+#endif // PIPECACHE_BENCH_BENCH_COMMON_HH

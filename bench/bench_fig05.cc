@@ -1,0 +1,11 @@
+/** Reproduces Figure 5 (CPI vs t_CPU, constant-time penalty). */
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+    std::cout << core::experiments::fig5(model).render();
+    return 0;
+}

@@ -1,0 +1,11 @@
+/** Reproduces Figure 7 of the paper; see core/experiments.hh. */
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+    std::cout << core::experiments::fig7(model).render();
+    return 0;
+}

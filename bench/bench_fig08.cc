@@ -1,0 +1,11 @@
+/** Reproduces Figure 8 (CPI vs L1-D size per load delay cycles). */
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+    std::cout << core::experiments::fig8(model).render();
+    return 0;
+}

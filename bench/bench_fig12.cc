@@ -1,0 +1,14 @@
+/** Reproduces Figure 12 of the paper; see core/experiments.hh. */
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel cpi(bench::suiteFromArgs(argc, argv));
+    core::TpiModel tpi(cpi);
+    std::cout << core::experiments::fig12(tpi).render();
+    std::cout << "\n"
+              << core::experiments::fig12Dynamic(tpi).render();
+    return 0;
+}

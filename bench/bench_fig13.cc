@@ -1,0 +1,12 @@
+/** Reproduces Figure 13 of the paper; see core/experiments.hh. */
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    core::CpiModel cpi(bench::suiteFromArgs(argc, argv));
+    core::TpiModel tpi(cpi);
+    std::cout << core::experiments::fig13(tpi).render();
+    return 0;
+}

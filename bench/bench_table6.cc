@@ -1,0 +1,12 @@
+/** Reproduces Table 6 (timing analysis); no simulation needed. */
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    using namespace pipecache;
+    std::cout << core::experiments::table6().render();
+    return 0;
+}

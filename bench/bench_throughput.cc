@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simulator throughput microbenchmarks (google-benchmark): how fast
+ * the substrate itself runs — cache probes, trace generation, full
+ * engine replay, and the timing analyzer. Useful when sizing sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cpusim/cpi_engine.hh"
+#include "sched/branch_sched.hh"
+#include "timing/cpu_circuit.hh"
+#include "trace/benchmark.hh"
+#include "util/random.hh"
+
+using namespace pipecache;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = 32 * 1024;
+    config.blockBytes = 16;
+    config.assoc = static_cast<std::uint32_t>(state.range(0));
+    cache::Cache cache(config);
+
+    Rng rng(1);
+    std::vector<Addr> addrs(4096);
+    Addr cursor = 0;
+    for (auto &a : addrs) {
+        cursor = rng.nextBool(0.75)
+                     ? cursor + 4
+                     : static_cast<Addr>(rng.nextRange(1 << 20));
+        a = cursor;
+    }
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i], false));
+        i = (i + 1) & 4095;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &bench = trace::findBenchmark("small");
+    for (auto _ : state) {
+        auto trace = bench.record(0, 10000.0);
+        benchmark::DoNotOptimize(trace.instCount);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_EngineReplay(benchmark::State &state)
+{
+    const auto &bench = trace::findBenchmark("espresso");
+    const auto prog = bench.makeProgram(0);
+    trace::DataAddressGenerator dgen(bench.dataConfig(0));
+    trace::ExecConfig ec;
+    ec.maxInsts = 200000;
+    const auto trace = recordTrace(prog, dgen, ec);
+    const auto xlat = sched::scheduleBranchDelays(prog, 2);
+
+    for (auto _ : state) {
+        cache::HierarchyConfig hc;
+        hc.l1i.sizeBytes = 32 * 1024;
+        hc.l1d.sizeBytes = 32 * 1024;
+        cache::CacheHierarchy hierarchy(hc);
+        cpusim::EngineConfig config;
+        config.branchSlots = 2;
+        config.loadSlots = 2;
+        cpusim::CpiEngine engine(config, hierarchy,
+                                 {{&prog, &xlat, &trace}});
+        engine.runAll();
+        benchmark::DoNotOptimize(engine.aggregate().usefulInsts);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * trace.instCount));
+    state.SetLabel("items = simulated instructions");
+}
+BENCHMARK(BM_EngineReplay);
+
+void
+BM_TimingAnalysis(benchmark::State &state)
+{
+    timing::CpuTimingParams params;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            timing::cpuCycleNs(params, {32, 2}, {32, 3}));
+    }
+}
+BENCHMARK(BM_TimingAnalysis);
+
+void
+BM_DelaySlotScheduling(benchmark::State &state)
+{
+    const auto &bench = trace::findBenchmark("gcc");
+    const auto prog = bench.makeProgram(0);
+    for (auto _ : state) {
+        auto xlat = sched::scheduleBranchDelays(prog, 3);
+        benchmark::DoNotOptimize(xlat.scheduledStaticInsts());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() *
+        static_cast<std::int64_t>(prog.staticInstCount())));
+}
+BENCHMARK(BM_DelaySlotScheduling);
+
+} // namespace
+
+BENCHMARK_MAIN();

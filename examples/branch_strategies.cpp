@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Branch-strategy shoot-out: delayed branches with optional squashing
+ * (software) versus the 256-entry branch-target buffer (hardware),
+ * across delay-slot counts, I-cache sizes, and miss penalties — the
+ * Section 3.1 debate of the paper, including the code-expansion
+ * effect on the instruction cache that the paper says must not be
+ * ignored.
+ *
+ * Usage: branch_strategies [scale-divisor]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cpi_model.hh"
+#include "util/table.hh"
+
+
+namespace {
+
+/** Parse the scale-divisor argument; exit with usage on bad input. */
+double
+scaleFromArgs(int argc, char **argv, double fallback)
+{
+    if (argc <= 1)
+        return fallback;
+    const double scale = std::atof(argv[1]);
+    if (scale < 1.0) {
+        std::cerr << "usage: " << argv[0]
+                  << " [scale-divisor >= 1]\n";
+        std::exit(2);
+    }
+    return scale;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+
+    core::SuiteConfig suite;
+    suite.scaleDivisor = scaleFromArgs(argc, argv, 1000.0);
+    core::CpiModel model(suite);
+
+    // Total branch-related CPI (waste/penalties + the I-miss delta
+    // caused by squashing's code expansion) per scheme.
+    TextTable t("Branch handling: total CPI, squash vs. BTB "
+                "(columns: I-cache KW / penalty)");
+    t.setHeader({"b", "scheme", "1KW P=18", "1KW P=6", "8KW P=10",
+                 "32KW P=10"});
+
+    struct CachePoint
+    {
+        std::uint32_t kw;
+        std::uint32_t penalty;
+    };
+    const CachePoint cache_points[] = {
+        {1, 18}, {1, 6}, {8, 10}, {32, 10}};
+
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        for (const bool use_btb : {false, true}) {
+            std::vector<std::string> row{
+                TextTable::num(std::uint64_t{b}),
+                use_btb ? "btb" : "squash"};
+            for (const auto &cp : cache_points) {
+                core::DesignPoint p;
+                p.branchSlots = b;
+                p.l1iSizeKW = cp.kw;
+                p.missPenaltyCycles = cp.penalty;
+                p.branchScheme = use_btb
+                                     ? cpusim::BranchScheme::Btb
+                                     : cpusim::BranchScheme::Squash;
+                const auto &res = model.evaluate(p);
+                row.push_back(TextTable::num(res.cpi(), 3));
+            }
+            t.addRow(std::move(row));
+        }
+    }
+    std::cout << t.render();
+
+    std::cout
+        << "\nThe paper's reading: the software scheme wins on branch\n"
+           "CPI alone, but its code expansion costs extra I-cache\n"
+           "misses — for small caches and large penalties the BTB\n"
+           "pulls even (compare the 1KW columns).\n";
+    return 0;
+}

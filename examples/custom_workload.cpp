@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Downstream-user extension example: define a workload that is not in
+ * the paper's Table 1 (here, a pointer-chasing database-like engine
+ * and a streaming DSP kernel), generate its synthetic programs and
+ * traces, and find the pipeline depth and cache split that minimize
+ * TPI for *that* mix — i.e., use the library as a design tool rather
+ * than a reproduction harness.
+ *
+ * Usage: custom_workload [scale-divisor]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cache/hierarchy.hh"
+#include "cpusim/cpi_engine.hh"
+#include "isa/program_generator.hh"
+#include "sched/branch_sched.hh"
+#include "timing/cpu_circuit.hh"
+#include "trace/executor.hh"
+#include "trace/trace_stats.hh"
+#include "util/table.hh"
+
+using namespace pipecache;
+
+namespace {
+
+struct CustomWorkload
+{
+    std::string name;
+    isa::GenProfile gen;
+    trace::DataGenConfig data;
+    Counter insts;
+};
+
+/** An OLTP-ish engine: branchy, pointer-heavy, big code footprint. */
+CustomWorkload
+databaseEngine(double scale)
+{
+    CustomWorkload w;
+    w.name = "dbengine";
+    w.gen.name = w.name;
+    w.gen.seed = 2024;
+    w.gen.staticInsts = 30000;
+    w.gen.numProcs = 36;
+    w.gen.loadFrac = 0.27;
+    w.gen.storeFrac = 0.10;
+    w.gen.ctiFrac = 0.19;
+    w.gen.meanTrip = 4;
+    w.gen.stackFrac = 0.20;
+    w.gen.globalFrac = 0.15;
+    w.gen.arrayFrac = 0.05;
+    w.gen.heapFrac = 0.60;
+
+    w.data.base = 0;
+    w.data.heapBytes = 1 << 20; // 1 MB working set
+    w.data.heapTheta = 0.65;    // flat popularity: cache-hostile
+    w.data.arrayBytes = {64 * 1024};
+    w.data.seed = 7;
+    w.insts = static_cast<Counter>(4e8 / scale);
+    return w;
+}
+
+/** A DSP kernel: tiny code, long loops, pure streaming. */
+CustomWorkload
+dspKernel(double scale)
+{
+    CustomWorkload w;
+    w.name = "dspfir";
+    w.gen.name = w.name;
+    w.gen.seed = 4096;
+    w.gen.staticInsts = 900;
+    w.gen.numProcs = 4;
+    w.gen.loadFrac = 0.34;
+    w.gen.storeFrac = 0.15;
+    w.gen.ctiFrac = 0.05;
+    w.gen.fpFrac = 0.45;
+    w.gen.meanTrip = 120;
+    w.gen.stackFrac = 0.05;
+    w.gen.globalFrac = 0.10;
+    w.gen.arrayFrac = 0.80;
+    w.gen.heapFrac = 0.05;
+
+    w.data.base = 0x01000000;
+    w.data.arrayBytes = {96 * 1024, 96 * 1024, 32 * 1024};
+    w.data.heapBytes = 16 * 1024;
+    w.data.seed = 9;
+    w.insts = static_cast<Counter>(2e8 / scale);
+    return w;
+}
+
+/** CPI of one workload at one design point. */
+double
+workloadCpi(const isa::Program &prog,
+            const trace::RecordedTrace &trace, std::uint32_t b,
+            std::uint32_t l, std::uint32_t ikw, std::uint32_t dkw)
+{
+    const auto xlat = sched::scheduleBranchDelays(prog, b);
+
+    cache::HierarchyConfig hc;
+    hc.l1i.sizeBytes = kiloWordsToBytes(ikw);
+    hc.l1d.sizeBytes = kiloWordsToBytes(dkw);
+    hc.flatPenalty = 10;
+    cache::CacheHierarchy hierarchy(hc);
+
+    cpusim::EngineConfig ec;
+    ec.branchSlots = b;
+    ec.loadSlots = l;
+    cpusim::CpiEngine engine(ec, hierarchy,
+                             {{&prog, &xlat, &trace}});
+    engine.runAll();
+    return engine.aggregate().cpi();
+}
+
+void
+explore(const CustomWorkload &w)
+{
+    isa::Program prog = isa::generateProgram(w.gen);
+    trace::DataAddressGenerator dgen(w.data);
+    trace::ExecConfig ec;
+    ec.seed = w.gen.seed * 31;
+    ec.maxInsts = w.insts;
+    const auto trace = recordTrace(prog, dgen, ec);
+
+    const auto mix = trace::computeMix(prog, trace);
+    std::cout << "\n== " << w.name << " ==  (" << trace.instCount
+              << " insts: " << TextTable::num(mix.loadPct(), 1)
+              << "% loads, " << TextTable::num(mix.storePct(), 1)
+              << "% stores, " << TextTable::num(mix.ctiPct(), 1)
+              << "% CTIs)\n";
+
+    TextTable t("TPI (ns) vs depth and split (P=10)");
+    t.setHeader({"I/D KW", "d=0", "d=1", "d=2", "d=3"});
+
+    timing::CpuTimingParams params;
+    double best = 1e18;
+    std::string best_desc;
+    for (const auto &[ikw, dkw] :
+         {std::pair{4u, 4u}, {8u, 8u}, {16u, 16u}, {32u, 8u},
+          {8u, 32u}, {32u, 32u}}) {
+        std::vector<std::string> row{std::to_string(ikw) + "/" +
+                                     std::to_string(dkw)};
+        for (std::uint32_t d = 0; d <= 3; ++d) {
+            const double cpi =
+                workloadCpi(prog, trace, d, d, ikw, dkw);
+            const double tcpu = std::max(
+                timing::sideCycleNs(params, {ikw, d}),
+                timing::sideCycleNs(params, {dkw, d}));
+            const double tpi = cpi * tcpu;
+            row.push_back(TextTable::num(tpi, 2));
+            if (tpi < best) {
+                best = tpi;
+                best_desc = "I=" + std::to_string(ikw) +
+                            "KW D=" + std::to_string(dkw) +
+                            "KW depth=" + std::to_string(d);
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    std::cout << t.render();
+    std::cout << "best for " << w.name << ": " << best_desc
+              << "  TPI = " << TextTable::num(best, 2) << " ns\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 1000.0;
+    if (scale < 1.0) {
+        std::cerr << "usage: " << argv[0]
+                  << " [scale-divisor >= 1]\n";
+        return 2;
+    }
+    explore(databaseEngine(scale));
+    explore(dspKernel(scale));
+
+    std::cout << "\nNote how the loop-dominated DSP kernel tolerates "
+                 "deep cache pipelines\n(its branches are backward and "
+                 "predictable, its loads schedulable), while\nthe "
+                 "branchy pointer-chasing engine keeps more of the "
+                 "delay-slot cost.\n";
+    return 0;
+}

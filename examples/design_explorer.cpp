@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Design-space explorer: sweep cache sizes and pipeline depths, print
+ * the TPI surface (optionally as CSV), and run the multilevel
+ * optimizer from a chosen starting point — the paper's Section 2
+ * methodology as a command-line tool.
+ *
+ * Usage:
+ *   design_explorer [options]
+ *     --scale N      trace scale divisor (default 1000)
+ *     --penalty P    L1 miss penalty in cycles (default 10)
+ *     --block W      block size in words (default 4)
+ *     --csv          emit the sweep as CSV instead of a table
+ *     --optimize     also run the multilevel optimizer
+ *     --dynamic      use dynamic (out-of-order) load scheduling
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/optimizer.hh"
+#include "core/tpi_model.hh"
+#include "util/table.hh"
+
+namespace {
+
+struct Options
+{
+    double scale = 1000.0;
+    std::uint32_t penalty = 10;
+    std::uint32_t blockWords = 4;
+    bool csv = false;
+    bool optimize = false;
+    bool dynamicLoads = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            opts.scale = std::atof(next());
+        } else if (arg == "--penalty") {
+            opts.penalty =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--block") {
+            opts.blockWords =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--optimize") {
+            opts.optimize = true;
+        } else if (arg == "--dynamic") {
+            opts.dynamicLoads = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "see the file header for options\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    const Options opts = parseArgs(argc, argv);
+
+    core::SuiteConfig suite;
+    suite.scaleDivisor = opts.scale;
+    core::CpiModel cpi_model(suite);
+    core::TpiModel tpi_model(cpi_model);
+
+    TextTable sweep("TPI (ns) sweep: equal I/D split, b = l = depth, "
+                    "P = " + std::to_string(opts.penalty));
+    sweep.setHeader({"total KW", "depth 0", "depth 1", "depth 2",
+                     "depth 3", "best"});
+
+    core::DesignPoint best_point;
+    double best_tpi = 1e18;
+    for (std::uint32_t total : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        std::vector<std::string> row{
+            TextTable::num(std::uint64_t{total})};
+        double row_best = 1e18;
+        std::uint32_t row_depth = 0;
+        for (std::uint32_t depth = 0; depth <= 3; ++depth) {
+            core::DesignPoint p;
+            p.l1iSizeKW = total / 2;
+            p.l1dSizeKW = total / 2;
+            p.branchSlots = depth;
+            p.loadSlots = depth;
+            p.blockWords = opts.blockWords;
+            p.missPenaltyCycles = opts.penalty;
+            p.loadScheme = opts.dynamicLoads
+                               ? cpusim::LoadScheme::Dynamic
+                               : cpusim::LoadScheme::Static;
+            const double tpi = tpi_model.evaluate(p).tpiNs;
+            row.push_back(TextTable::num(tpi, 2));
+            if (tpi < row_best) {
+                row_best = tpi;
+                row_depth = depth;
+            }
+            if (tpi < best_tpi) {
+                best_tpi = tpi;
+                best_point = p;
+            }
+        }
+        row.push_back("d=" + std::to_string(row_depth));
+        sweep.addRow(std::move(row));
+    }
+
+    std::cout << (opts.csv ? sweep.renderCsv() : sweep.render());
+    std::cout << "\nbest design: " << best_point.describe()
+              << "  TPI = " << TextTable::num(best_tpi, 2) << " ns\n";
+
+    if (opts.optimize) {
+        core::OptimizerConfig oconfig;
+        oconfig.exploreLoadScheme = true;
+        core::MultilevelOptimizer optimizer(tpi_model, oconfig);
+        core::DesignPoint start;
+        start.l1iSizeKW = 2;
+        start.l1dSizeKW = 2;
+        start.branchSlots = 0;
+        start.loadSlots = 0;
+        start.blockWords = opts.blockWords;
+        start.missPenaltyCycles = opts.penalty;
+
+        TextTable traj("\nMultilevel optimization trajectory");
+        traj.setHeader({"step", "design", "CPI", "t_CPU", "TPI",
+                        "change"});
+        const auto steps = optimizer.optimize(start);
+        for (std::size_t i = 0; i < steps.size(); ++i) {
+            traj.addRow({TextTable::num(std::uint64_t{i}),
+                         steps[i].point.describe(),
+                         TextTable::num(steps[i].tpi.cpi, 3),
+                         TextTable::num(steps[i].tpi.tCpuNs, 2),
+                         TextTable::num(steps[i].tpi.tpiNs, 2),
+                         steps[i].change});
+        }
+        std::cout << (opts.csv ? traj.renderCsv() : traj.render());
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: evaluate one pipelined-cache design point over the
+ * paper's benchmark suite and print the TPI breakdown.
+ *
+ * Usage: quickstart [scale-divisor]
+ *   scale-divisor  divide Table 1 instruction counts by this
+ *                  (default 2000; smaller = longer, more faithful).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiments.hh"
+#include "core/tpi_model.hh"
+
+
+namespace {
+
+/** Parse the scale-divisor argument; exit with usage on bad input. */
+double
+scaleFromArgs(int argc, char **argv, double fallback)
+{
+    if (argc <= 1)
+        return fallback;
+    const double scale = std::atof(argv[1]);
+    if (scale < 1.0) {
+        std::cerr << "usage: " << argv[0]
+                  << " [scale-divisor >= 1]\n";
+        std::exit(2);
+    }
+    return scale;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+
+    core::SuiteConfig suite;
+    suite.scaleDivisor = scaleFromArgs(argc, argv, 2000.0);
+
+    core::CpiModel cpi_model(suite);
+    core::TpiModel tpi_model(cpi_model);
+
+    // The paper's winning design: 3 branch + 3 load delay slots
+    // (three cache pipeline stages per side), 32 KW + 32 KW of L1.
+    core::DesignPoint design;
+    design.branchSlots = 3;
+    design.loadSlots = 3;
+    design.l1iSizeKW = 32;
+    design.l1dSizeKW = 32;
+    design.blockWords = 4;
+    design.missPenaltyCycles = 10;
+
+    const core::TpiResult tpi = tpi_model.evaluate(design);
+    const core::CpiResult &cpi = cpi_model.evaluate(design);
+
+    std::cout << "design: " << design.describe() << "\n\n";
+    std::cout << "CPI breakdown (aggregate over the multiprogrammed "
+                 "suite):\n";
+    std::cout << "  base (issue)    : 1.000\n";
+    std::cout << "  fetch waste     : "
+              << cpi.aggregate.branchCpi() << "\n";
+    std::cout << "  L1-I miss stalls: " << cpi.aggregate.iMissCpi()
+              << "\n";
+    std::cout << "  L1-D miss stalls: " << cpi.aggregate.dMissCpi()
+              << "\n";
+    std::cout << "  load delay      : " << cpi.aggregate.loadCpi()
+              << "\n";
+    std::cout << "  total CPI       : " << tpi.cpi << "\n";
+    std::cout << "  (weighted harmonic mean CPI: "
+              << cpi.weightedHarmonicMeanCpi() << ")\n\n";
+
+    std::cout << "L1-I miss rate: " << 100.0 * cpi.l1i.missRate()
+              << "%  L1-D miss rate: " << 100.0 * cpi.l1d.missRate()
+              << "%\n";
+    std::cout << "t_CPU = " << tpi.tCpuNs << " ns (I-side "
+              << tpi.tIsideNs << ", D-side " << tpi.tDsideNs
+              << ")\n";
+    std::cout << "TPI   = " << tpi.tpiNs << " ns\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unified experiment runner: regenerate any paper table/figure by
+ * name, with CSV export — the driver behind EXPERIMENTS.md.
+ *
+ * Usage:
+ *   run_experiment <name>... [--scale N] [--csv | --md]
+ *   run_experiment --list
+ *   run_experiment all [--scale N]
+ *
+ * Names: table1..table6, fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11
+ * fig12 fig12dyn fig13, optimizer.
+ */
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+using namespace pipecache;
+namespace exp = core::experiments;
+
+int
+main(int argc, char **argv)
+{
+    double scale = 200.0;
+    bool csv = false;
+    bool md = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+        else if (arg == "--csv")
+            csv = true;
+        else if (arg == "--md")
+            md = true;
+        else
+            names.push_back(arg);
+    }
+
+    core::SuiteConfig suite;
+    suite.scaleDivisor = scale < 1.0 ? 1.0 : scale;
+    core::CpiModel cpi(suite);
+    core::TpiModel tpi(cpi);
+
+    const std::map<std::string, std::function<TextTable()>> registry{
+        {"table1", [&] { return exp::table1(cpi); }},
+        {"table2", [&] { return exp::table2(cpi); }},
+        {"table3", [&] { return exp::table3(cpi); }},
+        {"table4", [&] { return exp::table4(cpi); }},
+        {"table5", [&] { return exp::table5(cpi); }},
+        {"table6", [&] { return exp::table6(); }},
+        {"fig3", [&] { return exp::fig3(cpi); }},
+        {"fig4", [&] { return exp::fig4(cpi); }},
+        {"fig5", [&] { return exp::fig5(cpi); }},
+        {"fig6", [&] { return exp::fig6(cpi); }},
+        {"fig7", [&] { return exp::fig7(cpi); }},
+        {"fig8", [&] { return exp::fig8(cpi); }},
+        {"fig9", [&] { return exp::fig9(tpi); }},
+        {"fig11", [&] { return exp::fig11(cpi); }},
+        {"fig12", [&] { return exp::fig12(tpi); }},
+        {"fig12dyn", [&] { return exp::fig12Dynamic(tpi); }},
+        {"fig13", [&] { return exp::fig13(tpi); }},
+        {"optimizer", [&] { return exp::optimizerTrajectory(tpi); }},
+    };
+
+    if (names.empty() ||
+        (names.size() == 1 && names[0] == "--list")) {
+        std::cout << "experiments:";
+        for (const auto &kv : registry)
+            std::cout << " " << kv.first;
+        std::cout << "\nusage: run_experiment <name>|all [--scale N] "
+                     "[--csv]\n";
+        return names.empty() ? 2 : 0;
+    }
+
+    if (names.size() == 1 && names[0] == "all") {
+        names.clear();
+        for (const auto &kv : registry)
+            names.push_back(kv.first);
+    }
+
+    for (const auto &name : names) {
+        const auto it = registry.find(name);
+        if (it == registry.end()) {
+            std::cerr << "unknown experiment: " << name
+                      << " (try --list)\n";
+            return 2;
+        }
+        const TextTable table = it->second();
+        std::cout << (csv  ? table.renderCsv()
+                      : md ? table.renderMarkdown()
+                           : table.render())
+                  << "\n";
+    }
+    return 0;
+}

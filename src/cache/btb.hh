@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Branch-target buffer (Section 3.1 of the paper).
+ *
+ * A cache of branch addresses: entries hold the CTI's address tag, its
+ * predicted target, and a 2-bit saturating direction counter (the Lee
+ * & Smith scheme the paper cites). The paper's instance is 256 entries
+ * — the largest SRAM that still allows single-cycle access at the
+ * target cycle time — holding two 32-bit addresses plus 2 bits per
+ * entry (~2 KB).
+ *
+ * Prediction contract (paper's accounting):
+ *  - hit with correct direction *and* target: the branch delay is
+ *    completely hidden;
+ *  - any misprediction or a miss on a taken CTI: b + 1 cycles
+ *    (b delay cycles plus one fill/update stall);
+ *  - miss on a not-taken CTI: sequential fetch was correct, no cost.
+ */
+
+#ifndef PIPECACHE_CACHE_BTB_HH
+#define PIPECACHE_CACHE_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace pipecache::cache {
+
+/** BTB geometry. */
+struct BtbConfig
+{
+    std::uint32_t entries = 256;
+    std::uint32_t assoc = 1;
+    /** Initial counter value on allocation (2 = weakly taken). */
+    std::uint8_t initialCounter = 2;
+
+    /** Approximate storage in bytes (2 addresses + 2 bits per entry). */
+    std::uint64_t storageBytes() const
+    {
+        return static_cast<std::uint64_t>(entries) * (4 + 4) +
+               (entries * 2 + 7) / 8;
+    }
+};
+
+/** BTB statistics. */
+struct BtbStats
+{
+    Counter lookups = 0;
+    Counter hits = 0;
+    Counter predictedTaken = 0;
+    Counter correct = 0;           //!< direction and target both right
+    Counter directionWrong = 0;
+    Counter targetWrong = 0;       //!< direction right, target stale
+    Counter missTaken = 0;         //!< miss on a taken CTI (fill stall)
+    Counter allocations = 0;
+
+    Counter mispredicts() const
+    {
+        return directionWrong + targetWrong + missTaken;
+    }
+};
+
+/** The branch-target buffer. */
+class BranchTargetBuffer
+{
+  public:
+    explicit BranchTargetBuffer(const BtbConfig &config);
+
+    /** Lookup result for one CTI fetch address. */
+    struct Result
+    {
+        bool hit = false;
+        bool predictTaken = false;
+        Addr target = 0;
+    };
+
+    /** Probe the BTB at @p pc (counts a lookup). */
+    Result lookup(Addr pc);
+
+    /**
+     * Resolve and train: @p taken is the actual direction, @p target
+     * the actual next-fetch address for taken CTIs. Returns the
+     * stall penalty in cycles for @p delay_cycles of branch delay.
+     * Call exactly once per lookup.
+     */
+    std::uint32_t resolve(const Result &res, Addr pc, bool taken,
+                          Addr target, std::uint32_t delay_cycles);
+
+    const BtbStats &stats() const { return stats_; }
+    const BtbConfig &config() const { return config_; }
+
+    /** Invalidate all entries (keeps statistics). */
+    void flush();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint8_t counter = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    BtbConfig config_;
+    std::vector<Entry> entries_;
+    BtbStats stats_;
+    std::uint64_t tick_ = 0;
+    std::uint32_t sets_;
+
+    Entry *find(Addr pc);
+    Entry &victim(Addr pc);
+};
+
+} // namespace pipecache::cache
+
+#endif // PIPECACHE_CACHE_BTB_HH

@@ -1,0 +1,117 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::cache {
+
+void
+CacheConfig::validate() const
+{
+    PC_ASSERT(isPowerOfTwo(sizeBytes), name, ": size not a power of two");
+    PC_ASSERT(isPowerOfTwo(blockBytes) && blockBytes >= 4,
+              name, ": bad block size");
+    PC_ASSERT(assoc >= 1, name, ": associativity must be >= 1");
+    PC_ASSERT(sizeBytes >= static_cast<std::uint64_t>(blockBytes) * assoc,
+              name, ": cache smaller than one set");
+    PC_ASSERT(isPowerOfTwo(sets()), name, ": set count not a power of two");
+}
+
+Cache::Cache(const CacheConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed ^ 0x9d39247e33776d41ULL)
+{
+    config_.validate();
+    lines_.resize(config_.sets() * config_.assoc);
+    setShift_ = floorLog2(config_.blockBytes);
+    setMask_ = config_.sets() - 1;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const std::uint64_t set = (addr >> setShift_) & setMask_;
+    const Addr tag = addr >> setShift_;
+    Line *base = &lines_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victim(std::uint64_t set)
+{
+    Line *base = &lines_[set * config_.assoc];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    if (config_.repl == Replacement::Random)
+        return base[rng_.nextRange(config_.assoc)];
+
+    Line *lru = base;
+    for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+        if (base[w].stamp < lru->stamp)
+            lru = &base[w];
+    }
+    return *lru;
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    ++tick_;
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    if (Line *line = findLine(addr)) {
+        line->stamp = tick_;
+        line->dirty = line->dirty || write;
+        return true;
+    }
+
+    if (write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    if (write && !config_.writeAllocate)
+        return false;
+
+    const std::uint64_t set = (addr >> setShift_) & setMask_;
+    Line &line = victim(set);
+    if (line.valid) {
+        ++stats_.evictions;
+        if (line.dirty)
+            ++stats_.dirtyEvictions;
+    }
+    line.valid = true;
+    line.dirty = write;
+    line.tag = addr >> setShift_;
+    line.stamp = tick_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line();
+}
+
+} // namespace pipecache::cache

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Generic blocking cache model.
+ *
+ * The paper's L1 caches are direct-mapped (the GaAs design point), but
+ * the model is general set-associative with LRU or random replacement
+ * so the closing question of the paper — whether pipelining revives
+ * the size-versus-associativity tradeoff — can be explored
+ * (bench_abl_assoc).
+ */
+
+#ifndef PIPECACHE_CACHE_CACHE_HH
+#define PIPECACHE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace pipecache::cache {
+
+/** Replacement policy. */
+enum class Replacement : std::uint8_t
+{
+    LRU,
+    Random,
+};
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 4096;
+    std::uint32_t blockBytes = 16;
+    std::uint32_t assoc = 1; //!< 1 = direct-mapped
+    Replacement repl = Replacement::LRU;
+    /** Allocate a block on write misses (write-back caches). */
+    bool writeAllocate = true;
+
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) *
+                            assoc);
+    }
+
+    /** Panics if sizes are inconsistent or not powers of two. */
+    void validate() const;
+};
+
+/** Hit/miss and write statistics. */
+struct CacheStats
+{
+    Counter reads = 0;
+    Counter writes = 0;
+    Counter readMisses = 0;
+    Counter writeMisses = 0;
+    Counter evictions = 0;
+    Counter dirtyEvictions = 0;
+
+    Counter accesses() const { return reads + writes; }
+    Counter misses() const { return readMisses + writeMisses; }
+
+    double missRate() const
+    {
+        return accesses() == 0
+                   ? 0.0
+                   : static_cast<double>(misses()) /
+                         static_cast<double>(accesses());
+    }
+};
+
+/** A blocking cache (no MSHRs — 1992 technology). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config, std::uint64_t seed = 0);
+
+    /**
+     * Access @p addr; returns true on hit. Misses allocate (subject to
+     * writeAllocate) and update statistics.
+     */
+    bool access(Addr addr, bool write);
+
+    /** True if the block containing addr is resident (no side effects). */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (keeps statistics). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats(); }
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t stamp = 0;
+    };
+
+    CacheConfig config_;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+    Rng rng_;
+    std::uint64_t tick_ = 0;
+
+    std::uint64_t setShift_;
+    std::uint64_t setMask_;
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line &victim(std::uint64_t set);
+};
+
+} // namespace pipecache::cache
+
+#endif // PIPECACHE_CACHE_CACHE_HH

@@ -1,0 +1,71 @@
+#include "cache/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::cache {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i, 0x11), l1d_(config.l1d, 0x22)
+{
+    if (!config_.flatPenalty) {
+        l2_ = std::make_unique<Cache>(config_.l2, 0x33);
+    } else {
+        PC_ASSERT(*config_.flatPenalty >= 1,
+                  "flat penalty must be >= 1 cycle");
+    }
+}
+
+std::uint32_t
+CacheHierarchy::missCycles(Addr addr, bool write)
+{
+    if (config_.flatPenalty)
+        return *config_.flatPenalty;
+
+    // Full hierarchy: L2 hit or memory refill.
+    const bool l2_hit = l2_->access(addr, write);
+    if (l2_hit)
+        return config_.l2HitCycles;
+    ++stats_.l2Misses;
+    return config_.l2HitCycles + config_.memoryCycles;
+}
+
+std::uint32_t
+CacheHierarchy::accessInst(Addr addr)
+{
+    if (l1i_.access(addr, false))
+        return 0;
+    const std::uint32_t stall = missCycles(addr, false);
+    stats_.l1iStallCycles += stall;
+    return stall;
+}
+
+std::uint32_t
+CacheHierarchy::accessData(Addr addr, bool write)
+{
+    if (l1d_.access(addr, write))
+        return 0;
+    const std::uint32_t stall = missCycles(addr, write);
+    stats_.l1dStallCycles += stall;
+    return stall;
+}
+
+void
+CacheHierarchy::accessDataBuffered(Addr addr)
+{
+    l1d_.access(addr, true);
+    if (l2_) {
+        // The buffered write still updates L2 (write-through point).
+        l2_->access(addr, true);
+    }
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    if (l2_)
+        l2_->flush();
+}
+
+} // namespace pipecache::cache

@@ -1,0 +1,31 @@
+#include "cache/memory.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::cache {
+
+std::uint32_t
+RefillConfig::penalty(std::uint32_t block_bytes) const
+{
+    PC_ASSERT(wordsPerCycle >= 1, "refill rate must be >= 1 word/cycle");
+    PC_ASSERT(block_bytes % bytesPerWord == 0, "block not word-aligned");
+    const std::uint32_t words = block_bytes / bytesPerWord;
+    // Round up: a partial beat still takes a cycle.
+    return startupCycles + (words + wordsPerCycle - 1) / wordsPerCycle;
+}
+
+MissPenalty
+MissPenalty::flat(std::uint32_t cycles)
+{
+    PC_ASSERT(cycles >= 1, "flat miss penalty must be >= 1 cycle");
+    return MissPenalty(cycles);
+}
+
+MissPenalty
+MissPenalty::fromRefill(const RefillConfig &refill,
+                        std::uint32_t block_bytes)
+{
+    return MissPenalty(refill.penalty(block_bytes));
+}
+
+} // namespace pipecache::cache

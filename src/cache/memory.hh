@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Main-memory refill model.
+ *
+ * The paper's miss penalties (6, 10, 18 cycles) come from a refill
+ * pipe delivering 4, 2, or 1 words per cycle after a 2-cycle startup,
+ * with the block size chosen per penalty. This model computes the
+ * penalty from those parameters, or accepts an explicit flat penalty
+ * (the form the paper's CPI experiments use).
+ */
+
+#ifndef PIPECACHE_CACHE_MEMORY_HH
+#define PIPECACHE_CACHE_MEMORY_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace pipecache::cache {
+
+/** Refill-rate description of the memory path behind L1. */
+struct RefillConfig
+{
+    std::uint32_t startupCycles = 2;
+    /** Words delivered per cycle once streaming (1, 2, or 4). */
+    std::uint32_t wordsPerCycle = 2;
+
+    /** Cycles to refill a block of @p block_bytes. */
+    std::uint32_t penalty(std::uint32_t block_bytes) const;
+};
+
+/**
+ * The L1 miss penalty used by an experiment: either a flat cycle
+ * count (the paper's "constant time L1 miss penalty") or derived from
+ * a refill configuration and block size.
+ */
+class MissPenalty
+{
+  public:
+    /** Flat penalty in cycles. */
+    static MissPenalty flat(std::uint32_t cycles);
+
+    /** Computed from refill parameters for a given block size. */
+    static MissPenalty fromRefill(const RefillConfig &refill,
+                                  std::uint32_t block_bytes);
+
+    std::uint32_t cycles() const { return cycles_; }
+
+  private:
+    explicit MissPenalty(std::uint32_t cycles) : cycles_(cycles) {}
+    std::uint32_t cycles_;
+};
+
+} // namespace pipecache::cache
+
+#endif // PIPECACHE_CACHE_MEMORY_HH

@@ -1,0 +1,59 @@
+#include "cache/three_c.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::cache {
+
+ThreeCCache::ThreeCCache(const CacheConfig &config) : cache_(config)
+{
+    blockShift_ = floorLog2(config.blockBytes);
+    shadowCapacity_ =
+        static_cast<std::size_t>(config.sizeBytes / config.blockBytes);
+    PC_ASSERT(shadowCapacity_ >= 1, "shadow with no capacity");
+}
+
+bool
+ThreeCCache::shadowAccess(Addr block)
+{
+    auto it = shadowMap_.find(block);
+    if (it != shadowMap_.end()) {
+        // Move to MRU position.
+        shadowLru_.splice(shadowLru_.begin(), shadowLru_, it->second);
+        return true;
+    }
+    // Miss: insert at MRU, evict LRU if over capacity.
+    shadowLru_.push_front(block);
+    shadowMap_[block] = shadowLru_.begin();
+    if (shadowLru_.size() > shadowCapacity_) {
+        shadowMap_.erase(shadowLru_.back());
+        shadowLru_.pop_back();
+    }
+    return false;
+}
+
+MissClass
+ThreeCCache::access(Addr addr, bool write)
+{
+    ++stats_.accesses;
+    const Addr block = addr >> blockShift_;
+
+    const bool real_hit = cache_.access(addr, write);
+    const bool shadow_hit = shadowAccess(block);
+    const bool first_touch = touched_.insert(block).second;
+
+    if (real_hit)
+        return MissClass::Hit;
+
+    if (first_touch) {
+        ++stats_.compulsory;
+        return MissClass::Compulsory;
+    }
+    if (!shadow_hit) {
+        ++stats_.capacity;
+        return MissClass::Capacity;
+    }
+    ++stats_.conflict;
+    return MissClass::Conflict;
+}
+
+} // namespace pipecache::cache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * 3C miss classification (Hill's compulsory/capacity/conflict model).
+ *
+ * The classic decomposition the cache literature of the paper's era
+ * used to explain miss curves:
+ *
+ *  - compulsory: first reference to a block ever;
+ *  - capacity:  missed even in a fully-associative LRU cache of the
+ *               same total size;
+ *  - conflict:  hit in the fully-associative shadow but missed in the
+ *               real (set-indexed) cache.
+ *
+ * Used by bench_abl_3c to explain the shapes of Figures 3/4/8 (why
+ * small caches respond to doubling, what the multiprogramming quantum
+ * does, and why short traces look compulsory-bound).
+ */
+
+#ifndef PIPECACHE_CACHE_THREE_C_HH
+#define PIPECACHE_CACHE_THREE_C_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache.hh"
+#include "util/units.hh"
+
+namespace pipecache::cache {
+
+/** Miss class of one access. */
+enum class MissClass : std::uint8_t
+{
+    Hit,
+    Compulsory,
+    Capacity,
+    Conflict,
+};
+
+/** Classification counters. */
+struct ThreeCStats
+{
+    Counter accesses = 0;
+    Counter compulsory = 0;
+    Counter capacity = 0;
+    Counter conflict = 0;
+
+    Counter misses() const { return compulsory + capacity + conflict; }
+
+    double fraction(Counter n) const
+    {
+        return misses() == 0 ? 0.0
+                             : static_cast<double>(n) /
+                                   static_cast<double>(misses());
+    }
+};
+
+/**
+ * A cache wrapped with a fully-associative LRU shadow of the same
+ * capacity plus a first-touch set; classifies every access.
+ */
+class ThreeCCache
+{
+  public:
+    explicit ThreeCCache(const CacheConfig &config);
+
+    /** Access and classify. */
+    MissClass access(Addr addr, bool write);
+
+    const ThreeCStats &stats() const { return stats_; }
+    const Cache &cache() const { return cache_; }
+
+  private:
+    /** Fully-associative LRU over block addresses; true on hit. */
+    bool shadowAccess(Addr block);
+
+    Cache cache_;
+    ThreeCStats stats_;
+
+    std::uint64_t blockShift_;
+    std::size_t shadowCapacity_;
+    /** LRU list of resident blocks (front = most recent). */
+    std::list<Addr> shadowLru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> shadowMap_;
+    /** Every block ever touched. */
+    std::unordered_set<Addr> touched_;
+};
+
+} // namespace pipecache::cache
+
+#endif // PIPECACHE_CACHE_THREE_C_HH

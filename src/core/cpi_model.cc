@@ -1,0 +1,179 @@
+#include "core/cpi_model.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::core {
+
+double
+CpiResult::weightedHarmonicMeanCpi() const
+{
+    WeightedHarmonicMean whm;
+    for (const auto &b : perBench) {
+        // Weight = the benchmark's share of total execution time.
+        whm.add(b.cpi(), static_cast<double>(b.totalCycles()));
+    }
+    return whm.value();
+}
+
+CpiModel::CpiModel(const SuiteConfig &config) : config_(config)
+{
+    PC_ASSERT(config_.scaleDivisor >= 1.0, "bad scale divisor");
+    if (config_.benchmarks.empty()) {
+        suite_ = trace::table1Suite();
+    } else {
+        for (const auto &name : config_.benchmarks)
+            suite_.push_back(trace::findBenchmark(name));
+    }
+}
+
+void
+CpiModel::ensureTraces()
+{
+    if (tracesBuilt_)
+        return;
+    programs_.reserve(suite_.size());
+    traces_.reserve(suite_.size());
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+        const auto asid = static_cast<std::uint32_t>(i);
+        programs_.push_back(
+            suite_[i].makeProgram(asid, config_.seedSalt));
+
+        trace::DataAddressGenerator dgen(
+            suite_[i].dataConfig(asid, config_.seedSalt));
+        trace::ExecConfig exec;
+        exec.seed = suite_[i].seed(config_.seedSalt) ^ 0x2545f491;
+        exec.maxInsts = suite_[i].scaledInsts(config_.scaleDivisor);
+        traces_.push_back(
+            trace::recordTrace(programs_[i], dgen, exec));
+    }
+    tracesBuilt_ = true;
+}
+
+const isa::Program &
+CpiModel::program(std::size_t i)
+{
+    ensureTraces();
+    PC_ASSERT(i < programs_.size(), "benchmark index out of range");
+    return programs_[i];
+}
+
+const trace::RecordedTrace &
+CpiModel::traceOf(std::size_t i)
+{
+    ensureTraces();
+    PC_ASSERT(i < traces_.size(), "benchmark index out of range");
+    return traces_[i];
+}
+
+const sched::BranchProfileData &
+CpiModel::branchProfile(std::size_t i)
+{
+    ensureTraces();
+    if (profiles_.empty()) {
+        profiles_.reserve(programs_.size());
+        for (std::size_t p = 0; p < programs_.size(); ++p) {
+            profiles_.push_back(
+                sched::collectBranchProfile(programs_[p], traces_[p]));
+        }
+    }
+    PC_ASSERT(i < profiles_.size(), "benchmark index out of range");
+    return profiles_[i];
+}
+
+const sched::TranslationFile &
+CpiModel::xlat(std::size_t i, std::uint32_t b,
+               sched::PredictSource source)
+{
+    ensureTraces();
+    const auto key = std::make_pair(b, static_cast<int>(source));
+    auto it = xlats_.find(key);
+    if (it == xlats_.end()) {
+        std::vector<sched::TranslationFile> files;
+        files.reserve(programs_.size());
+        for (std::size_t p = 0; p < programs_.size(); ++p) {
+            if (source == sched::PredictSource::Profile) {
+                files.push_back(sched::scheduleBranchDelaysProfiled(
+                    programs_[p], b, branchProfile(p)));
+            } else {
+                files.push_back(
+                    sched::scheduleBranchDelays(programs_[p], b));
+            }
+        }
+        it = xlats_.emplace(key, std::move(files)).first;
+    }
+    PC_ASSERT(i < it->second.size(), "benchmark index out of range");
+    return it->second[i];
+}
+
+const trace::MultiprogSchedule &
+CpiModel::schedule()
+{
+    ensureTraces();
+    if (!schedule_) {
+        std::vector<const trace::RecordedTrace *> traces;
+        std::vector<const isa::Program *> programs;
+        for (std::size_t i = 0; i < suite_.size(); ++i) {
+            traces.push_back(&traces_[i]);
+            programs.push_back(&programs_[i]);
+        }
+        schedule_ = std::make_unique<trace::MultiprogSchedule>(
+            traces, programs, config_.quantum);
+    }
+    return *schedule_;
+}
+
+const sched::LoadDelayStats &
+CpiModel::loadDelayStats()
+{
+    ensureTraces();
+    if (!loadStats_) {
+        loadStats_ = std::make_unique<sched::LoadDelayStats>();
+        for (std::size_t i = 0; i < suite_.size(); ++i) {
+            loadStats_->merge(
+                sched::analyzeLoadDelays(programs_[i], traces_[i]));
+        }
+    }
+    return *loadStats_;
+}
+
+const CpiResult &
+CpiModel::evaluate(const DesignPoint &point)
+{
+    auto memo = memo_.find(point);
+    if (memo != memo_.end())
+        return memo->second;
+
+    ensureTraces();
+    const std::uint32_t xlat_slots =
+        point.branchScheme == cpusim::BranchScheme::Btb
+            ? 0
+            : point.branchSlots;
+
+    std::vector<cpusim::BenchWorkload> workloads;
+    workloads.reserve(suite_.size());
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+        cpusim::BenchWorkload w;
+        w.program = &program(i);
+        w.xlat = &xlat(i, xlat_slots, point.predictSource);
+        w.trace = &traceOf(i);
+        workloads.push_back(w);
+    }
+
+    cache::CacheHierarchy hierarchy(point.hierarchyConfig());
+    cpusim::CpiEngine engine(point.engineConfig(), hierarchy,
+                             std::move(workloads));
+    engine.run(schedule());
+
+    CpiResult result;
+    result.aggregate = engine.aggregate();
+    for (std::size_t i = 0; i < suite_.size(); ++i)
+        result.perBench.push_back(engine.benchResult(i));
+    result.l1i = hierarchy.l1i().stats();
+    result.l1d = hierarchy.l1d().stats();
+    if (engine.btb())
+        result.btb = engine.btb()->stats();
+
+    return memo_.emplace(point, std::move(result)).first->second;
+}
+
+} // namespace pipecache::core

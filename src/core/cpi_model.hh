@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The CPI model: owns the benchmark suite's synthetic programs,
+ * recorded traces, translation files, and multiprogramming schedule,
+ * and evaluates design points by replaying through cpusim. All
+ * expensive artifacts are built once and shared; design-point results
+ * are memoized — the same reuse structure the paper's methodology
+ * relies on (one trace, many architectures).
+ */
+
+#ifndef PIPECACHE_CORE_CPI_MODEL_HH
+#define PIPECACHE_CORE_CPI_MODEL_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/design_point.hh"
+#include "sched/branch_sched.hh"
+#include "sched/profile_predict.hh"
+#include "trace/benchmark.hh"
+#include "trace/multiprog.hh"
+#include "util/stats.hh"
+
+namespace pipecache::core {
+
+/** Suite-level configuration. */
+struct SuiteConfig
+{
+    /** Divide the paper's Table 1 instruction counts by this. */
+    double scaleDivisor = 200.0;
+    /** Context-switch quantum in instructions. */
+    Counter quantum = 200000;
+    /** Benchmark names to include (empty = full Table 1 suite). */
+    std::vector<std::string> benchmarks;
+    /** Workload-generation salt: different salts give independent
+     *  synthetic instances of the same suite (robustness sweeps). */
+    std::uint64_t seedSalt = 0;
+};
+
+/** Evaluation result of one design point. */
+struct CpiResult
+{
+    cpusim::CpiBreakdown aggregate;
+    std::vector<cpusim::CpiBreakdown> perBench;
+
+    /** Aggregate CPI (time-weighted over the multiprogramming mix). */
+    double cpi() const { return aggregate.cpi(); }
+
+    /**
+     * Weighted harmonic mean of per-benchmark CPI, weighted by each
+     * benchmark's share of execution time — the paper's reporting
+     * convention. Mathematically equal to cpi(); both are exposed so
+     * tests can verify the identity.
+     */
+    double weightedHarmonicMeanCpi() const;
+
+    cache::CacheStats l1i;
+    cache::CacheStats l1d;
+    cache::BtbStats btb;
+};
+
+/** The suite-owning evaluator. */
+class CpiModel
+{
+  public:
+    explicit CpiModel(const SuiteConfig &config = {});
+
+    /** Evaluate (memoized) a design point over the multiprog mix. */
+    const CpiResult &evaluate(const DesignPoint &point);
+
+    /** Benchmarks in this model's suite. */
+    const std::vector<trace::Benchmark> &suite() const { return suite_; }
+    std::size_t numBenchmarks() const { return suite_.size(); }
+
+    /** Canonical program of benchmark @p i (lazily built). */
+    const isa::Program &program(std::size_t i);
+    /** Recorded trace of benchmark @p i (lazily built). */
+    const trace::RecordedTrace &traceOf(std::size_t i);
+    /** Translation file of benchmark @p i for @p b delay slots. */
+    const sched::TranslationFile &
+    xlat(std::size_t i, std::uint32_t b,
+         sched::PredictSource source = sched::PredictSource::Btfnt);
+
+    /** Self-trained branch profile of benchmark @p i. */
+    const sched::BranchProfileData &branchProfile(std::size_t i);
+    /** The shared multiprogramming schedule. */
+    const trace::MultiprogSchedule &schedule();
+
+    /** Suite-aggregate load-delay statistics (Figures 6/7, Table 5). */
+    const sched::LoadDelayStats &loadDelayStats();
+
+    const SuiteConfig &config() const { return config_; }
+
+  private:
+    void ensureTraces();
+
+    SuiteConfig config_;
+    std::vector<trace::Benchmark> suite_;
+
+    bool tracesBuilt_ = false;
+    std::vector<isa::Program> programs_;
+    std::vector<trace::RecordedTrace> traces_;
+    /** xlats_[{b, source}][bench]; built on demand. */
+    std::map<std::pair<std::uint32_t, int>,
+             std::vector<sched::TranslationFile>> xlats_;
+    std::vector<sched::BranchProfileData> profiles_;
+    std::unique_ptr<trace::MultiprogSchedule> schedule_;
+    std::unique_ptr<sched::LoadDelayStats> loadStats_;
+
+    std::unordered_map<DesignPoint, CpiResult, DesignPointHash> memo_;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_CPI_MODEL_HH

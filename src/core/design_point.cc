@@ -1,0 +1,103 @@
+#include "core/design_point.hh"
+
+#include <sstream>
+
+namespace pipecache::core {
+
+cache::HierarchyConfig
+DesignPoint::hierarchyConfig() const
+{
+    cache::HierarchyConfig config;
+    config.l1i.name = "L1-I";
+    config.l1i.sizeBytes = kiloWordsToBytes(l1iSizeKW);
+    config.l1i.blockBytes = blockWords * bytesPerWord;
+    config.l1i.assoc = assoc;
+    config.l1d.name = "L1-D";
+    config.l1d.sizeBytes = kiloWordsToBytes(l1dSizeKW);
+    config.l1d.blockBytes = blockWords * bytesPerWord;
+    config.l1d.assoc = assoc;
+    if (writeThroughBuffer) {
+        // Stores go around the fill path; misses do not allocate.
+        config.l1d.writeAllocate = false;
+    }
+    config.flatPenalty = missPenaltyCycles;
+    return config;
+}
+
+cpusim::EngineConfig
+DesignPoint::engineConfig() const
+{
+    cpusim::EngineConfig config;
+    config.branchSlots = branchSlots;
+    config.loadSlots = loadSlots;
+    config.branchScheme = branchScheme;
+    config.loadScheme = loadScheme;
+    config.btb = btb;
+    if (writeThroughBuffer)
+        config.writeBuffer = writeBufferConfig;
+    return config;
+}
+
+std::string
+DesignPoint::describe() const
+{
+    std::ostringstream os;
+    os << "b=" << branchSlots << " l=" << loadSlots << " I=" << l1iSizeKW
+       << "KW D=" << l1dSizeKW << "KW B=" << blockWords << "W P="
+       << missPenaltyCycles << " assoc=" << assoc << " "
+       << (branchScheme == cpusim::BranchScheme::Squash ? "squash"
+                                                        : "btb")
+       << "/"
+       << (loadScheme == cpusim::LoadScheme::Static    ? "static"
+           : loadScheme == cpusim::LoadScheme::Dynamic ? "dynamic"
+                                                       : "none");
+    if (predictSource == sched::PredictSource::Profile)
+        os << " profile-pred";
+    if (writeThroughBuffer)
+        os << " wbuf(" << writeBufferConfig.entries << ")";
+    return os.str();
+}
+
+bool
+operator==(const DesignPoint &a, const DesignPoint &b)
+{
+    return a.branchSlots == b.branchSlots && a.loadSlots == b.loadSlots &&
+           a.l1iSizeKW == b.l1iSizeKW && a.l1dSizeKW == b.l1dSizeKW &&
+           a.blockWords == b.blockWords && a.assoc == b.assoc &&
+           a.missPenaltyCycles == b.missPenaltyCycles &&
+           a.branchScheme == b.branchScheme &&
+           a.loadScheme == b.loadScheme &&
+           a.predictSource == b.predictSource &&
+           a.writeThroughBuffer == b.writeThroughBuffer &&
+           a.writeBufferConfig.entries == b.writeBufferConfig.entries &&
+           a.writeBufferConfig.drainCycles ==
+               b.writeBufferConfig.drainCycles &&
+           a.btb.entries == b.btb.entries && a.btb.assoc == b.btb.assoc;
+}
+
+std::size_t
+DesignPointHash::operator()(const DesignPoint &p) const
+{
+    std::size_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(p.branchSlots);
+    mix(p.loadSlots);
+    mix(p.l1iSizeKW);
+    mix(p.l1dSizeKW);
+    mix(p.blockWords);
+    mix(p.assoc);
+    mix(p.missPenaltyCycles);
+    mix(static_cast<std::uint64_t>(p.branchScheme));
+    mix(static_cast<std::uint64_t>(p.loadScheme));
+    mix(static_cast<std::uint64_t>(p.predictSource));
+    mix(p.writeThroughBuffer ? 1 : 0);
+    mix(p.writeBufferConfig.entries);
+    mix(p.writeBufferConfig.drainCycles);
+    mix(p.btb.entries);
+    mix(p.btb.assoc);
+    return h;
+}
+
+} // namespace pipecache::core

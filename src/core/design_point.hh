@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A design point in the paper's optimization space: primary-cache
+ * organization (sizes, block size, associativity, miss penalty),
+ * pipeline depths (b branch delay slots = d_L1-I, l load delay slots
+ * = d_L1-D), and the branch/load handling schemes.
+ */
+
+#ifndef PIPECACHE_CORE_DESIGN_POINT_HH
+#define PIPECACHE_CORE_DESIGN_POINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "cpusim/cpi_engine.hh"
+#include "sched/static_predict.hh"
+
+namespace pipecache::core {
+
+/** One candidate design. */
+struct DesignPoint
+{
+    /** Branch delay slots b = L1-I pipeline depth. */
+    std::uint32_t branchSlots = 2;
+    /** Load delay slots l = L1-D pipeline depth. */
+    std::uint32_t loadSlots = 2;
+
+    /** L1 instruction cache size in kilowords. */
+    std::uint32_t l1iSizeKW = 8;
+    /** L1 data cache size in kilowords. */
+    std::uint32_t l1dSizeKW = 8;
+    /** Block (line) size in words (the paper's B). */
+    std::uint32_t blockWords = 4;
+    /** Set associativity (1 = direct-mapped, the paper's design). */
+    std::uint32_t assoc = 1;
+    /** Flat L1 miss penalty in cycles (the paper's P). */
+    std::uint32_t missPenaltyCycles = 10;
+
+    cpusim::BranchScheme branchScheme = cpusim::BranchScheme::Squash;
+    cpusim::LoadScheme loadScheme = cpusim::LoadScheme::Static;
+    /** Static-prediction source for the squashing scheme. */
+    sched::PredictSource predictSource = sched::PredictSource::Btfnt;
+    cache::BtbConfig btb{};
+
+    /** Write-through L1-D with a write buffer instead of the default
+     *  write-back, write-allocate policy. */
+    bool writeThroughBuffer = false;
+    cpusim::WriteBufferConfig writeBufferConfig{};
+
+    /** Combined L1 size in kilowords. */
+    std::uint32_t totalKW() const { return l1iSizeKW + l1dSizeKW; }
+
+    /** Cache hierarchy configuration for this point. */
+    cache::HierarchyConfig hierarchyConfig() const;
+
+    /** Replay-engine configuration for this point. */
+    cpusim::EngineConfig engineConfig() const;
+
+    /** Human-readable one-liner. */
+    std::string describe() const;
+
+    /** Memoization identity (btb geometry included). */
+    friend bool operator==(const DesignPoint &a, const DesignPoint &b);
+};
+
+/** Hash for memoization maps. */
+struct DesignPointHash
+{
+    std::size_t operator()(const DesignPoint &p) const;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_DESIGN_POINT_HH

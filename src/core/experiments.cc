@@ -1,0 +1,517 @@
+#include "core/experiments.hh"
+
+#include <cmath>
+
+#include "trace/trace_stats.hh"
+#include "util/logging.hh"
+
+namespace pipecache::core::experiments {
+
+namespace {
+
+/** Common design point for the Section 3 cache experiments. */
+DesignPoint
+basePoint(std::uint32_t block_words, std::uint32_t penalty)
+{
+    DesignPoint p;
+    p.blockWords = block_words;
+    p.missPenaltyCycles = penalty;
+    p.l1iSizeKW = 8;
+    p.l1dSizeKW = 8;
+    p.branchSlots = 0;
+    p.loadSlots = 0;
+    return p;
+}
+
+const std::uint32_t kSizesKW[] = {1, 2, 4, 8, 16, 32};
+
+} // namespace
+
+TextTable
+table1(CpiModel &model)
+{
+    TextTable t("Table 1: benchmark characteristics "
+                "(paper | measured synthetic)");
+    t.setHeader({"benchmark", "class", "Minst(p)", "ld%(p)", "st%(p)",
+                 "br%(p)", "Kinst(m)", "ld%(m)", "st%(m)", "br%(m)"});
+
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+        const auto &b = model.suite()[i];
+        const auto mix =
+            trace::computeMix(model.program(i), model.traceOf(i));
+        const char *cls = b.cls == trace::Benchmark::Class::Integer
+                              ? "I"
+                          : b.cls == trace::Benchmark::Class::SingleFp
+                              ? "S"
+                              : "D";
+        t.addRow({b.name, cls, TextTable::num(b.instMillions, 1),
+                  TextTable::num(b.loadPct, 1),
+                  TextTable::num(b.storePct, 1),
+                  TextTable::num(b.branchPct, 1),
+                  TextTable::num(mix.insts / 1000),
+                  TextTable::num(mix.loadPct(), 1),
+                  TextTable::num(mix.storePct(), 1),
+                  TextTable::num(mix.ctiPct(), 1)});
+    }
+    return t;
+}
+
+TextTable
+table2(CpiModel &model)
+{
+    TextTable t("Table 2: static code size increase vs. branch delay "
+                "slots (paper: 6 / 14 / 23 %)");
+    t.setHeader({"delay slots", "paper %", "measured %",
+                 "1st slot from before %"});
+    const double paper[] = {6.0, 14.0, 23.0};
+
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        std::uint64_t useful = 0;
+        std::uint64_t sched = 0;
+        std::uint64_t ctis = 0;
+        std::uint64_t first_from_before = 0;
+        for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+            const auto &xl = model.xlat(i, b);
+            useful += xl.usefulStaticInsts();
+            sched += xl.scheduledStaticInsts();
+            const auto stats = sched::summarize(xl);
+            ctis += stats.ctis;
+            first_from_before += stats.firstSlotFromBefore;
+        }
+        const double expansion =
+            100.0 * (static_cast<double>(sched) /
+                         static_cast<double>(useful) -
+                     1.0);
+        const double first_pct =
+            100.0 * static_cast<double>(first_from_before) /
+            static_cast<double>(ctis);
+        t.addRow({TextTable::num(std::uint64_t{b}),
+                  TextTable::num(paper[b - 1], 0),
+                  TextTable::num(expansion, 1),
+                  TextTable::num(first_pct, 1)});
+    }
+    return t;
+}
+
+TextTable
+table3(CpiModel &model)
+{
+    TextTable t("Table 3: static branch prediction vs. delay slots "
+                "(paper dCPI @ b=3: ~0.087; CTIs are 13% of insts)");
+    t.setHeader({"slots", "predT %", "predT corr %", "predNT %",
+                 "predNT corr %", "cyc/CTI", "dCPI"});
+
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        DesignPoint p = basePoint(4, 10);
+        p.branchSlots = b;
+        const auto &res = model.evaluate(p);
+        const auto &agg = res.aggregate;
+
+        const double total_ctis = static_cast<double>(agg.ctis);
+        const double pt =
+            100.0 * static_cast<double>(agg.predTakenCtis) / total_ctis;
+        const double ptc = agg.predTakenCtis == 0
+                               ? 0.0
+                               : 100.0 *
+                                     static_cast<double>(
+                                         agg.predTakenCorrect) /
+                                     static_cast<double>(
+                                         agg.predTakenCtis);
+        const double pn = 100.0 *
+                          static_cast<double>(agg.predNotTakenCtis) /
+                          total_ctis;
+        const double pnc = agg.predNotTakenCtis == 0
+                               ? 0.0
+                               : 100.0 *
+                                     static_cast<double>(
+                                         agg.predNotTakenCorrect) /
+                                     static_cast<double>(
+                                         agg.predNotTakenCtis);
+
+        t.addRow({TextTable::num(std::uint64_t{b}),
+                  TextTable::num(pt, 0), TextTable::num(ptc, 0),
+                  TextTable::num(pn, 0), TextTable::num(pnc, 0),
+                  TextTable::num(agg.cyclesPerCti(), 2),
+                  TextTable::num(agg.branchCpi(), 3)});
+    }
+    return t;
+}
+
+TextTable
+table4(CpiModel &model)
+{
+    TextTable t("Table 4: BTB (256 entries, 2b counters) performance "
+                "(paper cyc/CTI: 1.44/1.65/1.85; dCPI: "
+                "0.057/0.082/0.110)");
+    t.setHeader({"delay cycles", "cyc/CTI", "dCPI", "BTB hit %",
+                 "correct %"});
+
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        DesignPoint p = basePoint(4, 10);
+        p.branchSlots = b;
+        p.branchScheme = cpusim::BranchScheme::Btb;
+        const auto &res = model.evaluate(p);
+        const auto &agg = res.aggregate;
+
+        const double hit_pct =
+            res.btb.lookups == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(res.btb.hits) /
+                      static_cast<double>(res.btb.lookups);
+        const double corr_pct =
+            res.btb.lookups == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(res.btb.correct) /
+                      static_cast<double>(res.btb.lookups);
+
+        t.addRow({TextTable::num(std::uint64_t{b}),
+                  TextTable::num(agg.cyclesPerCti(), 2),
+                  TextTable::num(agg.branchCpi(), 3),
+                  TextTable::num(hit_pct, 1),
+                  TextTable::num(corr_pct, 1)});
+    }
+    return t;
+}
+
+TextTable
+table5(CpiModel &model)
+{
+    TextTable t("Table 5: CPI increase from load delay cycles "
+                "(paper static cyc/load: 0.21/0.62/1.21, dCPI: "
+                "0.05/0.16/0.29; dynamic: 0.04/0.19/0.39, dCPI: "
+                "0.01/0.05/0.10)");
+    t.setHeader({"slots", "static cyc/load", "static dCPI",
+                 "dynamic cyc/load", "dynamic dCPI"});
+
+    const auto &stats = model.loadDelayStats();
+    Counter insts = 0;
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i)
+        insts += model.traceOf(i).instCount;
+
+    for (std::uint32_t l = 1; l <= 3; ++l) {
+        const double s_per = stats.delayCyclesPerLoad(l, false);
+        const double d_per = stats.delayCyclesPerLoad(l, true);
+        const double s_cpi =
+            static_cast<double>(stats.totalDelayCycles(l, false)) /
+            static_cast<double>(insts);
+        const double d_cpi =
+            static_cast<double>(stats.totalDelayCycles(l, true)) /
+            static_cast<double>(insts);
+        t.addRow({TextTable::num(std::uint64_t{l}),
+                  TextTable::num(s_per, 2), TextTable::num(s_cpi, 3),
+                  TextTable::num(d_per, 2), TextTable::num(d_cpi, 3)});
+    }
+    return t;
+}
+
+TextTable
+table6(const timing::CpuTimingParams &params)
+{
+    TextTable t("Table 6: optimal cycle time (ns) vs. L1 size and "
+                "pipeline depth (paper anchors: depth 0 > 10 ns; "
+                "depth 3 ALU-limited at 3.5 ns)");
+    t.setHeader({"size KW", "chips", "t_L1 ns", "depth 0", "depth 1",
+                 "depth 2", "depth 3"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row;
+        row.push_back(TextTable::num(std::uint64_t{kw}));
+        row.push_back(TextTable::num(std::uint64_t{
+            timing::chipsForCache(params.sram, kw)}));
+        row.push_back(TextTable::num(
+            timing::l1AccessNs(params.sram, params.mcm, kw), 2));
+        for (std::uint32_t d = 0; d <= 3; ++d) {
+            row.push_back(TextTable::num(
+                timing::sideCycleNs(params, {kw, d}), 2));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+TextTable
+fig3(CpiModel &model, std::uint32_t block_words, std::uint32_t penalty)
+{
+    TextTable t("Figure 3: L1-I miss CPI vs. cache size per branch "
+                "delay slots (B=" + std::to_string(block_words) +
+                "W, P=" + std::to_string(penalty) + ")");
+    t.setHeader({"I-size KW", "b=0", "b=1", "b=2", "b=3"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row{TextTable::num(std::uint64_t{kw})};
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            DesignPoint p = basePoint(block_words, penalty);
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            row.push_back(TextTable::num(
+                model.evaluate(p).aggregate.iMissCpi(), 3));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+TextTable
+fig4(CpiModel &model, std::uint32_t block_words, std::uint32_t penalty)
+{
+    TextTable t("Figure 4: total CPI vs. L1-I size per branch delay "
+                "slots (B=" + std::to_string(block_words) + "W, P=" +
+                std::to_string(penalty) + ")");
+    t.setHeader({"I-size KW", "b=0", "b=1", "b=2", "b=3"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row{TextTable::num(std::uint64_t{kw})};
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            DesignPoint p = basePoint(block_words, penalty);
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            row.push_back(
+                TextTable::num(model.evaluate(p).cpi(), 3));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+TextTable
+fig5(CpiModel &model)
+{
+    // Constant-time miss penalty: 10 cycles at a 5 ns cycle = 50 ns of
+    // memory time; longer cycles need fewer stall cycles per miss.
+    constexpr double memory_ns = 50.0;
+    const double cycles_ns[] = {3.5, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0};
+    const std::uint32_t sizes[] = {1, 4, 16};
+
+    TextTable t("Figure 5: CPI vs. t_CPU (b=2, constant-time penalty "
+                "of 50 ns)");
+    t.setHeader({"t_CPU ns", "penalty cyc", "I=1KW", "I=4KW",
+                 "I=16KW"});
+
+    for (double tc : cycles_ns) {
+        const auto pen = static_cast<std::uint32_t>(
+            std::lround(std::max(1.0, memory_ns / tc)));
+        std::vector<std::string> row{TextTable::num(tc, 1),
+                                     TextTable::num(std::uint64_t{pen})};
+        for (std::uint32_t kw : sizes) {
+            DesignPoint p = basePoint(4, pen);
+            p.l1iSizeKW = kw;
+            p.branchSlots = 2;
+            row.push_back(
+                TextTable::num(model.evaluate(p).cpi(), 3));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+namespace {
+
+TextTable
+eDistributionTable(CpiModel &model, bool dynamic)
+{
+    const char *title =
+        dynamic ? "Figure 6: dynamic distribution of e (paper: >80% "
+                  "of loads have e >= 3)"
+                : "Figure 7: distribution of e bounded by basic "
+                  "blocks";
+    TextTable t(title);
+    t.setHeader({"e", "fraction %", "cumulative >= e %"});
+
+    const auto &stats = model.loadDelayStats();
+    const Histogram &hist =
+        dynamic ? stats.eDynamic : stats.eStatic;
+    const double denom = static_cast<double>(stats.totalLoads());
+
+    for (std::uint64_t e = 0; e <= 8; ++e) {
+        const double frac =
+            100.0 * static_cast<double>(hist.bucket(e)) / denom;
+        // Cumulative over consumed loads; dead loads count as e = inf.
+        double cum = 100.0 *
+                     (static_cast<double>(stats.deadLoads) +
+                      static_cast<double>(hist.count()) *
+                          hist.fractionAtLeast(e)) /
+                     denom;
+        t.addRow({TextTable::num(e), TextTable::num(frac, 1),
+                  TextTable::num(cum, 1)});
+    }
+    return t;
+}
+
+} // namespace
+
+TextTable
+fig6(CpiModel &model)
+{
+    return eDistributionTable(model, true);
+}
+
+TextTable
+fig7(CpiModel &model)
+{
+    return eDistributionTable(model, false);
+}
+
+TextTable
+fig8(CpiModel &model, std::uint32_t block_words, std::uint32_t penalty)
+{
+    TextTable t("Figure 8: total CPI vs. L1-D size per load delay "
+                "cycles (B=" + std::to_string(block_words) + "W, P=" +
+                std::to_string(penalty) + ")");
+    t.setHeader({"D-size KW", "l=0", "l=1", "l=2", "l=3"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row{TextTable::num(std::uint64_t{kw})};
+        for (std::uint32_t l = 0; l <= 3; ++l) {
+            DesignPoint p = basePoint(block_words, penalty);
+            p.l1dSizeKW = kw;
+            p.loadSlots = l;
+            row.push_back(
+                TextTable::num(model.evaluate(p).cpi(), 3));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+TextTable
+fig9(TpiModel &model)
+{
+    TextTable t("Figure 9: TPI vs. L1-D size at l=2 (D-side sets the "
+                "cycle)");
+    t.setHeader({"D-size KW", "t_Dside ns", "CPI", "TPI ns"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        DesignPoint p = basePoint(4, 10);
+        p.l1dSizeKW = kw;
+        p.loadSlots = 2;
+        p.branchSlots = 2;
+        const TpiResult r = model.evaluate(p);
+        t.addRow({TextTable::num(std::uint64_t{kw}),
+                  TextTable::num(r.tDsideNs, 2),
+                  TextTable::num(r.cpi, 3),
+                  TextTable::num(r.cpi * r.tDsideNs, 2)});
+    }
+    return t;
+}
+
+TextTable
+fig11(CpiModel &model)
+{
+    TextTable t("Figure 11: relative CPI increase of load delay "
+                "cycles vs. D size (paper: < 10% for 2 cycles) — the "
+                "t_CPU reduction needed to break even");
+    t.setHeader({"D-size KW", "l=1 %", "l=2 %", "l=3 %"});
+
+    for (std::uint32_t kw : kSizesKW) {
+        DesignPoint base = basePoint(4, 10);
+        base.l1dSizeKW = kw;
+        const double cpi0 = model.evaluate(base).cpi();
+        std::vector<std::string> row{TextTable::num(std::uint64_t{kw})};
+        for (std::uint32_t l = 1; l <= 3; ++l) {
+            DesignPoint p = base;
+            p.loadSlots = l;
+            const double rel =
+                100.0 * (model.evaluate(p).cpi() - cpi0) / cpi0;
+            row.push_back(TextTable::num(rel, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+namespace {
+
+void
+addTpiSweep(TextTable &t, TpiModel &model, std::uint32_t penalty,
+            cpusim::LoadScheme load_scheme)
+{
+    const std::uint32_t totals[] = {2, 4, 8, 16, 32, 64, 128};
+    for (std::uint32_t total : totals) {
+        std::vector<std::string> row{
+            TextTable::num(std::uint64_t{total})};
+        for (std::uint32_t depth = 0; depth <= 3; ++depth) {
+            DesignPoint p = basePoint(4, penalty);
+            p.l1iSizeKW = total / 2;
+            p.l1dSizeKW = total / 2;
+            p.branchSlots = depth;
+            p.loadSlots = depth;
+            p.loadScheme = load_scheme;
+            row.push_back(
+                TextTable::num(model.evaluate(p).tpiNs, 2));
+        }
+        t.addRow(std::move(row));
+    }
+}
+
+} // namespace
+
+TextTable
+fig12(TpiModel &model, std::uint32_t penalty)
+{
+    TextTable t("Figure 12: TPI (ns) vs. combined L1 size, b=l=0..3, "
+                "P=" + std::to_string(penalty) +
+                " (paper optimum: b=l=3, 64KW, ~6.8 ns)");
+    t.setHeader({"total KW", "b=l=0", "b=l=1", "b=l=2", "b=l=3"});
+    addTpiSweep(t, model, penalty, cpusim::LoadScheme::Static);
+    return t;
+}
+
+TextTable
+fig12Dynamic(TpiModel &model, std::uint32_t penalty)
+{
+    TextTable t("Figure 12 (dynamic loads): TPI (ns) vs. combined L1 "
+                "size, P=" + std::to_string(penalty) +
+                " (paper: optimum improves to ~6.2 ns)");
+    t.setHeader({"total KW", "b=l=0", "b=l=1", "b=l=2", "b=l=3"});
+    addTpiSweep(t, model, penalty, cpusim::LoadScheme::Dynamic);
+    return t;
+}
+
+TextTable
+fig13(TpiModel &model)
+{
+    TextTable t("Figure 13: TPI (ns) vs. combined L1 size at P=6 "
+                "(paper optimum: b=l=2, 16KW, ~6.61 ns; asymmetric "
+                "32KW-I/8KW-D ~6.5 ns)");
+    t.setHeader({"total KW", "b=l=0", "b=l=1", "b=l=2", "b=l=3"});
+    addTpiSweep(t, model, 6, cpusim::LoadScheme::Static);
+
+    // The paper's asymmetric design: bigger, deeper L1-I.
+    DesignPoint p = basePoint(4, 6);
+    p.l1iSizeKW = 32;
+    p.l1dSizeKW = 8;
+    p.branchSlots = 3;
+    p.loadSlots = 2;
+    const TpiResult r = model.evaluate(p);
+    t.addRow({});
+    t.addRow({"asym", "I=32KW b=3, D=8KW l=2:",
+              TextTable::num(r.tpiNs, 2), "ns", ""});
+    return t;
+}
+
+TextTable
+optimizerTrajectory(TpiModel &model)
+{
+    OptimizerConfig config;
+    MultilevelOptimizer opt(model, config);
+
+    DesignPoint start = basePoint(4, 10);
+    start.l1iSizeKW = 2;
+    start.l1dSizeKW = 2;
+    const auto steps = opt.optimize(start);
+
+    TextTable t("Multilevel optimization from the base architecture");
+    t.setHeader({"step", "design", "CPI", "t_CPU ns", "TPI ns",
+                 "change"});
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        t.addRow({TextTable::num(std::uint64_t{i}),
+                  steps[i].point.describe(),
+                  TextTable::num(steps[i].tpi.cpi, 3),
+                  TextTable::num(steps[i].tpi.tCpuNs, 2),
+                  TextTable::num(steps[i].tpi.tpiNs, 2),
+                  steps[i].change});
+    }
+    return t;
+}
+
+} // namespace pipecache::core::experiments

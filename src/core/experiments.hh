@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment registry: one function per table/figure of the paper's
+ * evaluation. Each returns a TextTable whose rows place the paper's
+ * published anchor values (where the paper gives them) next to our
+ * measured reproduction. Bench binaries are thin wrappers around these
+ * functions; integration tests call them at reduced scale.
+ */
+
+#ifndef PIPECACHE_CORE_EXPERIMENTS_HH
+#define PIPECACHE_CORE_EXPERIMENTS_HH
+
+#include "core/optimizer.hh"
+#include "core/tpi_model.hh"
+#include "util/table.hh"
+
+namespace pipecache::core::experiments {
+
+/** Table 1: benchmark characteristics, paper vs. synthetic suite. */
+TextTable table1(CpiModel &model);
+
+/** Table 2: static code-size increase vs. branch delay slots. */
+TextTable table2(CpiModel &model);
+
+/** Table 3: static branch prediction performance vs. delay slots. */
+TextTable table3(CpiModel &model);
+
+/** Table 4: BTB prediction performance vs. delay cycles. */
+TextTable table4(CpiModel &model);
+
+/** Table 5: CPI increase due to load delay cycles. */
+TextTable table5(CpiModel &model);
+
+/** Table 6: optimal cycle times vs. L1 size and pipeline depth. */
+TextTable table6(const timing::CpuTimingParams &params = {});
+
+/** Figure 3: I-miss CPI vs. L1-I size for b = 0..3. */
+TextTable fig3(CpiModel &model, std::uint32_t block_words = 4,
+               std::uint32_t penalty = 10);
+
+/** Figure 4: total CPI vs. L1-I size for b = 0..3. */
+TextTable fig4(CpiModel &model, std::uint32_t block_words = 4,
+               std::uint32_t penalty = 10);
+
+/** Figure 5: CPI vs. t_CPU (constant-time miss penalty). */
+TextTable fig5(CpiModel &model);
+
+/** Figure 6: dynamic distribution of the load distance e. */
+TextTable fig6(CpiModel &model);
+
+/** Figure 7: block-bounded distribution of e. */
+TextTable fig7(CpiModel &model);
+
+/** Figure 8: total CPI vs. L1-D size for l = 0..3. */
+TextTable fig8(CpiModel &model, std::uint32_t block_words = 4,
+               std::uint32_t penalty = 10);
+
+/** Figure 9: TPI vs. L1-D size at l = 2. */
+TextTable fig9(TpiModel &model);
+
+/** Figure 11: relative CPI increase of extra load delay cycles. */
+TextTable fig11(CpiModel &model);
+
+/** Figure 12: TPI vs. combined L1 size, b = l = 0..3, P = 10. */
+TextTable fig12(TpiModel &model, std::uint32_t penalty = 10);
+
+/** Figure 12 companion: the same sweep with dynamic load issue. */
+TextTable fig12Dynamic(TpiModel &model, std::uint32_t penalty = 10);
+
+/** Figure 13: Figure 12 at P = 6, plus asymmetric I/D splits. */
+TextTable fig13(TpiModel &model);
+
+/** Run the multilevel optimizer from the paper's base architecture. */
+TextTable optimizerTrajectory(TpiModel &model);
+
+} // namespace pipecache::core::experiments
+
+#endif // PIPECACHE_CORE_EXPERIMENTS_HH

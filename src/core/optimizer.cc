@@ -1,0 +1,147 @@
+#include "core/optimizer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pipecache::core {
+
+MultilevelOptimizer::MultilevelOptimizer(TpiModel &model,
+                                         const OptimizerConfig &config)
+    : model_(model), config_(config)
+{
+    PC_ASSERT(config_.minSizeKW >= 1 &&
+              config_.minSizeKW <= config_.maxSizeKW,
+              "bad optimizer size bounds");
+}
+
+std::vector<DesignPoint>
+MultilevelOptimizer::neighbors(const DesignPoint &base) const
+{
+    std::vector<DesignPoint> out;
+    auto push = [&](DesignPoint p) { out.push_back(p); };
+
+    // Joint depth moves first: the TPI surface has a ridge along
+    // b = l (the slower side sets the clock), which single-parameter
+    // moves cannot cross.
+    if (base.branchSlots < config_.maxSlots &&
+        base.loadSlots < config_.maxSlots) {
+        DesignPoint p = base;
+        ++p.branchSlots;
+        ++p.loadSlots;
+        push(p);
+    }
+    if (base.branchSlots > 0 && base.loadSlots > 0) {
+        DesignPoint p = base;
+        --p.branchSlots;
+        --p.loadSlots;
+        push(p);
+    }
+
+    // Pipeline depth changes (b and l move together or separately).
+    if (base.branchSlots < config_.maxSlots) {
+        DesignPoint p = base;
+        ++p.branchSlots;
+        push(p);
+    }
+    if (base.branchSlots > 0) {
+        DesignPoint p = base;
+        --p.branchSlots;
+        push(p);
+    }
+    if (base.loadSlots < config_.maxSlots) {
+        DesignPoint p = base;
+        ++p.loadSlots;
+        push(p);
+    }
+    if (base.loadSlots > 0) {
+        DesignPoint p = base;
+        --p.loadSlots;
+        push(p);
+    }
+
+    // Cache size changes, one side at a time.
+    if (base.l1iSizeKW * 2 <= config_.maxSizeKW) {
+        DesignPoint p = base;
+        p.l1iSizeKW *= 2;
+        push(p);
+    }
+    if (base.l1iSizeKW / 2 >= config_.minSizeKW) {
+        DesignPoint p = base;
+        p.l1iSizeKW /= 2;
+        push(p);
+    }
+    if (base.l1dSizeKW * 2 <= config_.maxSizeKW) {
+        DesignPoint p = base;
+        p.l1dSizeKW *= 2;
+        push(p);
+    }
+    if (base.l1dSizeKW / 2 >= config_.minSizeKW) {
+        DesignPoint p = base;
+        p.l1dSizeKW /= 2;
+        push(p);
+    }
+
+    if (config_.exploreLoadScheme) {
+        DesignPoint p = base;
+        p.loadScheme = base.loadScheme == cpusim::LoadScheme::Static
+                           ? cpusim::LoadScheme::Dynamic
+                           : cpusim::LoadScheme::Static;
+        push(p);
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+describeChange(const DesignPoint &from, const DesignPoint &to)
+{
+    std::ostringstream os;
+    auto item = [&os](const char *what, auto a, auto b) {
+        if (a != b)
+            os << what << " " << a << "->" << b << " ";
+    };
+    item("b", from.branchSlots, to.branchSlots);
+    item("l", from.loadSlots, to.loadSlots);
+    item("I-KW", from.l1iSizeKW, to.l1iSizeKW);
+    item("D-KW", from.l1dSizeKW, to.l1dSizeKW);
+    if (from.loadScheme != to.loadScheme)
+        os << "load-scheme ";
+    std::string s = os.str();
+    if (!s.empty() && s.back() == ' ')
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+std::vector<OptStep>
+MultilevelOptimizer::optimize(const DesignPoint &start)
+{
+    std::vector<OptStep> trajectory;
+    DesignPoint base = start;
+    TpiResult base_tpi = model_.evaluate(base);
+    trajectory.push_back({base, base_tpi, "base"});
+
+    for (std::size_t step = 0; step < config_.maxSteps; ++step) {
+        DesignPoint best = base;
+        TpiResult best_tpi = base_tpi;
+        for (const DesignPoint &cand : neighbors(base)) {
+            const TpiResult tpi = model_.evaluate(cand);
+            if (tpi.tpiNs < best_tpi.tpiNs) {
+                best = cand;
+                best_tpi = tpi;
+            }
+        }
+        if (best == base)
+            break;
+        trajectory.push_back(
+            {best, best_tpi, describeChange(base, best)});
+        base = best;
+        base_tpi = best_tpi;
+    }
+    return trajectory;
+}
+
+} // namespace pipecache::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multilevel optimization (Section 2 of the paper): starting from a
+ * base architecture, repeatedly generate candidate single-parameter
+ * changes, evaluate each candidate's TPI through trace-driven
+ * simulation plus timing analysis, adopt the best, and stop when no
+ * change improves performance (or the step budget runs out). The
+ * adopted design at each step becomes the new base architecture,
+ * exactly as the paper's design loop prescribes.
+ */
+
+#ifndef PIPECACHE_CORE_OPTIMIZER_HH
+#define PIPECACHE_CORE_OPTIMIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/tpi_model.hh"
+
+namespace pipecache::core {
+
+/** Search-space bounds for the optimizer. */
+struct OptimizerConfig
+{
+    std::uint32_t maxSlots = 3;
+    std::uint32_t minSizeKW = 1;
+    std::uint32_t maxSizeKW = 32;
+    /** Also consider toggling the load scheme (static/dynamic). */
+    bool exploreLoadScheme = false;
+    std::size_t maxSteps = 32;
+};
+
+/** One accepted optimization step. */
+struct OptStep
+{
+    DesignPoint point;
+    TpiResult tpi;
+    /** What changed relative to the previous base. */
+    std::string change;
+};
+
+/** The multilevel optimizer. */
+class MultilevelOptimizer
+{
+  public:
+    MultilevelOptimizer(TpiModel &model, const OptimizerConfig &config);
+
+    /**
+     * Optimize from @p start. The returned trajectory begins with the
+     * base evaluation and ends at the local optimum.
+     */
+    std::vector<OptStep> optimize(const DesignPoint &start);
+
+  private:
+    std::vector<DesignPoint> neighbors(const DesignPoint &base) const;
+
+    TpiModel &model_;
+    OptimizerConfig config_;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_OPTIMIZER_HH

@@ -1,0 +1,96 @@
+#include "core/sensitivity.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::core {
+
+std::vector<TimingParameter>
+defaultTimingParameters()
+{
+    std::vector<TimingParameter> params;
+
+    params.push_back(
+        {"t_SRAM ns",
+         timing::SramChip{}.accessNs,
+         {4.5, 5.0, 5.5, 6.0, 6.5},
+         [](timing::CpuTimingParams &p, double v) {
+             p.sram.accessNs = v;
+         }});
+
+    params.push_back(
+        {"latch overhead ns",
+         timing::CpuTimingParams{}.latchNs,
+         {0.2, 0.3, 0.4, 0.5, 0.6},
+         [](timing::CpuTimingParams &p, double v) { p.latchNs = v; }});
+
+    params.push_back(
+        {"MCM driver k0 ns",
+         timing::McmParams{}.k0Ns,
+         {0.6, 0.8, 1.0, 1.2, 1.4},
+         [](timing::CpuTimingParams &p, double v) {
+             p.mcm.k0Ns = v;
+         }});
+
+    params.push_back(
+        {"ALU add ns",
+         timing::CpuTimingParams{}.aluNs,
+         {1.7, 1.9, 2.1, 2.3, 2.5},
+         [](timing::CpuTimingParams &p, double v) {
+             p.aluNs = v;
+             p.agenNs = v; // the address adder scales with the ALU
+         }});
+
+    return params;
+}
+
+OptimumPoint
+findOptimum(CpiModel &cpi_model, const timing::CpuTimingParams &params,
+            std::uint32_t penalty)
+{
+    TpiModel tpi(cpi_model, params);
+
+    OptimumPoint best;
+    best.tpiNs = 1e18;
+    for (std::uint32_t total : {8u, 16u, 32u, 64u, 128u}) {
+        for (std::uint32_t depth = 0; depth <= 3; ++depth) {
+            DesignPoint p;
+            p.l1iSizeKW = total / 2;
+            p.l1dSizeKW = total / 2;
+            p.branchSlots = depth;
+            p.loadSlots = depth;
+            p.missPenaltyCycles = penalty;
+            const TpiResult r = tpi.evaluate(p);
+            if (r.tpiNs < best.tpiNs) {
+                best.tpiNs = r.tpiNs;
+                best.tCpuNs = r.tCpuNs;
+                best.depth = depth;
+                best.totalKW = total;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<SensitivityRow>
+sensitivitySweep(CpiModel &cpi_model,
+                 const std::vector<TimingParameter> &params,
+                 std::uint32_t penalty)
+{
+    std::vector<SensitivityRow> rows;
+    for (const auto &param : params) {
+        PC_ASSERT(param.apply != nullptr, "parameter without applier");
+        for (double value : param.values) {
+            timing::CpuTimingParams tp;
+            param.apply(tp, value);
+            SensitivityRow row;
+            row.parameter = param.name;
+            row.value = value;
+            row.isNominal = value == param.nominal;
+            row.optimum = findOptimum(cpi_model, tp, penalty);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace pipecache::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Timing-parameter sensitivity analysis.
+ *
+ * The reproduction's one divergence from the paper (the Figure 13
+ * optimum location) traces to the calibrated timing constants, so a
+ * careful reproduction must show which conclusions survive
+ * perturbation of those constants. This module sweeps one timing
+ * parameter at a time, recomputes the Figure 12 optimum for each
+ * setting (reusing the simulated CPI surface — only the timing side
+ * changes), and reports how the optimum's location and value move.
+ */
+
+#ifndef PIPECACHE_CORE_SENSITIVITY_HH
+#define PIPECACHE_CORE_SENSITIVITY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tpi_model.hh"
+
+namespace pipecache::core {
+
+/** One sweepable timing parameter. */
+struct TimingParameter
+{
+    std::string name;
+    /** Nominal value (the calibrated default). */
+    double nominal;
+    /** Values to sweep (should bracket the nominal). */
+    std::vector<double> values;
+    /** Apply a value to a parameter set. */
+    std::function<void(timing::CpuTimingParams &, double)> apply;
+};
+
+/** The canonical sweep set: t_SRAM, latch overhead, k0, ALU add. */
+std::vector<TimingParameter> defaultTimingParameters();
+
+/** Optimum of a Figure 12-style search under given timing params. */
+struct OptimumPoint
+{
+    std::uint32_t depth = 0;
+    std::uint32_t totalKW = 0;
+    double tpiNs = 0.0;
+    double tCpuNs = 0.0;
+};
+
+/**
+ * Find the equal-split b = l optimum over depth 0..3 and total sizes
+ * {8..128} KW under explicit timing parameters. CPI evaluations are
+ * memoized inside @p cpi_model, so repeated calls only redo timing.
+ */
+OptimumPoint findOptimum(CpiModel &cpi_model,
+                         const timing::CpuTimingParams &params,
+                         std::uint32_t penalty = 10);
+
+/** One row of a sensitivity report. */
+struct SensitivityRow
+{
+    std::string parameter;
+    double value = 0.0;
+    OptimumPoint optimum;
+    bool isNominal = false;
+};
+
+/** Sweep every parameter in @p params; rows grouped by parameter. */
+std::vector<SensitivityRow>
+sensitivitySweep(CpiModel &cpi_model,
+                 const std::vector<TimingParameter> &params,
+                 std::uint32_t penalty = 10);
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_SENSITIVITY_HH

@@ -1,0 +1,40 @@
+#include "core/tpi_model.hh"
+
+#include <algorithm>
+
+namespace pipecache::core {
+
+TpiModel::TpiModel(CpiModel &cpi_model,
+                   const timing::CpuTimingParams &params)
+    : cpiModel_(cpi_model), params_(params)
+{
+}
+
+double
+TpiModel::cycleNs(const DesignPoint &point) const
+{
+    const timing::CacheSide iside{point.l1iSizeKW, point.branchSlots,
+                                  point.assoc};
+    const timing::CacheSide dside{point.l1dSizeKW, point.loadSlots,
+                                  point.assoc};
+    return timing::cpuCycleNs(params_, iside, dside);
+}
+
+TpiResult
+TpiModel::evaluate(const DesignPoint &point)
+{
+    TpiResult result;
+    result.cpi = cpiModel_.evaluate(point).cpi();
+
+    const timing::CacheSide iside{point.l1iSizeKW, point.branchSlots,
+                                  point.assoc};
+    const timing::CacheSide dside{point.l1dSizeKW, point.loadSlots,
+                                  point.assoc};
+    result.tIsideNs = timing::sideCycleNs(params_, iside);
+    result.tDsideNs = timing::sideCycleNs(params_, dside);
+    result.tCpuNs = std::max(result.tIsideNs, result.tDsideNs);
+    result.tpiNs = result.cpi * result.tCpuNs;
+    return result;
+}
+
+} // namespace pipecache::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * TPI = CPI x t_CPU (equation 1) — the paper's figure of merit.
+ *
+ * The cycle time comes from the timing substrate: each L1 side's
+ * pipeline loop (depth = its delay-slot count) and the ALU loop,
+ * with the system clock set by the slower side (Section 5: pipelining
+ * one side deeper than the other wastes CPI without shortening the
+ * cycle).
+ */
+
+#ifndef PIPECACHE_CORE_TPI_MODEL_HH
+#define PIPECACHE_CORE_TPI_MODEL_HH
+
+#include "core/cpi_model.hh"
+#include "core/design_point.hh"
+#include "timing/cpu_circuit.hh"
+
+namespace pipecache::core {
+
+/** Full evaluation of one design point. */
+struct TpiResult
+{
+    double cpi = 0.0;
+    /** System cycle time (max of the two sides, >= ALU loop). */
+    double tCpuNs = 0.0;
+    /** Cycle time the I-side alone would allow. */
+    double tIsideNs = 0.0;
+    /** Cycle time the D-side alone would allow. */
+    double tDsideNs = 0.0;
+    /** Time per instruction in ns. */
+    double tpiNs = 0.0;
+};
+
+/** Combines the CPI model with the timing model. */
+class TpiModel
+{
+  public:
+    TpiModel(CpiModel &cpi_model,
+             const timing::CpuTimingParams &params = {});
+
+    /** Evaluate TPI for a design point. */
+    TpiResult evaluate(const DesignPoint &point);
+
+    /** Cycle time only (no simulation). */
+    double cycleNs(const DesignPoint &point) const;
+
+    const timing::CpuTimingParams &timingParams() const
+    {
+        return params_;
+    }
+    CpiModel &cpiModel() { return cpiModel_; }
+
+  private:
+    CpiModel &cpiModel_;
+    timing::CpuTimingParams params_;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_TPI_MODEL_HH

@@ -1,0 +1,56 @@
+#include "cpusim/branch_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pipecache::cpusim {
+
+SquashOutcome
+resolveSquash(const sched::BlockXlat &bx, isa::TermKind term, bool taken,
+              std::uint32_t target_useful, bool target_has_cti)
+{
+    PC_ASSERT(bx.hasCti, "resolveSquash on a fall-through block");
+    SquashOutcome out;
+    const std::uint32_t s = bx.s;
+
+    // Register-indirect CTIs: the s slots are physical noops, always
+    // fetched, always wasted; the target is reached with no skip.
+    if (bx.indirect) {
+        out.wastedSlots = s;
+        return out;
+    }
+
+    if (term == isa::TermKind::Jump || term == isa::TermKind::Call ||
+        (term == isa::TermKind::CondBranch && bx.predictTaken && taken)) {
+        // Predicted taken and taken: the slots held replicas of the
+        // target's first instructions; execution resumes past them.
+        // A replica can never be the target's own CTI, and slots the
+        // target couldn't fill were padded with noops.
+        const std::uint32_t replicable =
+            target_has_cti ? (target_useful > 0 ? target_useful - 1 : 0)
+                           : target_useful;
+        out.skipNext = std::min(s, replicable);
+        out.wastedSlots = s - out.skipNext;
+        return out;
+    }
+
+    PC_ASSERT(term == isa::TermKind::CondBranch,
+              "unexpected terminator in resolveSquash");
+
+    if (bx.predictTaken && !taken) {
+        // Squash the replicated slot instructions.
+        out.wastedSlots = s;
+        return out;
+    }
+    if (!bx.predictTaken && !taken) {
+        // Slots hold the sequential code that executes anyway.
+        return out;
+    }
+    // Predicted not-taken but taken: the s sequential instructions in
+    // the slots were fetched beyond this block and squashed.
+    out.extraSeqFetches = s;
+    return out;
+}
+
+} // namespace pipecache::cpusim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Branch-scheme resolution logic, factored out of the CPI engine so it
+ * is unit-testable as pure functions.
+ *
+ * The squashing scheme follows the paper's translation-file replay
+ * rules exactly (see sched/translation.hh); the BTB scheme wraps
+ * cache::BranchTargetBuffer's penalty contract.
+ */
+
+#ifndef PIPECACHE_CPUSIM_BRANCH_MODEL_HH
+#define PIPECACHE_CPUSIM_BRANCH_MODEL_HH
+
+#include <cstdint>
+
+#include "isa/basic_block.hh"
+#include "sched/translation.hh"
+
+namespace pipecache::cpusim {
+
+/** How branch delays are handled. */
+enum class BranchScheme : std::uint8_t
+{
+    /** Delayed branches with optional squashing + static prediction. */
+    Squash,
+    /** Branch-target buffer on zero-delay-slot code. */
+    Btb,
+};
+
+/** Resolution of one executed CTI under the squashing scheme. */
+struct SquashOutcome
+{
+    /**
+     * Slot fetches within this block's scheduled code that end up
+     * squashed or were noops (wasted issue cycles already present in
+     * the fetch stream).
+     */
+    std::uint32_t wastedSlots = 0;
+    /**
+     * Extra sequential fetches made beyond the block (mispredicted
+     * not-taken CTI): fetched from the fall-through entry, squashed.
+     */
+    std::uint32_t extraSeqFetches = 0;
+    /**
+     * Instructions of the *actual successor* block already executed in
+     * this CTI's delay slots (the paper's "add s to the target
+     * address").
+     */
+    std::uint32_t skipNext = 0;
+};
+
+/**
+ * Resolve one executed CTI.
+ *
+ * @param bx            Translation entry of the executing block.
+ * @param term          The block's terminator kind.
+ * @param taken         Actual direction (true for non-conditional).
+ * @param target_useful Useful length of the taken-path target block.
+ * @param target_has_cti Whether that target block ends in a CTI (its
+ *                      CTI can never sit in a delay slot).
+ */
+SquashOutcome resolveSquash(const sched::BlockXlat &bx,
+                            isa::TermKind term, bool taken,
+                            std::uint32_t target_useful,
+                            bool target_has_cti);
+
+} // namespace pipecache::cpusim
+
+#endif // PIPECACHE_CPUSIM_BRANCH_MODEL_HH

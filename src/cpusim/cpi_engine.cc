@@ -1,0 +1,316 @@
+#include "cpusim/cpi_engine.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::cpusim {
+
+namespace {
+
+double
+ratio(Counter num, Counter den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+double
+CpiBreakdown::cpi() const
+{
+    PC_ASSERT(usefulInsts > 0, "CPI of an empty run");
+    return ratio(totalCycles(), usefulInsts);
+}
+
+double
+CpiBreakdown::branchCpi() const
+{
+    return ratio(branchWastedFetches + btbPenaltyCycles, usefulInsts);
+}
+
+double
+CpiBreakdown::loadCpi() const
+{
+    return ratio(loadStallCycles, usefulInsts);
+}
+
+double
+CpiBreakdown::iMissCpi() const
+{
+    return ratio(iStallCycles, usefulInsts);
+}
+
+double
+CpiBreakdown::dMissCpi() const
+{
+    return ratio(dStallCycles, usefulInsts);
+}
+
+double
+CpiBreakdown::cyclesPerCti() const
+{
+    // One issue cycle for the CTI itself plus its share of the waste.
+    return 1.0 + ratio(branchWastedFetches + btbPenaltyCycles, ctis);
+}
+
+void
+CpiBreakdown::add(const CpiBreakdown &other)
+{
+    usefulInsts += other.usefulInsts;
+    fetches += other.fetches;
+    iStallCycles += other.iStallCycles;
+    dStallCycles += other.dStallCycles;
+    branchWastedFetches += other.branchWastedFetches;
+    btbPenaltyCycles += other.btbPenaltyCycles;
+    loadStallCycles += other.loadStallCycles;
+    ctis += other.ctis;
+    predTakenCtis += other.predTakenCtis;
+    predTakenCorrect += other.predTakenCorrect;
+    predNotTakenCtis += other.predNotTakenCtis;
+    predNotTakenCorrect += other.predNotTakenCorrect;
+}
+
+CpiEngine::CpiEngine(const EngineConfig &config,
+                     cache::CacheHierarchy &hierarchy,
+                     std::vector<BenchWorkload> workloads)
+    : config_(config), hierarchy_(hierarchy),
+      workloads_(std::move(workloads))
+{
+    PC_ASSERT(!workloads_.empty(), "engine needs at least one workload");
+    contexts_.reserve(workloads_.size());
+    for (const auto &w : workloads_) {
+        PC_ASSERT(w.program && w.xlat && w.trace,
+                  "incomplete workload");
+        const std::uint32_t expected_slots =
+            config_.branchScheme == BranchScheme::Btb
+                ? 0
+                : config_.branchSlots;
+        PC_ASSERT(w.xlat->delaySlots() == expected_slots,
+                  "translation file delay slots (", w.xlat->delaySlots(),
+                  ") do not match engine config (", expected_slots, ")");
+        contexts_.emplace_back(*w.program);
+        if (config_.writeBuffer) {
+            contexts_.back().writeBuffer =
+                std::make_unique<WriteBuffer>(*config_.writeBuffer);
+        }
+    }
+    if (config_.branchScheme == BranchScheme::Btb)
+        btb_ = std::make_unique<cache::BranchTargetBuffer>(config_.btb);
+}
+
+void
+CpiEngine::processEvent(std::size_t bench, Context &ctx, std::size_t i)
+{
+    const BenchWorkload &w = workloads_[bench];
+    const trace::RecordedTrace &tr = *w.trace;
+    const auto &ev = tr.blocks[i];
+    const sched::BlockXlat &bx = (*w.xlat)[ev.block];
+    CpiBreakdown &counts = ctx.counts;
+
+    // Deferred BTB resolution: a register-indirect CTI's actual target
+    // is this block's entry.
+    if (ctx.btbPending) {
+        counts.btbPenaltyCycles += btb_->resolve(
+            ctx.btbRes, ctx.btbPc, true, bx.entry, config_.branchSlots);
+        ctx.btbPending = false;
+    }
+
+    // Instruction fetches: the scheduled block minus any prefix that
+    // already ran in the previous CTI's delay slots.
+    const std::uint32_t skip = ctx.skipNext;
+    ctx.skipNext = 0;
+    PC_ASSERT(skip <= bx.schedLen, "delay-slot skip exceeds block");
+    Addr fetch_addr = bx.entry + skip * bytesPerWord;
+    const std::uint32_t fetch_count = bx.schedLen - skip;
+    for (std::uint32_t f = 0; f < fetch_count; ++f) {
+        counts.iStallCycles += hierarchy_.accessInst(fetch_addr);
+        fetch_addr += bytesPerWord;
+    }
+    counts.fetches += fetch_count;
+    counts.usefulInsts += bx.usefulLen;
+
+    // Data references.
+    auto [mem_begin, mem_end] = tr.memRange(i);
+    for (std::uint32_t m = mem_begin; m < mem_end; ++m) {
+        const trace::MemRef &ref = tr.memRefs[m];
+        if (ref.store && ctx.writeBuffer) {
+            // Write-through store: L1-D updated, miss absorbed by the
+            // buffer; only buffer-full back-pressure stalls the CPU.
+            hierarchy_.accessDataBuffered(ref.addr);
+            counts.dStallCycles +=
+                ctx.writeBuffer->store(counts.totalCycles());
+        } else {
+            counts.dStallCycles +=
+                hierarchy_.accessData(ref.addr, ref.store != 0);
+        }
+    }
+
+    // Load-delay distance tracking (canonical instruction walk).
+    ctx.tracker.processBlock(ev.block);
+
+    if (!bx.hasCti)
+        return;
+    ++counts.ctis;
+
+    const isa::BasicBlock &bb = w.program->block(ev.block);
+    const bool taken = ev.taken != 0;
+
+    if (config_.branchScheme == BranchScheme::Squash) {
+        // Static-prediction outcome bookkeeping (direction only;
+        // indirect CTIs transfer control, so their direction is
+        // trivially "taken").
+        if (bb.term == isa::TermKind::CondBranch && !bx.predictTaken) {
+            ++counts.predNotTakenCtis;
+            if (!taken)
+                ++counts.predNotTakenCorrect;
+        } else {
+            ++counts.predTakenCtis;
+            if (taken)
+                ++counts.predTakenCorrect;
+        }
+
+        // Taken-path target info for the replica-skip rule.
+        std::uint32_t target_useful = 0;
+        bool target_has_cti = false;
+        if (bb.term == isa::TermKind::CondBranch ||
+            bb.term == isa::TermKind::Jump ||
+            bb.term == isa::TermKind::Call) {
+            const sched::BlockXlat &tx = (*w.xlat)[bb.target];
+            target_useful = tx.usefulLen;
+            target_has_cti = tx.hasCti != 0;
+        }
+        const SquashOutcome out = resolveSquash(bx, bb.term, taken,
+                                                target_useful,
+                                                target_has_cti);
+        counts.branchWastedFetches += out.wastedSlots;
+        if (out.extraSeqFetches > 0) {
+            // Mispredicted not-taken CTI: squashed sequential fetches
+            // beyond the block, which still probe the I-cache.
+            Addr seq = (*w.xlat)[bb.fallthrough].entry;
+            for (std::uint32_t f = 0; f < out.extraSeqFetches; ++f) {
+                counts.iStallCycles += hierarchy_.accessInst(seq);
+                seq += bytesPerWord;
+            }
+            counts.fetches += out.extraSeqFetches;
+            counts.branchWastedFetches += out.extraSeqFetches;
+        }
+        if (taken)
+            ctx.skipNext = out.skipNext;
+        return;
+    }
+
+    // BTB scheme: zero-delay-slot code, stall-based accounting.
+    const Addr cti_pc =
+        bx.entry + (bx.usefulLen - 1) * bytesPerWord;
+    const auto res = btb_->lookup(cti_pc);
+    switch (bb.term) {
+      case isa::TermKind::CondBranch:
+      case isa::TermKind::Jump:
+      case isa::TermKind::Call: {
+        const Addr target = (*w.xlat)[bb.target].entry;
+        counts.btbPenaltyCycles += btb_->resolve(
+            res, cti_pc, taken, target, config_.branchSlots);
+        break;
+      }
+      case isa::TermKind::Return:
+      case isa::TermKind::Switch:
+        // Actual target is wherever the trace goes next.
+        ctx.btbPending = true;
+        ctx.btbRes = res;
+        ctx.btbPc = cti_pc;
+        break;
+      default:
+        PC_PANIC("CTI block with fall-through terminator");
+    }
+}
+
+void
+CpiEngine::processRange(std::size_t bench, std::uint32_t block_begin,
+                        std::uint32_t block_end)
+{
+    Context &ctx = contexts_[bench];
+    for (std::uint32_t i = block_begin; i < block_end; ++i)
+        processEvent(bench, ctx, i);
+}
+
+void
+CpiEngine::finishContext(std::size_t bench)
+{
+    Context &ctx = contexts_[bench];
+    if (ctx.finished)
+        return;
+    ctx.finished = true;
+
+    if (ctx.btbPending) {
+        // Trace ended right after an indirect CTI; assume the stored
+        // target was right (end-of-trace noise).
+        ctx.counts.btbPenaltyCycles += btb_->resolve(
+            ctx.btbRes, ctx.btbPc, true, ctx.btbRes.target,
+            config_.branchSlots);
+        ctx.btbPending = false;
+    }
+
+    // Replicas fetched for a final taken CTI whose target never
+    // executed (end of trace) are wasted fetches.
+    ctx.counts.branchWastedFetches += ctx.skipNext;
+    ctx.skipNext = 0;
+
+    ctx.tracker.finish();
+    ctx.counts.loadStallCycles = loadStallCycles(
+        ctx.tracker.stats(), config_.loadSlots, config_.loadScheme);
+}
+
+void
+CpiEngine::run(const trace::MultiprogSchedule &schedule)
+{
+    for (const auto &slice : schedule.slices())
+        processRange(slice.bench, slice.blockBegin, slice.blockEnd);
+    for (std::size_t b = 0; b < workloads_.size(); ++b)
+        finishContext(b);
+}
+
+void
+CpiEngine::runAll()
+{
+    for (std::size_t b = 0; b < workloads_.size(); ++b) {
+        processRange(b, 0, static_cast<std::uint32_t>(
+                               workloads_[b].trace->blocks.size()));
+        finishContext(b);
+    }
+}
+
+const CpiBreakdown &
+CpiEngine::benchResult(std::size_t i) const
+{
+    PC_ASSERT(i < contexts_.size(), "benchmark index out of range");
+    PC_ASSERT(contexts_[i].finished, "benchmark ", i, " not yet run");
+    return contexts_[i].counts;
+}
+
+const sched::LoadDelayStats &
+CpiEngine::loadStats(std::size_t i) const
+{
+    PC_ASSERT(i < contexts_.size(), "benchmark index out of range");
+    return contexts_[i].tracker.stats();
+}
+
+const WriteBufferStats *
+CpiEngine::writeBufferStats(std::size_t i) const
+{
+    PC_ASSERT(i < contexts_.size(), "benchmark index out of range");
+    return contexts_[i].writeBuffer ? &contexts_[i].writeBuffer->stats()
+                                    : nullptr;
+}
+
+CpiBreakdown
+CpiEngine::aggregate() const
+{
+    CpiBreakdown total;
+    for (const auto &ctx : contexts_) {
+        PC_ASSERT(ctx.finished, "aggregate before all benchmarks ran");
+        total.add(ctx.counts);
+    }
+    return total;
+}
+
+} // namespace pipecache::cpusim

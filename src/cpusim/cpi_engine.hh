@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The CPI engine — our reimplementation of the paper's cacheSIM.
+ *
+ * Replays recorded block-level traces through a translation file (the
+ * scheduled code layout for b branch delay slots), a split-L1 cache
+ * hierarchy, and a branch scheme (squashing delayed branches or a
+ * BTB), while measuring load-delay distances on the fly. Produces the
+ * per-benchmark and aggregate CPI breakdowns every Section 3 figure
+ * and table is built from.
+ *
+ * Cycle accounting (single-issue, blocking caches):
+ *   cycles = fetched instructions            (useful + squashed/noops)
+ *          + L1-I miss stalls                (every fetched address)
+ *          + L1-D miss stalls                (loads and stores)
+ *          + BTB mispredict/fill stalls      (BTB scheme only)
+ *          + load delay stalls               (scheme-dependent)
+ *   CPI    = cycles / useful instructions,
+ * with "useful instructions" the paper's denominator: the instruction
+ * count of the canonical zero-delay-slot code.
+ */
+
+#ifndef PIPECACHE_CPUSIM_CPI_ENGINE_HH
+#define PIPECACHE_CPUSIM_CPI_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/btb.hh"
+#include "cache/hierarchy.hh"
+#include "cpusim/branch_model.hh"
+#include "cpusim/load_model.hh"
+#include "cpusim/write_buffer.hh"
+#include "sched/load_sched.hh"
+#include "sched/translation.hh"
+#include "trace/multiprog.hh"
+
+namespace pipecache::cpusim {
+
+/** Pipeline/scheme parameters of one simulated design. */
+struct EngineConfig
+{
+    /** Branch delay slots b = d_L1-I. */
+    std::uint32_t branchSlots = 0;
+    /** Load delay slots l = d_L1-D. */
+    std::uint32_t loadSlots = 0;
+    BranchScheme branchScheme = BranchScheme::Squash;
+    LoadScheme loadScheme = LoadScheme::Static;
+    /** BTB geometry (BranchScheme::Btb only). */
+    cache::BtbConfig btb;
+    /** When set, stores retire through a write buffer (write-through
+     *  L1-D) instead of stalling on store misses. */
+    std::optional<WriteBufferConfig> writeBuffer;
+};
+
+/** Cycle breakdown of one run (per benchmark or aggregated). */
+struct CpiBreakdown
+{
+    Counter usefulInsts = 0;
+    Counter fetches = 0;
+    Counter iStallCycles = 0;
+    Counter dStallCycles = 0;
+    /** Squashed/noop fetches (subset of fetches). */
+    Counter branchWastedFetches = 0;
+    Counter btbPenaltyCycles = 0;
+    Counter loadStallCycles = 0;
+    Counter ctis = 0;
+
+    /** Static-prediction outcome counts (squashing scheme only). */
+    Counter predTakenCtis = 0;
+    Counter predTakenCorrect = 0;
+    Counter predNotTakenCtis = 0;
+    Counter predNotTakenCorrect = 0;
+
+    Counter totalCycles() const
+    {
+        return fetches + iStallCycles + dStallCycles + btbPenaltyCycles +
+               loadStallCycles;
+    }
+
+    double cpi() const;
+
+    /** CPI contribution of branch-delay handling. */
+    double branchCpi() const;
+    /** CPI contribution of load-delay stalls. */
+    double loadCpi() const;
+    /** CPI contribution of L1-I miss stalls. */
+    double iMissCpi() const;
+    /** CPI contribution of L1-D miss stalls. */
+    double dMissCpi() const;
+    /** Cycles per executed CTI spent on control transfer (>= 1). */
+    double cyclesPerCti() const;
+
+    void add(const CpiBreakdown &other);
+};
+
+/** One benchmark's replay inputs. */
+struct BenchWorkload
+{
+    const isa::Program *program = nullptr;
+    const sched::TranslationFile *xlat = nullptr;
+    const trace::RecordedTrace *trace = nullptr;
+};
+
+/** The replay engine. */
+class CpiEngine
+{
+  public:
+    /**
+     * @param config    Pipeline/scheme parameters.
+     * @param hierarchy Shared cache hierarchy (mutated by the run).
+     * @param workloads One entry per benchmark; translation files must
+     *                  match config.branchSlots (identity/0 for BTB).
+     */
+    CpiEngine(const EngineConfig &config,
+              cache::CacheHierarchy &hierarchy,
+              std::vector<BenchWorkload> workloads);
+
+    /** Replay a multiprogramming schedule over the workloads. */
+    void run(const trace::MultiprogSchedule &schedule);
+
+    /** Replay every workload back-to-back (no multiprogramming). */
+    void runAll();
+
+    /** Per-benchmark results (valid after run()/runAll()). */
+    const CpiBreakdown &benchResult(std::size_t i) const;
+    /** Per-benchmark load-delay statistics. */
+    const sched::LoadDelayStats &loadStats(std::size_t i) const;
+
+    /** Per-benchmark write-buffer statistics (write-buffer mode). */
+    const WriteBufferStats *writeBufferStats(std::size_t i) const;
+
+    /** Sum over all benchmarks (time-weighted aggregate CPI). */
+    CpiBreakdown aggregate() const;
+
+    /** The BTB (null under the squashing scheme). */
+    const cache::BranchTargetBuffer *btb() const { return btb_.get(); }
+
+    std::size_t numWorkloads() const { return workloads_.size(); }
+
+  private:
+    struct Context
+    {
+        explicit Context(const isa::Program &program)
+            : tracker(program)
+        {
+        }
+
+        sched::LoadUseTracker tracker;
+        CpiBreakdown counts;
+        /** Instructions of the next block already executed in delay
+         *  slots (squashing scheme). */
+        std::uint32_t skipNext = 0;
+
+        /** Deferred BTB resolution for register-indirect CTIs. */
+        bool btbPending = false;
+        cache::BranchTargetBuffer::Result btbRes;
+        Addr btbPc = 0;
+
+        bool finished = false;
+
+        /** Present only in write-buffer mode. */
+        std::unique_ptr<WriteBuffer> writeBuffer;
+    };
+
+    void processRange(std::size_t bench, std::uint32_t block_begin,
+                      std::uint32_t block_end);
+    void processEvent(std::size_t bench, Context &ctx, std::size_t i);
+    void finishContext(std::size_t bench);
+
+    EngineConfig config_;
+    cache::CacheHierarchy &hierarchy_;
+    std::vector<BenchWorkload> workloads_;
+    std::vector<Context> contexts_;
+    std::unique_ptr<cache::BranchTargetBuffer> btb_;
+};
+
+} // namespace pipecache::cpusim
+
+#endif // PIPECACHE_CPUSIM_CPI_ENGINE_HH

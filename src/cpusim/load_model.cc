@@ -1,0 +1,22 @@
+#include "cpusim/load_model.hh"
+
+namespace pipecache::cpusim {
+
+Counter
+loadStallCycles(const sched::LoadDelayStats &stats, std::uint32_t l,
+                LoadScheme scheme)
+{
+    if (l == 0)
+        return 0;
+    switch (scheme) {
+      case LoadScheme::Static:
+        return stats.totalDelayCycles(l, false);
+      case LoadScheme::Dynamic:
+        return stats.totalDelayCycles(l, true);
+      case LoadScheme::None:
+        return stats.totalLoads() * l;
+    }
+    return 0;
+}
+
+} // namespace pipecache::cpusim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Load-delay schemes (Section 3.2 of the paper).
+ *
+ * Static: compile-time scheduling bounded by basic blocks — the
+ * configuration the paper adopts for its final results. Dynamic:
+ * out-of-order load issue limited only by true dependences (the
+ * paper's upper bound, which costs cycle time the paper separately
+ * budgets at ~10%). Both reduce to expected shortfalls over the e
+ * distributions measured by sched::LoadUseTracker.
+ */
+
+#ifndef PIPECACHE_CPUSIM_LOAD_MODEL_HH
+#define PIPECACHE_CPUSIM_LOAD_MODEL_HH
+
+#include <cstdint>
+
+#include "sched/load_sched.hh"
+
+namespace pipecache::cpusim {
+
+/** How load delay slots are filled. */
+enum class LoadScheme : std::uint8_t
+{
+    /** Compile-time scheduling within basic blocks. */
+    Static,
+    /** Dynamic (out-of-order) scheduling, unbounded by blocks. */
+    Dynamic,
+    /** No scheduling at all: every load stalls the full l cycles. */
+    None,
+};
+
+/**
+ * Total load-delay stall cycles for @p l delay cycles under the given
+ * scheme, from a workload's measured e distributions.
+ */
+Counter loadStallCycles(const sched::LoadDelayStats &stats,
+                        std::uint32_t l, LoadScheme scheme);
+
+} // namespace pipecache::cpusim
+
+#endif // PIPECACHE_CPUSIM_LOAD_MODEL_HH

@@ -1,0 +1,162 @@
+#include "cpusim/pipeline_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pipecache::cpusim {
+
+PipelineSim::PipelineSim(const PipelineConfig &config,
+                         cache::CacheHierarchy &hierarchy,
+                         const isa::Program &program,
+                         const sched::TranslationFile &xlat,
+                         const trace::RecordedTrace &trace)
+    : config_(config), hierarchy_(hierarchy), program_(program),
+      xlat_(xlat), trace_(trace)
+{
+    PC_ASSERT(xlat_.delaySlots() == config_.branchSlots,
+              "translation file does not match pipeline depth");
+    regReadyAt_.fill(0);
+}
+
+void
+PipelineSim::wasteSlot(Addr pc)
+{
+    const std::uint32_t stall = hierarchy_.accessInst(pc);
+    stats_.iMissCycles += stall;
+    nextIssue_ += 1 + stall;
+    ++stats_.branchWasteSlots;
+    ++stats_.issueSlots;
+}
+
+std::uint64_t
+PipelineSim::issueOne(const isa::Instruction &inst, Addr fetch_pc,
+                      const trace::MemRef *mem)
+{
+    std::uint64_t t = nextIssue_;
+
+    // Fetch: an I-miss stalls the front end.
+    if (fetch_pc != 0) {
+        const std::uint32_t stall = hierarchy_.accessInst(fetch_pc);
+        stats_.iMissCycles += stall;
+        t += stall;
+    }
+
+    // Register interlocks: wait for sources (the hardware equivalent
+    // of unfilled load delay slots).
+    const std::uint64_t after_fetch = t;
+    const auto srcs = inst.srcRegs();
+    for (const isa::Reg src : srcs) {
+        if (src != isa::reg::zero)
+            t = std::max(t, regReadyAt_[src]);
+    }
+    stats_.loadInterlockCycles += t - after_fetch;
+
+    // Memory stage: a D-miss blocks the (blocking, 1992) pipeline.
+    std::uint32_t d_stall = 0;
+    if (mem != nullptr) {
+        d_stall = hierarchy_.accessData(mem->addr, mem->store != 0);
+        stats_.dMissCycles += d_stall;
+    }
+
+    // Destination availability: ALU results forward to the next
+    // cycle; a load's value appears loadSlots cycles later still.
+    const isa::Reg dest = inst.destReg();
+    if (dest != isa::reg::zero) {
+        const std::uint64_t extra =
+            isLoad(inst.op) ? config_.loadSlots : 0;
+        regReadyAt_[dest] = t + d_stall + 1 + extra;
+    }
+
+    nextIssue_ = t + d_stall + 1;
+    ++stats_.issueSlots;
+    ++stats_.usefulInsts;
+    return t;
+}
+
+void
+PipelineSim::issueBlock(std::size_t event_index)
+{
+    const auto &ev = trace_.blocks[event_index];
+    const isa::BasicBlock &bb = program_.block(ev.block);
+    const sched::BlockXlat &bx = xlat_[ev.block];
+
+    const std::uint32_t skip = skipNext_;
+    skipNext_ = 0;
+
+    auto [mem_begin, mem_end] = trace_.memRange(event_index);
+    std::uint32_t mem = mem_begin;
+
+    for (std::uint32_t pos = 0; pos < bx.usefulLen; ++pos) {
+        const isa::Instruction &inst = bb.insts[pos];
+        const trace::MemRef *ref = nullptr;
+        if (mem < mem_end && trace_.memRefs[mem].pos == pos)
+            ref = &trace_.memRefs[mem++];
+        // Instructions executed in the predecessor's delay slots were
+        // fetched there (as replicas at the predecessor's addresses):
+        // no fetch probe here, but they still issue in program order.
+        const Addr pc = pos >= skip
+                            ? bx.entry + pos * bytesPerWord
+                            : 0;
+        issueOne(inst, pc, ref);
+    }
+
+    if (!bx.hasCti)
+        return;
+
+    const bool taken = ev.taken != 0;
+    std::uint32_t target_useful = 0;
+    bool target_has_cti = false;
+    if (bb.term == isa::TermKind::CondBranch ||
+        bb.term == isa::TermKind::Jump ||
+        bb.term == isa::TermKind::Call) {
+        const sched::BlockXlat &tx = xlat_[bb.target];
+        target_useful = tx.usefulLen;
+        target_has_cti = tx.hasCti != 0;
+    }
+    const SquashOutcome out =
+        resolveSquash(bx, bb.term, taken, target_useful,
+                      target_has_cti);
+
+    // Appended filler fetches (replicas/noops after the CTI). The
+    // replicas that become the target's first instructions are probed
+    // here but issue inside the target block; the rest are wasted
+    // issue slots.
+    const std::uint32_t appended = bx.schedLen - bx.usefulLen;
+    for (std::uint32_t k = 0; k < appended; ++k) {
+        const Addr pc =
+            bx.entry + (bx.usefulLen + k) * bytesPerWord;
+        if (taken && k < out.skipNext) {
+            // Replica that will be counted as a useful issue in the
+            // target block; only the fetch happens here.
+            const std::uint32_t stall = hierarchy_.accessInst(pc);
+            stats_.iMissCycles += stall;
+            nextIssue_ += stall;
+        } else {
+            wasteSlot(pc);
+        }
+    }
+
+    // Mispredicted not-taken CTI: sequential fetches squashed.
+    if (out.extraSeqFetches > 0) {
+        Addr seq = xlat_[bb.fallthrough].entry;
+        for (std::uint32_t f = 0; f < out.extraSeqFetches; ++f) {
+            wasteSlot(seq);
+            seq += bytesPerWord;
+        }
+    }
+
+    if (taken)
+        skipNext_ = out.skipNext;
+}
+
+const PipelineStats &
+PipelineSim::run()
+{
+    for (std::size_t i = 0; i < trace_.blocks.size(); ++i)
+        issueBlock(i);
+    stats_.cycles = nextIssue_;
+    return stats_;
+}
+
+} // namespace pipecache::cpusim

@@ -1,0 +1,52 @@
+#include "cpusim/write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pipecache::cpusim {
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &config)
+    : config_(config)
+{
+    PC_ASSERT(config_.entries >= 1, "write buffer needs an entry");
+    PC_ASSERT(config_.drainCycles >= 1, "drain must take a cycle");
+}
+
+std::uint32_t
+WriteBuffer::store(std::uint64_t now)
+{
+    ++stats_.stores;
+
+    // Retire everything that has drained by 'now'.
+    while (!completions_.empty() && completions_.front() <= now)
+        completions_.pop_front();
+
+    std::uint32_t stall = 0;
+    if (completions_.size() >= config_.entries) {
+        // Full: wait for the head entry to drain.
+        ++stats_.fullEvents;
+        stall = static_cast<std::uint32_t>(completions_.front() - now);
+        stats_.stallCycles += stall;
+        now = completions_.front();
+        completions_.pop_front();
+    }
+
+    // Drains are serialized: this store starts draining when the one
+    // before it finishes (or immediately if the port is idle).
+    lastCompletion_ =
+        std::max(lastCompletion_, now) + config_.drainCycles;
+    completions_.push_back(lastCompletion_);
+    return stall;
+}
+
+std::uint32_t
+WriteBuffer::occupancy(std::uint64_t now) const
+{
+    std::uint32_t n = 0;
+    for (std::uint64_t c : completions_)
+        n += c > now;
+    return n;
+}
+
+} // namespace pipecache::cpusim

@@ -1,0 +1,81 @@
+#include "isa/basic_block.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+const Instruction &
+BasicBlock::cti() const
+{
+    PC_ASSERT(hasCti(), "cti() on a fall-through block");
+    PC_ASSERT(!insts.empty(), "CTI block with no instructions");
+    return insts.back();
+}
+
+std::size_t
+BasicBlock::bodySize() const
+{
+    return hasCti() ? insts.size() - 1 : insts.size();
+}
+
+void
+BasicBlock::checkInvariants(BlockId self, std::size_t num_blocks) const
+{
+    auto check_target = [&](BlockId t, const char *what) {
+        PC_ASSERT(t != invalidBlock && t < num_blocks,
+                  "block ", self, ": bad ", what, " successor");
+    };
+
+    // No CTI may appear before the last instruction.
+    for (std::size_t i = 0; i + 1 < insts.size(); ++i) {
+        PC_ASSERT(!isCti(insts[i].op),
+                  "block ", self, ": CTI at non-terminal position ", i);
+    }
+
+    switch (term) {
+      case TermKind::FallThrough:
+        PC_ASSERT(insts.empty() || !isCti(insts.back().op),
+                  "block ", self, ": fall-through block ends in a CTI");
+        check_target(fallthrough, "fall-through");
+        break;
+      case TermKind::CondBranch:
+        PC_ASSERT(!insts.empty() && isCondBranch(insts.back().op),
+                  "block ", self, ": CondBranch without branch CTI");
+        check_target(target, "branch target");
+        check_target(fallthrough, "branch fall-through");
+        break;
+      case TermKind::Jump:
+        PC_ASSERT(!insts.empty() && isDirectJump(insts.back().op) &&
+                  !isCall(insts.back().op),
+                  "block ", self, ": Jump without j CTI");
+        check_target(target, "jump target");
+        break;
+      case TermKind::Call:
+        PC_ASSERT(!insts.empty() && isCall(insts.back().op),
+                  "block ", self, ": Call without jal/jalr CTI");
+        check_target(target, "call target");
+        check_target(fallthrough, "call return site");
+        break;
+      case TermKind::Return:
+        PC_ASSERT(!insts.empty() && isIndirectJump(insts.back().op),
+                  "block ", self, ": Return without jr CTI");
+        break;
+      case TermKind::Switch:
+        PC_ASSERT(!insts.empty() && isIndirectJump(insts.back().op),
+                  "block ", self, ": Switch without jr CTI");
+        PC_ASSERT(!switchTargets.empty(),
+                  "block ", self, ": Switch with no targets");
+        for (BlockId t : switchTargets)
+            check_target(t, "switch");
+        break;
+    }
+
+    if (term == TermKind::CondBranch) {
+        PC_ASSERT(profile.meanTrip >= 1.0,
+                  "block ", self, ": meanTrip < 1");
+        PC_ASSERT(profile.takenProb >= 0.0 && profile.takenProb <= 1.0,
+                  "block ", self, ": takenProb out of range");
+    }
+}
+
+} // namespace pipecache::isa

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Basic blocks and control-flow terminators.
+ *
+ * Programs are stored in the canonical zero-delay-slot form the paper
+ * starts from (Section 3.1): every block's control-transfer
+ * instruction, if any, is its last instruction, and no delay-slot
+ * padding exists. The branch delay-slot post-processor (sched/) derives
+ * scheduled layouts from this form.
+ */
+
+#ifndef PIPECACHE_ISA_BASIC_BLOCK_HH
+#define PIPECACHE_ISA_BASIC_BLOCK_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pipecache::isa {
+
+/** Index of a basic block within its Program. */
+using BlockId = std::uint32_t;
+
+inline constexpr BlockId invalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/** How a basic block transfers control. */
+enum class TermKind : std::uint8_t
+{
+    FallThrough,   //!< no CTI; execution continues at fallthrough()
+    CondBranch,    //!< conditional: target() if taken else fallthrough()
+    Jump,          //!< unconditional direct jump to target()
+    Call,          //!< jal: target() is callee, fallthrough() resumes
+    Return,        //!< jr ra: continuation comes from the call stack
+    Switch,        //!< jr via jump table: one of switchTargets()
+};
+
+/**
+ * Execution-behaviour annotation of a conditional branch, attached by
+ * the program generator and consumed by the trace executor. Backward
+ * branches model loop back-edges (taken until the trip count runs
+ * out); forward branches are taken per-execution with probability
+ * takenProb.
+ */
+struct BranchProfile
+{
+    bool backward = false;
+    /** Forward branches: probability of being taken on each execution. */
+    double takenProb = 0.5;
+    /** Backward branches: mean loop trip count (>= 1). */
+    double meanTrip = 1.0;
+};
+
+/**
+ * A basic block: straight-line instructions, with the terminating CTI
+ * (if the block has one) as the final instruction.
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock() = default;
+
+    /** Instructions, including the terminator CTI (if any) last. */
+    std::vector<Instruction> insts;
+
+    TermKind term = TermKind::FallThrough;
+
+    /** Successor metadata; which fields are valid depends on term. */
+    BlockId target = invalidBlock;
+    BlockId fallthrough = invalidBlock;
+    std::vector<BlockId> switchTargets;
+
+    BranchProfile profile;
+
+    /** Number of instructions (including the CTI). */
+    std::size_t size() const { return insts.size(); }
+
+    /** True if the block ends with a control transfer instruction. */
+    bool hasCti() const { return term != TermKind::FallThrough; }
+
+    /** The terminating CTI; panics if the block has none. */
+    const Instruction &cti() const;
+
+    /** Number of non-CTI instructions. */
+    std::size_t bodySize() const;
+
+    /**
+     * Verify internal consistency: the last instruction matches the
+     * terminator kind, no CTI appears mid-block, successor fields are
+     * populated as the kind requires. Panics on violation.
+     */
+    void checkInvariants(BlockId self, std::size_t num_blocks) const;
+};
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_BASIC_BLOCK_HH

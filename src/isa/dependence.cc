@@ -1,0 +1,101 @@
+#include "isa/dependence.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+namespace {
+
+bool
+isBarrier(const Instruction &inst)
+{
+    return isCti(inst.op) || inst.op == Opcode::SYSCALL;
+}
+
+} // namespace
+
+bool
+registerIndependent(const Instruction &a, const Instruction &b)
+{
+    const Reg a_dest = a.destReg();
+    const Reg b_dest = b.destReg();
+
+    // RAW / WAR in both directions.
+    if (a_dest != reg::zero && b.reads(a_dest))
+        return false;
+    if (b_dest != reg::zero && a.reads(b_dest))
+        return false;
+    // WAW.
+    if (a_dest != reg::zero && a_dest == b_dest)
+        return false;
+    return true;
+}
+
+std::size_t
+ctiHoistDistance(const BasicBlock &bb)
+{
+    if (!bb.hasCti() || bb.size() < 2)
+        return 0;
+
+    const Instruction &cti = bb.insts.back();
+    std::size_t dist = 0;
+    // Walk upward from the instruction just before the CTI.
+    for (std::size_t i = bb.size() - 1; i-- > 0;) {
+        const Instruction &prev = bb.insts[i];
+        if (isBarrier(prev) || !registerIndependent(cti, prev))
+            break;
+        ++dist;
+    }
+    return dist;
+}
+
+std::size_t
+loadHoistDistance(const BasicBlock &bb, std::size_t load_pos)
+{
+    PC_ASSERT(load_pos < bb.size(), "load position out of range");
+    const Instruction &load = bb.insts[load_pos];
+    PC_ASSERT(isLoad(load.op), "loadHoistDistance on non-load");
+
+    const Reg addr_reg = load.addrReg();
+    const Reg dest = load.destReg();
+
+    std::size_t dist = 0;
+    for (std::size_t i = load_pos; i-- > 0;) {
+        const Instruction &prev = bb.insts[i];
+        if (isBarrier(prev))
+            break;
+        // Address register dependence (RAW into the load).
+        if (addr_reg != reg::zero && prev.writes(addr_reg))
+            break;
+        // WAR/WAW on the load's destination.
+        if (dest != reg::zero && (prev.reads(dest) || prev.writes(dest)))
+            break;
+        // Stores may be crossed under perfect disambiguation; loads and
+        // ALU ops impose no memory constraint either.
+        ++dist;
+    }
+    return dist;
+}
+
+std::size_t
+loadUseDistanceInBlock(const BasicBlock &bb, std::size_t load_pos)
+{
+    PC_ASSERT(load_pos < bb.size(), "load position out of range");
+    const Instruction &load = bb.insts[load_pos];
+    PC_ASSERT(isLoad(load.op), "loadUseDistanceInBlock on non-load");
+
+    const Reg dest = load.destReg();
+    if (dest == reg::zero)
+        return bb.size() - 1 - load_pos;
+
+    for (std::size_t i = load_pos + 1; i < bb.size(); ++i) {
+        if (bb.insts[i].reads(dest))
+            return i - load_pos - 1;
+        // A redefinition kills the value: no in-block consumer.
+        if (bb.insts[i].writes(dest))
+            return bb.size() - 1 - load_pos;
+    }
+    return bb.size() - 1 - load_pos;
+}
+
+} // namespace pipecache::isa

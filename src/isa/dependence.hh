@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Register dependence analysis used by the delay-slot post-processor.
+ *
+ * Two questions from Section 3 of the paper are answered here:
+ *
+ *  - How far can a block's terminating CTI be hoisted over the
+ *    instructions before it (determining r, the number of branch delay
+ *    slots fillable from before the branch)?
+ *  - How far can a load be moved up within its block (bounding the
+ *    statically hideable load delay, the c component of e)?
+ *
+ * Following the paper, memory disambiguation is assumed perfect: a
+ * load may move past a store (they are assumed not to alias), but
+ * stores keep their order with respect to each other.
+ */
+
+#ifndef PIPECACHE_ISA_DEPENDENCE_HH
+#define PIPECACHE_ISA_DEPENDENCE_HH
+
+#include <cstddef>
+
+#include "isa/basic_block.hh"
+
+namespace pipecache::isa {
+
+/**
+ * True if instructions @p a and @p b have no register dependence
+ * (no RAW, WAR, or WAW hazard) and may be reordered freely.
+ */
+bool registerIndependent(const Instruction &a, const Instruction &b);
+
+/**
+ * Number of instructions the terminating CTI of @p bb can be hoisted
+ * over (the r of the paper's delay-slot procedure, before capping at
+ * b). Zero for blocks without a CTI or with an empty body.
+ *
+ * The CTI may move above a preceding instruction I iff the pair is
+ * register-independent and I is not itself a CTI or syscall.
+ */
+std::size_t ctiHoistDistance(const BasicBlock &bb);
+
+/**
+ * Number of instructions the load at @p load_pos can be hoisted over
+ * within its block (the basic-block-bounded component of c from
+ * Section 3.2). Requires the instruction at load_pos to be a load.
+ *
+ * The load may move above a preceding instruction I iff I does not
+ * write the load's address register, does not read or write the
+ * load's destination, and is not a CTI or syscall. Stores may be
+ * crossed (perfect disambiguation).
+ */
+std::size_t loadHoistDistance(const BasicBlock &bb, std::size_t load_pos);
+
+/**
+ * Distance (in instructions) from the load at @p load_pos to the first
+ * subsequent in-block instruction that reads the load's destination
+ * register, or the distance to the end of the block if no in-block
+ * consumer exists (the basic-block-bounded component of d).
+ */
+std::size_t loadUseDistanceInBlock(const BasicBlock &bb,
+                                   std::size_t load_pos);
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_DEPENDENCE_HH

@@ -1,0 +1,189 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+Reg
+Instruction::destReg() const
+{
+    switch (opClass(op)) {
+      case OpClass::Alu:
+      case OpClass::Load:
+        return dest;
+      case OpClass::Jump:
+      case OpClass::IndirectJump:
+        // jal/jalr write ra; j/jr write nothing.
+        return isCall(op) ? reg::ra : reg::zero;
+      default:
+        return reg::zero;
+    }
+}
+
+std::array<Reg, 2>
+Instruction::srcRegs() const
+{
+    switch (opClass(op)) {
+      case OpClass::Alu:
+      case OpClass::CondBranch:
+        return {src1, src2};
+      case OpClass::Load:
+        return {src1, reg::zero};
+      case OpClass::Store:
+        // Stores read the address register and the value register.
+        return {src1, src2};
+      case OpClass::IndirectJump:
+        return {src1, reg::zero};
+      default:
+        return {reg::zero, reg::zero};
+    }
+}
+
+bool
+Instruction::reads(Reg r) const
+{
+    if (r == reg::zero)
+        return false;
+    auto srcs = srcRegs();
+    return srcs[0] == r || srcs[1] == r;
+}
+
+bool
+Instruction::writes(Reg r) const
+{
+    return r != reg::zero && destReg() == r;
+}
+
+Reg
+Instruction::addrReg() const
+{
+    PC_ASSERT(isMem(op), "addrReg on non-memory instruction");
+    return src1;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    auto rname = [](Reg r) { return "r" + std::to_string(int{r}); };
+    switch (opClass(op)) {
+      case OpClass::Alu:
+        os << " " << rname(dest) << ", " << rname(src1);
+        if (src2 != reg::zero)
+            os << ", " << rname(src2);
+        else if (imm != 0 || op == Opcode::ADDIU || op == Opcode::LUI)
+            os << ", " << imm;
+        break;
+      case OpClass::Load:
+        os << " " << rname(dest) << ", " << imm << "(" << rname(src1) << ")";
+        break;
+      case OpClass::Store:
+        os << " " << rname(src2) << ", " << imm << "(" << rname(src1) << ")";
+        break;
+      case OpClass::CondBranch:
+        os << " " << rname(src1) << ", " << rname(src2) << ", <target>";
+        break;
+      case OpClass::Jump:
+        os << " <target>";
+        break;
+      case OpClass::IndirectJump:
+        os << " " << rname(src1);
+        break;
+      case OpClass::Other:
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+Instruction::makeNop()
+{
+    return {};
+}
+
+Instruction
+Instruction::makeAlu(Opcode op, Reg dest, Reg src1, Reg src2)
+{
+    PC_ASSERT(opClass(op) == OpClass::Alu, "makeAlu with non-ALU opcode");
+    Instruction inst;
+    inst.op = op;
+    inst.dest = dest;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    return inst;
+}
+
+Instruction
+Instruction::makeAluImm(Opcode op, Reg dest, Reg src1, std::int32_t imm)
+{
+    PC_ASSERT(opClass(op) == OpClass::Alu, "makeAluImm with non-ALU opcode");
+    Instruction inst;
+    inst.op = op;
+    inst.dest = dest;
+    inst.src1 = src1;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+Instruction::makeLoad(Reg dest, Reg addr_reg, std::int32_t offset,
+                      AddrClass cls, std::uint8_t stream)
+{
+    Instruction inst;
+    inst.op = Opcode::LW;
+    inst.dest = dest;
+    inst.src1 = addr_reg;
+    inst.imm = offset;
+    inst.addrClass = cls;
+    inst.stream = stream;
+    return inst;
+}
+
+Instruction
+Instruction::makeStore(Reg value, Reg addr_reg, std::int32_t offset,
+                       AddrClass cls, std::uint8_t stream)
+{
+    Instruction inst;
+    inst.op = Opcode::SW;
+    inst.src1 = addr_reg;
+    inst.src2 = value;
+    inst.imm = offset;
+    inst.addrClass = cls;
+    inst.stream = stream;
+    return inst;
+}
+
+Instruction
+Instruction::makeBranch(Opcode op, Reg src1, Reg src2)
+{
+    PC_ASSERT(isCondBranch(op), "makeBranch with non-branch opcode");
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    return inst;
+}
+
+Instruction
+Instruction::makeJump(Opcode op)
+{
+    PC_ASSERT(isDirectJump(op), "makeJump with non-jump opcode");
+    Instruction inst;
+    inst.op = op;
+    return inst;
+}
+
+Instruction
+Instruction::makeJumpRegister(Opcode op, Reg target_reg)
+{
+    PC_ASSERT(isIndirectJump(op), "makeJumpRegister with non-jr opcode");
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = target_reg;
+    return inst;
+}
+
+} // namespace pipecache::isa

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Architectural instruction model: registers read/written, memory
+ * behaviour, and the annotations the synthetic workload generator
+ * attaches for trace production.
+ */
+
+#ifndef PIPECACHE_ISA_INSTRUCTION_HH
+#define PIPECACHE_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace pipecache::isa {
+
+/** Architectural register number (0-31 integer, 32-63 FP). */
+using Reg = std::uint8_t;
+
+/** Register name constants following MIPS software conventions. */
+namespace reg {
+inline constexpr Reg zero = 0;   //!< hardwired zero
+inline constexpr Reg v0 = 2;     //!< result register
+inline constexpr Reg a0 = 4;     //!< first argument register
+inline constexpr Reg t0 = 8;     //!< first caller-saved temporary
+inline constexpr Reg s0 = 16;    //!< first callee-saved register
+inline constexpr Reg gp = 28;    //!< global area pointer (64 KB window)
+inline constexpr Reg sp = 29;    //!< stack pointer
+inline constexpr Reg fp = 30;    //!< frame pointer
+inline constexpr Reg ra = 31;    //!< return address
+inline constexpr Reg f0 = 32;    //!< first FP register
+inline constexpr Reg numRegs = 64;
+} // namespace reg
+
+/**
+ * Locality class of a memory reference, fixed at code-generation time
+ * by the synthetic program generator and consumed by the data-address
+ * generator. Mirrors the reference mix discussed in Section 3.2 of the
+ * paper (gp-area globals, sp-relative locals, array/pointer data).
+ */
+enum class AddrClass : std::uint8_t
+{
+    None,    //!< not a memory instruction
+    Stack,   //!< sp-relative local variable
+    Global,  //!< gp-relative static/global scalar
+    Array,   //!< sequential array element walk
+    Heap,    //!< pointer-chased heap object
+};
+
+/**
+ * One instruction of the MIPS subset.
+ *
+ * Fields follow a uniform three-register shape; unused registers are
+ * reg::zero. For memory instructions @c src1 is the address register
+ * and loads write @c dest. The @c stream field selects which synthetic
+ * data stream an Array/Heap reference draws from.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    Reg dest = reg::zero;
+    Reg src1 = reg::zero;
+    Reg src2 = reg::zero;
+    std::int32_t imm = 0;
+
+    /** Memory locality class (None unless isMem()). */
+    AddrClass addrClass = AddrClass::None;
+    /** Data-stream index for Array/Heap references. */
+    std::uint8_t stream = 0;
+
+    /** Register written, or reg::zero if none. */
+    Reg destReg() const;
+
+    /** Registers read (reg::zero entries mean "no operand"). */
+    std::array<Reg, 2> srcRegs() const;
+
+    /** True if this instruction reads register r (r != zero). */
+    bool reads(Reg r) const;
+
+    /** True if this instruction writes register r (r != zero). */
+    bool writes(Reg r) const;
+
+    /** Address register for loads/stores (src1). */
+    Reg addrReg() const;
+
+    /** Assembler-like rendering for debugging and tests. */
+    std::string toString() const;
+
+    /** Factory helpers. */
+    static Instruction makeNop();
+    static Instruction makeAlu(Opcode op, Reg dest, Reg src1, Reg src2);
+    static Instruction makeAluImm(Opcode op, Reg dest, Reg src1,
+                                  std::int32_t imm);
+    static Instruction makeLoad(Reg dest, Reg addr_reg, std::int32_t offset,
+                                AddrClass cls, std::uint8_t stream = 0);
+    static Instruction makeStore(Reg value, Reg addr_reg, std::int32_t offset,
+                                 AddrClass cls, std::uint8_t stream = 0);
+    static Instruction makeBranch(Opcode op, Reg src1, Reg src2);
+    static Instruction makeJump(Opcode op);
+    static Instruction makeJumpRegister(Opcode op, Reg target_reg);
+};
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_INSTRUCTION_HH

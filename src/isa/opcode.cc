@@ -1,0 +1,140 @@
+#include "isa/opcode.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::LW:
+      case Opcode::LH:
+      case Opcode::LB:
+      case Opcode::LWC1:
+        return OpClass::Load;
+      case Opcode::SW:
+      case Opcode::SH:
+      case Opcode::SB:
+      case Opcode::SWC1:
+        return OpClass::Store;
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLEZ:
+      case Opcode::BGTZ:
+        return OpClass::CondBranch;
+      case Opcode::J:
+      case Opcode::JAL:
+        return OpClass::Jump;
+      case Opcode::JR:
+      case Opcode::JALR:
+        return OpClass::IndirectJump;
+      case Opcode::NOP:
+      case Opcode::SYSCALL:
+        return OpClass::Other;
+      default:
+        return OpClass::Alu;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opClass(op) == OpClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opClass(op) == OpClass::Store;
+}
+
+bool
+isMem(Opcode op)
+{
+    OpClass c = opClass(op);
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+bool
+isCti(Opcode op)
+{
+    OpClass c = opClass(op);
+    return c == OpClass::CondBranch || c == OpClass::Jump ||
+           c == OpClass::IndirectJump;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opClass(op) == OpClass::CondBranch;
+}
+
+bool
+isDirectJump(Opcode op)
+{
+    return opClass(op) == OpClass::Jump;
+}
+
+bool
+isIndirectJump(Opcode op)
+{
+    return opClass(op) == OpClass::IndirectJump;
+}
+
+bool
+isCall(Opcode op)
+{
+    return op == Opcode::JAL || op == Opcode::JALR;
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDU: return "addu";
+      case Opcode::SUBU: return "subu";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLT: return "slt";
+      case Opcode::ADDIU: return "addiu";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LUI: return "lui";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::MULT: return "mult";
+      case Opcode::DIV: return "div";
+      case Opcode::MFLO: return "mflo";
+      case Opcode::MFHI: return "mfhi";
+      case Opcode::ADDS: return "add.s";
+      case Opcode::MULS: return "mul.s";
+      case Opcode::ADDD: return "add.d";
+      case Opcode::MULD: return "mul.d";
+      case Opcode::LW: return "lw";
+      case Opcode::LH: return "lh";
+      case Opcode::LB: return "lb";
+      case Opcode::LWC1: return "lwc1";
+      case Opcode::SW: return "sw";
+      case Opcode::SH: return "sh";
+      case Opcode::SB: return "sb";
+      case Opcode::SWC1: return "swc1";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLEZ: return "blez";
+      case Opcode::BGTZ: return "bgtz";
+      case Opcode::J: return "j";
+      case Opcode::JAL: return "jal";
+      case Opcode::JR: return "jr";
+      case Opcode::JALR: return "jalr";
+      case Opcode::NOP: return "nop";
+      case Opcode::SYSCALL: return "syscall";
+      default:
+        PC_PANIC("opcodeName: bad opcode ", static_cast<int>(op));
+    }
+}
+
+} // namespace pipecache::isa

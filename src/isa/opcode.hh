@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Opcodes for the MIPS R2000 subset modelled by the simulator.
+ *
+ * The paper's workloads are MIPS R2000 binaries; the post-processor
+ * (sched/) and the trace executor (trace/) only need the architectural
+ * *shape* of each instruction — which registers it reads and writes,
+ * whether it is a load, store, or control transfer — so the subset
+ * keeps exactly that information.
+ */
+
+#ifndef PIPECACHE_ISA_OPCODE_HH
+#define PIPECACHE_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pipecache::isa {
+
+/** MIPS R2000 subset opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register.
+    ADDU,
+    SUBU,
+    AND,
+    OR,
+    XOR,
+    SLT,
+    // ALU register-immediate.
+    ADDIU,
+    ANDI,
+    ORI,
+    SLTI,
+    LUI,
+    SLL,
+    SRL,
+    SRA,
+    // Multiply/divide unit.
+    MULT,
+    DIV,
+    MFLO,
+    MFHI,
+    // Floating point (modelled as generic register ops on the FP bank).
+    ADDS,
+    MULS,
+    ADDD,
+    MULD,
+    // Loads.
+    LW,
+    LH,
+    LB,
+    LWC1,
+    // Stores.
+    SW,
+    SH,
+    SB,
+    SWC1,
+    // Control transfer instructions.
+    BEQ,
+    BNE,
+    BLEZ,
+    BGTZ,
+    J,
+    JAL,
+    JR,
+    JALR,
+    // Miscellaneous.
+    NOP,
+    SYSCALL,
+
+    NumOpcodes
+};
+
+/** Coarse class of an opcode, used for mix statistics. */
+enum class OpClass : std::uint8_t
+{
+    Alu,
+    Load,
+    Store,
+    CondBranch,
+    Jump,          //!< direct unconditional (j, jal)
+    IndirectJump,  //!< register-indirect (jr, jalr)
+    Other          //!< nop, syscall
+};
+
+/** Map an opcode to its coarse class. */
+OpClass opClass(Opcode op);
+
+/** True for lw/lh/lb/lwc1. */
+bool isLoad(Opcode op);
+
+/** True for sw/sh/sb/swc1. */
+bool isStore(Opcode op);
+
+/** True for any load or store. */
+bool isMem(Opcode op);
+
+/** True for any control transfer instruction. */
+bool isCti(Opcode op);
+
+/** True for conditional branches (beq/bne/blez/bgtz). */
+bool isCondBranch(Opcode op);
+
+/** True for direct unconditional jumps (j/jal). */
+bool isDirectJump(Opcode op);
+
+/** True for register-indirect jumps (jr/jalr). */
+bool isIndirectJump(Opcode op);
+
+/** True for jal/jalr (write the return-address register). */
+bool isCall(Opcode op);
+
+/** Assembler mnemonic for an opcode. */
+std::string_view opcodeName(Opcode op);
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_OPCODE_HH

@@ -1,0 +1,126 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+BlockId
+Program::addBlock(BasicBlock block)
+{
+    blocks_.push_back(std::move(block));
+    blockAddr_.clear();
+    return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+BasicBlock &
+Program::block(BlockId id)
+{
+    PC_ASSERT(id < blocks_.size(), "block id out of range: ", id);
+    blockAddr_.clear();
+    return blocks_[id];
+}
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    PC_ASSERT(id < blocks_.size(), "block id out of range: ", id);
+    return blocks_[id];
+}
+
+void
+Program::layout()
+{
+    blockAddr_.resize(blocks_.size());
+    Addr addr = base_;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        blockAddr_[b] = addr;
+        addr += static_cast<Addr>(blocks_[b].size() * bytesPerWord);
+    }
+}
+
+Addr
+Program::blockAddr(BlockId id) const
+{
+    PC_ASSERT(!blockAddr_.empty(), "layout() has not been run");
+    PC_ASSERT(id < blockAddr_.size(), "block id out of range: ", id);
+    return blockAddr_[id];
+}
+
+Addr
+Program::instAddr(BlockId id, std::size_t pos) const
+{
+    PC_ASSERT(pos < blocks_[id].size(),
+              "instruction position out of range: block ", id, " pos ", pos);
+    return blockAddr(id) + static_cast<Addr>(pos * bytesPerWord);
+}
+
+std::size_t
+Program::staticInstCount() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.size();
+    return n;
+}
+
+std::size_t
+Program::staticCtiCount() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        if (b.hasCti())
+            ++n;
+    return n;
+}
+
+void
+Program::validate() const
+{
+    PC_ASSERT(!blocks_.empty(), "empty program");
+    PC_ASSERT(entry_ < blocks_.size(), "program entry out of range");
+    for (std::size_t b = 0; b < blocks_.size(); ++b)
+        blocks_[b].checkInvariants(static_cast<BlockId>(b), blocks_.size());
+    for (BlockId p : procEntries_)
+        PC_ASSERT(p < blocks_.size(), "procedure entry out of range: ", p);
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        os << "B" << b;
+        if (!blockAddr_.empty())
+            os << " @0x" << std::hex << blockAddr_[b] << std::dec;
+        switch (blocks_[b].term) {
+          case TermKind::FallThrough:
+            os << " -> B" << blocks_[b].fallthrough;
+            break;
+          case TermKind::CondBranch:
+            os << " ?> B" << blocks_[b].target << " / B"
+               << blocks_[b].fallthrough;
+            break;
+          case TermKind::Jump:
+            os << " => B" << blocks_[b].target;
+            break;
+          case TermKind::Call:
+            os << " call B" << blocks_[b].target << " ret B"
+               << blocks_[b].fallthrough;
+            break;
+          case TermKind::Return:
+            os << " ret";
+            break;
+          case TermKind::Switch:
+            os << " switch(" << blocks_[b].switchTargets.size() << ")";
+            break;
+        }
+        os << ":\n";
+        for (const auto &inst : blocks_[b].insts)
+            os << "    " << inst.toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pipecache::isa

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A whole program: basic blocks, procedure entries, and the address
+ * layout used to produce instruction-fetch addresses.
+ */
+
+#ifndef PIPECACHE_ISA_PROGRAM_HH
+#define PIPECACHE_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/basic_block.hh"
+#include "util/units.hh"
+
+namespace pipecache::isa {
+
+/**
+ * A program in canonical (zero-delay-slot) form.
+ *
+ * Blocks are laid out contiguously in block-id order starting at
+ * base(); the generator emits blocks so that a block's fall-through
+ * successor is the next block id, giving a realistic linear code
+ * layout for the instruction cache.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Append a block; returns its id. */
+    BlockId addBlock(BasicBlock block);
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Program entry block (default 0). */
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId id) { entry_ = id; }
+
+    /** Base byte address of the code segment. */
+    Addr base() const { return base_; }
+    void setBase(Addr base) { base_ = base; }
+
+    /** Record a procedure entry (for statistics and generation). */
+    void addProcEntry(BlockId id) { procEntries_.push_back(id); }
+    const std::vector<BlockId> &procEntries() const { return procEntries_; }
+
+    /**
+     * Compute the address layout: block b starts at
+     * base + 4 * (instructions in blocks 0..b-1). Must be re-run after
+     * any structural change.
+     */
+    void layout();
+
+    /** True once layout() has been run against the current shape. */
+    bool laidOut() const { return !blockAddr_.empty(); }
+
+    /** Start byte address of a block (requires layout()). */
+    Addr blockAddr(BlockId id) const;
+
+    /** Byte address of instruction @p pos within block @p id. */
+    Addr instAddr(BlockId id, std::size_t pos) const;
+
+    /** Total static instruction count. */
+    std::size_t staticInstCount() const;
+
+    /** Count of static CTIs. */
+    std::size_t staticCtiCount() const;
+
+    /**
+     * Run all per-block invariant checks plus whole-program checks
+     * (entry valid, every fall-through chain stays in range). Panics on
+     * violation; used by tests and after generation.
+     */
+    void validate() const;
+
+    /** Multi-line disassembly listing (debugging / golden tests). */
+    std::string disassemble() const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<Addr> blockAddr_;
+    std::vector<BlockId> procEntries_;
+    BlockId entry_ = 0;
+    Addr base_ = 0x00400000;
+};
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_PROGRAM_HH

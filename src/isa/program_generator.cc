@@ -1,0 +1,865 @@
+#include "isa/program_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+namespace {
+
+/** Register assignments the generator reserves for specific roles. */
+namespace genreg {
+inline constexpr Reg firstTemp = 8;     // r8..r15 rotating temporaries
+inline constexpr Reg numTemps = 8;
+inline constexpr Reg firstHeapPtr = 16; // r16..r19 heap-chase pointers
+inline constexpr Reg numHeapPtrs = 4;
+inline constexpr Reg firstArrPtr = 20;  // r20..r23 array walk pointers
+inline constexpr Reg numArrPtrs = 4;
+inline constexpr Reg stable0 = 24;      // rarely-written condition regs
+inline constexpr Reg stable1 = 25;
+inline constexpr Reg firstScratchPtr = 4; // a0..a3 as computed-address regs
+inline constexpr Reg numScratchPtrs = 4;
+inline constexpr Reg firstFpTemp = reg::f0; // f0..f7 rotating FP temps
+inline constexpr Reg numFpTemps = 8;
+} // namespace genreg
+
+class Generator
+{
+  public:
+    explicit Generator(const GenProfile &profile)
+        : prof_(profile), rng_(profile.seed)
+    {
+        PC_ASSERT(prof_.numProcs >= 2, "need at least two procedures");
+        PC_ASSERT(prof_.ctiFrac > 0.0 && prof_.ctiFrac < 0.5,
+                  "ctiFrac out of range");
+        const double mix = prof_.stackFrac + prof_.globalFrac +
+                           prof_.arrayFrac + prof_.heapFrac;
+        PC_ASSERT(std::abs(mix - 1.0) < 1e-6,
+                  "memory addressing mix must sum to 1, got ", mix);
+    }
+
+    Program run();
+
+  private:
+    // ---- block construction ------------------------------------------
+    /** Start a fresh current block. */
+    void openBlock();
+    /** Append an instruction to the current block. */
+    void emit(const Instruction &inst);
+    /** Close the current block with the given terminator; returns id. */
+    BlockId closeBlock(TermKind term, const Instruction &cti);
+    /** Close as a fall-through to the next block (no CTI). */
+    BlockId closeFallThrough();
+
+    /** Id the next closed block will get. */
+    BlockId nextId() const
+    {
+        return static_cast<BlockId>(prog_.numBlocks());
+    }
+
+    // ---- structure generation ----------------------------------------
+    void genProc(std::uint32_t proc);
+    void genBody(int depth);
+    void genSegment(int depth);
+    void genLoop(int depth);
+    void genIf(int depth);
+    void genSwitch(int depth);
+    void genCall();
+
+    // ---- instruction filling -----------------------------------------
+    void fillBody(std::size_t n);
+    void emitBodyInst();
+    void emitLoad();
+    void emitStore();
+    void emitAlu();
+    Instruction condBranchCti();
+
+    Reg nextTemp();
+    Reg nextFpTemp();
+    Reg nextScratchPtr();
+    Reg recentReg(bool fp);
+    std::size_t drawBodyLen();
+
+    // ---- state ---------------------------------------------------------
+    const GenProfile &prof_;
+    Rng rng_;
+    Program prog_;
+
+    BasicBlock cur_;
+    bool curOpen_ = false;
+
+    std::vector<BlockId> procEntry_;
+    /** Calls whose callee procedure is generated later. */
+    std::vector<std::pair<BlockId, std::uint32_t>> callFixups_;
+
+    std::int64_t budget_ = 0;
+    std::uint32_t curProc_ = 0;
+    int loopDepth_ = 0;
+    bool procIsLeaf_ = false;
+    bool utilityProc_ = false;
+
+    int tempIdx_ = 0;
+    int fpTempIdx_ = 0;
+    int scratchIdx_ = 0;
+    double loadCarry_ = 0.0;
+    double storeCarry_ = 0.0;
+    std::vector<Reg> recentInt_;
+    std::vector<Reg> recentFp_;
+
+    struct Pending
+    {
+        Reg reg;
+        int gap;
+    };
+    std::vector<Pending> pending_;
+
+    /** When >= 0, the next body instruction bumps this array pointer. */
+    int pendingArrayBump_ = -1;
+    /** When >= 0, the next ALU chases this heap pointer via pendReg. */
+    int pendingHeapChase_ = -1;
+    Reg pendingHeapValue_ = reg::zero;
+};
+
+void
+Generator::openBlock()
+{
+    PC_ASSERT(!curOpen_, "openBlock with a block already open");
+    cur_ = BasicBlock();
+    curOpen_ = true;
+}
+
+void
+Generator::emit(const Instruction &inst)
+{
+    PC_ASSERT(curOpen_, "emit with no open block");
+    cur_.insts.push_back(inst);
+    --budget_;
+    for (auto &p : pending_)
+        --p.gap;
+}
+
+BlockId
+Generator::closeBlock(TermKind term, const Instruction &cti)
+{
+    PC_ASSERT(curOpen_, "closeBlock with no open block");
+    cur_.term = term;
+    cur_.insts.push_back(cti);
+    --budget_;
+    BlockId id = prog_.addBlock(std::move(cur_));
+    curOpen_ = false;
+    return id;
+}
+
+BlockId
+Generator::closeFallThrough()
+{
+    PC_ASSERT(curOpen_, "closeFallThrough with no open block");
+    cur_.term = TermKind::FallThrough;
+    cur_.fallthrough = nextId() + 1;
+    BlockId id = prog_.addBlock(std::move(cur_));
+    curOpen_ = false;
+    return id;
+}
+
+Reg
+Generator::nextTemp()
+{
+    Reg r = static_cast<Reg>(genreg::firstTemp + tempIdx_);
+    tempIdx_ = (tempIdx_ + 1) % genreg::numTemps;
+    recentInt_.push_back(r);
+    if (recentInt_.size() > 4)
+        recentInt_.erase(recentInt_.begin());
+    return r;
+}
+
+Reg
+Generator::nextFpTemp()
+{
+    Reg r = static_cast<Reg>(genreg::firstFpTemp + fpTempIdx_);
+    fpTempIdx_ = (fpTempIdx_ + 1) % genreg::numFpTemps;
+    recentFp_.push_back(r);
+    if (recentFp_.size() > 4)
+        recentFp_.erase(recentFp_.begin());
+    return r;
+}
+
+Reg
+Generator::nextScratchPtr()
+{
+    const Reg r = static_cast<Reg>(genreg::firstScratchPtr + scratchIdx_);
+    scratchIdx_ = (scratchIdx_ + 1) % genreg::numScratchPtrs;
+    return r;
+}
+
+Reg
+Generator::recentReg(bool fp)
+{
+    const auto &pool = fp ? recentFp_ : recentInt_;
+    if (pool.empty())
+        return fp ? genreg::firstFpTemp : genreg::stable0;
+    return pool[rng_.nextRange(pool.size())];
+}
+
+std::size_t
+Generator::drawBodyLen()
+{
+    const double mean_block =
+        1.0 / (prof_.ctiFrac * prof_.ctiStructureBoost);
+    double mean_body = std::max(1.0, mean_block - 1.0);
+    mean_body *= loopDepth_ > 0 ? prof_.hotBlockScale
+                                : prof_.coldBlockScale;
+    // Uniform in [0.4, 1.6] x mean: enough spread to vary block
+    // shapes without letting one freak hot block dominate a small
+    // kernel's dynamic mix.
+    const double u = 0.4 + 1.2 * rng_.nextDouble();
+    const auto n = static_cast<std::size_t>(mean_body * u + 0.5);
+    return std::clamp<std::size_t>(n, 1, 40);
+}
+
+void
+Generator::emitLoad()
+{
+    const double weights[] = {prof_.stackFrac, prof_.globalFrac,
+                              prof_.arrayFrac, prof_.heapFrac};
+    const std::size_t cls = rng_.nextDiscrete(weights);
+
+    const bool fp_dest = rng_.nextBool(prof_.fpFrac);
+    const Reg dest = fp_dest ? nextFpTemp() : nextTemp();
+
+    Instruction inst;
+    switch (cls) {
+      case 0: // stack local
+        inst = Instruction::makeLoad(
+            dest, reg::sp,
+            static_cast<std::int32_t>(4 * rng_.nextRange(64)),
+            AddrClass::Stack);
+        break;
+      case 1: // gp-area global scalar
+        inst = Instruction::makeLoad(
+            dest, reg::gp,
+            static_cast<std::int32_t>(4 * rng_.nextRange(16384)),
+            AddrClass::Global);
+        break;
+      case 2: { // array walk
+        const auto s = static_cast<std::uint8_t>(
+            rng_.nextRange(prof_.numStreams));
+        Reg ptr = static_cast<Reg>(
+            genreg::firstArrPtr + s % genreg::numArrPtrs);
+        if (rng_.nextBool(prof_.nearAddrProb)) {
+            // Indexed access: the effective address is computed right
+            // before the load (a[i] with i just produced), so no
+            // instruction can be scheduled between them (c = 0).
+            const Reg eaddr = nextScratchPtr();
+            emit(Instruction::makeAlu(Opcode::ADDU, eaddr, ptr,
+                                      recentReg(false)));
+            ptr = eaddr;
+        } else if (rng_.nextBool(0.8)) {
+            // The walk advances its pointer shortly after each access,
+            // so the next array load sees a fresh address register.
+            pendingArrayBump_ = ptr;
+        }
+        inst = Instruction::makeLoad(dest, ptr, 0, AddrClass::Array, s);
+        break;
+      }
+      default: { // heap pointer chase
+        const auto s = static_cast<std::uint8_t>(
+            rng_.nextRange(prof_.numStreams));
+        Reg ptr = static_cast<Reg>(
+            genreg::firstHeapPtr + s % genreg::numHeapPtrs);
+        if (rng_.nextBool(prof_.nearAddrProb)) {
+            // Pointer dereference chained off a just-computed field
+            // address (p->next->field).
+            const Reg eaddr = nextScratchPtr();
+            emit(Instruction::makeAlu(Opcode::ADDU, eaddr, ptr,
+                                      recentReg(false)));
+            ptr = eaddr;
+        }
+        inst = Instruction::makeLoad(dest, ptr, 0, AddrClass::Heap, s);
+        if (!fp_dest && rng_.nextBool(0.5)) {
+            pendingHeapChase_ = ptr;
+            pendingHeapValue_ = dest;
+        }
+        break;
+      }
+    }
+    if (fp_dest)
+        inst.op = Opcode::LWC1;
+    emit(inst);
+
+    if (!rng_.nextBool(prof_.consumerNoneProb)) {
+        const int gap = static_cast<int>(
+            rng_.nextGeometric(prof_.consumerGeoP));
+        pending_.push_back({dest, gap});
+        if (pending_.size() > 8)
+            pending_.erase(pending_.begin());
+    }
+}
+
+void
+Generator::emitStore()
+{
+    const double weights[] = {prof_.stackFrac, prof_.globalFrac,
+                              prof_.arrayFrac, prof_.heapFrac};
+    const std::size_t cls = rng_.nextDiscrete(weights);
+    const bool fp_val = rng_.nextBool(prof_.fpFrac);
+    const Reg value = recentReg(fp_val);
+
+    Instruction inst;
+    switch (cls) {
+      case 0:
+        inst = Instruction::makeStore(
+            value, reg::sp,
+            static_cast<std::int32_t>(4 * rng_.nextRange(64)),
+            AddrClass::Stack);
+        break;
+      case 1:
+        inst = Instruction::makeStore(
+            value, reg::gp,
+            static_cast<std::int32_t>(4 * rng_.nextRange(16384)),
+            AddrClass::Global);
+        break;
+      case 2: {
+        const auto s = static_cast<std::uint8_t>(
+            rng_.nextRange(prof_.numStreams));
+        const Reg ptr = static_cast<Reg>(
+            genreg::firstArrPtr + s % genreg::numArrPtrs);
+        inst = Instruction::makeStore(value, ptr, 0, AddrClass::Array, s);
+        break;
+      }
+      default: {
+        const auto s = static_cast<std::uint8_t>(
+            rng_.nextRange(prof_.numStreams));
+        const Reg ptr = static_cast<Reg>(
+            genreg::firstHeapPtr + s % genreg::numHeapPtrs);
+        inst = Instruction::makeStore(value, ptr, 0, AddrClass::Heap, s);
+        break;
+      }
+    }
+    if (fp_val)
+        inst.op = Opcode::SWC1;
+    emit(inst);
+}
+
+void
+Generator::emitAlu()
+{
+    // Scheduled pointer updates take priority: they are the mechanism
+    // that keeps array/heap address registers freshly written.
+    if (pendingArrayBump_ >= 0) {
+        const Reg ptr = static_cast<Reg>(pendingArrayBump_);
+        pendingArrayBump_ = -1;
+        emit(Instruction::makeAluImm(Opcode::ADDIU, ptr, ptr, 4));
+        return;
+    }
+    if (pendingHeapChase_ >= 0) {
+        const Reg ptr = static_cast<Reg>(pendingHeapChase_);
+        const Reg val = pendingHeapValue_;
+        pendingHeapChase_ = -1;
+        emit(Instruction::makeAlu(Opcode::ADDU, ptr, val, reg::zero));
+        return;
+    }
+
+    const bool fp = rng_.nextBool(prof_.fpFrac);
+    if (fp) {
+        static constexpr Opcode fp_ops[] = {Opcode::ADDD, Opcode::MULD,
+                                            Opcode::ADDS, Opcode::MULS};
+        Reg src1 = recentReg(true);
+        // Consume a pending FP load result whose gap has expired.
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].gap <= 0 && pending_[i].reg >= reg::f0) {
+                src1 = pending_[i].reg;
+                pending_.erase(pending_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        emit(Instruction::makeAlu(fp_ops[rng_.nextRange(4)], nextFpTemp(),
+                                  src1, recentReg(true)));
+        return;
+    }
+
+    static constexpr Opcode int_ops[] = {Opcode::ADDU, Opcode::SUBU,
+                                         Opcode::AND, Opcode::OR,
+                                         Opcode::XOR, Opcode::SLT};
+    Reg src1 = recentReg(false);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].gap <= 0 && pending_[i].reg < reg::f0) {
+            src1 = pending_[i].reg;
+            pending_.erase(pending_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    // Rarely refresh one of the stable condition registers.
+    const Reg dest = rng_.nextBool(0.02)
+                         ? (rng_.nextBool(0.5) ? genreg::stable0
+                                               : genreg::stable1)
+                         : nextTemp();
+    emit(Instruction::makeAlu(int_ops[rng_.nextRange(6)], dest, src1,
+                              recentReg(false)));
+}
+
+void
+Generator::emitBodyInst()
+{
+    const double p_load =
+        prof_.mixBoost * prof_.loadFrac / (1.0 - prof_.ctiFrac);
+    const double p_store =
+        prof_.mixBoost * prof_.storeFrac / (1.0 - prof_.ctiFrac);
+    const double u = rng_.nextDouble();
+    if (u < p_load)
+        emitLoad();
+    else if (u < p_load + p_store)
+        emitStore();
+    else
+        emitAlu();
+}
+
+void
+Generator::fillBody(std::size_t n)
+{
+    // Choose the block's instruction kinds first (keeping the mix on
+    // target independent of block length), then order them the way
+    // compiled code looks: loads cluster at the start of a block,
+    // stores toward its end. Dynamically the order changes nothing,
+    // but a block-leading load has no instructions to hide behind —
+    // the block-boundary collapse of Figure 7.
+    const double p_load =
+        prof_.mixBoost * prof_.loadFrac / (1.0 - prof_.ctiFrac);
+    const double p_store =
+        prof_.mixBoost * prof_.storeFrac / (1.0 - prof_.ctiFrac);
+
+    // Deterministic residual-carry counts: hot loop bodies of small
+    // kernels execute a handful of blocks millions of times, so the
+    // per-block mix must hit the target exactly in the long run
+    // rather than only in expectation.
+    loadCarry_ += static_cast<double>(n) * p_load;
+    storeCarry_ += static_cast<double>(n) * p_store;
+    std::size_t k_loads = static_cast<std::size_t>(loadCarry_);
+    std::size_t k_stores = static_cast<std::size_t>(storeCarry_);
+    if (k_loads + k_stores > n) {
+        // Degenerate mixes (p_load + p_store near 1): favor loads.
+        k_loads = std::min(k_loads, n);
+        k_stores = n - k_loads;
+    }
+    loadCarry_ -= static_cast<double>(k_loads);
+    storeCarry_ -= static_cast<double>(k_stores);
+
+    struct Slot
+    {
+        std::uint8_t kind; // 0 = load, 1 = store, 2 = alu
+        double key;
+    };
+    std::vector<Slot> slots(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < k_loads) {
+            slots[i].kind = 0;
+            slots[i].key = 0.60 * rng_.nextDouble();
+        } else if (i < k_loads + k_stores) {
+            slots[i].kind = 1;
+            slots[i].key = 0.40 + 0.60 * rng_.nextDouble();
+        } else {
+            slots[i].kind = 2;
+            slots[i].key = 0.15 + 0.85 * rng_.nextDouble();
+        }
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const Slot &a, const Slot &b) {
+                         return a.key < b.key;
+                     });
+    for (const auto &slot : slots) {
+        if (slot.kind == 0)
+            emitLoad();
+        else if (slot.kind == 1)
+            emitStore();
+        else
+            emitAlu();
+    }
+}
+
+Instruction
+Generator::condBranchCti()
+{
+    static constexpr Opcode branch_ops[] = {Opcode::BEQ, Opcode::BNE,
+                                            Opcode::BLEZ, Opcode::BGTZ};
+    const Opcode op = branch_ops[rng_.nextRange(4)];
+
+    Reg src1;
+    Reg src2 = reg::zero;
+    const double u_feed = rng_.nextDouble();
+    if (u_feed < prof_.branchFeedProb) {
+        // Condition computed immediately before the branch: the CTI
+        // cannot be hoisted over its own compare.
+        const Reg cond = nextTemp();
+        emit(Instruction::makeAlu(Opcode::SLT, cond, recentReg(false),
+                                  recentReg(false)));
+        src1 = cond;
+    } else if (u_feed < prof_.branchFeedProb + prof_.branchFeedNearProb) {
+        // Condition computed one instruction earlier: exactly one
+        // delay slot can be filled from before the CTI.
+        const Reg cond = nextTemp();
+        emit(Instruction::makeAlu(Opcode::SLT, cond, recentReg(false),
+                                  recentReg(false)));
+        emitBodyInst();
+        src1 = cond;
+    } else {
+        src1 = rng_.nextBool(0.5) ? genreg::stable0 : genreg::stable1;
+        if (op == Opcode::BEQ || op == Opcode::BNE)
+            src2 = rng_.nextBool(0.5) ? genreg::stable1 : reg::zero;
+    }
+    if (op == Opcode::BEQ || op == Opcode::BNE)
+        return Instruction::makeBranch(op, src1, src2);
+    return Instruction::makeBranch(op, src1, reg::zero);
+}
+
+void
+Generator::genLoop(int depth)
+{
+    // Flush straight-line code so the loop head starts a block.
+    closeFallThrough();
+    const BlockId head = nextId();
+    openBlock();
+
+    ++loopDepth_;
+    // Loop body: a couple of segments, possibly nested.
+    const std::size_t segments = 1 + rng_.nextRange(2);
+    for (std::size_t s = 0; s < segments && budget_ > 16; ++s)
+        genSegment(depth + 1);
+
+    // Latch block: body then a backward conditional branch to the head.
+    fillBody(drawBodyLen());
+    Instruction cti = condBranchCti();
+    cur_.term = TermKind::CondBranch;
+    cur_.target = head;
+    cur_.fallthrough = nextId() + 1;
+    cur_.profile.backward = true;
+    // Innermost loops get the benchmark's full trip count; enclosing
+    // loops run far fewer iterations (real outer loops sweep phases),
+    // which bounds the t^2 amplification of nested loops and lets the
+    // instruction stream traverse the whole program.
+    const double site_trip = prof_.meanTrip * (0.5 + rng_.nextDouble());
+    cur_.profile.meanTrip =
+        loopDepth_ > 1 ? std::max(1.0, site_trip)
+                       : std::clamp(site_trip / 3.0, 2.0, 12.0);
+    cur_.profile.takenProb = 1.0; // direction comes from the trip model
+    closeBlock(TermKind::CondBranch, cti);
+    --loopDepth_;
+
+    openBlock();
+}
+
+void
+Generator::genIf(int depth)
+{
+    const bool has_else = rng_.nextBool(prof_.elseProb);
+
+    fillBody(drawBodyLen());
+    Instruction cti = condBranchCti();
+    cur_.term = TermKind::CondBranch;
+    cur_.fallthrough = nextId() + 1;
+    cur_.profile.backward = false;
+    // Forward branches skip the then-part when taken; most branches are
+    // strongly biased one way or the other.
+    const double u = rng_.nextDouble();
+    double taken_prob;
+    if (u < 0.45)
+        taken_prob = 0.02 + 0.28 * rng_.nextDouble();
+    else if (u < 0.80)
+        taken_prob = 0.70 + 0.28 * rng_.nextDouble();
+    else
+        taken_prob = 0.30 + 0.40 * rng_.nextDouble();
+    cur_.profile.takenProb = taken_prob;
+    const BlockId branch_block = closeBlock(TermKind::CondBranch, cti);
+
+    // Then-part (the fall-through path).
+    openBlock();
+    fillBody(drawBodyLen());
+    if (depth < 3 && budget_ > 48 && rng_.nextBool(0.25))
+        genSegment(depth + 1);
+
+    if (!has_else) {
+        // Taken branch skips straight to the join.
+        closeFallThrough();
+        prog_.block(branch_block).target = nextId();
+        openBlock();
+        return;
+    }
+
+    // then-part jumps over the else-part to the join.
+    cur_.term = TermKind::Jump;
+    const BlockId then_exit =
+        closeBlock(TermKind::Jump, Instruction::makeJump(Opcode::J));
+
+    // Else-part entry is the branch target.
+    prog_.block(branch_block).target = nextId();
+    openBlock();
+    fillBody(drawBodyLen());
+    closeFallThrough();
+
+    // Join.
+    prog_.block(then_exit).target = nextId();
+    openBlock();
+}
+
+void
+Generator::genSwitch(int depth)
+{
+    (void)depth;
+    fillBody(drawBodyLen());
+    // The jr reads a computed register (the jump-table target).
+    const Reg target_reg = nextTemp();
+    emit(Instruction::makeAluImm(Opcode::ADDIU, target_reg,
+                                 recentReg(false), 0));
+    cur_.term = TermKind::Switch;
+    const BlockId sw_block = closeBlock(
+        TermKind::Switch,
+        Instruction::makeJumpRegister(Opcode::JR, target_reg));
+
+    const std::size_t cases = 2 + rng_.nextRange(4);
+    std::vector<BlockId> case_exits;
+    for (std::size_t c = 0; c < cases; ++c) {
+        prog_.block(sw_block).switchTargets.push_back(nextId());
+        openBlock();
+        fillBody(drawBodyLen());
+        if (c + 1 < cases) {
+            cur_.term = TermKind::Jump;
+            case_exits.push_back(closeBlock(
+                TermKind::Jump, Instruction::makeJump(Opcode::J)));
+        } else {
+            // Last case falls through to the join.
+            closeFallThrough();
+        }
+    }
+    for (BlockId e : case_exits)
+        prog_.block(e).target = nextId();
+    openBlock();
+}
+
+void
+Generator::genCall()
+{
+    if (curProc_ + 1 >= prof_.numProcs)
+        return;
+    // Callee is a later procedure (acyclic call graph, no unbounded
+    // recursion): either a nearby peer or one of the utility leaves.
+    const std::uint32_t first_util =
+        prof_.numProcs >= 6 ? prof_.numProcs - prof_.numProcs / 3
+                            : prof_.numProcs - 1;
+    std::uint32_t callee;
+    if (rng_.nextBool(0.5) && first_util > curProc_ + 1) {
+        const std::uint32_t span =
+            std::min<std::uint32_t>(5, first_util - curProc_ - 1);
+        callee = curProc_ + 1 +
+                 static_cast<std::uint32_t>(rng_.nextRange(span));
+    } else {
+        const std::uint32_t lo = std::max(first_util, curProc_ + 1);
+        callee = lo + static_cast<std::uint32_t>(
+                          rng_.nextRange(prof_.numProcs - lo));
+    }
+
+    fillBody(1 + rng_.nextRange(3));
+    cur_.term = TermKind::Call;
+    cur_.fallthrough = nextId() + 1;
+    const BlockId call_block =
+        closeBlock(TermKind::Call, Instruction::makeJump(Opcode::JAL));
+    callFixups_.emplace_back(call_block, callee);
+    openBlock();
+}
+
+void
+Generator::genSegment(int depth)
+{
+    const double u = rng_.nextDouble();
+    if (depth < 2 && u < prof_.loopFrac && !utilityProc_) {
+        genLoop(depth);
+    } else if (u < prof_.loopFrac + prof_.callFrac &&
+               curProc_ + 1 < prof_.numProcs && loopDepth_ == 0) {
+        // Calls only from loop-free context: a call inside a loop
+        // multiplies the whole callee subtree by the trip count and
+        // (transitively) concentrates all execution in the first few
+        // procedures.
+        genCall();
+    } else if (u < prof_.loopFrac + prof_.callFrac + 0.40) {
+        genIf(depth);
+    } else {
+        fillBody(drawBodyLen());
+    }
+}
+
+void
+Generator::genBody(int depth)
+{
+    bool did_switch = false;
+    while (budget_ > 24) {
+        if (!did_switch && rng_.nextBool(prof_.switchFrac) && depth == 0) {
+            genSwitch(depth);
+            did_switch = true;
+            continue;
+        }
+        genSegment(depth);
+    }
+}
+
+void
+Generator::genProc(std::uint32_t proc)
+{
+    curProc_ = proc;
+    procIsLeaf_ = proc + 1 >= prof_.numProcs;
+    // The last third of the procedures are small leaf-like utilities
+    // (string/compare/copy helpers): they absorb most call-tree
+    // visits, so keeping them small and loop-free stops the call DAG
+    // from concentrating all executed instructions at high indices —
+    // the big early procedures then get swept once per driver
+    // iteration, which is what gives the instruction stream a working
+    // set comparable to the static code size.
+    utilityProc_ = proc != 0 && prof_.numProcs >= 6 &&
+                   proc >= prof_.numProcs - prof_.numProcs / 3;
+    loopDepth_ = 0;
+    pending_.clear();
+    pendingArrayBump_ = -1;
+    pendingHeapChase_ = -1;
+
+    // Per-procedure budget with some jitter; the main procedure (0) is
+    // small — it is just the driver loop.
+    const std::int64_t base =
+        static_cast<std::int64_t>(prof_.staticInsts) /
+        static_cast<std::int64_t>(prof_.numProcs);
+    if (proc == 0) {
+        budget_ = std::max<std::int64_t>(24, base / 4);
+    } else if (utilityProc_) {
+        budget_ = 24 + static_cast<std::int64_t>(rng_.nextRange(64));
+    } else {
+        // Non-utility procedures share the remaining static budget.
+        const std::int64_t scaled = base * 3 / 2;
+        budget_ = std::max<std::int64_t>(
+            32, scaled + rng_.nextInt(-scaled / 4, scaled / 4));
+    }
+
+    procEntry_.push_back(nextId());
+    prog_.addProcEntry(nextId());
+    openBlock();
+
+    // Prologue: adjust sp; non-leaf procedures save ra on the stack.
+    const std::int32_t frame =
+        static_cast<std::int32_t>(32 + 8 * rng_.nextRange(24));
+    emit(Instruction::makeAluImm(Opcode::ADDIU, reg::sp, reg::sp, -frame));
+    if (!procIsLeaf_)
+        emit(Instruction::makeStore(reg::ra, reg::sp, 0,
+                                    AddrClass::Stack));
+    // Initialize array/heap stream pointers used by this procedure.
+    // The driver (startup code) initializes every pointer and the
+    // stable condition registers unconditionally, so no register is
+    // ever read before some reachable definition; other procedures
+    // refresh a subset (re-anchoring their working arrays).
+    for (std::uint32_t s = 0; s < prof_.numStreams; ++s) {
+        if (proc == 0 || rng_.nextBool(0.35)) {
+            emit(Instruction::makeAluImm(
+                Opcode::ADDIU,
+                static_cast<Reg>(genreg::firstArrPtr +
+                                 s % genreg::numArrPtrs),
+                reg::gp, static_cast<std::int32_t>(1024 * (s + 1))));
+        }
+        if (proc == 0 || rng_.nextBool(0.15)) {
+            emit(Instruction::makeLoad(
+                static_cast<Reg>(genreg::firstHeapPtr +
+                                 s % genreg::numHeapPtrs),
+                reg::gp, static_cast<std::int32_t>(4 * s),
+                AddrClass::Global));
+        }
+    }
+    if (proc == 0) {
+        emit(Instruction::makeAluImm(Opcode::ADDIU, genreg::stable0,
+                                     reg::zero, 1));
+        emit(Instruction::makeAluImm(Opcode::ADDIU, genreg::stable1,
+                                     reg::zero, 2));
+        // Seed the temporary pool so early consumers have defs.
+        for (Reg t = genreg::firstTemp;
+             t < genreg::firstTemp + genreg::numTemps; ++t) {
+            emit(Instruction::makeAluImm(Opcode::ADDIU, t, reg::zero,
+                                         t));
+        }
+        for (Reg f = genreg::firstFpTemp;
+             f < genreg::firstFpTemp + genreg::numFpTemps; ++f) {
+            emit(Instruction::makeLoad(f, reg::gp,
+                                       4 * (f - genreg::firstFpTemp),
+                                       AddrClass::Global));
+        }
+        for (Reg a = genreg::firstScratchPtr;
+             a < genreg::firstScratchPtr + genreg::numScratchPtrs;
+             ++a) {
+            emit(Instruction::makeAluImm(Opcode::ADDIU, a, reg::gp,
+                                         4 * a));
+        }
+    }
+
+    if (proc == 0) {
+        // Driver: an effectively-infinite loop that calls every other
+        // procedure in turn, so the executed instruction footprint is
+        // the whole program (real applications sweep their code
+        // between loop phases); the trace executor stops at its
+        // instruction budget, never at program exit.
+        closeFallThrough();
+        const BlockId head = nextId();
+        openBlock();
+        ++loopDepth_;
+        for (std::uint32_t callee = 1; callee < prof_.numProcs;
+             ++callee) {
+            fillBody(1 + rng_.nextRange(3));
+            cur_.term = TermKind::Call;
+            cur_.fallthrough = nextId() + 1;
+            const BlockId call_block = closeBlock(
+                TermKind::Call, Instruction::makeJump(Opcode::JAL));
+            callFixups_.emplace_back(call_block, callee);
+            openBlock();
+        }
+        fillBody(2 + rng_.nextRange(4));
+        Instruction cti = condBranchCti();
+        cur_.term = TermKind::CondBranch;
+        cur_.target = head;
+        cur_.fallthrough = nextId() + 1;
+        cur_.profile.backward = true;
+        cur_.profile.meanTrip = 1e15; // never exits in practice
+        cur_.profile.takenProb = 1.0;
+        closeBlock(TermKind::CondBranch, cti);
+        --loopDepth_;
+        openBlock();
+    } else {
+        genBody(0);
+    }
+
+    // Epilogue: restore ra (non-leaf), pop the frame, return.
+    if (!procIsLeaf_)
+        emit(Instruction::makeLoad(reg::ra, reg::sp, 0, AddrClass::Stack));
+    emit(Instruction::makeAluImm(Opcode::ADDIU, reg::sp, reg::sp, frame));
+    cur_.term = TermKind::Return;
+    closeBlock(TermKind::Return,
+               Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+}
+
+Program
+Generator::run()
+{
+    for (std::uint32_t p = 0; p < prof_.numProcs; ++p)
+        genProc(p);
+
+    for (auto [block, callee] : callFixups_)
+        prog_.block(block).target = procEntry_[callee];
+
+    prog_.setEntry(procEntry_[0]);
+    prog_.layout();
+    prog_.validate();
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+generateProgram(const GenProfile &profile)
+{
+    Generator gen(profile);
+    return gen.run();
+}
+
+} // namespace pipecache::isa

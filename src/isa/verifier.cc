@@ -1,0 +1,176 @@
+#include "isa/verifier.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+
+namespace {
+
+bool
+isPrecious(Reg r)
+{
+    // Registers the runtime initializes before user code runs.
+    return r == reg::zero || r == reg::gp || r == reg::sp ||
+           r == reg::fp || r == reg::ra;
+}
+
+std::vector<bool>
+reachableBlocks(const Program &program)
+{
+    std::vector<bool> seen(program.numBlocks(), false);
+    std::deque<BlockId> work{program.entry()};
+    seen[program.entry()] = true;
+
+    auto push = [&](BlockId id) {
+        if (id != invalidBlock && id < program.numBlocks() &&
+            !seen[id]) {
+            seen[id] = true;
+            work.push_back(id);
+        }
+    };
+
+    while (!work.empty()) {
+        const BlockId id = work.front();
+        work.pop_front();
+        const BasicBlock &bb = program.block(id);
+        switch (bb.term) {
+          case TermKind::FallThrough:
+            push(bb.fallthrough);
+            break;
+          case TermKind::CondBranch:
+            push(bb.target);
+            push(bb.fallthrough);
+            break;
+          case TermKind::Jump:
+            push(bb.target);
+            break;
+          case TermKind::Call:
+            push(bb.target);
+            push(bb.fallthrough); // return continuation
+            break;
+          case TermKind::Return:
+            break;
+          case TermKind::Switch:
+            for (BlockId t : bb.switchTargets)
+                push(t);
+            break;
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+std::size_t
+VerifierReport::count(VerifierIssue::Kind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(issues.begin(), issues.end(),
+                      [kind](const VerifierIssue &issue) {
+                          return issue.kind == kind;
+                      }));
+}
+
+VerifierReport
+verifyProgram(const Program &program)
+{
+    program.validate();
+    VerifierReport report;
+
+    const std::vector<bool> reachable = reachableBlocks(program);
+    report.reachableBlocks = static_cast<std::size_t>(
+        std::count(reachable.begin(), reachable.end(), true));
+
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        if (!reachable[b]) {
+            std::ostringstream os;
+            os << "block B" << b << " is unreachable from entry";
+            report.issues.push_back({
+                VerifierIssue::Kind::UnreachableBlock, b, reg::zero,
+                os.str()});
+        }
+    }
+
+    // Path-insensitive def set over reachable code.
+    std::array<bool, reg::numRegs> defined{};
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        if (!reachable[b])
+            continue;
+        for (const auto &inst : program.block(b).insts) {
+            const Reg dest = inst.destReg();
+            if (dest != reg::zero)
+                defined[dest] = true;
+        }
+    }
+    std::array<bool, reg::numRegs> reported{};
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        if (!reachable[b])
+            continue;
+        for (const auto &inst : program.block(b).insts) {
+            for (const Reg src : inst.srcRegs()) {
+                if (src == reg::zero || isPrecious(src) ||
+                    defined[src] || reported[src]) {
+                    continue;
+                }
+                reported[src] = true;
+                std::ostringstream os;
+                os << "r" << int{src} << " read in B" << b
+                   << " but never defined anywhere reachable";
+                report.issues.push_back(
+                    {VerifierIssue::Kind::ReadBeforeAnyDef, b, src,
+                     os.str()});
+            }
+        }
+    }
+
+    // Call discipline.
+    const auto &entries = program.procEntries();
+    auto is_entry = [&entries](BlockId id) {
+        return std::find(entries.begin(), entries.end(), id) !=
+               entries.end();
+    };
+    if (!entries.empty()) {
+        for (BlockId b = 0; b < program.numBlocks(); ++b) {
+            if (!reachable[b])
+                continue;
+            const BasicBlock &bb = program.block(b);
+            if (bb.term == TermKind::Call && !is_entry(bb.target)) {
+                std::ostringstream os;
+                os << "B" << b << " calls B" << bb.target
+                   << ", which is not a procedure entry";
+                report.issues.push_back(
+                    {VerifierIssue::Kind::CallToNonEntry, b,
+                     reg::zero, os.str()});
+            }
+        }
+
+        // Every procedure region must contain a return.
+        for (std::size_t p = 0; p < entries.size(); ++p) {
+            const BlockId begin = entries[p];
+            const BlockId end =
+                p + 1 < entries.size()
+                    ? entries[p + 1]
+                    : static_cast<BlockId>(program.numBlocks());
+            bool has_return = false;
+            for (BlockId b = begin; b < end && !has_return; ++b)
+                has_return =
+                    program.block(b).term == TermKind::Return;
+            if (!has_return) {
+                std::ostringstream os;
+                os << "procedure at B" << begin
+                   << " has no return block";
+                report.issues.push_back(
+                    {VerifierIssue::Kind::ProcedureWithoutReturn,
+                     begin, reg::zero, os.str()});
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace pipecache::isa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-program static verifier — a deeper pass than
+ * Program::validate()'s structural checks.
+ *
+ * Checks performed:
+ *  - reachability: every block is reachable from the entry through
+ *    fall-through/branch/call/return edges (return edges approximated
+ *    by call-site continuations);
+ *  - register liveness at entry: no path-insensitive read of a
+ *    general register that no reachable block could have defined
+ *    (ABI registers gp/sp/ra and the zero register are precious and
+ *    assumed initialized);
+ *  - call discipline: calls target procedure entries; return blocks
+ *    exist on every procedure's reachable paths.
+ *
+ * Used by tests as a generator-quality gate and available to users
+ * building programs by hand.
+ */
+
+#ifndef PIPECACHE_ISA_VERIFIER_HH
+#define PIPECACHE_ISA_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace pipecache::isa {
+
+/** One verifier finding. */
+struct VerifierIssue
+{
+    enum class Kind : std::uint8_t
+    {
+        UnreachableBlock,
+        ReadBeforeAnyDef,
+        CallToNonEntry,
+        ProcedureWithoutReturn,
+    };
+
+    Kind kind;
+    BlockId block = invalidBlock;
+    Reg reg = reg::zero;
+    std::string message;
+};
+
+/** Verification report. */
+struct VerifierReport
+{
+    std::vector<VerifierIssue> issues;
+    std::size_t reachableBlocks = 0;
+
+    bool clean() const { return issues.empty(); }
+
+    /** Issues of one kind. */
+    std::size_t count(VerifierIssue::Kind kind) const;
+};
+
+/** Run all checks on a validated, laid-out program. */
+VerifierReport verifyProgram(const Program &program);
+
+} // namespace pipecache::isa
+
+#endif // PIPECACHE_ISA_VERIFIER_HH

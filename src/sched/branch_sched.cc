@@ -1,0 +1,60 @@
+#include "sched/branch_sched.hh"
+
+#include <algorithm>
+
+#include "isa/dependence.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+TranslationFile
+scheduleBranchDelays(const isa::Program &program,
+                     std::uint32_t delay_slots)
+{
+    PC_ASSERT(delay_slots <= 8, "implausible delay-slot count ",
+              delay_slots);
+
+    TranslationFile xlat(delay_slots,
+                         program.numBlocks());
+
+    for (isa::BlockId id = 0; id < program.numBlocks(); ++id) {
+        const isa::BasicBlock &bb = program.block(id);
+        BlockXlat &bx = xlat[id];
+        bx.usefulLen = static_cast<std::uint32_t>(bb.size());
+        bx.schedLen = bx.usefulLen;
+
+        if (!bb.hasCti())
+            continue;
+        bx.hasCti = 1;
+
+        const Prediction pred = predictStatic(bb, id);
+        bx.predictTaken = pred == Prediction::Taken ? 1 : 0;
+        bx.indirect = isIndirectJump(bb.cti().op) ? 1 : 0;
+
+        // Steps 1-2: hoist the CTI as far as dependences allow; the
+        // instructions it crosses fill the first r delay slots with
+        // always-useful (pre-branch) work.
+        const std::size_t hoist = isa::ctiHoistDistance(bb);
+        bx.r = static_cast<std::uint8_t>(
+            std::min<std::size_t>(hoist, delay_slots));
+        bx.s = static_cast<std::uint8_t>(delay_slots - bx.r);
+
+        // Step 4 (layout): predicted-taken CTIs replicate s target
+        // instructions after the CTI; register-indirect CTIs append s
+        // noops. Predicted not-taken CTIs use the sequential code that
+        // already follows, so the layout does not grow.
+        if (bx.predictTaken || bx.indirect)
+            bx.schedLen += bx.s;
+    }
+
+    // Assign scheduled entry addresses, contiguous in block order from
+    // the program's base (mirroring the canonical layout policy).
+    Addr addr = program.base();
+    for (isa::BlockId id = 0; id < program.numBlocks(); ++id) {
+        xlat[id].entry = addr;
+        addr += static_cast<Addr>(xlat[id].schedLen * bytesPerWord);
+    }
+    return xlat;
+}
+
+} // namespace pipecache::sched

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The branch delay-slot post-processor (the paper's object-code
+ * post-processor, Section 3.1), operating on our IR instead of MIPS
+ * object code. For each CTI it:
+ *
+ *  1. determines r, the number of delay slots fillable by hoisting the
+ *     CTI over preceding independent instructions (dependence-limited,
+ *     capped at b);
+ *  2. sets s = b - r, the slots needing target-path replicas
+ *     (predicted-taken CTIs: code growth of s), sequential-path
+ *     instructions (predicted not-taken: no growth, the next block's
+ *     code occupies the slots), or noops (register-indirect CTIs:
+ *     growth of s);
+ *  3. attaches the BTFNT static prediction;
+ *  4. lays out the scheduled code and records everything in a
+ *     TranslationFile.
+ */
+
+#ifndef PIPECACHE_SCHED_BRANCH_SCHED_HH
+#define PIPECACHE_SCHED_BRANCH_SCHED_HH
+
+#include "isa/program.hh"
+#include "sched/translation.hh"
+
+namespace pipecache::sched {
+
+/**
+ * Schedule @p program for an architecture with @p delay_slots branch
+ * delay slots with optional squashing; 0 yields the identity layout
+ * used by the BTB experiments.
+ */
+TranslationFile scheduleBranchDelays(const isa::Program &program,
+                                     std::uint32_t delay_slots);
+
+} // namespace pipecache::sched
+
+#endif // PIPECACHE_SCHED_BRANCH_SCHED_HH

@@ -1,0 +1,188 @@
+#include "sched/list_sched.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "isa/dependence.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+namespace {
+
+/** Dependence DAG for one block. */
+struct Dag
+{
+    std::size_t n = 0;
+    /** succs[i] = (successor index, latency). */
+    std::vector<std::vector<std::pair<std::uint16_t, std::uint8_t>>>
+        succs;
+    std::vector<std::uint16_t> predCount;
+    /** Longest latency path from node to any exit (priority). */
+    std::vector<std::uint32_t> height;
+};
+
+bool
+mustOrder(const isa::Instruction &a, const isa::Instruction &b)
+{
+    // Register hazards.
+    if (!isa::registerIndependent(a, b))
+        return true;
+    // Stores stay ordered among themselves; loads may cross stores
+    // both ways (perfect disambiguation, per the paper).
+    if (isStore(a.op) && isStore(b.op))
+        return true;
+    // Syscalls are scheduling barriers.
+    if (a.op == isa::Opcode::SYSCALL || b.op == isa::Opcode::SYSCALL)
+        return true;
+    return false;
+}
+
+Dag
+buildDag(const isa::BasicBlock &bb, std::uint32_t load_slots)
+{
+    const std::size_t n = bb.size();
+    Dag dag;
+    dag.n = n;
+    dag.succs.resize(n);
+    dag.predCount.assign(n, 0);
+    dag.height.assign(n, 0);
+
+    const std::size_t cti_pos = bb.hasCti() ? n - 1 : n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            bool edge = mustOrder(bb.insts[i], bb.insts[j]);
+            // The CTI is pinned: everything precedes it.
+            if (j == cti_pos)
+                edge = true;
+            if (!edge)
+                continue;
+            // Latency: a load's consumer must wait load_slots extra
+            // cycles; every other ordering is one cycle.
+            std::uint8_t latency = 1;
+            const isa::Reg dest = bb.insts[i].destReg();
+            if (isLoad(bb.insts[i].op) && dest != isa::reg::zero &&
+                bb.insts[j].reads(dest)) {
+                latency = static_cast<std::uint8_t>(1 + load_slots);
+            }
+            dag.succs[i].push_back(
+                {static_cast<std::uint16_t>(j), latency});
+            ++dag.predCount[j];
+        }
+    }
+
+    // Heights by reverse topological order (indices are topological
+    // because edges always go forward).
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint32_t h = 0;
+        for (const auto &[j, lat] : dag.succs[i])
+            h = std::max(h, dag.height[j] + lat);
+        dag.height[i] = h;
+    }
+    return dag;
+}
+
+} // namespace
+
+ScheduledBlock
+listScheduleBlock(const isa::BasicBlock &bb, std::uint32_t load_slots)
+{
+    ScheduledBlock out;
+    const std::size_t n = bb.size();
+    out.order.reserve(n);
+    if (n == 0)
+        return out;
+
+    Dag dag = buildDag(bb, load_slots);
+
+    // readyAt[i]: earliest cycle node i may issue (data-ready).
+    std::vector<std::uint32_t> ready_at(n, 0);
+    std::vector<bool> scheduled(n, false);
+    std::vector<std::uint16_t> pending_preds = dag.predCount;
+
+    std::uint32_t cycle = 0;
+    std::size_t done = 0;
+    while (done < n) {
+        // Pick the data-ready, dependence-free node with the greatest
+        // height (critical path first); ties break toward original
+        // order for determinism.
+        std::size_t best = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (scheduled[i] || pending_preds[i] != 0 ||
+                ready_at[i] > cycle) {
+                continue;
+            }
+            if (best == n || dag.height[i] > dag.height[best])
+                best = i;
+        }
+
+        if (best == n) {
+            // Nothing ready this cycle: a true stall.
+            ++cycle;
+            ++out.localStalls;
+            continue;
+        }
+
+        scheduled[best] = true;
+        out.order.push_back(static_cast<std::uint16_t>(best));
+        ++done;
+        for (const auto &[j, lat] : dag.succs[best]) {
+            ready_at[j] = std::max(ready_at[j],
+                                   cycle + static_cast<std::uint32_t>(
+                                               lat));
+            --pending_preds[j];
+        }
+        ++cycle;
+    }
+    return out;
+}
+
+ListSchedStats
+evaluateListScheduling(const isa::Program &program,
+                       const trace::RecordedTrace &trace,
+                       std::uint32_t load_slots)
+{
+    // Cache each block's schedule.
+    std::vector<ScheduledBlock> schedules(program.numBlocks());
+    std::vector<bool> cached(program.numBlocks(), false);
+
+    ListSchedStats stats;
+    // Scoreboard across block boundaries (absolute cycles).
+    std::array<std::uint64_t, isa::reg::numRegs> ready{};
+    std::uint64_t cycle = 0;
+
+    for (const auto &ev : trace.blocks) {
+        const isa::BasicBlock &bb = program.block(ev.block);
+        if (!cached[ev.block]) {
+            schedules[ev.block] = listScheduleBlock(bb, load_slots);
+            cached[ev.block] = true;
+        }
+        const ScheduledBlock &sched = schedules[ev.block];
+
+        for (const std::uint16_t idx : sched.order) {
+            const isa::Instruction &inst = bb.insts[idx];
+            std::uint64_t t = cycle;
+            const auto srcs = inst.srcRegs();
+            for (const isa::Reg src : srcs) {
+                if (src != isa::reg::zero)
+                    t = std::max(t, ready[src]);
+            }
+            stats.stallCycles += t - cycle;
+
+            const isa::Reg dest = inst.destReg();
+            if (dest != isa::reg::zero) {
+                const std::uint64_t extra =
+                    isLoad(inst.op) ? load_slots : 0;
+                ready[dest] = t + 1 + extra;
+            }
+            if (isLoad(inst.op))
+                ++stats.loads;
+            cycle = t + 1;
+            ++stats.insts;
+        }
+    }
+    return stats;
+}
+
+} // namespace pipecache::sched

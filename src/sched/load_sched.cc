@@ -1,0 +1,158 @@
+#include "sched/load_sched.hh"
+
+#include <algorithm>
+
+#include "isa/dependence.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+Counter
+LoadDelayStats::totalDelayCycles(std::uint32_t l, bool dynamic) const
+{
+    PC_ASSERT(l < histBuckets, "delay-cycle count out of range: ", l);
+    const Histogram &hist = dynamic ? eDynamic : eStatic;
+    Counter total = 0;
+    for (std::uint32_t e = 0; e < l; ++e)
+        total += hist.bucket(e) * (l - e);
+    // Loads with e >= l (including the overflow bucket) stall zero
+    // cycles; dead loads never stall.
+    return total;
+}
+
+double
+LoadDelayStats::delayCyclesPerLoad(std::uint32_t l, bool dynamic) const
+{
+    const Counter loads = totalLoads();
+    if (loads == 0)
+        return 0.0;
+    return static_cast<double>(totalDelayCycles(l, dynamic)) /
+           static_cast<double>(loads);
+}
+
+void
+LoadDelayStats::merge(const LoadDelayStats &other)
+{
+    eStatic.merge(other.eStatic);
+    eDynamic.merge(other.eDynamic);
+    consumedLoads += other.consumedLoads;
+    deadLoads += other.deadLoads;
+}
+
+LoadUseTracker::LoadUseTracker(const isa::Program &program)
+    : program_(program), blockInfo_(program.numBlocks())
+{
+    lastDef_.fill(neverWritten);
+}
+
+void
+LoadUseTracker::resolve(isa::Reg r, std::uint64_t use_idx)
+{
+    PendingLoad &p = pending_[r];
+    if (!p.valid)
+        return;
+    p.valid = false;
+
+    const std::uint64_t d_dyn = use_idx - p.loadIdx - 1;
+    const std::uint64_t d_static =
+        std::min<std::uint64_t>(d_dyn, p.remainInBlock);
+
+    const std::uint64_t e_dyn = p.cDynamic + d_dyn;
+    const std::uint64_t e_static = p.cStatic + d_static;
+
+    stats_.eDynamic.sample(e_dyn);
+    stats_.eStatic.sample(e_static);
+    ++stats_.consumedLoads;
+}
+
+void
+LoadUseTracker::kill(isa::Reg r)
+{
+    if (pending_[r].valid) {
+        pending_[r].valid = false;
+        ++stats_.deadLoads;
+    }
+}
+
+void
+LoadUseTracker::processBlock(isa::BlockId id)
+{
+    const isa::BasicBlock &bb = program_.block(id);
+
+    BlockInfo &info = blockInfo_[id];
+    if (!info.cached) {
+        info.loadCStatic.assign(bb.size(), 0xffff);
+        for (std::size_t pos = 0; pos < bb.size(); ++pos) {
+            if (isLoad(bb.insts[pos].op)) {
+                info.loadCStatic[pos] = static_cast<std::uint16_t>(
+                    std::min<std::size_t>(
+                        isa::loadHoistDistance(bb, pos), 0x7fff));
+            }
+        }
+        info.cached = true;
+    }
+
+    const std::size_t size = bb.size();
+    for (std::size_t pos = 0; pos < size; ++pos) {
+        const isa::Instruction &inst = bb.insts[pos];
+
+        // Reads resolve pending loads before the write is applied.
+        const auto srcs = inst.srcRegs();
+        if (srcs[0] != isa::reg::zero)
+            resolve(srcs[0], idx_);
+        if (srcs[1] != isa::reg::zero && srcs[1] != srcs[0])
+            resolve(srcs[1], idx_);
+
+        const isa::Reg dest = inst.destReg();
+        if (dest != isa::reg::zero)
+            kill(dest);
+
+        if (isLoad(inst.op)) {
+            PendingLoad &p = pending_[dest];
+            p.valid = true;
+            p.loadIdx = idx_;
+
+            const isa::Reg addr_reg = inst.addrReg();
+            std::uint64_t c_dyn;
+            if (addr_reg == isa::reg::zero ||
+                lastDef_[addr_reg] == neverWritten) {
+                c_dyn = 0x7fff;
+            } else {
+                c_dyn = idx_ - lastDef_[addr_reg] - 1;
+            }
+            p.cDynamic = static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(c_dyn, 0x7fff));
+            p.cStatic = info.loadCStatic[pos];
+            p.remainInBlock =
+                static_cast<std::uint16_t>(size - 1 - pos);
+        }
+
+        if (dest != isa::reg::zero)
+            lastDef_[dest] = idx_;
+        ++idx_;
+    }
+}
+
+void
+LoadUseTracker::finish()
+{
+    for (auto &p : pending_) {
+        if (p.valid) {
+            p.valid = false;
+            ++stats_.deadLoads;
+        }
+    }
+}
+
+LoadDelayStats
+analyzeLoadDelays(const isa::Program &program,
+                  const trace::RecordedTrace &trace)
+{
+    LoadUseTracker tracker(program);
+    for (const auto &ev : trace.blocks)
+        tracker.processBlock(ev.block);
+    tracker.finish();
+    return tracker.stats();
+}
+
+} // namespace pipecache::sched

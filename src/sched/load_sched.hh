@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Load-delay analysis (Section 3.2 of the paper).
+ *
+ * For every executed load we measure the independence distance
+ * e = c + d, where c is the number of instructions between the last
+ * write of the load's address register and the load, and d is the
+ * number of instructions between the load and the first use of its
+ * result:
+ *
+ *  - the *dynamic* (unbounded) distribution corresponds to Figure 6
+ *    and models out-of-order load issue;
+ *  - the *static* distribution bounds both components by basic-block
+ *    limits — c by the dependence-limited hoisting distance within the
+ *    block, d by the distance to the block's end — corresponding to
+ *    Figure 7 and compile-time scheduling (with perfect memory
+ *    disambiguation, per the paper).
+ *
+ * With l load delay cycles, a load whose hideable distance is e costs
+ * max(0, l - e) stall cycles; Table 5 follows directly from the two
+ * distributions.
+ */
+
+#ifndef PIPECACHE_SCHED_LOAD_SCHED_HH
+#define PIPECACHE_SCHED_LOAD_SCHED_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/executor.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace pipecache::sched {
+
+/** Aggregated e-distributions for one workload. */
+struct LoadDelayStats
+{
+    static constexpr std::size_t histBuckets = 17;
+
+    LoadDelayStats()
+        : eStatic(histBuckets), eDynamic(histBuckets)
+    {
+    }
+
+    /** Distribution of e bounded by basic blocks (Figure 7). */
+    Histogram eStatic;
+    /** Unbounded dynamic distribution of e (Figure 6). */
+    Histogram eDynamic;
+
+    /** Loads whose result was consumed. */
+    Counter consumedLoads = 0;
+    /** Loads whose result was never read (no stall possible). */
+    Counter deadLoads = 0;
+
+    Counter totalLoads() const { return consumedLoads + deadLoads; }
+
+    /**
+     * Total stall cycles for @p l load delay cycles under static
+     * (in-block) or dynamic (unbounded) scheduling.
+     */
+    Counter totalDelayCycles(std::uint32_t l, bool dynamic) const;
+
+    /** Mean stall cycles per load (Table 5's "delay cycles/load"). */
+    double delayCyclesPerLoad(std::uint32_t l, bool dynamic) const;
+
+    void merge(const LoadDelayStats &other);
+};
+
+/**
+ * Streaming tracker: feed executed blocks in trace order; resolves
+ * load-use distances on the fly.
+ *
+ * A tracker holds per-register state, so use one tracker per
+ * benchmark (per address space) and keep feeding it across
+ * context-switch slices.
+ */
+class LoadUseTracker
+{
+  public:
+    explicit LoadUseTracker(const isa::Program &program);
+
+    /** Process one executed block (by canonical block id). */
+    void processBlock(isa::BlockId id);
+
+    /** Flush pending loads (they become dead loads). Call at end. */
+    void finish();
+
+    const LoadDelayStats &stats() const { return stats_; }
+
+  private:
+    struct PendingLoad
+    {
+        bool valid = false;
+        std::uint64_t loadIdx = 0;
+        std::uint16_t cDynamic = 0;
+        std::uint16_t cStatic = 0;
+        std::uint16_t remainInBlock = 0;
+    };
+
+    /** Cached per-block static analysis. */
+    struct BlockInfo
+    {
+        bool cached = false;
+        /** For each position: 0xffff, or the load's static c bound. */
+        std::vector<std::uint16_t> loadCStatic;
+    };
+
+    void resolve(isa::Reg r, std::uint64_t use_idx);
+    void kill(isa::Reg r);
+
+    const isa::Program &program_;
+    LoadDelayStats stats_;
+
+    std::uint64_t idx_ = 0;
+    static constexpr std::uint64_t neverWritten = ~0ULL;
+    std::array<std::uint64_t, isa::reg::numRegs> lastDef_;
+    std::array<PendingLoad, isa::reg::numRegs> pending_;
+    std::vector<BlockInfo> blockInfo_;
+};
+
+/** Analyze a whole recorded trace (convenience wrapper). */
+LoadDelayStats analyzeLoadDelays(const isa::Program &program,
+                                 const trace::RecordedTrace &trace);
+
+} // namespace pipecache::sched
+
+#endif // PIPECACHE_SCHED_LOAD_SCHED_HH

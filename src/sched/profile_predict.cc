@@ -1,0 +1,94 @@
+#include "sched/profile_predict.hh"
+
+#include <algorithm>
+
+#include "isa/dependence.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+Prediction
+BranchProfileData::predict(const isa::Program &program,
+                           isa::BlockId id) const
+{
+    PC_ASSERT(id < taken_.size(), "block id out of profile range");
+    const std::uint64_t t = taken_[id];
+    const std::uint64_t n = notTaken_[id];
+    if (t == 0 && n == 0)
+        return predictStatic(program.block(id), id); // untrained
+    return t >= n ? Prediction::Taken : Prediction::NotTaken;
+}
+
+double
+BranchProfileData::selfAccuracy() const
+{
+    std::uint64_t right = 0;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < taken_.size(); ++b) {
+        right += std::max(taken_[b], notTaken_[b]);
+        total += taken_[b] + notTaken_[b];
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(right) /
+                            static_cast<double>(total);
+}
+
+BranchProfileData
+collectBranchProfile(const isa::Program &program,
+                     const trace::RecordedTrace &trace)
+{
+    BranchProfileData profile(program.numBlocks());
+    for (const auto &ev : trace.blocks) {
+        if (program.block(ev.block).term == isa::TermKind::CondBranch)
+            profile.record(ev.block, ev.taken != 0);
+    }
+    return profile;
+}
+
+TranslationFile
+scheduleBranchDelaysProfiled(const isa::Program &program,
+                             std::uint32_t delay_slots,
+                             const BranchProfileData &profile)
+{
+    PC_ASSERT(profile.numBlocks() == program.numBlocks(),
+              "profile does not match program");
+
+    // Same procedure as scheduleBranchDelays, with the prediction
+    // source swapped (step 3 of the paper's procedure).
+    TranslationFile xlat(delay_slots, program.numBlocks());
+
+    for (isa::BlockId id = 0; id < program.numBlocks(); ++id) {
+        const isa::BasicBlock &bb = program.block(id);
+        BlockXlat &bx = xlat[id];
+        bx.usefulLen = static_cast<std::uint32_t>(bb.size());
+        bx.schedLen = bx.usefulLen;
+
+        if (!bb.hasCti())
+            continue;
+        bx.hasCti = 1;
+
+        const Prediction pred =
+            bb.term == isa::TermKind::CondBranch
+                ? profile.predict(program, id)
+                : predictStatic(bb, id);
+        bx.predictTaken = pred == Prediction::Taken ? 1 : 0;
+        bx.indirect = isIndirectJump(bb.cti().op) ? 1 : 0;
+
+        const std::size_t hoist = isa::ctiHoistDistance(bb);
+        bx.r = static_cast<std::uint8_t>(
+            std::min<std::size_t>(hoist, delay_slots));
+        bx.s = static_cast<std::uint8_t>(delay_slots - bx.r);
+
+        if (bx.predictTaken || bx.indirect)
+            bx.schedLen += bx.s;
+    }
+
+    Addr addr = program.base();
+    for (isa::BlockId id = 0; id < program.numBlocks(); ++id) {
+        xlat[id].entry = addr;
+        addr += static_cast<Addr>(xlat[id].schedLen * bytesPerWord);
+    }
+    return xlat;
+}
+
+} // namespace pipecache::sched

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Profile-guided static branch prediction — the extension the paper
+ * points at when citing [HCC89]/[KT91]: "static branch prediction
+ * techniques using sophisticated program profiling ... are
+ * competitive with much larger BTBs".
+ *
+ * A training run's recorded trace yields per-branch taken/not-taken
+ * counts; the post-processor then predicts each conditional branch's
+ * majority direction instead of BTFNT. Everything downstream
+ * (squashing replay, code-expansion accounting) is unchanged — only
+ * the per-CTI prediction flag in the translation file differs.
+ */
+
+#ifndef PIPECACHE_SCHED_PROFILE_PREDICT_HH
+#define PIPECACHE_SCHED_PROFILE_PREDICT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sched/translation.hh"
+#include "trace/executor.hh"
+
+namespace pipecache::sched {
+
+/** Per-branch execution profile from a training run. */
+class BranchProfileData
+{
+  public:
+    explicit BranchProfileData(std::size_t num_blocks)
+        : taken_(num_blocks, 0), notTaken_(num_blocks, 0)
+    {
+    }
+
+    /** Record one executed conditional branch. */
+    void record(isa::BlockId id, bool taken)
+    {
+        if (taken)
+            ++taken_[id];
+        else
+            ++notTaken_[id];
+    }
+
+    std::uint64_t takenCount(isa::BlockId id) const
+    {
+        return taken_[id];
+    }
+    std::uint64_t notTakenCount(isa::BlockId id) const
+    {
+        return notTaken_[id];
+    }
+    std::uint64_t executions(isa::BlockId id) const
+    {
+        return taken_[id] + notTaken_[id];
+    }
+
+    /**
+     * Majority-direction prediction; branches never seen in training
+     * fall back to BTFNT.
+     */
+    Prediction predict(const isa::Program &program,
+                       isa::BlockId id) const;
+
+    /** Fraction of trained executions the majority rule would get
+     *  right (the self-consistency score of the profile). */
+    double selfAccuracy() const;
+
+    std::size_t numBlocks() const { return taken_.size(); }
+
+  private:
+    std::vector<std::uint64_t> taken_;
+    std::vector<std::uint64_t> notTaken_;
+};
+
+/** Collect a branch profile from a recorded training trace. */
+BranchProfileData collectBranchProfile(const isa::Program &program,
+                                       const trace::RecordedTrace &trace);
+
+/**
+ * Delay-slot scheduling with profile-guided predictions for
+ * conditional branches (unconditional CTIs keep their BTFNT-identical
+ * handling). Same contract as scheduleBranchDelays().
+ */
+TranslationFile
+scheduleBranchDelaysProfiled(const isa::Program &program,
+                             std::uint32_t delay_slots,
+                             const BranchProfileData &profile);
+
+} // namespace pipecache::sched
+
+#endif // PIPECACHE_SCHED_PROFILE_PREDICT_HH

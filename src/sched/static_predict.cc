@@ -1,0 +1,37 @@
+#include "sched/static_predict.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+bool
+isBackwardBranch(const isa::BasicBlock &bb, isa::BlockId id)
+{
+    PC_ASSERT(bb.term == isa::TermKind::CondBranch,
+              "isBackwardBranch on non-branch block");
+    return bb.target <= id;
+}
+
+Prediction
+predictStatic(const isa::BasicBlock &bb, isa::BlockId id)
+{
+    switch (bb.term) {
+      case isa::TermKind::CondBranch:
+        return isBackwardBranch(bb, id) ? Prediction::Taken
+                                        : Prediction::NotTaken;
+      case isa::TermKind::Jump:
+      case isa::TermKind::Call:
+        // Unconditional direct jumps are always (correctly) taken.
+        return Prediction::Taken;
+      case isa::TermKind::Return:
+      case isa::TermKind::Switch:
+        // Register-indirect: control transfers, but the target is not
+        // computable at compile time.
+        return Prediction::Taken;
+      case isa::TermKind::FallThrough:
+        break;
+    }
+    PC_PANIC("predictStatic on a fall-through block ", id);
+}
+
+} // namespace pipecache::sched

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static branch prediction (step 3 of the paper's delay-slot
+ * procedure): backward conditional branches and unconditional jumps
+ * are predicted taken, forward conditional branches not-taken.
+ * Register-indirect jumps transfer control but have no compile-time
+ * target, so they are handled separately (s = 0, noop-filled slots).
+ */
+
+#ifndef PIPECACHE_SCHED_STATIC_PREDICT_HH
+#define PIPECACHE_SCHED_STATIC_PREDICT_HH
+
+#include "isa/basic_block.hh"
+
+namespace pipecache::sched {
+
+/** Static prediction outcome for a CTI. */
+enum class Prediction : std::uint8_t
+{
+    Taken,
+    NotTaken,
+};
+
+/** Where static predictions come from. */
+enum class PredictSource : std::uint8_t
+{
+    /** Backward-taken / forward-not-taken heuristic (the paper). */
+    Btfnt,
+    /** Majority direction from a training-run profile (extension). */
+    Profile,
+};
+
+/**
+ * BTFNT prediction for the CTI terminating block @p id.
+ * Direction of a conditional branch is judged by target id relative to
+ * the branch block (generator layout is topological, so target < self
+ * means a backward branch). Panics on fall-through blocks.
+ */
+Prediction predictStatic(const isa::BasicBlock &bb, isa::BlockId id);
+
+/** True if a conditional branch is backward (loop-shaped). */
+bool isBackwardBranch(const isa::BasicBlock &bb, isa::BlockId id);
+
+} // namespace pipecache::sched
+
+#endif // PIPECACHE_SCHED_STATIC_PREDICT_HH

@@ -1,0 +1,56 @@
+#include "sched/translation.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+
+std::uint64_t
+TranslationFile::scheduledStaticInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.schedLen;
+    return n;
+}
+
+std::uint64_t
+TranslationFile::usefulStaticInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.usefulLen;
+    return n;
+}
+
+double
+TranslationFile::codeExpansion() const
+{
+    const std::uint64_t useful = usefulStaticInsts();
+    PC_ASSERT(useful > 0, "code expansion of an empty translation");
+    return static_cast<double>(scheduledStaticInsts()) /
+               static_cast<double>(useful) -
+           1.0;
+}
+
+ScheduleStats
+summarize(const TranslationFile &xlat)
+{
+    ScheduleStats stats;
+    for (std::size_t i = 0; i < xlat.numBlocks(); ++i) {
+        const BlockXlat &b = xlat[static_cast<isa::BlockId>(i)];
+        if (!b.hasCti)
+            continue;
+        ++stats.ctis;
+        if (b.predictTaken)
+            ++stats.predictedTaken;
+        if (b.indirect)
+            ++stats.indirect;
+        if (xlat.delaySlots() > 0 && b.r >= 1)
+            ++stats.firstSlotFromBefore;
+        stats.slotsFromBefore += b.r;
+        stats.slotsFromElsewhere += b.s;
+    }
+    return stats;
+}
+
+} // namespace pipecache::sched

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Translation files (Section 3.1 of the paper).
+ *
+ * A translation file maps the canonical zero-delay-slot program onto
+ * the code layout of an architecture with b branch delay slots and
+ * optional squashing. Per basic block it records the scheduled entry
+ * address and length, and per CTI the static prediction, r (delay
+ * slots filled from before the CTI — reordered originals, no code
+ * growth) and s = b - r (slots filled with replicated target
+ * instructions, sequential-path instructions, or noops — the sources
+ * of code expansion and squash waste).
+ *
+ * Replay of an instruction-fetch stream through a translation file is
+ * implemented in cpusim/; the rules are the paper's:
+ *
+ *  - predicted taken, taken:     next = target entry + 4*s (the first
+ *    s target instructions already ran in the delay slots);
+ *  - predicted taken, not taken: the s slot fetches are squashed;
+ *  - predicted not-taken, not taken: slots hold the sequential code,
+ *    nothing special happens;
+ *  - predicted not-taken, taken: s extra sequential fetches are
+ *    squashed before control reaches the target;
+ *  - register-indirect: s noops are fetched and always wasted.
+ */
+
+#ifndef PIPECACHE_SCHED_TRANSLATION_HH
+#define PIPECACHE_SCHED_TRANSLATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sched/static_predict.hh"
+#include "util/units.hh"
+
+namespace pipecache::sched {
+
+/** Per-block entry of a translation file. */
+struct BlockXlat
+{
+    /** Scheduled entry address of the block. */
+    Addr entry = 0;
+    /** Scheduled length in instructions (includes appended fillers). */
+    std::uint32_t schedLen = 0;
+    /** Original (useful) length in instructions. */
+    std::uint32_t usefulLen = 0;
+
+    /** True if the block ends in a CTI. */
+    std::uint8_t hasCti = 0;
+    /** Static prediction flag (meaningless without a CTI). */
+    std::uint8_t predictTaken = 0;
+    /** Register-indirect CTI (noop-filled slots). */
+    std::uint8_t indirect = 0;
+    /** Delay slots filled from before the CTI. */
+    std::uint8_t r = 0;
+    /** Delay slots filled from the target/sequential path or noops. */
+    std::uint8_t s = 0;
+};
+
+/** Translation file for one program at one delay-slot count. */
+class TranslationFile
+{
+  public:
+    TranslationFile(std::uint32_t delay_slots, std::size_t num_blocks)
+        : delaySlots_(delay_slots), blocks_(num_blocks)
+    {
+    }
+
+    std::uint32_t delaySlots() const { return delaySlots_; }
+
+    BlockXlat &operator[](isa::BlockId id) { return blocks_[id]; }
+    const BlockXlat &operator[](isa::BlockId id) const
+    {
+        return blocks_[id];
+    }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Static instruction count of the scheduled layout. */
+    std::uint64_t scheduledStaticInsts() const;
+
+    /** Static instruction count of the canonical layout. */
+    std::uint64_t usefulStaticInsts() const;
+
+    /**
+     * Fractional code-size increase over the zero-delay-slot layout
+     * (the quantity of the paper's Table 2).
+     */
+    double codeExpansion() const;
+
+  private:
+    std::uint32_t delaySlots_;
+    std::vector<BlockXlat> blocks_;
+};
+
+/** Delay-slot scheduling summary statistics (calibration targets). */
+struct ScheduleStats
+{
+    std::uint64_t ctis = 0;
+    std::uint64_t predictedTaken = 0;
+    std::uint64_t indirect = 0;
+    /** CTIs whose first delay slot was filled from before (r >= 1). */
+    std::uint64_t firstSlotFromBefore = 0;
+    /** Sum over CTIs of r (slots filled from before). */
+    std::uint64_t slotsFromBefore = 0;
+    /** Sum over CTIs of s. */
+    std::uint64_t slotsFromElsewhere = 0;
+};
+
+/** Gather schedule statistics from a translation file. */
+ScheduleStats summarize(const TranslationFile &xlat);
+
+} // namespace pipecache::sched
+
+#endif // PIPECACHE_SCHED_TRANSLATION_HH

@@ -1,0 +1,41 @@
+#include "timing/circuit.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+
+Circuit::NodeId
+Circuit::addLatch(std::string name)
+{
+    names_.push_back(std::move(name));
+    return static_cast<NodeId>(names_.size() - 1);
+}
+
+void
+Circuit::addPath(NodeId from, NodeId to, double delay_ns)
+{
+    PC_ASSERT(from < names_.size() && to < names_.size(),
+              "path endpoints out of range");
+    PC_ASSERT(delay_ns >= 0.0, "negative path delay");
+    edges_.push_back({from, to, delay_ns});
+}
+
+const std::string &
+Circuit::nodeName(NodeId id) const
+{
+    PC_ASSERT(id < names_.size(), "node id out of range");
+    return names_[id];
+}
+
+double
+Circuit::maxEdgeDelay() const
+{
+    double max_delay = 0.0;
+    for (const auto &e : edges_)
+        max_delay = std::max(max_delay, e.delayNs);
+    return max_delay;
+}
+
+} // namespace pipecache::timing

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Latch-graph circuit IR for timing analysis.
+ *
+ * Nodes are latches (pipeline registers); directed edges are
+ * combinational paths with a delay in nanoseconds. Under optimally
+ * tuned multiphase clocking, the minimum cycle time of a synchronous
+ * circuit is the maximum over directed cycles of (total combinational
+ * delay on the cycle) / (number of latches on the cycle) — the
+ * quantity the paper's minTcpu analyzer computes.
+ */
+
+#ifndef PIPECACHE_TIMING_CIRCUIT_HH
+#define PIPECACHE_TIMING_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipecache::timing {
+
+/** A latch-level synchronous circuit. */
+class Circuit
+{
+  public:
+    using NodeId = std::uint32_t;
+
+    struct Edge
+    {
+        NodeId from;
+        NodeId to;
+        double delayNs;
+    };
+
+    /** Add a latch node; the name is for reporting. */
+    NodeId addLatch(std::string name);
+
+    /** Add a combinational path (delay must be >= 0). */
+    void addPath(NodeId from, NodeId to, double delay_ns);
+
+    std::size_t numNodes() const { return names_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+    const std::vector<Edge> &edges() const { return edges_; }
+    const std::string &nodeName(NodeId id) const;
+
+    /** Largest single combinational delay (single-phase bound). */
+    double maxEdgeDelay() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace pipecache::timing
+
+#endif // PIPECACHE_TIMING_CIRCUIT_HH

@@ -1,0 +1,84 @@
+#include "timing/cpu_circuit.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+
+namespace {
+
+/**
+ * Add one cache-access loop: an address latch, depth cache stage
+ * latches, and the path back to the address latch. With depth 0 the
+ * entire access sits in the address stage (the unpipelined case).
+ */
+void
+addCacheLoop(Circuit &circuit, const CpuTimingParams &params,
+             const CacheSide &side, double agen_ns, const char *prefix)
+{
+    double t_l1 = l1AccessNs(params.sram, params.mcm, side.sizeKW);
+    // Way comparison and select add delay per associativity doubling.
+    for (std::uint32_t ways = side.assoc; ways > 1; ways /= 2)
+        t_l1 += params.assocLevelNs;
+
+    const Circuit::NodeId addr =
+        circuit.addLatch(std::string(prefix) + ".addr");
+
+    if (side.depth == 0) {
+        // Address generation and the whole cache access in one stage.
+        circuit.addPath(addr, addr, agen_ns + t_l1 + params.latchNs);
+        return;
+    }
+
+    // Address stage feeds depth cache stages; the last stage closes
+    // the loop back to address generation. The cache access is split
+    // evenly over the depth stages.
+    const double stage_ns = t_l1 / side.depth;
+    Circuit::NodeId prev = addr;
+    for (std::uint32_t s = 0; s < side.depth; ++s) {
+        const Circuit::NodeId stage = circuit.addLatch(
+            std::string(prefix) + ".s" + std::to_string(s + 1));
+        const double comb_ns = s == 0 ? agen_ns : stage_ns;
+        circuit.addPath(prev, stage, comb_ns + params.latchNs);
+        prev = stage;
+    }
+    circuit.addPath(prev, addr, stage_ns + params.latchNs);
+}
+
+} // namespace
+
+Circuit
+buildCpuCircuit(const CpuTimingParams &params, const CacheSide &iside,
+                const CacheSide &dside)
+{
+    Circuit circuit;
+
+    // ALU feedback loop (the execution-rate floor).
+    const Circuit::NodeId alu = circuit.addLatch("alu");
+    circuit.addPath(alu, alu, params.aluLoopNs());
+
+    addCacheLoop(circuit, params, iside, params.agenNs, "l1i");
+    addCacheLoop(circuit, params, dside, params.aluNs, "l1d");
+    return circuit;
+}
+
+double
+cpuCycleNs(const CpuTimingParams &params, const CacheSide &iside,
+           const CacheSide &dside)
+{
+    const Circuit circuit = buildCpuCircuit(params, iside, dside);
+    return analyzeTiming(circuit).minCycleNs;
+}
+
+double
+sideCycleNs(const CpuTimingParams &params, const CacheSide &side)
+{
+    Circuit circuit;
+    const Circuit::NodeId alu = circuit.addLatch("alu");
+    circuit.addPath(alu, alu, params.aluLoopNs());
+    addCacheLoop(circuit, params, side, params.agenNs, "l1");
+    return analyzeTiming(circuit).minCycleNs;
+}
+
+} // namespace pipecache::timing

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parameterized latch-graph model of the paper's CPU (Figure 1).
+ *
+ * Three coupled loops set the cycle time:
+ *
+ *  - the ALU feedback loop: integer add (2.1 ns) plus operand
+ *    feedback (1.4 ns) through one latch — the 3.5 ns floor of
+ *    Table 6;
+ *  - the instruction-fetch loop: next-PC generation plus the L1-I
+ *    access, pipelined into d_I cache stages (d_I + 1 latches);
+ *  - the data-access loop: address generation in the ALU plus the
+ *    L1-D access over d_D cache stages.
+ *
+ * Cache access times come from the SRAM/MCM macro-model; per-stage
+ * latch overhead is charged on every pipeline register, matching the
+ * paper's inclusion of SRAM address/data register overhead. The
+ * resulting minimum cycle ratio reproduces the paper's observation
+ * that t_CPU rises by 1/(d_L1 + 1) per unit of t_L1.
+ */
+
+#ifndef PIPECACHE_TIMING_CPU_CIRCUIT_HH
+#define PIPECACHE_TIMING_CPU_CIRCUIT_HH
+
+#include <cstdint>
+
+#include "timing/circuit.hh"
+#include "timing/mcm_model.hh"
+#include "timing/sram.hh"
+#include "timing/timing_analyzer.hh"
+
+namespace pipecache::timing {
+
+/** Technology/organization constants of the CPU timing model. */
+struct CpuTimingParams
+{
+    /** Integer ALU add (ns). */
+    double aluNs = 2.1;
+    /** ALU result feedback to the ALU input (ns). */
+    double aluFeedbackNs = 1.4;
+    /** Next-PC/address generation delay (ns). */
+    double agenNs = 2.1;
+    /** Per-pipeline-register overhead (ns). */
+    double latchNs = 0.4;
+    /** Extra access time per doubling of set-associativity (way
+     *  comparators + select mux) — the knob behind the paper's
+     *  closing size-versus-associativity question. */
+    double assocLevelNs = 0.5;
+
+    SramChip sram{};
+    McmParams mcm{};
+
+    /** ALU-loop bound (the paper's 3.5 ns). */
+    double aluLoopNs() const { return aluNs + aluFeedbackNs; }
+};
+
+/** One side (I or D) of the L1 cache. */
+struct CacheSide
+{
+    /** Cache size in kilowords. */
+    std::uint32_t sizeKW = 8;
+    /** Cache pipeline depth d_L1 (0 = same cycle as the ALU). */
+    std::uint32_t depth = 1;
+    /** Set associativity (1 = direct-mapped). */
+    std::uint32_t assoc = 1;
+};
+
+/** Build the full CPU latch graph for the given cache organization. */
+Circuit buildCpuCircuit(const CpuTimingParams &params,
+                        const CacheSide &iside, const CacheSide &dside);
+
+/**
+ * Minimum CPU cycle time for the given organization — Table 6 entry
+ * (runs the analyzer over the built circuit).
+ */
+double cpuCycleNs(const CpuTimingParams &params, const CacheSide &iside,
+                  const CacheSide &dside);
+
+/** Cycle time when only one side's constraint is considered. */
+double sideCycleNs(const CpuTimingParams &params, const CacheSide &side);
+
+} // namespace pipecache::timing
+
+#endif // PIPECACHE_TIMING_CPU_CIRCUIT_HH

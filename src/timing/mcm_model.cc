@@ -1,0 +1,33 @@
+#include "timing/mcm_model.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+
+double
+mcmK1Ns(const McmParams &params)
+{
+    // Z0 * C_MCM: ohms * pF = ps; /1000 -> ns.
+    const double lc_term = params.z0Ohms * params.cMcmPf * 1e-3;
+    // 2 d^2 R C: mm^2 * (ohm/mm) * (pF/mm) = ohm*pF = ps; /1000 -> ns.
+    const double rc_term = 2.0 * params.chipPitchMm * params.chipPitchMm *
+                           params.rOhmPerMm * params.cPfPerMm * 1e-3;
+    return lc_term + rc_term;
+}
+
+double
+mcmDelayNs(const McmParams &params, std::uint32_t chips)
+{
+    PC_ASSERT(chips >= 1, "MCM delay for zero chips");
+    return params.k0Ns + mcmK1Ns(params) * chips;
+}
+
+double
+l1AccessNs(const SramChip &chip, const McmParams &params,
+           std::uint32_t size_kw)
+{
+    const std::uint32_t n = chipsForCache(chip, size_kw);
+    return chip.accessNs + 2.0 * mcmDelayNs(params, n);
+}
+
+} // namespace pipecache::timing

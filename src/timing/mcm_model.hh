@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MCM interconnect delay macro-model — equations (3)-(6) of the paper.
+ *
+ *   t_L1  = t_SRAM + 2 t_MCM                                   (3)
+ *   t_MCM = k0 + k1 n                                          (4)
+ *   k1    = Z0 C_MCM + 2 d^2 R_MCM C_MCM                       (5)
+ *   t_L1  = t_SRAM + 2 k0 + 2 n (Z0 C_MCM + 2 d^2 R C)         (6)
+ *
+ * where n is the SRAM chip count, d the chip pitch (chips arranged as
+ * a sqrt(n/2) x sqrt(2n) rectangle with the CPU at the middle of the
+ * long side, so the longest wire is ~ d sqrt(2n) and the distributed
+ * RC term grows linearly in n), Z0 the line impedance, C_MCM the
+ * bond/pad parasitic, and R/C the per-length line constants. The
+ * default constants are calibrated to the paper's anchors: depth-0
+ * cycle times above 10 ns at every size, ALU-limited 3.5 ns at
+ * depth 3 up to 32 KW.
+ */
+
+#ifndef PIPECACHE_TIMING_MCM_MODEL_HH
+#define PIPECACHE_TIMING_MCM_MODEL_HH
+
+#include <cstdint>
+
+#include "timing/sram.hh"
+
+namespace pipecache::timing {
+
+/** Electrical/geometry parameters of the MCM. */
+struct McmParams
+{
+    /** Off-chip driver/receiver constant k0 (ns). */
+    double k0Ns = 1.0;
+    /** Characteristic impedance Z0 (ohms). */
+    double z0Ohms = 50.0;
+    /** Bond + pad parasitic capacitance C_MCM (pF). */
+    double cMcmPf = 1.6;
+    /** Line resistance per mm (ohms/mm). */
+    double rOhmPerMm = 0.05;
+    /** Line capacitance per mm (pF/mm). */
+    double cPfPerMm = 0.2;
+    /** Chip pitch d including wiring channels (mm). */
+    double chipPitchMm = 12.0;
+};
+
+/** Linear per-chip coefficient k1 in ns — equation (5). */
+double mcmK1Ns(const McmParams &params);
+
+/** One-way MCM delay t_MCM for @p chips chips — equation (4). */
+double mcmDelayNs(const McmParams &params, std::uint32_t chips);
+
+/**
+ * Full L1 access time t_L1 for a direct-mapped cache of
+ * @p size_kw kilowords — equation (6).
+ */
+double l1AccessNs(const SramChip &chip, const McmParams &params,
+                  std::uint32_t size_kw);
+
+} // namespace pipecache::timing
+
+#endif // PIPECACHE_TIMING_MCM_MODEL_HH

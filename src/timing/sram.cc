@@ -1,0 +1,15 @@
+#include "timing/sram.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+
+std::uint32_t
+chipsForCache(const SramChip &chip, std::uint32_t size_kw)
+{
+    PC_ASSERT(chip.capacityKW > 0, "SRAM chip with zero capacity");
+    PC_ASSERT(size_kw > 0, "cache of zero size");
+    return (size_kw + chip.capacityKW - 1) / chip.capacityKW;
+}
+
+} // namespace pipecache::timing

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * GaAs SRAM chip model for the MCM-based L1 cache (Section 4).
+ *
+ * Caches are assembled from bare-die SRAM chips on a multichip module;
+ * the chip count n drives the interconnect term of the access-time
+ * macro-model. Chips have address and data registers whose overhead
+ * the timing analysis includes (the paper's assumption).
+ */
+
+#ifndef PIPECACHE_TIMING_SRAM_HH
+#define PIPECACHE_TIMING_SRAM_HH
+
+#include <cstdint>
+
+namespace pipecache::timing {
+
+/** One GaAs SRAM chip. */
+struct SramChip
+{
+    /** Capacity in kilowords (1 KW = 4 KB). */
+    std::uint32_t capacityKW = 2;
+    /** On-chip array access time t_SRAM in nanoseconds. */
+    double accessNs = 5.5;
+};
+
+/** Number of chips needed for a cache of @p size_kw kilowords. */
+std::uint32_t chipsForCache(const SramChip &chip, std::uint32_t size_kw);
+
+} // namespace pipecache::timing
+
+#endif // PIPECACHE_TIMING_SRAM_HH

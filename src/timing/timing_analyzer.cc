@@ -1,0 +1,110 @@
+#include "timing/timing_analyzer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+
+namespace {
+
+/**
+ * Longest-path Bellman-Ford over weights (delay - T), starting from
+ * dist = 0 everywhere (equivalent to a virtual source). Returns the id
+ * of a node updated on the |V|-th pass if a positive cycle exists
+ * (T infeasible), or -1 if T is feasible. pred[] is filled for cycle
+ * extraction.
+ */
+std::int64_t
+positiveCycleNode(const Circuit &circuit, double period,
+                  std::vector<std::int64_t> &pred)
+{
+    const std::size_t n = circuit.numNodes();
+    std::vector<double> dist(n, 0.0);
+    pred.assign(n, -1);
+
+    std::int64_t touched = -1;
+    for (std::size_t pass = 0; pass <= n; ++pass) {
+        touched = -1;
+        for (const auto &e : circuit.edges()) {
+            const double w = e.delayNs - period;
+            if (dist[e.from] + w > dist[e.to] + 1e-12) {
+                dist[e.to] = dist[e.from] + w;
+                pred[e.to] = e.from;
+                touched = e.to;
+            }
+        }
+        if (touched < 0)
+            return -1;
+    }
+    return touched;
+}
+
+std::vector<Circuit::NodeId>
+extractCycle(const Circuit &circuit, std::int64_t start,
+             const std::vector<std::int64_t> &pred)
+{
+    const std::size_t n = circuit.numNodes();
+    // Walk predecessors n steps to guarantee landing on the cycle.
+    std::int64_t v = start;
+    for (std::size_t i = 0; i < n; ++i) {
+        PC_ASSERT(v >= 0, "broken predecessor chain");
+        v = pred[v];
+    }
+
+    std::vector<Circuit::NodeId> cycle;
+    std::int64_t u = v;
+    do {
+        cycle.push_back(static_cast<Circuit::NodeId>(u));
+        u = pred[u];
+        PC_ASSERT(u >= 0, "broken predecessor chain in cycle");
+    } while (u != v && cycle.size() <= n);
+    std::reverse(cycle.begin(), cycle.end());
+    return cycle;
+}
+
+} // namespace
+
+TimingResult
+analyzeTiming(const Circuit &circuit, double precision_ns)
+{
+    PC_ASSERT(circuit.numNodes() > 0, "timing analysis of empty circuit");
+    PC_ASSERT(precision_ns > 0.0, "non-positive precision");
+
+    TimingResult result;
+    result.singlePhaseNs = circuit.maxEdgeDelay();
+
+    if (circuit.numEdges() == 0)
+        return result;
+
+    std::vector<std::int64_t> pred;
+
+    // An acyclic graph is feasible at any period.
+    if (positiveCycleNode(circuit, 0.0, pred) < 0) {
+        result.minCycleNs = 0.0;
+        return result;
+    }
+
+    // The cycle mean can never exceed the largest edge delay.
+    double lo = 0.0;
+    double hi = result.singlePhaseNs;
+    while (hi - lo > precision_ns) {
+        const double mid = 0.5 * (lo + hi);
+        if (positiveCycleNode(circuit, mid, pred) < 0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    result.minCycleNs = hi;
+
+    // Extract the binding cycle just below the feasible period.
+    const std::int64_t node =
+        positiveCycleNode(circuit, std::max(0.0, lo - precision_ns),
+                          pred);
+    if (node >= 0)
+        result.criticalCycle = extractCycle(circuit, node, pred);
+    return result;
+}
+
+} // namespace pipecache::timing

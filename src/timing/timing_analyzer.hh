@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimum-cycle-time analysis of a latch graph — the reimplementation
+ * of the paper's minTcpu timing analyzer.
+ *
+ * Feasibility of a clock period T under optimal multiphase clocking
+ * reduces to: no directed cycle has mean edge delay exceeding T,
+ * i.e. the graph with edge weights (delay - T) has no positive cycle.
+ * The analyzer binary-searches T with a Bellman-Ford feasibility
+ * test (Lawler's minimum-cycle-ratio scheme) and also reports the
+ * single-phase (max single edge delay) bound and the binding cycle.
+ */
+
+#ifndef PIPECACHE_TIMING_TIMING_ANALYZER_HH
+#define PIPECACHE_TIMING_TIMING_ANALYZER_HH
+
+#include <vector>
+
+#include "timing/circuit.hh"
+
+namespace pipecache::timing {
+
+/** Result of a timing analysis. */
+struct TimingResult
+{
+    /** Minimum cycle time under optimal multiphase clocking (ns);
+     *  0 for an acyclic graph. */
+    double minCycleNs = 0.0;
+    /** Max single combinational delay (single-phase clocking bound). */
+    double singlePhaseNs = 0.0;
+    /** Latches on the binding (critical) cycle, in cycle order;
+     *  empty for acyclic graphs. */
+    std::vector<Circuit::NodeId> criticalCycle;
+};
+
+/**
+ * Analyze @p circuit to @p precision_ns. Panics on an empty graph.
+ */
+TimingResult analyzeTiming(const Circuit &circuit,
+                           double precision_ns = 1e-3);
+
+} // namespace pipecache::timing
+
+#endif // PIPECACHE_TIMING_TIMING_ANALYZER_HH

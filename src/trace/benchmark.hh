@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 1) as synthetic-workload models.
+ *
+ * Each entry carries the published Table 1 characteristics (dynamic
+ * instruction count, load/store/branch percentages, benchmark class)
+ * plus the generation knobs — static code size, loop trip counts,
+ * addressing mix, and data footprints — that make the synthetic
+ * substitute exercise the same mechanisms as the original trace. The
+ * published numbers are used (a) to parameterize generation and (b) as
+ * the reference column in bench_table1.
+ */
+
+#ifndef PIPECACHE_TRACE_BENCHMARK_HH
+#define PIPECACHE_TRACE_BENCHMARK_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hh"
+#include "isa/program_generator.hh"
+#include "trace/data_address_generator.hh"
+#include "trace/executor.hh"
+#include "util/units.hh"
+
+namespace pipecache::trace {
+
+/** One benchmark of the paper's Table 1. */
+struct Benchmark
+{
+    enum class Class : std::uint8_t
+    {
+        Integer,   //!< (I)
+        SingleFp,  //!< (S)
+        DoubleFp,  //!< (D)
+    };
+
+    std::string name;
+    std::string description;
+    Class cls = Class::Integer;
+
+    // --- published Table 1 characteristics -------------------------
+    double instMillions = 0.0;
+    double loadPct = 0.0;
+    double storePct = 0.0;
+    double branchPct = 0.0;
+    std::uint64_t syscalls = 0;
+
+    // --- synthetic-model knobs --------------------------------------
+    std::uint32_t staticInsts = 4000;
+    double meanTrip = 10.0;
+    double stackFrac = 0.30;
+    double globalFrac = 0.35;
+    double arrayFrac = 0.15;
+    double heapFrac = 0.20;
+    std::vector<std::uint32_t> arrayBytes = {64 * 1024};
+    std::uint32_t heapBytes = 128 * 1024;
+    double heapTheta = 0.85;
+
+    /** Deterministic per-benchmark seed (xor @p salt to get an
+     *  independent synthetic instance of the same benchmark). */
+    std::uint64_t seed(std::uint64_t salt = 0) const;
+
+    /** Program-generator profile for this benchmark. */
+    isa::GenProfile genProfile(std::uint64_t salt = 0) const;
+
+    /**
+     * Data-space configuration. @p asid selects a disjoint 16 MB
+     * process address space for multiprogramming traces.
+     */
+    DataGenConfig dataConfig(std::uint32_t asid,
+                             std::uint64_t salt = 0) const;
+
+    /** Code-segment base for the given address space. */
+    Addr codeBase(std::uint32_t asid) const;
+
+    /**
+     * Dynamic instruction budget after applying the suite scale
+     * divisor (paper counts divided by @p scale_divisor), with a floor
+     * so tiny benchmarks still execute meaningfully.
+     */
+    Counter scaledInsts(double scale_divisor) const;
+
+    /**
+     * Generate this benchmark's program in address space @p asid
+     * (validated and laid out).
+     */
+    isa::Program makeProgram(std::uint32_t asid,
+                             std::uint64_t salt = 0) const;
+
+    /** Generate and record this benchmark's trace. */
+    RecordedTrace record(std::uint32_t asid, double scale_divisor,
+                         std::uint64_t salt = 0) const;
+};
+
+/** The 16-benchmark suite of Table 1, in the paper's order. */
+const std::vector<Benchmark> &table1Suite();
+
+/** Look up a suite benchmark by name; fatal() if absent. */
+const Benchmark &findBenchmark(std::string_view name);
+
+/** Per-process address-space stride (16 MB). */
+inline constexpr Addr addressSpaceStride = 0x01000000;
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_BENCHMARK_HH

@@ -1,0 +1,110 @@
+#include "trace/data_address_generator.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+namespace {
+
+// Region offsets within one process's 16 MB address space. Code
+// occupies [0, 1 MB) (see Program::setBase); data regions follow.
+constexpr Addr globalOffset = 0x00100000;
+constexpr Addr arrayOffset = 0x00200000;
+constexpr Addr arraySpacing = 0x00100000;
+constexpr Addr heapOffset = 0x00A00000;
+constexpr Addr stackTopOffset = 0x00F00000;
+
+} // namespace
+
+DataAddressGenerator::DataAddressGenerator(const DataGenConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    PC_ASSERT(!config_.arrayBytes.empty(), "need at least one array");
+    PC_ASSERT(config_.heapObjBytes >= 4 && config_.heapBytes > 0,
+              "bad heap configuration");
+    PC_ASSERT(config_.arrayStride >= 4, "array stride below word size");
+    for (auto bytes : config_.arrayBytes) {
+        PC_ASSERT(bytes >= 4 && bytes <= arraySpacing,
+                  "array footprint out of range: ", bytes);
+    }
+    arrayPos_.assign(config_.arrayBytes.size(), 0);
+}
+
+Addr
+DataAddressGenerator::stackBase() const
+{
+    return config_.base + stackTopOffset;
+}
+
+Addr
+DataAddressGenerator::globalBase() const
+{
+    return config_.base + globalOffset;
+}
+
+Addr
+DataAddressGenerator::arrayBase(std::uint8_t stream) const
+{
+    return config_.base + arrayOffset +
+           (stream % config_.arrayBytes.size()) * arraySpacing;
+}
+
+Addr
+DataAddressGenerator::heapBase() const
+{
+    return config_.base + heapOffset;
+}
+
+Addr
+DataAddressGenerator::next(isa::AddrClass cls, std::uint8_t stream,
+                           std::int32_t displacement,
+                           std::uint32_t call_depth)
+{
+    switch (cls) {
+      case isa::AddrClass::Stack: {
+        // Frames grow downward from the stack top; deep call chains
+        // wrap within the stack region.
+        const std::uint32_t frames = config_.stackBytes / frameBytes;
+        const std::uint32_t depth = call_depth % std::max(1u, frames);
+        const auto disp = static_cast<std::uint32_t>(displacement) %
+                          frameBytes;
+        return stackBase() - (depth + 1) * frameBytes + disp;
+      }
+      case isa::AddrClass::Global: {
+        const auto disp = static_cast<std::uint32_t>(displacement) %
+                          config_.globalBytes;
+        return globalBase() + (disp & ~3u);
+      }
+      case isa::AddrClass::Array: {
+        const std::size_t s = stream % config_.arrayBytes.size();
+        const std::uint32_t size = config_.arrayBytes[s];
+        const Addr addr = arrayBase(stream) + arrayPos_[s];
+        arrayPos_[s] = (arrayPos_[s] + config_.arrayStride) % size;
+        return addr & ~3u;
+      }
+      case isa::AddrClass::Heap: {
+        const std::uint64_t objects =
+            std::max<std::uint64_t>(1, config_.heapBytes /
+                                    config_.heapObjBytes);
+        const std::uint64_t obj = rng_.nextZipf(objects,
+                                                config_.heapTheta);
+        const std::uint32_t within =
+            4 * static_cast<std::uint32_t>(
+                rng_.nextRange(config_.heapObjBytes / 4));
+        return heapBase() +
+               static_cast<Addr>(obj * config_.heapObjBytes + within);
+      }
+      case isa::AddrClass::None:
+        break;
+    }
+    PC_PANIC("data address requested for AddrClass::None");
+}
+
+void
+DataAddressGenerator::reset()
+{
+    rng_ = Rng(config_.seed);
+    arrayPos_.assign(config_.arrayBytes.size(), 0);
+}
+
+} // namespace pipecache::trace

@@ -1,0 +1,153 @@
+#include "trace/executor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+using isa::BasicBlock;
+using isa::BlockId;
+using isa::TermKind;
+
+Executor::Executor(const isa::Program &program, DataAddressGenerator &dgen,
+                   const ExecConfig &config)
+    : program_(program), dgen_(dgen), config_(config), rng_(config.seed),
+      pc_(program.entry())
+{
+    PC_ASSERT(config_.maxInsts > 0, "executor needs a positive budget");
+}
+
+bool
+Executor::decideCondBranch(BlockId id, const BasicBlock &bb)
+{
+    const auto &prof = bb.profile;
+    if (!prof.backward)
+        return rng_.nextBool(prof.takenProb);
+
+    // Loop back-edge: the latch executes 'trips' times per loop entry,
+    // taken on all but the last. 'remaining' counts latch executions
+    // still to come, including the current one.
+    auto it = loopTrips_.find(id);
+    std::uint64_t remaining;
+    if (it == loopTrips_.end()) {
+        // Trips = 1 + geometric so the mean matches meanTrip.
+        const double p = 1.0 / std::max(1.0, prof.meanTrip);
+        remaining = std::min<std::uint64_t>(1 + rng_.nextGeometric(p),
+                                            config_.maxTrip);
+    } else {
+        remaining = it->second;
+    }
+
+    if (remaining <= 1) {
+        // Final latch execution: exit the loop and forget the entry so
+        // the next loop entry draws a fresh trip count.
+        if (it != loopTrips_.end())
+            loopTrips_.erase(it);
+        return false;
+    }
+    if (it == loopTrips_.end())
+        loopTrips_.emplace(id, remaining - 1);
+    else
+        it->second = remaining - 1;
+    return true;
+}
+
+bool
+Executor::next(BlockEvent &event)
+{
+    if (done_)
+        return false;
+
+    const BasicBlock &bb = program_.block(pc_);
+    event.block = pc_;
+    event.taken = true;
+    event.memRefs.clear();
+
+    const auto depth = static_cast<std::uint32_t>(callStack_.size());
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+        const isa::Instruction &inst = bb.insts[i];
+        if (isMem(inst.op)) {
+            MemRef ref;
+            ref.pos = static_cast<std::uint16_t>(i);
+            ref.store = isStore(inst.op) ? 1 : 0;
+            ref.addr = dgen_.next(inst.addrClass, inst.stream, inst.imm,
+                                  depth);
+            event.memRefs.push_back(ref);
+        }
+    }
+    instCount_ += bb.size();
+
+    // Decide the successor.
+    BlockId next_pc = isa::invalidBlock;
+    switch (bb.term) {
+      case TermKind::FallThrough:
+        next_pc = bb.fallthrough;
+        break;
+      case TermKind::CondBranch: {
+        const bool taken = decideCondBranch(pc_, bb);
+        event.taken = taken;
+        next_pc = taken ? bb.target : bb.fallthrough;
+        break;
+      }
+      case TermKind::Jump:
+        next_pc = bb.target;
+        break;
+      case TermKind::Call:
+        if (callStack_.size() < config_.maxCallDepth) {
+            callStack_.push_back(bb.fallthrough);
+            next_pc = bb.target;
+        } else {
+            // Depth cap: elide the call, continue at the return site.
+            next_pc = bb.fallthrough;
+        }
+        break;
+      case TermKind::Return:
+        if (!callStack_.empty()) {
+            next_pc = callStack_.back();
+            callStack_.pop_back();
+        } else {
+            // Returning with an empty stack restarts the program; the
+            // generator's driver loop makes this unreachable in
+            // practice but hand-built programs may hit it.
+            next_pc = program_.entry();
+        }
+        break;
+      case TermKind::Switch:
+        next_pc = bb.switchTargets[rng_.nextRange(
+            bb.switchTargets.size())];
+        break;
+    }
+
+    PC_ASSERT(next_pc != isa::invalidBlock,
+              "executor lost control flow after block ", pc_);
+    pc_ = next_pc;
+
+    if (instCount_ >= config_.maxInsts)
+        done_ = true;
+    return true;
+}
+
+RecordedTrace
+recordTrace(const isa::Program &program, DataAddressGenerator &dgen,
+            const ExecConfig &config)
+{
+    Executor exec(program, dgen, config);
+    RecordedTrace trace;
+    trace.blocks.reserve(static_cast<std::size_t>(config.maxInsts / 6));
+
+    BlockEvent event;
+    while (exec.next(event)) {
+        RecordedTrace::Block blk;
+        blk.block = event.block;
+        blk.taken = event.taken ? 1 : 0;
+        blk.memBegin = static_cast<std::uint32_t>(trace.memRefs.size());
+        trace.blocks.push_back(blk);
+        trace.memRefs.insert(trace.memRefs.end(), event.memRefs.begin(),
+                             event.memRefs.end());
+    }
+    trace.instCount = exec.instCount();
+    return trace;
+}
+
+} // namespace pipecache::trace

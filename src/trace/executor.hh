@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structural program executor and recorded traces.
+ *
+ * The executor walks a synthetic Program's control-flow graph, making
+ * branch decisions from the per-branch behaviour profiles (loop trip
+ * models for back-edges, bias draws for forward branches) and
+ * producing data addresses through a DataAddressGenerator. The result
+ * is a *block-level* dynamic trace: one event per executed basic block
+ * plus the data references issued inside it.
+ *
+ * Recording at block granularity is the paper's own trick (Section
+ * 3.1): the same block-event stream can be replayed against any number
+ * of scheduled code layouts (0-3 branch delay slots, BTB, any cache)
+ * via translation files, so the expensive trace is produced once per
+ * benchmark and reused for every design point.
+ */
+
+#ifndef PIPECACHE_TRACE_EXECUTOR_HH
+#define PIPECACHE_TRACE_EXECUTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/data_address_generator.hh"
+#include "trace/trace_record.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace pipecache::trace {
+
+/** One executed basic block. */
+struct BlockEvent
+{
+    isa::BlockId block = isa::invalidBlock;
+    /** CTI outcome: for CondBranch the direction; true otherwise. */
+    bool taken = true;
+    /** Data references issued by this block's instructions. */
+    std::vector<MemRef> memRefs;
+};
+
+/** Executor configuration. */
+struct ExecConfig
+{
+    std::uint64_t seed = 11;
+    /** Stop after at least this many instructions have executed. */
+    Counter maxInsts = 100000;
+    /** Cap on modelled call depth (beyond it, calls are elided). */
+    std::uint32_t maxCallDepth = 256;
+    /** Cap on a single drawn loop trip count. */
+    std::uint64_t maxTrip = 1u << 20;
+};
+
+/**
+ * Pull-based executor: call next() until it returns false.
+ */
+class Executor
+{
+  public:
+    Executor(const isa::Program &program, DataAddressGenerator &dgen,
+             const ExecConfig &config);
+
+    /** Produce the next executed block. False once maxInsts reached. */
+    bool next(BlockEvent &event);
+
+    /** Instructions executed so far. */
+    Counter instCount() const { return instCount_; }
+
+    /** Current call depth (for tests). */
+    std::uint32_t callDepth() const
+    {
+        return static_cast<std::uint32_t>(callStack_.size());
+    }
+
+  private:
+    const isa::Program &program_;
+    DataAddressGenerator &dgen_;
+    ExecConfig config_;
+    Rng rng_;
+
+    isa::BlockId pc_;
+    Counter instCount_ = 0;
+    bool done_ = false;
+
+    std::vector<isa::BlockId> callStack_;
+    /** Remaining taken executions for active loop back-edges. */
+    std::unordered_map<isa::BlockId, std::uint64_t> loopTrips_;
+
+    bool decideCondBranch(isa::BlockId id, const isa::BasicBlock &bb);
+};
+
+/**
+ * A fully recorded block-level trace (flat storage for cache
+ * friendliness during replay).
+ */
+class RecordedTrace
+{
+  public:
+    struct Block
+    {
+        isa::BlockId block;
+        std::uint8_t taken;
+        /** Index of this block's first MemRef; the range ends at the
+         *  next block's memBegin (or memRefs.size() for the last). */
+        std::uint32_t memBegin;
+    };
+
+    std::vector<Block> blocks;
+    std::vector<MemRef> memRefs;
+    Counter instCount = 0;
+
+    /** Memory-reference range of block event i. */
+    std::pair<std::uint32_t, std::uint32_t>
+    memRange(std::size_t i) const
+    {
+        const std::uint32_t begin = blocks[i].memBegin;
+        const std::uint32_t end =
+            i + 1 < blocks.size()
+                ? blocks[i + 1].memBegin
+                : static_cast<std::uint32_t>(memRefs.size());
+        return {begin, end};
+    }
+};
+
+/** Run an executor to completion into a RecordedTrace. */
+RecordedTrace recordTrace(const isa::Program &program,
+                          DataAddressGenerator &dgen,
+                          const ExecConfig &config);
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_EXECUTOR_HH

@@ -1,0 +1,62 @@
+#include "trace/multiprog.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+MultiprogSchedule::MultiprogSchedule(
+    const std::vector<const RecordedTrace *> &traces,
+    const std::vector<const isa::Program *> &programs, Counter quantum)
+{
+    PC_ASSERT(!traces.empty(), "multiprogramming schedule with no traces");
+    PC_ASSERT(traces.size() == programs.size(),
+              "traces/programs size mismatch");
+    PC_ASSERT(quantum > 0, "quantum must be positive");
+
+    struct Cursor
+    {
+        std::uint32_t nextBlock = 0;
+    };
+    std::vector<Cursor> cursors(traces.size());
+
+    std::size_t live = 0;
+    for (const auto *t : traces) {
+        PC_ASSERT(t != nullptr, "null trace");
+        if (!t->blocks.empty())
+            ++live;
+        totalInsts_ += t->instCount;
+    }
+
+    std::size_t turn = 0;
+    while (live > 0) {
+        const std::size_t n = traces.size();
+        const std::uint32_t bench = static_cast<std::uint32_t>(turn % n);
+        ++turn;
+
+        const RecordedTrace &tr = *traces[bench];
+        Cursor &cur = cursors[bench];
+        if (cur.nextBlock >= tr.blocks.size())
+            continue;
+
+        TraceSlice slice;
+        slice.bench = bench;
+        slice.blockBegin = cur.nextBlock;
+
+        Counter insts = 0;
+        std::uint32_t b = cur.nextBlock;
+        const auto num_blocks =
+            static_cast<std::uint32_t>(tr.blocks.size());
+        while (b < num_blocks && insts < quantum) {
+            insts += programs[bench]->block(tr.blocks[b].block).size();
+            ++b;
+        }
+        slice.blockEnd = b;
+        cur.nextBlock = b;
+        if (b >= num_blocks)
+            --live;
+
+        slices_.push_back(slice);
+    }
+}
+
+} // namespace pipecache::trace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multiprogramming trace composition.
+ *
+ * The paper's traces are *multiprogrammed*: several benchmarks share
+ * the machine under round-robin scheduling, so the caches see context
+ * switches and inter-process interference. MultiprogSchedule slices a
+ * set of per-benchmark recorded traces into quantum-sized segments in
+ * round-robin order; replay engines process the slices in sequence
+ * against per-benchmark programs/translations while sharing one cache
+ * hierarchy.
+ */
+
+#ifndef PIPECACHE_TRACE_MULTIPROG_HH
+#define PIPECACHE_TRACE_MULTIPROG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/executor.hh"
+
+namespace pipecache::trace {
+
+/** One scheduled segment: a block range of one benchmark's trace. */
+struct TraceSlice
+{
+    /** Index into the trace set. */
+    std::uint32_t bench = 0;
+    /** Block-event range [blockBegin, blockEnd) of that trace. */
+    std::uint32_t blockBegin = 0;
+    std::uint32_t blockEnd = 0;
+};
+
+/**
+ * Round-robin multiprogramming schedule over recorded traces.
+ *
+ * Each quantum runs approximately @p quantum instructions of one
+ * benchmark (rounded to whole basic blocks), then switches to the next
+ * benchmark that still has trace left. Traces that finish drop out;
+ * the schedule ends when all traces are exhausted.
+ */
+class MultiprogSchedule
+{
+  public:
+    /**
+     * @param traces  One recorded trace per benchmark.
+     * @param programs Programs matching each trace (for block sizes).
+     * @param quantum Instructions per scheduling quantum.
+     */
+    MultiprogSchedule(const std::vector<const RecordedTrace *> &traces,
+                      const std::vector<const isa::Program *> &programs,
+                      Counter quantum);
+
+    const std::vector<TraceSlice> &slices() const { return slices_; }
+
+    /** Total instructions across all traces. */
+    Counter totalInsts() const { return totalInsts_; }
+
+    /** Number of context switches in the schedule. */
+    std::size_t numSwitches() const
+    {
+        return slices_.empty() ? 0 : slices_.size() - 1;
+    }
+
+  private:
+    std::vector<TraceSlice> slices_;
+    Counter totalInsts_ = 0;
+};
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_MULTIPROG_HH

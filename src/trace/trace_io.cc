@@ -1,0 +1,121 @@
+#include "trace/trace_io.hh"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+namespace {
+
+template <typename Fn>
+void
+forEachFlatRecord(const isa::Program &program, const RecordedTrace &trace,
+                  Fn &&fn)
+{
+    for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+        const auto &ev = trace.blocks[i];
+        const isa::BasicBlock &bb = program.block(ev.block);
+        auto [mem_begin, mem_end] = trace.memRange(i);
+        std::uint32_t mem = mem_begin;
+        for (std::size_t pos = 0; pos < bb.size(); ++pos) {
+            fn(TraceRecord{RefKind::Fetch,
+                           program.instAddr(ev.block, pos)});
+            while (mem < mem_end && trace.memRefs[mem].pos == pos) {
+                const MemRef &ref = trace.memRefs[mem];
+                fn(TraceRecord{ref.store ? RefKind::Write : RefKind::Read,
+                               ref.addr});
+                ++mem;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+writeDin(std::ostream &os, const isa::Program &program,
+         const RecordedTrace &trace)
+{
+    PC_ASSERT(program.laidOut(), "program must be laid out");
+    char buf[32];
+    forEachFlatRecord(program, trace, [&](const TraceRecord &rec) {
+        char *p = buf;
+        *p++ = static_cast<char>('0' + static_cast<int>(rec.kind));
+        *p++ = ' ';
+        auto res = std::to_chars(p, buf + sizeof(buf), rec.addr, 16);
+        *res.ptr++ = '\n';
+        os.write(buf, res.ptr - buf);
+    });
+}
+
+std::vector<TraceRecord>
+readDin(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Skip blank lines and comments.
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+
+        const char *begin = line.data() + start;
+        const char *end = line.data() + line.size();
+
+        int label = -1;
+        auto lr = std::from_chars(begin, end, label);
+        if (lr.ec != std::errc{} || label < 0 || label > 2)
+            PC_FATAL("din line ", lineno, ": bad label in '", line, "'");
+
+        const char *ap = lr.ptr;
+        while (ap < end && std::isspace(static_cast<unsigned char>(*ap)))
+            ++ap;
+        Addr addr = 0;
+        auto ar = std::from_chars(ap, end, addr, 16);
+        if (ar.ec != std::errc{} || ap == ar.ptr)
+            PC_FATAL("din line ", lineno, ": bad address in '", line, "'");
+
+        records.push_back({static_cast<RefKind>(label), addr});
+    }
+    return records;
+}
+
+void
+writeDinFile(const std::string &path, const isa::Program &program,
+             const RecordedTrace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        PC_FATAL("cannot open trace file for writing: ", path);
+    writeDin(out, program, trace);
+    if (!out)
+        PC_FATAL("error while writing trace file: ", path);
+}
+
+std::vector<TraceRecord>
+readDinFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PC_FATAL("cannot open trace file: ", path);
+    return readDin(in);
+}
+
+std::vector<TraceRecord>
+flatten(const isa::Program &program, const RecordedTrace &trace)
+{
+    std::vector<TraceRecord> records;
+    forEachFlatRecord(program, trace, [&](const TraceRecord &rec) {
+        records.push_back(rec);
+    });
+    return records;
+}
+
+} // namespace pipecache::trace

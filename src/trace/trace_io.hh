@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Flat trace input/output in the dinero "din" format.
+ *
+ * Each line is "<label> <hex address>" with label 0 = data read,
+ * 1 = data write, 2 = instruction fetch — the classic trace-exchange
+ * format of the era the paper comes from (DineroIII). Writing a
+ * recorded trace flattens the block events into per-instruction fetch
+ * records interleaved with their data references, so external cache
+ * tools can consume our workloads and our cache model can consume
+ * external traces.
+ */
+
+#ifndef PIPECACHE_TRACE_TRACE_IO_HH
+#define PIPECACHE_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/executor.hh"
+#include "trace/trace_record.hh"
+
+namespace pipecache::trace {
+
+/**
+ * Flatten a recorded trace into din records on @p os. The program must
+ * be the one the trace was recorded from (laid out).
+ */
+void writeDin(std::ostream &os, const isa::Program &program,
+              const RecordedTrace &trace);
+
+/**
+ * Parse a din trace. fatal()s on malformed input, identifying the
+ * offending line.
+ */
+std::vector<TraceRecord> readDin(std::istream &is);
+
+/** Convenience file wrappers; fatal() on I/O failure. */
+void writeDinFile(const std::string &path, const isa::Program &program,
+                  const RecordedTrace &trace);
+std::vector<TraceRecord> readDinFile(const std::string &path);
+
+/** Expand one recorded trace into in-memory flat records. */
+std::vector<TraceRecord> flatten(const isa::Program &program,
+                                 const RecordedTrace &trace);
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_TRACE_IO_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain trace record types shared by trace producers and consumers.
+ */
+
+#ifndef PIPECACHE_TRACE_TRACE_RECORD_HH
+#define PIPECACHE_TRACE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace pipecache::trace {
+
+/** Reference kind in a flat (din-style) trace. */
+enum class RefKind : std::uint8_t
+{
+    Read = 0,   //!< data load
+    Write = 1,  //!< data store
+    Fetch = 2,  //!< instruction fetch
+};
+
+/** One flat trace record (matches dineroIII "din" input labels). */
+struct TraceRecord
+{
+    RefKind kind = RefKind::Fetch;
+    Addr addr = 0;
+
+    friend bool operator==(const TraceRecord &,
+                           const TraceRecord &) = default;
+};
+
+/** One data reference within an executed basic block. */
+struct MemRef
+{
+    /** Instruction position within the block. */
+    std::uint16_t pos = 0;
+    /** True for stores. */
+    std::uint8_t store = 0;
+    Addr addr = 0;
+};
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_TRACE_RECORD_HH

@@ -1,0 +1,188 @@
+#include "trace/trace_serialize.hh"
+
+#include <cstring>
+#include <type_traits>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+namespace {
+
+constexpr std::uint64_t traceMagic = 0x3145434152544350ULL; // "PCTRACE1"
+
+/** Running FNV-1a checksum over emitted bytes. */
+class Crc
+{
+  public:
+    void update(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        os_.write(reinterpret_cast<const char *>(&value),
+                  sizeof(value));
+        crc_.update(&value, sizeof(value));
+    }
+
+    std::uint64_t crc() const { return crc_.value(); }
+
+  private:
+    std::ostream &os_;
+    Crc crc_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : is_(is) {}
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        is_.read(reinterpret_cast<char *>(&value), sizeof(value));
+        if (!is_)
+            PC_FATAL("truncated trace stream");
+        crc_.update(&value, sizeof(value));
+        return value;
+    }
+
+    /** Read without folding into the checksum (for the crc itself). */
+    std::uint64_t
+    getRawU64()
+    {
+        std::uint64_t value = 0;
+        is_.read(reinterpret_cast<char *>(&value), sizeof(value));
+        if (!is_)
+            PC_FATAL("truncated trace stream (checksum)");
+        return value;
+    }
+
+    std::uint64_t crc() const { return crc_.value(); }
+
+  private:
+    std::istream &is_;
+    Crc crc_;
+};
+
+} // namespace
+
+void
+saveTrace(std::ostream &os, const RecordedTrace &trace)
+{
+    Writer w(os);
+    w.put(traceMagic);
+    w.put(static_cast<std::uint64_t>(trace.instCount));
+    w.put(static_cast<std::uint64_t>(trace.blocks.size()));
+    w.put(static_cast<std::uint64_t>(trace.memRefs.size()));
+    for (const auto &b : trace.blocks) {
+        w.put(b.block);
+        w.put(b.taken);
+        w.put(b.memBegin);
+    }
+    for (const auto &m : trace.memRefs) {
+        w.put(m.pos);
+        w.put(m.store);
+        w.put(m.addr);
+    }
+    const std::uint64_t crc = w.crc();
+    os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+    if (!os)
+        PC_FATAL("error while writing trace stream");
+}
+
+RecordedTrace
+loadTrace(std::istream &is)
+{
+    Reader r(is);
+    if (r.get<std::uint64_t>() != traceMagic)
+        PC_FATAL("not a pipecache trace (bad magic)");
+
+    RecordedTrace trace;
+    trace.instCount = r.get<std::uint64_t>();
+    const auto nblocks = r.get<std::uint64_t>();
+    const auto nmem = r.get<std::uint64_t>();
+    // Sanity cap: refuse absurd sizes before allocating.
+    if (nblocks > (1ULL << 32) || nmem > (1ULL << 32))
+        PC_FATAL("implausible trace header (", nblocks, " blocks, ",
+                 nmem, " mem refs)");
+
+    trace.blocks.reserve(nblocks);
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        RecordedTrace::Block b;
+        b.block = r.get<isa::BlockId>();
+        b.taken = r.get<std::uint8_t>();
+        b.memBegin = r.get<std::uint32_t>();
+        trace.blocks.push_back(b);
+    }
+    trace.memRefs.reserve(nmem);
+    for (std::uint64_t i = 0; i < nmem; ++i) {
+        MemRef m;
+        m.pos = r.get<std::uint16_t>();
+        m.store = r.get<std::uint8_t>();
+        m.addr = r.get<Addr>();
+        trace.memRefs.push_back(m);
+    }
+
+    const std::uint64_t expect = r.crc();
+    const std::uint64_t stored = r.getRawU64();
+    if (expect != stored)
+        PC_FATAL("trace checksum mismatch (corrupt file)");
+
+    // Structural sanity: memBegin indices must be monotone and within
+    // range so memRange() stays safe.
+    std::uint32_t prev = 0;
+    for (const auto &b : trace.blocks) {
+        if (b.memBegin < prev ||
+            b.memBegin > trace.memRefs.size())
+            PC_FATAL("corrupt trace: bad memBegin ordering");
+        prev = b.memBegin;
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const RecordedTrace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        PC_FATAL("cannot open trace file for writing: ", path);
+    saveTrace(out, trace);
+}
+
+RecordedTrace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        PC_FATAL("cannot open trace file: ", path);
+    return loadTrace(in);
+}
+
+} // namespace pipecache::trace

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization of recorded traces.
+ *
+ * Recording a benchmark's trace is the expensive step of every sweep;
+ * this module saves/loads RecordedTrace objects in a compact,
+ * versioned, checksummed binary format so sweeps can be split across
+ * processes (and so users can snapshot workloads). Layout (all fields
+ * little-endian):
+ *
+ *   magic   u64  "PCTRACE1"
+ *   inst    u64  instruction count
+ *   nblocks u64
+ *   nmem    u64
+ *   blocks  nblocks x { u32 block, u8 taken, u32 memBegin }
+ *   mem     nmem    x { u16 pos, u8 store, u32 addr }
+ *   crc     u64  FNV-1a over everything above
+ */
+
+#ifndef PIPECACHE_TRACE_TRACE_SERIALIZE_HH
+#define PIPECACHE_TRACE_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/executor.hh"
+
+namespace pipecache::trace {
+
+/** Write @p trace to @p os in the binary format above. */
+void saveTrace(std::ostream &os, const RecordedTrace &trace);
+
+/**
+ * Read a trace written by saveTrace. fatal()s on a bad magic,
+ * truncated stream, or checksum mismatch.
+ */
+RecordedTrace loadTrace(std::istream &is);
+
+/** File wrappers; fatal() on I/O failure. */
+void saveTraceFile(const std::string &path, const RecordedTrace &trace);
+RecordedTrace loadTraceFile(const std::string &path);
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_TRACE_SERIALIZE_HH

@@ -1,0 +1,68 @@
+#include "trace/trace_stats.hh"
+
+namespace pipecache::trace {
+
+TraceMix
+computeMix(const isa::Program &program, const RecordedTrace &trace)
+{
+    TraceMix mix;
+
+    // Per-block instruction classification is the same every time a
+    // block executes, so classify each block once and weight by its
+    // execution count.
+    struct BlockCounts
+    {
+        std::uint32_t size = 0;
+        std::uint32_t loads = 0;
+        std::uint32_t stores = 0;
+        std::uint8_t cond = 0;
+        std::uint8_t jump = 0;
+        std::uint8_t indirect = 0;
+        bool cached = false;
+    };
+    std::vector<BlockCounts> cache(program.numBlocks());
+
+    for (const auto &ev : trace.blocks) {
+        BlockCounts &bc = cache[ev.block];
+        if (!bc.cached) {
+            const isa::BasicBlock &bb = program.block(ev.block);
+            bc.size = static_cast<std::uint32_t>(bb.size());
+            for (const auto &inst : bb.insts) {
+                switch (isa::opClass(inst.op)) {
+                  case isa::OpClass::Load:
+                    ++bc.loads;
+                    break;
+                  case isa::OpClass::Store:
+                    ++bc.stores;
+                    break;
+                  case isa::OpClass::CondBranch:
+                    bc.cond = 1;
+                    break;
+                  case isa::OpClass::Jump:
+                    bc.jump = 1;
+                    break;
+                  case isa::OpClass::IndirectJump:
+                    bc.indirect = 1;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            bc.cached = true;
+        }
+
+        mix.insts += bc.size;
+        mix.loads += bc.loads;
+        mix.stores += bc.stores;
+        mix.condBranches += bc.cond;
+        mix.jumps += bc.jump;
+        mix.indirects += bc.indirect;
+        ++mix.blockEvents;
+        mix.blockLen.sample(bc.size);
+        if ((bc.cond || bc.jump || bc.indirect) && ev.taken)
+            ++mix.takenCtis;
+    }
+    return mix;
+}
+
+} // namespace pipecache::trace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dynamic-mix statistics over recorded traces — the measured
+ * counterpart of the paper's Table 1 columns, plus the block-length
+ * and CTI-composition detail the calibration tests check.
+ */
+
+#ifndef PIPECACHE_TRACE_TRACE_STATS_HH
+#define PIPECACHE_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "trace/executor.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace pipecache::trace {
+
+/** Dynamic instruction-mix statistics for one recorded trace. */
+struct TraceMix
+{
+    TraceMix() : blockLen(64) {}
+
+    Counter insts = 0;
+    Counter loads = 0;
+    Counter stores = 0;
+    Counter condBranches = 0;
+    Counter jumps = 0;      //!< j / jal
+    Counter indirects = 0;  //!< jr / jalr (returns, switches)
+    Counter blockEvents = 0;
+    Counter takenCtis = 0;
+
+    Histogram blockLen;
+
+    Counter ctis() const { return condBranches + jumps + indirects; }
+
+    double loadPct() const { return pct(loads); }
+    double storePct() const { return pct(stores); }
+    double ctiPct() const { return pct(ctis()); }
+    double indirectCtiFrac() const
+    {
+        return ctis() == 0
+                   ? 0.0
+                   : static_cast<double>(indirects) /
+                         static_cast<double>(ctis());
+    }
+
+  private:
+    double pct(Counter n) const
+    {
+        return insts == 0 ? 0.0
+                          : 100.0 * static_cast<double>(n) /
+                                static_cast<double>(insts);
+    }
+};
+
+/** Measure the dynamic mix of a recorded trace. */
+TraceMix computeMix(const isa::Program &program,
+                    const RecordedTrace &trace);
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_TRACE_STATS_HH

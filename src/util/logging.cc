@@ -1,0 +1,66 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pipecache {
+
+namespace {
+
+void
+defaultSink(const std::string &line)
+{
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+LogSink currentSink = defaultSink;
+
+} // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    currentSink = sink ? sink : defaultSink;
+}
+
+/**
+ * Exception thrown by panic()/fatal() when a test sink is installed, so
+ * unit tests can exercise error paths without killing the process.
+ */
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " @ " << file << ":" << line;
+    currentSink(os.str());
+    if (currentSink != defaultSink)
+        throw std::logic_error(os.str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " @ " << file << ":" << line;
+    currentSink(os.str());
+    if (currentSink != defaultSink)
+        throw std::runtime_error(os.str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    currentSink("warn: " + msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    currentSink("info: " + msg);
+}
+
+} // namespace pipecache

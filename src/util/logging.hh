@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant of the simulator is broken; aborts.
+ * fatal()  — the user asked for something the simulator cannot do
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef PIPECACHE_UTIL_LOGGING_HH
+#define PIPECACHE_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace pipecache {
+
+/** Sink for log lines; overridable so tests can capture output. */
+using LogSink = void (*)(const std::string &line);
+
+/** Replace the default (stderr) sink. Pass nullptr to restore it. */
+void setLogSink(LogSink sink);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMsg(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on a simulator bug. Usage: panic("bad state ", x). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, const Args &...args)
+{
+    panicImpl(file, line, detail::formatMsg(args...));
+}
+
+/** Exit(1) on a user error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, const Args &...args)
+{
+    fatalImpl(file, line, detail::formatMsg(args...));
+}
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnImpl(detail::formatMsg(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informImpl(detail::formatMsg(args...));
+}
+
+} // namespace pipecache
+
+#define PC_PANIC(...) ::pipecache::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define PC_FATAL(...) ::pipecache::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Always-on invariant check (not compiled out in release builds). */
+#define PC_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pipecache::panic(__FILE__, __LINE__,                        \
+                               "assertion failed: " #cond " ",            \
+                               ##__VA_ARGS__);                            \
+        }                                                                 \
+    } while (0)
+
+#endif // PIPECACHE_UTIL_LOGGING_HH

@@ -1,0 +1,168 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pipecache {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t bound)
+{
+    PC_ASSERT(bound != 0, "nextRange bound must be nonzero");
+    // Debiased multiply-shift (Lemire). The rejection loop terminates
+    // quickly for any bound.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        __uint128_t m = static_cast<__uint128_t>(r) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low >= threshold)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t lo, std::int64_t hi)
+{
+    PC_ASSERT(lo <= hi, "nextInt: lo > hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextRange(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    PC_ASSERT(p > 0.0 && p <= 1.0, "nextGeometric: p out of range ", p);
+    if (p >= 1.0)
+        return 0;
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+}
+
+void
+Rng::buildZipf(std::uint64_t n, double theta)
+{
+    zipfCache_.n = n;
+    zipfCache_.theta = theta;
+    zipfCache_.cdf.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+        zipfCache_.cdf[r] = sum;
+    }
+    for (auto &v : zipfCache_.cdf)
+        v /= sum;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double theta)
+{
+    PC_ASSERT(n != 0, "nextZipf: empty support");
+    if (zipfCache_.n != n || zipfCache_.theta != theta)
+        buildZipf(n, theta);
+    double u = nextDouble();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = zipfCache_.cdf.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (zipfCache_.cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::size_t
+Rng::nextDiscrete(std::span<const double> weights)
+{
+    PC_ASSERT(!weights.empty(), "nextDiscrete: empty weights");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    PC_ASSERT(total > 0.0, "nextDiscrete: zero total weight");
+    double u = nextDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    // Mix two outputs into a fresh seed; the child stream is
+    // decorrelated from the parent continuation.
+    std::uint64_t a = next();
+    std::uint64_t b = next();
+    return Rng(a ^ rotl(b, 29) ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace pipecache

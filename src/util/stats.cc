@@ -1,0 +1,169 @@
+#include "util/stats.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache {
+
+Histogram::Histogram(std::size_t bucket_count) : buckets_(bucket_count, 0)
+{
+    PC_ASSERT(bucket_count > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t weight)
+{
+    if (value < buckets_.size()) {
+        buckets_[value] += weight;
+        weightedSum_ += value * weight;
+    } else {
+        overflow_ += weight;
+        weightedSum_ += buckets_.size() * weight;
+    }
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t b) const
+{
+    PC_ASSERT(b < buckets_.size(), "histogram bucket out of range: ", b);
+    return buckets_[b];
+}
+
+double
+Histogram::fraction(std::uint64_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (v >= buckets_.size())
+        return static_cast<double>(overflow_) / static_cast<double>(total_);
+    return static_cast<double>(buckets_[v]) / static_cast<double>(total_);
+}
+
+double
+Histogram::fractionAtLeast(std::uint64_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = overflow_;
+    for (std::size_t b = buckets_.size(); b-- > 0;) {
+        if (b < v)
+            break;
+        acc += buckets_[b];
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(weightedSum_) / static_cast<double>(total_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    PC_ASSERT(other.buckets_.size() == buckets_.size(),
+              "histogram merge with mismatched bucket counts");
+    for (std::size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] += other.buckets_[b];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    weightedSum_ += other.weightedSum_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    total_ = 0;
+    weightedSum_ = 0;
+}
+
+void
+WeightedHarmonicMean::add(double value, double weight)
+{
+    PC_ASSERT(value > 0.0, "harmonic mean of non-positive value ", value);
+    PC_ASSERT(weight >= 0.0, "negative weight ", weight);
+    weightSum_ += weight;
+    invSum_ += weight / value;
+    ++n_;
+}
+
+double
+WeightedHarmonicMean::value() const
+{
+    PC_ASSERT(n_ > 0, "harmonic mean of empty set");
+    PC_ASSERT(invSum_ > 0.0, "harmonic mean with zero total weight");
+    return weightSum_ / invSum_;
+}
+
+void
+WeightedArithmeticMean::add(double value, double weight)
+{
+    PC_ASSERT(weight >= 0.0, "negative weight ", weight);
+    weightSum_ += weight;
+    sum_ += value * weight;
+    ++n_;
+}
+
+double
+WeightedArithmeticMean::value() const
+{
+    PC_ASSERT(n_ > 0 && weightSum_ > 0.0, "mean of empty set");
+    return sum_ / weightSum_;
+}
+
+void
+RunningStats::add(double v)
+{
+    if (n_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    sum_ += v;
+    ++n_;
+}
+
+double
+RunningStats::mean() const
+{
+    PC_ASSERT(n_ > 0, "mean of empty RunningStats");
+    return sum_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::min() const
+{
+    PC_ASSERT(n_ > 0, "min of empty RunningStats");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    PC_ASSERT(n_ > 0, "max of empty RunningStats");
+    return max_;
+}
+
+double
+weightedHarmonicMean(std::span<const double> values,
+                     std::span<const double> weights)
+{
+    PC_ASSERT(values.size() == weights.size(),
+              "values/weights size mismatch");
+    WeightedHarmonicMean m;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        m.add(values[i], weights[i]);
+    return m.value();
+}
+
+} // namespace pipecache

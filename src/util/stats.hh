@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Statistics containers used throughout the simulator.
+ *
+ * The paper reports CPI as the *weighted harmonic mean* over the
+ * benchmark suite with weights equal to each benchmark's fraction of
+ * total execution time; Histogram backs the e-distribution figures
+ * (Figures 6 and 7) and general distribution reporting.
+ */
+
+#ifndef PIPECACHE_UTIL_STATS_HH
+#define PIPECACHE_UTIL_STATS_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pipecache {
+
+/**
+ * Fixed-bucket histogram over non-negative integer samples with an
+ * overflow bucket for samples >= bucketCount.
+ */
+class Histogram
+{
+  public:
+    /** @param bucket_count Number of exact buckets before overflow. */
+    explicit Histogram(std::size_t bucket_count);
+
+    /** Record one sample (weight 1). */
+    void sample(std::uint64_t value) { sample(value, 1); }
+
+    /** Record a sample with a given weight. */
+    void sample(std::uint64_t value, std::uint64_t weight);
+
+    /** Total weight recorded. */
+    std::uint64_t count() const { return total_; }
+
+    /** Weight recorded in bucket b (b < bucketCount()). */
+    std::uint64_t bucket(std::size_t b) const;
+
+    /** Weight recorded in the overflow bucket. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** Fraction of samples exactly equal to value v. */
+    double fraction(std::uint64_t v) const;
+
+    /** Fraction of samples >= v (overflow counts as >= anything). */
+    double fractionAtLeast(std::uint64_t v) const;
+
+    /** Mean treating overflow samples as bucketCount(). */
+    double mean() const;
+
+    /** Merge another histogram (must have identical bucket count). */
+    void merge(const Histogram &other);
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t weightedSum_ = 0;
+};
+
+/**
+ * Weighted harmonic mean accumulator.
+ *
+ * For per-benchmark rates r_i (e.g. CPI) with weights w_i summing to
+ * anything positive, yields sum(w) / sum(w_i / r_i).
+ */
+class WeightedHarmonicMean
+{
+  public:
+    /** Add one value with the given weight. value must be > 0. */
+    void add(double value, double weight);
+
+    /** Number of values added. */
+    std::size_t count() const { return n_; }
+
+    /** The weighted harmonic mean; panics if nothing was added. */
+    double value() const;
+
+  private:
+    double weightSum_ = 0.0;
+    double invSum_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+/** Weighted arithmetic mean, for completeness in reports. */
+class WeightedArithmeticMean
+{
+  public:
+    void add(double value, double weight);
+    std::size_t count() const { return n_; }
+    double value() const;
+
+  private:
+    double weightSum_ = 0.0;
+    double sum_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+/** Simple running statistics (min/max/mean) over doubles. */
+class RunningStats
+{
+  public:
+    void add(double v);
+    std::size_t count() const { return n_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Weighted harmonic mean of a span of (value, weight) pairs. */
+double weightedHarmonicMean(std::span<const double> values,
+                            std::span<const double> weights);
+
+} // namespace pipecache
+
+#endif // PIPECACHE_UTIL_STATS_HH

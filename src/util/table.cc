@@ -1,0 +1,163 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pipecache {
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths over header + all rows.
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << std::setw(static_cast<int>(width[c])) << cell;
+            if (c + 1 < cols)
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t line = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            line += width[c] + (c + 1 < cols ? 2 : 0);
+        os << std::string(line, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << quote(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderMarkdown() const
+{
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "**" << title_ << "**\n\n";
+
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    if (cols == 0)
+        return os.str();
+
+    auto escape = [](const std::string &cell) {
+        std::string out;
+        for (char ch : cell) {
+            if (ch == '|')
+                out += "\\|";
+            else
+                out += ch;
+        }
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < cols; ++c)
+            os << " " << (c < row.size() ? escape(row[c]) : "")
+               << " |";
+        os << "\n";
+    };
+
+    emit(header_);
+    os << "|";
+    for (std::size_t c = 0; c < cols; ++c)
+        os << "---|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &t)
+{
+    return os << t.render();
+}
+
+} // namespace pipecache

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table and CSV emission for experiment reports.
+ *
+ * Every bench binary prints its table/figure through TextTable so the
+ * reproduction output is uniform and diffable against EXPERIMENTS.md.
+ */
+
+#ifndef PIPECACHE_UTIL_TABLE_HH
+#define PIPECACHE_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipecache {
+
+/** Column-aligned text table with an optional title and CSV export. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. Resets nothing else. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision (helper for rows). */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer cell. */
+    static std::string num(std::uint64_t v);
+
+    /** Render the aligned table. */
+    std::string render() const;
+
+    /** Render as CSV (header + rows, comma separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    /** Render as a GitHub-flavored markdown table. */
+    std::string renderMarkdown() const;
+
+    /** Write render() to the stream. */
+    friend std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+    const std::string &title() const { return title_; }
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pipecache
+
+#endif // PIPECACHE_UTIL_TABLE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit helpers for the 1992 MIPS/GaAs world of the paper.
+ *
+ * The paper measures cache sizes in "words" (W) of 4 bytes and quotes
+ * sizes as KW (kilowords). 1 KW = 1024 words = 4 KB.
+ */
+
+#ifndef PIPECACHE_UTIL_UNITS_HH
+#define PIPECACHE_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace pipecache {
+
+/** Byte addresses are 32-bit, as on the MIPS R2000. */
+using Addr = std::uint32_t;
+
+/** Cycle and instruction counts need 64 bits at trace scale. */
+using Counter = std::uint64_t;
+
+/** Bytes per MIPS word. */
+inline constexpr std::uint32_t bytesPerWord = 4;
+
+/** Convert a size in words to bytes. */
+constexpr std::uint64_t
+wordsToBytes(std::uint64_t words)
+{
+    return words * bytesPerWord;
+}
+
+/** Convert a size in kilowords (the paper's unit) to bytes. */
+constexpr std::uint64_t
+kiloWordsToBytes(std::uint64_t kw)
+{
+    return kw * 1024 * bytesPerWord;
+}
+
+/** Convert a size in bytes to kilowords; size must be KW-aligned. */
+constexpr std::uint64_t
+bytesToKiloWords(std::uint64_t bytes)
+{
+    return bytes / (1024 * bytesPerWord);
+}
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace pipecache
+
+#endif // PIPECACHE_UTIL_UNITS_HH

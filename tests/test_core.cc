@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit tests for core/: design points, the CPI model's artifact
+ * management and memoization, TPI combination, and the optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cpi_model.hh"
+#include "core/design_point.hh"
+#include "core/optimizer.hh"
+#include "core/sensitivity.hh"
+#include "core/tpi_model.hh"
+
+namespace pipecache::core {
+namespace {
+
+SuiteConfig
+tinySuite()
+{
+    SuiteConfig config;
+    config.scaleDivisor = 10000.0; // floor: 20k insts per benchmark
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+// ------------------------------------------------------------ design point
+
+TEST(DesignPointTest, HierarchyConfigReflectsFields)
+{
+    DesignPoint p;
+    p.l1iSizeKW = 4;
+    p.l1dSizeKW = 16;
+    p.blockWords = 8;
+    p.assoc = 2;
+    p.missPenaltyCycles = 18;
+    const auto hc = p.hierarchyConfig();
+    EXPECT_EQ(hc.l1i.sizeBytes, 16384u);
+    EXPECT_EQ(hc.l1d.sizeBytes, 65536u);
+    EXPECT_EQ(hc.l1i.blockBytes, 32u);
+    EXPECT_EQ(hc.l1d.assoc, 2u);
+    ASSERT_TRUE(hc.flatPenalty.has_value());
+    EXPECT_EQ(*hc.flatPenalty, 18u);
+}
+
+TEST(DesignPointTest, EngineConfigReflectsFields)
+{
+    DesignPoint p;
+    p.branchSlots = 3;
+    p.loadSlots = 1;
+    p.branchScheme = cpusim::BranchScheme::Btb;
+    p.loadScheme = cpusim::LoadScheme::Dynamic;
+    const auto ec = p.engineConfig();
+    EXPECT_EQ(ec.branchSlots, 3u);
+    EXPECT_EQ(ec.loadSlots, 1u);
+    EXPECT_EQ(ec.branchScheme, cpusim::BranchScheme::Btb);
+    EXPECT_EQ(ec.loadScheme, cpusim::LoadScheme::Dynamic);
+}
+
+TEST(DesignPointTest, EqualityAndHash)
+{
+    DesignPoint a;
+    DesignPoint b;
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(DesignPointHash{}(a), DesignPointHash{}(b));
+    b.l1dSizeKW *= 2;
+    EXPECT_FALSE(a == b);
+    b = a;
+    b.loadScheme = cpusim::LoadScheme::Dynamic;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(DesignPointTest, DescribeMentionsEverything)
+{
+    DesignPoint p;
+    p.branchSlots = 3;
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("b=3"), std::string::npos);
+    EXPECT_NE(d.find("squash"), std::string::npos);
+    EXPECT_NE(d.find("KW"), std::string::npos);
+}
+
+// --------------------------------------------------------------- cpi model
+
+TEST(CpiModelTest, SubsetSuiteSelection)
+{
+    CpiModel model(tinySuite());
+    EXPECT_EQ(model.numBenchmarks(), 3u);
+    EXPECT_EQ(model.suite()[0].name, "small");
+    EXPECT_EQ(model.suite()[1].name, "linpack");
+}
+
+TEST(CpiModelTest, ArtifactsAreConsistent)
+{
+    CpiModel model(tinySuite());
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+        const auto &prog = model.program(i);
+        const auto &trace = model.traceOf(i);
+        EXPECT_NO_THROW(prog.validate());
+        EXPECT_GE(trace.instCount, 20000u);
+        // Every trace block id is valid for its program.
+        for (const auto &ev : trace.blocks)
+            ASSERT_LT(ev.block, prog.numBlocks());
+        // Translation files cover every block.
+        const auto &xlat = model.xlat(i, 2);
+        EXPECT_EQ(xlat.numBlocks(), prog.numBlocks());
+        EXPECT_EQ(xlat.delaySlots(), 2u);
+    }
+}
+
+TEST(CpiModelTest, ScheduleCoversAllTraces)
+{
+    CpiModel model(tinySuite());
+    const auto &sched = model.schedule();
+    Counter total = 0;
+    for (std::size_t i = 0; i < model.numBenchmarks(); ++i)
+        total += model.traceOf(i).instCount;
+    EXPECT_EQ(sched.totalInsts(), total);
+}
+
+TEST(CpiModelTest, EvaluateMemoizes)
+{
+    CpiModel model(tinySuite());
+    DesignPoint p;
+    const CpiResult &a = model.evaluate(p);
+    const CpiResult &b = model.evaluate(p);
+    EXPECT_EQ(&a, &b); // same cached object
+}
+
+TEST(CpiModelTest, DeterministicAcrossInstances)
+{
+    CpiModel m1(tinySuite());
+    CpiModel m2(tinySuite());
+    DesignPoint p;
+    EXPECT_DOUBLE_EQ(m1.evaluate(p).cpi(), m2.evaluate(p).cpi());
+}
+
+TEST(CpiModelTest, HarmonicMeanIdentity)
+{
+    // Time-weighted harmonic mean of per-benchmark CPI equals the
+    // aggregate cycles / instructions — the paper's metric identity.
+    CpiModel model(tinySuite());
+    DesignPoint p;
+    p.branchSlots = 2;
+    p.loadSlots = 2;
+    const auto &res = model.evaluate(p);
+    EXPECT_NEAR(res.weightedHarmonicMeanCpi(), res.cpi(), 1e-9);
+}
+
+TEST(CpiModelTest, CpiComponentsReactToDesign)
+{
+    CpiModel model(tinySuite());
+
+    DesignPoint base;
+    base.branchSlots = 0;
+    base.loadSlots = 0;
+    const double cpi0 = model.evaluate(base).cpi();
+
+    DesignPoint more_slots = base;
+    more_slots.branchSlots = 3;
+    more_slots.loadSlots = 3;
+    EXPECT_GT(model.evaluate(more_slots).cpi(), cpi0);
+
+    DesignPoint bigger = base;
+    bigger.l1iSizeKW *= 4;
+    bigger.l1dSizeKW *= 4;
+    EXPECT_LT(model.evaluate(bigger).cpi(), cpi0);
+
+    DesignPoint pricier = base;
+    pricier.missPenaltyCycles = 18;
+    EXPECT_GT(model.evaluate(pricier).cpi(), cpi0);
+}
+
+TEST(CpiModelTest, LoadDelayStatsAggregate)
+{
+    CpiModel model(tinySuite());
+    const auto &stats = model.loadDelayStats();
+    EXPECT_GT(stats.totalLoads(), 10000u);
+    // Dynamic scheduling hides at least as much as static.
+    for (std::uint32_t l = 1; l <= 3; ++l)
+        EXPECT_LE(stats.delayCyclesPerLoad(l, true),
+                  stats.delayCyclesPerLoad(l, false));
+}
+
+// --------------------------------------------------------------- tpi model
+
+TEST(TpiModelTest, TpiIsProductOfCpiAndCycle)
+{
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+    DesignPoint p;
+    p.branchSlots = 2;
+    p.loadSlots = 2;
+    const TpiResult r = tpi_model.evaluate(p);
+    EXPECT_NEAR(r.tpiNs, r.cpi * r.tCpuNs, 1e-9);
+    EXPECT_DOUBLE_EQ(r.tCpuNs, std::max(r.tIsideNs, r.tDsideNs));
+    EXPECT_GE(r.tCpuNs, 3.5 - 1e-6);
+}
+
+TEST(TpiModelTest, AsymmetricDepthWastesCpiWithoutCycleGain)
+{
+    // The paper's Section 5 argument: pipelining one side deeper than
+    // the other adds CPI but the slower side still sets the clock.
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+
+    DesignPoint balanced;
+    balanced.branchSlots = 1;
+    balanced.loadSlots = 1;
+    DesignPoint lopsided = balanced;
+    lopsided.loadSlots = 3; // D-side deeper, I-side still binds
+
+    const TpiResult rb = tpi_model.evaluate(balanced);
+    const TpiResult rl = tpi_model.evaluate(lopsided);
+    EXPECT_DOUBLE_EQ(rb.tCpuNs, rl.tCpuNs);
+    EXPECT_GT(rl.cpi, rb.cpi);
+    EXPECT_GT(rl.tpiNs, rb.tpiNs);
+}
+
+TEST(TpiModelTest, CycleNsMatchesEvaluate)
+{
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+    DesignPoint p;
+    p.l1iSizeKW = 16;
+    p.branchSlots = 1;
+    EXPECT_NEAR(tpi_model.cycleNs(p), tpi_model.evaluate(p).tCpuNs,
+                1e-9);
+}
+
+// --------------------------------------------------------------- optimizer
+
+TEST(OptimizerTest, ImprovesFromBadStart)
+{
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+    OptimizerConfig config;
+    config.maxSizeKW = 16;
+    MultilevelOptimizer opt(tpi_model, config);
+
+    DesignPoint start;
+    start.branchSlots = 0;
+    start.loadSlots = 0;
+    start.l1iSizeKW = 1;
+    start.l1dSizeKW = 1;
+    const auto steps = opt.optimize(start);
+
+    ASSERT_GE(steps.size(), 2u);
+    EXPECT_EQ(steps.front().change, "base");
+    // Strictly improving trajectory.
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        EXPECT_LT(steps[i].tpi.tpiNs, steps[i - 1].tpi.tpiNs);
+        EXPECT_FALSE(steps[i].change.empty());
+    }
+    // The unpipelined 1KW start is far from optimal.
+    EXPECT_LT(steps.back().tpi.tpiNs, 0.7 * steps.front().tpi.tpiNs);
+    // The optimum uses a pipelined cache (the paper's conclusion).
+    EXPECT_GE(steps.back().point.branchSlots, 1u);
+}
+
+TEST(OptimizerTest, LocalOptimumIsStable)
+{
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+    OptimizerConfig config;
+    config.maxSizeKW = 16;
+    MultilevelOptimizer opt(tpi_model, config);
+
+    DesignPoint start;
+    start.l1iSizeKW = 1;
+    start.l1dSizeKW = 1;
+    const auto first = opt.optimize(start);
+    // Restarting from the optimum must terminate immediately.
+    const auto second = opt.optimize(first.back().point);
+    EXPECT_EQ(second.size(), 1u);
+    EXPECT_NEAR(second.front().tpi.tpiNs, first.back().tpi.tpiNs,
+                1e-9);
+}
+
+TEST(OptimizerTest, RespectsBounds)
+{
+    CpiModel cpi_model(tinySuite());
+    TpiModel tpi_model(cpi_model);
+    OptimizerConfig config;
+    config.maxSlots = 2;
+    config.maxSizeKW = 8;
+    MultilevelOptimizer opt(tpi_model, config);
+
+    DesignPoint start;
+    start.l1iSizeKW = 2;
+    start.l1dSizeKW = 2;
+    start.branchSlots = 1;
+    start.loadSlots = 1;
+    for (const auto &step : opt.optimize(start)) {
+        EXPECT_LE(step.point.branchSlots, 2u);
+        EXPECT_LE(step.point.loadSlots, 2u);
+        EXPECT_LE(step.point.l1iSizeKW, 8u);
+        EXPECT_LE(step.point.l1dSizeKW, 8u);
+    }
+}
+
+// -------------------------------------------------------- sensitivity
+
+TEST(SensitivityTest, DefaultParametersBracketNominals)
+{
+    for (const auto &param : defaultTimingParameters()) {
+        EXPECT_FALSE(param.values.empty());
+        bool has_nominal = false;
+        for (double v : param.values)
+            has_nominal |= v == param.nominal;
+        EXPECT_TRUE(has_nominal) << param.name;
+        EXPECT_LT(param.values.front(), param.nominal) << param.name;
+        EXPECT_GT(param.values.back(), param.nominal) << param.name;
+    }
+}
+
+TEST(SensitivityTest, FindOptimumPrefersPipelining)
+{
+    CpiModel model(tinySuite());
+    const auto opt =
+        findOptimum(model, timing::CpuTimingParams{}, 10);
+    EXPECT_GE(opt.depth, 2u);
+    EXPECT_GE(opt.totalKW, 16u);
+    EXPECT_GT(opt.tpiNs, 0.0);
+    EXPECT_GE(opt.tCpuNs, 3.5 - 1e-9);
+}
+
+TEST(SensitivityTest, SweepReusesCpiAndStaysConclusive)
+{
+    CpiModel model(tinySuite());
+    std::vector<TimingParameter> params = {
+        {"latch", 0.4, {0.3, 0.4, 0.5},
+         [](timing::CpuTimingParams &p, double v) { p.latchNs = v; }}};
+    const auto rows = sensitivitySweep(model, params, 10);
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto &row : rows) {
+        // The "pipelining wins" conclusion must survive the sweep.
+        EXPECT_GE(row.optimum.depth, 2u) << row.value;
+    }
+    EXPECT_TRUE(rows[1].isNominal);
+}
+
+} // namespace
+} // namespace pipecache::core

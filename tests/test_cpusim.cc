@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Unit tests for cpusim/: squash resolution, load-scheme stalls, and
+ * the CPI engine on hand-built workloads with exactly computable
+ * cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpusim/branch_model.hh"
+#include "cpusim/cpi_engine.hh"
+#include "cpusim/load_model.hh"
+#include "sched/branch_sched.hh"
+#include "trace/benchmark.hh"
+
+namespace pipecache::cpusim {
+namespace {
+
+using isa::AddrClass;
+using isa::BasicBlock;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::TermKind;
+namespace reg = isa::reg;
+
+// ----------------------------------------------------------- squash model
+
+sched::BlockXlat
+xlatFor(bool pred_taken, bool indirect, std::uint8_t r, std::uint8_t s)
+{
+    sched::BlockXlat bx;
+    bx.hasCti = 1;
+    bx.predictTaken = pred_taken ? 1 : 0;
+    bx.indirect = indirect ? 1 : 0;
+    bx.r = r;
+    bx.s = s;
+    bx.usefulLen = 6;
+    bx.schedLen = 6 + ((pred_taken || indirect) ? s : 0);
+    return bx;
+}
+
+TEST(SquashModelTest, PredictedTakenAndTakenSkipsReplicas)
+{
+    const auto bx = xlatFor(true, false, 1, 2);
+    const auto out = resolveSquash(bx, TermKind::CondBranch, true,
+                                   /*target_useful=*/8,
+                                   /*target_has_cti=*/true);
+    EXPECT_EQ(out.skipNext, 2u);
+    EXPECT_EQ(out.wastedSlots, 0u);
+    EXPECT_EQ(out.extraSeqFetches, 0u);
+}
+
+TEST(SquashModelTest, ShortTargetPadsWithNoops)
+{
+    const auto bx = xlatFor(true, false, 0, 3);
+    // Target has 2 useful instructions, one of which is its CTI: only
+    // 1 replica possible, 2 slots are noops.
+    const auto out =
+        resolveSquash(bx, TermKind::CondBranch, true, 2, true);
+    EXPECT_EQ(out.skipNext, 1u);
+    EXPECT_EQ(out.wastedSlots, 2u);
+}
+
+TEST(SquashModelTest, PredictedTakenNotTakenSquashesAll)
+{
+    const auto bx = xlatFor(true, false, 1, 2);
+    const auto out =
+        resolveSquash(bx, TermKind::CondBranch, false, 8, true);
+    EXPECT_EQ(out.skipNext, 0u);
+    EXPECT_EQ(out.wastedSlots, 2u);
+    EXPECT_EQ(out.extraSeqFetches, 0u);
+}
+
+TEST(SquashModelTest, PredictedNotTakenCorrectIsFree)
+{
+    const auto bx = xlatFor(false, false, 0, 3);
+    const auto out =
+        resolveSquash(bx, TermKind::CondBranch, false, 8, true);
+    EXPECT_EQ(out.skipNext, 0u);
+    EXPECT_EQ(out.wastedSlots, 0u);
+    EXPECT_EQ(out.extraSeqFetches, 0u);
+}
+
+TEST(SquashModelTest, PredictedNotTakenButTakenFetchesSequential)
+{
+    const auto bx = xlatFor(false, false, 1, 2);
+    const auto out =
+        resolveSquash(bx, TermKind::CondBranch, true, 8, true);
+    EXPECT_EQ(out.extraSeqFetches, 2u);
+    EXPECT_EQ(out.wastedSlots, 0u);
+    EXPECT_EQ(out.skipNext, 0u);
+}
+
+TEST(SquashModelTest, IndirectAlwaysWastesNoops)
+{
+    const auto bx = xlatFor(true, true, 1, 2);
+    const auto out = resolveSquash(bx, TermKind::Return, true, 0, false);
+    EXPECT_EQ(out.wastedSlots, 2u);
+    EXPECT_EQ(out.skipNext, 0u);
+}
+
+TEST(SquashModelTest, JumpBehavesLikeCorrectTaken)
+{
+    const auto bx = xlatFor(true, false, 0, 2);
+    const auto out = resolveSquash(bx, TermKind::Jump, true, 10, true);
+    EXPECT_EQ(out.skipNext, 2u);
+    EXPECT_EQ(out.wastedSlots, 0u);
+}
+
+TEST(SquashModelTest, ZeroSlotsNeverCosts)
+{
+    const auto bx = xlatFor(true, false, 0, 0);
+    for (bool taken : {false, true}) {
+        const auto out =
+            resolveSquash(bx, TermKind::CondBranch, taken, 8, true);
+        EXPECT_EQ(out.wastedSlots + out.extraSeqFetches + out.skipNext,
+                  0u);
+    }
+}
+
+// -------------------------------------------------------------- load model
+
+TEST(LoadModelTest, SchemeDispatch)
+{
+    sched::LoadDelayStats stats;
+    stats.eStatic.sample(0);
+    stats.eDynamic.sample(3);
+    stats.consumedLoads = 1;
+    stats.deadLoads = 1;
+
+    EXPECT_EQ(loadStallCycles(stats, 2, LoadScheme::Static), 2u);
+    EXPECT_EQ(loadStallCycles(stats, 2, LoadScheme::Dynamic), 0u);
+    EXPECT_EQ(loadStallCycles(stats, 2, LoadScheme::None), 4u);
+    EXPECT_EQ(loadStallCycles(stats, 0, LoadScheme::None), 0u);
+}
+
+// -------------------------------------------------------------- cpi engine
+
+/**
+ * Hand-built workload with exact expected counts:
+ *   B0: 3 ALUs + backward branch to itself (trips from profile)
+ *   B1: return
+ */
+struct TinyWorkload
+{
+    Program prog;
+    trace::RecordedTrace trace;
+    sched::TranslationFile xlat{0, 0};
+
+    explicit TinyWorkload(std::uint32_t slots, double mean_trip = 4.0)
+        : xlat(0, 0)
+    {
+        BasicBlock b0;
+        b0.insts.push_back(
+            Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+        b0.insts.push_back(
+            Instruction::makeLoad(11, reg::gp, 0, AddrClass::Global));
+        b0.insts.push_back(
+            Instruction::makeAlu(Opcode::SLT, 12, 11, 10));
+        b0.insts.push_back(Instruction::makeBranch(Opcode::BNE, 12, 0));
+        b0.term = TermKind::CondBranch;
+        b0.target = 0;
+        b0.fallthrough = 1;
+        b0.profile.backward = true;
+        b0.profile.meanTrip = mean_trip;
+        prog.addBlock(std::move(b0));
+
+        BasicBlock b1;
+        b1.insts.push_back(
+            Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+        b1.term = TermKind::Return;
+        prog.addBlock(std::move(b1));
+        prog.layout();
+        prog.validate();
+
+        trace::DataGenConfig dconfig;
+        dconfig.seed = 3;
+        trace::DataAddressGenerator dgen(dconfig);
+        trace::ExecConfig econfig;
+        econfig.maxInsts = 4000;
+        econfig.seed = 7;
+        trace = trace::recordTrace(prog, dgen, econfig);
+
+        xlat = sched::scheduleBranchDelays(prog, slots);
+    }
+};
+
+cache::HierarchyConfig
+bigCaches()
+{
+    cache::HierarchyConfig config;
+    config.l1i.sizeBytes = 1 << 20;
+    config.l1d.sizeBytes = 1 << 20;
+    config.flatPenalty = 10;
+    return config;
+}
+
+TEST(CpiEngineTest, ZeroSlotPerfectCacheGivesUnitCpi)
+{
+    TinyWorkload w(0);
+    cache::CacheHierarchy hierarchy(bigCaches());
+    EngineConfig config; // b = 0, l = 0
+    CpiEngine engine(config, hierarchy,
+                     {{&w.prog, &w.xlat, &w.trace}});
+    engine.runAll();
+    const auto agg = engine.aggregate();
+
+    EXPECT_EQ(agg.usefulInsts, w.trace.instCount);
+    EXPECT_EQ(agg.fetches, agg.usefulInsts);
+    EXPECT_EQ(agg.branchWastedFetches, 0u);
+    EXPECT_EQ(agg.loadStallCycles, 0u);
+    // Only compulsory misses in the 1MB caches.
+    EXPECT_LT(agg.iMissCpi(), 0.02);
+    EXPECT_NEAR(agg.cpi(), 1.0, 0.05);
+}
+
+TEST(CpiEngineTest, BranchWasteMatchesHandCount)
+{
+    // B0's branch is fed by the SLT: r=0, s=b. Backward -> predicted
+    // taken. Taken executions skip into B0 itself (replicas of B0's
+    // own start); the final not-taken execution squashes s fetches;
+    // the jr wastes s noops.
+    TinyWorkload w(2);
+    cache::CacheHierarchy hierarchy(bigCaches());
+    EngineConfig config;
+    config.branchSlots = 2;
+    CpiEngine engine(config, hierarchy,
+                     {{&w.prog, &w.xlat, &w.trace}});
+    engine.runAll();
+    const auto agg = engine.aggregate();
+
+    // Count outcomes from the trace itself.
+    Counter taken = 0;
+    Counter not_taken = 0;
+    Counter returns = 0;
+    for (const auto &ev : w.trace.blocks) {
+        if (ev.block == 0) {
+            ++(ev.taken ? taken : not_taken);
+        } else {
+            ++returns;
+        }
+    }
+    // Predicted-taken & taken: replicas skip into the target (B0,
+    // useful 4, has CTI -> replicable 3 >= s=2): no waste.
+    // Predicted-taken & not-taken: waste 2. Return: waste 2 noops.
+    EXPECT_EQ(agg.branchWastedFetches, 2 * not_taken + 2 * returns);
+    // Total fetches = useful + wasted (replica skips cancel out).
+    EXPECT_EQ(agg.fetches, agg.usefulInsts + agg.branchWastedFetches);
+}
+
+TEST(CpiEngineTest, MissPenaltyScalesIStalls)
+{
+    TinyWorkload w(0);
+    for (std::uint32_t penalty : {6u, 18u}) {
+        auto hc = bigCaches();
+        hc.l1i.sizeBytes = 256; // tiny: misses guaranteed
+        hc.flatPenalty = penalty;
+        cache::CacheHierarchy hierarchy(hc);
+        EngineConfig config;
+        CpiEngine engine(config, hierarchy,
+                         {{&w.prog, &w.xlat, &w.trace}});
+        engine.runAll();
+        const auto agg = engine.aggregate();
+        EXPECT_EQ(agg.iStallCycles,
+                  hierarchy.l1i().stats().misses() * penalty);
+    }
+}
+
+TEST(CpiEngineTest, LoadSlotsAddStalls)
+{
+    // The load's consumer (SLT) is 0 instructions after it: with the
+    // gp address register never written, e_dyn = overflow but
+    // e_static = min(c_bb=1, ...) + 0 = 1. So l=3 static stalls
+    // 3-1=2 cycles per load; dynamic stalls none.
+    TinyWorkload w(0);
+    cache::CacheHierarchy h1(bigCaches());
+    EngineConfig static_config;
+    static_config.loadSlots = 3;
+    static_config.loadScheme = LoadScheme::Static;
+    CpiEngine static_engine(static_config, h1,
+                            {{&w.prog, &w.xlat, &w.trace}});
+    static_engine.runAll();
+
+    cache::CacheHierarchy h2(bigCaches());
+    EngineConfig dyn_config;
+    dyn_config.loadSlots = 3;
+    dyn_config.loadScheme = LoadScheme::Dynamic;
+    CpiEngine dyn_engine(dyn_config, h2,
+                         {{&w.prog, &w.xlat, &w.trace}});
+    dyn_engine.runAll();
+
+    const Counter loads = static_engine.loadStats(0).totalLoads();
+    EXPECT_GT(loads, 500u);
+    EXPECT_EQ(static_engine.aggregate().loadStallCycles, 2 * loads);
+    EXPECT_EQ(dyn_engine.aggregate().loadStallCycles, 0u);
+}
+
+TEST(CpiEngineTest, BtbSchemeUsesIdentityLayoutAndPenalties)
+{
+    TinyWorkload w(0); // identity translation for BTB
+    cache::CacheHierarchy hierarchy(bigCaches());
+    EngineConfig config;
+    config.branchSlots = 2;
+    config.branchScheme = BranchScheme::Btb;
+    config.btb.entries = 64;
+    CpiEngine engine(config, hierarchy,
+                     {{&w.prog, &w.xlat, &w.trace}});
+    engine.runAll();
+    const auto agg = engine.aggregate();
+    ASSERT_NE(engine.btb(), nullptr);
+    const auto &bstats = engine.btb()->stats();
+
+    EXPECT_EQ(agg.fetches, agg.usefulInsts);
+    EXPECT_EQ(agg.branchWastedFetches, 0u);
+    // Every penalty is (b+1) cycles.
+    EXPECT_EQ(agg.btbPenaltyCycles, 3 * bstats.mispredicts());
+    EXPECT_EQ(bstats.lookups, agg.ctis);
+    // The loop branch is strongly biased: the BTB should predict well.
+    EXPECT_GT(static_cast<double>(bstats.correct) /
+                  static_cast<double>(bstats.lookups),
+              0.5);
+}
+
+TEST(CpiEngineTest, MultiprogramSharesCaches)
+{
+    const auto &bench = trace::findBenchmark("small");
+    const auto p0 = bench.makeProgram(0);
+    const auto p1 = bench.makeProgram(1);
+    trace::DataAddressGenerator d0(bench.dataConfig(0));
+    trace::DataAddressGenerator d1(bench.dataConfig(1));
+    trace::ExecConfig econfig;
+    econfig.maxInsts = 20000;
+    const auto t0 = trace::recordTrace(p0, d0, econfig);
+    const auto t1 = trace::recordTrace(p1, d1, econfig);
+    const auto x0 = sched::scheduleBranchDelays(p0, 0);
+    const auto x1 = sched::scheduleBranchDelays(p1, 0);
+
+    cache::HierarchyConfig hc;
+    hc.l1i.sizeBytes = 4096;
+    hc.l1d.sizeBytes = 4096;
+    hc.flatPenalty = 10;
+
+    // Run the two processes interleaved with a small quantum, then
+    // back-to-back; interleaving must cause at least as many L1-I
+    // misses (context-switch interference).
+    trace::MultiprogSchedule sched({&t0, &t1}, {&p0, &p1}, 1000);
+
+    cache::CacheHierarchy h_inter(hc);
+    CpiEngine inter({}, h_inter,
+                    {{&p0, &x0, &t0}, {&p1, &x1, &t1}});
+    inter.run(sched);
+
+    cache::CacheHierarchy h_seq(hc);
+    CpiEngine seq({}, h_seq, {{&p0, &x0, &t0}, {&p1, &x1, &t1}});
+    seq.runAll();
+
+    EXPECT_EQ(inter.aggregate().usefulInsts,
+              seq.aggregate().usefulInsts);
+    EXPECT_GE(h_inter.l1i().stats().misses() + 64,
+              h_seq.l1i().stats().misses());
+}
+
+TEST(CpiEngineTest, BreakdownComponentsSumToCpi)
+{
+    TinyWorkload w(2);
+    auto hc = bigCaches();
+    hc.l1i.sizeBytes = 1024;
+    hc.l1d.sizeBytes = 1024;
+    cache::CacheHierarchy hierarchy(hc);
+    EngineConfig config;
+    config.branchSlots = 2;
+    config.loadSlots = 2;
+    CpiEngine engine(config, hierarchy,
+                     {{&w.prog, &w.xlat, &w.trace}});
+    engine.runAll();
+    const auto agg = engine.aggregate();
+
+    const double parts = 1.0 +
+                         static_cast<double>(agg.branchWastedFetches) /
+                             static_cast<double>(agg.usefulInsts) +
+                         agg.iMissCpi() + agg.dMissCpi() +
+                         agg.loadCpi();
+    EXPECT_NEAR(agg.cpi(), parts, 1e-9);
+}
+
+} // namespace
+} // namespace pipecache::cpusim

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Edge cases and failure injection: invalid configurations must be
+ * rejected loudly (panic/fatal), boundary shapes must work, and the
+ * file-level I/O paths must round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "cache/btb.hh"
+#include "cache/cache.hh"
+#include "core/cpi_model.hh"
+#include "cpusim/cpi_engine.hh"
+#include "sched/branch_sched.hh"
+#include "trace/benchmark.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace pipecache {
+namespace {
+
+void
+nullSink(const std::string &)
+{
+}
+
+/** Every test in this file may exercise panic paths. */
+class EdgeCaseTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogSink(nullSink); }
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+// ------------------------------------------------------- configuration
+
+TEST_F(EdgeCaseTest, RngRejectsZeroBound)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextRange(0), std::logic_error);
+    EXPECT_THROW(rng.nextInt(3, 2), std::logic_error);
+    EXPECT_THROW(rng.nextGeometric(0.0), std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, HistogramRejectsBadAccess)
+{
+    Histogram h(4);
+    EXPECT_THROW(h.bucket(4), std::logic_error);
+    Histogram other(8);
+    EXPECT_THROW(h.merge(other), std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, HarmonicMeanRejectsDegenerate)
+{
+    WeightedHarmonicMean m;
+    EXPECT_THROW(m.value(), std::logic_error);
+    EXPECT_THROW(m.add(0.0, 1.0), std::logic_error);
+    EXPECT_THROW(m.add(-1.0, 1.0), std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, CacheRejectsSubSetSize)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = 64;
+    config.blockBytes = 16;
+    config.assoc = 8; // one set would need 128 bytes
+    EXPECT_THROW(cache::Cache cache(config), std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, BtbRejectsBadGeometry)
+{
+    cache::BtbConfig config;
+    config.entries = 24; // sets = 24 not a power of two
+    EXPECT_THROW(cache::BranchTargetBuffer btb(config),
+                 std::logic_error);
+    config.entries = 16;
+    config.assoc = 3;
+    EXPECT_THROW(cache::BranchTargetBuffer btb(config),
+                 std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, EngineRejectsMismatchedTranslation)
+{
+    const auto &bench = trace::findBenchmark("small");
+    const auto prog = bench.makeProgram(0);
+    trace::DataAddressGenerator dgen(bench.dataConfig(0));
+    trace::ExecConfig ec;
+    ec.maxInsts = 1000;
+    const auto trace = recordTrace(prog, dgen, ec);
+    const auto xlat = sched::scheduleBranchDelays(prog, 1);
+
+    cache::HierarchyConfig hc;
+    cache::CacheHierarchy hierarchy(hc);
+    cpusim::EngineConfig config;
+    config.branchSlots = 2; // != xlat's 1
+    EXPECT_THROW(cpusim::CpiEngine(config, hierarchy,
+                                   {{&prog, &xlat, &trace}}),
+                 std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, EngineRejectsEmptyWorkloads)
+{
+    cache::HierarchyConfig hc;
+    cache::CacheHierarchy hierarchy(hc);
+    EXPECT_THROW(cpusim::CpiEngine({}, hierarchy, {}),
+                 std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, ModelRejectsBadScale)
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 0.5;
+    EXPECT_THROW(core::CpiModel model(config), std::logic_error);
+}
+
+TEST_F(EdgeCaseTest, UnknownBenchmarkIsFatal)
+{
+    core::SuiteConfig config;
+    config.benchmarks = {"does-not-exist"};
+    EXPECT_THROW(core::CpiModel model(config), std::runtime_error);
+}
+
+// ----------------------------------------------------------- boundaries
+
+TEST(BoundaryTest, SingleBlockCacheWorks)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = 16;
+    config.blockBytes = 16;
+    config.assoc = 1;
+    cache::Cache cache(config);
+    EXPECT_FALSE(cache.access(0x0, false));
+    EXPECT_TRUE(cache.access(0x4, false));
+    EXPECT_FALSE(cache.access(0x10, false)); // evicts the only line
+    EXPECT_FALSE(cache.access(0x0, false));
+}
+
+TEST(BoundaryTest, LoneCtiBlockSchedules)
+{
+    using namespace isa;
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(Instruction::makeJump(Opcode::J));
+    b0.term = TermKind::Jump;
+    b0.target = 1;
+    prog.addBlock(std::move(b0));
+    BasicBlock b1;
+    b1.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b1.term = TermKind::Return;
+    prog.addBlock(std::move(b1));
+    prog.layout();
+    prog.validate();
+
+    const auto xlat = sched::scheduleBranchDelays(prog, 3);
+    // No body to hoist over: all three slots replicate/noop.
+    EXPECT_EQ(xlat[0].r, 0u);
+    EXPECT_EQ(xlat[0].s, 3u);
+    EXPECT_EQ(xlat[1].s, 3u);
+}
+
+TEST(BoundaryTest, EmptyFallThroughBlockExecutes)
+{
+    using namespace isa;
+    Program prog;
+    BasicBlock b0; // empty fall-through block
+    b0.term = TermKind::FallThrough;
+    b0.fallthrough = 1;
+    prog.addBlock(std::move(b0));
+    BasicBlock b1;
+    b1.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b1.term = TermKind::Return;
+    prog.addBlock(std::move(b1));
+    prog.layout();
+    prog.validate();
+
+    trace::DataGenConfig dc;
+    trace::DataAddressGenerator dgen(dc);
+    trace::ExecConfig ec;
+    ec.maxInsts = 10;
+    const auto trace = recordTrace(prog, dgen, ec);
+    EXPECT_GE(trace.instCount, 10u);
+    // Zero-size events are recorded with empty mem ranges.
+    for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+        const auto [begin, end] = trace.memRange(i);
+        EXPECT_LE(begin, end);
+    }
+}
+
+TEST(BoundaryTest, ExecutorCallDepthCap)
+{
+    // A chain of calls deeper than the executor cap: the cap elides
+    // further calls instead of overflowing.
+    using namespace isa;
+    Program prog;
+    const std::uint32_t chain = 16;
+    for (std::uint32_t p = 0; p < chain; ++p) {
+        BasicBlock call;
+        call.insts.push_back(Instruction::makeJump(Opcode::JAL));
+        call.term = TermKind::Call;
+        call.target = (p + 1 < chain)
+                          ? static_cast<BlockId>(2 * (p + 1))
+                          : static_cast<BlockId>(2 * p + 1);
+        call.fallthrough = static_cast<BlockId>(2 * p + 1);
+        prog.addBlock(std::move(call));
+        BasicBlock ret;
+        ret.insts.push_back(
+            Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+        ret.term = TermKind::Return;
+        prog.addBlock(std::move(ret));
+    }
+    prog.layout();
+    prog.validate();
+
+    trace::DataGenConfig dc;
+    trace::DataAddressGenerator dgen(dc);
+    trace::ExecConfig ec;
+    ec.maxInsts = 500;
+    ec.maxCallDepth = 4;
+    trace::Executor exec(prog, dgen, ec);
+    trace::BlockEvent ev;
+    while (exec.next(ev))
+        ASSERT_LE(exec.callDepth(), 4u);
+}
+
+TEST(BoundaryTest, ZeroDelayCyclesLoadStats)
+{
+    sched::LoadDelayStats stats;
+    stats.eStatic.sample(0);
+    stats.consumedLoads = 1;
+    EXPECT_EQ(stats.totalDelayCycles(0, false), 0u);
+    EXPECT_DOUBLE_EQ(stats.delayCyclesPerLoad(0, false), 0.0);
+}
+
+TEST(BoundaryTest, EmptyLoadStatsDivision)
+{
+    sched::LoadDelayStats stats;
+    EXPECT_DOUBLE_EQ(stats.delayCyclesPerLoad(3, true), 0.0);
+}
+
+// -------------------------------------------------------------- file io
+
+TEST(FileIoTest, DinFileRoundTrip)
+{
+    const auto &bench = trace::findBenchmark("small");
+    const auto prog = bench.makeProgram(0);
+    trace::DataAddressGenerator dgen(bench.dataConfig(0));
+    trace::ExecConfig ec;
+    ec.maxInsts = 1500;
+    const auto trace = recordTrace(prog, dgen, ec);
+
+    const std::string path = ::testing::TempDir() + "/pipecache.din";
+    trace::writeDinFile(path, prog, trace);
+    const auto records = trace::readDinFile(path);
+    EXPECT_EQ(records, trace::flatten(prog, trace));
+    std::remove(path.c_str());
+}
+
+TEST_F(EdgeCaseTest, MissingTraceFileIsFatal)
+{
+    EXPECT_THROW(trace::readDinFile("/nonexistent/path/trace.din"),
+                 std::runtime_error);
+}
+
+// ----------------------------------------------------- determinism gate
+
+TEST(DeterminismTest, FullPipelineIsBitStable)
+{
+    // Two independent model instances must agree to the last counter.
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0;
+    config.benchmarks = {"small", "linpack"};
+
+    core::DesignPoint p;
+    p.branchSlots = 2;
+    p.loadSlots = 2;
+    p.branchScheme = cpusim::BranchScheme::Btb;
+
+    core::CpiModel m1(config);
+    core::CpiModel m2(config);
+    const auto &r1 = m1.evaluate(p);
+    const auto &r2 = m2.evaluate(p);
+    EXPECT_EQ(r1.aggregate.totalCycles(), r2.aggregate.totalCycles());
+    EXPECT_EQ(r1.l1i.misses(), r2.l1i.misses());
+    EXPECT_EQ(r1.l1d.misses(), r2.l1d.misses());
+    EXPECT_EQ(r1.btb.mispredicts(), r2.btb.mispredicts());
+}
+
+} // namespace
+} // namespace pipecache

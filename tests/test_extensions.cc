@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the extension features: profile-guided static prediction,
+ * the write-through write buffer, and associativity-aware timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "cpusim/write_buffer.hh"
+#include "sched/profile_predict.hh"
+#include "timing/cpu_circuit.hh"
+#include "trace/benchmark.hh"
+
+namespace pipecache {
+namespace {
+
+// ------------------------------------------------- profile prediction
+
+class ProfilePredictTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto &bench = trace::findBenchmark("espresso");
+        prog_ = bench.makeProgram(0);
+        trace::DataAddressGenerator dgen(bench.dataConfig(0));
+        trace::ExecConfig config;
+        config.maxInsts = 80000;
+        trace_ = recordTrace(prog_, dgen, config);
+    }
+
+    isa::Program prog_;
+    trace::RecordedTrace trace_;
+};
+
+TEST_F(ProfilePredictTest, CollectsCountsOnlyForBranches)
+{
+    const auto profile = sched::collectBranchProfile(prog_, trace_);
+    std::uint64_t total = 0;
+    for (isa::BlockId b = 0; b < prog_.numBlocks(); ++b) {
+        if (prog_.block(b).term != isa::TermKind::CondBranch) {
+            EXPECT_EQ(profile.executions(b), 0u);
+        }
+        total += profile.executions(b);
+    }
+    // Every executed conditional branch was recorded.
+    std::uint64_t expected = 0;
+    for (const auto &ev : trace_.blocks)
+        expected += prog_.block(ev.block).term ==
+                    isa::TermKind::CondBranch;
+    EXPECT_EQ(total, expected);
+    EXPECT_GT(total, 1000u);
+}
+
+TEST_F(ProfilePredictTest, MajorityRuleAndFallback)
+{
+    sched::BranchProfileData profile(prog_.numBlocks());
+    // Find a forward conditional branch (BTFNT says not-taken).
+    isa::BlockId fwd = isa::invalidBlock;
+    for (isa::BlockId b = 0; b < prog_.numBlocks(); ++b) {
+        const auto &bb = prog_.block(b);
+        if (bb.term == isa::TermKind::CondBranch && bb.target > b) {
+            fwd = b;
+            break;
+        }
+    }
+    ASSERT_NE(fwd, isa::invalidBlock);
+
+    // Untrained: falls back to BTFNT (not-taken for forward).
+    EXPECT_EQ(profile.predict(prog_, fwd),
+              sched::Prediction::NotTaken);
+    // Mostly taken in training: profile flips the prediction.
+    profile.record(fwd, true);
+    profile.record(fwd, true);
+    profile.record(fwd, false);
+    EXPECT_EQ(profile.predict(prog_, fwd), sched::Prediction::Taken);
+}
+
+TEST_F(ProfilePredictTest, SelfAccuracyBeatsBtfnt)
+{
+    const auto profile = sched::collectBranchProfile(prog_, trace_);
+    // Majority-direction self-accuracy is optimal for any static rule:
+    // compare with BTFNT on the same trace.
+    std::uint64_t btfnt_right = 0;
+    std::uint64_t total = 0;
+    for (const auto &ev : trace_.blocks) {
+        const auto &bb = prog_.block(ev.block);
+        if (bb.term != isa::TermKind::CondBranch)
+            continue;
+        const bool pred_taken =
+            sched::predictStatic(bb, ev.block) ==
+            sched::Prediction::Taken;
+        btfnt_right += pred_taken == (ev.taken != 0);
+        ++total;
+    }
+    EXPECT_GE(profile.selfAccuracy() + 1e-12,
+              static_cast<double>(btfnt_right) /
+                  static_cast<double>(total));
+    EXPECT_GT(profile.selfAccuracy(), 0.7);
+}
+
+TEST_F(ProfilePredictTest, ScheduledLayoutsStayConsistent)
+{
+    const auto profile = sched::collectBranchProfile(prog_, trace_);
+    const auto xlat =
+        sched::scheduleBranchDelaysProfiled(prog_, 2, profile);
+    ASSERT_EQ(xlat.numBlocks(), prog_.numBlocks());
+    Addr addr = prog_.base();
+    for (isa::BlockId b = 0; b < prog_.numBlocks(); ++b) {
+        EXPECT_EQ(xlat[b].entry, addr);
+        addr += xlat[b].schedLen * bytesPerWord;
+        if (xlat[b].hasCti) {
+            EXPECT_EQ(xlat[b].r + xlat[b].s, 2u);
+        }
+    }
+}
+
+TEST(ProfilePredictModelTest, ProfileLowersBranchCpi)
+{
+    core::SuiteConfig suite;
+    suite.scaleDivisor = 8000.0;
+    suite.benchmarks = {"espresso", "small", "yacc"};
+    core::CpiModel model(suite);
+
+    core::DesignPoint btfnt;
+    btfnt.branchSlots = 2;
+    core::DesignPoint prof = btfnt;
+    prof.predictSource = sched::PredictSource::Profile;
+
+    // Self-trained profiles dominate BTFNT on the same trace.
+    EXPECT_LT(model.evaluate(prof).aggregate.branchCpi(),
+              model.evaluate(btfnt).aggregate.branchCpi());
+}
+
+// ---------------------------------------------------- write buffer
+
+TEST(WriteBufferTest, AbsorbsUpToCapacity)
+{
+    cpusim::WriteBuffer buf({.entries = 2, .drainCycles = 10});
+    EXPECT_EQ(buf.store(0), 0u); // drains at 10
+    EXPECT_EQ(buf.store(0), 0u); // drains at 20
+    // Full: must wait for the first entry (completes at 10).
+    EXPECT_EQ(buf.store(0), 10u);
+    EXPECT_EQ(buf.stats().fullEvents, 1u);
+    EXPECT_EQ(buf.stats().stallCycles, 10u);
+}
+
+TEST(WriteBufferTest, DrainsOverTime)
+{
+    cpusim::WriteBuffer buf({.entries = 2, .drainCycles = 5});
+    buf.store(0);   // completes at 5
+    buf.store(0);   // completes at 10
+    EXPECT_EQ(buf.occupancy(4), 2u);
+    EXPECT_EQ(buf.occupancy(7), 1u);
+    EXPECT_EQ(buf.store(100), 0u); // long idle: buffer empty again
+    EXPECT_EQ(buf.stats().stallCycles, 0u);
+}
+
+TEST(WriteBufferTest, SerializedDrainPort)
+{
+    cpusim::WriteBuffer buf({.entries = 8, .drainCycles = 4});
+    // Burst of 4 stores at t=0: completions 4, 8, 12, 16.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(buf.store(0), 0u);
+    EXPECT_EQ(buf.occupancy(9), 2u);  // two still draining
+    EXPECT_EQ(buf.occupancy(16), 0u);
+}
+
+TEST(WriteBufferTest, SaturatedStreamStallsAtDrainRate)
+{
+    cpusim::WriteBuffer buf({.entries = 2, .drainCycles = 10});
+    std::uint64_t now = 0;
+    Counter total_stall = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto stall = buf.store(now);
+        total_stall += stall;
+        now += stall + 1; // back-to-back stores
+    }
+    // Steady state: one store per drain period.
+    EXPECT_NEAR(static_cast<double>(total_stall) / 100.0, 9.0, 1.0);
+}
+
+TEST(WriteBufferModelTest, BufferRemovesStoreMissStalls)
+{
+    core::SuiteConfig suite;
+    suite.scaleDivisor = 8000.0;
+    suite.benchmarks = {"linpack", "tex"};
+    core::CpiModel model(suite);
+
+    core::DesignPoint base;
+    base.l1dSizeKW = 2;
+    core::DesignPoint buffered = base;
+    buffered.writeThroughBuffer = true;
+    buffered.writeBufferConfig.entries = 8;
+    buffered.writeBufferConfig.drainCycles = 2;
+
+    const double d_base = model.evaluate(base).aggregate.dMissCpi();
+    const double d_buf =
+        model.evaluate(buffered).aggregate.dMissCpi();
+    EXPECT_LT(d_buf, d_base);
+}
+
+// -------------------------------------------------------- seed salt
+
+TEST(SeedSaltTest, SaltsProduceIndependentInstancesSameShape)
+{
+    const auto &bench = trace::findBenchmark("small");
+    const auto p0 = bench.makeProgram(0, 0);
+    const auto p1 = bench.makeProgram(0, 1);
+    // Different programs...
+    EXPECT_NE(p0.disassemble(), p1.disassemble());
+    // ...with the same calibration character (static size within 2x).
+    const double ratio =
+        static_cast<double>(p0.staticInstCount()) /
+        static_cast<double>(p1.staticInstCount());
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+    // Salt 0 is the default instance.
+    EXPECT_EQ(p0.disassemble(), bench.makeProgram(0).disassemble());
+}
+
+TEST(SeedSaltTest, ModelConclusionsStableAcrossSalts)
+{
+    // A coarse design ordering that must hold for any instance:
+    // pipelined 16KW beats unpipelined 1KW on TPI.
+    for (const std::uint64_t salt : {0u, 5u}) {
+        core::SuiteConfig suite;
+        suite.scaleDivisor = 8000.0;
+        suite.benchmarks = {"small", "espresso", "linpack"};
+        suite.seedSalt = salt;
+        core::CpiModel cpi(suite);
+        core::TpiModel tpi(cpi);
+
+        core::DesignPoint weak;
+        weak.branchSlots = 0;
+        weak.loadSlots = 0;
+        weak.l1iSizeKW = 1;
+        weak.l1dSizeKW = 1;
+        core::DesignPoint strong;
+        strong.branchSlots = 3;
+        strong.loadSlots = 3;
+        strong.l1iSizeKW = 16;
+        strong.l1dSizeKW = 16;
+        EXPECT_LT(tpi.evaluate(strong).tpiNs,
+                  0.6 * tpi.evaluate(weak).tpiNs)
+            << "salt=" << salt;
+    }
+}
+
+// ------------------------------------------------ associativity timing
+
+TEST(AssocTimingTest, AssociativityCostsAccessTime)
+{
+    timing::CpuTimingParams params;
+    const double direct = timing::sideCycleNs(params, {8, 1, 1});
+    const double two_way = timing::sideCycleNs(params, {8, 1, 2});
+    const double four_way = timing::sideCycleNs(params, {8, 1, 4});
+    EXPECT_GT(two_way, direct);
+    EXPECT_GT(four_way, two_way);
+    // One assocLevelNs per doubling, spread over depth+1 = 2 stages.
+    EXPECT_NEAR(two_way - direct, params.assocLevelNs / 2.0, 1e-2);
+}
+
+TEST(AssocTimingTest, DeepPipelineHidesAssociativity)
+{
+    timing::CpuTimingParams params;
+    // At depth 3 the ALU loop binds for small caches regardless of
+    // associativity.
+    EXPECT_NEAR(timing::sideCycleNs(params, {4, 3, 4}),
+                params.aluLoopNs(), 0.05);
+    // At depth 1 the same change is fully visible: two doublings of
+    // associativity over a 2-latch loop = 2 * 0.5 / 2 ns.
+    EXPECT_NEAR(timing::sideCycleNs(params, {4, 1, 4}) -
+                    timing::sideCycleNs(params, {4, 1, 1}),
+                params.assocLevelNs, 0.02);
+}
+
+TEST(AssocTimingTest, TpiModelPassesAssocThrough)
+{
+    core::SuiteConfig suite;
+    suite.scaleDivisor = 8000.0;
+    suite.benchmarks = {"small"};
+    core::CpiModel cpi(suite);
+    core::TpiModel tpi(cpi);
+
+    core::DesignPoint p;
+    p.branchSlots = 1;
+    p.loadSlots = 1;
+    core::DesignPoint p4 = p;
+    p4.assoc = 4;
+    EXPECT_GT(tpi.evaluate(p4).tCpuNs, tpi.evaluate(p).tCpuNs);
+    // Associativity lowers the miss rate even as it slows the clock.
+    EXPECT_LE(cpi.evaluate(p4).l1d.missRate(),
+              cpi.evaluate(p).l1d.missRate() + 0.01);
+}
+
+} // namespace
+} // namespace pipecache

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Integration tests: the full experiment pipeline at reduced scale,
+ * asserting the paper's qualitative findings (the "shape" anchors of
+ * EXPERIMENTS.md) end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "core/tpi_model.hh"
+#include "sched/branch_sched.hh"
+#include "trace/trace_stats.hh"
+
+namespace pipecache::core {
+namespace {
+
+/**
+ * Shared reduced-scale model: built once for the whole binary.
+ * scaleDivisor 4000 keeps the full 16-benchmark suite while running
+ * in seconds.
+ */
+CpiModel &
+sharedModel()
+{
+    static CpiModel instance = [] {
+        SuiteConfig config;
+        config.scaleDivisor = 4000.0;
+        config.quantum = 20000;
+        return CpiModel(config);
+    }();
+    return instance;
+}
+
+TpiModel &
+sharedTpi()
+{
+    static TpiModel instance(sharedModel());
+    return instance;
+}
+
+TEST(ExperimentsTest, Table1SuiteMixTracksPaper)
+{
+    const auto t = experiments::table1(sharedModel());
+    EXPECT_EQ(t.rowCount(), 16u);
+}
+
+TEST(ExperimentsTest, Table2ExpansionShape)
+{
+    // Code growth increases with b and sits in the paper's regime.
+    CpiModel &model = sharedModel();
+    double prev = 0.0;
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        std::uint64_t useful = 0;
+        std::uint64_t sched = 0;
+        for (std::size_t i = 0; i < model.numBenchmarks(); ++i) {
+            useful += model.xlat(i, b).usefulStaticInsts();
+            sched += model.xlat(i, b).scheduledStaticInsts();
+        }
+        const double expansion = static_cast<double>(sched) /
+                                     static_cast<double>(useful) -
+                                 1.0;
+        EXPECT_GT(expansion, prev);
+        prev = expansion;
+    }
+    // b=3 expansion in the paper's regime (23%): between 8% and 35%.
+    EXPECT_GT(prev, 0.08);
+    EXPECT_LT(prev, 0.35);
+}
+
+TEST(ExperimentsTest, Table3StaticPredictionAnchor)
+{
+    // Paper: at b=3 the CPI increase is ~0.087, far below the 0.39
+    // worst case, because prediction+squashing hides most slots.
+    DesignPoint p;
+    p.branchSlots = 3;
+    const auto &res = sharedModel().evaluate(p);
+    EXPECT_LT(res.aggregate.branchCpi(), 0.18);
+    EXPECT_GT(res.aggregate.branchCpi(), 0.04);
+}
+
+TEST(ExperimentsTest, Table4BtbAnchor)
+{
+    // Paper: cycles/CTI 1.44 / 1.65 / 1.85 for 1..3 delay cycles.
+    const double paper[] = {1.44, 1.65, 1.85};
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        DesignPoint p;
+        p.branchSlots = b;
+        p.branchScheme = cpusim::BranchScheme::Btb;
+        const auto &res = sharedModel().evaluate(p);
+        EXPECT_NEAR(res.aggregate.cyclesPerCti(), paper[b - 1], 0.25)
+            << "b=" << b;
+    }
+}
+
+TEST(ExperimentsTest, StaticBranchSchemeBeatsBtbOnCpi)
+{
+    // The paper's Section 3.1 conclusion (for the adopted default
+    // configuration): delayed branches with squashing give a lower
+    // branch CPI than the 256-entry BTB.
+    DesignPoint squash;
+    squash.branchSlots = 2;
+    DesignPoint btb = squash;
+    btb.branchScheme = cpusim::BranchScheme::Btb;
+    EXPECT_LT(sharedModel().evaluate(squash).aggregate.branchCpi(),
+              sharedModel().evaluate(btb).aggregate.branchCpi());
+}
+
+TEST(ExperimentsTest, Table5LoadDelayShape)
+{
+    const auto &stats = sharedModel().loadDelayStats();
+    // Paper's Figure 6 anchor: > 80% of loads have e >= 3 dynamically
+    // (dead loads hide trivially and count toward the >= side).
+    const double denom = static_cast<double>(stats.totalLoads());
+    const double frac_ge3 =
+        (static_cast<double>(stats.deadLoads) +
+         static_cast<double>(stats.eDynamic.count()) *
+             stats.eDynamic.fractionAtLeast(3)) /
+        denom;
+    EXPECT_GT(frac_ge3, 0.75);
+
+    // Static scheduling hides much less (Figure 7 collapse): at l=3
+    // the static delay per load is at least twice the dynamic one.
+    EXPECT_GT(stats.delayCyclesPerLoad(3, false),
+              2.0 * stats.delayCyclesPerLoad(3, true));
+    // And in the paper's ballpark (1.21 static, 0.39 dynamic at l=3).
+    EXPECT_NEAR(stats.delayCyclesPerLoad(3, false), 1.0, 0.45);
+    EXPECT_NEAR(stats.delayCyclesPerLoad(3, true), 0.35, 0.25);
+}
+
+TEST(ExperimentsTest, Fig4DoublingBeatsExtraSlot)
+{
+    // Paper: for 1-16KW, doubling the I-cache and adding one delay
+    // slot always lowers CPI (the decrease from doubling outweighs the
+    // slot cost).
+    // At the reduced test scale, compulsory misses dominate above
+    // ~4 KW and the doubling gain shrinks below the third slot's
+    // cost; the full-range claim is verified at bench scale
+    // (bench_fig04, EXPERIMENTS.md). Here we assert the
+    // capacity-dominated region.
+    CpiModel &model = sharedModel();
+    for (std::uint32_t kw : {1u, 2u, 4u}) {
+        for (std::uint32_t b = 0; b < 2; ++b) {
+            DesignPoint small;
+            small.l1iSizeKW = kw;
+            small.branchSlots = b;
+            DesignPoint bigger = small;
+            bigger.l1iSizeKW = kw * 2;
+            bigger.branchSlots = b + 1;
+            EXPECT_LT(model.evaluate(bigger).aggregate.iMissCpi() +
+                          model.evaluate(bigger).aggregate.branchCpi(),
+                      model.evaluate(small).aggregate.iMissCpi() +
+                          model.evaluate(small).aggregate.branchCpi() +
+                          0.05)
+                << "kw=" << kw << " b=" << b;
+        }
+    }
+}
+
+TEST(ExperimentsTest, Fig8LoadSlotCurvesOrdered)
+{
+    // CPI rises with l at every D size; larger D caches lower CPI.
+    CpiModel &model = sharedModel();
+    for (std::uint32_t kw : {1u, 4u, 16u}) {
+        double prev = 0.0;
+        for (std::uint32_t l = 0; l <= 3; ++l) {
+            DesignPoint p;
+            p.l1dSizeKW = kw;
+            p.loadSlots = l;
+            const double cpi = model.evaluate(p).cpi();
+            EXPECT_GT(cpi, prev);
+            prev = cpi;
+        }
+    }
+    DesignPoint small;
+    small.l1dSizeKW = 1;
+    DesignPoint big = small;
+    big.l1dSizeKW = 32;
+    EXPECT_LT(model.evaluate(big).cpi(), model.evaluate(small).cpi());
+}
+
+TEST(ExperimentsTest, Fig12PipeliningWins)
+{
+    // The headline: two-to-three cache pipeline stages beat shallower
+    // organizations at every combined size, and the global optimum
+    // uses b = l = 3 with a large cache.
+    TpiModel &tpi = sharedTpi();
+
+    double best_tpi = 1e18;
+    std::uint32_t best_depth = 0;
+    std::uint32_t best_total = 0;
+    for (std::uint32_t total : {4u, 16u, 64u}) {
+        double column_best = 1e18;
+        std::uint32_t column_depth = 0;
+        for (std::uint32_t d = 0; d <= 3; ++d) {
+            DesignPoint p;
+            p.l1iSizeKW = total / 2;
+            p.l1dSizeKW = total / 2;
+            p.branchSlots = d;
+            p.loadSlots = d;
+            const double t = tpi.evaluate(p).tpiNs;
+            if (t < column_best) {
+                column_best = t;
+                column_depth = d;
+            }
+            if (t < best_tpi) {
+                best_tpi = t;
+                best_depth = d;
+                best_total = total;
+            }
+        }
+        EXPECT_GE(column_depth, 2u) << "total=" << total;
+    }
+    EXPECT_EQ(best_depth, 3u);
+    EXPECT_EQ(best_total, 64u);
+    // TPI lands in the paper's regime (~6.8ns at full scale; the
+    // reduced-scale traces carry extra compulsory misses).
+    EXPECT_NEAR(best_tpi, 7.5, 2.0);
+}
+
+TEST(ExperimentsTest, DynamicLoadsImproveOptimum)
+{
+    TpiModel &tpi = sharedTpi();
+    DesignPoint p;
+    p.l1iSizeKW = 32;
+    p.l1dSizeKW = 32;
+    p.branchSlots = 3;
+    p.loadSlots = 3;
+    const double static_tpi = tpi.evaluate(p).tpiNs;
+    p.loadScheme = cpusim::LoadScheme::Dynamic;
+    const double dyn_tpi = tpi.evaluate(p).tpiNs;
+    EXPECT_LT(dyn_tpi, static_tpi);
+    // Paper: ~0.6ns improvement (6.8 -> 6.2); require a visible gain
+    // but less than 25%.
+    EXPECT_GT(static_tpi - dyn_tpi, 0.15);
+    EXPECT_LT(static_tpi - dyn_tpi, 0.25 * static_tpi);
+}
+
+TEST(ExperimentsTest, ExperimentTablesRender)
+{
+    // Smoke: every experiment function produces a non-empty table at
+    // reduced scale without tripping any internal assertion.
+    CpiModel &model = sharedModel();
+    TpiModel &tpi = sharedTpi();
+    EXPECT_GT(experiments::table2(model).rowCount(), 0u);
+    EXPECT_GT(experiments::table3(model).rowCount(), 0u);
+    EXPECT_GT(experiments::table4(model).rowCount(), 0u);
+    EXPECT_GT(experiments::table5(model).rowCount(), 0u);
+    EXPECT_GT(experiments::table6().rowCount(), 0u);
+    EXPECT_GT(experiments::fig6(model).rowCount(), 0u);
+    EXPECT_GT(experiments::fig7(model).rowCount(), 0u);
+    EXPECT_GT(experiments::fig9(tpi).rowCount(), 0u);
+    EXPECT_GT(experiments::fig11(model).rowCount(), 0u);
+    EXPECT_GT(experiments::optimizerTrajectory(tpi).rowCount(), 0u);
+}
+
+TEST(ExperimentsTest, Table6AnchorsHold)
+{
+    const auto t = experiments::table6();
+    EXPECT_EQ(t.rowCount(), 6u);
+    // Direct anchors on the timing model itself.
+    timing::CpuTimingParams params;
+    EXPECT_GT(timing::sideCycleNs(params, {32, 0}), 10.0);
+    EXPECT_NEAR(timing::sideCycleNs(params, {32, 3}), 3.5, 0.05);
+}
+
+} // namespace
+} // namespace pipecache::core

@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Unit tests for isa/: opcodes, instructions, blocks, programs,
+ * dependence analysis, and the synthetic program generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "isa/basic_block.hh"
+#include "isa/dependence.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+#include "isa/program_generator.hh"
+#include "isa/verifier.hh"
+#include "util/logging.hh"
+
+namespace pipecache::isa {
+namespace {
+
+void
+nullSink(const std::string &)
+{
+}
+
+class IsaDeathGuard : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogSink(nullSink); }
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+// ----------------------------------------------------------------- opcode
+
+TEST(OpcodeTest, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LW));
+    EXPECT_TRUE(isLoad(Opcode::LWC1));
+    EXPECT_FALSE(isLoad(Opcode::SW));
+    EXPECT_TRUE(isStore(Opcode::SB));
+    EXPECT_TRUE(isMem(Opcode::LH));
+    EXPECT_TRUE(isMem(Opcode::SWC1));
+    EXPECT_FALSE(isMem(Opcode::ADDU));
+
+    EXPECT_TRUE(isCti(Opcode::BEQ));
+    EXPECT_TRUE(isCti(Opcode::J));
+    EXPECT_TRUE(isCti(Opcode::JR));
+    EXPECT_FALSE(isCti(Opcode::SLT));
+
+    EXPECT_TRUE(isCondBranch(Opcode::BGTZ));
+    EXPECT_FALSE(isCondBranch(Opcode::JAL));
+    EXPECT_TRUE(isDirectJump(Opcode::JAL));
+    EXPECT_TRUE(isIndirectJump(Opcode::JALR));
+    EXPECT_TRUE(isCall(Opcode::JAL));
+    EXPECT_TRUE(isCall(Opcode::JALR));
+    EXPECT_FALSE(isCall(Opcode::JR));
+}
+
+TEST(OpcodeTest, EveryOpcodeHasNameAndClass)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(opcodeName(op).empty());
+        // opClass must return something sane for every opcode.
+        const OpClass c = opClass(op);
+        EXPECT_LE(static_cast<int>(c),
+                  static_cast<int>(OpClass::Other));
+    }
+}
+
+// ------------------------------------------------------------ instruction
+
+TEST(InstructionTest, AluDefUse)
+{
+    const auto inst =
+        Instruction::makeAlu(Opcode::ADDU, 8, 9, 10);
+    EXPECT_EQ(inst.destReg(), 8);
+    EXPECT_TRUE(inst.reads(9));
+    EXPECT_TRUE(inst.reads(10));
+    EXPECT_FALSE(inst.reads(8));
+    EXPECT_TRUE(inst.writes(8));
+}
+
+TEST(InstructionTest, LoadDefUse)
+{
+    const auto inst =
+        Instruction::makeLoad(12, reg::gp, 100, AddrClass::Global);
+    EXPECT_EQ(inst.destReg(), 12);
+    EXPECT_EQ(inst.addrReg(), reg::gp);
+    EXPECT_TRUE(inst.reads(reg::gp));
+    EXPECT_FALSE(inst.reads(12));
+}
+
+TEST(InstructionTest, StoreReadsValueAndAddress)
+{
+    const auto inst =
+        Instruction::makeStore(9, reg::sp, 8, AddrClass::Stack);
+    EXPECT_EQ(inst.destReg(), reg::zero);
+    EXPECT_TRUE(inst.reads(9));
+    EXPECT_TRUE(inst.reads(reg::sp));
+}
+
+TEST(InstructionTest, CallWritesRa)
+{
+    const auto jal = Instruction::makeJump(Opcode::JAL);
+    EXPECT_EQ(jal.destReg(), reg::ra);
+    const auto j = Instruction::makeJump(Opcode::J);
+    EXPECT_EQ(j.destReg(), reg::zero);
+}
+
+TEST(InstructionTest, JumpRegisterReadsTarget)
+{
+    const auto jr = Instruction::makeJumpRegister(Opcode::JR, reg::ra);
+    EXPECT_TRUE(jr.reads(reg::ra));
+    EXPECT_EQ(jr.destReg(), reg::zero);
+}
+
+TEST(InstructionTest, ZeroRegisterNeverReadOrWritten)
+{
+    const auto inst =
+        Instruction::makeAlu(Opcode::ADDU, reg::zero, reg::zero,
+                             reg::zero);
+    EXPECT_FALSE(inst.reads(reg::zero));
+    EXPECT_FALSE(inst.writes(reg::zero));
+}
+
+TEST(InstructionTest, ToStringContainsMnemonic)
+{
+    const auto inst =
+        Instruction::makeLoad(8, reg::sp, 4, AddrClass::Stack);
+    EXPECT_NE(inst.toString().find("lw"), std::string::npos);
+    EXPECT_NE(inst.toString().find("(r29)"), std::string::npos);
+}
+
+// ------------------------------------------------------------ basic block
+
+BasicBlock
+makeBranchBlock(BlockId target, BlockId fallthrough)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+    bb.insts.push_back(Instruction::makeBranch(Opcode::BNE, 8, 0));
+    bb.term = TermKind::CondBranch;
+    bb.target = target;
+    bb.fallthrough = fallthrough;
+    return bb;
+}
+
+TEST(BasicBlockTest, SizeAndCti)
+{
+    const auto bb = makeBranchBlock(0, 1);
+    EXPECT_EQ(bb.size(), 2u);
+    EXPECT_EQ(bb.bodySize(), 1u);
+    EXPECT_TRUE(bb.hasCti());
+    EXPECT_EQ(bb.cti().op, Opcode::BNE);
+}
+
+TEST_F(IsaDeathGuard, BlockInvariantsCatchMidBlockCti)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeBranch(Opcode::BEQ, 8, 9));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+    bb.term = TermKind::FallThrough;
+    bb.fallthrough = 1;
+    EXPECT_THROW(bb.checkInvariants(0, 4), std::logic_error);
+}
+
+TEST_F(IsaDeathGuard, BlockInvariantsCatchBadTarget)
+{
+    auto bb = makeBranchBlock(99, 1);
+    EXPECT_THROW(bb.checkInvariants(0, 4), std::logic_error);
+}
+
+TEST_F(IsaDeathGuard, BlockInvariantsCatchTerminatorMismatch)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeJump(Opcode::J));
+    bb.term = TermKind::CondBranch; // wrong: J is not a cond branch
+    bb.target = 1;
+    bb.fallthrough = 1;
+    EXPECT_THROW(bb.checkInvariants(0, 4), std::logic_error);
+}
+
+// ---------------------------------------------------------------- program
+
+Program
+makeTinyProgram()
+{
+    Program prog;
+    prog.addBlock(makeBranchBlock(1, 1)); // B0
+    BasicBlock ret;
+    ret.insts.push_back(Instruction::makeAluImm(Opcode::ADDIU, reg::sp,
+                                                reg::sp, 8));
+    ret.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    ret.term = TermKind::Return;
+    prog.addBlock(std::move(ret)); // B1
+    prog.layout();
+    return prog;
+}
+
+TEST(ProgramTest, LayoutAssignsContiguousAddresses)
+{
+    const auto prog = makeTinyProgram();
+    EXPECT_EQ(prog.blockAddr(0), prog.base());
+    EXPECT_EQ(prog.blockAddr(1), prog.base() + 8);
+    EXPECT_EQ(prog.instAddr(1, 1), prog.base() + 12);
+}
+
+TEST(ProgramTest, CountsAndValidation)
+{
+    const auto prog = makeTinyProgram();
+    EXPECT_EQ(prog.staticInstCount(), 4u);
+    EXPECT_EQ(prog.staticCtiCount(), 2u);
+    EXPECT_NO_THROW(prog.validate());
+}
+
+TEST(ProgramTest, SetBaseRelocates)
+{
+    auto prog = makeTinyProgram();
+    prog.setBase(0x10000);
+    prog.layout();
+    EXPECT_EQ(prog.blockAddr(0), 0x10000u);
+}
+
+TEST(ProgramTest, DisassembleListsBlocks)
+{
+    const auto prog = makeTinyProgram();
+    const std::string d = prog.disassemble();
+    EXPECT_NE(d.find("B0"), std::string::npos);
+    EXPECT_NE(d.find("jr"), std::string::npos);
+}
+
+// ------------------------------------------------------------- dependence
+
+TEST(DependenceTest, IndependentInstructions)
+{
+    const auto a = Instruction::makeAlu(Opcode::ADDU, 8, 9, 10);
+    const auto b = Instruction::makeAlu(Opcode::SUBU, 11, 12, 13);
+    EXPECT_TRUE(registerIndependent(a, b));
+}
+
+TEST(DependenceTest, RawDependence)
+{
+    const auto def = Instruction::makeAlu(Opcode::ADDU, 8, 9, 10);
+    const auto use = Instruction::makeAlu(Opcode::SUBU, 11, 8, 13);
+    EXPECT_FALSE(registerIndependent(def, use));
+    EXPECT_FALSE(registerIndependent(use, def)); // WAR the other way
+}
+
+TEST(DependenceTest, WawDependence)
+{
+    const auto a = Instruction::makeAlu(Opcode::ADDU, 8, 9, 10);
+    const auto b = Instruction::makeAlu(Opcode::SUBU, 8, 12, 13);
+    EXPECT_FALSE(registerIndependent(a, b));
+}
+
+TEST(DependenceTest, CtiHoistBlockedByConditionFeed)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 9, 10, 11));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::SLT, 8, 9, 10));
+    bb.insts.push_back(Instruction::makeBranch(Opcode::BNE, 8, 0));
+    bb.term = TermKind::CondBranch;
+    bb.target = 0;
+    bb.fallthrough = 1;
+    EXPECT_EQ(ctiHoistDistance(bb), 0u);
+}
+
+TEST(DependenceTest, CtiHoistOverIndependentInstructions)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeAlu(Opcode::SLT, 8, 9, 10));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 11, 12, 13));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::XOR, 14, 15, 16));
+    bb.insts.push_back(Instruction::makeBranch(Opcode::BNE, 8, 0));
+    bb.term = TermKind::CondBranch;
+    bb.target = 0;
+    bb.fallthrough = 1;
+    // Can cross the two independent ALUs, stops at the SLT that
+    // computes the condition.
+    EXPECT_EQ(ctiHoistDistance(bb), 2u);
+}
+
+TEST(DependenceTest, CallHoistBlockedByRaReader)
+{
+    BasicBlock bb;
+    bb.insts.push_back(
+        Instruction::makeAlu(Opcode::ADDU, 8, reg::ra, 9));
+    bb.insts.push_back(Instruction::makeJump(Opcode::JAL));
+    bb.term = TermKind::Call;
+    bb.target = 0;
+    bb.fallthrough = 1;
+    // jal writes ra; the preceding instruction reads ra (WAR).
+    EXPECT_EQ(ctiHoistDistance(bb), 0u);
+}
+
+TEST(DependenceTest, LoadHoistStopsAtAddressDef)
+{
+    BasicBlock bb;
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 20, 9, 10));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::XOR, 11, 12, 13));
+    bb.insts.push_back(
+        Instruction::makeLoad(8, 20, 0, AddrClass::Array));
+    bb.term = TermKind::FallThrough;
+    bb.fallthrough = 1;
+    // Can cross the XOR but not the pointer computation.
+    EXPECT_EQ(loadHoistDistance(bb, 2), 1u);
+}
+
+TEST(DependenceTest, LoadHoistCrossesStores)
+{
+    BasicBlock bb;
+    bb.insts.push_back(
+        Instruction::makeStore(9, reg::sp, 0, AddrClass::Stack));
+    bb.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    bb.term = TermKind::FallThrough;
+    bb.fallthrough = 1;
+    // Perfect disambiguation: loads move past stores.
+    EXPECT_EQ(loadHoistDistance(bb, 1), 1u);
+}
+
+TEST(DependenceTest, LoadUseDistance)
+{
+    BasicBlock bb;
+    bb.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 11, 12, 13));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::SUBU, 14, 8, 13));
+    bb.term = TermKind::FallThrough;
+    bb.fallthrough = 1;
+    EXPECT_EQ(loadUseDistanceInBlock(bb, 0), 1u);
+}
+
+TEST(DependenceTest, LoadUseKilledByRedefinition)
+{
+    BasicBlock bb;
+    bb.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 12, 13));
+    bb.insts.push_back(Instruction::makeAlu(Opcode::SUBU, 14, 8, 13));
+    bb.term = TermKind::FallThrough;
+    bb.fallthrough = 1;
+    // The redefinition kills the loaded value: distance = to block end.
+    EXPECT_EQ(loadUseDistanceInBlock(bb, 0), 2u);
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(GeneratorTest, ProducesValidLaidOutProgram)
+{
+    GenProfile prof;
+    prof.seed = 42;
+    prof.staticInsts = 3000;
+    const Program prog = generateProgram(prof);
+    EXPECT_NO_THROW(prog.validate());
+    EXPECT_TRUE(prog.laidOut());
+    EXPECT_GT(prog.numBlocks(), 50u);
+    // Static size lands in the right ballpark.
+    EXPECT_GT(prog.staticInstCount(), 1500u);
+    EXPECT_LT(prog.staticInstCount(), 9000u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed)
+{
+    GenProfile prof;
+    prof.seed = 7;
+    prof.staticInsts = 1500;
+    const Program a = generateProgram(prof);
+    const Program b = generateProgram(prof);
+    ASSERT_EQ(a.numBlocks(), b.numBlocks());
+    EXPECT_EQ(a.staticInstCount(), b.staticInstCount());
+    EXPECT_EQ(a.disassemble(), b.disassemble());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer)
+{
+    GenProfile prof;
+    prof.staticInsts = 1500;
+    prof.seed = 1;
+    const Program a = generateProgram(prof);
+    prof.seed = 2;
+    const Program b = generateProgram(prof);
+    EXPECT_NE(a.disassemble(), b.disassemble());
+}
+
+TEST(GeneratorTest, HasAllTerminatorKinds)
+{
+    GenProfile prof;
+    prof.seed = 11;
+    prof.staticInsts = 8000;
+    const Program prog = generateProgram(prof);
+    std::set<TermKind> kinds;
+    for (BlockId b = 0; b < prog.numBlocks(); ++b)
+        kinds.insert(prog.block(b).term);
+    EXPECT_TRUE(kinds.count(TermKind::CondBranch));
+    EXPECT_TRUE(kinds.count(TermKind::Call));
+    EXPECT_TRUE(kinds.count(TermKind::Return));
+    EXPECT_TRUE(kinds.count(TermKind::Jump));
+    EXPECT_TRUE(kinds.count(TermKind::FallThrough));
+}
+
+TEST(GeneratorTest, CallGraphIsAcyclic)
+{
+    GenProfile prof;
+    prof.seed = 13;
+    prof.staticInsts = 5000;
+    const Program prog = generateProgram(prof);
+    // Proc entry of a call target must belong to a later procedure:
+    // verify call targets are procedure entries and targets of calls
+    // from earlier blocks have higher ids (acyclic by construction).
+    std::set<BlockId> entries(prog.procEntries().begin(),
+                              prog.procEntries().end());
+    for (BlockId b = 0; b < prog.numBlocks(); ++b) {
+        const auto &bb = prog.block(b);
+        if (bb.term != TermKind::Call)
+            continue;
+        EXPECT_TRUE(entries.count(bb.target))
+            << "call target is not a procedure entry";
+        EXPECT_GT(bb.target, b) << "call goes backward";
+    }
+}
+
+TEST(GeneratorTest, BackwardBranchesHaveTripProfiles)
+{
+    GenProfile prof;
+    prof.seed = 17;
+    prof.staticInsts = 4000;
+    prof.meanTrip = 9.0;
+    const Program prog = generateProgram(prof);
+    std::size_t backward = 0;
+    for (BlockId b = 0; b < prog.numBlocks(); ++b) {
+        const auto &bb = prog.block(b);
+        if (bb.term == TermKind::CondBranch && bb.profile.backward) {
+            ++backward;
+            EXPECT_LE(bb.target, b);
+            EXPECT_GE(bb.profile.meanTrip, 1.0);
+        }
+    }
+    EXPECT_GT(backward, 5u);
+}
+
+TEST(GeneratorTest, MemoryInstructionsCarryAddrClass)
+{
+    GenProfile prof;
+    prof.seed = 19;
+    prof.staticInsts = 4000;
+    const Program prog = generateProgram(prof);
+    std::size_t mem = 0;
+    for (BlockId b = 0; b < prog.numBlocks(); ++b) {
+        for (const auto &inst : prog.block(b).insts) {
+            if (isMem(inst.op)) {
+                ++mem;
+                EXPECT_NE(inst.addrClass, AddrClass::None);
+            } else {
+                EXPECT_EQ(inst.addrClass, AddrClass::None);
+            }
+        }
+    }
+    EXPECT_GT(mem, 500u);
+}
+
+// --------------------------------------------------------------- verifier
+
+TEST(VerifierTest, CleanProgramPasses)
+{
+    const auto prog = makeTinyProgram();
+    // makeTinyProgram reads r8..r10 and r24/25 without defs — build a
+    // genuinely clean one instead.
+    Program clean;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeAluImm(Opcode::ADDIU, 8, reg::zero, 1));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 9, 8, 8));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    clean.addBlock(std::move(b0));
+    clean.layout();
+    const auto report = verifyProgram(clean);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.reachableBlocks, 1u);
+    (void)prog;
+}
+
+TEST(VerifierTest, DetectsUnreachableBlock)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    BasicBlock orphan;
+    orphan.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    orphan.term = TermKind::Return;
+    prog.addBlock(std::move(orphan));
+    prog.layout();
+
+    const auto report = verifyProgram(prog);
+    EXPECT_EQ(report.count(VerifierIssue::Kind::UnreachableBlock), 1u);
+    EXPECT_EQ(report.reachableBlocks, 1u);
+}
+
+TEST(VerifierTest, DetectsReadBeforeAnyDef)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 9, 8, 8));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    prog.layout();
+
+    const auto report = verifyProgram(prog);
+    EXPECT_EQ(report.count(VerifierIssue::Kind::ReadBeforeAnyDef), 1u);
+    EXPECT_EQ(report.issues[0].reg, 8);
+}
+
+TEST(VerifierTest, PreciousRegistersAreAssumedInitialized)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    b0.insts.push_back(
+        Instruction::makeStore(8, reg::sp, 0, AddrClass::Stack));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    prog.layout();
+    EXPECT_TRUE(verifyProgram(prog).clean());
+}
+
+TEST(VerifierTest, DetectsCallToNonEntry)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(Instruction::makeJump(Opcode::JAL));
+    b0.term = TermKind::Call;
+    b0.target = 1;
+    b0.fallthrough = 1;
+    prog.addBlock(std::move(b0));
+    BasicBlock b1;
+    b1.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b1.term = TermKind::Return;
+    prog.addBlock(std::move(b1));
+    prog.addProcEntry(0); // B1 is NOT registered as an entry
+    prog.layout();
+
+    const auto report = verifyProgram(prog);
+    EXPECT_EQ(report.count(VerifierIssue::Kind::CallToNonEntry), 1u);
+}
+
+TEST(VerifierTest, GeneratedSuiteIsClean)
+{
+    // Quality gate: every generated benchmark program must verify
+    // clean — full reachability, no ghost register reads, call
+    // discipline, and a return in every procedure.
+    for (std::uint64_t seed : {3u, 14u}) {
+        GenProfile prof;
+        prof.seed = seed;
+        prof.staticInsts = 6000;
+        const Program prog = generateProgram(prof);
+        const auto report = verifyProgram(prog);
+        EXPECT_TRUE(report.clean())
+            << "seed " << seed << ": " <<
+            (report.issues.empty() ? "" : report.issues[0].message);
+        EXPECT_EQ(report.reachableBlocks, prog.numBlocks());
+    }
+}
+
+} // namespace
+} // namespace pipecache::isa

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting invariants
+ * across the design space rather than specific values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/cache.hh"
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "sched/branch_sched.hh"
+#include "timing/cpu_circuit.hh"
+#include "trace/benchmark.hh"
+#include "util/random.hh"
+
+namespace pipecache {
+namespace {
+
+// ----------------------------------------------------- cache properties
+
+/** (sizeBytes, blockBytes, assoc) */
+using CacheShape = std::tuple<std::uint64_t, std::uint32_t,
+                              std::uint32_t>;
+
+class CacheProperty : public ::testing::TestWithParam<CacheShape>
+{
+  protected:
+    cache::CacheConfig config() const
+    {
+        cache::CacheConfig c;
+        std::tie(c.sizeBytes, c.blockBytes, c.assoc) = GetParam();
+        return c;
+    }
+
+    /** A reproducible pseudo-random reference stream. */
+    std::vector<Addr> stream(std::size_t n, std::uint64_t seed) const
+    {
+        Rng rng(seed);
+        std::vector<Addr> addrs;
+        addrs.reserve(n);
+        Addr cursor = 0x1000;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mix of sequential runs and jumps for realistic reuse.
+            if (rng.nextBool(0.7))
+                cursor += 4;
+            else
+                cursor = static_cast<Addr>(rng.nextRange(1 << 16)) * 4;
+            addrs.push_back(cursor);
+        }
+        return addrs;
+    }
+};
+
+TEST_P(CacheProperty, HitAfterAccessUntilEviction)
+{
+    cache::Cache c(config());
+    for (Addr a : stream(2000, 1)) {
+        c.access(a, false);
+        EXPECT_TRUE(c.contains(a));
+    }
+}
+
+TEST_P(CacheProperty, StatsAreConserved)
+{
+    cache::Cache c(config());
+    std::size_t accesses = 0;
+    Rng rng(2);
+    for (Addr a : stream(3000, 3)) {
+        c.access(a, rng.nextBool(0.3));
+        ++accesses;
+    }
+    const auto &s = c.stats();
+    EXPECT_EQ(s.accesses(), accesses);
+    EXPECT_LE(s.misses(), s.accesses());
+    EXPECT_LE(s.dirtyEvictions, s.evictions);
+    // Evictions can never exceed fills (i.e., misses that allocate).
+    EXPECT_LE(s.evictions, s.misses());
+}
+
+TEST_P(CacheProperty, BlockGranularity)
+{
+    cache::Cache c(config());
+    const std::uint32_t block = config().blockBytes;
+    c.access(0x8000, false);
+    // Everything in the same block hits; the next block does not.
+    EXPECT_TRUE(c.contains(0x8000 + block - 1));
+    EXPECT_FALSE(c.contains(0x8000 + block));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheProperty,
+    ::testing::Values(CacheShape{1024, 16, 1}, CacheShape{4096, 16, 1},
+                      CacheShape{4096, 32, 2}, CacheShape{8192, 64, 4},
+                      CacheShape{16384, 16, 4},
+                      CacheShape{4096, 16, 256 / 16 * 16}));
+
+/** Miss count is monotonically non-increasing in cache size for a
+ *  fixed stream — checked over several streams (LRU inclusion). */
+class CacheSizeMonotonic : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheSizeMonotonic, MissesShrinkWithSize)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    std::vector<std::pair<Addr, bool>> stream;
+    Addr cursor = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.nextBool(0.6))
+            cursor += 4;
+        else
+            cursor = static_cast<Addr>(rng.nextRange(1 << 14)) * 4;
+        stream.push_back({cursor, rng.nextBool(0.25)});
+    }
+
+    Counter prev_misses = ~0ULL;
+    for (std::uint64_t kb : {1, 2, 4, 8, 16, 32}) {
+        cache::CacheConfig config;
+        config.sizeBytes = kb * 1024;
+        config.blockBytes = 16;
+        config.assoc = config.sizeBytes / config.blockBytes; // fully assoc
+        cache::Cache c(config);
+        for (auto [a, w] : stream)
+            c.access(a, w);
+        // LRU inclusion property: a bigger fully-associative LRU cache
+        // never misses more.
+        EXPECT_LE(c.stats().misses(), prev_misses);
+        prev_misses = c.stats().misses();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, CacheSizeMonotonic,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ----------------------------------------- translation-file properties
+
+class XlatProperty
+    : public ::testing::TestWithParam<std::tuple<const char *,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(XlatProperty, StructuralInvariants)
+{
+    const auto [name, slots] = GetParam();
+    const auto &bench = trace::findBenchmark(name);
+    const auto prog = bench.makeProgram(0);
+    const auto xlat = sched::scheduleBranchDelays(prog, slots);
+
+    Addr expected_entry = prog.base();
+    for (isa::BlockId b = 0; b < prog.numBlocks(); ++b) {
+        const auto &bx = xlat[b];
+        const auto &bb = prog.block(b);
+
+        // Layout is contiguous and gap-free.
+        EXPECT_EQ(bx.entry, expected_entry);
+        expected_entry += bx.schedLen * bytesPerWord;
+
+        EXPECT_EQ(bx.usefulLen, bb.size());
+        EXPECT_EQ(bx.hasCti != 0, bb.hasCti());
+        if (!bb.hasCti()) {
+            EXPECT_EQ(bx.schedLen, bx.usefulLen);
+            continue;
+        }
+        // r + s = b; only predicted-taken and indirect CTIs grow code.
+        EXPECT_EQ(bx.r + bx.s, slots);
+        EXPECT_LE(bx.r, bb.size() - 1);
+        if (bx.predictTaken || bx.indirect)
+            EXPECT_EQ(bx.schedLen, bx.usefulLen + bx.s);
+        else
+            EXPECT_EQ(bx.schedLen, bx.usefulLen);
+        // Indirect flag only on jr/jalr terminators.
+        EXPECT_EQ(bx.indirect != 0,
+                  isIndirectJump(bb.cti().op));
+    }
+}
+
+TEST_P(XlatProperty, ExpansionBoundedBySlotsTimesCtis)
+{
+    const auto [name, slots] = GetParam();
+    const auto &bench = trace::findBenchmark(name);
+    const auto prog = bench.makeProgram(0);
+    const auto xlat = sched::scheduleBranchDelays(prog, slots);
+    const double max_expansion =
+        static_cast<double>(slots * prog.staticCtiCount()) /
+        static_cast<double>(prog.staticInstCount());
+    EXPECT_LE(xlat.codeExpansion(), max_expansion + 1e-12);
+    EXPECT_GE(xlat.codeExpansion(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteBySlots, XlatProperty,
+    ::testing::Combine(::testing::Values("small", "gcc", "matrix500",
+                                         "yacc"),
+                       ::testing::Values(0u, 1u, 2u, 3u)));
+
+// ------------------------------------------------- timing properties
+
+class TimingProperty
+    : public ::testing::TestWithParam<std::uint32_t> // size KW
+{
+};
+
+TEST_P(TimingProperty, DepthMonotonicAndBounded)
+{
+    const std::uint32_t kw = GetParam();
+    timing::CpuTimingParams params;
+    double prev = 1e12;
+    for (std::uint32_t d = 0; d <= 4; ++d) {
+        const double t = timing::sideCycleNs(params, {kw, d});
+        EXPECT_GE(t, params.aluLoopNs() - 1e-6);
+        EXPECT_LE(t, prev + 1e-9);
+        prev = t;
+    }
+}
+
+TEST_P(TimingProperty, SizeMonotonicAtFixedDepth)
+{
+    timing::CpuTimingParams params;
+    const std::uint32_t kw = GetParam();
+    for (std::uint32_t d = 0; d <= 3; ++d) {
+        EXPECT_LE(timing::sideCycleNs(params, {kw, d}),
+                  timing::sideCycleNs(params, {kw * 2, d}) + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TimingProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+// ----------------------------------------------- engine-level properties
+
+struct EngineCase
+{
+    std::uint32_t branchSlots;
+    std::uint32_t loadSlots;
+    std::uint32_t sizeKW;
+    cpusim::BranchScheme scheme;
+};
+
+class EngineProperty : public ::testing::TestWithParam<EngineCase>
+{
+  protected:
+    static core::CpiModel &model()
+    {
+        static core::CpiModel instance = [] {
+            core::SuiteConfig config;
+            config.scaleDivisor = 10000.0;
+            config.quantum = 5000;
+            config.benchmarks = {"small", "espresso"};
+            return core::CpiModel(config);
+        }();
+        return instance;
+    }
+};
+
+TEST_P(EngineProperty, BreakdownInvariants)
+{
+    const auto param = GetParam();
+    core::DesignPoint p;
+    p.branchSlots = param.branchSlots;
+    p.loadSlots = param.loadSlots;
+    p.l1iSizeKW = param.sizeKW;
+    p.l1dSizeKW = param.sizeKW;
+    p.branchScheme = param.scheme;
+
+    const auto &res = model().evaluate(p);
+    const auto &agg = res.aggregate;
+
+    // Useful instructions never depend on the design point.
+    Counter insts = 0;
+    for (std::size_t i = 0; i < model().numBenchmarks(); ++i)
+        insts += model().traceOf(i).instCount;
+    EXPECT_EQ(agg.usefulInsts, insts);
+
+    // Fetch accounting.
+    EXPECT_GE(agg.fetches, agg.usefulInsts);
+    if (param.scheme == cpusim::BranchScheme::Squash) {
+        EXPECT_EQ(agg.fetches,
+                  agg.usefulInsts + agg.branchWastedFetches);
+        EXPECT_EQ(agg.btbPenaltyCycles, 0u);
+    } else {
+        EXPECT_EQ(agg.fetches, agg.usefulInsts);
+        EXPECT_EQ(agg.branchWastedFetches, 0u);
+    }
+
+    // Zero slots -> zero branch/load penalties.
+    if (param.branchSlots == 0) {
+        EXPECT_EQ(agg.branchWastedFetches, 0u);
+        if (param.scheme == cpusim::BranchScheme::Btb) {
+            // Even the BTB only pays the 1-cycle fill stall.
+            EXPECT_LE(agg.btbPenaltyCycles, agg.ctis);
+        }
+    }
+    if (param.loadSlots == 0) {
+        EXPECT_EQ(agg.loadStallCycles, 0u);
+    }
+
+    // CPI is at least 1 and finite.
+    EXPECT_GE(agg.cpi(), 1.0);
+    EXPECT_LT(agg.cpi(), 10.0);
+
+    // I-cache access count: one probe per fetch.
+    EXPECT_EQ(res.l1i.accesses(), agg.fetches);
+    // Stall cycles = misses * flat penalty.
+    EXPECT_EQ(agg.iStallCycles, res.l1i.misses() * 10);
+    EXPECT_EQ(agg.dStallCycles, res.l1d.misses() * 10);
+}
+
+TEST_P(EngineProperty, MoreSlotsNeverReduceCpi)
+{
+    const auto param = GetParam();
+    if (param.branchSlots == 0 || param.scheme != cpusim::BranchScheme::Squash)
+        GTEST_SKIP();
+    core::DesignPoint lo;
+    lo.branchSlots = param.branchSlots - 1;
+    lo.loadSlots = param.loadSlots;
+    lo.l1iSizeKW = param.sizeKW;
+    lo.l1dSizeKW = param.sizeKW;
+    core::DesignPoint hi = lo;
+    hi.branchSlots = param.branchSlots;
+    // Small tolerance: the scheduled code layout changes with b, so
+    // conflict misses can shift slightly in either direction.
+    EXPECT_GE(model().evaluate(hi).cpi(),
+              model().evaluate(lo).cpi() - 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineProperty,
+    ::testing::Values(
+        EngineCase{0, 0, 4, cpusim::BranchScheme::Squash},
+        EngineCase{1, 1, 4, cpusim::BranchScheme::Squash},
+        EngineCase{2, 2, 2, cpusim::BranchScheme::Squash},
+        EngineCase{3, 3, 8, cpusim::BranchScheme::Squash},
+        EngineCase{3, 0, 1, cpusim::BranchScheme::Squash},
+        EngineCase{0, 3, 1, cpusim::BranchScheme::Squash},
+        EngineCase{1, 1, 4, cpusim::BranchScheme::Btb},
+        EngineCase{2, 2, 2, cpusim::BranchScheme::Btb},
+        EngineCase{3, 3, 8, cpusim::BranchScheme::Btb}));
+
+// ------------------------------------------------ generator properties
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorProperty, EveryProgramValidatesAndExecutes)
+{
+    isa::GenProfile prof;
+    prof.seed = GetParam();
+    prof.staticInsts = 2500;
+    const auto prog = isa::generateProgram(prof);
+    prog.validate();
+
+    trace::DataGenConfig dconfig;
+    dconfig.seed = GetParam();
+    trace::DataAddressGenerator dgen(dconfig);
+    trace::ExecConfig econfig;
+    econfig.maxInsts = 30000;
+    econfig.seed = GetParam() * 3 + 1;
+    const auto trace = recordTrace(prog, dgen, econfig);
+    EXPECT_GE(trace.instCount, econfig.maxInsts);
+
+    // Block events reference valid blocks; mem refs point at memory
+    // instructions.
+    for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+        const auto &bb = prog.block(trace.blocks[i].block);
+        const auto [begin, end] = trace.memRange(i);
+        for (std::uint32_t m = begin; m < end; ++m) {
+            ASSERT_LT(trace.memRefs[m].pos, bb.size());
+            const auto &inst = bb.insts[trace.memRefs[m].pos];
+            EXPECT_TRUE(isMem(inst.op));
+            EXPECT_EQ(trace.memRefs[m].store != 0, isStore(inst.op));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace pipecache

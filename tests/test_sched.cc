@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for sched/: static prediction, the delay-slot
+ * post-processor and translation files, and load-delay analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_generator.hh"
+#include "sched/branch_sched.hh"
+#include "sched/load_sched.hh"
+#include "sched/static_predict.hh"
+#include "sched/translation.hh"
+#include "trace/benchmark.hh"
+#include "trace/executor.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sched {
+namespace {
+
+using isa::AddrClass;
+using isa::BasicBlock;
+using isa::BlockId;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::TermKind;
+namespace reg = isa::reg;
+
+/**
+ * Hand-built four-block program:
+ *   B0: alu alu alu beq->B2 (forward, predicted not-taken)
+ *   B1: alu slt bne->B0     (backward, condition fed, predicted taken)
+ *   B2: alu alu j->B3       (jump, always taken)
+ *   B3: alu jr ra           (return, indirect)
+ */
+Program
+handProgram()
+{
+    Program prog;
+
+    BasicBlock b0;
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::SUBU, 11, 12, 13));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::XOR, 14, 15, 16));
+    b0.insts.push_back(Instruction::makeBranch(Opcode::BEQ, 24, 25));
+    b0.term = TermKind::CondBranch;
+    b0.target = 2;
+    b0.fallthrough = 1;
+    prog.addBlock(std::move(b0));
+
+    BasicBlock b1;
+    b1.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 9, 10, 11));
+    b1.insts.push_back(Instruction::makeAlu(Opcode::SLT, 8, 9, 10));
+    b1.insts.push_back(Instruction::makeBranch(Opcode::BNE, 8, 0));
+    b1.term = TermKind::CondBranch;
+    b1.target = 0;
+    b1.fallthrough = 2;
+    b1.profile.backward = true;
+    b1.profile.meanTrip = 4.0;
+    prog.addBlock(std::move(b1));
+
+    BasicBlock b2;
+    b2.insts.push_back(Instruction::makeAlu(Opcode::AND, 8, 9, 10));
+    b2.insts.push_back(Instruction::makeAlu(Opcode::OR, 11, 12, 13));
+    b2.insts.push_back(Instruction::makeJump(Opcode::J));
+    b2.term = TermKind::Jump;
+    b2.target = 3;
+    prog.addBlock(std::move(b2));
+
+    BasicBlock b3;
+    b3.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+    b3.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b3.term = TermKind::Return;
+    prog.addBlock(std::move(b3));
+
+    prog.layout();
+    prog.validate();
+    return prog;
+}
+
+// -------------------------------------------------------- static predict
+
+TEST(StaticPredictTest, Btfnt)
+{
+    const Program prog = handProgram();
+    EXPECT_EQ(predictStatic(prog.block(0), 0), Prediction::NotTaken);
+    EXPECT_EQ(predictStatic(prog.block(1), 1), Prediction::Taken);
+    EXPECT_EQ(predictStatic(prog.block(2), 2), Prediction::Taken);
+    EXPECT_EQ(predictStatic(prog.block(3), 3), Prediction::Taken);
+    EXPECT_FALSE(isBackwardBranch(prog.block(0), 0));
+    EXPECT_TRUE(isBackwardBranch(prog.block(1), 1));
+}
+
+// ---------------------------------------------------------- branch sched
+
+TEST(BranchSchedTest, ZeroSlotsIsIdentity)
+{
+    const Program prog = handProgram();
+    const TranslationFile xlat = scheduleBranchDelays(prog, 0);
+    EXPECT_EQ(xlat.delaySlots(), 0u);
+    EXPECT_DOUBLE_EQ(xlat.codeExpansion(), 0.0);
+    for (BlockId b = 0; b < prog.numBlocks(); ++b) {
+        EXPECT_EQ(xlat[b].schedLen, xlat[b].usefulLen);
+        EXPECT_EQ(xlat[b].r, 0u);
+        EXPECT_EQ(xlat[b].s, 0u);
+        EXPECT_EQ(xlat[b].entry, prog.blockAddr(b));
+    }
+}
+
+TEST(BranchSchedTest, HoistingAndFillers)
+{
+    const Program prog = handProgram();
+    const TranslationFile xlat = scheduleBranchDelays(prog, 2);
+
+    // B0's branch reads r24/r25; all three ALUs are independent, so
+    // both slots fill from before (r = 2, s = 0); predicted not-taken
+    // means no layout growth either way.
+    EXPECT_EQ(xlat[0].r, 2u);
+    EXPECT_EQ(xlat[0].s, 0u);
+    EXPECT_EQ(xlat[0].predictTaken, 0u);
+    EXPECT_EQ(xlat[0].schedLen, 4u);
+
+    // B1's branch is fed by the SLT directly before it: r = 0, s = 2;
+    // predicted taken -> 2 replicas appended.
+    EXPECT_EQ(xlat[1].r, 0u);
+    EXPECT_EQ(xlat[1].s, 2u);
+    EXPECT_EQ(xlat[1].predictTaken, 1u);
+    EXPECT_EQ(xlat[1].schedLen, 3u + 2u);
+
+    // B2's jump has no operands: hoists over both ALUs.
+    EXPECT_EQ(xlat[2].r, 2u);
+    EXPECT_EQ(xlat[2].schedLen, 3u);
+
+    // B3's jr reads ra; the ALU before it does not touch ra, so one
+    // slot fills from before and one noop is appended.
+    EXPECT_EQ(xlat[3].indirect, 1u);
+    EXPECT_EQ(xlat[3].r, 1u);
+    EXPECT_EQ(xlat[3].s, 1u);
+    EXPECT_EQ(xlat[3].schedLen, 2u + 1u);
+}
+
+TEST(BranchSchedTest, EntriesAreContiguousInScheduledLayout)
+{
+    const Program prog = handProgram();
+    const TranslationFile xlat = scheduleBranchDelays(prog, 3);
+    Addr addr = prog.base();
+    for (BlockId b = 0; b < prog.numBlocks(); ++b) {
+        EXPECT_EQ(xlat[b].entry, addr);
+        addr += xlat[b].schedLen * bytesPerWord;
+    }
+}
+
+TEST(BranchSchedTest, ExpansionMonotonicInSlots)
+{
+    const auto &bench = trace::findBenchmark("espresso");
+    const Program prog = bench.makeProgram(0);
+    double prev = 0.0;
+    for (std::uint32_t b = 0; b <= 3; ++b) {
+        const TranslationFile xlat = scheduleBranchDelays(prog, b);
+        const double exp = xlat.codeExpansion();
+        EXPECT_GE(exp, prev);
+        prev = exp;
+    }
+    EXPECT_GT(prev, 0.05); // 3 slots cost real code size
+    EXPECT_LT(prev, 0.40);
+}
+
+TEST(BranchSchedTest, SummaryCountsAreConsistent)
+{
+    const auto &bench = trace::findBenchmark("small");
+    const Program prog = bench.makeProgram(0);
+    const TranslationFile xlat = scheduleBranchDelays(prog, 2);
+    const ScheduleStats stats = summarize(xlat);
+    EXPECT_EQ(stats.ctis, prog.staticCtiCount());
+    EXPECT_LE(stats.predictedTaken, stats.ctis);
+    EXPECT_LE(stats.indirect, stats.ctis);
+    EXPECT_LE(stats.firstSlotFromBefore, stats.ctis);
+    // r + s = b for every CTI.
+    EXPECT_EQ(stats.slotsFromBefore + stats.slotsFromElsewhere,
+              2 * stats.ctis);
+}
+
+TEST(BranchSchedTest, RPlusSEqualsSlotsPerCti)
+{
+    const Program prog = handProgram();
+    for (std::uint32_t b = 1; b <= 3; ++b) {
+        const TranslationFile xlat = scheduleBranchDelays(prog, b);
+        for (BlockId id = 0; id < prog.numBlocks(); ++id) {
+            if (!xlat[id].hasCti)
+                continue;
+            EXPECT_EQ(xlat[id].r + xlat[id].s, b);
+        }
+    }
+}
+
+// ------------------------------------------------------------ load sched
+
+TEST(LoadSchedTest, TracksSimpleChain)
+{
+    // One block: load (addr reg gp, never written) then an immediate
+    // consumer.
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 9, 8, 10));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    prog.layout();
+
+    LoadUseTracker tracker(prog);
+    tracker.processBlock(0);
+    tracker.finish();
+    const auto &stats = tracker.stats();
+    EXPECT_EQ(stats.consumedLoads, 1u);
+    EXPECT_EQ(stats.deadLoads, 0u);
+    // d = 0, c unbounded (gp never written): e_dyn = overflow.
+    EXPECT_EQ(stats.eDynamic.overflow(), 1u);
+    // Statically: load at position 0 cannot hoist, consumer adjacent:
+    // e_bb = 0.
+    EXPECT_EQ(stats.eStatic.bucket(0), 1u);
+}
+
+TEST(LoadSchedTest, AddressDefSetsC)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 20, 9, 10));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::XOR, 11, 12, 13));
+    b0.insts.push_back(
+        Instruction::makeLoad(8, 20, 0, AddrClass::Array));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::SUBU, 14, 8, 13));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    prog.layout();
+
+    LoadUseTracker tracker(prog);
+    tracker.processBlock(0);
+    tracker.finish();
+    const auto &stats = tracker.stats();
+    // c_dyn = 1 (the XOR sits between def and load), d_dyn = 0.
+    EXPECT_EQ(stats.eDynamic.bucket(1), 1u);
+    EXPECT_EQ(stats.eStatic.bucket(1), 1u);
+}
+
+TEST(LoadSchedTest, DeadLoadWhenOverwritten)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    b0.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 8, 9, 10));
+    b0.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b0.term = TermKind::Return;
+    prog.addBlock(std::move(b0));
+    prog.layout();
+
+    LoadUseTracker tracker(prog);
+    tracker.processBlock(0);
+    tracker.finish();
+    EXPECT_EQ(tracker.stats().deadLoads, 1u);
+    EXPECT_EQ(tracker.stats().consumedLoads, 0u);
+}
+
+TEST(LoadSchedTest, CrossBlockUseClipsStaticD)
+{
+    Program prog;
+    BasicBlock b0;
+    b0.insts.push_back(
+        Instruction::makeLoad(8, reg::gp, 0, AddrClass::Global));
+    b0.term = TermKind::FallThrough;
+    b0.fallthrough = 1;
+    prog.addBlock(std::move(b0));
+
+    BasicBlock b1;
+    b1.insts.push_back(Instruction::makeAlu(Opcode::ADDU, 11, 12, 13));
+    b1.insts.push_back(Instruction::makeAlu(Opcode::SUBU, 14, 8, 13));
+    b1.insts.push_back(
+        Instruction::makeJumpRegister(Opcode::JR, reg::ra));
+    b1.term = TermKind::Return;
+    prog.addBlock(std::move(b1));
+    prog.layout();
+
+    LoadUseTracker tracker(prog);
+    tracker.processBlock(0);
+    tracker.processBlock(1);
+    tracker.finish();
+    const auto &stats = tracker.stats();
+    // Dynamic d = 1; static d clipped to 0 (block ends after load).
+    EXPECT_EQ(stats.eStatic.bucket(0), 1u);
+}
+
+TEST(LoadSchedTest, DelayCyclesFormula)
+{
+    LoadDelayStats stats;
+    // Three consumed loads with e_static = 0, 1, 5.
+    stats.eStatic.sample(0);
+    stats.eStatic.sample(1);
+    stats.eStatic.sample(5);
+    stats.eDynamic.sample(5);
+    stats.eDynamic.sample(5);
+    stats.eDynamic.sample(5);
+    stats.consumedLoads = 3;
+    stats.deadLoads = 1;
+
+    // l=2 static: max(0,2-0)+max(0,2-1)+0 = 3 cycles over 4 loads.
+    EXPECT_EQ(stats.totalDelayCycles(2, false), 3u);
+    EXPECT_DOUBLE_EQ(stats.delayCyclesPerLoad(2, false), 0.75);
+    EXPECT_EQ(stats.totalDelayCycles(2, true), 0u);
+    EXPECT_EQ(stats.totalDelayCycles(0, false), 0u);
+}
+
+TEST(LoadSchedTest, StaticNeverBeatsDynamic)
+{
+    const auto &bench = trace::findBenchmark("espresso");
+    const auto prog = bench.makeProgram(0);
+    trace::DataAddressGenerator dgen(bench.dataConfig(0));
+    trace::ExecConfig config;
+    config.maxInsts = 60000;
+    const auto trace = recordTrace(prog, dgen, config);
+
+    const LoadDelayStats stats = analyzeLoadDelays(prog, trace);
+    EXPECT_GT(stats.totalLoads(), 5000u);
+    for (std::uint32_t l = 1; l <= 3; ++l) {
+        EXPECT_GE(stats.delayCyclesPerLoad(l, false),
+                  stats.delayCyclesPerLoad(l, true))
+            << "static scheduling cannot hide more than dynamic, l="
+            << l;
+    }
+}
+
+TEST(LoadSchedTest, MergeAccumulates)
+{
+    LoadDelayStats a;
+    a.eStatic.sample(1);
+    a.eDynamic.sample(4);
+    a.consumedLoads = 1;
+
+    LoadDelayStats b;
+    b.eStatic.sample(2);
+    b.eDynamic.sample(2);
+    b.consumedLoads = 1;
+    b.deadLoads = 2;
+
+    a.merge(b);
+    EXPECT_EQ(a.totalLoads(), 4u);
+    EXPECT_EQ(a.eStatic.count(), 2u);
+    EXPECT_EQ(a.eDynamic.bucket(2), 1u);
+}
+
+} // namespace
+} // namespace pipecache::sched

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for timing/: SRAM/MCM macro-model, circuit IR, the
+ * minimum-cycle-ratio analyzer, and the CPU circuit builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "timing/cpu_circuit.hh"
+#include "timing/mcm_model.hh"
+#include "timing/sram.hh"
+#include "timing/timing_analyzer.hh"
+#include "util/logging.hh"
+
+namespace pipecache::timing {
+namespace {
+
+// ------------------------------------------------------------------- sram
+
+TEST(SramTest, ChipCountRoundsUp)
+{
+    SramChip chip;
+    chip.capacityKW = 2;
+    EXPECT_EQ(chipsForCache(chip, 1), 1u);
+    EXPECT_EQ(chipsForCache(chip, 2), 1u);
+    EXPECT_EQ(chipsForCache(chip, 3), 2u);
+    EXPECT_EQ(chipsForCache(chip, 32), 16u);
+}
+
+// -------------------------------------------------------------------- mcm
+
+TEST(McmTest, K1CombinesLcAndRcTerms)
+{
+    McmParams params;
+    params.z0Ohms = 50.0;
+    params.cMcmPf = 2.0;
+    params.rOhmPerMm = 0.0; // kill the RC term
+    params.chipPitchMm = 10.0;
+    EXPECT_NEAR(mcmK1Ns(params), 0.1, 1e-12); // 50 ohm * 2 pF = 100 ps
+
+    params.rOhmPerMm = 0.05;
+    params.cPfPerMm = 0.2;
+    // + 2 * 100 mm^2 * 0.05 * 0.2 pF -> 2 ps.
+    EXPECT_NEAR(mcmK1Ns(params), 0.102, 1e-12);
+}
+
+TEST(McmTest, DelayLinearInChips)
+{
+    McmParams params;
+    const double k1 = mcmK1Ns(params);
+    EXPECT_NEAR(mcmDelayNs(params, 5) - mcmDelayNs(params, 4), k1,
+                1e-12);
+    EXPECT_NEAR(mcmDelayNs(params, 1), params.k0Ns + k1, 1e-12);
+}
+
+TEST(McmTest, AccessTimeEquationSix)
+{
+    SramChip chip;
+    McmParams params;
+    const std::uint32_t n = chipsForCache(chip, 16);
+    EXPECT_NEAR(l1AccessNs(chip, params, 16),
+                chip.accessNs + 2.0 * (params.k0Ns + mcmK1Ns(params) * n),
+                1e-12);
+}
+
+TEST(McmTest, AccessTimeMonotonicInSize)
+{
+    SramChip chip;
+    McmParams params;
+    double prev = 0.0;
+    for (std::uint32_t kw : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const double t = l1AccessNs(chip, params, kw);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+// ---------------------------------------------------------------- circuit
+
+TEST(CircuitTest, BuildAndQuery)
+{
+    Circuit c;
+    const auto a = c.addLatch("a");
+    const auto b = c.addLatch("b");
+    c.addPath(a, b, 2.0);
+    c.addPath(b, a, 4.0);
+    EXPECT_EQ(c.numNodes(), 2u);
+    EXPECT_EQ(c.numEdges(), 2u);
+    EXPECT_EQ(c.nodeName(a), "a");
+    EXPECT_DOUBLE_EQ(c.maxEdgeDelay(), 4.0);
+}
+
+// ----------------------------------------------------------------- analyzer
+
+TEST(AnalyzerTest, SelfLoopCycleTime)
+{
+    Circuit c;
+    const auto a = c.addLatch("a");
+    c.addPath(a, a, 3.5);
+    const auto result = analyzeTiming(c);
+    EXPECT_NEAR(result.minCycleNs, 3.5, 1e-2);
+    EXPECT_DOUBLE_EQ(result.singlePhaseNs, 3.5);
+    EXPECT_EQ(result.criticalCycle.size(), 1u);
+}
+
+TEST(AnalyzerTest, PipelinedLoopAveragesDelay)
+{
+    // Loop of 4 latches with total delay 10: optimal multiphase
+    // clocking runs at 10/4 = 2.5ns even though the worst single
+    // stage is 4ns... (stage delays 4,2,2,2).
+    Circuit c;
+    const auto a = c.addLatch("a");
+    const auto b = c.addLatch("b");
+    const auto d = c.addLatch("c");
+    const auto e = c.addLatch("d");
+    c.addPath(a, b, 4.0);
+    c.addPath(b, d, 2.0);
+    c.addPath(d, e, 2.0);
+    c.addPath(e, a, 2.0);
+    const auto result = analyzeTiming(c);
+    EXPECT_NEAR(result.minCycleNs, 2.5, 1e-2);
+    EXPECT_DOUBLE_EQ(result.singlePhaseNs, 4.0);
+    EXPECT_EQ(result.criticalCycle.size(), 4u);
+}
+
+TEST(AnalyzerTest, MaxOverMultipleCycles)
+{
+    Circuit c;
+    const auto a = c.addLatch("a");
+    const auto b = c.addLatch("b");
+    c.addPath(a, a, 2.0);            // ratio 2
+    c.addPath(a, b, 5.0);            // part of ratio (5+1)/2 = 3
+    c.addPath(b, a, 1.0);
+    const auto result = analyzeTiming(c);
+    EXPECT_NEAR(result.minCycleNs, 3.0, 1e-2);
+    EXPECT_EQ(result.criticalCycle.size(), 2u);
+}
+
+TEST(AnalyzerTest, AcyclicGraphNeedsNoCycleTime)
+{
+    Circuit c;
+    const auto a = c.addLatch("a");
+    const auto b = c.addLatch("b");
+    c.addPath(a, b, 7.0);
+    const auto result = analyzeTiming(c);
+    EXPECT_DOUBLE_EQ(result.minCycleNs, 0.0);
+    EXPECT_DOUBLE_EQ(result.singlePhaseNs, 7.0);
+    EXPECT_TRUE(result.criticalCycle.empty());
+}
+
+TEST(AnalyzerTest, PrecisionControlsTolerance)
+{
+    Circuit c;
+    const auto a = c.addLatch("a");
+    c.addPath(a, a, 3.14159);
+    const auto coarse = analyzeTiming(c, 0.1);
+    EXPECT_NEAR(coarse.minCycleNs, 3.14159, 0.11);
+    const auto fine = analyzeTiming(c, 1e-5);
+    EXPECT_NEAR(fine.minCycleNs, 3.14159, 1e-4);
+}
+
+// -------------------------------------------------------------- cpu circuit
+
+TEST(CpuCircuitTest, AluLoopSetsFloor)
+{
+    CpuTimingParams params;
+    // Tiny caches, deep pipeline: the ALU loop binds at 3.5ns.
+    EXPECT_NEAR(cpuCycleNs(params, {1, 3}, {1, 3}), params.aluLoopNs(),
+                0.02);
+}
+
+TEST(CpuCircuitTest, Depth0MatchesClosedForm)
+{
+    CpuTimingParams params;
+    const double t_l1 = l1AccessNs(params.sram, params.mcm, 8);
+    const double expected = params.agenNs + t_l1 + params.latchNs;
+    EXPECT_NEAR(sideCycleNs(params, {8, 0}), expected, 0.02);
+}
+
+TEST(CpuCircuitTest, DepthDMatchesClosedForm)
+{
+    CpuTimingParams params;
+    for (std::uint32_t d = 1; d <= 3; ++d) {
+        const double t_l1 = l1AccessNs(params.sram, params.mcm, 32);
+        const double loop =
+            (params.agenNs + t_l1 + (d + 1) * params.latchNs) /
+            (d + 1);
+        const double expected = std::max(params.aluLoopNs(), loop);
+        EXPECT_NEAR(sideCycleNs(params, {32, d}), expected, 0.02)
+            << "depth " << d;
+    }
+}
+
+TEST(CpuCircuitTest, SystemCycleIsMaxOfSides)
+{
+    CpuTimingParams params;
+    const double both = cpuCycleNs(params, {32, 1}, {1, 3});
+    const double iside = sideCycleNs(params, {32, 1});
+    EXPECT_NEAR(both, iside, 0.02); // shallow big I-side binds
+}
+
+TEST(CpuCircuitTest, PaperTable6Anchors)
+{
+    CpuTimingParams params;
+    // Depth 0: every size above 10ns.
+    for (std::uint32_t kw : {1u, 8u, 32u})
+        EXPECT_GT(sideCycleNs(params, {kw, 0}), 10.0);
+    // Depth 3: ALU-limited at 3.5ns up to 32 KW.
+    for (std::uint32_t kw : {1u, 8u, 32u})
+        EXPECT_NEAR(sideCycleNs(params, {kw, 3}), 3.5, 0.05);
+    // Depth sensitivity: each extra stage helps, monotonically.
+    for (std::uint32_t kw : {1u, 8u, 32u}) {
+        double prev = 1e9;
+        for (std::uint32_t d = 0; d <= 3; ++d) {
+            const double t = sideCycleNs(params, {kw, d});
+            EXPECT_LE(t, prev + 1e-9);
+            prev = t;
+        }
+    }
+}
+
+TEST(CpuCircuitTest, BuiltCircuitShape)
+{
+    CpuTimingParams params;
+    const Circuit c = buildCpuCircuit(params, {8, 2}, {8, 3});
+    // 1 ALU + (1 + 2) I-side + (1 + 3) D-side latches.
+    EXPECT_EQ(c.numNodes(), 1u + 3u + 4u);
+    // 1 ALU self-loop + 3 I edges + 4 D edges.
+    EXPECT_EQ(c.numEdges(), 1u + 3u + 4u);
+}
+
+} // namespace
+} // namespace pipecache::timing

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for util/: logging, RNG, statistics, tables, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace pipecache {
+namespace {
+
+// ---------------------------------------------------------------- logging
+
+std::string lastLogLine;
+
+void
+captureSink(const std::string &line)
+{
+    lastLogLine = line;
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogSink(captureSink); }
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+TEST_F(LoggingTest, PanicThrowsUnderTestSink)
+{
+    EXPECT_THROW(PC_PANIC("broken ", 42), std::logic_error);
+    EXPECT_NE(lastLogLine.find("panic: broken 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FatalThrowsUnderTestSink)
+{
+    EXPECT_THROW(PC_FATAL("bad config"), std::runtime_error);
+    EXPECT_NE(lastLogLine.find("fatal: bad config"), std::string::npos);
+}
+
+TEST_F(LoggingTest, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(PC_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(PC_ASSERT(1 + 1 == 3, "math"), std::logic_error);
+    EXPECT_NE(lastLogLine.find("assertion failed"), std::string::npos);
+}
+
+TEST_F(LoggingTest, WarnAndInformGoThroughSink)
+{
+    warn("w ", 1);
+    EXPECT_EQ(lastLogLine, "warn: w 1");
+    inform("i ", 2);
+    EXPECT_EQ(lastLogLine, "info: i 2");
+}
+
+// ----------------------------------------------------------------- random
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextRangeStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextRange(17), 17u);
+}
+
+TEST(RngTest, NextRangeCoversAllValues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BernoulliMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerate)
+{
+    Rng rng(13);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+}
+
+TEST(RngTest, GeometricMeanMatches)
+{
+    Rng rng(17);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    // Mean of failures-before-success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, ZipfPrefersSmallRanks)
+{
+    Rng rng(19);
+    std::uint64_t rank0 = 0;
+    std::uint64_t rank_last = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto r = rng.nextZipf(100, 1.0);
+        ASSERT_LT(r, 100u);
+        rank0 += r == 0;
+        rank_last += r == 99;
+    }
+    EXPECT_GT(rank0, 10 * std::max<std::uint64_t>(rank_last, 1));
+}
+
+TEST(RngTest, DiscreteRespectsWeights)
+{
+    Rng rng(23);
+    const double weights[] = {1.0, 0.0, 3.0};
+    std::uint64_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.nextDiscrete(weights)];
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_NEAR(static_cast<double>(counts[2]) /
+                    static_cast<double>(counts[0]),
+                3.0, 0.3);
+}
+
+TEST(RngTest, ForkDecorrelates)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(3);
+    h.sample(3);
+    h.sample(10); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(10), 0.25);
+}
+
+TEST(HistogramTest, FractionAtLeast)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.sample(v);
+    h.sample(100);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 1.0);
+    EXPECT_NEAR(h.fractionAtLeast(4), 5.0 / 9.0, 1e-12);
+}
+
+TEST(HistogramTest, WeightedSamplesAndMean)
+{
+    Histogram h(8);
+    h.sample(2, 3);
+    h.sample(4, 1);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts)
+{
+    Histogram a(4);
+    Histogram b(4);
+    a.sample(1);
+    b.sample(1);
+    b.sample(9);
+    a.merge(b);
+    EXPECT_EQ(a.bucket(1), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(StatsTest, WeightedHarmonicMeanKnownValue)
+{
+    WeightedHarmonicMean m;
+    m.add(2.0, 1.0);
+    m.add(4.0, 1.0);
+    // HM of {2,4} = 2 / (1/2 + 1/4) = 8/3.
+    EXPECT_NEAR(m.value(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, WeightedHarmonicMeanEqualValuesIsIdentity)
+{
+    WeightedHarmonicMean m;
+    m.add(3.5, 10.0);
+    m.add(3.5, 90.0);
+    EXPECT_DOUBLE_EQ(m.value(), 3.5);
+}
+
+TEST(StatsTest, HarmonicLeqArithmetic)
+{
+    WeightedHarmonicMean hm;
+    WeightedArithmeticMean am;
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const double v = 0.5 + rng.nextDouble() * 4.0;
+        const double w = 0.1 + rng.nextDouble();
+        hm.add(v, w);
+        am.add(v, w);
+    }
+    EXPECT_LE(hm.value(), am.value() + 1e-12);
+}
+
+TEST(StatsTest, SpanHelperMatchesAccumulator)
+{
+    const double values[] = {1.0, 2.0, 5.0};
+    const double weights[] = {1.0, 2.0, 3.0};
+    WeightedHarmonicMean m;
+    for (int i = 0; i < 3; ++i)
+        m.add(values[i], weights[i]);
+    EXPECT_DOUBLE_EQ(weightedHarmonicMean(values, weights), m.value());
+}
+
+TEST(StatsTest, RunningStatsMinMaxMean)
+{
+    RunningStats s;
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable t("title");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"x", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+}
+
+TEST(TextTableTest, CsvQuotesSpecials)
+{
+    TextTable t;
+    t.setHeader({"h1", "h2"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"with\"quote", "b"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableTest, MarkdownRendering)
+{
+    TextTable t("A Title");
+    t.setHeader({"col", "v|alue"});
+    t.addRow({"x", "1"});
+    const std::string md = t.renderMarkdown();
+    EXPECT_NE(md.find("**A Title**"), std::string::npos);
+    EXPECT_NE(md.find("| col |"), std::string::npos);
+    EXPECT_NE(md.find("v\\|alue"), std::string::npos);
+    EXPECT_NE(md.find("|---|---|"), std::string::npos);
+    EXPECT_NE(md.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsRender)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_NO_THROW(t.render());
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(UnitsTest, Conversions)
+{
+    EXPECT_EQ(kiloWordsToBytes(1), 4096u);
+    EXPECT_EQ(kiloWordsToBytes(32), 131072u);
+    EXPECT_EQ(bytesToKiloWords(8192), 2u);
+    EXPECT_EQ(wordsToBytes(3), 12u);
+}
+
+TEST(UnitsTest, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+} // namespace
+} // namespace pipecache

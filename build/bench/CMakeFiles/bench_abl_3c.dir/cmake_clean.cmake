@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_3c.dir/bench_abl_3c.cc.o"
+  "CMakeFiles/bench_abl_3c.dir/bench_abl_3c.cc.o.d"
+  "bench_abl_3c"
+  "bench_abl_3c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_3c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_additive.dir/bench_abl_additive.cc.o"
+  "CMakeFiles/bench_abl_additive.dir/bench_abl_additive.cc.o.d"
+  "bench_abl_additive"
+  "bench_abl_additive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_additive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

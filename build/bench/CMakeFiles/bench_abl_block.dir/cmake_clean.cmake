@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_block.dir/bench_abl_block.cc.o"
+  "CMakeFiles/bench_abl_block.dir/bench_abl_block.cc.o.d"
+  "bench_abl_block"
+  "bench_abl_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

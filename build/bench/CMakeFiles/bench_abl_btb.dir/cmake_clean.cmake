@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_btb.dir/bench_abl_btb.cc.o"
+  "CMakeFiles/bench_abl_btb.dir/bench_abl_btb.cc.o.d"
+  "bench_abl_btb"
+  "bench_abl_btb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_listsched.dir/bench_abl_listsched.cc.o"
+  "CMakeFiles/bench_abl_listsched.dir/bench_abl_listsched.cc.o.d"
+  "bench_abl_listsched"
+  "bench_abl_listsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_listsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

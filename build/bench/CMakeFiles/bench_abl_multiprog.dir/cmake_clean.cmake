@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_multiprog.dir/bench_abl_multiprog.cc.o"
+  "CMakeFiles/bench_abl_multiprog.dir/bench_abl_multiprog.cc.o.d"
+  "bench_abl_multiprog"
+  "bench_abl_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_predict.dir/bench_abl_predict.cc.o"
+  "CMakeFiles/bench_abl_predict.dir/bench_abl_predict.cc.o.d"
+  "bench_abl_predict"
+  "bench_abl_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_seeds.dir/bench_abl_seeds.cc.o"
+  "CMakeFiles/bench_abl_seeds.dir/bench_abl_seeds.cc.o.d"
+  "bench_abl_seeds"
+  "bench_abl_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

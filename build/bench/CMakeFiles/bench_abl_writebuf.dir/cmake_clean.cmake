@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_writebuf.dir/bench_abl_writebuf.cc.o"
+  "CMakeFiles/bench_abl_writebuf.dir/bench_abl_writebuf.cc.o.d"
+  "bench_abl_writebuf"
+  "bench_abl_writebuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_writebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

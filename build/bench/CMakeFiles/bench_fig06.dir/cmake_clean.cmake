@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06.dir/bench_fig06.cc.o"
+  "CMakeFiles/bench_fig06.dir/bench_fig06.cc.o.d"
+  "bench_fig06"
+  "bench_fig06.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08.dir/bench_fig08.cc.o"
+  "CMakeFiles/bench_fig08.dir/bench_fig08.cc.o.d"
+  "bench_fig08"
+  "bench_fig08.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

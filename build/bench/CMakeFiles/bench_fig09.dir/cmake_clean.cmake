@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09.dir/bench_fig09.cc.o"
+  "CMakeFiles/bench_fig09.dir/bench_fig09.cc.o.d"
+  "bench_fig09"
+  "bench_fig09.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_strategies.dir/branch_strategies.cpp.o"
+  "CMakeFiles/branch_strategies.dir/branch_strategies.cpp.o.d"
+  "branch_strategies"
+  "branch_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/din_cache_sim.dir/din_cache_sim.cpp.o"
+  "CMakeFiles/din_cache_sim.dir/din_cache_sim.cpp.o.d"
+  "din_cache_sim"
+  "din_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/din_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/btb.cc" "src/CMakeFiles/pipecache.dir/cache/btb.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cache/btb.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/pipecache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/pipecache.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/memory.cc" "src/CMakeFiles/pipecache.dir/cache/memory.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cache/memory.cc.o.d"
+  "/root/repo/src/cache/three_c.cc" "src/CMakeFiles/pipecache.dir/cache/three_c.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cache/three_c.cc.o.d"
+  "/root/repo/src/core/cpi_model.cc" "src/CMakeFiles/pipecache.dir/core/cpi_model.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/cpi_model.cc.o.d"
+  "/root/repo/src/core/design_point.cc" "src/CMakeFiles/pipecache.dir/core/design_point.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/design_point.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/CMakeFiles/pipecache.dir/core/experiments.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/experiments.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/pipecache.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/CMakeFiles/pipecache.dir/core/sensitivity.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/sensitivity.cc.o.d"
+  "/root/repo/src/core/tpi_model.cc" "src/CMakeFiles/pipecache.dir/core/tpi_model.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/core/tpi_model.cc.o.d"
+  "/root/repo/src/cpusim/branch_model.cc" "src/CMakeFiles/pipecache.dir/cpusim/branch_model.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cpusim/branch_model.cc.o.d"
+  "/root/repo/src/cpusim/cpi_engine.cc" "src/CMakeFiles/pipecache.dir/cpusim/cpi_engine.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cpusim/cpi_engine.cc.o.d"
+  "/root/repo/src/cpusim/load_model.cc" "src/CMakeFiles/pipecache.dir/cpusim/load_model.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cpusim/load_model.cc.o.d"
+  "/root/repo/src/cpusim/pipeline_sim.cc" "src/CMakeFiles/pipecache.dir/cpusim/pipeline_sim.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cpusim/pipeline_sim.cc.o.d"
+  "/root/repo/src/cpusim/write_buffer.cc" "src/CMakeFiles/pipecache.dir/cpusim/write_buffer.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/cpusim/write_buffer.cc.o.d"
+  "/root/repo/src/isa/basic_block.cc" "src/CMakeFiles/pipecache.dir/isa/basic_block.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/basic_block.cc.o.d"
+  "/root/repo/src/isa/dependence.cc" "src/CMakeFiles/pipecache.dir/isa/dependence.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/dependence.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/pipecache.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/pipecache.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/pipecache.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/program_generator.cc" "src/CMakeFiles/pipecache.dir/isa/program_generator.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/program_generator.cc.o.d"
+  "/root/repo/src/isa/verifier.cc" "src/CMakeFiles/pipecache.dir/isa/verifier.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/isa/verifier.cc.o.d"
+  "/root/repo/src/sched/branch_sched.cc" "src/CMakeFiles/pipecache.dir/sched/branch_sched.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/branch_sched.cc.o.d"
+  "/root/repo/src/sched/list_sched.cc" "src/CMakeFiles/pipecache.dir/sched/list_sched.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/list_sched.cc.o.d"
+  "/root/repo/src/sched/load_sched.cc" "src/CMakeFiles/pipecache.dir/sched/load_sched.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/load_sched.cc.o.d"
+  "/root/repo/src/sched/profile_predict.cc" "src/CMakeFiles/pipecache.dir/sched/profile_predict.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/profile_predict.cc.o.d"
+  "/root/repo/src/sched/static_predict.cc" "src/CMakeFiles/pipecache.dir/sched/static_predict.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/static_predict.cc.o.d"
+  "/root/repo/src/sched/translation.cc" "src/CMakeFiles/pipecache.dir/sched/translation.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/sched/translation.cc.o.d"
+  "/root/repo/src/timing/circuit.cc" "src/CMakeFiles/pipecache.dir/timing/circuit.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/timing/circuit.cc.o.d"
+  "/root/repo/src/timing/cpu_circuit.cc" "src/CMakeFiles/pipecache.dir/timing/cpu_circuit.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/timing/cpu_circuit.cc.o.d"
+  "/root/repo/src/timing/mcm_model.cc" "src/CMakeFiles/pipecache.dir/timing/mcm_model.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/timing/mcm_model.cc.o.d"
+  "/root/repo/src/timing/sram.cc" "src/CMakeFiles/pipecache.dir/timing/sram.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/timing/sram.cc.o.d"
+  "/root/repo/src/timing/timing_analyzer.cc" "src/CMakeFiles/pipecache.dir/timing/timing_analyzer.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/timing/timing_analyzer.cc.o.d"
+  "/root/repo/src/trace/benchmark.cc" "src/CMakeFiles/pipecache.dir/trace/benchmark.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/benchmark.cc.o.d"
+  "/root/repo/src/trace/data_address_generator.cc" "src/CMakeFiles/pipecache.dir/trace/data_address_generator.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/data_address_generator.cc.o.d"
+  "/root/repo/src/trace/executor.cc" "src/CMakeFiles/pipecache.dir/trace/executor.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/executor.cc.o.d"
+  "/root/repo/src/trace/multiprog.cc" "src/CMakeFiles/pipecache.dir/trace/multiprog.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/multiprog.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/pipecache.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_serialize.cc" "src/CMakeFiles/pipecache.dir/trace/trace_serialize.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/trace_serialize.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/pipecache.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/trace/trace_stats.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/pipecache.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pipecache.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/pipecache.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/pipecache.dir/util/table.cc.o" "gcc" "src/CMakeFiles/pipecache.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

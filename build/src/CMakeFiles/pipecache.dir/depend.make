@@ -1,0 +1,2 @@
+# Empty dependencies file for pipecache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/unit_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_cpusim.cc" "tests/CMakeFiles/unit_tests.dir/test_cpusim.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cpusim.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/unit_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_list_sched.cc" "tests/CMakeFiles/unit_tests.dir/test_list_sched.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_list_sched.cc.o.d"
+  "/root/repo/tests/test_pipeline_sim.cc" "tests/CMakeFiles/unit_tests.dir/test_pipeline_sim.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_pipeline_sim.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/unit_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/unit_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/unit_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/unit_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pipecache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

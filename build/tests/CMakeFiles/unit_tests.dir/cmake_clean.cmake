@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_tests.dir/test_cache.cc.o"
+  "CMakeFiles/unit_tests.dir/test_cache.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_core.cc.o"
+  "CMakeFiles/unit_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_cpusim.cc.o"
+  "CMakeFiles/unit_tests.dir/test_cpusim.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_edge_cases.cc.o"
+  "CMakeFiles/unit_tests.dir/test_edge_cases.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_extensions.cc.o"
+  "CMakeFiles/unit_tests.dir/test_extensions.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_isa.cc.o"
+  "CMakeFiles/unit_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_list_sched.cc.o"
+  "CMakeFiles/unit_tests.dir/test_list_sched.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_pipeline_sim.cc.o"
+  "CMakeFiles/unit_tests.dir/test_pipeline_sim.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_sched.cc.o"
+  "CMakeFiles/unit_tests.dir/test_sched.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_timing.cc.o"
+  "CMakeFiles/unit_tests.dir/test_timing.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_trace.cc.o"
+  "CMakeFiles/unit_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_util.cc.o"
+  "CMakeFiles/unit_tests.dir/test_util.cc.o.d"
+  "unit_tests"
+  "unit_tests.pdb"
+  "unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

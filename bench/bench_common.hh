@@ -24,16 +24,39 @@ suiteFromArgs(int argc, char **argv, double default_scale = 200.0)
     core::SuiteConfig config;
     config.scaleDivisor = default_scale;
     if (argc > 1) {
-        config.scaleDivisor = std::atof(argv[1]);
-        if (config.scaleDivisor < 1.0) {
-            // Garbage or a sub-1 divisor would silently mean "run the
-            // paper's full 2.4G instructions" — refuse instead.
+        // strtod with end-pointer validation: non-numeric argv (e.g.
+        // "--help") must produce a usage error, not parse to 0 and be
+        // conflated with a sub-1 divisor. A sub-1 divisor itself is
+        // refused too — it would silently mean "run the paper's full
+        // 2.4G instructions".
+        char *end = nullptr;
+        const double scale = std::strtod(argv[1], &end);
+        if (end == argv[1] || *end != '\0' || scale < 1.0) {
             std::cerr << "usage: " << argv[0]
                       << " [scale-divisor >= 1]\n";
             std::exit(2);
         }
+        config.scaleDivisor = scale;
     }
     return config;
+}
+
+/** Worker threads for engine-driven benches: $PIPECACHE_THREADS or
+ *  all hardware cores. */
+inline std::size_t
+threadsFromEnv()
+{
+    const char *env = std::getenv("PIPECACHE_THREADS");
+    if (env == nullptr)
+        return 0;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        std::cerr << "ignoring malformed PIPECACHE_THREADS='" << env
+                  << "'\n";
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
 }
 
 } // namespace pipecache::bench

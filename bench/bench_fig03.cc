@@ -1,11 +1,16 @@
-/** Reproduces Figure 3 of the paper; see core/experiments.hh. */
+/** Reproduces Figure 3 of the paper; see core/experiments.hh. The
+ *  candidate grid runs through the parallel sweep engine
+ *  (PIPECACHE_THREADS overrides the worker count). */
 #include "bench_common.hh"
+#include "sweep/sweep_engine.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pipecache;
     core::CpiModel model(bench::suiteFromArgs(argc, argv));
-    std::cout << core::experiments::fig3(model).render();
+    core::TpiModel tpi(model);
+    sweep::SweepEngine engine(tpi, {bench::threadsFromEnv(), 1});
+    std::cout << core::experiments::fig3(engine).render();
     return 0;
 }

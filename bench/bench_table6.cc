@@ -1,12 +1,24 @@
-/** Reproduces Table 6 (timing analysis); no simulation needed. */
-#include <iostream>
-
-#include "core/experiments.hh"
+/** Reproduces Table 6 of the paper; see core/experiments.hh.
+ *
+ * The timing-only variant needs no simulation; with an argument (the
+ * scale divisor) the cycle-time columns are instead read off
+ * batch-evaluated grid points shared with Figures 3/4, exercising the
+ * sweep engine's memo cache end-to-end.
+ */
+#include "bench_common.hh"
+#include "sweep/sweep_engine.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipecache;
-    std::cout << core::experiments::table6().render();
+    if (argc <= 1) {
+        std::cout << core::experiments::table6().render();
+        return 0;
+    }
+    core::CpiModel model(bench::suiteFromArgs(argc, argv));
+    core::TpiModel tpi(model);
+    sweep::SweepEngine engine(tpi, {bench::threadsFromEnv(), 1});
+    std::cout << core::experiments::table6(engine).render();
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/cpi_model.hh"
 
+#include <cstring>
+
 #include "util/logging.hh"
 
 namespace pipecache::core {
@@ -136,33 +138,50 @@ CpiModel::loadDelayStats()
     return *loadStats_;
 }
 
-const CpiResult &
-CpiModel::evaluate(const DesignPoint &point)
+std::uint32_t
+CpiModel::xlatSlots(const DesignPoint &point)
 {
-    auto memo = memo_.find(point);
-    if (memo != memo_.end())
-        return memo->second;
+    // The BTB scheme replays canonical (zero-delay-slot) code.
+    return point.branchScheme == cpusim::BranchScheme::Btb
+               ? 0
+               : point.branchSlots;
+}
 
+void
+CpiModel::prepare(const std::vector<DesignPoint> &points)
+{
     ensureTraces();
-    const std::uint32_t xlat_slots =
-        point.branchScheme == cpusim::BranchScheme::Btb
-            ? 0
-            : point.branchSlots;
+    schedule();
+    for (const DesignPoint &p : points) {
+        // Building the translation set for benchmark 0 builds it for
+        // the whole suite (the xlat cache is keyed per slot/source).
+        xlat(0, xlatSlots(p), p.predictSource);
+    }
+}
+
+CpiResult
+CpiModel::simulate(const DesignPoint &point) const
+{
+    const auto key = std::make_pair(xlatSlots(point),
+                                    static_cast<int>(point.predictSource));
+    const auto it = xlats_.find(key);
+    PC_ASSERT(tracesBuilt_ && schedule_ && it != xlats_.end(),
+              "design point not covered by CpiModel::prepare()");
 
     std::vector<cpusim::BenchWorkload> workloads;
     workloads.reserve(suite_.size());
     for (std::size_t i = 0; i < suite_.size(); ++i) {
         cpusim::BenchWorkload w;
-        w.program = &program(i);
-        w.xlat = &xlat(i, xlat_slots, point.predictSource);
-        w.trace = &traceOf(i);
+        w.program = &programs_[i];
+        w.xlat = &it->second[i];
+        w.trace = &traces_[i];
         workloads.push_back(w);
     }
 
     cache::CacheHierarchy hierarchy(point.hierarchyConfig());
     cpusim::CpiEngine engine(point.engineConfig(), hierarchy,
                              std::move(workloads));
-    engine.run(schedule());
+    engine.run(*schedule_);
 
     CpiResult result;
     result.aggregate = engine.aggregate();
@@ -172,8 +191,44 @@ CpiModel::evaluate(const DesignPoint &point)
     result.l1d = hierarchy.l1d().stats();
     if (engine.btb())
         result.btb = engine.btb()->stats();
+    return result;
+}
 
-    return memo_.emplace(point, std::move(result)).first->second;
+CpiResult
+CpiModel::evaluatePrepared(const DesignPoint &point) const
+{
+    return simulate(point);
+}
+
+const CpiResult &
+CpiModel::evaluate(const DesignPoint &point)
+{
+    auto memo = memo_.find(point);
+    if (memo != memo_.end())
+        return memo->second;
+
+    prepare({point});
+    return memo_.emplace(point, simulate(point)).first->second;
+}
+
+std::uint64_t
+CpiModel::suiteKey() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    std::uint64_t scale_bits = 0;
+    static_assert(sizeof scale_bits == sizeof config_.scaleDivisor);
+    std::memcpy(&scale_bits, &config_.scaleDivisor, sizeof scale_bits);
+    mix(scale_bits);
+    mix(config_.quantum);
+    mix(config_.seedSalt);
+    mix(config_.benchmarks.size());
+    for (const std::string &name : config_.benchmarks)
+        for (const char c : name)
+            mix(static_cast<std::uint64_t>(c));
+    return h;
 }
 
 } // namespace pipecache::core

@@ -71,6 +71,29 @@ class CpiModel
     /** Evaluate (memoized) a design point over the multiprog mix. */
     const CpiResult &evaluate(const DesignPoint &point);
 
+    /**
+     * Pre-build every shared artifact (traces, translation files,
+     * multiprogramming schedule) the given points need, so that
+     * evaluatePrepared() can afterwards run concurrently from many
+     * threads without touching any lazy cache.
+     */
+    void prepare(const std::vector<DesignPoint> &points);
+
+    /**
+     * Thread-safe evaluation of one design point. Requires a prior
+     * prepare() call covering the point's translation needs; panics
+     * otherwise. Does not consult or fill the memoization cache —
+     * callers (the sweep engine) memoize at their own layer.
+     */
+    CpiResult evaluatePrepared(const DesignPoint &point) const;
+
+    /**
+     * Stable identity of this model's suite configuration, for keying
+     * external memoization caches: two models with equal suite keys
+     * produce bit-identical results for the same design point.
+     */
+    std::uint64_t suiteKey() const;
+
     /** Benchmarks in this model's suite. */
     const std::vector<trace::Benchmark> &suite() const { return suite_; }
     std::size_t numBenchmarks() const { return suite_.size(); }
@@ -96,6 +119,12 @@ class CpiModel
 
   private:
     void ensureTraces();
+
+    /** Slot count whose translation files @p point replays through. */
+    static std::uint32_t xlatSlots(const DesignPoint &point);
+
+    /** The simulation itself; all shared artifacts must exist. */
+    CpiResult simulate(const DesignPoint &point) const;
 
     SuiteConfig config_;
     std::vector<trace::Benchmark> suite_;

@@ -229,6 +229,97 @@ table6(const timing::CpuTimingParams &params)
     return t;
 }
 
+std::vector<DesignPoint>
+sizeDepthGrid(std::uint32_t block_words, std::uint32_t penalty)
+{
+    std::vector<DesignPoint> points;
+    for (std::uint32_t kw : kSizesKW) {
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            DesignPoint p = basePoint(block_words, penalty);
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+namespace {
+
+/** Render the figure-3/4 (size × b) table from batch metrics. */
+TextTable
+sizeDepthTable(TextTable t, BatchPointEvaluator &eval,
+               std::uint32_t block_words, std::uint32_t penalty,
+               double (*cell)(const PointMetrics &))
+{
+    t.setHeader({"I-size KW", "b=0", "b=1", "b=2", "b=3"});
+    const auto points = sizeDepthGrid(block_words, penalty);
+    const auto metrics = eval.evaluateBatch(points);
+
+    std::size_t i = 0;
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row{TextTable::num(std::uint64_t{kw})};
+        for (std::uint32_t b = 0; b <= 3; ++b)
+            row.push_back(TextTable::num(cell(metrics[i++]), 3));
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+} // namespace
+
+TextTable
+fig3(BatchPointEvaluator &eval, std::uint32_t block_words,
+     std::uint32_t penalty)
+{
+    TextTable t("Figure 3: L1-I miss CPI vs. cache size per branch "
+                "delay slots (B=" + std::to_string(block_words) +
+                "W, P=" + std::to_string(penalty) + ")");
+    return sizeDepthTable(
+        std::move(t), eval, block_words, penalty,
+        [](const PointMetrics &m) { return m.iMissCpi; });
+}
+
+TextTable
+fig4(BatchPointEvaluator &eval, std::uint32_t block_words,
+     std::uint32_t penalty)
+{
+    TextTable t("Figure 4: total CPI vs. L1-I size per branch delay "
+                "slots (B=" + std::to_string(block_words) + "W, P=" +
+                std::to_string(penalty) + ")");
+    return sizeDepthTable(std::move(t), eval, block_words, penalty,
+                          [](const PointMetrics &m) { return m.cpi; });
+}
+
+TextTable
+table6(BatchPointEvaluator &eval, const timing::CpuTimingParams &params)
+{
+    TextTable t("Table 6: optimal cycle time (ns) vs. L1 size and "
+                "pipeline depth (paper anchors: depth 0 > 10 ns; "
+                "depth 3 ALU-limited at 3.5 ns)");
+    t.setHeader({"size KW", "chips", "t_L1 ns", "depth 0", "depth 1",
+                 "depth 2", "depth 3"});
+
+    const auto points = sizeDepthGrid();
+    const auto metrics = eval.evaluateBatch(points);
+
+    std::size_t i = 0;
+    for (std::uint32_t kw : kSizesKW) {
+        std::vector<std::string> row;
+        row.push_back(TextTable::num(std::uint64_t{kw}));
+        row.push_back(TextTable::num(std::uint64_t{
+            timing::chipsForCache(params.sram, kw)}));
+        row.push_back(TextTable::num(
+            timing::l1AccessNs(params.sram, params.mcm, kw), 2));
+        // The grid point's I side is exactly (kw, depth), so its
+        // standalone cycle time is Table 6's entry.
+        for (std::uint32_t d = 0; d <= 3; ++d)
+            row.push_back(TextTable::num(metrics[i++].tIsideNs, 2));
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
 TextTable
 fig3(CpiModel &model, std::uint32_t block_words, std::uint32_t penalty)
 {

@@ -11,6 +11,7 @@
 #define PIPECACHE_CORE_EXPERIMENTS_HH
 
 #include "core/optimizer.hh"
+#include "core/point_eval.hh"
 #include "core/tpi_model.hh"
 #include "util/table.hh"
 
@@ -33,6 +34,31 @@ TextTable table5(CpiModel &model);
 
 /** Table 6: optimal cycle times vs. L1 size and pipeline depth. */
 TextTable table6(const timing::CpuTimingParams &params = {});
+
+/**
+ * The (L1-I size × depth) candidate grid behind Figures 3/4 and
+ * Table 6 — one shared point set, so a sweep engine evaluating all
+ * three reports serves figs 4 and the table entirely from its memo
+ * cache after fig 3 runs.
+ */
+std::vector<DesignPoint> sizeDepthGrid(std::uint32_t block_words = 4,
+                                       std::uint32_t penalty = 10);
+
+/** Figure 3 evaluated as one batch (e.g. the parallel sweep engine). */
+TextTable fig3(BatchPointEvaluator &eval, std::uint32_t block_words = 4,
+               std::uint32_t penalty = 10);
+
+/** Figure 4 evaluated as one batch. */
+TextTable fig4(BatchPointEvaluator &eval, std::uint32_t block_words = 4,
+               std::uint32_t penalty = 10);
+
+/**
+ * Table 6's cycle-time columns read off batch-evaluated grid points
+ * (tIsideNs of the (size, depth) point). @p params must match the
+ * evaluator's timing model for the chips / t_L1 columns to agree.
+ */
+TextTable table6(BatchPointEvaluator &eval,
+                 const timing::CpuTimingParams &params = {});
 
 /** Figure 3: I-miss CPI vs. L1-I size for b = 0..3. */
 TextTable fig3(CpiModel &model, std::uint32_t block_words = 4,

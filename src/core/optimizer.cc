@@ -116,22 +116,44 @@ describeChange(const DesignPoint &from, const DesignPoint &to)
 
 } // namespace
 
+std::vector<TpiResult>
+MultilevelOptimizer::evaluateCandidates(
+    const std::vector<DesignPoint> &candidates)
+{
+    if (evaluator_ != nullptr) {
+        std::vector<TpiResult> out;
+        out.reserve(candidates.size());
+        for (const PointMetrics &m :
+             evaluator_->evaluateBatch(candidates)) {
+            out.push_back(m.tpi());
+        }
+        return out;
+    }
+    std::vector<TpiResult> out;
+    out.reserve(candidates.size());
+    for (const DesignPoint &cand : candidates)
+        out.push_back(model_.evaluate(cand));
+    return out;
+}
+
 std::vector<OptStep>
 MultilevelOptimizer::optimize(const DesignPoint &start)
 {
     std::vector<OptStep> trajectory;
     DesignPoint base = start;
-    TpiResult base_tpi = model_.evaluate(base);
+    TpiResult base_tpi = evaluateCandidates({base}).front();
     trajectory.push_back({base, base_tpi, "base"});
 
     for (std::size_t step = 0; step < config_.maxSteps; ++step) {
+        const std::vector<DesignPoint> candidates = neighbors(base);
+        const std::vector<TpiResult> results =
+            evaluateCandidates(candidates);
         DesignPoint best = base;
         TpiResult best_tpi = base_tpi;
-        for (const DesignPoint &cand : neighbors(base)) {
-            const TpiResult tpi = model_.evaluate(cand);
-            if (tpi.tpiNs < best_tpi.tpiNs) {
-                best = cand;
-                best_tpi = tpi;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (results[i].tpiNs < best_tpi.tpiNs) {
+                best = candidates[i];
+                best_tpi = results[i];
             }
         }
         if (best == base)

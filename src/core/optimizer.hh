@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/point_eval.hh"
 #include "core/tpi_model.hh"
 
 namespace pipecache::core {
@@ -46,6 +47,19 @@ class MultilevelOptimizer
     MultilevelOptimizer(TpiModel &model, const OptimizerConfig &config);
 
     /**
+     * Route candidate-set evaluation through @p evaluator (the
+     * parallel sweep engine) instead of the serial model. Pass
+     * nullptr to restore the serial path. The trajectory is identical
+     * either way: candidates are compared in generation order with a
+     * strict improvement test, so the choice at every step does not
+     * depend on evaluation order or thread count.
+     */
+    void setEvaluator(BatchPointEvaluator *evaluator)
+    {
+        evaluator_ = evaluator;
+    }
+
+    /**
      * Optimize from @p start. The returned trajectory begins with the
      * base evaluation and ends at the local optimum.
      */
@@ -54,8 +68,13 @@ class MultilevelOptimizer
   private:
     std::vector<DesignPoint> neighbors(const DesignPoint &base) const;
 
+    /** Evaluate one step's candidate set (batch or serial). */
+    std::vector<TpiResult>
+    evaluateCandidates(const std::vector<DesignPoint> &candidates);
+
     TpiModel &model_;
     OptimizerConfig config_;
+    BatchPointEvaluator *evaluator_ = nullptr;
 };
 
 } // namespace pipecache::core

@@ -1,0 +1,35 @@
+#include "core/point_eval.hh"
+
+namespace pipecache::core {
+
+PointMetrics
+makeMetrics(const CpiResult &cpi, const TpiResult &tpi)
+{
+    PointMetrics m;
+    m.cpi = tpi.cpi;
+    m.branchCpi = cpi.aggregate.branchCpi();
+    m.loadCpi = cpi.aggregate.loadCpi();
+    m.iMissCpi = cpi.aggregate.iMissCpi();
+    m.dMissCpi = cpi.aggregate.dMissCpi();
+    m.l1iMissRate = cpi.l1i.missRate();
+    m.l1dMissRate = cpi.l1d.missRate();
+    m.tCpuNs = tpi.tCpuNs;
+    m.tIsideNs = tpi.tIsideNs;
+    m.tDsideNs = tpi.tDsideNs;
+    m.tpiNs = tpi.tpiNs;
+    return m;
+}
+
+std::vector<PointMetrics>
+SerialEvaluator::evaluateBatch(const std::vector<DesignPoint> &points)
+{
+    std::vector<PointMetrics> out;
+    out.reserve(points.size());
+    for (const DesignPoint &p : points) {
+        const CpiResult &cpi = model_.cpiModel().evaluate(p);
+        out.push_back(makeMetrics(cpi, model_.evaluate(p)));
+    }
+    return out;
+}
+
+} // namespace pipecache::core

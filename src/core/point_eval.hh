@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scalar per-point metrics and the batch-evaluation seam between the
+ * serial experiment code in core/ and the parallel sweep engine in
+ * sweep/. Experiments and the optimizer ask a BatchPointEvaluator for
+ * whole candidate sets at once; the serial implementation here walks
+ * them one by one through the memoized models, while
+ * sweep::SweepEngine fans them out across a thread pool.
+ */
+
+#ifndef PIPECACHE_CORE_POINT_EVAL_HH
+#define PIPECACHE_CORE_POINT_EVAL_HH
+
+#include <vector>
+
+#include "core/tpi_model.hh"
+
+namespace pipecache::core {
+
+/** Every scalar an experiment reads off one evaluated design point. */
+struct PointMetrics
+{
+    double cpi = 0.0;
+    /** CPI contributions (additive accounting, Section 3). */
+    double branchCpi = 0.0;
+    double loadCpi = 0.0;
+    double iMissCpi = 0.0;
+    double dMissCpi = 0.0;
+
+    double l1iMissRate = 0.0;
+    double l1dMissRate = 0.0;
+
+    /** Timing side of the merit function (equation 1). */
+    double tCpuNs = 0.0;
+    double tIsideNs = 0.0;
+    double tDsideNs = 0.0;
+    double tpiNs = 0.0;
+
+    /** The TPI view of these metrics (for the optimizer). */
+    TpiResult tpi() const
+    {
+        return {cpi, tCpuNs, tIsideNs, tDsideNs, tpiNs};
+    }
+};
+
+/** Combine one CPI result with its timing result into metrics. */
+PointMetrics makeMetrics(const CpiResult &cpi, const TpiResult &tpi);
+
+/** Batch design-point evaluation, result order = input order. */
+class BatchPointEvaluator
+{
+  public:
+    virtual ~BatchPointEvaluator() = default;
+
+    virtual std::vector<PointMetrics>
+    evaluateBatch(const std::vector<DesignPoint> &points) = 0;
+};
+
+/** Single-threaded evaluator over the memoized models. */
+class SerialEvaluator : public BatchPointEvaluator
+{
+  public:
+    explicit SerialEvaluator(TpiModel &model) : model_(model) {}
+
+    std::vector<PointMetrics>
+    evaluateBatch(const std::vector<DesignPoint> &points) override;
+
+  private:
+    TpiModel &model_;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_POINT_EVAL_HH

@@ -20,21 +20,45 @@ TpiModel::cycleNs(const DesignPoint &point) const
     return timing::cpuCycleNs(params_, iside, dside);
 }
 
+namespace {
+
 TpiResult
-TpiModel::evaluate(const DesignPoint &point)
+combine(const timing::CpuTimingParams &params, const DesignPoint &point,
+        double cpi)
 {
     TpiResult result;
-    result.cpi = cpiModel_.evaluate(point).cpi();
+    result.cpi = cpi;
 
     const timing::CacheSide iside{point.l1iSizeKW, point.branchSlots,
                                   point.assoc};
     const timing::CacheSide dside{point.l1dSizeKW, point.loadSlots,
                                   point.assoc};
-    result.tIsideNs = timing::sideCycleNs(params_, iside);
-    result.tDsideNs = timing::sideCycleNs(params_, dside);
+    result.tIsideNs = timing::sideCycleNs(params, iside);
+    result.tDsideNs = timing::sideCycleNs(params, dside);
     result.tCpuNs = std::max(result.tIsideNs, result.tDsideNs);
     result.tpiNs = result.cpi * result.tCpuNs;
     return result;
+}
+
+} // namespace
+
+TpiResult
+TpiModel::evaluate(const DesignPoint &point)
+{
+    return combine(params_, point, cpiModel_.evaluate(point).cpi());
+}
+
+TpiResult
+TpiModel::evaluatePrepared(const DesignPoint &point) const
+{
+    return combine(params_, point,
+                   cpiModel_.evaluatePrepared(point).cpi());
+}
+
+TpiResult
+TpiModel::combineWithCpi(const DesignPoint &point, double cpi) const
+{
+    return combine(params_, point, cpi);
 }
 
 } // namespace pipecache::core

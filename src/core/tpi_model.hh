@@ -42,14 +42,25 @@ class TpiModel
     /** Evaluate TPI for a design point. */
     TpiResult evaluate(const DesignPoint &point);
 
+    /**
+     * Thread-safe TPI evaluation through the CPI model's prepared
+     * path (see CpiModel::evaluatePrepared). Bypasses the CPI memo.
+     */
+    TpiResult evaluatePrepared(const DesignPoint &point) const;
+
     /** Cycle time only (no simulation). */
     double cycleNs(const DesignPoint &point) const;
+
+    /** Attach the timing side to an already-simulated CPI (lets a
+     *  caller holding the CpiResult avoid a second simulation). */
+    TpiResult combineWithCpi(const DesignPoint &point, double cpi) const;
 
     const timing::CpuTimingParams &timingParams() const
     {
         return params_;
     }
     CpiModel &cpiModel() { return cpiModel_; }
+    const CpiModel &cpiModel() const { return cpiModel_; }
 
   private:
     CpiModel &cpiModel_;

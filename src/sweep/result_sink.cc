@@ -1,0 +1,152 @@
+#include "sweep/result_sink.hh"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+namespace pipecache::sweep {
+
+namespace {
+
+/** Shortest round-trip decimal form of @p v (locale-independent). */
+std::string
+fmt(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+const char *
+branchSchemeName(cpusim::BranchScheme s)
+{
+    return s == cpusim::BranchScheme::Btb ? "btb" : "squash";
+}
+
+const char *
+loadSchemeName(cpusim::LoadScheme s)
+{
+    switch (s) {
+    case cpusim::LoadScheme::Dynamic:
+        return "dynamic";
+    case cpusim::LoadScheme::Static:
+        return "static";
+    default:
+        return "none";
+    }
+}
+
+const char *
+predictSourceName(sched::PredictSource s)
+{
+    return s == sched::PredictSource::Profile ? "profile" : "btfnt";
+}
+
+void
+writeDesign(std::ostream &os, const core::DesignPoint &p)
+{
+    os << "{\"b\":" << p.branchSlots << ",\"l\":" << p.loadSlots
+       << ",\"l1i_kw\":" << p.l1iSizeKW << ",\"l1d_kw\":" << p.l1dSizeKW
+       << ",\"block_words\":" << p.blockWords << ",\"assoc\":" << p.assoc
+       << ",\"penalty\":" << p.missPenaltyCycles << ",\"branch_scheme\":\""
+       << branchSchemeName(p.branchScheme) << "\",\"load_scheme\":\""
+       << loadSchemeName(p.loadScheme) << "\",\"predict\":\""
+       << predictSourceName(p.predictSource) << "\",\"write_buffer\":"
+       << (p.writeThroughBuffer ? "true" : "false") << "}";
+}
+
+void
+writeMetrics(std::ostream &os, const core::PointMetrics &m)
+{
+    os << "{\"cpi\":" << fmt(m.cpi) << ",\"branch_cpi\":"
+       << fmt(m.branchCpi) << ",\"load_cpi\":" << fmt(m.loadCpi)
+       << ",\"imiss_cpi\":" << fmt(m.iMissCpi) << ",\"dmiss_cpi\":"
+       << fmt(m.dMissCpi) << ",\"l1i_miss_rate\":" << fmt(m.l1iMissRate)
+       << ",\"l1d_miss_rate\":" << fmt(m.l1dMissRate)
+       << ",\"t_cpu_ns\":" << fmt(m.tCpuNs) << ",\"t_iside_ns\":"
+       << fmt(m.tIsideNs) << ",\"t_dside_ns\":" << fmt(m.tDsideNs)
+       << ",\"tpi_ns\":" << fmt(m.tpiNs) << "}";
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const std::string &name,
+          const std::vector<SweepRecord> &records,
+          const SweepStats &stats, const SinkOptions &opts)
+{
+    os << "{\n"
+       << "  \"sweep\": \"" << name << "\",\n"
+       << "  \"points\": " << records.size() << ",\n"
+       << "  \"cache_hits\": " << stats.cacheHits << ",\n"
+       << "  \"cache_misses\": " << stats.cacheMisses << ",\n";
+    if (opts.includeWallTimes)
+        os << "  \"eval_wall_ms\": " << fmt(stats.evalWallMs) << ",\n";
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const SweepRecord &r = records[i];
+        os << "    {\"design\":";
+        writeDesign(os, r.point);
+        os << ",\"metrics\":";
+        writeMetrics(os, r.metrics);
+        os << ",\"cache_hit\":" << (r.cacheHit ? "true" : "false");
+        if (opts.includeWallTimes)
+            os << ",\"wall_ms\":" << fmt(r.wallMs);
+        os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
+         const SinkOptions &opts)
+{
+    os << "b,l,l1i_kw,l1d_kw,block_words,assoc,penalty,branch_scheme,"
+          "load_scheme,predict,write_buffer,cpi,branch_cpi,load_cpi,"
+          "imiss_cpi,dmiss_cpi,l1i_miss_rate,l1d_miss_rate,t_cpu_ns,"
+          "t_iside_ns,t_dside_ns,tpi_ns,cache_hit";
+    if (opts.includeWallTimes)
+        os << ",wall_ms";
+    os << "\n";
+    for (const SweepRecord &r : records) {
+        const core::DesignPoint &p = r.point;
+        const core::PointMetrics &m = r.metrics;
+        os << p.branchSlots << "," << p.loadSlots << "," << p.l1iSizeKW
+           << "," << p.l1dSizeKW << "," << p.blockWords << "," << p.assoc
+           << "," << p.missPenaltyCycles << ","
+           << branchSchemeName(p.branchScheme) << ","
+           << loadSchemeName(p.loadScheme) << ","
+           << predictSourceName(p.predictSource) << ","
+           << (p.writeThroughBuffer ? 1 : 0) << "," << fmt(m.cpi) << ","
+           << fmt(m.branchCpi) << "," << fmt(m.loadCpi) << ","
+           << fmt(m.iMissCpi) << "," << fmt(m.dMissCpi) << ","
+           << fmt(m.l1iMissRate) << "," << fmt(m.l1dMissRate) << ","
+           << fmt(m.tCpuNs) << "," << fmt(m.tIsideNs) << ","
+           << fmt(m.tDsideNs) << "," << fmt(m.tpiNs) << ","
+           << (r.cacheHit ? 1 : 0);
+        if (opts.includeWallTimes)
+            os << "," << fmt(r.wallMs);
+        os << "\n";
+    }
+}
+
+std::string
+jsonString(const std::string &name,
+           const std::vector<SweepRecord> &records,
+           const SweepStats &stats, const SinkOptions &opts)
+{
+    std::ostringstream os;
+    writeJson(os, name, records, stats, opts);
+    return os.str();
+}
+
+std::string
+csvString(const std::vector<SweepRecord> &records,
+          const SinkOptions &opts)
+{
+    std::ostringstream os;
+    writeCsv(os, records, opts);
+    return os.str();
+}
+
+} // namespace pipecache::sweep

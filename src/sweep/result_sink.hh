@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable emitters for sweep results: JSON and CSV, next to
+ * the existing TextTable path. Doubles are printed with
+ * std::to_chars shortest round-trip formatting, so serialized output
+ * is byte-identical whenever the underlying doubles are bit-identical
+ * — the property the determinism tests pin down across thread counts.
+ *
+ * Wall-clock metadata varies run to run by nature; it is therefore
+ * opt-in (SinkOptions::includeWallTimes), keeping the default output
+ * byte-stable. The cache-hit flag is deterministic (see SweepRecord)
+ * and always included.
+ */
+
+#ifndef PIPECACHE_SWEEP_RESULT_SINK_HH
+#define PIPECACHE_SWEEP_RESULT_SINK_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_engine.hh"
+
+namespace pipecache::sweep {
+
+/** Emission options shared by the JSON and CSV sinks. */
+struct SinkOptions
+{
+    /** Emit per-point and total wall times (volatile metadata). */
+    bool includeWallTimes = false;
+};
+
+/** Write one sweep as a JSON document. */
+void writeJson(std::ostream &os, const std::string &name,
+               const std::vector<SweepRecord> &records,
+               const SweepStats &stats, const SinkOptions &opts = {});
+
+/** Write one sweep as CSV (header + one row per point). */
+void writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
+              const SinkOptions &opts = {});
+
+/** writeJson into a string. */
+std::string jsonString(const std::string &name,
+                       const std::vector<SweepRecord> &records,
+                       const SweepStats &stats,
+                       const SinkOptions &opts = {});
+
+/** writeCsv into a string. */
+std::string csvString(const std::vector<SweepRecord> &records,
+                      const SinkOptions &opts = {});
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_RESULT_SINK_HH

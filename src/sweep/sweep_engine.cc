@@ -1,0 +1,141 @@
+#include "sweep/sweep_engine.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace pipecache::sweep {
+
+SweepEngine::SweepEngine(core::TpiModel &model, SweepOptions opts)
+    : model_(model), opts_(opts),
+      suiteKey_(model.cpiModel().suiteKey()), pool_(opts.threads)
+{
+    if (opts_.grain == 0)
+        opts_.grain = 1;
+}
+
+std::size_t
+SweepEngine::shardOf(const core::DesignPoint &point) const
+{
+    // Fold the suite key in so a future process-wide cache can share
+    // shards between engines bound to different suites.
+    return (core::DesignPointHash{}(point) ^ suiteKey_) % kShards;
+}
+
+bool
+SweepEngine::lookup(const core::DesignPoint &point,
+                    core::PointMetrics &out)
+{
+    Shard &shard = shards_[shardOf(point)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(point);
+    if (it == shard.map.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+SweepEngine::insert(const core::DesignPoint &point,
+                    const core::PointMetrics &metrics)
+{
+    Shard &shard = shards_[shardOf(point)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(point, metrics);
+}
+
+std::vector<SweepRecord>
+SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
+{
+    // Build the shared artifacts once, on this thread, before any
+    // worker touches the model: evaluatePrepared() is only
+    // re-entrant with the lazy caches already populated.
+    model_.cpiModel().prepare(points);
+
+    std::vector<SweepRecord> records(points.size());
+
+    // Duplicate detection in input order, so cache-hit metadata is a
+    // function of the input alone (thread-count independent).
+    struct WorkItem
+    {
+        core::DesignPoint point;
+        std::vector<std::size_t> recordIdx;
+        core::PointMetrics metrics;
+        double wallMs = 0.0;
+    };
+    std::vector<WorkItem> work;
+    std::unordered_map<core::DesignPoint, std::size_t,
+                       core::DesignPointHash> firstSeen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        records[i].point = points[i];
+        core::PointMetrics cached;
+        if (lookup(points[i], cached)) {
+            records[i].metrics = cached;
+            records[i].cacheHit = true;
+            ++stats_.cacheHits;
+            continue;
+        }
+        const auto seen = firstSeen.find(points[i]);
+        if (seen != firstSeen.end()) {
+            // Duplicate within this sweep: filled in after its first
+            // occurrence evaluates; still a hit.
+            work[seen->second].recordIdx.push_back(i);
+            records[i].cacheHit = true;
+            ++stats_.cacheHits;
+            continue;
+        }
+        firstSeen.emplace(points[i], work.size());
+        work.push_back({points[i], {i}, {}, 0.0});
+        ++stats_.cacheMisses;
+    }
+
+    // Fan the unique points out in grain-sized chunks.
+    std::vector<std::future<void>> futures;
+    for (std::size_t begin = 0; begin < work.size();
+         begin += opts_.grain) {
+        const std::size_t end =
+            std::min(begin + opts_.grain, work.size());
+        futures.push_back(pool_.submit([this, &work, begin, end]() {
+            for (std::size_t w = begin; w < end; ++w) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const core::CpiResult cpi =
+                    model_.cpiModel().evaluatePrepared(work[w].point);
+                work[w].metrics = core::makeMetrics(
+                    cpi, model_.combineWithCpi(work[w].point,
+                                               cpi.cpi()));
+                const auto t1 = std::chrono::steady_clock::now();
+                work[w].wallMs =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+            }
+        }));
+    }
+
+    // Collect; the first failed chunk's exception propagates.
+    for (auto &future : futures)
+        future.get();
+
+    for (const WorkItem &item : work) {
+        insert(item.point, item.metrics);
+        stats_.evalWallMs += item.wallMs;
+        bool first = true;
+        for (const std::size_t idx : item.recordIdx) {
+            records[idx].metrics = item.metrics;
+            records[idx].wallMs = first ? item.wallMs : 0.0;
+            first = false;
+        }
+    }
+    return records;
+}
+
+std::vector<core::PointMetrics>
+SweepEngine::evaluateBatch(const std::vector<core::DesignPoint> &points)
+{
+    std::vector<core::PointMetrics> out;
+    out.reserve(points.size());
+    for (SweepRecord &record : sweep(points))
+        out.push_back(record.metrics);
+    return out;
+}
+
+} // namespace pipecache::sweep

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The parallel design-space sweep engine.
+ *
+ * Takes a list/grid of design points plus the TPI model, partitions
+ * the points into chunks on a work-stealing thread pool, and returns
+ * records in deterministic input order regardless of thread count.
+ *
+ * A memoization cache keyed by (design point, suite configuration)
+ * persists across sweeps on the same engine, so overlapping grids
+ * (fig3 + fig4 + table6 share every point) simulate each unique point
+ * exactly once. The cache is sharded under per-shard mutexes;
+ * hit/miss counts are tracked in SweepStats. Duplicate detection runs
+ * up front on the submitting thread, which makes the per-record
+ * cache-hit flag — and therefore the serialized results — independent
+ * of the thread count.
+ */
+
+#ifndef PIPECACHE_SWEEP_SWEEP_ENGINE_HH
+#define PIPECACHE_SWEEP_SWEEP_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/point_eval.hh"
+#include "sweep/thread_pool.hh"
+
+namespace pipecache::sweep {
+
+/** Engine construction parameters. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+    /** Design points per pool task (steal granularity). */
+    std::size_t grain = 1;
+};
+
+/** One evaluated design point. */
+struct SweepRecord
+{
+    core::DesignPoint point;
+    core::PointMetrics metrics;
+    /**
+     * True when the point was served from the memo cache: either a
+     * duplicate of an earlier point in the same sweep or a point from
+     * a previous sweep on this engine. Deterministic — it depends
+     * only on the input order, never on thread scheduling.
+     */
+    bool cacheHit = false;
+    /** Evaluation wall time (0 for cache hits). Volatile metadata:
+     *  varies run to run, excluded from byte-stable output. */
+    double wallMs = 0.0;
+};
+
+/** Lifetime counters of one engine. */
+struct SweepStats
+{
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Sum of per-point evaluation wall times (CPU-parallel). */
+    double evalWallMs = 0.0;
+
+    double hitRate() const
+    {
+        const std::uint64_t total = cacheHits + cacheMisses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(cacheHits) /
+                         static_cast<double>(total);
+    }
+};
+
+/** The engine. Bound to one TpiModel (and thus one suite config). */
+class SweepEngine : public core::BatchPointEvaluator
+{
+  public:
+    explicit SweepEngine(core::TpiModel &model, SweepOptions opts = {});
+
+    /** Evaluate @p points; records come back in input order. */
+    std::vector<SweepRecord>
+    sweep(const std::vector<core::DesignPoint> &points);
+
+    /** BatchPointEvaluator: metrics only, input order. */
+    std::vector<core::PointMetrics>
+    evaluateBatch(const std::vector<core::DesignPoint> &points) override;
+
+    const SweepStats &stats() const { return stats_; }
+    std::size_t threadCount() const { return pool_.workerCount(); }
+
+    /** Key of (suite config) this engine memoizes under. */
+    std::uint64_t suiteKey() const { return suiteKey_; }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<core::DesignPoint, core::PointMetrics,
+                           core::DesignPointHash> map;
+    };
+
+    std::size_t shardOf(const core::DesignPoint &point) const;
+    bool lookup(const core::DesignPoint &point,
+                core::PointMetrics &out);
+    void insert(const core::DesignPoint &point,
+                const core::PointMetrics &metrics);
+
+    core::TpiModel &model_;
+    SweepOptions opts_;
+    std::uint64_t suiteKey_;
+    ThreadPool pool_;
+    std::array<Shard, kShards> shards_;
+    SweepStats stats_;
+};
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_SWEEP_ENGINE_HH

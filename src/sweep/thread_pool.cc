@@ -1,0 +1,108 @@
+#include "sweep/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace pipecache::sweep {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i]() { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    parkCv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+    PC_ASSERT(pending_.load() == 0,
+              "thread pool destroyed with tasks still queued");
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    PC_ASSERT(!stop_.load(std::memory_order_acquire),
+              "post() on a stopping thread pool");
+    // Round-robin the initial placement; stealing rebalances later.
+    const std::size_t idx =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    pending_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(workers_[idx]->mutex);
+        workers_[idx]->tasks.push_back(std::move(task));
+    }
+    parkCv_.notify_one();
+}
+
+bool
+ThreadPool::tryPopLocal(std::size_t self, std::function<void()> &out)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.tasks.empty())
+        return false;
+    out = std::move(w.tasks.back());
+    w.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::trySteal(std::size_t self, std::function<void()> &out)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        Worker &victim = *workers_[(self + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        out = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryPopLocal(self, task) || trySteal(self, task)) {
+            pending_.fetch_sub(1, std::memory_order_release);
+            task();
+            // A finished task may unblock waiters coordinating through
+            // futures; parked siblings recheck on the next post.
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(parkMutex_);
+        if (stop_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+        parkCv_.wait(lock, [this]() {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+} // namespace pipecache::sweep

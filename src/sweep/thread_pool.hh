@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A work-stealing thread pool for design-space sweeps.
+ *
+ * Fixed worker count, one deque per worker (owner pops LIFO from the
+ * back, thieves steal FIFO from the front), condition-variable parking
+ * when no work is available, and a draining shutdown: the destructor
+ * lets every already-posted task finish before joining the workers.
+ *
+ * Exceptions do not cross the pool boundary on their own — use
+ * submit(), which returns a std::future that rethrows the task's
+ * exception from future::get().
+ */
+
+#ifndef PIPECACHE_SWEEP_THREAD_POOL_HH
+#define PIPECACHE_SWEEP_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pipecache::sweep {
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /** @param workers Worker count; 0 means hardware concurrency. */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Drains every posted task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /** Queue a task (fire-and-forget; exceptions terminate). */
+    void post(std::function<void()> task);
+
+    /** Queue a task and get a future for its result/exception. */
+    template <typename F>
+    std::future<std::invoke_result_t<F>> submit(F &&fn)
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+  private:
+    /** One worker's deque; the owner takes the back, thieves the
+     *  front, so long chunks migrate and short ones stay hot. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool tryPopLocal(std::size_t self, std::function<void()> &out);
+    bool trySteal(std::size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex parkMutex_;
+    std::condition_variable parkCv_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_THREAD_POOL_HH

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: bit-identical determinism
+ * across thread counts, exactly-once memoized evaluation, input-order
+ * results, serial/parallel experiment parity, and the JSON/CSV sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "core/experiments.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+
+namespace pipecache::sweep {
+namespace {
+
+core::SuiteConfig
+tinySuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0; // floor: 20k insts per benchmark
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+/** A fig3-style grid at reduced size: (L1-I size × b). */
+std::vector<core::DesignPoint>
+smallGrid()
+{
+    std::vector<core::DesignPoint> points;
+    for (std::uint32_t kw : {1u, 2u, 4u}) {
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            core::DesignPoint p;
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            p.loadSlots = 0;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Compare two metric sets bit-for-bit. */
+void
+expectIdentical(const core::PointMetrics &a, const core::PointMetrics &b)
+{
+    EXPECT_EQ(bits(a.cpi), bits(b.cpi));
+    EXPECT_EQ(bits(a.branchCpi), bits(b.branchCpi));
+    EXPECT_EQ(bits(a.loadCpi), bits(b.loadCpi));
+    EXPECT_EQ(bits(a.iMissCpi), bits(b.iMissCpi));
+    EXPECT_EQ(bits(a.dMissCpi), bits(b.dMissCpi));
+    EXPECT_EQ(bits(a.l1iMissRate), bits(b.l1iMissRate));
+    EXPECT_EQ(bits(a.l1dMissRate), bits(b.l1dMissRate));
+    EXPECT_EQ(bits(a.tCpuNs), bits(b.tCpuNs));
+    EXPECT_EQ(bits(a.tIsideNs), bits(b.tIsideNs));
+    EXPECT_EQ(bits(a.tDsideNs), bits(b.tDsideNs));
+    EXPECT_EQ(bits(a.tpiNs), bits(b.tpiNs));
+}
+
+TEST(SweepEngineTest, BitIdenticalAcrossThreadCounts)
+{
+    const auto points = smallGrid();
+
+    // Fresh model per engine: nothing shared except determinism.
+    std::vector<std::vector<SweepRecord>> runs;
+    std::vector<std::string> jsons;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        SweepEngine engine(tpi, {threads, 1});
+        runs.push_back(engine.sweep(points));
+        jsons.push_back(jsonString("grid", runs.back(),
+                                   engine.stats()));
+    }
+
+    for (std::size_t run = 1; run < runs.size(); ++run) {
+        ASSERT_EQ(runs[run].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i) {
+            expectIdentical(runs[run][i].metrics, runs[0][i].metrics);
+            EXPECT_EQ(runs[run][i].cacheHit, runs[0][i].cacheHit);
+            EXPECT_EQ(runs[run][i].point, runs[0][i].point);
+        }
+        // Serialized output must be byte-identical, cache-hit
+        // metadata included (wall times are excluded by default).
+        EXPECT_EQ(jsons[run], jsons[0]);
+    }
+}
+
+TEST(SweepEngineTest, ResultsComeBackInInputOrder)
+{
+    auto points = smallGrid();
+    std::reverse(points.begin(), points.end());
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {4, 1});
+    const auto records = engine.sweep(points);
+    ASSERT_EQ(records.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(records[i].point, points[i]);
+}
+
+TEST(SweepEngineTest, RepeatedSweepIsAllHitsAndIdentical)
+{
+    const auto points = smallGrid();
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {4, 1});
+
+    const auto first = engine.sweep(points);
+    EXPECT_EQ(engine.stats().cacheMisses, points.size());
+    EXPECT_EQ(engine.stats().cacheHits, 0u);
+
+    const auto second = engine.sweep(points);
+    // 100% hits: every point served from the memo cache.
+    EXPECT_EQ(engine.stats().cacheMisses, points.size());
+    EXPECT_EQ(engine.stats().cacheHits, points.size());
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_TRUE(second[i].cacheHit);
+        expectIdentical(second[i].metrics, first[i].metrics);
+    }
+}
+
+TEST(SweepEngineTest, DuplicatesWithinOneSweepEvaluateOnce)
+{
+    auto points = smallGrid();
+    const std::size_t unique = points.size();
+    // Append the whole grid again: every duplicate is a hit.
+    auto dup = points;
+    points.insert(points.end(), dup.begin(), dup.end());
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {4, 2});
+    const auto records = engine.sweep(points);
+    EXPECT_EQ(engine.stats().cacheMisses, unique);
+    EXPECT_EQ(engine.stats().cacheHits, unique);
+    for (std::size_t i = 0; i < unique; ++i) {
+        EXPECT_FALSE(records[i].cacheHit);
+        EXPECT_TRUE(records[i + unique].cacheHit);
+        expectIdentical(records[i].metrics,
+                        records[i + unique].metrics);
+    }
+}
+
+TEST(SweepEngineTest, MatchesSerialMemoizedEvaluation)
+{
+    const auto points = smallGrid();
+
+    core::CpiModel serial_cpi(tinySuite());
+    core::TpiModel serial_tpi(serial_cpi);
+    core::SerialEvaluator serial(serial_tpi);
+    const auto serial_metrics = serial.evaluateBatch(points);
+
+    core::CpiModel par_cpi(tinySuite());
+    core::TpiModel par_tpi(par_cpi);
+    SweepEngine engine(par_tpi, {4, 1});
+    const auto par_metrics = engine.evaluateBatch(points);
+
+    ASSERT_EQ(par_metrics.size(), serial_metrics.size());
+    for (std::size_t i = 0; i < serial_metrics.size(); ++i)
+        expectIdentical(par_metrics[i], serial_metrics[i]);
+}
+
+TEST(SweepEngineTest, ExperimentsThroughEngineMatchSerial)
+{
+    core::CpiModel serial_model(tinySuite());
+    const std::string serial_fig3 =
+        core::experiments::fig3(serial_model).render();
+    const std::string serial_fig4 =
+        core::experiments::fig4(serial_model).render();
+    const std::string serial_table6 =
+        core::experiments::table6().render();
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {4, 1});
+    EXPECT_EQ(core::experiments::fig3(engine).render(), serial_fig3);
+    // fig4 shares fig3's grid: served entirely from the memo cache.
+    const std::uint64_t misses = engine.stats().cacheMisses;
+    EXPECT_EQ(core::experiments::fig4(engine).render(), serial_fig4);
+    EXPECT_EQ(engine.stats().cacheMisses, misses);
+    EXPECT_EQ(core::experiments::table6(engine).render(),
+              serial_table6);
+    EXPECT_EQ(engine.stats().cacheMisses, misses);
+}
+
+TEST(SweepEngineTest, OptimizerThroughEngineMatchesSerial)
+{
+    core::DesignPoint start;
+    start.l1iSizeKW = 2;
+    start.l1dSizeKW = 2;
+    core::OptimizerConfig config;
+    config.maxSizeKW = 8;
+    config.maxSteps = 6;
+
+    core::CpiModel serial_cpi(tinySuite());
+    core::TpiModel serial_tpi(serial_cpi);
+    core::MultilevelOptimizer serial_opt(serial_tpi, config);
+    const auto serial_steps = serial_opt.optimize(start);
+
+    core::CpiModel par_cpi(tinySuite());
+    core::TpiModel par_tpi(par_cpi);
+    core::MultilevelOptimizer par_opt(par_tpi, config);
+    SweepEngine engine(par_tpi, {4, 1});
+    par_opt.setEvaluator(&engine);
+    const auto par_steps = par_opt.optimize(start);
+
+    ASSERT_EQ(par_steps.size(), serial_steps.size());
+    for (std::size_t i = 0; i < serial_steps.size(); ++i) {
+        EXPECT_EQ(par_steps[i].point, serial_steps[i].point);
+        EXPECT_EQ(bits(par_steps[i].tpi.tpiNs),
+                  bits(serial_steps[i].tpi.tpiNs));
+        EXPECT_EQ(par_steps[i].change, serial_steps[i].change);
+    }
+}
+
+TEST(ResultSinkTest, JsonAndCsvShape)
+{
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {2, 1});
+
+    std::vector<core::DesignPoint> points(2);
+    points[1].branchSlots = 3;
+    const auto records = engine.sweep(points);
+
+    const std::string json =
+        jsonString("unit", records, engine.stats());
+    EXPECT_NE(json.find("\"sweep\": \"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"points\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_misses\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"tpi_ns\":"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit\":false"), std::string::npos);
+    // Volatile wall times stay out unless asked for.
+    EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+
+    SinkOptions with_timing;
+    with_timing.includeWallTimes = true;
+    EXPECT_NE(jsonString("unit", records, engine.stats(), with_timing)
+                  .find("\"wall_ms\":"),
+              std::string::npos);
+
+    const std::string csv = csvString(records);
+    // Header + one line per record.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_EQ(csv.compare(0, 2, "b,"), 0);
+    EXPECT_NE(csv.find(",tpi_ns,cache_hit"), std::string::npos);
+}
+
+TEST(SweepEngineTest, EvaluationErrorsPropagate)
+{
+    // An unpreparable point must surface as a panic/death, not a
+    // hang: PC_ASSERT aborts, so exercise the prepared-path guard
+    // directly (death test keeps the pool out of the forked child).
+    core::CpiModel cpi(tinySuite());
+    core::DesignPoint p;
+    EXPECT_DEATH(
+        { (void)cpi.evaluatePrepared(p); },
+        "not covered by CpiModel::prepare");
+}
+
+} // namespace
+} // namespace pipecache::sweep

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool: task completion,
+ * draining shutdown, and exception propagation through futures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sweep/thread_pool.hh"
+
+namespace pipecache::sweep {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryPostedTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.workerCount(), 4u);
+        for (int i = 0; i < 1000; ++i)
+            pool.post([&count]() {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+    } // destructor drains
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks)
+{
+    // Queue tasks faster than one slow worker can run them, then
+    // destroy the pool: every task must still execute.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.post([&count]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() -> int {
+        throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(
+        {
+            try {
+                future.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotKillWorkers)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The pool must keep serving tasks after a task threw.
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([i]() { return i; }));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInOrderOfStealing)
+{
+    // One worker, tasks posted before any can run: correctness only
+    // (no ordering guarantee is part of the contract).
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([&count]() {
+            count.fetch_add(1, std::memory_order_relaxed);
+        }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+} // namespace
+} // namespace pipecache::sweep

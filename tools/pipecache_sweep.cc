@@ -1,0 +1,312 @@
+/**
+ * @file
+ * pipecache_sweep — drive the parallel design-space sweep engine from
+ * the command line.
+ *
+ * Builds the cross product of the requested parameter ranges
+ * (branch slots × load slots × L1-I size × L1-D size × block size ×
+ * miss penalty), evaluates every point through sweep::SweepEngine on
+ * a work-stealing thread pool, and emits JSON (and optionally CSV).
+ * The default output is byte-identical across --threads values; pass
+ * --timing to add volatile wall-time metadata.
+ *
+ *   pipecache_sweep --preset paper --threads 8 --out sweep.json
+ *   pipecache_sweep --b 0:3 --isize 1,2,4,8,16,32 --scale 2000 --out -
+ *
+ * Range syntax: "lo:hi" (inclusive) or a comma-separated list.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+
+namespace {
+
+using pipecache::core::DesignPoint;
+
+struct CliOptions
+{
+    std::vector<std::uint32_t> branchSlots{0, 1, 2, 3};
+    std::vector<std::uint32_t> loadSlots{0};
+    std::vector<std::uint32_t> isizesKW{1, 2, 4, 8, 16, 32};
+    std::vector<std::uint32_t> dsizesKW{8};
+    std::vector<std::uint32_t> blockWords{4};
+    std::vector<std::uint32_t> penalties{10};
+    double scaleDivisor = 2000.0;
+    std::size_t threads = 0; // 0 = hardware concurrency
+    std::string outPath = "-";
+    std::string csvPath;
+    std::string preset;
+    bool timing = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0 << " [options]\n"
+       << "  --b RANGE        branch delay slots        (default 0:3)\n"
+       << "  --l RANGE        load delay slots          (default 0)\n"
+       << "  --isize RANGE    L1-I sizes in KW          (default "
+          "1,2,4,8,16,32)\n"
+       << "  --dsize RANGE    L1-D sizes in KW          (default 8)\n"
+       << "  --block RANGE    block sizes in words      (default 4)\n"
+       << "  --penalty RANGE  miss penalties in cycles  (default 10)\n"
+       << "  --scale N        suite scale divisor >= 1  (default 2000)\n"
+       << "  --threads N      worker threads, 0 = cores (default 0)\n"
+       << "  --out PATH       JSON output, '-' = stdout (default -)\n"
+       << "  --csv PATH       also write CSV\n"
+       << "  --preset NAME    fig3 | fig4 | table6 | paper (the shared\n"
+       << "                   size x depth grid behind all three)\n"
+       << "  --timing         include volatile wall-time metadata\n"
+       << "  --quiet          no summary on stderr\n"
+       << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n";
+    std::exit(code);
+}
+
+/** strtoul with full-token validation. */
+bool
+parseU32(const std::string &tok, std::uint32_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (errno != 0 || end == tok.c_str() || *end != '\0' ||
+        v > 0xffffffffUL) {
+        return false;
+    }
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Parse "lo:hi" or "a,b,c" into a list. */
+bool
+parseRange(const std::string &spec, std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        if (!parseU32(spec.substr(0, colon), lo) ||
+            !parseU32(spec.substr(colon + 1), hi) || hi < lo) {
+            return false;
+        }
+        for (std::uint32_t v = lo; v <= hi; ++v)
+            out.push_back(v);
+        return true;
+    }
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const auto comma = spec.find(',', begin);
+        const auto end =
+            comma == std::string::npos ? spec.size() : comma;
+        std::uint32_t v = 0;
+        if (!parseU32(spec.substr(begin, end - begin), v))
+            return false;
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return !out.empty();
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            usage(argv[0], 2);
+        }
+        return argv[++i];
+    };
+    auto rangeArg = [&](int &i, std::vector<std::uint32_t> &out) {
+        const std::string spec = next(i);
+        if (!parseRange(spec, out)) {
+            std::cerr << argv[0] << ": bad range '" << spec << "'\n";
+            usage(argv[0], 2);
+        }
+    };
+    // Cache geometry flags: the simulator asserts on sizes that are
+    // not powers of two, so reject them here with a usage error.
+    auto pow2Arg = [&](int &i, std::vector<std::uint32_t> &out) {
+        const std::string flag = argv[i];
+        rangeArg(i, out);
+        for (const std::uint32_t v : out) {
+            if (v == 0 || (v & (v - 1)) != 0) {
+                std::cerr << argv[0] << ": bad " << flag << " value "
+                          << v << " (need a nonzero power of two)\n";
+                usage(argv[0], 2);
+            }
+        }
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--b") {
+            rangeArg(i, opts.branchSlots);
+        } else if (arg == "--l") {
+            rangeArg(i, opts.loadSlots);
+        } else if (arg == "--isize") {
+            pow2Arg(i, opts.isizesKW);
+        } else if (arg == "--dsize") {
+            pow2Arg(i, opts.dsizesKW);
+        } else if (arg == "--block") {
+            pow2Arg(i, opts.blockWords);
+        } else if (arg == "--penalty") {
+            rangeArg(i, opts.penalties);
+        } else if (arg == "--scale") {
+            const std::string spec = next(i);
+            char *end = nullptr;
+            opts.scaleDivisor = std::strtod(spec.c_str(), &end);
+            if (end == spec.c_str() || *end != '\0' ||
+                opts.scaleDivisor < 1.0) {
+                std::cerr << argv[0] << ": bad --scale '" << spec
+                          << "' (need a number >= 1)\n";
+                usage(argv[0], 2);
+            }
+        } else if (arg == "--threads") {
+            std::uint32_t v = 0;
+            if (!parseU32(next(i), v)) {
+                std::cerr << argv[0] << ": bad --threads\n";
+                usage(argv[0], 2);
+            }
+            opts.threads = v;
+        } else if (arg == "--out") {
+            opts.outPath = next(i);
+        } else if (arg == "--csv") {
+            opts.csvPath = next(i);
+        } else if (arg == "--preset") {
+            opts.preset = next(i);
+        } else if (arg == "--timing") {
+            opts.timing = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::cerr << argv[0] << ": unknown option '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+std::vector<DesignPoint>
+buildGrid(const CliOptions &opts)
+{
+    // The presets reuse the experiment registry's shared grid, so a
+    // preset sweep is point-for-point the one figs 3/4 and Table 6
+    // read (and overlapping presets hit the engine's memo cache).
+    if (!opts.preset.empty()) {
+        if (opts.preset == "fig3" || opts.preset == "fig4" ||
+            opts.preset == "table6" || opts.preset == "paper") {
+            return pipecache::core::experiments::sizeDepthGrid(
+                opts.blockWords.front(), opts.penalties.front());
+        }
+        std::cerr << "unknown preset '" << opts.preset << "'\n";
+        std::exit(2);
+    }
+
+    std::vector<DesignPoint> points;
+    for (const std::uint32_t b : opts.branchSlots)
+        for (const std::uint32_t l : opts.loadSlots)
+            for (const std::uint32_t ikw : opts.isizesKW)
+                for (const std::uint32_t dkw : opts.dsizesKW)
+                    for (const std::uint32_t bw : opts.blockWords)
+                        for (const std::uint32_t pen : opts.penalties) {
+                            DesignPoint p;
+                            p.branchSlots = b;
+                            p.loadSlots = l;
+                            p.l1iSizeKW = ikw;
+                            p.l1dSizeKW = dkw;
+                            p.blockWords = bw;
+                            p.missPenaltyCycles = pen;
+                            points.push_back(p);
+                        }
+    return points;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+
+    const CliOptions opts = parseArgs(argc, argv);
+    const std::vector<DesignPoint> points = buildGrid(opts);
+    if (points.empty()) {
+        std::cerr << "empty sweep grid\n";
+        return 2;
+    }
+
+    core::SuiteConfig suite;
+    suite.scaleDivisor = opts.scaleDivisor;
+    core::CpiModel cpi(suite);
+    core::TpiModel tpi(cpi);
+
+    sweep::SweepOptions engine_opts;
+    engine_opts.threads = opts.threads;
+    sweep::SweepEngine engine(tpi, engine_opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sweep::SweepRecord> records =
+        engine.sweep(points);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    sweep::SinkOptions sink;
+    sink.includeWallTimes = opts.timing;
+    const std::string name =
+        opts.preset.empty() ? "grid" : opts.preset;
+
+    if (opts.outPath == "-") {
+        sweep::writeJson(std::cout, name, records, engine.stats(),
+                         sink);
+    } else {
+        std::ofstream out(opts.outPath);
+        if (!out) {
+            std::cerr << "cannot open " << opts.outPath << "\n";
+            return 1;
+        }
+        sweep::writeJson(out, name, records, engine.stats(), sink);
+    }
+    if (!opts.csvPath.empty()) {
+        std::ofstream out(opts.csvPath);
+        if (!out) {
+            std::cerr << "cannot open " << opts.csvPath << "\n";
+            return 1;
+        }
+        sweep::writeCsv(out, records, sink);
+    }
+
+    if (!opts.quiet) {
+        const auto &stats = engine.stats();
+        std::cerr << "swept " << records.size() << " points ("
+                  << stats.cacheMisses << " evaluated, "
+                  << stats.cacheHits << " memo hits) on "
+                  << engine.threadCount() << " threads in " << wall_ms
+                  << " ms\n";
+    }
+    return 0;
+}

@@ -111,9 +111,20 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         }));
     }
 
-    // Collect; the first failed chunk's exception propagates.
-    for (auto &future : futures)
-        future.get();
+    // Collect. Drain EVERY future before propagating a failure:
+    // rethrowing early would unwind `work` and `futures` while
+    // surviving chunks still write through their &work captures.
+    std::exception_ptr firstError;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
 
     for (const WorkItem &item : work) {
         insert(item.point, item.metrics);

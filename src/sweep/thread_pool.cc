@@ -41,7 +41,14 @@ ThreadPool::post(std::function<void()> task)
     const std::size_t idx =
         nextQueue_.fetch_add(1, std::memory_order_relaxed) %
         workers_.size();
-    pending_.fetch_add(1, std::memory_order_release);
+    // Publish the increment under parkMutex_ so it cannot land between
+    // a parking worker's predicate check and its block in wait() — the
+    // classic lost wakeup. Incrementing before the push keeps pending_
+    // from transiently underflowing when a worker pops and decrements.
+    {
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
     {
         std::lock_guard<std::mutex> lock(workers_[idx]->mutex);
         workers_[idx]->tasks.push_back(std::move(task));

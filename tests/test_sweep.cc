@@ -10,10 +10,13 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "core/experiments.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
+#include "util/logging.hh"
 
 namespace pipecache::sweep {
 namespace {
@@ -258,6 +261,35 @@ TEST(ResultSinkTest, JsonAndCsvShape)
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
     EXPECT_EQ(csv.compare(0, 2, "b,"), 0);
     EXPECT_NE(csv.find(",tpi_ns,cache_hit"), std::string::npos);
+}
+
+TEST(SweepEngineTest, FailedChunkDrainsBeforeRethrow)
+{
+    // One bad point (non-power-of-two L1-I size) panics inside its
+    // worker; with a test sink installed that panic throws instead of
+    // aborting. sweep() must drain every other chunk before
+    // propagating — rethrowing early would unwind the local work
+    // vector while surviving workers still write through it (caught
+    // by the sanitize build), and must leave the engine usable.
+    setLogSink([](const std::string &) {});
+    auto points = smallGrid();
+    core::DesignPoint bad;
+    bad.l1iSizeKW = 3;
+    // Bad point first: its chunk fails (fast — the cache constructor
+    // panics immediately) while the good chunks are still in flight,
+    // which is exactly when an early rethrow would free `work` under
+    // the surviving workers.
+    points.insert(points.begin(), bad);
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepEngine engine(tpi, {4, 1});
+    EXPECT_THROW(engine.sweep(points), std::logic_error);
+
+    // Workers survive a throwing chunk; a clean sweep still runs.
+    const auto records = engine.sweep(smallGrid());
+    EXPECT_EQ(records.size(), smallGrid().size());
+    setLogSink(nullptr);
 }
 
 TEST(SweepEngineTest, EvaluationErrorsPropagate)

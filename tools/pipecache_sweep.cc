@@ -34,6 +34,10 @@ namespace {
 
 using pipecache::core::DesignPoint;
 
+/** Upper bound on --threads: well past any machine this runs on, but
+ *  low enough that a typo can't exhaust the OS spawning std::threads. */
+constexpr std::uint32_t kMaxThreads = 512;
+
 struct CliOptions
 {
     std::vector<std::uint32_t> branchSlots{0, 1, 2, 3};
@@ -49,6 +53,12 @@ struct CliOptions
     std::string preset;
     bool timing = false;
     bool quiet = false;
+    // Range flags given explicitly, so --preset can reject the ones it
+    // would otherwise silently ignore.
+    bool bSet = false;
+    bool lSet = false;
+    bool isizeSet = false;
+    bool dsizeSet = false;
 };
 
 [[noreturn]] void
@@ -68,7 +78,9 @@ usage(const char *argv0, int code)
        << "  --out PATH       JSON output, '-' = stdout (default -)\n"
        << "  --csv PATH       also write CSV\n"
        << "  --preset NAME    fig3 | fig4 | table6 | paper (the shared\n"
-       << "                   size x depth grid behind all three)\n"
+       << "                   size x depth grid behind all three;\n"
+       << "                   honors single --block/--penalty values,\n"
+       << "                   conflicts with the other range flags)\n"
        << "  --timing         include volatile wall-time metadata\n"
        << "  --quiet          no summary on stderr\n"
        << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n";
@@ -164,12 +176,16 @@ parseArgs(int argc, char **argv)
             usage(argv[0], 0);
         } else if (arg == "--b") {
             rangeArg(i, opts.branchSlots);
+            opts.bSet = true;
         } else if (arg == "--l") {
             rangeArg(i, opts.loadSlots);
+            opts.lSet = true;
         } else if (arg == "--isize") {
             pow2Arg(i, opts.isizesKW);
+            opts.isizeSet = true;
         } else if (arg == "--dsize") {
             pow2Arg(i, opts.dsizesKW);
+            opts.dsizeSet = true;
         } else if (arg == "--block") {
             pow2Arg(i, opts.blockWords);
         } else if (arg == "--penalty") {
@@ -186,8 +202,9 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--threads") {
             std::uint32_t v = 0;
-            if (!parseU32(next(i), v)) {
-                std::cerr << argv[0] << ": bad --threads\n";
+            if (!parseU32(next(i), v) || v > kMaxThreads) {
+                std::cerr << argv[0] << ": bad --threads (need 0.."
+                          << kMaxThreads << ")\n";
                 usage(argv[0], 2);
             }
             opts.threads = v;
@@ -204,6 +221,22 @@ parseArgs(int argc, char **argv)
         } else {
             std::cerr << argv[0] << ": unknown option '" << arg
                       << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    if (!opts.preset.empty()) {
+        // The presets define their own grid; a range flag they would
+        // silently ignore is a usage error, not a no-op.
+        if (opts.bSet || opts.lSet || opts.isizeSet || opts.dsizeSet) {
+            std::cerr << argv[0]
+                      << ": --preset defines its own grid and cannot "
+                         "be combined with --b/--l/--isize/--dsize\n";
+            usage(argv[0], 2);
+        }
+        if (opts.blockWords.size() > 1 || opts.penalties.size() > 1) {
+            std::cerr << argv[0]
+                      << ": --preset takes a single --block/--penalty "
+                         "value, not a range\n";
             usage(argv[0], 2);
         }
     }

@@ -15,12 +15,17 @@
 #include <iostream>
 
 #include "core/experiments.hh"
+#include "obs/env.hh"
 
 namespace pipecache::bench {
 
 inline core::SuiteConfig
 suiteFromArgs(int argc, char **argv, double default_scale = 200.0)
 {
+    // Every bench funnels through here, so this one call gives them
+    // all PIPECACHE_STATS/PIPECACHE_TRACE/PIPECACHE_STATS_3C output
+    // without per-binary flag plumbing.
+    obs::initFromEnv();
     core::SuiteConfig config;
     config.scaleDivisor = default_scale;
     if (argc > 1) {

@@ -10,7 +10,9 @@ main(int argc, char **argv)
     using namespace pipecache;
     core::CpiModel model(bench::suiteFromArgs(argc, argv));
     core::TpiModel tpi(model);
-    sweep::SweepEngine engine(tpi, {bench::threadsFromEnv(), 1});
+    sweep::SweepOptions opts;
+    opts.threads = bench::threadsFromEnv();
+    sweep::SweepEngine engine(tpi, opts);
     std::cout << core::experiments::fig4(engine).render();
     return 0;
 }

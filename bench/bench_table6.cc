@@ -18,7 +18,9 @@ main(int argc, char **argv)
     }
     core::CpiModel model(bench::suiteFromArgs(argc, argv));
     core::TpiModel tpi(model);
-    sweep::SweepEngine engine(tpi, {bench::threadsFromEnv(), 1});
+    sweep::SweepOptions opts;
+    opts.threads = bench::threadsFromEnv();
+    sweep::SweepEngine engine(tpi, opts);
     std::cout << core::experiments::table6(engine).render();
     return 0;
 }

@@ -1,5 +1,8 @@
 #include "cache/hierarchy.hh"
 
+#include <string>
+
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace pipecache::cache {
@@ -12,6 +15,12 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
     } else {
         PC_ASSERT(*config_.flatPenalty >= 1,
                   "flat penalty must be >= 1 cycle");
+    }
+    if (config_.classify3C) {
+        classifyI_ = std::make_unique<ThreeCClassifier>(
+            config_.l1i.sizeBytes, config_.l1i.blockBytes);
+        classifyD_ = std::make_unique<ThreeCClassifier>(
+            config_.l1d.sizeBytes, config_.l1d.blockBytes);
     }
 }
 
@@ -32,7 +41,10 @@ CacheHierarchy::missCycles(Addr addr, bool write)
 std::uint32_t
 CacheHierarchy::accessInst(Addr addr)
 {
-    if (l1i_.access(addr, false))
+    const bool hit = l1i_.access(addr, false);
+    if (classifyI_)
+        classifyI_->classify(addr, hit);
+    if (hit)
         return 0;
     const std::uint32_t stall = missCycles(addr, false);
     stats_.l1iStallCycles += stall;
@@ -42,7 +54,10 @@ CacheHierarchy::accessInst(Addr addr)
 std::uint32_t
 CacheHierarchy::accessData(Addr addr, bool write)
 {
-    if (l1d_.access(addr, write))
+    const bool hit = l1d_.access(addr, write);
+    if (classifyD_)
+        classifyD_->classify(addr, hit);
+    if (hit)
         return 0;
     const std::uint32_t stall = missCycles(addr, write);
     stats_.l1dStallCycles += stall;
@@ -52,11 +67,70 @@ CacheHierarchy::accessData(Addr addr, bool write)
 void
 CacheHierarchy::accessDataBuffered(Addr addr)
 {
-    l1d_.access(addr, true);
+    const bool hit = l1d_.access(addr, true);
+    if (classifyD_)
+        classifyD_->classify(addr, hit);
     if (l2_) {
         // The buffered write still updates L2 (write-through point).
         l2_->access(addr, true);
     }
+}
+
+namespace {
+
+void
+publishCache(obs::StatsRegistry &reg, const std::string &prefix,
+             const CacheStats &s)
+{
+    using obs::StatKind;
+    reg.addCounter(prefix + ".reads", "read accesses",
+                   StatKind::Deterministic, s.reads);
+    reg.addCounter(prefix + ".writes", "write accesses",
+                   StatKind::Deterministic, s.writes);
+    reg.addCounter(prefix + ".read_misses", "read misses",
+                   StatKind::Deterministic, s.readMisses);
+    reg.addCounter(prefix + ".write_misses", "write misses",
+                   StatKind::Deterministic, s.writeMisses);
+    reg.addCounter(prefix + ".evictions", "block evictions",
+                   StatKind::Deterministic, s.evictions);
+    reg.addCounter(prefix + ".dirty_evictions", "dirty block evictions",
+                   StatKind::Deterministic, s.dirtyEvictions);
+}
+
+void
+publishThreeC(obs::StatsRegistry &reg, const std::string &prefix,
+              const ThreeCStats &s)
+{
+    using obs::StatKind;
+    reg.addCounter(prefix + ".miss.compulsory", "3C compulsory misses",
+                   StatKind::Deterministic, s.compulsory);
+    reg.addCounter(prefix + ".miss.capacity", "3C capacity misses",
+                   StatKind::Deterministic, s.capacity);
+    reg.addCounter(prefix + ".miss.conflict", "3C conflict misses",
+                   StatKind::Deterministic, s.conflict);
+}
+
+} // namespace
+
+void
+CacheHierarchy::publishStats(obs::StatsRegistry &reg) const
+{
+    using obs::StatKind;
+    publishCache(reg, "cache.l1i", l1i_.stats());
+    publishCache(reg, "cache.l1d", l1d_.stats());
+    reg.addCounter("cache.l1i.stall_cycles", "I-fetch miss stall cycles",
+                   StatKind::Deterministic, stats_.l1iStallCycles);
+    reg.addCounter("cache.l1d.stall_cycles", "data miss stall cycles",
+                   StatKind::Deterministic, stats_.l1dStallCycles);
+    if (l2_) {
+        publishCache(reg, "cache.l2", l2_->stats());
+        reg.addCounter("cache.l2.misses", "L2 misses (memory refills)",
+                       StatKind::Deterministic, stats_.l2Misses);
+    }
+    if (classifyI_)
+        publishThreeC(reg, "cache.l1i", classifyI_->stats());
+    if (classifyD_)
+        publishThreeC(reg, "cache.l1d", classifyD_->stats());
 }
 
 void

@@ -22,7 +22,12 @@
 
 #include "cache/cache.hh"
 #include "cache/memory.hh"
+#include "cache/three_c.hh"
 #include "util/units.hh"
+
+namespace pipecache::obs {
+class StatsRegistry;
+} // namespace pipecache::obs
 
 namespace pipecache::cache {
 
@@ -50,6 +55,14 @@ struct HierarchyConfig
     std::uint32_t l2HitCycles = 10;
     /** Additional cycles for an L2 miss (memory refill). */
     std::uint32_t memoryCycles = 40;
+
+    /**
+     * Run 3C (compulsory/capacity/conflict) classifiers alongside the
+     * L1s. Passive — simulated results are unchanged — but costs a
+     * fully-associative shadow lookup per access, so it is off unless
+     * the observability layer asks (obs::classify3CEnabled()).
+     */
+    bool classify3C = false;
 };
 
 /** Per-side stall accounting. */
@@ -88,6 +101,24 @@ class CacheHierarchy
     const HierarchyStats &stats() const { return stats_; }
     const HierarchyConfig &config() const { return config_; }
 
+    /** 3C counters for the L1s; null unless config.classify3C. */
+    const ThreeCStats *l1iThreeC() const
+    {
+        return classifyI_ ? &classifyI_->stats() : nullptr;
+    }
+    const ThreeCStats *l1dThreeC() const
+    {
+        return classifyD_ ? &classifyD_->stats() : nullptr;
+    }
+
+    /**
+     * Publish accumulated counters into @p reg under `cache.l1i.*`,
+     * `cache.l1d.*` and `cache.l2.*`. Call once per finished
+     * simulation; deltas are the full lifetime totals of this
+     * hierarchy instance.
+     */
+    void publishStats(obs::StatsRegistry &reg) const;
+
     /** Invalidate all levels (keeps statistics). */
     void flush();
 
@@ -98,6 +129,8 @@ class CacheHierarchy
     Cache l1i_;
     Cache l1d_;
     std::unique_ptr<Cache> l2_;
+    std::unique_ptr<ThreeCClassifier> classifyI_;
+    std::unique_ptr<ThreeCClassifier> classifyD_;
     HierarchyStats stats_;
 };
 

@@ -4,16 +4,17 @@
 
 namespace pipecache::cache {
 
-ThreeCCache::ThreeCCache(const CacheConfig &config) : cache_(config)
+ThreeCClassifier::ThreeCClassifier(std::uint64_t size_bytes,
+                                   std::uint32_t block_bytes)
 {
-    blockShift_ = floorLog2(config.blockBytes);
-    shadowCapacity_ =
-        static_cast<std::size_t>(config.sizeBytes / config.blockBytes);
+    PC_ASSERT(isPowerOfTwo(block_bytes), "bad shadow block size");
+    blockShift_ = floorLog2(block_bytes);
+    shadowCapacity_ = static_cast<std::size_t>(size_bytes / block_bytes);
     PC_ASSERT(shadowCapacity_ >= 1, "shadow with no capacity");
 }
 
 bool
-ThreeCCache::shadowAccess(Addr block)
+ThreeCClassifier::shadowAccess(Addr block)
 {
     auto it = shadowMap_.find(block);
     if (it != shadowMap_.end()) {
@@ -32,12 +33,11 @@ ThreeCCache::shadowAccess(Addr block)
 }
 
 MissClass
-ThreeCCache::access(Addr addr, bool write)
+ThreeCClassifier::classify(Addr addr, bool real_hit)
 {
     ++stats_.accesses;
     const Addr block = addr >> blockShift_;
 
-    const bool real_hit = cache_.access(addr, write);
     const bool shadow_hit = shadowAccess(block);
     const bool first_touch = touched_.insert(block).second;
 
@@ -54,6 +54,17 @@ ThreeCCache::access(Addr addr, bool write)
     }
     ++stats_.conflict;
     return MissClass::Conflict;
+}
+
+ThreeCCache::ThreeCCache(const CacheConfig &config)
+    : cache_(config), classifier_(config.sizeBytes, config.blockBytes)
+{
+}
+
+MissClass
+ThreeCCache::access(Addr addr, bool write)
+{
+    return classifier_.classify(addr, cache_.access(addr, write));
 }
 
 } // namespace pipecache::cache

@@ -57,25 +57,29 @@ struct ThreeCStats
 };
 
 /**
- * A cache wrapped with a fully-associative LRU shadow of the same
- * capacity plus a first-touch set; classifies every access.
+ * The classification machinery on its own: a fully-associative LRU
+ * shadow of the real cache's capacity plus a first-touch set. Feed it
+ * every access along with the real cache's hit/miss outcome and it
+ * assigns the 3C class. Owning no cache of its own, it can ride
+ * alongside any existing cache (CacheHierarchy uses it for the
+ * observability layer's classified miss counters).
  */
-class ThreeCCache
+class ThreeCClassifier
 {
   public:
-    explicit ThreeCCache(const CacheConfig &config);
+    /** Shadow geometry mirrors the real cache: @p size_bytes capacity
+     *  in @p block_bytes blocks. */
+    ThreeCClassifier(std::uint64_t size_bytes, std::uint32_t block_bytes);
 
-    /** Access and classify. */
-    MissClass access(Addr addr, bool write);
+    /** Classify one access whose real-cache outcome was @p real_hit. */
+    MissClass classify(Addr addr, bool real_hit);
 
     const ThreeCStats &stats() const { return stats_; }
-    const Cache &cache() const { return cache_; }
 
   private:
     /** Fully-associative LRU over block addresses; true on hit. */
     bool shadowAccess(Addr block);
 
-    Cache cache_;
     ThreeCStats stats_;
 
     std::uint64_t blockShift_;
@@ -85,6 +89,25 @@ class ThreeCCache
     std::unordered_map<Addr, std::list<Addr>::iterator> shadowMap_;
     /** Every block ever touched. */
     std::unordered_set<Addr> touched_;
+};
+
+/**
+ * A cache bundled with its classifier; classifies every access.
+ */
+class ThreeCCache
+{
+  public:
+    explicit ThreeCCache(const CacheConfig &config);
+
+    /** Access and classify. */
+    MissClass access(Addr addr, bool write);
+
+    const ThreeCStats &stats() const { return classifier_.stats(); }
+    const Cache &cache() const { return cache_; }
+
+  private:
+    Cache cache_;
+    ThreeCClassifier classifier_;
 };
 
 } // namespace pipecache::cache

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace pipecache::core {
@@ -178,7 +179,9 @@ CpiModel::simulate(const DesignPoint &point) const
         workloads.push_back(w);
     }
 
-    cache::CacheHierarchy hierarchy(point.hierarchyConfig());
+    cache::HierarchyConfig hcfg = point.hierarchyConfig();
+    hcfg.classify3C = obs::classify3CEnabled();
+    cache::CacheHierarchy hierarchy(hcfg);
     cpusim::CpiEngine engine(point.engineConfig(), hierarchy,
                              std::move(workloads));
     engine.run(*schedule_);
@@ -191,6 +194,13 @@ CpiModel::simulate(const DesignPoint &point) const
     result.l1d = hierarchy.l1d().stats();
     if (engine.btb())
         result.btb = engine.btb()->stats();
+
+    // Publish once per evaluated design point: integer contributions
+    // summed commutatively across per-thread shards, so the aggregate
+    // is the same whatever the sweep's thread count.
+    auto &reg = obs::StatsRegistry::global();
+    hierarchy.publishStats(reg);
+    engine.publishStats(reg);
     return result;
 }
 

@@ -1,5 +1,6 @@
 #include "cpusim/cpi_engine.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace pipecache::cpusim {
@@ -311,6 +312,84 @@ CpiEngine::aggregate() const
         total.add(ctx.counts);
     }
     return total;
+}
+
+void
+CpiEngine::publishStats(obs::StatsRegistry &reg) const
+{
+    using obs::StatKind;
+    const CpiBreakdown agg = aggregate();
+    reg.addCounter("cpusim.insts.useful", "useful instructions retired",
+                   StatKind::Deterministic, agg.usefulInsts);
+    reg.addCounter("cpusim.fetches", "instruction fetches",
+                   StatKind::Deterministic, agg.fetches);
+    reg.addCounter("cpusim.branch.ctis", "control-transfer instructions",
+                   StatKind::Deterministic, agg.ctis);
+    reg.addCounter("cpusim.branch.wasted_fetches",
+                   "squashed/noop delay-slot fetches",
+                   StatKind::Deterministic, agg.branchWastedFetches);
+    reg.addCounter("cpusim.branch.btb_penalty_cycles",
+                   "BTB mispredict/fill stall cycles",
+                   StatKind::Deterministic, agg.btbPenaltyCycles);
+    reg.addCounter("cpusim.branch.pred_taken",
+                   "CTIs statically predicted taken",
+                   StatKind::Deterministic, agg.predTakenCtis);
+    reg.addCounter("cpusim.branch.pred_taken_correct",
+                   "correct taken predictions",
+                   StatKind::Deterministic, agg.predTakenCorrect);
+    reg.addCounter("cpusim.branch.pred_not_taken",
+                   "CTIs statically predicted not taken",
+                   StatKind::Deterministic, agg.predNotTakenCtis);
+    reg.addCounter("cpusim.branch.pred_not_taken_correct",
+                   "correct not-taken predictions",
+                   StatKind::Deterministic, agg.predNotTakenCorrect);
+    reg.addCounter("cpusim.load.stall_cycles", "load-delay stall cycles",
+                   StatKind::Deterministic, agg.loadStallCycles);
+
+    if (btb_) {
+        const cache::BtbStats &b = btb_->stats();
+        reg.addCounter("cpusim.btb.lookups", "BTB lookups",
+                       StatKind::Deterministic, b.lookups);
+        reg.addCounter("cpusim.btb.hits", "BTB hits",
+                       StatKind::Deterministic, b.hits);
+        reg.addCounter("cpusim.btb.mispredicts",
+                       "BTB mispredictions (any cause)",
+                       StatKind::Deterministic, b.mispredicts());
+        reg.addCounter("cpusim.btb.allocations", "BTB entry allocations",
+                       StatKind::Deterministic, b.allocations);
+    }
+
+    sched::LoadDelayStats loads;
+    WriteBufferStats wbuf;
+    bool have_wbuf = false;
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+        loads.merge(contexts_[i].tracker.stats());
+        if (const WriteBufferStats *s = writeBufferStats(i)) {
+            have_wbuf = true;
+            wbuf.stores += s->stores;
+            wbuf.stallCycles += s->stallCycles;
+            wbuf.fullEvents += s->fullEvents;
+        }
+    }
+    reg.addCounter("cpusim.load.consumed", "loads whose result was read",
+                   StatKind::Deterministic, loads.consumedLoads);
+    reg.addCounter("cpusim.load.dead", "loads whose result was never read",
+                   StatKind::Deterministic, loads.deadLoads);
+    reg.mergeHistogram("cpusim.load.e_static",
+                       "static (in-block) load independence distance",
+                       StatKind::Deterministic, loads.eStatic);
+    reg.mergeHistogram("cpusim.load.e_dynamic",
+                       "dynamic load independence distance",
+                       StatKind::Deterministic, loads.eDynamic);
+    if (have_wbuf) {
+        reg.addCounter("cpusim.wbuf.stores", "stores retired via buffer",
+                       StatKind::Deterministic, wbuf.stores);
+        reg.addCounter("cpusim.wbuf.stall_cycles",
+                       "buffer-full stall cycles",
+                       StatKind::Deterministic, wbuf.stallCycles);
+        reg.addCounter("cpusim.wbuf.full_events", "buffer-full events",
+                       StatKind::Deterministic, wbuf.fullEvents);
+    }
 }
 
 } // namespace pipecache::cpusim

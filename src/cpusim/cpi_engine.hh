@@ -37,6 +37,10 @@
 #include "sched/translation.hh"
 #include "trace/multiprog.hh"
 
+namespace pipecache::obs {
+class StatsRegistry;
+} // namespace pipecache::obs
+
 namespace pipecache::cpusim {
 
 /** Pipeline/scheme parameters of one simulated design. */
@@ -137,6 +141,13 @@ class CpiEngine
 
     /** The BTB (null under the squashing scheme). */
     const cache::BranchTargetBuffer *btb() const { return btb_.get(); }
+
+    /**
+     * Publish accumulated counters into @p reg under `cpusim.*`
+     * (aggregate breakdown, BTB, write buffer, load-delay
+     * distributions). Call once after run()/runAll().
+     */
+    void publishStats(obs::StatsRegistry &reg) const;
 
     std::size_t numWorkloads() const { return workloads_.size(); }
 

@@ -1,0 +1,85 @@
+#include "obs/env.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+namespace pipecache::obs {
+
+namespace {
+
+const char *
+nonEmptyEnv(const char *name)
+{
+    const char *value = std::getenv(name);
+    return (value != nullptr && value[0] != '\0') ? value : nullptr;
+}
+
+void
+dumpAtExit()
+{
+    if (const char *path = envStatsPath()) {
+        std::ofstream out(path);
+        if (out) {
+            DumpOptions opts;
+            opts.includeVolatile = true;
+            StatsRegistry::global().dumpJson(out, opts);
+        } else {
+            warn("cannot write PIPECACHE_STATS file ", path);
+        }
+    }
+    if (const char *path = envTracePath()) {
+        std::ofstream out(path);
+        if (out)
+            Tracer::global().write(out);
+        else
+            warn("cannot write PIPECACHE_TRACE file ", path);
+    }
+}
+
+} // namespace
+
+const char *
+envStatsPath()
+{
+    return nonEmptyEnv("PIPECACHE_STATS");
+}
+
+const char *
+envTracePath()
+{
+    return nonEmptyEnv("PIPECACHE_TRACE");
+}
+
+bool
+env3CEnabled()
+{
+    const char *value = nonEmptyEnv("PIPECACHE_STATS_3C");
+    return value != nullptr && std::strcmp(value, "0") != 0;
+}
+
+void
+initFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, []() {
+        if (env3CEnabled())
+            setClassify3C(true);
+        if (envStatsPath() == nullptr && envTracePath() == nullptr)
+            return;
+        // Touch both singletons now so they are constructed before
+        // the atexit registration and therefore outlive the handler.
+        StatsRegistry::global();
+        Tracer::global();
+        if (envTracePath() != nullptr)
+            Tracer::global().enable();
+        std::atexit(dumpAtExit);
+    });
+}
+
+} // namespace pipecache::obs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Process-level observability wiring from the environment.
+ *
+ *   PIPECACHE_STATS=<path>    dump the global StatsRegistry (JSON,
+ *                             volatile section included) to <path> at
+ *                             exit
+ *   PIPECACHE_TRACE=<path>    enable the global Tracer and write the
+ *                             trace JSON to <path> at exit
+ *   PIPECACHE_STATS_3C=1      enable 3C miss classification
+ *
+ * `pipecache_sweep` reads the same variables itself as defaults for
+ * its --stats-out/--trace-out flags and dumps explicitly; the atexit
+ * path here is for the bench binaries (wired through
+ * bench::suiteFromArgs), which gain stats/trace output without any
+ * per-binary flag plumbing.
+ */
+
+#ifndef PIPECACHE_OBS_ENV_HH
+#define PIPECACHE_OBS_ENV_HH
+
+namespace pipecache::obs {
+
+/** $PIPECACHE_STATS, or nullptr when unset/empty. */
+const char *envStatsPath();
+
+/** $PIPECACHE_TRACE, or nullptr when unset/empty. */
+const char *envTracePath();
+
+/** True when $PIPECACHE_STATS_3C is set to anything but "" or "0". */
+bool env3CEnabled();
+
+/**
+ * One-shot setup from the environment: applies env3CEnabled(),
+ * enables the tracer when a trace path is set, and registers an
+ * atexit handler that writes the stats/trace files. Idempotent and
+ * a no-op when neither variable is set.
+ */
+void initFromEnv();
+
+} // namespace pipecache::obs
+
+#endif // PIPECACHE_OBS_ENV_HH

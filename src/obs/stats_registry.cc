@@ -1,0 +1,360 @@
+#include "obs/stats_registry.hh"
+
+#include <atomic>
+#include <charconv>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace pipecache::obs {
+
+namespace {
+
+/** Shortest round-trip decimal form of @p v (locale-independent). */
+std::string
+fmt(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * Thread-local cache of (registry serial -> shard). Shards are owned
+ * by their registry; a registry destroyed before its threads simply
+ * leaves stale serials here that never match again.
+ */
+struct ShardRef
+{
+    std::uint64_t serial;
+    void *shard;
+};
+
+thread_local std::vector<ShardRef> tlsShards;
+
+std::atomic<std::uint64_t> nextRegistrySerial{1};
+
+std::atomic<bool> classify3C{false};
+
+} // namespace
+
+void
+setClassify3C(bool on)
+{
+    classify3C.store(on, std::memory_order_relaxed);
+}
+
+bool
+classify3CEnabled()
+{
+    return classify3C.load(std::memory_order_relaxed);
+}
+
+StatsRegistry::StatsRegistry()
+    : serial_(nextRegistrySerial.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+StatsRegistry::~StatsRegistry() = default;
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+const StatsRegistry::StatInfo &
+StatsRegistry::info(std::string_view name, std::string_view desc,
+                    StatKind kind, StatType type, std::size_t buckets)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        const auto it = stats_.find(name);
+        if (it != stats_.end()) {
+            PC_ASSERT(it->second.kind == kind &&
+                          it->second.type == type &&
+                          it->second.buckets == buckets,
+                      "stat '", std::string(name),
+                      "' re-registered with a different "
+                      "kind/type/bucket count");
+            return it->second;
+        }
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const auto it = stats_.find(name);
+    if (it != stats_.end())
+        return it->second;
+
+    StatInfo info;
+    info.desc = std::string(desc);
+    info.kind = kind;
+    info.type = type;
+    info.buckets = buckets;
+    switch (type) {
+      case StatType::Counter:
+        info.slot = numCounters_++;
+        break;
+      case StatType::Scalar:
+        info.slot = numScalars_++;
+        break;
+      case StatType::Hist:
+        PC_ASSERT(buckets >= 1, "histogram '", std::string(name),
+                  "' needs at least one bucket");
+        info.slot = numHists_++;
+        break;
+    }
+    return stats_.emplace(std::string(name), std::move(info))
+        .first->second;
+}
+
+StatsRegistry::Shard &
+StatsRegistry::localShard()
+{
+    for (const ShardRef &ref : tlsShards) {
+        if (ref.serial == serial_)
+            return *static_cast<Shard *>(ref.shard);
+    }
+    auto shard = std::make_unique<Shard>();
+    Shard *raw = shard.get();
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        shards_.push_back(std::move(shard));
+    }
+    tlsShards.push_back({serial_, raw});
+    return *raw;
+}
+
+void
+StatsRegistry::addCounter(std::string_view name, std::string_view desc,
+                          StatKind kind, std::uint64_t delta)
+{
+    const StatInfo &stat = info(name, desc, kind, StatType::Counter, 0);
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.counters.size() <= stat.slot)
+        shard.counters.resize(stat.slot + 1, 0);
+    shard.counters[stat.slot] += delta;
+}
+
+void
+StatsRegistry::addScalar(std::string_view name, std::string_view desc,
+                         StatKind kind, double delta)
+{
+    const StatInfo &stat = info(name, desc, kind, StatType::Scalar, 0);
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.scalars.size() <= stat.slot)
+        shard.scalars.resize(stat.slot + 1, 0.0);
+    shard.scalars[stat.slot] += delta;
+}
+
+void
+StatsRegistry::sampleHistogram(std::string_view name,
+                               std::string_view desc, StatKind kind,
+                               std::size_t bucket_count,
+                               std::uint64_t value, std::uint64_t weight)
+{
+    const StatInfo &stat =
+        info(name, desc, kind, StatType::Hist, bucket_count);
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.hists.size() <= stat.slot)
+        shard.hists.resize(stat.slot + 1);
+    if (!shard.hists[stat.slot])
+        shard.hists[stat.slot] = std::make_unique<Histogram>(stat.buckets);
+    shard.hists[stat.slot]->sample(value, weight);
+}
+
+void
+StatsRegistry::mergeHistogram(std::string_view name,
+                              std::string_view desc, StatKind kind,
+                              const Histogram &h)
+{
+    const StatInfo &stat =
+        info(name, desc, kind, StatType::Hist, h.bucketCount());
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.hists.size() <= stat.slot)
+        shard.hists.resize(stat.slot + 1);
+    if (!shard.hists[stat.slot])
+        shard.hists[stat.slot] = std::make_unique<Histogram>(stat.buckets);
+    shard.hists[stat.slot]->merge(h);
+}
+
+std::uint64_t
+StatsRegistry::counterValue(std::string_view name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.type != StatType::Counter)
+        return 0;
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        if (shard->counters.size() > it->second.slot)
+            total += shard->counters[it->second.slot];
+    }
+    return total;
+}
+
+double
+StatsRegistry::scalarValue(std::string_view name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.type != StatType::Scalar)
+        return 0.0;
+    double total = 0.0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        if (shard->scalars.size() > it->second.slot)
+            total += shard->scalars[it->second.slot];
+    }
+    return total;
+}
+
+Histogram
+StatsRegistry::foldHistogram(const StatInfo &info) const
+{
+    Histogram total(info.buckets);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        if (shard->hists.size() > info.slot && shard->hists[info.slot])
+            total.merge(*shard->hists[info.slot]);
+    }
+    return total;
+}
+
+Histogram
+StatsRegistry::histogramValue(std::string_view name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.type != StatType::Hist)
+        return Histogram(1);
+    return foldHistogram(it->second);
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os, const DumpOptions &opts) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+
+    auto section = [&](StatKind kind) {
+        bool first = true;
+        for (const auto &[name, stat] : stats_) {
+            if (stat.kind != kind)
+                continue;
+            os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+            first = false;
+            switch (stat.type) {
+              case StatType::Counter: {
+                std::uint64_t total = 0;
+                for (const auto &shard : shards_) {
+                    std::lock_guard<std::mutex> sl(shard->mutex);
+                    if (shard->counters.size() > stat.slot)
+                        total += shard->counters[stat.slot];
+                }
+                os << total;
+                break;
+              }
+              case StatType::Scalar: {
+                double total = 0.0;
+                for (const auto &shard : shards_) {
+                    std::lock_guard<std::mutex> sl(shard->mutex);
+                    if (shard->scalars.size() > stat.slot)
+                        total += shard->scalars[stat.slot];
+                }
+                os << fmt(total);
+                break;
+              }
+              case StatType::Hist: {
+                const Histogram h = foldHistogram(stat);
+                os << "{\"count\": " << h.count() << ", \"buckets\": [";
+                for (std::size_t b = 0; b < h.bucketCount(); ++b)
+                    os << (b ? "," : "") << h.bucket(b);
+                os << "], \"overflow\": " << h.overflow()
+                   << ", \"mean\": " << fmt(h.mean()) << "}";
+                break;
+              }
+            }
+        }
+        if (!first)
+            os << "\n  ";
+    };
+
+    os << "{\n  \"stats_version\": 1,\n  \"deterministic\": {";
+    section(StatKind::Deterministic);
+    os << "}";
+    if (opts.includeVolatile) {
+        os << ",\n  \"volatile\": {";
+        section(StatKind::Volatile);
+        os << "}";
+    }
+    os << "\n}\n";
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os, const DumpOptions &opts) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &[name, stat] : stats_) {
+        if (stat.kind == StatKind::Volatile && !opts.includeVolatile)
+            continue;
+        os << std::left << std::setw(40) << name << " ";
+        switch (stat.type) {
+          case StatType::Counter: {
+            std::uint64_t total = 0;
+            for (const auto &shard : shards_) {
+                std::lock_guard<std::mutex> sl(shard->mutex);
+                if (shard->counters.size() > stat.slot)
+                    total += shard->counters[stat.slot];
+            }
+            os << total;
+            break;
+          }
+          case StatType::Scalar: {
+            double total = 0.0;
+            for (const auto &shard : shards_) {
+                std::lock_guard<std::mutex> sl(shard->mutex);
+                if (shard->scalars.size() > stat.slot)
+                    total += shard->scalars[stat.slot];
+            }
+            os << fmt(total);
+            break;
+          }
+          case StatType::Hist: {
+            const Histogram h = foldHistogram(stat);
+            os << "count=" << h.count() << " overflow=" << h.overflow()
+               << " mean=" << fmt(h.mean());
+            break;
+          }
+        }
+        os << " # " << stat.desc;
+        if (stat.kind == StatKind::Volatile)
+            os << " (volatile)";
+        os << "\n";
+    }
+}
+
+void
+StatsRegistry::reset()
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (auto &c : shard->counters)
+            c = 0;
+        for (auto &s : shard->scalars)
+            s = 0.0;
+        for (auto &h : shard->hists) {
+            if (h)
+                h->reset();
+        }
+    }
+}
+
+} // namespace pipecache::obs

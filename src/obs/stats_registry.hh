@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Simulator-wide statistics registry in the gem5 idiom.
+ *
+ * Components publish hierarchically named statistics
+ * ("layer.component.event", e.g. "cache.l1d.read_misses") into a
+ * registry; the registry aggregates and serializes them at dump time.
+ * Three statistic types are supported:
+ *
+ *  - counters:   monotonically accumulated integers;
+ *  - scalars:    accumulated doubles (wall times and other
+ *                measurements);
+ *  - histograms: fixed-bucket integer histograms with an overflow
+ *                bucket (util/stats.hh Histogram).
+ *
+ * Every statistic is classified as *deterministic* or *volatile*:
+ *
+ *  - Deterministic stats are functions of the simulated input alone —
+ *    event counts, stall cycles, miss classifications. Because they
+ *    are integers accumulated commutatively, their aggregates are
+ *    bit-identical regardless of the worker-thread count or schedule,
+ *    and the deterministic section of a JSON dump is byte-stable the
+ *    same way the sweep result JSON is.
+ *  - Volatile stats depend on wall time or thread scheduling (steal
+ *    counts, park counts, evaluation wall ms). They are excluded from
+ *    dumps by default, mirroring SinkOptions::includeWallTimes.
+ *
+ * Concurrency: values live in cheap per-thread shards — a thread's
+ * first touch of a registry allocates it a private shard, and all its
+ * subsequent updates go there under the shard's (uncontended) mutex.
+ * Dumps take the registry lock and fold the shards together. Summing
+ * integer contributions is order-independent, so sharding never
+ * perturbs deterministic aggregates.
+ *
+ * Instrumented library code publishes to StatsRegistry::global();
+ * collection is always on (publication happens once per simulated
+ * design point, not per simulated event, so the overhead is
+ * negligible). The one exception is 3C miss classification, which
+ * costs a shadow-cache lookup per access and is therefore gated by
+ * setClassify3C().
+ */
+
+#ifndef PIPECACHE_OBS_STATS_REGISTRY_HH
+#define PIPECACHE_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace pipecache::obs {
+
+/** Reproducibility class of one statistic. */
+enum class StatKind : std::uint8_t
+{
+    /** Input-determined; identical across thread counts. */
+    Deterministic,
+    /** Wall-time or schedule dependent; excluded from dumps by
+     *  default. */
+    Volatile,
+};
+
+/** Dump options. */
+struct DumpOptions
+{
+    /** Include the volatile section (default: deterministic only, so
+     *  dumps are byte-identical across thread counts). */
+    bool includeVolatile = false;
+};
+
+/** The registry. */
+class StatsRegistry
+{
+  public:
+    StatsRegistry();
+    ~StatsRegistry();
+
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** The process-wide registry the instrumented layers publish to. */
+    static StatsRegistry &global();
+
+    /**
+     * Accumulate @p delta into the counter @p name, registering it on
+     * first use. Re-registration with a different kind panics.
+     */
+    void addCounter(std::string_view name, std::string_view desc,
+                    StatKind kind, std::uint64_t delta = 1);
+
+    /** Accumulate @p delta into the scalar @p name. */
+    void addScalar(std::string_view name, std::string_view desc,
+                   StatKind kind, double delta);
+
+    /**
+     * Record @p value (with @p weight) into the fixed-bucket histogram
+     * @p name of @p bucket_count exact buckets plus overflow.
+     * Re-registration with a different bucket count panics.
+     */
+    void sampleHistogram(std::string_view name, std::string_view desc,
+                         StatKind kind, std::size_t bucket_count,
+                         std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Merge a whole util Histogram into the histogram @p name. */
+    void mergeHistogram(std::string_view name, std::string_view desc,
+                        StatKind kind, const Histogram &h);
+
+    /** Aggregate value of a counter (0 if never registered). */
+    std::uint64_t counterValue(std::string_view name) const;
+
+    /** Aggregate value of a scalar (0.0 if never registered). */
+    double scalarValue(std::string_view name) const;
+
+    /** Aggregate copy of a histogram (empty 1-bucket if unknown). */
+    Histogram histogramValue(std::string_view name) const;
+
+    /**
+     * Serialize as a JSON document:
+     *
+     *   { "stats_version": 1,
+     *     "deterministic": { "name": value | {histogram}, ... },
+     *     "volatile":      { ... } }          // with includeVolatile
+     *
+     * Names are emitted in sorted order; doubles use shortest
+     * round-trip formatting, so the deterministic section is
+     * byte-stable across runs and thread counts.
+     */
+    void dumpJson(std::ostream &os, const DumpOptions &opts = {}) const;
+
+    /** Human-readable dump: one "name value # desc" line per stat. */
+    void dumpText(std::ostream &os,
+                  const DumpOptions &opts = {}) const;
+
+    /** Zero every value; registered names and kinds survive. */
+    void reset();
+
+  private:
+    enum class StatType : std::uint8_t
+    {
+        Counter,
+        Scalar,
+        Hist,
+    };
+
+    struct StatInfo
+    {
+        std::string desc;
+        StatKind kind;
+        StatType type;
+        /** Index into the per-type shard vectors. */
+        std::size_t slot;
+        /** Exact buckets (Hist only). */
+        std::size_t buckets = 0;
+    };
+
+    /** One thread's private value store. */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::vector<std::uint64_t> counters;
+        std::vector<double> scalars;
+        std::vector<std::unique_ptr<Histogram>> hists;
+    };
+
+    /** Find-or-register @p name; returns its descriptor. */
+    const StatInfo &info(std::string_view name, std::string_view desc,
+                         StatKind kind, StatType type,
+                         std::size_t buckets);
+
+    /** This thread's shard of this registry (created on first use). */
+    Shard &localShard();
+
+    /** Aggregated histogram for @p info (caller holds mutex_). */
+    Histogram foldHistogram(const StatInfo &info) const;
+
+    mutable std::shared_mutex mutex_;
+    /** Sorted name -> descriptor map (sorted order drives dumps). */
+    std::map<std::string, StatInfo, std::less<>> stats_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t numCounters_ = 0;
+    std::size_t numScalars_ = 0;
+    std::size_t numHists_ = 0;
+    /** Process-unique id keying the thread-local shard cache. */
+    std::uint64_t serial_;
+};
+
+/**
+ * Enable 3C (compulsory/capacity/conflict) miss classification in
+ * cache hierarchies built after the call. Off by default: the
+ * fully-associative shadow costs a lookup per cache access.
+ */
+void setClassify3C(bool on);
+bool classify3CEnabled();
+
+} // namespace pipecache::obs
+
+#endif // PIPECACHE_OBS_STATS_REGISTRY_HH

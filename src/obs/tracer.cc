@@ -1,0 +1,137 @@
+#include "obs/tracer.hh"
+
+#include <charconv>
+#include <mutex>
+#include <ostream>
+
+namespace pipecache::obs {
+
+namespace {
+
+/** Shortest round-trip decimal form of @p v (locale-independent). */
+std::string
+fmt(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+/** Thread-local cache of (tracer serial -> buffer); see
+ *  stats_registry.cc for the lifetime argument. */
+struct BufferRef
+{
+    std::uint64_t serial;
+    void *buffer;
+};
+
+thread_local std::vector<BufferRef> tlsBuffers;
+
+std::atomic<std::uint64_t> nextTracerSerial{1};
+
+} // namespace
+
+Tracer::Tracer()
+    : serial_(nextTracerSerial.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (!originSet_.load(std::memory_order_relaxed)) {
+        origin_ = std::chrono::steady_clock::now();
+        originSet_.store(true, std::memory_order_release);
+    }
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+Tracer::Buffer &
+Tracer::localBuffer()
+{
+    for (const BufferRef &ref : tlsBuffers) {
+        if (ref.serial == serial_)
+            return *static_cast<Buffer *>(ref.buffer);
+    }
+    auto buffer = std::make_unique<Buffer>();
+    Buffer *raw = buffer.get();
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        buffer->tid = nextTid_++;
+        buffers_.push_back(std::move(buffer));
+    }
+    tlsBuffers.push_back({serial_, raw});
+    return *raw;
+}
+
+void
+Tracer::recordSpan(const char *name, const char *cat,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end,
+                   std::string args)
+{
+    if (!originSet_.load(std::memory_order_acquire))
+        return;
+    using us = std::chrono::duration<double, std::micro>;
+    Event ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsUs = us(start - origin_).count();
+    ev.durUs = us(end - start).count();
+    ev.args = std::move(args);
+
+    Buffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(ev));
+}
+
+void
+Tracer::write(std::ostream &os) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        for (const Event &ev : buffer->events) {
+            os << (first ? "" : ",") << "\n{\"name\": \"" << ev.name
+               << "\", \"cat\": \"" << (ev.cat ? ev.cat : "default")
+               << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+               << buffer->tid << ", \"ts\": " << fmt(ev.tsUs)
+               << ", \"dur\": " << fmt(ev.durUs);
+            if (!ev.args.empty())
+                os << ", \"args\": " << ev.args;
+            os << "}";
+            first = false;
+        }
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void
+Tracer::clear()
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        buffer->events.clear();
+    }
+}
+
+} // namespace pipecache::obs

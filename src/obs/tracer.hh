@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Perfetto / Chrome trace-event tracer for the sweep engine.
+ *
+ * Emits the Trace Event JSON format (the `traceEvents` array of
+ * "ph":"X" complete events) that chrome://tracing and ui.perfetto.dev
+ * load directly. Spans are recorded via the RAII ScopedSpan: the
+ * constructor samples the start time, the destructor appends one
+ * complete event — so spans are balanced by construction and nest
+ * exactly like the C++ scopes that produced them.
+ *
+ * Emission is buffered and thread-safe: each thread appends to its own
+ * buffer (created on first use, tagged with a small thread id) under
+ * an uncontended mutex; write() folds every buffer into one JSON
+ * document. Nothing is written until write() is called.
+ *
+ * Tracing is off by default; when disabled, ScopedSpan construction is
+ * one relaxed atomic load. Timestamps are microseconds relative to the
+ * first enable() call.
+ *
+ * Span names and categories must be string literals (they are stored
+ * as pointers); args, when given, must be the text of a valid JSON
+ * object (e.g. "{\"b\":3}"). Neither is escaped by the tracer.
+ */
+
+#ifndef PIPECACHE_OBS_TRACER_HH
+#define PIPECACHE_OBS_TRACER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace pipecache::obs {
+
+/** The buffered trace-event collector. */
+class Tracer
+{
+  public:
+    Tracer();
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The process-wide tracer ScopedSpan records into. */
+    static Tracer &global();
+
+    /** Start collecting; the first call anchors the time origin. */
+    void enable();
+
+    /** Stop collecting (already-buffered events are kept). */
+    void disable();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one complete ("ph":"X") event on the calling thread's
+     * buffer. @p args is either empty or the text of a JSON object.
+     */
+    void recordSpan(const char *name, const char *cat,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    std::string args);
+
+    /** Serialize every buffered event as one trace JSON document. */
+    void write(std::ostream &os) const;
+
+    /** Drop all buffered events (registered thread ids survive). */
+    void clear();
+
+  private:
+    struct Event
+    {
+        const char *name;
+        const char *cat;
+        double tsUs;
+        double durUs;
+        std::string args;
+    };
+
+    struct Buffer
+    {
+        std::mutex mutex;
+        std::uint32_t tid;
+        std::vector<Event> events;
+    };
+
+    Buffer &localBuffer();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<bool> originSet_{false};
+    std::chrono::steady_clock::time_point origin_;
+
+    mutable std::shared_mutex mutex_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::uint32_t nextTid_ = 1;
+    /** Process-unique id keying the thread-local buffer cache. */
+    std::uint64_t serial_;
+};
+
+/**
+ * RAII span: records a complete trace event for the enclosing scope
+ * on the global tracer. A no-op (one atomic load) when tracing is
+ * disabled at construction.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, const char *cat)
+        : ScopedSpan(name, cat, std::string())
+    {
+    }
+
+    /** @p args must be empty or the text of a JSON object. */
+    ScopedSpan(const char *name, const char *cat, std::string args)
+        : name_(name), cat_(cat), args_(std::move(args)),
+          active_(Tracer::global().enabled())
+    {
+        if (active_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_) {
+            Tracer::global().recordSpan(
+                name_, cat_, start_, std::chrono::steady_clock::now(),
+                std::move(args_));
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name_;
+    const char *cat_;
+    std::string args_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace pipecache::obs
+
+#endif // PIPECACHE_OBS_TRACER_HH

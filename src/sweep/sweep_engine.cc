@@ -1,10 +1,38 @@
 #include "sweep/sweep_engine.hh"
 
+#include <atomic>
 #include <chrono>
+#include <string>
 
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace pipecache::sweep {
+
+namespace {
+
+/** Trace args for one design point (built only when tracing). */
+std::string
+pointArgs(const core::DesignPoint &p)
+{
+    std::string args = "{\"b\": ";
+    args += std::to_string(p.branchSlots);
+    args += ", \"l\": ";
+    args += std::to_string(p.loadSlots);
+    args += ", \"l1i_kw\": ";
+    args += std::to_string(p.l1iSizeKW);
+    args += ", \"l1d_kw\": ";
+    args += std::to_string(p.l1dSizeKW);
+    args += ", \"block_words\": ";
+    args += std::to_string(p.blockWords);
+    args += ", \"penalty\": ";
+    args += std::to_string(p.missPenaltyCycles);
+    args += "}";
+    return args;
+}
+
+} // namespace
 
 SweepEngine::SweepEngine(core::TpiModel &model, SweepOptions opts)
     : model_(model), opts_(opts),
@@ -50,7 +78,10 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     // Build the shared artifacts once, on this thread, before any
     // worker touches the model: evaluatePrepared() is only
     // re-entrant with the lazy caches already populated.
-    model_.cpiModel().prepare(points);
+    {
+        obs::ScopedSpan span("sweep.prepare", "sweep");
+        model_.cpiModel().prepare(points);
+    }
 
     std::vector<SweepRecord> records(points.size());
 
@@ -89,14 +120,36 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         ++stats_.cacheMisses;
     }
 
+    auto &reg = obs::StatsRegistry::global();
+    using obs::StatKind;
+    const std::size_t serial_hits = points.size() - work.size();
+    if (serial_hits > 0) {
+        reg.addCounter("sweep.memo.hits", "points served from memo",
+                       StatKind::Deterministic, serial_hits);
+    }
+    if (!work.empty()) {
+        reg.addCounter("sweep.memo.misses", "points simulated fresh",
+                       StatKind::Deterministic, work.size());
+    }
+
     // Fan the unique points out in grain-sized chunks.
+    std::atomic<std::size_t> done{0};
+    const std::size_t total = work.size();
     std::vector<std::future<void>> futures;
     for (std::size_t begin = 0; begin < work.size();
          begin += opts_.grain) {
         const std::size_t end =
             std::min(begin + opts_.grain, work.size());
-        futures.push_back(pool_.submit([this, &work, begin, end]() {
+        futures.push_back(
+            pool_.submit([this, &work, &done, total, begin, end]() {
+            obs::ScopedSpan chunk("sweep.chunk", "sweep");
+            auto &reg = obs::StatsRegistry::global();
             for (std::size_t w = begin; w < end; ++w) {
+                obs::ScopedSpan span(
+                    "sweep.point", "sweep",
+                    obs::Tracer::global().enabled()
+                        ? pointArgs(work[w].point)
+                        : std::string());
                 const auto t0 = std::chrono::steady_clock::now();
                 const core::CpiResult cpi =
                     model_.cpiModel().evaluatePrepared(work[w].point);
@@ -107,6 +160,13 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                 work[w].wallMs =
                     std::chrono::duration<double, std::milli>(t1 - t0)
                         .count();
+                reg.addCounter("sweep.points.evaluated",
+                               "unique design points simulated",
+                               obs::StatKind::Deterministic);
+                const std::size_t d =
+                    done.fetch_add(1, std::memory_order_acq_rel) + 1;
+                if (opts_.onProgress)
+                    opts_.onProgress(d, total);
             }
         }));
     }
@@ -129,6 +189,9 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     for (const WorkItem &item : work) {
         insert(item.point, item.metrics);
         stats_.evalWallMs += item.wallMs;
+        reg.addScalar("sweep.eval_wall_ms",
+                      "summed per-point evaluation wall time",
+                      StatKind::Volatile, item.wallMs);
         bool first = true;
         for (const std::size_t idx : item.recordIdx) {
             records[idx].metrics = item.metrics;

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,13 @@ struct SweepOptions
     std::size_t threads = 0;
     /** Design points per pool task (steal granularity). */
     std::size_t grain = 1;
+    /**
+     * Invoked after each unique point evaluates, with the number of
+     * unique points finished so far and the sweep's unique total.
+     * Called concurrently from worker threads — must be thread-safe
+     * and cheap. Never called for cache hits.
+     */
+    std::function<void(std::size_t done, std::size_t total)> onProgress;
 };
 
 /** One evaluated design point. */

@@ -1,5 +1,6 @@
 #include "sweep/thread_pool.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace pipecache::sweep {
@@ -87,15 +88,30 @@ ThreadPool::trySteal(std::size_t self, std::function<void()> &out)
 void
 ThreadPool::workerLoop(std::size_t self)
 {
+    auto &reg = obs::StatsRegistry::global();
+    using obs::StatKind;
     for (;;) {
         std::function<void()> task;
-        if (tryPopLocal(self, task) || trySteal(self, task)) {
+        bool stolen = false;
+        if (tryPopLocal(self, task) ||
+            (stolen = trySteal(self, task))) {
             pending_.fetch_sub(1, std::memory_order_release);
+            if (stolen) {
+                reg.addCounter("pool.steals", "tasks taken from siblings",
+                               StatKind::Volatile);
+            }
+            // Count before running: the task's future is satisfied
+            // inside task(), and anything sequenced after a get() on
+            // it (a stats dump, say) must already see this task.
+            reg.addCounter("pool.tasks_run", "pool tasks executed",
+                           StatKind::Deterministic);
             task();
             // A finished task may unblock waiters coordinating through
             // futures; parked siblings recheck on the next post.
             continue;
         }
+        reg.addCounter("pool.parks", "worker park (idle wait) events",
+                       StatKind::Volatile);
         std::unique_lock<std::mutex> lock(parkMutex_);
         if (stop_.load(std::memory_order_acquire) &&
             pending_.load(std::memory_order_acquire) == 0) {

@@ -1,7 +1,9 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace pipecache {
@@ -14,14 +16,32 @@ defaultSink(const std::string &line)
     std::fprintf(stderr, "%s\n", line.c_str());
 }
 
-LogSink currentSink = defaultSink;
+/**
+ * The sink pointer is atomic so log calls racing a setLogSink() (e.g. a
+ * worker thread warning while the main thread swaps test sinks) read a
+ * coherent pointer, and emission is serialized under one mutex so lines
+ * never interleave and a sink being swapped out is never mid-call.
+ */
+std::atomic<LogSink> currentSink{&defaultSink};
+std::mutex emitMutex;
+
+void
+emit(LogSink sink, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(emitMutex);
+    sink(line);
+}
 
 } // namespace
 
 void
 setLogSink(LogSink sink)
 {
-    currentSink = sink ? sink : defaultSink;
+    const LogSink next = sink ? sink : &defaultSink;
+    // Take the emission lock so no in-flight line still runs on the
+    // outgoing sink when this returns.
+    std::lock_guard<std::mutex> lock(emitMutex);
+    currentSink.store(next, std::memory_order_release);
 }
 
 /**
@@ -34,8 +54,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << "panic: " << msg << " @ " << file << ":" << line;
-    currentSink(os.str());
-    if (currentSink != defaultSink)
+    const LogSink sink = currentSink.load(std::memory_order_acquire);
+    emit(sink, os.str());
+    if (sink != &defaultSink)
         throw std::logic_error(os.str());
     std::abort();
 }
@@ -45,8 +66,9 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << "fatal: " << msg << " @ " << file << ":" << line;
-    currentSink(os.str());
-    if (currentSink != defaultSink)
+    const LogSink sink = currentSink.load(std::memory_order_acquire);
+    emit(sink, os.str());
+    if (sink != &defaultSink)
         throw std::runtime_error(os.str());
     std::exit(1);
 }
@@ -54,13 +76,13 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    currentSink("warn: " + msg);
+    emit(currentSink.load(std::memory_order_acquire), "warn: " + msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    currentSink("info: " + msg);
+    emit(currentSink.load(std::memory_order_acquire), "info: " + msg);
 }
 
 } // namespace pipecache

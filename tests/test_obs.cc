@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Tests for the observability layer: stats-registry aggregation across
+ * threads, histogram bucket edges, the deterministic/volatile dump
+ * split, sweep-stats thread-count invariance, trace JSON validity with
+ * balanced spans, and concurrent logging against sink swaps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
+#include "sweep/sweep_engine.hh"
+#include "util/logging.hh"
+
+namespace pipecache::obs {
+namespace {
+
+std::string
+dumpString(const StatsRegistry &reg, bool include_volatile = false)
+{
+    DumpOptions opts;
+    opts.includeVolatile = include_volatile;
+    std::ostringstream os;
+    reg.dumpJson(os, opts);
+    return os.str();
+}
+
+TEST(StatsRegistryTest, CounterAggregatesAcrossThreads)
+{
+    StatsRegistry reg;
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 1000;
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg]() {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                reg.addCounter("test.events", "events",
+                               StatKind::Deterministic);
+            }
+            reg.addCounter("test.batch", "batched delta",
+                           StatKind::Deterministic, 10);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(reg.counterValue("test.events"), kThreads * kPerThread);
+    EXPECT_EQ(reg.counterValue("test.batch"), kThreads * 10);
+    EXPECT_EQ(reg.counterValue("test.never_registered"), 0u);
+}
+
+TEST(StatsRegistryTest, HistogramBucketEdgesAndOverflow)
+{
+    StatsRegistry reg;
+    // 4 exact buckets [0..3]; 4 and above land in overflow.
+    reg.sampleHistogram("test.hist", "h", StatKind::Deterministic, 4, 0);
+    reg.sampleHistogram("test.hist", "h", StatKind::Deterministic, 4, 3,
+                        2);
+    reg.sampleHistogram("test.hist", "h", StatKind::Deterministic, 4, 4);
+    reg.sampleHistogram("test.hist", "h", StatKind::Deterministic, 4,
+                        1000);
+
+    const Histogram h = reg.histogramValue("test.hist");
+    ASSERT_EQ(h.bucketCount(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 5u);
+
+    // Merging a util Histogram folds bucket-for-bucket.
+    Histogram extra(4);
+    extra.sample(3, 5);
+    reg.mergeHistogram("test.hist", "h", StatKind::Deterministic, extra);
+    EXPECT_EQ(reg.histogramValue("test.hist").bucket(3), 7u);
+}
+
+TEST(StatsRegistryTest, VolatileSeparatedFromDeterministic)
+{
+    StatsRegistry reg;
+    reg.addCounter("det.counter", "d", StatKind::Deterministic, 7);
+    reg.addCounter("vol.counter", "v", StatKind::Volatile, 9);
+    reg.addScalar("vol.scalar", "w", StatKind::Volatile, 1.5);
+
+    const std::string det_only = dumpString(reg, false);
+    EXPECT_NE(det_only.find("\"det.counter\": 7"), std::string::npos);
+    EXPECT_EQ(det_only.find("vol.counter"), std::string::npos);
+    EXPECT_EQ(det_only.find("\"volatile\""), std::string::npos);
+
+    const std::string both = dumpString(reg, true);
+    EXPECT_NE(both.find("\"vol.counter\": 9"), std::string::npos);
+    EXPECT_NE(both.find("\"vol.scalar\": 1.5"), std::string::npos);
+
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("det.counter"), 0u);
+    // Registered names survive a reset (they re-dump as zeros).
+    EXPECT_NE(dumpString(reg).find("\"det.counter\": 0"),
+              std::string::npos);
+}
+
+core::SuiteConfig
+tinySuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0; // floor: 20k insts per benchmark
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+std::vector<core::DesignPoint>
+smallGrid()
+{
+    std::vector<core::DesignPoint> points;
+    for (std::uint32_t kw : {1u, 2u, 4u}) {
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            core::DesignPoint p;
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            p.loadSlots = 0;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+TEST(ObsSweepTest, DeterministicStatsIdenticalAcrossThreadCounts)
+{
+    const auto points = smallGrid();
+
+    std::vector<std::string> dumps;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        StatsRegistry::global().reset();
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        opts.grain = 1;
+        sweep::SweepEngine engine(tpi, opts);
+        engine.sweep(points);
+        dumps.push_back(dumpString(StatsRegistry::global()));
+    }
+
+    EXPECT_EQ(dumps[0], dumps[1]);
+    EXPECT_EQ(dumps[0], dumps[2]);
+
+    // The instrumented layers all reported in.
+    const std::string &dump = dumps[0];
+    for (const char *name :
+         {"cache.l1i.reads", "cache.l1d.read_misses", "cpusim.fetches",
+          "cpusim.branch.ctis", "cpusim.load.e_static",
+          "sweep.memo.misses", "sweep.points.evaluated",
+          "pool.tasks_run"}) {
+        EXPECT_NE(dump.find(name), std::string::npos) << name;
+    }
+}
+
+/**
+ * Minimal recursive-descent JSON checker — accepts exactly the JSON
+ * value grammar, so a malformed trace fails the test without a JSON
+ * library dependency.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool members(char close, bool with_keys)
+    {
+        ++pos_; // opening bracket
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == close) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (with_keys) {
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return false;
+                ++pos_;
+            }
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == close) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return members('}', true);
+          case '[':
+            return members(']', false);
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** One parsed trace event (just the fields the nesting check needs). */
+struct SpanEvent
+{
+    std::uint64_t tid;
+    double ts;
+    double dur;
+};
+
+/** Pull "key": <number> out of one event line. */
+double
+numberField(const std::string &line, const std::string &key)
+{
+    const auto at = line.find("\"" + key + "\": ");
+    EXPECT_NE(at, std::string::npos) << key << " in " << line;
+    return std::stod(line.substr(at + key.size() + 4));
+}
+
+TEST(TracerTest, TraceIsValidJsonWithBalancedSpans)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.clear();
+    tracer.enable();
+
+    {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        sweep::SweepOptions opts;
+        opts.threads = 4;
+        opts.grain = 2;
+        sweep::SweepEngine engine(tpi, opts);
+        engine.sweep(smallGrid());
+    }
+    tracer.disable();
+
+    std::ostringstream os;
+    tracer.write(os);
+    const std::string json = os.str();
+    tracer.clear();
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"sweep.prepare\""), std::string::npos);
+    EXPECT_NE(json.find("\"sweep.chunk\""), std::string::npos);
+    EXPECT_NE(json.find("\"sweep.point\""), std::string::npos);
+    // Per-point args carry the design-point coordinates.
+    EXPECT_NE(json.find("\"l1i_kw\""), std::string::npos);
+
+    // Collect the complete events (one per line by construction).
+    std::vector<SpanEvent> events;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\": \"X\"") == std::string::npos)
+            continue;
+        SpanEvent e;
+        e.tid = static_cast<std::uint64_t>(numberField(line, "tid"));
+        e.ts = numberField(line, "ts");
+        e.dur = numberField(line, "dur");
+        EXPECT_GE(e.dur, 0.0);
+        events.push_back(e);
+    }
+    // 12 unique points in 6 chunks plus one prepare span.
+    EXPECT_EQ(events.size(), 12u + 6u + 1u);
+
+    // Spans on one thread come from nested scopes, so any two either
+    // nest or are disjoint — partial overlap means a lost/torn span.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const SpanEvent &a = events[i];
+            const SpanEvent &b = events[j];
+            if (a.tid != b.tid)
+                continue;
+            const double a_end = a.ts + a.dur;
+            const double b_end = b.ts + b.dur;
+            const bool disjoint = a_end <= b.ts || b_end <= a.ts;
+            const bool a_in_b = b.ts <= a.ts && a_end <= b_end;
+            const bool b_in_a = a.ts <= b.ts && b_end <= a_end;
+            EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+                << "partial overlap on tid " << a.tid;
+        }
+    }
+}
+
+/** Capture sinks for the logging stress test (LogSink is a plain
+ *  function pointer, so the capture target is file-scope state). */
+std::mutex g_capture_mutex;
+std::vector<std::string> g_captured;
+
+void
+captureSinkA(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(g_capture_mutex);
+    g_captured.push_back(line);
+}
+
+void
+captureSinkB(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(g_capture_mutex);
+    g_captured.push_back(line);
+}
+
+TEST(LoggingTest, ConcurrentWarnAndSinkSwapNoTearing)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 200;
+
+    {
+        std::lock_guard<std::mutex> lock(g_capture_mutex);
+        g_captured.clear();
+    }
+    setLogSink(&captureSinkA);
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t]() {
+            for (std::size_t i = 0; i < kIters; ++i) {
+                warn("w thread=", t, " iter=", i);
+                inform("i thread=", t, " iter=", i);
+            }
+        });
+    }
+    // Swap between the two capture sinks while the writers hammer.
+    for (int swap = 0; swap < 100; ++swap)
+        setLogSink(swap % 2 == 0 ? &captureSinkB : &captureSinkA);
+    for (auto &thread : threads)
+        thread.join();
+    setLogSink(nullptr);
+
+    std::lock_guard<std::mutex> lock(g_capture_mutex);
+    ASSERT_EQ(g_captured.size(), kThreads * kIters * 2);
+    for (const std::string &line : g_captured) {
+        const bool ok = line.compare(0, 14, "warn: w thread") == 0 ||
+                        line.compare(0, 14, "info: i thread") == 0;
+        EXPECT_TRUE(ok) << "torn line: " << line;
+    }
+}
+
+} // namespace
+} // namespace pipecache::obs

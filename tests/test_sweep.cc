@@ -81,7 +81,10 @@ TEST(SweepEngineTest, BitIdenticalAcrossThreadCounts)
     for (const std::size_t threads : {1u, 2u, 8u}) {
         core::CpiModel cpi(tinySuite());
         core::TpiModel tpi(cpi);
-        SweepEngine engine(tpi, {threads, 1});
+        SweepOptions opts;
+        opts.threads = threads;
+        opts.grain = 1;
+        SweepEngine engine(tpi, opts);
         runs.push_back(engine.sweep(points));
         jsons.push_back(jsonString("grid", runs.back(),
                                    engine.stats()));
@@ -107,7 +110,10 @@ TEST(SweepEngineTest, ResultsComeBackInInputOrder)
 
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
     const auto records = engine.sweep(points);
     ASSERT_EQ(records.size(), points.size());
     for (std::size_t i = 0; i < points.size(); ++i)
@@ -119,7 +125,10 @@ TEST(SweepEngineTest, RepeatedSweepIsAllHitsAndIdentical)
     const auto points = smallGrid();
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
 
     const auto first = engine.sweep(points);
     EXPECT_EQ(engine.stats().cacheMisses, points.size());
@@ -146,7 +155,10 @@ TEST(SweepEngineTest, DuplicatesWithinOneSweepEvaluateOnce)
 
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {4, 2});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 2;
+    SweepEngine engine(tpi, opts);
     const auto records = engine.sweep(points);
     EXPECT_EQ(engine.stats().cacheMisses, unique);
     EXPECT_EQ(engine.stats().cacheHits, unique);
@@ -169,7 +181,10 @@ TEST(SweepEngineTest, MatchesSerialMemoizedEvaluation)
 
     core::CpiModel par_cpi(tinySuite());
     core::TpiModel par_tpi(par_cpi);
-    SweepEngine engine(par_tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(par_tpi, opts);
     const auto par_metrics = engine.evaluateBatch(points);
 
     ASSERT_EQ(par_metrics.size(), serial_metrics.size());
@@ -189,7 +204,10 @@ TEST(SweepEngineTest, ExperimentsThroughEngineMatchSerial)
 
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
     EXPECT_EQ(core::experiments::fig3(engine).render(), serial_fig3);
     // fig4 shares fig3's grid: served entirely from the memo cache.
     const std::uint64_t misses = engine.stats().cacheMisses;
@@ -217,7 +235,10 @@ TEST(SweepEngineTest, OptimizerThroughEngineMatchesSerial)
     core::CpiModel par_cpi(tinySuite());
     core::TpiModel par_tpi(par_cpi);
     core::MultilevelOptimizer par_opt(par_tpi, config);
-    SweepEngine engine(par_tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(par_tpi, opts);
     par_opt.setEvaluator(&engine);
     const auto par_steps = par_opt.optimize(start);
 
@@ -234,7 +255,10 @@ TEST(ResultSinkTest, JsonAndCsvShape)
 {
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {2, 1});
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
 
     std::vector<core::DesignPoint> points(2);
     points[1].branchSlots = 3;
@@ -283,7 +307,10 @@ TEST(SweepEngineTest, FailedChunkDrainsBeforeRethrow)
 
     core::CpiModel cpi(tinySuite());
     core::TpiModel tpi(cpi);
-    SweepEngine engine(tpi, {4, 1});
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
     EXPECT_THROW(engine.sweep(points), std::logic_error);
 
     // Workers survive a throwing chunk; a clean sweep still runs.

@@ -12,6 +12,8 @@
  *
  *   pipecache_sweep --preset paper --threads 8 --out sweep.json
  *   pipecache_sweep --b 0:3 --isize 1,2,4,8,16,32 --scale 2000 --out -
+ *   pipecache_sweep --preset fig3 --stats-out stats.json \
+ *                   --trace-out trace.json --progress
  *
  * Range syntax: "lo:hi" (inclusive) or a comma-separated list.
  */
@@ -19,14 +21,19 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/experiments.hh"
+#include "obs/env.hh"
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
 
@@ -51,6 +58,13 @@ struct CliOptions
     std::string outPath = "-";
     std::string csvPath;
     std::string preset;
+    /** Stats/trace outputs; the environment provides the defaults so
+     *  PIPECACHE_STATS/PIPECACHE_TRACE work here like in the benches
+     *  (but the tool dumps explicitly, not via atexit). */
+    std::string statsPath;
+    std::string tracePath;
+    bool classify3C = false;
+    bool progress = false;
     bool timing = false;
     bool quiet = false;
     // Range flags given explicitly, so --preset can reject the ones it
@@ -81,6 +95,14 @@ usage(const char *argv0, int code)
        << "                   size x depth grid behind all three;\n"
        << "                   honors single --block/--penalty values,\n"
        << "                   conflicts with the other range flags)\n"
+       << "  --stats-out PATH write the stats registry as JSON\n"
+       << "                   (default $PIPECACHE_STATS)\n"
+       << "  --trace-out PATH write a Perfetto/chrome://tracing trace\n"
+       << "                   (default $PIPECACHE_TRACE)\n"
+       << "  --stats-3c       classify misses compulsory/capacity/\n"
+       << "                   conflict (slower; implied by\n"
+       << "                   $PIPECACHE_STATS_3C)\n"
+       << "  --progress       live points/s + ETA line on stderr\n"
        << "  --timing         include volatile wall-time metadata\n"
        << "  --quiet          no summary on stderr\n"
        << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n";
@@ -141,6 +163,11 @@ CliOptions
 parseArgs(int argc, char **argv)
 {
     CliOptions opts;
+    if (const char *path = pipecache::obs::envStatsPath())
+        opts.statsPath = path;
+    if (const char *path = pipecache::obs::envTracePath())
+        opts.tracePath = path;
+    opts.classify3C = pipecache::obs::env3CEnabled();
     auto next = [&](int &i) -> std::string {
         if (i + 1 >= argc) {
             std::cerr << argv[0] << ": " << argv[i]
@@ -214,6 +241,14 @@ parseArgs(int argc, char **argv)
             opts.csvPath = next(i);
         } else if (arg == "--preset") {
             opts.preset = next(i);
+        } else if (arg == "--stats-out") {
+            opts.statsPath = next(i);
+        } else if (arg == "--trace-out") {
+            opts.tracePath = next(i);
+        } else if (arg == "--stats-3c") {
+            opts.classify3C = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
         } else if (arg == "--timing") {
             opts.timing = true;
         } else if (arg == "--quiet") {
@@ -278,6 +313,62 @@ buildGrid(const CliOptions &opts)
     return points;
 }
 
+/**
+ * Live progress line on stderr, fed by the sweep's onProgress hook.
+ * Called concurrently from worker threads; the displayed count comes
+ * from the sweep.points.evaluated registry counter. Throttled so a
+ * fast sweep doesn't spend its time redrawing.
+ */
+class ProgressReporter
+{
+  public:
+    void report(std::size_t done, std::size_t total)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto now = std::chrono::steady_clock::now();
+        if (!started_) {
+            started_ = true;
+            start_ = now;
+        }
+        if (done < total &&
+            now - last_ < std::chrono::milliseconds(100)) {
+            return;
+        }
+        last_ = now;
+        const std::uint64_t evaluated =
+            pipecache::obs::StatsRegistry::global().counterValue(
+                "sweep.points.evaluated");
+        const double secs =
+            std::chrono::duration<double>(now - start_).count();
+        const double rate =
+            secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+        char line[128];
+        if (rate > 0.0 && done < total) {
+            const double eta =
+                static_cast<double>(total - done) / rate;
+            std::snprintf(line, sizeof line,
+                          "\r%llu/%zu points  %.1f pts/s  ETA %.0fs ",
+                          static_cast<unsigned long long>(evaluated),
+                          total, rate, eta);
+        } else {
+            std::snprintf(line, sizeof line,
+                          "\r%llu/%zu points  %.1f pts/s           ",
+                          static_cast<unsigned long long>(evaluated),
+                          total, rate);
+        }
+        std::fputs(line, stderr);
+        if (done == total)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    }
+
+  private:
+    std::mutex mutex_;
+    bool started_ = false;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_;
+};
+
 } // namespace
 
 int
@@ -292,13 +383,25 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opts.classify3C)
+        obs::setClassify3C(true);
+    if (!opts.tracePath.empty())
+        obs::Tracer::global().enable();
+
     core::SuiteConfig suite;
     suite.scaleDivisor = opts.scaleDivisor;
     core::CpiModel cpi(suite);
     core::TpiModel tpi(cpi);
 
+    ProgressReporter progress;
     sweep::SweepOptions engine_opts;
     engine_opts.threads = opts.threads;
+    if (opts.progress) {
+        engine_opts.onProgress = [&progress](std::size_t done,
+                                             std::size_t total) {
+            progress.report(done, total);
+        };
+    }
     sweep::SweepEngine engine(tpi, engine_opts);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -331,6 +434,27 @@ main(int argc, char **argv)
             return 1;
         }
         sweep::writeCsv(out, records, sink);
+    }
+    if (!opts.statsPath.empty()) {
+        std::ofstream out(opts.statsPath);
+        if (!out) {
+            std::cerr << "cannot open " << opts.statsPath << "\n";
+            return 1;
+        }
+        // Volatile stats follow the same opt-in as the result JSON's
+        // wall times, so the default stats dump is byte-identical
+        // across --threads values too.
+        obs::DumpOptions dump;
+        dump.includeVolatile = opts.timing;
+        obs::StatsRegistry::global().dumpJson(out, dump);
+    }
+    if (!opts.tracePath.empty()) {
+        std::ofstream out(opts.tracePath);
+        if (!out) {
+            std::cerr << "cannot open " << opts.tracePath << "\n";
+            return 1;
+        }
+        obs::Tracer::global().write(out);
     }
 
     if (!opts.quiet) {

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Kill-and-resume integration test for pipecache_sweep checkpointing.
+#
+#   1. Run a reference sweep to completion (no checkpointing).
+#   2. Start the identical sweep with --checkpoint --checkpoint-every 1
+#      and SIGKILL it once the checkpoint holds some completed points.
+#   3. Resume from the checkpoint; the final JSON must be
+#      byte-identical to the reference run's.
+#
+# On a machine fast enough that the sweep finishes before the kill
+# lands, the test degrades to resuming from a complete checkpoint —
+# which still must reproduce the reference bytes while evaluating
+# nothing.
+#
+# Usage: kill_resume_test.sh <path-to-pipecache_sweep> [workdir]
+set -euo pipefail
+
+BIN=${1:?usage: kill_resume_test.sh <pipecache_sweep> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+# ~128 points at --scale 2000: a few seconds of work, long enough to
+# kill mid-flight, short enough for CI.
+GRID=(--b 0:3 --l 0:1 --isize 1,2,4,8 --dsize 4,8 --penalty 6,10
+      --scale 2000 --threads 2 --quiet)
+
+ck_points() {
+    grep -c '^ok \|^fail ' "$WORK/ck" 2>/dev/null || echo 0
+}
+
+echo "== reference run"
+"$BIN" "${GRID[@]}" --out "$WORK/reference.json"
+
+echo "== checkpointed run (to be killed)"
+rm -f "$WORK/ck"
+"$BIN" "${GRID[@]}" --checkpoint "$WORK/ck" --checkpoint-every 1 \
+    --out "$WORK/killed.json" &
+PID=$!
+
+# Wait until the checkpoint carries at least a few completed points,
+# then kill without warning.
+for _ in $(seq 1 400); do
+    if [ "$(ck_points)" -ge 5 ]; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.05
+done
+
+if kill -0 "$PID" 2>/dev/null; then
+    kill -9 "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    echo "== killed mid-sweep at $(ck_points) checkpointed points"
+    if [ -e "$WORK/killed.json" ]; then
+        echo "FAIL: killed run left a (partial) output file behind"
+        exit 1
+    fi
+else
+    wait "$PID" || true
+    echo "== sweep finished before the kill; resuming from a full checkpoint"
+fi
+
+if [ ! -s "$WORK/ck" ]; then
+    echo "FAIL: no checkpoint was written"
+    exit 1
+fi
+
+echo "== resume from checkpoint"
+"$BIN" "${GRID[@]}" --checkpoint "$WORK/ck" --resume \
+    --out "$WORK/resumed.json"
+
+if cmp -s "$WORK/reference.json" "$WORK/resumed.json"; then
+    echo "PASS: resumed output is byte-identical to the reference"
+else
+    echo "FAIL: resumed output differs from the reference"
+    diff "$WORK/reference.json" "$WORK/resumed.json" | head -20 || true
+    exit 1
+fi

@@ -1,0 +1,218 @@
+#include "sweep/checkpoint.hh"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+
+namespace pipecache::sweep {
+
+namespace {
+
+/** The 11 PointMetrics fields, in serialization order. */
+constexpr std::size_t kMetricCount = 11;
+
+void
+metricsToArray(const core::PointMetrics &m, double (&v)[kMetricCount])
+{
+    v[0] = m.cpi;
+    v[1] = m.branchCpi;
+    v[2] = m.loadCpi;
+    v[3] = m.iMissCpi;
+    v[4] = m.dMissCpi;
+    v[5] = m.l1iMissRate;
+    v[6] = m.l1dMissRate;
+    v[7] = m.tCpuNs;
+    v[8] = m.tIsideNs;
+    v[9] = m.tDsideNs;
+    v[10] = m.tpiNs;
+}
+
+void
+arrayToMetrics(const double (&v)[kMetricCount], core::PointMetrics &m)
+{
+    m.cpi = v[0];
+    m.branchCpi = v[1];
+    m.loadCpi = v[2];
+    m.iMissCpi = v[3];
+    m.dMissCpi = v[4];
+    m.l1iMissRate = v[5];
+    m.l1dMissRate = v[6];
+    m.tCpuNs = v[7];
+    m.tIsideNs = v[8];
+    m.tDsideNs = v[9];
+    m.tpiNs = v[10];
+}
+
+/** Shortest round-trip decimal form (bit-exact via from_chars). */
+std::string
+fmtDouble(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+fmtHex64(std::uint64_t v)
+{
+    char buf[17];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v, 16);
+    return std::string(buf, res.ptr);
+}
+
+/** One whitespace-delimited token from [*p, end); empty at end. */
+std::string_view
+nextToken(const char *&p, const char *end)
+{
+    while (p < end && (*p == ' ' || *p == '\t'))
+        ++p;
+    const char *begin = p;
+    while (p < end && *p != ' ' && *p != '\t')
+        ++p;
+    return {begin, static_cast<std::size_t>(p - begin)};
+}
+
+} // namespace
+
+std::uint64_t
+gridKey(const std::vector<core::DesignPoint> &points,
+        std::uint64_t suiteKey)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(suiteKey);
+    mix(points.size());
+    for (const core::DesignPoint &p : points)
+        mix(core::DesignPointHash{}(p));
+    return h;
+}
+
+void
+saveCheckpoint(const std::string &path, const Checkpoint &ck)
+{
+    util::writeFileAtomic(path, [&](std::ostream &os) {
+        os << "pipecache-checkpoint 1\n"
+           << "grid " << fmtHex64(ck.gridKey) << " unique "
+           << ck.uniquePoints << "\n";
+        for (const CheckpointEntry &e : ck.entries) {
+            if (e.failed) {
+                // The message rides the rest of the line; strip
+                // newlines so one entry stays one line.
+                std::string msg = e.errorMessage;
+                for (char &c : msg)
+                    if (c == '\n' || c == '\r')
+                        c = ' ';
+                os << "fail " << e.index << " "
+                   << (e.errorKind.empty() ? "internal" : e.errorKind)
+                   << " " << msg << "\n";
+                continue;
+            }
+            double v[kMetricCount];
+            metricsToArray(e.metrics, v);
+            os << "ok " << e.index;
+            for (const double d : v)
+                os << " " << fmtDouble(d);
+            os << "\n";
+        }
+    });
+}
+
+Checkpoint
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw IoError(path, "cannot open checkpoint");
+
+    auto bad = [&](std::size_t lineno, const std::string &msg) {
+        return DataError(path, lineno, msg);
+    };
+
+    Checkpoint ck;
+    std::string line;
+    std::size_t lineno = 0;
+
+    if (!std::getline(in, line) || line != "pipecache-checkpoint 1")
+        throw bad(1, "not a pipecache checkpoint (bad header)");
+    ++lineno;
+
+    if (!std::getline(in, line))
+        throw bad(2, "missing grid line");
+    ++lineno;
+    {
+        const char *p = line.data();
+        const char *end = line.data() + line.size();
+        if (nextToken(p, end) != "grid")
+            throw bad(lineno, "expected 'grid'");
+        const auto key = nextToken(p, end);
+        const auto kr = std::from_chars(key.data(),
+                                        key.data() + key.size(),
+                                        ck.gridKey, 16);
+        if (kr.ec != std::errc{} || kr.ptr != key.data() + key.size())
+            throw bad(lineno, "bad grid key");
+        if (nextToken(p, end) != "unique")
+            throw bad(lineno, "expected 'unique'");
+        const auto n = nextToken(p, end);
+        const auto nr = std::from_chars(n.data(), n.data() + n.size(),
+                                        ck.uniquePoints);
+        if (nr.ec != std::errc{} || nr.ptr != n.data() + n.size())
+            throw bad(lineno, "bad unique-point count");
+    }
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const char *p = line.data();
+        const char *end = line.data() + line.size();
+        const auto tag = nextToken(p, end);
+
+        CheckpointEntry entry;
+        const auto idx = nextToken(p, end);
+        const auto ir = std::from_chars(idx.data(),
+                                        idx.data() + idx.size(),
+                                        entry.index);
+        if (ir.ec != std::errc{} || ir.ptr != idx.data() + idx.size())
+            throw bad(lineno, "bad point index");
+        if (entry.index >= ck.uniquePoints)
+            throw bad(lineno, "point index out of range");
+
+        if (tag == "ok") {
+            double v[kMetricCount];
+            for (double &d : v) {
+                const auto tok = nextToken(p, end);
+                const auto dr = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), d);
+                if (dr.ec != std::errc{} ||
+                    dr.ptr != tok.data() + tok.size()) {
+                    throw bad(lineno, "bad metric value");
+                }
+            }
+            if (nextToken(p, end) != "")
+                throw bad(lineno, "trailing tokens on ok line");
+            arrayToMetrics(v, entry.metrics);
+        } else if (tag == "fail") {
+            entry.failed = true;
+            entry.errorKind = nextToken(p, end);
+            if (entry.errorKind.empty())
+                throw bad(lineno, "missing error kind");
+            // Message = rest of line, leading whitespace trimmed.
+            while (p < end && (*p == ' ' || *p == '\t'))
+                ++p;
+            entry.errorMessage.assign(p, end);
+        } else {
+            throw bad(lineno,
+                      "unknown record '" + std::string(tag) + "'");
+        }
+        ck.entries.push_back(std::move(entry));
+    }
+    return ck;
+}
+
+} // namespace pipecache::sweep

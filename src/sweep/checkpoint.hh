@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sweep checkpoints: periodically persisted progress of a running
+ * sweep, so a killed process can resume and skip the points it
+ * already evaluated.
+ *
+ * A checkpoint is a line-oriented text file:
+ *
+ *   pipecache-checkpoint 1
+ *   grid <16-hex-digit key> unique <N>
+ *   ok <idx> <11 metric doubles, shortest round-trip form>
+ *   fail <idx> <error-kind> <error message...>
+ *
+ * <idx> indexes the sweep's unique work list (input order, duplicates
+ * collapsed). Metric doubles are emitted with std::to_chars and
+ * parsed with std::from_chars, which round-trips them bit-exactly —
+ * the property that makes a resumed sweep's final JSON byte-identical
+ * to an uninterrupted run's. The grid key hashes the input points and
+ * the engine's suite key, so resuming against a different grid or
+ * suite is a DataError instead of silently wrong results.
+ *
+ * Files are written through util::writeFileAtomic: a crash mid-write
+ * leaves the previous complete checkpoint.
+ */
+
+#ifndef PIPECACHE_SWEEP_CHECKPOINT_HH
+#define PIPECACHE_SWEEP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/point_eval.hh"
+
+namespace pipecache::sweep {
+
+/** One completed unique point. */
+struct CheckpointEntry
+{
+    /** Index into the sweep's unique work list. */
+    std::size_t index = 0;
+    bool failed = false;
+    /** Valid when !failed. */
+    core::PointMetrics metrics;
+    /** Valid when failed. */
+    std::string errorKind;
+    std::string errorMessage;
+};
+
+struct Checkpoint
+{
+    /** gridKey() of the sweep this checkpoint belongs to. */
+    std::uint64_t gridKey = 0;
+    /** Unique-point count of that sweep (second-line sanity check). */
+    std::size_t uniquePoints = 0;
+    std::vector<CheckpointEntry> entries;
+};
+
+/** Key binding a checkpoint to (input points, suite config). */
+std::uint64_t gridKey(const std::vector<core::DesignPoint> &points,
+                      std::uint64_t suiteKey);
+
+/** Atomically write @p ck to @p path. Throws IoError on failure. */
+void saveCheckpoint(const std::string &path, const Checkpoint &ck);
+
+/** Load @p path. Throws IoError (unopenable) or DataError
+ *  (malformed), with file and line attribution. */
+Checkpoint loadCheckpoint(const std::string &path);
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_CHECKPOINT_HH

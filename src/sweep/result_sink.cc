@@ -1,6 +1,7 @@
 #include "sweep/result_sink.hh"
 
 #include <charconv>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -68,6 +69,42 @@ writeMetrics(std::ostream &os, const core::PointMetrics &m)
        << ",\"tpi_ns\":" << fmt(m.tpiNs) << "}";
 }
 
+/** Minimal JSON string escaping (quotes, backslash, control). */
+void
+writeJsonString(std::ostream &os, const std::string &v)
+{
+    os << '"';
+    for (const char c : v) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
 } // namespace
 
 void
@@ -79,7 +116,8 @@ writeJson(std::ostream &os, const std::string &name,
        << "  \"sweep\": \"" << name << "\",\n"
        << "  \"points\": " << records.size() << ",\n"
        << "  \"cache_hits\": " << stats.cacheHits << ",\n"
-       << "  \"cache_misses\": " << stats.cacheMisses << ",\n";
+       << "  \"cache_misses\": " << stats.cacheMisses << ",\n"
+       << "  \"points_failed\": " << stats.pointsFailed << ",\n";
     if (opts.includeWallTimes)
         os << "  \"eval_wall_ms\": " << fmt(stats.evalWallMs) << ",\n";
     os << "  \"results\": [\n";
@@ -88,7 +126,17 @@ writeJson(std::ostream &os, const std::string &name,
         os << "    {\"design\":";
         writeDesign(os, r.point);
         os << ",\"metrics\":";
-        writeMetrics(os, r.metrics);
+        if (r.failed) {
+            // Metrics of a failed point are zero-valued noise; emit
+            // null plus the error so consumers cannot misread them.
+            os << "null,\"error\":{\"kind\":";
+            writeJsonString(os, r.errorKind);
+            os << ",\"message\":";
+            writeJsonString(os, r.errorMessage);
+            os << "}";
+        } else {
+            writeMetrics(os, r.metrics);
+        }
         os << ",\"cache_hit\":" << (r.cacheHit ? "true" : "false");
         if (opts.includeWallTimes)
             os << ",\"wall_ms\":" << fmt(r.wallMs);
@@ -104,7 +152,7 @@ writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
     os << "b,l,l1i_kw,l1d_kw,block_words,assoc,penalty,branch_scheme,"
           "load_scheme,predict,write_buffer,cpi,branch_cpi,load_cpi,"
           "imiss_cpi,dmiss_cpi,l1i_miss_rate,l1d_miss_rate,t_cpu_ns,"
-          "t_iside_ns,t_dside_ns,tpi_ns,cache_hit";
+          "t_iside_ns,t_dside_ns,tpi_ns,cache_hit,failed,error_kind";
     if (opts.includeWallTimes)
         os << ",wall_ms";
     os << "\n";
@@ -123,7 +171,8 @@ writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
            << fmt(m.l1iMissRate) << "," << fmt(m.l1dMissRate) << ","
            << fmt(m.tCpuNs) << "," << fmt(m.tIsideNs) << ","
            << fmt(m.tDsideNs) << "," << fmt(m.tpiNs) << ","
-           << (r.cacheHit ? 1 : 0);
+           << (r.cacheHit ? 1 : 0) << "," << (r.failed ? 1 : 0) << ","
+           << r.errorKind;
         if (opts.includeWallTimes)
             os << "," << fmt(r.wallMs);
         os << "\n";

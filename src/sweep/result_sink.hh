@@ -10,6 +10,11 @@
  * opt-in (SinkOptions::includeWallTimes), keeping the default output
  * byte-stable. The cache-hit flag is deterministic (see SweepRecord)
  * and always included.
+ *
+ * Failed points (per-point fault isolation) serialize with
+ * "metrics": null plus an "error": {"kind", "message"} object in
+ * JSON, and failed/error_kind columns in CSV; the header carries the
+ * sweep-wide "points_failed" count.
  */
 
 #ifndef PIPECACHE_SWEEP_RESULT_SINK_HH

@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <string>
 
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
+#include "sweep/checkpoint.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace pipecache::sweep {
@@ -40,6 +44,8 @@ SweepEngine::SweepEngine(core::TpiModel &model, SweepOptions opts)
 {
     if (opts_.grain == 0)
         opts_.grain = 1;
+    if (opts_.checkpointEvery == 0)
+        opts_.checkpointEvery = 1;
 }
 
 std::size_t
@@ -93,6 +99,9 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         std::vector<std::size_t> recordIdx;
         core::PointMetrics metrics;
         double wallMs = 0.0;
+        bool failed = false;
+        std::string errorKind;
+        std::string errorMessage;
     };
     std::vector<WorkItem> work;
     std::unordered_map<core::DesignPoint, std::size_t,
@@ -116,7 +125,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
             continue;
         }
         firstSeen.emplace(points[i], work.size());
-        work.push_back({points[i], {i}, {}, 0.0});
+        work.push_back({points[i], {i}, {}, 0.0, false, {}, {}});
         ++stats_.cacheMisses;
     }
 
@@ -132,39 +141,147 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                        StatKind::Deterministic, work.size());
     }
 
-    // Fan the unique points out in grain-sized chunks.
-    std::atomic<std::size_t> done{0};
-    const std::size_t total = work.size();
+    // Checkpointing: `doneFlags` (guarded by ckMutex) marks work
+    // items whose results are final; a snapshot of the done subset is
+    // atomically rewritten every checkpointEvery completions.
+    const bool checkpointing = !opts_.checkpointPath.empty();
+    const std::uint64_t key =
+        checkpointing ? gridKey(points, suiteKey_) : 0;
+    std::vector<char> doneFlags(work.size(), 0);
+    std::mutex ckMutex;
+    std::size_t sinceCheckpoint = 0;
+
+    // Called with ckMutex held; done items are no longer written by
+    // any worker, so reading them here is race-free.
+    auto writeCheckpoint = [&]() {
+        Checkpoint ck;
+        ck.gridKey = key;
+        ck.uniquePoints = work.size();
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            if (!doneFlags[i])
+                continue;
+            CheckpointEntry entry;
+            entry.index = i;
+            entry.failed = work[i].failed;
+            entry.metrics = work[i].metrics;
+            entry.errorKind = work[i].errorKind;
+            entry.errorMessage = work[i].errorMessage;
+            ck.entries.push_back(std::move(entry));
+        }
+        saveCheckpoint(opts_.checkpointPath, ck);
+    };
+
+    std::size_t restored = 0;
+    if (checkpointing && opts_.resume) {
+        const bool exists = std::ifstream(opts_.checkpointPath).good();
+        if (exists) {
+            const Checkpoint ck =
+                loadCheckpoint(opts_.checkpointPath);
+            if (ck.gridKey != key || ck.uniquePoints != work.size()) {
+                throw DataError(opts_.checkpointPath, 0,
+                                "checkpoint does not match this sweep "
+                                "(different grid or suite)");
+            }
+            for (const CheckpointEntry &entry : ck.entries) {
+                if (doneFlags[entry.index])
+                    continue;
+                WorkItem &item = work[entry.index];
+                item.metrics = entry.metrics;
+                item.failed = entry.failed;
+                item.errorKind = entry.errorKind;
+                item.errorMessage = entry.errorMessage;
+                doneFlags[entry.index] = 1;
+                ++restored;
+            }
+            reg.addCounter("sweep.points.restored",
+                           "points restored from a checkpoint",
+                           StatKind::Volatile, restored);
+        }
+    }
+
+    std::vector<std::size_t> pendingIdx;
+    pendingIdx.reserve(work.size() - restored);
+    for (std::size_t i = 0; i < work.size(); ++i)
+        if (!doneFlags[i])
+            pendingIdx.push_back(i);
+
+    // Fan the pending points out in grain-sized chunks.
+    std::atomic<std::size_t> completed{0};
+    const std::size_t total = pendingIdx.size();
     std::vector<std::future<void>> futures;
-    for (std::size_t begin = 0; begin < work.size();
+    for (std::size_t begin = 0; begin < pendingIdx.size();
          begin += opts_.grain) {
         const std::size_t end =
-            std::min(begin + opts_.grain, work.size());
-        futures.push_back(
-            pool_.submit([this, &work, &done, total, begin, end]() {
+            std::min(begin + opts_.grain, pendingIdx.size());
+        futures.push_back(pool_.submit([this, &work, &pendingIdx,
+                                        &completed, &doneFlags,
+                                        &ckMutex, &sinceCheckpoint,
+                                        &writeCheckpoint, checkpointing,
+                                        total, begin, end]() {
             obs::ScopedSpan chunk("sweep.chunk", "sweep");
             auto &reg = obs::StatsRegistry::global();
-            for (std::size_t w = begin; w < end; ++w) {
+            for (std::size_t pi = begin; pi < end; ++pi) {
+                const std::size_t w = pendingIdx[pi];
+                WorkItem &item = work[w];
                 obs::ScopedSpan span(
                     "sweep.point", "sweep",
                     obs::Tracer::global().enabled()
-                        ? pointArgs(work[w].point)
+                        ? pointArgs(item.point)
                         : std::string());
                 const auto t0 = std::chrono::steady_clock::now();
-                const core::CpiResult cpi =
-                    model_.cpiModel().evaluatePrepared(work[w].point);
-                work[w].metrics = core::makeMetrics(
-                    cpi, model_.combineWithCpi(work[w].point,
-                                               cpi.cpi()));
+                // Per-point fault isolation: a throwing point is
+                // recorded as failed and the sweep moves on, unless
+                // the caller asked for fail-fast. InternalError from
+                // PC_FAULT_POINT takes the same route as a real one.
+                try {
+                    PC_FAULT_POINT("sweep.point.eval");
+                    const core::CpiResult cpi =
+                        model_.cpiModel().evaluatePrepared(item.point);
+                    item.metrics = core::makeMetrics(
+                        cpi, model_.combineWithCpi(item.point,
+                                                   cpi.cpi()));
+                } catch (const Error &e) {
+                    if (opts_.failFast)
+                        throw;
+                    item.failed = true;
+                    item.errorKind = e.kindName();
+                    item.errorMessage = e.what();
+                } catch (const std::exception &e) {
+                    if (opts_.failFast)
+                        throw;
+                    item.failed = true;
+                    item.errorKind =
+                        errorKindName(ErrorKind::Internal);
+                    item.errorMessage = e.what();
+                }
                 const auto t1 = std::chrono::steady_clock::now();
-                work[w].wallMs =
+                item.wallMs =
                     std::chrono::duration<double, std::milli>(t1 - t0)
                         .count();
                 reg.addCounter("sweep.points.evaluated",
                                "unique design points simulated",
                                obs::StatKind::Deterministic);
+                if (item.failed) {
+                    reg.addCounter(
+                        "sweep.points_failed",
+                        "design points whose evaluation threw",
+                        obs::StatKind::Deterministic);
+                    warn("sweep: point '", item.point.describe(),
+                         "' failed (", item.errorKind, "): ",
+                         item.errorMessage);
+                }
+                if (checkpointing) {
+                    std::lock_guard<std::mutex> lock(ckMutex);
+                    doneFlags[w] = 1;
+                    if (++sinceCheckpoint >= opts_.checkpointEvery) {
+                        sinceCheckpoint = 0;
+                        writeCheckpoint();
+                    }
+                }
                 const std::size_t d =
-                    done.fetch_add(1, std::memory_order_acq_rel) + 1;
+                    completed.fetch_add(1,
+                                        std::memory_order_acq_rel) +
+                    1;
                 if (opts_.onProgress)
                     opts_.onProgress(d, total);
             }
@@ -186,8 +303,20 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     if (firstError)
         std::rethrow_exception(firstError);
 
+    // One final checkpoint so a crash between here and the caller's
+    // output write resumes instantly.
+    if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckMutex);
+        writeCheckpoint();
+    }
+
     for (const WorkItem &item : work) {
-        insert(item.point, item.metrics);
+        if (item.failed) {
+            // Never memoize a failure: a later sweep retries it.
+            ++stats_.pointsFailed;
+        } else {
+            insert(item.point, item.metrics);
+        }
         stats_.evalWallMs += item.wallMs;
         reg.addScalar("sweep.eval_wall_ms",
                       "summed per-point evaluation wall time",
@@ -196,6 +325,9 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         for (const std::size_t idx : item.recordIdx) {
             records[idx].metrics = item.metrics;
             records[idx].wallMs = first ? item.wallMs : 0.0;
+            records[idx].failed = item.failed;
+            records[idx].errorKind = item.errorKind;
+            records[idx].errorMessage = item.errorMessage;
             first = false;
         }
     }
@@ -207,8 +339,21 @@ SweepEngine::evaluateBatch(const std::vector<core::DesignPoint> &points)
 {
     std::vector<core::PointMetrics> out;
     out.reserve(points.size());
-    for (SweepRecord &record : sweep(points))
+    for (SweepRecord &record : sweep(points)) {
+        // Batch callers (optimizer, experiments) have no per-point
+        // error channel; zero-valued metrics would silently corrupt
+        // their results, so surface the first failure instead.
+        if (record.failed) {
+            throw Error(record.errorKind == "data" ? ErrorKind::Data
+                        : record.errorKind == "io" ? ErrorKind::Io
+                        : record.errorKind == "usage"
+                            ? ErrorKind::Usage
+                            : ErrorKind::Internal,
+                        "design point '" + record.point.describe() +
+                            "' failed: " + record.errorMessage);
+        }
         out.push_back(record.metrics);
+    }
     return out;
 }
 

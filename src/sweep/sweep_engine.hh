@@ -14,6 +14,18 @@
  * up front on the submitting thread, which makes the per-record
  * cache-hit flag — and therefore the serialized results — independent
  * of the thread count.
+ *
+ * Fault tolerance: by default a design point that throws is recorded
+ * as a failed record (error kind + message; `sweep.points_failed` in
+ * the stats registry) and the sweep keeps going — one bad point in a
+ * long sweep must not cost the other ten thousand. Failed points are
+ * never memoized, so a later sweep retries them.
+ * SweepOptions::failFast restores propagate-first-error semantics
+ * (after draining in-flight chunks). With SweepOptions::checkpointPath
+ * set, completed points are periodically persisted via an atomic
+ * write; `resume` skips the persisted points and — because metrics
+ * round-trip bit-exactly — yields results byte-identical to an
+ * uninterrupted run.
  */
 
 #ifndef PIPECACHE_SWEEP_SWEEP_ENGINE_HH
@@ -23,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +58,25 @@ struct SweepOptions
      * and cheap. Never called for cache hits.
      */
     std::function<void(std::size_t done, std::size_t total)> onProgress;
+    /**
+     * When true, the first throwing design point aborts the sweep
+     * (every in-flight chunk still drains before the rethrow). The
+     * default records the point as failed and keeps sweeping.
+     */
+    bool failFast = false;
+    /**
+     * Non-empty: persist completed points to this path (atomic
+     * temp+fsync+rename) every checkpointEvery completions and once
+     * more when the sweep finishes.
+     */
+    std::string checkpointPath;
+    std::size_t checkpointEvery = 16;
+    /**
+     * Load checkpointPath (when it exists) before evaluating and skip
+     * the points it records. The checkpoint's grid key must match the
+     * sweep's input + suite — a mismatch is a DataError.
+     */
+    bool resume = false;
 };
 
 /** One evaluated design point. */
@@ -62,6 +94,15 @@ struct SweepRecord
     /** Evaluation wall time (0 for cache hits). Volatile metadata:
      *  varies run to run, excluded from byte-stable output. */
     double wallMs = 0.0;
+    /**
+     * True when this point's evaluation threw (metrics are
+     * zero-valued and must not be read). Duplicates of a failed point
+     * share its failure. Deterministic for deterministic evaluators.
+     */
+    bool failed = false;
+    /** Error taxonomy kind name ("data", "io", ...) when failed. */
+    std::string errorKind;
+    std::string errorMessage;
 };
 
 /** Lifetime counters of one engine. */
@@ -69,6 +110,8 @@ struct SweepStats
 {
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+    /** Unique points whose evaluation threw (isolation mode). */
+    std::uint64_t pointsFailed = 0;
     /** Sum of per-point evaluation wall times (CPU-parallel). */
     double evalWallMs = 0.0;
 

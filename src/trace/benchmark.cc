@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace pipecache::trace {
@@ -381,7 +382,8 @@ Benchmark::codeBase(std::uint32_t asid) const
 Counter
 Benchmark::scaledInsts(double scale_divisor) const
 {
-    PC_ASSERT(scale_divisor >= 1.0, "scale divisor must be >= 1");
+    if (scale_divisor < 1.0)
+        throw UsageError("scale divisor must be >= 1");
     const double scaled = instMillions * 1e6 / scale_divisor;
     return static_cast<Counter>(std::max(scaled, 20000.0));
 }
@@ -420,7 +422,7 @@ findBenchmark(std::string_view name)
     for (const auto &b : table1Suite())
         if (b.name == name)
             return b;
-    PC_FATAL("unknown benchmark: ", std::string(name));
+    throw UsageError("unknown benchmark: " + std::string(name));
 }
 
 } // namespace pipecache::trace

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace pipecache::trace {
@@ -69,18 +71,24 @@ readDin(std::istream &is)
         const char *begin = line.data() + start;
         const char *end = line.data() + line.size();
 
+        // Malformed records are a property of the input, not a
+        // simulator failure: throw DataError with the line number so
+        // a long run can skip or report the file instead of dying.
         int label = -1;
         auto lr = std::from_chars(begin, end, label);
         if (lr.ec != std::errc{} || label < 0 || label > 2)
-            PC_FATAL("din line ", lineno, ": bad label in '", line, "'");
+            throw DataError("", lineno, "bad label in '" + line + "'");
 
         const char *ap = lr.ptr;
+        if (ap == end)
+            throw DataError("", lineno,
+                            "truncated record '" + line + "'");
         while (ap < end && std::isspace(static_cast<unsigned char>(*ap)))
             ++ap;
         Addr addr = 0;
         auto ar = std::from_chars(ap, end, addr, 16);
         if (ar.ec != std::errc{} || ap == ar.ptr)
-            PC_FATAL("din line ", lineno, ": bad address in '", line, "'");
+            throw DataError("", lineno, "bad address in '" + line + "'");
 
         records.push_back({static_cast<RefKind>(label), addr});
     }
@@ -91,12 +99,11 @@ void
 writeDinFile(const std::string &path, const isa::Program &program,
              const RecordedTrace &trace)
 {
-    std::ofstream out(path);
-    if (!out)
-        PC_FATAL("cannot open trace file for writing: ", path);
-    writeDin(out, program, trace);
-    if (!out)
-        PC_FATAL("error while writing trace file: ", path);
+    // Atomic write: a crash mid-emission never leaves a truncated
+    // trace behind for a later run to choke on.
+    util::writeFileAtomic(path, [&](std::ostream &os) {
+        writeDin(os, program, trace);
+    });
 }
 
 std::vector<TraceRecord>
@@ -104,8 +111,12 @@ readDinFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        PC_FATAL("cannot open trace file: ", path);
-    return readDin(in);
+        throw IoError(path, "cannot open trace file");
+    try {
+        return readDin(in);
+    } catch (const DataError &e) {
+        throw e.withSource(path);
+    }
 }
 
 std::vector<TraceRecord>

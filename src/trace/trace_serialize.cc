@@ -7,6 +7,8 @@
 #include <ostream>
 #include <vector>
 
+#include "util/atomic_file.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace pipecache::trace {
@@ -68,7 +70,7 @@ class Reader
         T value{};
         is_.read(reinterpret_cast<char *>(&value), sizeof(value));
         if (!is_)
-            PC_FATAL("truncated trace stream");
+            throw DataError("truncated trace stream");
         crc_.update(&value, sizeof(value));
         return value;
     }
@@ -80,7 +82,7 @@ class Reader
         std::uint64_t value = 0;
         is_.read(reinterpret_cast<char *>(&value), sizeof(value));
         if (!is_)
-            PC_FATAL("truncated trace stream (checksum)");
+            throw DataError("truncated trace stream (checksum)");
         return value;
     }
 
@@ -114,7 +116,7 @@ saveTrace(std::ostream &os, const RecordedTrace &trace)
     const std::uint64_t crc = w.crc();
     os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
     if (!os)
-        PC_FATAL("error while writing trace stream");
+        throw IoError("error while writing trace stream");
 }
 
 RecordedTrace
@@ -122,7 +124,7 @@ loadTrace(std::istream &is)
 {
     Reader r(is);
     if (r.get<std::uint64_t>() != traceMagic)
-        PC_FATAL("not a pipecache trace (bad magic)");
+        throw DataError("not a pipecache trace (bad magic)");
 
     RecordedTrace trace;
     trace.instCount = r.get<std::uint64_t>();
@@ -130,8 +132,9 @@ loadTrace(std::istream &is)
     const auto nmem = r.get<std::uint64_t>();
     // Sanity cap: refuse absurd sizes before allocating.
     if (nblocks > (1ULL << 32) || nmem > (1ULL << 32))
-        PC_FATAL("implausible trace header (", nblocks, " blocks, ",
-                 nmem, " mem refs)");
+        throw DataError("implausible trace header (" +
+                        std::to_string(nblocks) + " blocks, " +
+                        std::to_string(nmem) + " mem refs)");
 
     trace.blocks.reserve(nblocks);
     for (std::uint64_t i = 0; i < nblocks; ++i) {
@@ -153,7 +156,7 @@ loadTrace(std::istream &is)
     const std::uint64_t expect = r.crc();
     const std::uint64_t stored = r.getRawU64();
     if (expect != stored)
-        PC_FATAL("trace checksum mismatch (corrupt file)");
+        throw DataError("trace checksum mismatch (corrupt file)");
 
     // Structural sanity: memBegin indices must be monotone and within
     // range so memRange() stays safe.
@@ -161,7 +164,7 @@ loadTrace(std::istream &is)
     for (const auto &b : trace.blocks) {
         if (b.memBegin < prev ||
             b.memBegin > trace.memRefs.size())
-            PC_FATAL("corrupt trace: bad memBegin ordering");
+            throw DataError("corrupt trace: bad memBegin ordering");
         prev = b.memBegin;
     }
     return trace;
@@ -170,10 +173,10 @@ loadTrace(std::istream &is)
 void
 saveTraceFile(const std::string &path, const RecordedTrace &trace)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        PC_FATAL("cannot open trace file for writing: ", path);
-    saveTrace(out, trace);
+    // Atomic write: a crash mid-save never leaves a truncated trace.
+    util::writeFileAtomic(
+        path, [&](std::ostream &os) { saveTrace(os, trace); },
+        util::AtomicWriteMode::Binary);
 }
 
 RecordedTrace
@@ -181,8 +184,12 @@ loadTraceFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        PC_FATAL("cannot open trace file: ", path);
-    return loadTrace(in);
+        throw IoError(path, "cannot open trace file");
+    try {
+        return loadTrace(in);
+    } catch (const DataError &e) {
+        throw e.withSource(path);
+    }
 }
 
 } // namespace pipecache::trace

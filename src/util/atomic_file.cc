@@ -1,0 +1,93 @@
+#include "util/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+#include "util/fault_injection.hh"
+
+namespace pipecache::util {
+
+namespace {
+
+/** fsync the object at @p path opened with @p oflags; best-effort
+ *  directory sync is not available on all filesystems, so only the
+ *  data-file sync failure is fatal. */
+bool
+syncPath(const std::string &path, int oflags)
+{
+    const int fd = ::open(path.c_str(), oflags);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+void
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &producer,
+                AtomicWriteMode mode)
+{
+    // A pid suffix keeps concurrent writers of the same target from
+    // trampling each other's temp file; last rename wins atomically.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    struct TmpGuard
+    {
+        const std::string &tmp;
+        bool armed = true;
+        ~TmpGuard()
+        {
+            if (armed)
+                std::remove(tmp.c_str());
+        }
+    } guard{tmp};
+
+    {
+        std::ofstream out(tmp, mode == AtomicWriteMode::Binary
+                                   ? std::ios::binary | std::ios::trunc
+                                   : std::ios::trunc);
+        if (!out)
+            throw IoError(tmp, "cannot create temp file");
+        producer(out);
+        out.flush();
+        if (!out)
+            throw IoError(tmp, "error while writing temp file");
+    }
+
+    if (!syncPath(tmp, O_WRONLY))
+        throw IoError(tmp, "fsync failed");
+
+    // Everything up to here left `path` untouched; the rename below
+    // is the commit point.
+    PC_FAULT_POINT("atomic_file.commit");
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw IoError(path, "rename from temp file failed");
+    guard.armed = false;
+
+    // Make the new directory entry durable too (ignore failure: some
+    // filesystems reject O_RDONLY fsync on directories).
+    syncPath(parentDir(path), O_RDONLY | O_DIRECTORY);
+}
+
+} // namespace pipecache::util

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Atomic file writes: temp file in the target directory, fsync,
+ * rename over the destination.
+ *
+ * Every file artifact the tools produce (sweep JSON/CSV, stats and
+ * trace dumps, checkpoints, recorded traces) goes through this one
+ * helper, so a crash — including SIGKILL mid-write — leaves either
+ * the previous complete file or the new complete file, never a
+ * truncated mix. This is the property the sweep checkpoint/resume
+ * machinery depends on.
+ */
+
+#ifndef PIPECACHE_UTIL_ATOMIC_FILE_HH
+#define PIPECACHE_UTIL_ATOMIC_FILE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pipecache::util {
+
+enum class AtomicWriteMode { Text, Binary };
+
+/**
+ * Write @p path atomically: @p producer fills a temp file created in
+ * the same directory, the temp file is flushed and fsync()ed, then
+ * rename()d over @p path (and the directory entry synced). On any
+ * failure the temp file is removed and IoError is thrown; @p path is
+ * never left half-written. Exceptions from @p producer propagate
+ * unchanged (after cleanup).
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::function<void(std::ostream &)> &producer,
+                     AtomicWriteMode mode = AtomicWriteMode::Text);
+
+} // namespace pipecache::util
+
+#endif // PIPECACHE_UTIL_ATOMIC_FILE_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Structured error taxonomy for library code.
+ *
+ * panic()/fatal() (util/logging.hh) kill the process, which is the
+ * right call for a broken simulator invariant but the wrong one for
+ * library entry points fed external input: a malformed trace file
+ * must be a recoverable data error in a long sweep, not an abort.
+ * Library code throws one of the pipecache::Error subclasses instead
+ * and lets the caller decide — the sweep engine records the point as
+ * failed and keeps going, the CLI maps the kind to a documented exit
+ * code.
+ *
+ * Kinds and their CLI exit codes:
+ *   UsageError    (2) — the caller asked for something the simulator
+ *                       cannot do (bad flag value, unknown benchmark).
+ *   DataError     (3) — external input is malformed (bad din line,
+ *                       corrupt trace stream, mismatched checkpoint);
+ *                       carries the source name and line when known.
+ *   IoError       (3) — the environment failed us (cannot open,
+ *                       short write, rename failure).
+ *   InternalError (1) — a bug or an injected fault; nothing the user
+ *                       did wrong.
+ *
+ * Every subclass derives from std::runtime_error, so pre-taxonomy
+ * call sites catching std::runtime_error keep working.
+ */
+
+#ifndef PIPECACHE_UTIL_ERROR_HH
+#define PIPECACHE_UTIL_ERROR_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace pipecache {
+
+enum class ErrorKind { Usage, Data, Io, Internal };
+
+/** Short stable name, used in JSON results and CLI diagnostics. */
+constexpr const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::Usage:
+        return "usage";
+    case ErrorKind::Data:
+        return "data";
+    case ErrorKind::Io:
+        return "io";
+    default:
+        return "internal";
+    }
+}
+
+/** Documented process exit code for an error of @p kind. */
+constexpr int
+errorExitCode(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::Usage:
+        return 2;
+    case ErrorKind::Data:
+    case ErrorKind::Io:
+        return 3;
+    default:
+        return 1;
+    }
+}
+
+/** Base of the taxonomy; what() is the full human-readable message. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(kind)
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+    const char *kindName() const { return errorKindName(kind_); }
+    int exitCode() const { return errorExitCode(kind_); }
+
+  private:
+    ErrorKind kind_;
+};
+
+/** The caller asked for something the simulator cannot do. */
+class UsageError : public Error
+{
+  public:
+    explicit UsageError(const std::string &msg)
+        : Error(ErrorKind::Usage, msg)
+    {
+    }
+};
+
+/**
+ * External input is malformed. Carries the input's name (file path,
+ * stream label; may be empty when read from an anonymous stream) and
+ * 1-based line number (0 when not line-oriented), so callers can
+ * point at the offending record. withSource() rebinds the same error
+ * to a named file — used by the *File() wrappers around stream
+ * readers that only know line numbers.
+ */
+class DataError : public Error
+{
+  public:
+    explicit DataError(const std::string &msg)
+        : Error(ErrorKind::Data, msg), line_(0), rawMsg_(msg)
+    {
+    }
+
+    DataError(const std::string &source, std::size_t line,
+              const std::string &msg)
+        : Error(ErrorKind::Data, format(source, line, msg)),
+          source_(source), line_(line), rawMsg_(msg)
+    {
+    }
+
+    const std::string &source() const { return source_; }
+    std::size_t line() const { return line_; }
+    /** The message without the source:line prefix. */
+    const std::string &rawMessage() const { return rawMsg_; }
+
+    /** The same error, attributed to @p source. */
+    DataError withSource(const std::string &source) const
+    {
+        return DataError(source, line_, rawMsg_);
+    }
+
+  private:
+    static std::string format(const std::string &source,
+                              std::size_t line, const std::string &msg)
+    {
+        std::string out;
+        if (!source.empty()) {
+            out += source;
+            if (line != 0)
+                out += ":" + std::to_string(line);
+            out += ": ";
+        } else if (line != 0) {
+            out += "line " + std::to_string(line) + ": ";
+        }
+        out += msg;
+        return out;
+    }
+
+    std::string source_;
+    std::size_t line_;
+    std::string rawMsg_;
+};
+
+/** The environment failed an I/O operation. */
+class IoError : public Error
+{
+  public:
+    explicit IoError(const std::string &msg)
+        : Error(ErrorKind::Io, msg)
+    {
+    }
+
+    IoError(const std::string &path, const std::string &msg)
+        : Error(ErrorKind::Io, path + ": " + msg), path_(path)
+    {
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A bug (or an injected fault) — nothing the user did wrong. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : Error(ErrorKind::Internal, msg)
+    {
+    }
+};
+
+} // namespace pipecache
+
+#endif // PIPECACHE_UTIL_ERROR_HH

@@ -1,0 +1,105 @@
+#include "util/fault_injection.hh"
+
+#ifdef PIPECACHE_FAULT_INJECTION
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/error.hh"
+
+namespace pipecache::fi {
+
+namespace {
+
+struct Site
+{
+    std::uint64_t hits = 0;
+    /** Fire when hits reaches this value; 0 = disarmed. */
+    std::uint64_t armedAt = 0;
+    bool fired = false;
+};
+
+std::mutex sitesMutex;
+std::unordered_map<std::string, Site> &
+sites()
+{
+    static std::unordered_map<std::string, Site> map;
+    return map;
+}
+
+} // namespace
+
+void
+arm(const std::string &site, std::uint64_t nth)
+{
+    std::lock_guard<std::mutex> lock(sitesMutex);
+    Site &s = sites()[site];
+    s.armedAt = s.hits + (nth == 0 ? 1 : nth);
+    s.fired = false;
+}
+
+void
+armFromEnv()
+{
+    const char *spec = std::getenv("PIPECACHE_FAULTS");
+    if (!spec || !*spec)
+        return;
+    std::string rest = spec;
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string entry = rest.substr(0, comma);
+        rest = comma == std::string::npos ? ""
+                                          : rest.substr(comma + 1);
+        const auto colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            throw UsageError("bad PIPECACHE_FAULTS entry '" + entry +
+                             "' (want site:nth)");
+        char *end = nullptr;
+        const unsigned long long nth =
+            std::strtoull(entry.c_str() + colon + 1, &end, 10);
+        if (*end != '\0' || nth == 0)
+            throw UsageError("bad PIPECACHE_FAULTS count in '" + entry +
+                             "'");
+        arm(entry.substr(0, colon), nth);
+    }
+}
+
+void
+clear()
+{
+    std::lock_guard<std::mutex> lock(sitesMutex);
+    sites().clear();
+}
+
+std::uint64_t
+hitCount(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(sitesMutex);
+    const auto it = sites().find(site);
+    return it == sites().end() ? 0 : it->second.hits;
+}
+
+bool
+shouldFail(const char *site)
+{
+    std::lock_guard<std::mutex> lock(sitesMutex);
+    Site &s = sites()[site];
+    ++s.hits;
+    if (s.armedAt != 0 && !s.fired && s.hits >= s.armedAt) {
+        s.fired = true;
+        return true;
+    }
+    return false;
+}
+
+void
+injectionPoint(const char *site)
+{
+    if (shouldFail(site))
+        throw InternalError(std::string("injected fault at ") + site);
+}
+
+} // namespace pipecache::fi
+
+#endif // PIPECACHE_FAULT_INJECTION

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness tests.
+ *
+ * Library code marks interesting failure sites with
+ * PC_FAULT_POINT("site.name"). In normal builds the macro expands to
+ * nothing — zero instructions on the hot path. Configured with
+ * -DPIPECACHE_FAULT_INJECTION=ON, every site counts its hits and an
+ * armed site throws InternalError("injected fault at <site> ...") on
+ * exactly the n-th hit, which lets tests prove the isolation, drain,
+ * and resume paths actually take the routes they claim to.
+ *
+ * Arming:
+ *   - test API: fi::arm("sweep.point.eval", 3) — fire on the 3rd hit
+ *     (1-based), once; fi::clear() resets everything.
+ *   - environment: PIPECACHE_FAULTS="site:nth[,site:nth...]" parsed
+ *     by fi::armFromEnv() (the CLI calls it at startup).
+ *
+ * Counting is process-global and thread-safe; with a single worker
+ * thread the n-th hit is fully deterministic.
+ */
+
+#ifndef PIPECACHE_UTIL_FAULT_INJECTION_HH
+#define PIPECACHE_UTIL_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pipecache::fi {
+
+/** True when the harness is compiled in (PIPECACHE_FAULT_INJECTION). */
+constexpr bool
+compiledIn()
+{
+#ifdef PIPECACHE_FAULT_INJECTION
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef PIPECACHE_FAULT_INJECTION
+
+/** Arm @p site to fire on its @p nth hit from now (1-based). */
+void arm(const std::string &site, std::uint64_t nth);
+
+/** Parse PIPECACHE_FAULTS ("site:nth[,site:nth...]"); unset = no-op.
+ *  Throws UsageError on a malformed spec. */
+void armFromEnv();
+
+/** Disarm every site and reset all hit counters. */
+void clear();
+
+/** Hits recorded at @p site since the last clear(). */
+std::uint64_t hitCount(const std::string &site);
+
+/** Count a hit; true exactly when an armed site reaches its n-th. */
+bool shouldFail(const char *site);
+
+/** Count a hit and throw InternalError when the site fires. */
+void injectionPoint(const char *site);
+
+#define PC_FAULT_POINT(site) ::pipecache::fi::injectionPoint(site)
+
+#else
+
+inline void arm(const std::string &, std::uint64_t) {}
+inline void armFromEnv() {}
+inline void clear() {}
+inline std::uint64_t hitCount(const std::string &) { return 0; }
+inline bool shouldFail(const char *) { return false; }
+inline void injectionPoint(const char *) {}
+
+#define PC_FAULT_POINT(site)                                              \
+    do {                                                                  \
+    } while (0)
+
+#endif // PIPECACHE_FAULT_INJECTION
+
+} // namespace pipecache::fi
+
+#endif // PIPECACHE_UTIL_FAULT_INJECTION_HH

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Robustness tests: deterministic fault-injection semantics, per-point
+ * sweep isolation, checkpoint save/load/resume byte-identity, and
+ * atomic-write behavior under an injected commit fault.
+ *
+ * Tests that need an armed fault site skip themselves unless the
+ * harness is compiled in (-DPIPECACHE_FAULT_INJECTION=ON); the
+ * isolation and checkpoint tests run in every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/checkpoint.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
+#include "util/logging.hh"
+
+namespace pipecache::sweep {
+namespace {
+
+core::SuiteConfig
+tinySuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0;
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+std::vector<core::DesignPoint>
+smallGrid()
+{
+    std::vector<core::DesignPoint> points;
+    for (std::uint32_t kw : {1u, 2u}) {
+        for (std::uint32_t b = 0; b <= 2; ++b) {
+            core::DesignPoint p;
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+/** A point whose cache constructor panics (non-power-of-two size). */
+core::DesignPoint
+badPoint()
+{
+    core::DesignPoint p;
+    p.l1iSizeKW = 3;
+    return p;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// ------------------------------------------------- fault injection
+
+TEST(FaultInjectionTest, FiresOnExactlyTheNthHit)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    fi::clear();
+    fi::arm("test.site", 3);
+    EXPECT_FALSE(fi::shouldFail("test.site"));
+    EXPECT_FALSE(fi::shouldFail("test.site"));
+    EXPECT_TRUE(fi::shouldFail("test.site"));
+    // Fires once, then stays quiet.
+    EXPECT_FALSE(fi::shouldFail("test.site"));
+    EXPECT_EQ(fi::hitCount("test.site"), 4u);
+    fi::clear();
+    EXPECT_EQ(fi::hitCount("test.site"), 0u);
+}
+
+TEST(FaultInjectionTest, ArmCountsFromNow)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    fi::clear();
+    // Two unarmed hits first; arming is relative to the current
+    // count, so nth=1 means the very next hit.
+    EXPECT_FALSE(fi::shouldFail("test.relative"));
+    EXPECT_FALSE(fi::shouldFail("test.relative"));
+    fi::arm("test.relative", 1);
+    EXPECT_TRUE(fi::shouldFail("test.relative"));
+    fi::clear();
+}
+
+TEST(FaultInjectionTest, InjectionPointThrowsInternalError)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    fi::clear();
+    fi::arm("test.throwing", 1);
+    try {
+        fi::injectionPoint("test.throwing");
+        FAIL() << "armed injection point did not throw";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("test.throwing"),
+                  std::string::npos);
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+    }
+    // Disarmed after firing.
+    fi::injectionPoint("test.throwing");
+    fi::clear();
+}
+
+// ----------------------------------------------- per-point isolation
+
+TEST(SweepIsolationTest, FailedPointIsRecordedAndSweepContinues)
+{
+    setLogSink([](const std::string &) {});
+    auto points = smallGrid();
+    points.insert(points.begin(), badPoint());
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
+
+    // Default mode: the bad point is isolated, everything else
+    // evaluates normally.
+    const auto records = engine.sweep(points);
+    ASSERT_EQ(records.size(), points.size());
+    EXPECT_TRUE(records[0].failed);
+    EXPECT_EQ(records[0].errorKind, "internal");
+    EXPECT_FALSE(records[0].errorMessage.empty());
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_FALSE(records[i].failed);
+        EXPECT_GT(records[i].metrics.cpi, 0.0);
+    }
+    EXPECT_EQ(engine.stats().pointsFailed, 1u);
+
+    // The failure shows up in both sinks.
+    const std::string json =
+        jsonString("iso", records, engine.stats());
+    EXPECT_NE(json.find("\"points_failed\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"error\":{\"kind\":\"internal\""),
+              std::string::npos);
+    const std::string csv = csvString(records);
+    EXPECT_NE(csv.find(",1,internal"), std::string::npos);
+
+    // Failures are never memoized: the same point retried in a later
+    // sweep is a miss and fails again instead of serving stale junk.
+    const auto retry = engine.sweep({badPoint()});
+    EXPECT_FALSE(retry[0].cacheHit);
+    EXPECT_TRUE(retry[0].failed);
+    EXPECT_EQ(engine.stats().pointsFailed, 2u);
+    setLogSink(nullptr);
+}
+
+TEST(SweepIsolationTest, EvaluateBatchSurfacesFirstFailure)
+{
+    // Batch callers (optimizer, experiments) have no error channel;
+    // silently returning zeroed metrics would corrupt their results.
+    setLogSink([](const std::string &) {});
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
+    std::vector<core::DesignPoint> points = {badPoint()};
+    EXPECT_THROW(engine.evaluateBatch(points), Error);
+    setLogSink(nullptr);
+}
+
+TEST(SweepIsolationTest, InjectedFaultIsIsolatedAndCounted)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    setLogSink([](const std::string &) {});
+    fi::clear();
+    fi::arm("sweep.point.eval", 2);
+
+    const auto points = smallGrid();
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.grain = 1;
+    SweepEngine engine(tpi, opts);
+    const auto records = engine.sweep(points);
+
+    // Exactly one point took the injected InternalError; which one
+    // depends on pool scheduling, so assert the count, not identity.
+    std::size_t failed = 0;
+    for (const SweepRecord &r : records) {
+        if (r.failed) {
+            ++failed;
+            EXPECT_EQ(r.errorKind, "internal");
+            EXPECT_NE(r.errorMessage.find("sweep.point.eval"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(failed, 1u);
+    EXPECT_EQ(engine.stats().pointsFailed, 1u);
+    fi::clear();
+    setLogSink(nullptr);
+}
+
+// ------------------------------------------------------- checkpoints
+
+TEST(CheckpointTest, SaveLoadRoundTripsBitExactly)
+{
+    Checkpoint ck;
+    ck.gridKey = 0xdeadbeefcafef00dULL;
+    ck.uniquePoints = 4;
+
+    CheckpointEntry ok;
+    ok.index = 1;
+    // Awkward doubles: non-terminating binary fractions round-trip
+    // only because the format uses to_chars/from_chars.
+    ok.metrics.cpi = 1.0 / 3.0;
+    ok.metrics.branchCpi = 2.0 / 7.0;
+    ok.metrics.loadCpi = 0.1;
+    ok.metrics.iMissCpi = 1e-300;
+    ok.metrics.dMissCpi = 12345.6789;
+    ok.metrics.l1iMissRate = 0.02;
+    ok.metrics.l1dMissRate = 0.07;
+    ok.metrics.tCpuNs = 11.3;
+    ok.metrics.tIsideNs = 9.9;
+    ok.metrics.tDsideNs = 8.25;
+    ok.metrics.tpiNs = 13.125;
+    ck.entries.push_back(ok);
+
+    CheckpointEntry fail;
+    fail.index = 3;
+    fail.failed = true;
+    fail.errorKind = "data";
+    fail.errorMessage = "line one\nline two";
+    ck.entries.push_back(fail);
+
+    const std::string path = tmpPath("pipecache_ck_roundtrip");
+    saveCheckpoint(path, ck);
+    const Checkpoint loaded = loadCheckpoint(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.gridKey, ck.gridKey);
+    EXPECT_EQ(loaded.uniquePoints, ck.uniquePoints);
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.entries[0].index, 1u);
+    EXPECT_FALSE(loaded.entries[0].failed);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded.entries[0].metrics.cpi),
+              std::bit_cast<std::uint64_t>(ok.metrics.cpi));
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(loaded.entries[0].metrics.iMissCpi),
+        std::bit_cast<std::uint64_t>(ok.metrics.iMissCpi));
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(loaded.entries[0].metrics.tpiNs),
+        std::bit_cast<std::uint64_t>(ok.metrics.tpiNs));
+    EXPECT_EQ(loaded.entries[1].index, 3u);
+    EXPECT_TRUE(loaded.entries[1].failed);
+    EXPECT_EQ(loaded.entries[1].errorKind, "data");
+    // Newlines are flattened to keep the format line-oriented.
+    EXPECT_EQ(loaded.entries[1].errorMessage, "line one line two");
+}
+
+TEST(CheckpointTest, LoadRejectsMalformedFiles)
+{
+    const std::string path = tmpPath("pipecache_ck_malformed");
+
+    {
+        std::ofstream out(path);
+        out << "not-a-checkpoint\n";
+    }
+    try {
+        loadCheckpoint(path);
+        FAIL() << "bad header accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.source(), path);
+        EXPECT_EQ(e.line(), 1u);
+    }
+
+    {
+        std::ofstream out(path);
+        out << "pipecache-checkpoint 1\n"
+            << "grid 0000000000000001 unique 2\n"
+            << "ok 0 1 2 3 4 5 6 7 8 9 10 notanumber\n";
+    }
+    try {
+        loadCheckpoint(path);
+        FAIL() << "bad metric accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+
+    {
+        std::ofstream out(path);
+        out << "pipecache-checkpoint 1\n"
+            << "grid 0000000000000001 unique 2\n"
+            << "fail 7 internal boom\n";
+    }
+    // Index 7 is out of range for a 2-point sweep.
+    EXPECT_THROW(loadCheckpoint(path), DataError);
+
+    std::remove(path.c_str());
+    EXPECT_THROW(loadCheckpoint(path), IoError);
+}
+
+TEST(CheckpointTest, GridKeyBindsPointsAndSuite)
+{
+    const auto points = smallGrid();
+    auto shifted = points;
+    shifted.back().branchSlots += 1;
+    EXPECT_NE(gridKey(points, 42), gridKey(shifted, 42));
+    EXPECT_NE(gridKey(points, 42), gridKey(points, 43));
+    EXPECT_EQ(gridKey(points, 42), gridKey(points, 42));
+}
+
+TEST(CheckpointTest, ResumeIsByteIdenticalToUninterruptedRun)
+{
+    const auto points = smallGrid();
+    const std::string path = tmpPath("pipecache_ck_resume");
+    std::remove(path.c_str());
+
+    // Reference: no checkpointing at all.
+    core::CpiModel ref_cpi(tinySuite());
+    core::TpiModel ref_tpi(ref_cpi);
+    SweepOptions ref_opts;
+    ref_opts.threads = 2;
+    ref_opts.grain = 1;
+    SweepEngine ref_engine(ref_tpi, ref_opts);
+    const auto ref_records = ref_engine.sweep(points);
+    const std::string ref_json =
+        jsonString("resume", ref_records, ref_engine.stats());
+
+    // Checkpointed run leaves a complete checkpoint behind.
+    {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        SweepOptions opts = ref_opts;
+        opts.checkpointPath = path;
+        opts.checkpointEvery = 1;
+        SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(points);
+        EXPECT_EQ(jsonString("resume", records, engine.stats()),
+                  ref_json);
+    }
+
+    // Full-checkpoint resume: nothing left to evaluate, output still
+    // byte-identical.
+    {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        SweepOptions opts = ref_opts;
+        opts.checkpointPath = path;
+        opts.resume = true;
+        SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(points);
+        // Every point was restored, none evaluated.
+        EXPECT_EQ(engine.stats().evalWallMs, 0.0);
+        EXPECT_EQ(jsonString("resume", records, engine.stats()),
+                  ref_json);
+    }
+
+    // Partial resume: keep only half the entries, the rest must
+    // re-evaluate to the same bits.
+    {
+        Checkpoint ck = loadCheckpoint(path);
+        ck.entries.resize(ck.entries.size() / 2);
+        saveCheckpoint(path, ck);
+
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        SweepOptions opts = ref_opts;
+        opts.checkpointPath = path;
+        opts.resume = true;
+        SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(points);
+        EXPECT_GT(engine.stats().evalWallMs, 0.0);
+        EXPECT_EQ(jsonString("resume", records, engine.stats()),
+                  ref_json);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResumeRejectsMismatchedGrid)
+{
+    const auto points = smallGrid();
+    const std::string path = tmpPath("pipecache_ck_mismatch");
+
+    Checkpoint ck;
+    ck.gridKey = gridKey(points, 1234567); // wrong suite key
+    ck.uniquePoints = points.size();
+    saveCheckpoint(path, ck);
+
+    core::CpiModel cpi(tinySuite());
+    core::TpiModel tpi(cpi);
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.grain = 1;
+    opts.checkpointPath = path;
+    opts.resume = true;
+    SweepEngine engine(tpi, opts);
+    EXPECT_THROW(engine.sweep(points), DataError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CommitFaultLeavesPreviousFileIntact)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    const std::string path = tmpPath("pipecache_ck_commit_fault");
+
+    Checkpoint first;
+    first.gridKey = 7;
+    first.uniquePoints = 1;
+    saveCheckpoint(path, first);
+    const std::string before = slurp(path);
+
+    Checkpoint second;
+    second.gridKey = 8;
+    second.uniquePoints = 2;
+    fi::clear();
+    fi::arm("atomic_file.commit", 1);
+    EXPECT_THROW(saveCheckpoint(path, second), InternalError);
+    fi::clear();
+
+    // The failed write never replaced (or corrupted) the old file.
+    EXPECT_EQ(slurp(path), before);
+    EXPECT_EQ(loadCheckpoint(path).gridKey, 7u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pipecache::sweep

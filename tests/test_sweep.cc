@@ -269,6 +269,7 @@ TEST(ResultSinkTest, JsonAndCsvShape)
     EXPECT_NE(json.find("\"sweep\": \"unit\""), std::string::npos);
     EXPECT_NE(json.find("\"points\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"cache_misses\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"points_failed\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"tpi_ns\":"), std::string::npos);
     EXPECT_NE(json.find("\"cache_hit\":false"), std::string::npos);
     // Volatile wall times stay out unless asked for.
@@ -284,17 +285,20 @@ TEST(ResultSinkTest, JsonAndCsvShape)
     // Header + one line per record.
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
     EXPECT_EQ(csv.compare(0, 2, "b,"), 0);
-    EXPECT_NE(csv.find(",tpi_ns,cache_hit"), std::string::npos);
+    EXPECT_NE(csv.find(",tpi_ns,cache_hit,failed,error_kind"),
+              std::string::npos);
 }
 
 TEST(SweepEngineTest, FailedChunkDrainsBeforeRethrow)
 {
     // One bad point (non-power-of-two L1-I size) panics inside its
     // worker; with a test sink installed that panic throws instead of
-    // aborting. sweep() must drain every other chunk before
-    // propagating — rethrowing early would unwind the local work
-    // vector while surviving workers still write through it (caught
-    // by the sanitize build), and must leave the engine usable.
+    // aborting. Under --fail-fast, sweep() must drain every other
+    // chunk before propagating — rethrowing early would unwind the
+    // local work vector while surviving workers still write through
+    // it (caught by the sanitize build), and must leave the engine
+    // usable. (Default mode isolates the point instead; see
+    // test_fault.cc.)
     setLogSink([](const std::string &) {});
     auto points = smallGrid();
     core::DesignPoint bad;
@@ -310,6 +314,7 @@ TEST(SweepEngineTest, FailedChunkDrainsBeforeRethrow)
     SweepOptions opts;
     opts.threads = 4;
     opts.grain = 1;
+    opts.failFast = true;
     SweepEngine engine(tpi, opts);
     EXPECT_THROW(engine.sweep(points), std::logic_error);
 

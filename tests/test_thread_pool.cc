@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "sweep/thread_pool.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace pipecache::sweep {
 namespace {
@@ -107,6 +109,65 @@ TEST(ThreadPoolTest, DefaultsToHardwareConcurrency)
 {
     ThreadPool pool;
     EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ManyThrowingTasksAllDrain)
+{
+    // A third of the tasks throw; every future must still resolve
+    // (value or exception) and the pool must stay serviceable —
+    // the failure mode this guards against is a worker dying or a
+    // future never becoming ready after a task threw.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 300; ++i) {
+        futures.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::runtime_error("task failed");
+            return i;
+        }));
+    }
+    int threw = 0, ran = 0;
+    for (int i = 0; i < 300; ++i) {
+        try {
+            EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+            ++ran;
+        } catch (const std::runtime_error &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(threw, 100);
+    EXPECT_EQ(ran, 200);
+
+    auto after = pool.submit([]() { return 1; });
+    EXPECT_EQ(after.get(), 1);
+}
+
+TEST(ThreadPoolTest, InjectedTaskFaultPropagatesThroughFuture)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "built without PIPECACHE_FAULT_INJECTION";
+    fi::clear();
+    // Arm the 5th hit: exactly one of the 32 tasks throws the
+    // injected InternalError; the other 31 complete normally.
+    fi::arm("test.pool.task", 5);
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([]() {
+            fi::injectionPoint("test.pool.task");
+        }));
+    }
+    int threw = 0;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (const InternalError &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(threw, 1);
+    EXPECT_EQ(fi::hitCount("test.pool.task"), 32u);
+    fi::clear();
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -17,6 +19,7 @@
 #include "trace/multiprog.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace pipecache::trace {
@@ -438,12 +441,68 @@ TEST(TraceIoTest, ReaderSkipsCommentsAndBlanks)
 
 TEST(TraceIoTest, ReaderRejectsGarbage)
 {
-    setLogSink(nullSink);
+    // Malformed din input is a DataError carrying the 1-based line
+    // number of the offending record (pre-taxonomy callers catching
+    // std::runtime_error still work — Error derives from it).
     std::istringstream bad_label("7 400\n");
-    EXPECT_THROW(readDin(bad_label), std::runtime_error);
-    std::istringstream bad_addr("2 zz\n");
-    EXPECT_THROW(readDin(bad_addr), std::runtime_error);
-    setLogSink(nullptr);
+    try {
+        readDin(bad_label);
+        FAIL() << "bad label accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_NE(e.rawMessage().find("bad label"), std::string::npos);
+    }
+
+    // Good records before the bad one: line attribution must point at
+    // the bad one, and blank/comment lines still count.
+    std::istringstream bad_addr("2 400\n# comment\n\n2 zz\n");
+    try {
+        readDin(bad_addr);
+        FAIL() << "bad address accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.line(), 4u);
+        EXPECT_NE(e.rawMessage().find("bad address"),
+                  std::string::npos);
+    }
+
+    std::istringstream truncated("0 100\n1\n");
+    try {
+        readDin(truncated);
+        FAIL() << "truncated record accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(e.rawMessage().find("truncated"), std::string::npos);
+    }
+}
+
+TEST(TraceIoTest, ReaderAcceptsEmptyInput)
+{
+    std::istringstream empty("");
+    EXPECT_TRUE(readDin(empty).empty());
+    std::istringstream blanks("\n# only a comment\n   \n");
+    EXPECT_TRUE(readDin(blanks).empty());
+}
+
+TEST(TraceIoTest, FileReaderAttributesErrorsToThePath)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pipecache_bad.din";
+    {
+        std::ofstream out(path);
+        out << "2 400\n9 500\n";
+    }
+    try {
+        readDinFile(path);
+        FAIL() << "bad file accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.source(), path);
+        EXPECT_EQ(e.line(), 2u);
+        // what() leads with "path:line:" so a user can jump there.
+        EXPECT_EQ(std::string(e.what()).find(path + ":2:"), 0u);
+    }
+    std::remove(path.c_str());
+
+    EXPECT_THROW(readDinFile(path), IoError);
 }
 
 // ----------------------------------------------------------- trace stats

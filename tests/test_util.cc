@@ -6,10 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <set>
 #include <stdexcept>
 #include <string>
 
+#include "util/atomic_file.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -371,6 +377,137 @@ TEST(UnitsTest, PowerOfTwoHelpers)
     EXPECT_FALSE(isPowerOfTwo(12));
     EXPECT_EQ(floorLog2(1), 0u);
     EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+// ------------------------------------------------------ error taxonomy
+
+TEST(ErrorTest, KindNamesAndExitCodes)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::Usage), "usage");
+    EXPECT_STREQ(errorKindName(ErrorKind::Data), "data");
+    EXPECT_STREQ(errorKindName(ErrorKind::Io), "io");
+    EXPECT_STREQ(errorKindName(ErrorKind::Internal), "internal");
+    EXPECT_EQ(errorExitCode(ErrorKind::Usage), 2);
+    EXPECT_EQ(errorExitCode(ErrorKind::Data), 3);
+    EXPECT_EQ(errorExitCode(ErrorKind::Io), 3);
+    EXPECT_EQ(errorExitCode(ErrorKind::Internal), 1);
+
+    const UsageError usage("bad flag");
+    EXPECT_EQ(usage.kind(), ErrorKind::Usage);
+    EXPECT_EQ(usage.exitCode(), 2);
+    EXPECT_STREQ(usage.what(), "bad flag");
+    const InternalError internal("bug");
+    EXPECT_EQ(internal.kind(), ErrorKind::Internal);
+    EXPECT_EQ(internal.exitCode(), 1);
+}
+
+TEST(ErrorTest, SubclassesAreRuntimeErrors)
+{
+    // Pre-taxonomy call sites catch std::runtime_error; the taxonomy
+    // must stay inside that net.
+    EXPECT_THROW(throw DataError("x"), std::runtime_error);
+    EXPECT_THROW(throw IoError("x"), Error);
+}
+
+TEST(ErrorTest, DataErrorFormatsSourceAndLine)
+{
+    const DataError with_both("trace.din", 12, "bad label");
+    EXPECT_STREQ(with_both.what(), "trace.din:12: bad label");
+    EXPECT_EQ(with_both.source(), "trace.din");
+    EXPECT_EQ(with_both.line(), 12u);
+    EXPECT_EQ(with_both.rawMessage(), "bad label");
+
+    const DataError line_only("", 5, "bad label");
+    EXPECT_STREQ(line_only.what(), "line 5: bad label");
+
+    const DataError plain("just a message");
+    EXPECT_STREQ(plain.what(), "just a message");
+    EXPECT_EQ(plain.line(), 0u);
+
+    // withSource() rebinds a stream-level error to the file it came
+    // from, preserving the raw message and line.
+    const DataError rebound = line_only.withSource("real.din");
+    EXPECT_STREQ(rebound.what(), "real.din:5: bad label");
+    EXPECT_EQ(rebound.rawMessage(), "bad label");
+}
+
+TEST(ErrorTest, IoErrorCarriesPath)
+{
+    const IoError with_path("/tmp/x", "cannot open");
+    EXPECT_STREQ(with_path.what(), "/tmp/x: cannot open");
+    EXPECT_EQ(with_path.path(), "/tmp/x");
+    const IoError bare("disk on fire");
+    EXPECT_TRUE(bare.path().empty());
+}
+
+// ------------------------------------------------------- atomic writes
+
+TEST(AtomicFileTest, WritesContentAndLeavesNoTemp)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/pipecache_atomic.txt";
+    util::writeFileAtomic(path, [](std::ostream &os) {
+        os << "hello\n";
+    });
+    {
+        std::ifstream in(path);
+        std::string word;
+        in >> word;
+        EXPECT_EQ(word, "hello");
+    }
+    // The staging file must be gone after a successful commit.
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().filename().string().find(
+                      "pipecache_atomic.txt.tmp"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWholeFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pipecache_atomic_over.txt";
+    util::writeFileAtomic(path, [](std::ostream &os) {
+        os << "a much longer first version\n";
+    });
+    util::writeFileAtomic(path, [](std::ostream &os) {
+        os << "short\n";
+    });
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all, "short\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, UnwritableTargetThrowsIoError)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pipecache_no_such_dir/out.txt";
+    EXPECT_THROW(util::writeFileAtomic(
+                     path, [](std::ostream &os) { os << "x"; }),
+                 IoError);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(AtomicFileTest, ProducerExceptionLeavesTargetUntouched)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pipecache_atomic_keep.txt";
+    util::writeFileAtomic(path, [](std::ostream &os) {
+        os << "original\n";
+    });
+    EXPECT_THROW(util::writeFileAtomic(path,
+                                       [](std::ostream &) -> void {
+                                           throw DataError("boom");
+                                       }),
+                 DataError);
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all, "original\n");
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -14,8 +14,21 @@
  *   pipecache_sweep --b 0:3 --isize 1,2,4,8,16,32 --scale 2000 --out -
  *   pipecache_sweep --preset fig3 --stats-out stats.json \
  *                   --trace-out trace.json --progress
+ *   pipecache_sweep --preset paper --checkpoint sweep.ck --resume \
+ *                   --out sweep.json
  *
  * Range syntax: "lo:hi" (inclusive) or a comma-separated list.
+ *
+ * Fault tolerance: a design point whose evaluation throws is recorded
+ * as a failed point in the JSON (the sweep keeps going; --fail-fast
+ * restores abort-on-first-error). --checkpoint persists progress
+ * atomically; --resume skips already-evaluated points and produces
+ * byte-identical default JSON to an uninterrupted run. File outputs
+ * are written atomically (temp + fsync + rename), so a kill mid-write
+ * never leaves a truncated artifact.
+ *
+ * Exit codes: 0 success; 1 internal error; 2 usage error; 3 data or
+ * I/O error; 4 sweep completed but some points failed.
  */
 
 #include <cerrno>
@@ -36,6 +49,9 @@
 #include "obs/tracer.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace {
 
@@ -67,6 +83,10 @@ struct CliOptions
     bool progress = false;
     bool timing = false;
     bool quiet = false;
+    std::string checkpointPath;
+    std::size_t checkpointEvery = 16;
+    bool resume = false;
+    bool failFast = false;
     // Range flags given explicitly, so --preset can reject the ones it
     // would otherwise silently ignore.
     bool bSet = false;
@@ -105,7 +125,19 @@ usage(const char *argv0, int code)
        << "  --progress       live points/s + ETA line on stderr\n"
        << "  --timing         include volatile wall-time metadata\n"
        << "  --quiet          no summary on stderr\n"
-       << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n";
+       << "  --checkpoint P   persist completed points to P (atomic\n"
+       << "                   write) while the sweep runs\n"
+       << "  --checkpoint-every N\n"
+       << "                   completions between checkpoint writes\n"
+       << "                   (default 16)\n"
+       << "  --resume         skip points already in --checkpoint;\n"
+       << "                   default JSON output is byte-identical\n"
+       << "                   to an uninterrupted run\n"
+       << "  --fail-fast      abort on the first failed point instead\n"
+       << "                   of recording it and continuing\n"
+       << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n"
+       << "Exit codes: 0 ok; 1 internal error; 2 usage error;\n"
+       << "3 data/io error; 4 completed with failed points.\n";
     std::exit(code);
 }
 
@@ -253,6 +285,20 @@ parseArgs(int argc, char **argv)
             opts.timing = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--checkpoint") {
+            opts.checkpointPath = next(i);
+        } else if (arg == "--checkpoint-every") {
+            std::uint32_t v = 0;
+            if (!parseU32(next(i), v) || v == 0) {
+                std::cerr << argv[0]
+                          << ": bad --checkpoint-every (need >= 1)\n";
+                usage(argv[0], 2);
+            }
+            opts.checkpointEvery = v;
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--fail-fast") {
+            opts.failFast = true;
         } else {
             std::cerr << argv[0] << ": unknown option '" << arg
                       << "'\n";
@@ -274,6 +320,10 @@ parseArgs(int argc, char **argv)
                          "value, not a range\n";
             usage(argv[0], 2);
         }
+    }
+    if (opts.resume && opts.checkpointPath.empty()) {
+        std::cerr << argv[0] << ": --resume needs --checkpoint\n";
+        usage(argv[0], 2);
     }
     return opts;
 }
@@ -369,10 +419,8 @@ class ProgressReporter
     std::chrono::steady_clock::time_point last_;
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace pipecache;
 
@@ -396,6 +444,10 @@ main(int argc, char **argv)
     ProgressReporter progress;
     sweep::SweepOptions engine_opts;
     engine_opts.threads = opts.threads;
+    engine_opts.failFast = opts.failFast;
+    engine_opts.checkpointPath = opts.checkpointPath;
+    engine_opts.checkpointEvery = opts.checkpointEvery;
+    engine_opts.resume = opts.resume;
     if (opts.progress) {
         engine_opts.onProgress = [&progress](std::size_t done,
                                              std::size_t total) {
@@ -416,54 +468,73 @@ main(int argc, char **argv)
     const std::string name =
         opts.preset.empty() ? "grid" : opts.preset;
 
+    // Every file artifact goes through the atomic write helper: a
+    // crash mid-write leaves the previous complete file, never a
+    // truncated one.
     if (opts.outPath == "-") {
         sweep::writeJson(std::cout, name, records, engine.stats(),
                          sink);
     } else {
-        std::ofstream out(opts.outPath);
-        if (!out) {
-            std::cerr << "cannot open " << opts.outPath << "\n";
-            return 1;
-        }
-        sweep::writeJson(out, name, records, engine.stats(), sink);
+        util::writeFileAtomic(opts.outPath, [&](std::ostream &out) {
+            sweep::writeJson(out, name, records, engine.stats(),
+                             sink);
+        });
     }
     if (!opts.csvPath.empty()) {
-        std::ofstream out(opts.csvPath);
-        if (!out) {
-            std::cerr << "cannot open " << opts.csvPath << "\n";
-            return 1;
-        }
-        sweep::writeCsv(out, records, sink);
+        util::writeFileAtomic(opts.csvPath, [&](std::ostream &out) {
+            sweep::writeCsv(out, records, sink);
+        });
     }
     if (!opts.statsPath.empty()) {
-        std::ofstream out(opts.statsPath);
-        if (!out) {
-            std::cerr << "cannot open " << opts.statsPath << "\n";
-            return 1;
-        }
-        // Volatile stats follow the same opt-in as the result JSON's
-        // wall times, so the default stats dump is byte-identical
-        // across --threads values too.
-        obs::DumpOptions dump;
-        dump.includeVolatile = opts.timing;
-        obs::StatsRegistry::global().dumpJson(out, dump);
+        util::writeFileAtomic(opts.statsPath, [&](std::ostream &out) {
+            // Volatile stats follow the same opt-in as the result
+            // JSON's wall times, so the default stats dump is
+            // byte-identical across --threads values too.
+            obs::DumpOptions dump;
+            dump.includeVolatile = opts.timing;
+            obs::StatsRegistry::global().dumpJson(out, dump);
+        });
     }
     if (!opts.tracePath.empty()) {
-        std::ofstream out(opts.tracePath);
-        if (!out) {
-            std::cerr << "cannot open " << opts.tracePath << "\n";
-            return 1;
-        }
-        obs::Tracer::global().write(out);
+        util::writeFileAtomic(opts.tracePath, [&](std::ostream &out) {
+            obs::Tracer::global().write(out);
+        });
     }
 
+    const auto &stats = engine.stats();
     if (!opts.quiet) {
-        const auto &stats = engine.stats();
         std::cerr << "swept " << records.size() << " points ("
                   << stats.cacheMisses << " evaluated, "
                   << stats.cacheHits << " memo hits) on "
                   << engine.threadCount() << " threads in " << wall_ms
                   << " ms\n";
+        if (stats.pointsFailed > 0) {
+            std::cerr << stats.pointsFailed
+                      << " point(s) failed; see the \"error\" "
+                         "objects in the JSON output\n";
+        }
     }
-    return 0;
+    return stats.pointsFailed > 0 ? 4 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    try {
+        // PIPECACHE_FAULTS=site:nth arms fault-injection points when
+        // the harness is compiled in (no-op otherwise).
+        fi::armFromEnv();
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::cerr << argv[0] << ": " << e.kindName() << " error: "
+                  << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": internal error: " << e.what()
+                  << "\n";
+        return 1;
+    }
 }

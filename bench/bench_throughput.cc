@@ -8,8 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
+#include "cache/stack_sim.hh"
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
 #include "cpusim/cpi_engine.hh"
 #include "sched/branch_sched.hh"
+#include "sweep/sweep_engine.hh"
 #include "timing/cpu_circuit.hh"
 #include "trace/benchmark.hh"
 #include "util/random.hh"
@@ -87,6 +91,108 @@ BM_EngineReplay(benchmark::State &state)
     state.SetLabel("items = simulated instructions");
 }
 BENCHMARK(BM_EngineReplay);
+
+void
+BM_StackSim(benchmark::State &state)
+{
+    // One pass over a mixed-locality stream serving an 18-geometry
+    // ladder (6 set counts x 3 associativities) — the work that
+    // replaces 18 separate cache replays in a factored sweep.
+    std::vector<cache::StackGeometry> ladder;
+    for (std::uint32_t log2Sets = 4; log2Sets <= 9; ++log2Sets)
+        for (const std::uint32_t assoc : {1u, 2u, 4u})
+            ladder.push_back({log2Sets, assoc});
+
+    Rng rng(7);
+    std::vector<Addr> addrs(1 << 16);
+    Addr cursor = 0;
+    for (auto &a : addrs) {
+        cursor = rng.nextBool(0.75)
+                     ? cursor + 4
+                     : static_cast<Addr>(rng.nextRange(1 << 20));
+        a = cursor;
+    }
+
+    for (auto _ : state) {
+        cache::StackSimulator sim(16, ladder, 1);
+        for (const Addr a : addrs)
+            sim.access(0, a, false);
+        sim.finish();
+        benchmark::DoNotOptimize(sim.counts(4, 1).readMissTotal());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * addrs.size()));
+    state.SetLabel("items = accesses (x18 geometries each)");
+}
+BENCHMARK(BM_StackSim);
+
+core::SuiteConfig
+sweepSuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0;
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+std::vector<core::DesignPoint>
+sweepGrid()
+{
+    // fig3-shaped with a D-size axis: 6 I-sizes x 2 D-sizes x 4
+    // branch depths x 2 load depths = 96 points over 4 access streams.
+    std::vector<core::DesignPoint> points;
+    for (const std::uint32_t ikw : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (const std::uint32_t dkw : {2u, 8u}) {
+            for (std::uint32_t b = 0; b <= 3; ++b) {
+                for (const std::uint32_t l : {0u, 2u}) {
+                    core::DesignPoint p;
+                    p.l1iSizeKW = ikw;
+                    p.l1dSizeKW = dkw;
+                    p.branchSlots = b;
+                    p.loadSlots = l;
+                    points.push_back(p);
+                }
+            }
+        }
+    }
+    return points;
+}
+
+void
+runSweepBench(benchmark::State &state, bool factored)
+{
+    const std::vector<core::DesignPoint> grid = sweepGrid();
+    for (auto _ : state) {
+        // Fresh model per iteration: the point of the measurement is
+        // cold-grid cost, not the memo cache.
+        core::CpiModel cpi(sweepSuite());
+        core::TpiModel tpi(cpi);
+        sweep::SweepOptions opts;
+        opts.threads = 1;
+        opts.factored = factored;
+        sweep::SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(grid);
+        benchmark::DoNotOptimize(records.front().metrics.cpi);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * sweepGrid().size()));
+    state.SetLabel("items = design points");
+}
+
+void
+BM_FactoredSweep(benchmark::State &state)
+{
+    runSweepBench(state, true);
+}
+BENCHMARK(BM_FactoredSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_MonolithicSweep(benchmark::State &state)
+{
+    runSweepBench(state, false);
+}
+BENCHMARK(BM_MonolithicSweep)->Unit(benchmark::kMillisecond);
 
 void
 BM_TimingAnalysis(benchmark::State &state)

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the throughput microbenchmarks and write BENCH_throughput.json
+# at the repo root (google-benchmark JSON, consumed by CI's perf-smoke
+# job and by README/DESIGN speedup numbers).
+#
+#   scripts/run_bench.sh [build-dir] [extra benchmark args...]
+#
+# Examples:
+#   scripts/run_bench.sh                       # default build/, full run
+#   scripts/run_bench.sh build --benchmark_min_time=0.05s   # CI smoke
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_throughput"
+if [[ ! -x "$bench_bin" ]]; then
+    # Layouts differ between generators; fall back to a search.
+    bench_bin="$(find "$build_dir" -name bench_throughput -type f | head -n1)"
+fi
+if [[ -z "$bench_bin" || ! -x "$bench_bin" ]]; then
+    echo "run_bench.sh: bench_throughput not found under $build_dir" >&2
+    echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_throughput.json"
+"$bench_bin" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    "$@"
+echo "wrote $out" >&2

@@ -44,60 +44,61 @@ Cache::findLine(Addr addr) const
     return const_cast<Cache *>(this)->findLine(addr);
 }
 
-Cache::Line &
-Cache::victim(std::uint64_t set)
-{
-    Line *base = &lines_[set * config_.assoc];
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!base[w].valid)
-            return base[w];
-    }
-    if (config_.repl == Replacement::Random)
-        return base[rng_.nextRange(config_.assoc)];
-
-    Line *lru = base;
-    for (std::uint32_t w = 1; w < config_.assoc; ++w) {
-        if (base[w].stamp < lru->stamp)
-            lru = &base[w];
-    }
-    return *lru;
-}
-
 bool
 Cache::access(Addr addr, bool write)
 {
     ++tick_;
-    if (write)
-        ++stats_.writes;
-    else
-        ++stats_.reads;
+    stats_.reads += write ? 0 : 1;
+    stats_.writes += write ? 1 : 0;
 
-    if (Line *line = findLine(addr)) {
-        line->stamp = tick_;
-        line->dirty = line->dirty || write;
-        return true;
+    // One scan serves lookup and victim selection: the tag/set pair
+    // is computed once, and on a miss the invalid way and the LRU way
+    // are already known — no second walk over the set.
+    const Addr tag = addr >> setShift_;
+    const std::uint64_t set = tag & setMask_;
+    Line *const base = &lines_[set * config_.assoc];
+
+    Line *firstInvalid = nullptr;
+    Line *lru = nullptr;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            if (!firstInvalid)
+                firstInvalid = &line;
+            continue;
+        }
+        if (line.tag == tag) {
+            line.stamp = tick_;
+            line.dirty = line.dirty || write;
+            return true;
+        }
+        // Strict < keeps the lowest index on equal stamps, matching
+        // a front-to-back minimum scan.
+        if (!lru || line.stamp < lru->stamp)
+            lru = &line;
     }
 
-    if (write)
-        ++stats_.writeMisses;
-    else
-        ++stats_.readMisses;
+    stats_.readMisses += write ? 0 : 1;
+    stats_.writeMisses += write ? 1 : 0;
 
     if (write && !config_.writeAllocate)
         return false;
 
-    const std::uint64_t set = (addr >> setShift_) & setMask_;
-    Line &line = victim(set);
-    if (line.valid) {
+    Line *victim = firstInvalid;
+    if (!victim) {
+        victim = config_.repl == Replacement::Random
+                     ? &base[rng_.nextRange(config_.assoc)]
+                     : lru;
+    }
+    if (victim->valid) {
         ++stats_.evictions;
-        if (line.dirty)
+        if (victim->dirty)
             ++stats_.dirtyEvictions;
     }
-    line.valid = true;
-    line.dirty = write;
-    line.tag = addr >> setShift_;
-    line.stamp = tick_;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->stamp = tick_;
     return false;
 }
 

@@ -114,7 +114,6 @@ class Cache
 
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
-    Line &victim(std::uint64_t set);
 };
 
 } // namespace pipecache::cache

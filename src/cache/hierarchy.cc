@@ -113,15 +113,25 @@ publishThreeC(obs::StatsRegistry &reg, const std::string &prefix,
 } // namespace
 
 void
+publishL1Stats(obs::StatsRegistry &reg, const CacheStats &l1i,
+               Counter l1iStallCycles, const CacheStats &l1d,
+               Counter l1dStallCycles)
+{
+    using obs::StatKind;
+    publishCache(reg, "cache.l1i", l1i);
+    publishCache(reg, "cache.l1d", l1d);
+    reg.addCounter("cache.l1i.stall_cycles", "I-fetch miss stall cycles",
+                   StatKind::Deterministic, l1iStallCycles);
+    reg.addCounter("cache.l1d.stall_cycles", "data miss stall cycles",
+                   StatKind::Deterministic, l1dStallCycles);
+}
+
+void
 CacheHierarchy::publishStats(obs::StatsRegistry &reg) const
 {
     using obs::StatKind;
-    publishCache(reg, "cache.l1i", l1i_.stats());
-    publishCache(reg, "cache.l1d", l1d_.stats());
-    reg.addCounter("cache.l1i.stall_cycles", "I-fetch miss stall cycles",
-                   StatKind::Deterministic, stats_.l1iStallCycles);
-    reg.addCounter("cache.l1d.stall_cycles", "data miss stall cycles",
-                   StatKind::Deterministic, stats_.l1dStallCycles);
+    publishL1Stats(reg, l1i_.stats(), stats_.l1iStallCycles,
+                   l1d_.stats(), stats_.l1dStallCycles);
     if (l2_) {
         publishCache(reg, "cache.l2", l2_->stats());
         reg.addCounter("cache.l2.misses", "L2 misses (memory refills)",

@@ -134,6 +134,16 @@ class CacheHierarchy
     HierarchyStats stats_;
 };
 
+/**
+ * Publish split-L1 counters under `cache.l1i.*` / `cache.l1d.*` from
+ * plain aggregates, exactly as CacheHierarchy::publishStats does for
+ * a flat-penalty hierarchy. Shared with the factored evaluator so
+ * both evaluation paths emit byte-identical registries.
+ */
+void publishL1Stats(obs::StatsRegistry &reg, const CacheStats &l1i,
+                    Counter l1iStallCycles, const CacheStats &l1d,
+                    Counter l1dStallCycles);
+
 } // namespace pipecache::cache
 
 #endif // PIPECACHE_CACHE_HIERARCHY_HH

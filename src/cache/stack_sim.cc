@@ -1,0 +1,208 @@
+#include "cache/stack_sim.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace pipecache::cache {
+
+Counter
+StackSimulator::GeomCounts::readMissTotal() const
+{
+    Counter total = 0;
+    for (const Counter c : readMisses)
+        total += c;
+    return total;
+}
+
+Counter
+StackSimulator::GeomCounts::writeMissTotal() const
+{
+    Counter total = 0;
+    for (const Counter c : writeMisses)
+        total += c;
+    return total;
+}
+
+StackSimulator::StackSimulator(std::uint32_t blockBytes,
+                               std::vector<StackGeometry> geometries,
+                               std::size_t numBenches)
+    : blockBytes_(blockBytes), numBenches_(numBenches),
+      geoms_(std::move(geometries))
+{
+    PC_ASSERT(isPowerOfTwo(blockBytes_) && blockBytes_ >= 4,
+              "stack sim: bad block size");
+    PC_ASSERT(!geoms_.empty(), "stack sim: no geometries");
+    PC_ASSERT(numBenches_ >= 1, "stack sim: no benchmarks");
+    blockShift_ = static_cast<std::uint32_t>(floorLog2(blockBytes_));
+
+    std::sort(geoms_.begin(), geoms_.end());
+    geoms_.erase(std::unique(geoms_.begin(), geoms_.end()),
+                 geoms_.end());
+    counts_.resize(geoms_.size());
+    for (GeomCounts &gc : counts_) {
+        gc.readMisses.assign(numBenches_, 0);
+        gc.writeMisses.assign(numBenches_, 0);
+    }
+
+    for (std::uint32_t g = 0; g < geoms_.size(); ++g) {
+        PC_ASSERT(geoms_[g].assoc >= 1, "stack sim: assoc must be >= 1");
+        PC_ASSERT(geoms_[g].log2Sets < 32, "stack sim: set count too big");
+        if (levels_.empty() ||
+            levels_.back().log2Sets != geoms_[g].log2Sets) {
+            Level lv;
+            lv.log2Sets = geoms_[g].log2Sets;
+            lv.setMask =
+                static_cast<std::uint32_t>((1ULL << lv.log2Sets) - 1);
+            lv.head.assign(1ULL << lv.log2Sets, kNull);
+            lv.len.assign(1ULL << lv.log2Sets, 0);
+            levels_.push_back(std::move(lv));
+        }
+        Level &lv = levels_.back();
+        lv.geomIdx.push_back(g);
+        lv.maxAssoc = std::max(lv.maxAssoc, geoms_[g].assoc);
+        PC_ASSERT(lv.geomIdx.size() <= 32,
+                  "stack sim: more than 32 associativities per level");
+        lv.allMask = lv.geomIdx.size() == 32
+                         ? ~0u
+                         : (1u << lv.geomIdx.size()) - 1;
+    }
+
+    reads_.assign(numBenches_, 0);
+    writes_.assign(numBenches_, 0);
+}
+
+void
+StackSimulator::access(std::size_t bench, Addr addr, bool write)
+{
+    const std::uint32_t blk =
+        static_cast<std::uint32_t>(addr) >> blockShift_;
+    const auto [it, inserted] = blockIndex_.try_emplace(blk, numBlocks_);
+    const std::uint32_t bi = it->second;
+    if (inserted) {
+        ++numBlocks_;
+        for (Level &lv : levels_) {
+            lv.prev.push_back(kNull);
+            lv.next.push_back(kNull);
+            lv.dirty.push_back(0);
+        }
+    }
+    ++accesses_;
+    reads_[bench] += write ? 0 : 1;
+    writes_[bench] += write ? 1 : 0;
+
+    const auto sbi = static_cast<std::int32_t>(bi);
+    for (Level &lv : levels_) {
+        const std::uint32_t set = blk & lv.setMask;
+        std::uint32_t missMask;
+        if (inserted) {
+            // Cold block: misses at every geometry; becomes MRU.
+            missMask = lv.allMask;
+            lv.next[bi] = lv.head[set];
+            if (lv.head[set] != kNull)
+                lv.prev[lv.head[set]] = sbi;
+            lv.head[set] = sbi;
+            ++lv.len[set];
+        } else {
+            // Reuse depth, capped: depth >= maxAssoc already means a
+            // miss in every geometry of this level, so never walk
+            // further (bounds the cost on low-locality streams).
+            std::uint32_t d = 0;
+            std::int32_t cur = lv.head[set];
+            while (cur != sbi && d < lv.maxAssoc) {
+                cur = lv.next[cur];
+                ++d;
+            }
+            missMask = 0;
+            for (std::uint32_t k = 0;
+                 k < static_cast<std::uint32_t>(lv.geomIdx.size()); ++k) {
+                if (d >= geoms_[lv.geomIdx[k]].assoc)
+                    missMask |= 1u << k;
+            }
+            if (lv.head[set] != sbi) {
+                // Move to front.
+                const std::int32_t p = lv.prev[bi];
+                const std::int32_t n = lv.next[bi];
+                lv.next[p] = n;
+                if (n != kNull)
+                    lv.prev[n] = p;
+                lv.prev[bi] = kNull;
+                lv.next[bi] = lv.head[set];
+                lv.prev[lv.head[set]] = sbi;
+                lv.head[set] = sbi;
+            }
+        }
+
+        std::uint32_t &dm = lv.dirty[bi];
+        if (missMask != 0) {
+            // A miss at geometry k means the previous incarnation of
+            // this block was evicted there since its last touch; if
+            // it was dirty then, that eviction was a dirty one.
+            for (std::uint32_t m = dm & missMask; m != 0; m &= m - 1)
+                ++counts_[lv.geomIdx[std::countr_zero(m)]].dirtyEvictions;
+            for (std::uint32_t m = missMask; m != 0; m &= m - 1) {
+                GeomCounts &gc = counts_[lv.geomIdx[std::countr_zero(m)]];
+                (write ? gc.writeMisses : gc.readMisses)[bench] += 1;
+            }
+        }
+        // Hit: dirty |= write. Miss: refilled with dirty = write.
+        dm = write ? lv.allMask : (dm & ~missMask);
+    }
+}
+
+void
+StackSimulator::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    for (Level &lv : levels_) {
+        const std::size_t numSets = lv.head.size();
+        // Blocks sitting beyond depth A that still carry a dirty bit
+        // were evicted dirty and never missed again.
+        for (std::size_t set = 0; set < numSets; ++set) {
+            std::uint32_t pos = 0;
+            for (std::int32_t cur = lv.head[set]; cur != kNull;
+                 cur = lv.next[cur], ++pos) {
+                const std::uint32_t dm = lv.dirty[cur];
+                if (dm == 0)
+                    continue;
+                for (std::uint32_t m = dm; m != 0; m &= m - 1) {
+                    const std::uint32_t k =
+                        static_cast<std::uint32_t>(std::countr_zero(m));
+                    if (pos >= geoms_[lv.geomIdx[k]].assoc)
+                        ++counts_[lv.geomIdx[k]].dirtyEvictions;
+                }
+            }
+        }
+        // Every fill either grew occupancy (until the set was full)
+        // or evicted: evictions = fills - final occupancy.
+        for (const std::uint32_t g : lv.geomIdx) {
+            const std::uint32_t a = geoms_[g].assoc;
+            Counter resident = 0;
+            for (std::size_t set = 0; set < numSets; ++set)
+                resident += std::min<Counter>(a, lv.len[set]);
+            GeomCounts &gc = counts_[g];
+            const Counter fills =
+                gc.readMissTotal() + gc.writeMissTotal();
+            PC_ASSERT(fills >= resident, "stack sim: fills < residents");
+            gc.evictions = fills - resident;
+        }
+    }
+}
+
+const StackSimulator::GeomCounts &
+StackSimulator::counts(std::uint32_t log2Sets, std::uint32_t assoc) const
+{
+    PC_ASSERT(finished_, "stack sim: counts() before finish()");
+    for (std::size_t g = 0; g < geoms_.size(); ++g) {
+        if (geoms_[g].log2Sets == log2Sets && geoms_[g].assoc == assoc)
+            return counts_[g];
+    }
+    PC_PANIC("stack sim: geometry (2^", log2Sets, " sets, ", assoc,
+             "-way) was not registered");
+}
+
+} // namespace pipecache::cache

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Mattson LRU stack-distance simulator.
+ *
+ * Exploits the inclusion property of LRU with bit-selection indexing:
+ * a reference hits in an A-way cache with 2^s sets iff its per-set
+ * reuse depth d satisfies d < A, and d is non-increasing in s. One
+ * replay of an access stream therefore yields exact hit/miss counts
+ * for an entire power-of-two size/associativity ladder at once — the
+ * paper's "one trace, many architectures" methodology taken to its
+ * logical end (cf. Mattson et al., 1970).
+ *
+ * Scope: exact for LRU, write-allocate caches whose access stream
+ * does not depend on cache contents (true of the CPI engine: caches
+ * only contribute stall cycles, never change what is fetched).
+ * Random replacement breaks inclusion and write-through/no-write-
+ * allocate changes fill behavior; callers fall back to per-point
+ * replay for those (core::FactoredEvaluator does this automatically).
+ *
+ * Beyond miss counts the simulator reconstructs the full CacheStats
+ * a per-point `Cache` replay would report, bit for bit:
+ *  - evictions from the end state (fills minus final occupancy);
+ *  - dirty evictions via per-block dirty bitmasks resolved at the
+ *    next miss of the same block (or at finish() for blocks that are
+ *    evicted dirty and never return).
+ */
+
+#ifndef PIPECACHE_CACHE_STACK_SIM_HH
+#define PIPECACHE_CACHE_STACK_SIM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace pipecache::cache {
+
+/** One cache geometry on the ladder: 2^log2Sets sets, assoc ways. */
+struct StackGeometry
+{
+    std::uint32_t log2Sets = 0;
+    std::uint32_t assoc = 1;
+
+    std::uint64_t sets() const { return 1ULL << log2Sets; }
+
+    friend bool operator==(const StackGeometry &,
+                           const StackGeometry &) = default;
+    friend auto operator<=>(const StackGeometry &,
+                            const StackGeometry &) = default;
+};
+
+/** The one-pass multi-geometry simulator. */
+class StackSimulator
+{
+  public:
+    /**
+     * @param blockBytes  Line size shared by every geometry.
+     * @param geometries  The ladder (deduplicated and sorted inside).
+     * @param numBenches  Streams are multi-benchmark; misses are
+     *                    attributed to the accessing benchmark.
+     */
+    StackSimulator(std::uint32_t blockBytes,
+                   std::vector<StackGeometry> geometries,
+                   std::size_t numBenches);
+
+    /** Replay one access of the shared stream. */
+    void access(std::size_t bench, Addr addr, bool write);
+
+    /** Resolve end-state eviction counts. Call once, after the
+     *  stream; access() afterwards is a logic error. */
+    void finish();
+
+    /** Per-geometry counters (valid after finish()). */
+    struct GeomCounts
+    {
+        std::vector<Counter> readMisses;  //!< per benchmark
+        std::vector<Counter> writeMisses; //!< per benchmark
+        Counter evictions = 0;
+        Counter dirtyEvictions = 0;
+
+        Counter readMissTotal() const;
+        Counter writeMissTotal() const;
+    };
+
+    /** Counters of one geometry; panics if it was not registered. */
+    const GeomCounts &counts(std::uint32_t log2Sets,
+                             std::uint32_t assoc) const;
+
+    /** Stream totals, attributed per benchmark. */
+    const std::vector<Counter> &benchReads() const { return reads_; }
+    const std::vector<Counter> &benchWrites() const { return writes_; }
+    Counter accesses() const { return accesses_; }
+
+    const std::vector<StackGeometry> &geometries() const
+    {
+        return geoms_;
+    }
+    std::uint32_t blockBytes() const { return blockBytes_; }
+    std::size_t numBenches() const { return numBenches_; }
+    bool finished() const { return finished_; }
+
+  private:
+    static constexpr std::int32_t kNull = -1;
+
+    /**
+     * All geometries sharing a set count form one level: one per-set
+     * LRU list (intrusive, indexed by dense block id), walked at most
+     * maxAssoc deep per access. Blocks are never unlinked — the list
+     * is the recency *stack*, and position >= A means "not resident
+     * in the A-way cache".
+     */
+    struct Level
+    {
+        std::uint32_t log2Sets = 0;
+        std::uint32_t setMask = 0;
+        std::uint32_t maxAssoc = 0;
+        std::uint32_t allMask = 0;
+        /** Geometries at this level (indices into geoms_). */
+        std::vector<std::uint32_t> geomIdx;
+        /** Per set: front of the recency list / resident-bound. */
+        std::vector<std::int32_t> head;
+        std::vector<std::uint32_t> len;
+        /** Per dense block id: list links and the per-geometry dirty
+         *  bitmask (bit k = line dirty in geomIdx[k]'s cache). */
+        std::vector<std::int32_t> prev;
+        std::vector<std::int32_t> next;
+        std::vector<std::uint32_t> dirty;
+    };
+
+    std::uint32_t blockBytes_;
+    std::uint32_t blockShift_;
+    std::size_t numBenches_;
+    std::vector<StackGeometry> geoms_;
+    std::vector<GeomCounts> counts_;
+    std::vector<Level> levels_;
+
+    /** addr >> blockShift_ -> dense block id (one hash per access). */
+    std::unordered_map<std::uint32_t, std::uint32_t> blockIndex_;
+    std::uint32_t numBlocks_ = 0;
+
+    std::vector<Counter> reads_;
+    std::vector<Counter> writes_;
+    Counter accesses_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace pipecache::cache
+
+#endif // PIPECACHE_CACHE_STACK_SIM_HH

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/factored_eval.hh"
 #include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
@@ -28,6 +29,8 @@ CpiModel::CpiModel(const SuiteConfig &config) : config_(config)
             suite_.push_back(trace::findBenchmark(name));
     }
 }
+
+CpiModel::~CpiModel() = default;
 
 void
 CpiModel::ensureTraces()
@@ -160,9 +163,35 @@ CpiModel::prepare(const std::vector<DesignPoint> &points)
     }
 }
 
+bool
+CpiModel::factorable(const DesignPoint &point) const
+{
+    return !point.writeThroughBuffer &&
+           point.repl == cache::Replacement::LRU &&
+           !obs::classify3CEnabled();
+}
+
+void
+CpiModel::prepareFactored(const std::vector<DesignPoint> &points)
+{
+    prepare(points);
+    if (!factored_)
+        factored_ = std::make_unique<FactoredEvaluator>(*this);
+    factored_->plan(points);
+}
+
+CpiResult
+CpiModel::evaluateFactored(const DesignPoint &point) const
+{
+    PC_ASSERT(factored_ != nullptr,
+              "evaluateFactored() without prepareFactored()");
+    return factored_->evaluate(point);
+}
+
 CpiResult
 CpiModel::simulate(const DesignPoint &point) const
 {
+    engineReplays_.fetch_add(1, std::memory_order_relaxed);
     const auto key = std::make_pair(xlatSlots(point),
                                     static_cast<int>(point.predictSource));
     const auto it = xlats_.find(key);

@@ -11,6 +11,7 @@
 #ifndef PIPECACHE_CORE_CPI_MODEL_HH
 #define PIPECACHE_CORE_CPI_MODEL_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +26,8 @@
 #include "util/stats.hh"
 
 namespace pipecache::core {
+
+class FactoredEvaluator;
 
 /** Suite-level configuration. */
 struct SuiteConfig
@@ -67,6 +70,7 @@ class CpiModel
 {
   public:
     explicit CpiModel(const SuiteConfig &config = {});
+    ~CpiModel();
 
     /** Evaluate (memoized) a design point over the multiprog mix. */
     const CpiResult &evaluate(const DesignPoint &point);
@@ -86,6 +90,41 @@ class CpiModel
      * callers (the sweep engine) memoize at their own layer.
      */
     CpiResult evaluatePrepared(const DesignPoint &point) const;
+
+    /**
+     * Whether @p point is exactly factorable into cached components
+     * (see FactoredEvaluator): write-buffer points couple data stalls
+     * to the running cycle count, Random replacement breaks the LRU
+     * inclusion property, and 3C classification needs a real
+     * per-point hierarchy — all three take the monolithic path.
+     */
+    bool factorable(const DesignPoint &point) const;
+
+    /**
+     * prepare() plus factored-evaluation planning: registers the
+     * factorable points' streams and cache geometries so that
+     * evaluateFactored() can serve them from shared single-pass
+     * stack simulations. Call serially, before concurrent
+     * evaluateFactored()/evaluatePrepared() calls.
+     */
+    void prepareFactored(const std::vector<DesignPoint> &points);
+
+    /**
+     * Thread-safe factored evaluation of one design point; requires a
+     * prior prepareFactored() covering it and factorable(point).
+     * Bit-identical to evaluatePrepared(), typically without a replay.
+     */
+    CpiResult evaluateFactored(const DesignPoint &point) const;
+
+    /**
+     * Full trace replays performed so far (monolithic evaluations plus
+     * factored component replays). The sweep engine diffs this across
+     * a run to report how many replays factoring saved.
+     */
+    std::uint64_t engineReplays() const
+    {
+        return engineReplays_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Stable identity of this model's suite configuration, for keying
@@ -140,6 +179,12 @@ class CpiModel
     std::unique_ptr<sched::LoadDelayStats> loadStats_;
 
     std::unordered_map<DesignPoint, CpiResult, DesignPointHash> memo_;
+
+    /** Component cache for evaluateFactored() (reads the shared
+     *  artifacts above, hence the friendship). */
+    friend class FactoredEvaluator;
+    std::unique_ptr<FactoredEvaluator> factored_;
+    mutable std::atomic<std::uint64_t> engineReplays_{0};
 };
 
 } // namespace pipecache::core

@@ -12,10 +12,12 @@ DesignPoint::hierarchyConfig() const
     config.l1i.sizeBytes = kiloWordsToBytes(l1iSizeKW);
     config.l1i.blockBytes = blockWords * bytesPerWord;
     config.l1i.assoc = assoc;
+    config.l1i.repl = repl;
     config.l1d.name = "L1-D";
     config.l1d.sizeBytes = kiloWordsToBytes(l1dSizeKW);
     config.l1d.blockBytes = blockWords * bytesPerWord;
     config.l1d.assoc = assoc;
+    config.l1d.repl = repl;
     if (writeThroughBuffer) {
         // Stores go around the fill path; misses do not allocate.
         config.l1d.writeAllocate = false;
@@ -51,6 +53,8 @@ DesignPoint::describe() const
        << (loadScheme == cpusim::LoadScheme::Static    ? "static"
            : loadScheme == cpusim::LoadScheme::Dynamic ? "dynamic"
                                                        : "none");
+    if (repl == cache::Replacement::Random)
+        os << " random-repl";
     if (predictSource == sched::PredictSource::Profile)
         os << " profile-pred";
     if (writeThroughBuffer)
@@ -64,6 +68,7 @@ operator==(const DesignPoint &a, const DesignPoint &b)
     return a.branchSlots == b.branchSlots && a.loadSlots == b.loadSlots &&
            a.l1iSizeKW == b.l1iSizeKW && a.l1dSizeKW == b.l1dSizeKW &&
            a.blockWords == b.blockWords && a.assoc == b.assoc &&
+           a.repl == b.repl &&
            a.missPenaltyCycles == b.missPenaltyCycles &&
            a.branchScheme == b.branchScheme &&
            a.loadScheme == b.loadScheme &&
@@ -88,6 +93,7 @@ DesignPointHash::operator()(const DesignPoint &p) const
     mix(p.l1dSizeKW);
     mix(p.blockWords);
     mix(p.assoc);
+    mix(static_cast<std::uint64_t>(p.repl));
     mix(p.missPenaltyCycles);
     mix(static_cast<std::uint64_t>(p.branchScheme));
     mix(static_cast<std::uint64_t>(p.loadScheme));

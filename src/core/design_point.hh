@@ -35,6 +35,9 @@ struct DesignPoint
     std::uint32_t blockWords = 4;
     /** Set associativity (1 = direct-mapped, the paper's design). */
     std::uint32_t assoc = 1;
+    /** L1 replacement policy (Random breaks the LRU inclusion
+     *  property, so such points take the exact-replay path). */
+    cache::Replacement repl = cache::Replacement::LRU;
     /** Flat L1 miss penalty in cycles (the paper's P). */
     std::uint32_t missPenaltyCycles = 10;
 

@@ -1,0 +1,472 @@
+#include "core/factored_eval.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "cpusim/load_model.hh"
+#include "obs/stats_registry.hh"
+#include "util/logging.hh"
+
+namespace pipecache::core {
+
+namespace {
+
+/**
+ * log2(set count) of one L1 side; false when the geometry is not a
+ * valid power-of-two configuration (such points are left to the
+ * monolithic path's validation so they fail with its exact errors).
+ */
+bool
+geometryOf(std::uint32_t sizeKW, std::uint32_t blockWords,
+           std::uint32_t assoc, std::uint32_t &log2Sets)
+{
+    const std::uint64_t sizeBytes = kiloWordsToBytes(sizeKW);
+    const std::uint64_t blockBytes =
+        static_cast<std::uint64_t>(blockWords) * bytesPerWord;
+    if (assoc < 1 || blockBytes < 4 || !isPowerOfTwo(blockBytes) ||
+        sizeBytes == 0 || !isPowerOfTwo(sizeBytes) ||
+        sizeBytes < blockBytes * assoc) {
+        return false;
+    }
+    const std::uint64_t sets = sizeBytes / (blockBytes * assoc);
+    if (!isPowerOfTwo(sets) || sets > (1ULL << 31))
+        return false;
+    log2Sets = static_cast<std::uint32_t>(floorLog2(sets));
+    return true;
+}
+
+/** Fan one engine access stream out to the claimed stack passes. */
+class MuxSink final : public cpusim::AccessStreamSink
+{
+  public:
+    std::vector<cache::StackSimulator *> iSims;
+    std::vector<cache::StackSimulator *> dSims;
+
+    void instFetch(std::size_t bench, Addr addr) override
+    {
+        for (cache::StackSimulator *sim : iSims)
+            sim->access(bench, addr, false);
+    }
+
+    void dataRef(std::size_t bench, Addr addr, bool store) override
+    {
+        for (cache::StackSimulator *sim : dSims)
+            sim->access(bench, addr, store);
+    }
+};
+
+void
+insertGeometry(std::vector<cache::StackGeometry> &geoms,
+               cache::StackGeometry g)
+{
+    const auto it = std::lower_bound(geoms.begin(), geoms.end(), g);
+    if (it == geoms.end() || *it != g)
+        geoms.insert(it, g);
+}
+
+} // namespace
+
+FactoredEvaluator::FactoredEvaluator(CpiModel &model) : model_(model)
+{
+}
+
+FactoredEvaluator::StreamKey
+FactoredEvaluator::streamKeyOf(const DesignPoint &p)
+{
+    return {static_cast<int>(p.branchScheme), CpiModel::xlatSlots(p),
+            static_cast<int>(p.predictSource)};
+}
+
+FactoredEvaluator::BranchKey
+FactoredEvaluator::branchKeyOf(const DesignPoint &p)
+{
+    // The squashing scheme never builds a BTB, so its geometry is
+    // normalized out of the key.
+    const bool btb = p.branchScheme == cpusim::BranchScheme::Btb;
+    return {static_cast<int>(p.branchScheme), p.branchSlots,
+            static_cast<int>(p.predictSource),
+            btb ? p.btb.entries : 0, btb ? p.btb.assoc : 0};
+}
+
+FactoredEvaluator::PassKey
+FactoredEvaluator::iPassKeyOf(const DesignPoint &p) const
+{
+    const std::uint32_t blockBytes = p.blockWords * bytesPerWord;
+    const auto it =
+        iGeoms_.find({streamKeyOf(p), blockBytes});
+    PC_ASSERT(it != iGeoms_.end(),
+              "design point not covered by prepareFactored()");
+    return {false, streamKeyOf(p), blockBytes, it->second};
+}
+
+FactoredEvaluator::PassKey
+FactoredEvaluator::dPassKeyOf(const DesignPoint &p) const
+{
+    const std::uint32_t blockBytes = p.blockWords * bytesPerWord;
+    const auto it = dGeoms_.find(blockBytes);
+    PC_ASSERT(it != dGeoms_.end(),
+              "design point not covered by prepareFactored()");
+    return {true, StreamKey{}, blockBytes, it->second};
+}
+
+void
+FactoredEvaluator::plan(const std::vector<DesignPoint> &points)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const DesignPoint &p : points) {
+        if (!model_.factorable(p))
+            continue;
+        std::uint32_t ilog = 0;
+        std::uint32_t dlog = 0;
+        if (!geometryOf(p.l1iSizeKW, p.blockWords, p.assoc, ilog) ||
+            !geometryOf(p.l1dSizeKW, p.blockWords, p.assoc, dlog)) {
+            continue;
+        }
+        const std::uint32_t blockBytes = p.blockWords * bytesPerWord;
+        insertGeometry(iGeoms_[{streamKeyOf(p), blockBytes}],
+                       {ilog, p.assoc});
+        insertGeometry(dGeoms_[blockBytes], {dlog, p.assoc});
+    }
+}
+
+void
+FactoredEvaluator::claimLocked(const StreamKey &stream, Claims &claims)
+{
+    for (const auto &[key, geoms] : iGeoms_) {
+        if (key.first != stream)
+            continue;
+        PassKey pk{false, key.first, key.second, geoms};
+        if (passes_.find(pk) != passes_.end())
+            continue;
+        Claims::Pass claim;
+        claim.isData = false;
+        claim.sim = std::make_shared<cache::StackSimulator>(
+            key.second, geoms, model_.numBenchmarks());
+        passes_.emplace(pk, claim.promise.get_future().share());
+        claim.key = std::move(pk);
+        claims.passes.push_back(std::move(claim));
+    }
+    // The data stream is layout-independent, so any replay feeds the
+    // data passes of every block size.
+    for (const auto &[blockBytes, geoms] : dGeoms_) {
+        PassKey pk{true, StreamKey{}, blockBytes, geoms};
+        if (passes_.find(pk) != passes_.end())
+            continue;
+        Claims::Pass claim;
+        claim.isData = true;
+        claim.sim = std::make_shared<cache::StackSimulator>(
+            blockBytes, geoms, model_.numBenchmarks());
+        passes_.emplace(pk, claim.promise.get_future().share());
+        claim.key = std::move(pk);
+        claims.passes.push_back(std::move(claim));
+    }
+    if (!loadsStarted_) {
+        loadsStarted_ = true;
+        claims.claimedLoads = true;
+        loads_ = claims.loads.get_future().share();
+    }
+}
+
+void
+FactoredEvaluator::runReplay(const DesignPoint &p, Claims &claims,
+                             BranchComponent *branchOut)
+{
+    try {
+        const auto xkey = std::make_pair(
+            CpiModel::xlatSlots(p), static_cast<int>(p.predictSource));
+        const auto it = model_.xlats_.find(xkey);
+        PC_ASSERT(model_.tracesBuilt_ && model_.schedule_ &&
+                      it != model_.xlats_.end(),
+                  "design point not covered by CpiModel::prepare()");
+
+        const std::size_t n = model_.numBenchmarks();
+        std::vector<cpusim::BenchWorkload> workloads;
+        workloads.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            cpusim::BenchWorkload w;
+            w.program = &model_.programs_[i];
+            w.xlat = &it->second[i];
+            w.trace = &model_.traces_[i];
+            workloads.push_back(w);
+        }
+
+        // Minimal single-set hierarchy: the replay is run for its
+        // control flow, branch counters, and access stream; the stall
+        // fields it accumulates are discarded.
+        cache::HierarchyConfig hc;
+        hc.l1i.name = "stack-stub-i";
+        hc.l1i.sizeBytes = 16;
+        hc.l1i.blockBytes = 16;
+        hc.l1i.assoc = 1;
+        hc.l1d.name = "stack-stub-d";
+        hc.l1d.sizeBytes = 16;
+        hc.l1d.blockBytes = 16;
+        hc.l1d.assoc = 1;
+        hc.flatPenalty = 1;
+        cache::CacheHierarchy hierarchy(hc);
+
+        cpusim::EngineConfig ec;
+        ec.branchSlots = p.branchSlots;
+        ec.loadSlots = 0;
+        ec.branchScheme = p.branchScheme;
+        ec.loadScheme = cpusim::LoadScheme::Static;
+        ec.btb = p.btb;
+        cpusim::CpiEngine engine(ec, hierarchy, std::move(workloads));
+
+        MuxSink mux;
+        for (Claims::Pass &claim : claims.passes) {
+            (claim.isData ? mux.dSims : mux.iSims)
+                .push_back(claim.sim.get());
+        }
+        if (!mux.iSims.empty() || !mux.dSims.empty())
+            engine.setStreamSink(&mux);
+
+        model_.engineReplays_.fetch_add(1, std::memory_order_relaxed);
+        engine.run(*model_.schedule_);
+
+        if (branchOut != nullptr) {
+            branchOut->perBench.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                cpusim::CpiBreakdown c = engine.benchResult(i);
+                // Stall fields came from the stub hierarchy; the
+                // assembled point overwrites all three.
+                c.iStallCycles = 0;
+                c.dStallCycles = 0;
+                c.loadStallCycles = 0;
+                branchOut->perBench.push_back(c);
+            }
+            if (engine.btb() != nullptr) {
+                branchOut->btb = engine.btb()->stats();
+                branchOut->hasBtb = true;
+            }
+        }
+
+        if (!claims.passes.empty()) {
+            Counter accesses = 0;
+            std::uint64_t geometries = 0;
+            for (Claims::Pass &claim : claims.passes) {
+                claim.sim->finish();
+                accesses += claim.sim->accesses();
+                geometries += claim.sim->geometries().size();
+            }
+            using obs::StatKind;
+            auto &reg = obs::StatsRegistry::global();
+            reg.addCounter("stack_sim.passes",
+                           "one-pass multi-geometry stack simulations",
+                           StatKind::Deterministic,
+                           claims.passes.size());
+            reg.addCounter(
+                "stack_sim.accesses",
+                "stream accesses replayed through stack passes",
+                StatKind::Deterministic, accesses);
+            reg.addCounter("stack_sim.geometries",
+                           "cache geometries served by stack passes",
+                           StatKind::Deterministic, geometries);
+        }
+
+        if (claims.claimedLoads) {
+            auto lc = std::make_shared<LoadComponent>();
+            lc->perBench.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                lc->perBench.push_back(engine.loadStats(i));
+            claims.loads.set_value(std::move(lc));
+        }
+        for (Claims::Pass &claim : claims.passes)
+            claim.promise.set_value(claim.sim);
+    } catch (...) {
+        // Poison waiters, then forget the claims so a later call can
+        // retry the computation.
+        const std::exception_ptr err = std::current_exception();
+        for (Claims::Pass &claim : claims.passes)
+            claim.promise.set_exception(err);
+        if (claims.claimedLoads)
+            claims.loads.set_exception(err);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (Claims::Pass &claim : claims.passes)
+                passes_.erase(claim.key);
+            if (claims.claimedLoads) {
+                loadsStarted_ = false;
+                loads_ = {};
+            }
+        }
+        throw;
+    }
+}
+
+std::shared_ptr<const FactoredEvaluator::BranchComponent>
+FactoredEvaluator::getBranch(const DesignPoint &p)
+{
+    const BranchKey key = branchKeyOf(p);
+    std::promise<std::shared_ptr<const BranchComponent>> pr;
+    BranchFuture fut;
+    Claims claims;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = branch_.find(key);
+        if (it != branch_.end()) {
+            fut = it->second;
+        } else {
+            // Claim the component and every pass this replay's stream
+            // can feed, atomically, so concurrent evaluations neither
+            // duplicate a replay nor miss a pass.
+            fut = pr.get_future().share();
+            branch_.emplace(key, fut);
+            claimLocked(streamKeyOf(p), claims);
+            owner = true;
+        }
+    }
+    if (!owner)
+        return fut.get();
+
+    auto component = std::make_shared<BranchComponent>();
+    try {
+        runReplay(p, claims, component.get());
+    } catch (...) {
+        pr.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        branch_.erase(key);
+        throw;
+    }
+    pr.set_value(component);
+    return component;
+}
+
+std::shared_ptr<const cache::StackSimulator>
+FactoredEvaluator::getPass(const PassKey &key, const DesignPoint &p)
+{
+    PassFuture fut;
+    Claims claims;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = passes_.find(key);
+        if (it != passes_.end()) {
+            fut = it->second;
+        } else {
+            // Reachable when the branch component was cached by an
+            // earlier sweep but a later plan() widened the ladder:
+            // run a dedicated stream replay for the missing passes.
+            claimLocked(streamKeyOf(p), claims);
+            owner = true;
+        }
+    }
+    if (owner) {
+        runReplay(p, claims, nullptr);
+        std::lock_guard<std::mutex> lock(mutex_);
+        fut = passes_.at(key);
+    }
+    return fut.get();
+}
+
+std::shared_ptr<const FactoredEvaluator::LoadComponent>
+FactoredEvaluator::getLoads(const DesignPoint &p)
+{
+    LoadFuture fut;
+    Claims claims;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (loadsStarted_) {
+            fut = loads_;
+        } else {
+            claimLocked(streamKeyOf(p), claims);
+            fut = loads_;
+            owner = true;
+        }
+    }
+    if (owner)
+        runReplay(p, claims, nullptr);
+    return fut.get();
+}
+
+CpiResult
+FactoredEvaluator::assemble(const DesignPoint &p,
+                            const BranchComponent &branch,
+                            const cache::StackSimulator &ipass,
+                            const cache::StackSimulator &dpass,
+                            const LoadComponent &loads) const
+{
+    const std::size_t n = model_.numBenchmarks();
+    PC_ASSERT(branch.perBench.size() == n && loads.perBench.size() == n,
+              "factored component shape mismatch");
+
+    std::uint32_t ilog = 0;
+    std::uint32_t dlog = 0;
+    PC_ASSERT(geometryOf(p.l1iSizeKW, p.blockWords, p.assoc, ilog) &&
+                  geometryOf(p.l1dSizeKW, p.blockWords, p.assoc, dlog),
+              "factored evaluation of an invalid geometry");
+    const auto &ic = ipass.counts(ilog, p.assoc);
+    const auto &dc = dpass.counts(dlog, p.assoc);
+    const Counter penalty = p.missPenaltyCycles;
+
+    CpiResult r;
+    r.perBench.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        cpusim::CpiBreakdown c = branch.perBench[i];
+        c.iStallCycles = ic.readMisses[i] * penalty;
+        c.dStallCycles =
+            (dc.readMisses[i] + dc.writeMisses[i]) * penalty;
+        c.loadStallCycles = cpusim::loadStallCycles(
+            loads.perBench[i], p.loadSlots, p.loadScheme);
+        r.aggregate.add(c);
+        r.perBench.push_back(c);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        r.l1i.reads += ipass.benchReads()[i];
+        r.l1d.reads += dpass.benchReads()[i];
+        r.l1d.writes += dpass.benchWrites()[i];
+    }
+    r.l1i.readMisses = ic.readMissTotal();
+    r.l1i.evictions = ic.evictions;
+    r.l1d.readMisses = dc.readMissTotal();
+    r.l1d.writeMisses = dc.writeMissTotal();
+    r.l1d.evictions = dc.evictions;
+    r.l1d.dirtyEvictions = dc.dirtyEvictions;
+    if (branch.hasBtb)
+        r.btb = branch.btb;
+
+    // Publish the same per-point counters the monolithic path does,
+    // through the same helpers, so stats dumps are byte-identical
+    // whichever path evaluated the point.
+    auto &reg = obs::StatsRegistry::global();
+    cache::publishL1Stats(reg, r.l1i, r.l1i.misses() * penalty,
+                          r.l1d, r.l1d.misses() * penalty);
+    sched::LoadDelayStats merged;
+    for (std::size_t i = 0; i < n; ++i)
+        merged.merge(loads.perBench[i]);
+    cpusim::publishReplayStats(reg, r.aggregate,
+                               branch.hasBtb ? &r.btb : nullptr,
+                               merged, nullptr);
+    return r;
+}
+
+CpiResult
+FactoredEvaluator::evaluate(const DesignPoint &point)
+{
+    // Mirror the monolithic path's construction-time validation (same
+    // checks, same order, same messages) so an invalid point fails
+    // identically whichever path evaluates it.
+    const cache::HierarchyConfig hcfg = point.hierarchyConfig();
+    hcfg.l1i.validate();
+    hcfg.l1d.validate();
+    PC_ASSERT(point.missPenaltyCycles >= 1,
+              "flat penalty must be >= 1 cycle");
+
+    const auto branch = getBranch(point);
+    PassKey ikey;
+    PassKey dkey;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ikey = iPassKeyOf(point);
+        dkey = dPassKeyOf(point);
+    }
+    const auto ipass = getPass(ikey, point);
+    const auto dpass = getPass(dkey, point);
+    const auto loads = getLoads(point);
+    return assemble(point, *branch, *ipass, *dpass, *loads);
+}
+
+} // namespace pipecache::core

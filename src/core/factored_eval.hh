@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Factored CPI evaluation: the sweep-side complement of the stack
+ * simulator (cache::StackSimulator).
+ *
+ * A monolithic CpiModel::evaluatePrepared() replays the whole trace
+ * once per design point, so a b x l x size grid costs |b|*|l|*|size|
+ * replays. But the replay's control flow never reads cache state —
+ * caches and the BTB only contribute stall cycles — so CpiResult
+ * factors exactly into independently memoized components:
+ *
+ *  - branch component, keyed (scheme, b, predict source, BTB
+ *    geometry): per-benchmark fetch/branch counters and BTB stats;
+ *  - load component, keyed by the suite alone: per-benchmark
+ *    load-delay distributions, turned into stall cycles per (l,
+ *    scheme) by the pure cpusim::loadStallCycles();
+ *  - miss components, keyed (access stream, block size): one stack
+ *    pass yields exact per-benchmark miss counts for every cache
+ *    geometry on the grid at once.
+ *
+ * One replay per distinct branch key computes its branch component
+ * AND feeds every not-yet-claimed stack pass through the engine's
+ * AccessStreamSink — the grid costs O(|branch keys|) replays instead
+ * of O(points). Assembly is pure integer arithmetic followed by the
+ * same double-valued accessors the monolithic path uses, so results
+ * (and the serialized JSON) are bit-identical.
+ *
+ * Fallbacks (callers route these to the monolithic path, see
+ * CpiModel::factorable): write-through buffer points (the buffer
+ * couples D-stalls to the running cycle count), Random replacement
+ * (breaks LRU inclusion), and 3C classification (wants a real
+ * hierarchy per point).
+ */
+
+#ifndef PIPECACHE_CORE_FACTORED_EVAL_HH
+#define PIPECACHE_CORE_FACTORED_EVAL_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "cache/stack_sim.hh"
+#include "core/cpi_model.hh"
+
+namespace pipecache::core {
+
+/** The component cache + assembler. Owned by a CpiModel. */
+class FactoredEvaluator
+{
+  public:
+    explicit FactoredEvaluator(CpiModel &model);
+
+    /**
+     * Register the geometries/streams of @p points (factorable ones
+     * only), extending earlier plans. Call serially — typically right
+     * after CpiModel::prepare() — before concurrent evaluate() calls.
+     */
+    void plan(const std::vector<DesignPoint> &points);
+
+    /**
+     * Evaluate @p point from components, computing (and caching) any
+     * missing ones. Thread-safe; concurrent callers needing the same
+     * component share one computation. Requires a plan() covering the
+     * point and CpiModel::prepare() covering its translations.
+     */
+    CpiResult evaluate(const DesignPoint &point);
+
+  private:
+    /** (scheme, xlat slots, predict source): what fixes the streams. */
+    using StreamKey = std::tuple<int, std::uint32_t, int>;
+    /** StreamKey + BTB geometry: what fixes the branch counters. */
+    using BranchKey =
+        std::tuple<int, std::uint32_t, int, std::uint32_t,
+                   std::uint32_t>;
+    /**
+     * One stack pass: instruction passes are per (stream, block
+     * size); data passes per block size (the data stream does not
+     * depend on the code layout). The registered geometry ladder is
+     * part of the identity, so a later plan() that widens the ladder
+     * simply keys a fresh, wider pass.
+     */
+    using PassKey = std::tuple<bool, StreamKey, std::uint32_t,
+                               std::vector<cache::StackGeometry>>;
+
+    /** Branch-side counters of one replay (stall fields zeroed). */
+    struct BranchComponent
+    {
+        std::vector<cpusim::CpiBreakdown> perBench;
+        cache::BtbStats btb;
+        bool hasBtb = false;
+    };
+
+    /** Per-benchmark load-delay stats (suite-wide, stream-free). */
+    struct LoadComponent
+    {
+        std::vector<sched::LoadDelayStats> perBench;
+    };
+
+    using BranchFuture =
+        std::shared_future<std::shared_ptr<const BranchComponent>>;
+    using PassFuture = std::shared_future<
+        std::shared_ptr<const cache::StackSimulator>>;
+    using LoadFuture =
+        std::shared_future<std::shared_ptr<const LoadComponent>>;
+
+    /** Passes + load stats one replay has claimed responsibility for. */
+    struct Claims
+    {
+        struct Pass
+        {
+            PassKey key;
+            bool isData = false;
+            std::shared_ptr<cache::StackSimulator> sim;
+            std::promise<std::shared_ptr<const cache::StackSimulator>>
+                promise;
+        };
+        std::vector<Pass> passes;
+        bool claimedLoads = false;
+        std::promise<std::shared_ptr<const LoadComponent>> loads;
+    };
+
+    static StreamKey streamKeyOf(const DesignPoint &p);
+    static BranchKey branchKeyOf(const DesignPoint &p);
+
+    PassKey iPassKeyOf(const DesignPoint &p) const;
+    PassKey dPassKeyOf(const DesignPoint &p) const;
+
+    /** Under mutex_: claim every unclaimed pass @p stream can feed. */
+    void claimLocked(const StreamKey &stream, Claims &claims);
+
+    /** Replay the schedule once, feeding @p claims' simulators; fill
+     *  @p branchOut when non-null. Fulfills/poisons the claims. */
+    void runReplay(const DesignPoint &p, Claims &claims,
+                   BranchComponent *branchOut);
+
+    std::shared_ptr<const BranchComponent>
+    getBranch(const DesignPoint &p);
+    std::shared_ptr<const cache::StackSimulator>
+    getPass(const PassKey &key, const DesignPoint &p);
+    std::shared_ptr<const LoadComponent>
+    getLoads(const DesignPoint &p);
+
+    CpiResult
+    assemble(const DesignPoint &p, const BranchComponent &branch,
+             const cache::StackSimulator &ipass,
+             const cache::StackSimulator &dpass,
+             const LoadComponent &loads) const;
+
+    CpiModel &model_;
+
+    std::mutex mutex_;
+    /** Cumulative geometry ladders from plan(), sorted. */
+    std::map<std::pair<StreamKey, std::uint32_t>,
+             std::vector<cache::StackGeometry>> iGeoms_;
+    std::map<std::uint32_t, std::vector<cache::StackGeometry>> dGeoms_;
+    /** Memoized components (futures, so concurrent callers share). */
+    std::map<BranchKey, BranchFuture> branch_;
+    std::map<PassKey, PassFuture> passes_;
+    bool loadsStarted_ = false;
+    LoadFuture loads_;
+};
+
+} // namespace pipecache::core
+
+#endif // PIPECACHE_CORE_FACTORED_EVAL_HH

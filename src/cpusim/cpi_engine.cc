@@ -123,27 +123,55 @@ CpiEngine::processEvent(std::size_t bench, Context &ctx, std::size_t i)
     PC_ASSERT(skip <= bx.schedLen, "delay-slot skip exceeds block");
     Addr fetch_addr = bx.entry + skip * bytesPerWord;
     const std::uint32_t fetch_count = bx.schedLen - skip;
+    if (streamSink_ != nullptr) [[unlikely]] {
+        Addr a = fetch_addr;
+        for (std::uint32_t f = 0; f < fetch_count; ++f) {
+            streamSink_->instFetch(bench, a);
+            a += bytesPerWord;
+        }
+    }
+    // Accumulate the fetch-loop stalls locally: one read-modify-write
+    // of the context per block instead of one per fetched word.
+    Counter istall = 0;
     for (std::uint32_t f = 0; f < fetch_count; ++f) {
-        counts.iStallCycles += hierarchy_.accessInst(fetch_addr);
+        istall += hierarchy_.accessInst(fetch_addr);
         fetch_addr += bytesPerWord;
     }
+    counts.iStallCycles += istall;
     counts.fetches += fetch_count;
     counts.usefulInsts += bx.usefulLen;
 
     // Data references.
     auto [mem_begin, mem_end] = tr.memRange(i);
-    for (std::uint32_t m = mem_begin; m < mem_end; ++m) {
-        const trace::MemRef &ref = tr.memRefs[m];
-        if (ref.store && ctx.writeBuffer) {
-            // Write-through store: L1-D updated, miss absorbed by the
-            // buffer; only buffer-full back-pressure stalls the CPU.
-            hierarchy_.accessDataBuffered(ref.addr);
-            counts.dStallCycles +=
-                ctx.writeBuffer->store(counts.totalCycles());
-        } else {
-            counts.dStallCycles +=
-                hierarchy_.accessData(ref.addr, ref.store != 0);
+    if (streamSink_ != nullptr) [[unlikely]] {
+        for (std::uint32_t m = mem_begin; m < mem_end; ++m) {
+            const trace::MemRef &ref = tr.memRefs[m];
+            streamSink_->dataRef(bench, ref.addr, ref.store != 0);
         }
+    }
+    if (ctx.writeBuffer) {
+        for (std::uint32_t m = mem_begin; m < mem_end; ++m) {
+            const trace::MemRef &ref = tr.memRefs[m];
+            if (ref.store) {
+                // Write-through store: L1-D updated, miss absorbed by
+                // the buffer; only buffer-full back-pressure stalls
+                // the CPU. The buffer reads the running cycle count,
+                // so dStallCycles must stay exact per access here.
+                hierarchy_.accessDataBuffered(ref.addr);
+                counts.dStallCycles +=
+                    ctx.writeBuffer->store(counts.totalCycles());
+            } else {
+                counts.dStallCycles +=
+                    hierarchy_.accessData(ref.addr, false);
+            }
+        }
+    } else {
+        Counter dstall = 0;
+        for (std::uint32_t m = mem_begin; m < mem_end; ++m) {
+            const trace::MemRef &ref = tr.memRefs[m];
+            dstall += hierarchy_.accessData(ref.addr, ref.store != 0);
+        }
+        counts.dStallCycles += dstall;
     }
 
     // Load-delay distance tracking (canonical instruction walk).
@@ -188,6 +216,14 @@ CpiEngine::processEvent(std::size_t bench, Context &ctx, std::size_t i)
             // Mispredicted not-taken CTI: squashed sequential fetches
             // beyond the block, which still probe the I-cache.
             Addr seq = (*w.xlat)[bb.fallthrough].entry;
+            if (streamSink_ != nullptr) [[unlikely]] {
+                Addr a = seq;
+                for (std::uint32_t f = 0; f < out.extraSeqFetches;
+                     ++f) {
+                    streamSink_->instFetch(bench, a);
+                    a += bytesPerWord;
+                }
+            }
             for (std::uint32_t f = 0; f < out.extraSeqFetches; ++f) {
                 counts.iStallCycles += hierarchy_.accessInst(seq);
                 seq += bytesPerWord;
@@ -317,8 +353,31 @@ CpiEngine::aggregate() const
 void
 CpiEngine::publishStats(obs::StatsRegistry &reg) const
 {
-    using obs::StatKind;
     const CpiBreakdown agg = aggregate();
+
+    sched::LoadDelayStats loads;
+    WriteBufferStats wbuf;
+    bool have_wbuf = false;
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+        loads.merge(contexts_[i].tracker.stats());
+        if (const WriteBufferStats *s = writeBufferStats(i)) {
+            have_wbuf = true;
+            wbuf.stores += s->stores;
+            wbuf.stallCycles += s->stallCycles;
+            wbuf.fullEvents += s->fullEvents;
+        }
+    }
+    publishReplayStats(reg, agg, btb_ ? &btb_->stats() : nullptr,
+                       loads, have_wbuf ? &wbuf : nullptr);
+}
+
+void
+publishReplayStats(obs::StatsRegistry &reg, const CpiBreakdown &agg,
+                   const cache::BtbStats *btb,
+                   const sched::LoadDelayStats &loads,
+                   const WriteBufferStats *writeBuffer)
+{
+    using obs::StatKind;
     reg.addCounter("cpusim.insts.useful", "useful instructions retired",
                    StatKind::Deterministic, agg.usefulInsts);
     reg.addCounter("cpusim.fetches", "instruction fetches",
@@ -346,8 +405,8 @@ CpiEngine::publishStats(obs::StatsRegistry &reg) const
     reg.addCounter("cpusim.load.stall_cycles", "load-delay stall cycles",
                    StatKind::Deterministic, agg.loadStallCycles);
 
-    if (btb_) {
-        const cache::BtbStats &b = btb_->stats();
+    if (btb) {
+        const cache::BtbStats &b = *btb;
         reg.addCounter("cpusim.btb.lookups", "BTB lookups",
                        StatKind::Deterministic, b.lookups);
         reg.addCounter("cpusim.btb.hits", "BTB hits",
@@ -359,18 +418,6 @@ CpiEngine::publishStats(obs::StatsRegistry &reg) const
                        StatKind::Deterministic, b.allocations);
     }
 
-    sched::LoadDelayStats loads;
-    WriteBufferStats wbuf;
-    bool have_wbuf = false;
-    for (std::size_t i = 0; i < contexts_.size(); ++i) {
-        loads.merge(contexts_[i].tracker.stats());
-        if (const WriteBufferStats *s = writeBufferStats(i)) {
-            have_wbuf = true;
-            wbuf.stores += s->stores;
-            wbuf.stallCycles += s->stallCycles;
-            wbuf.fullEvents += s->fullEvents;
-        }
-    }
     reg.addCounter("cpusim.load.consumed", "loads whose result was read",
                    StatKind::Deterministic, loads.consumedLoads);
     reg.addCounter("cpusim.load.dead", "loads whose result was never read",
@@ -381,14 +428,16 @@ CpiEngine::publishStats(obs::StatsRegistry &reg) const
     reg.mergeHistogram("cpusim.load.e_dynamic",
                        "dynamic load independence distance",
                        StatKind::Deterministic, loads.eDynamic);
-    if (have_wbuf) {
+    if (writeBuffer) {
         reg.addCounter("cpusim.wbuf.stores", "stores retired via buffer",
-                       StatKind::Deterministic, wbuf.stores);
+                       StatKind::Deterministic, writeBuffer->stores);
         reg.addCounter("cpusim.wbuf.stall_cycles",
                        "buffer-full stall cycles",
-                       StatKind::Deterministic, wbuf.stallCycles);
+                       StatKind::Deterministic,
+                       writeBuffer->stallCycles);
         reg.addCounter("cpusim.wbuf.full_events", "buffer-full events",
-                       StatKind::Deterministic, wbuf.fullEvents);
+                       StatKind::Deterministic,
+                       writeBuffer->fullEvents);
     }
 }
 

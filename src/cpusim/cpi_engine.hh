@@ -100,6 +100,24 @@ struct CpiBreakdown
     void add(const CpiBreakdown &other);
 };
 
+/**
+ * Observer of the replay's cache access stream, in exact access
+ * order. The stream is a pure function of (workloads, schedule,
+ * branch scheme/slots, predict source) — cache state never feeds
+ * back into it — which is what lets one replay drive a multi-
+ * geometry stack simulation (core::FactoredEvaluator).
+ */
+class AccessStreamSink
+{
+  public:
+    virtual ~AccessStreamSink() = default;
+
+    /** One instruction fetch by @p bench. */
+    virtual void instFetch(std::size_t bench, Addr addr) = 0;
+    /** One data reference by @p bench. */
+    virtual void dataRef(std::size_t bench, Addr addr, bool store) = 0;
+};
+
 /** One benchmark's replay inputs. */
 struct BenchWorkload
 {
@@ -149,6 +167,9 @@ class CpiEngine
      */
     void publishStats(obs::StatsRegistry &reg) const;
 
+    /** Mirror every cache access into @p sink (null disables). */
+    void setStreamSink(AccessStreamSink *sink) { streamSink_ = sink; }
+
     std::size_t numWorkloads() const { return workloads_.size(); }
 
   private:
@@ -186,7 +207,20 @@ class CpiEngine
     std::vector<BenchWorkload> workloads_;
     std::vector<Context> contexts_;
     std::unique_ptr<cache::BranchTargetBuffer> btb_;
+    AccessStreamSink *streamSink_ = nullptr;
 };
+
+/**
+ * Publish one finished replay's counters under `cpusim.*` exactly as
+ * CpiEngine::publishStats does, from plain aggregates. Shared with
+ * the factored evaluator so both evaluation paths emit byte-identical
+ * registries.
+ */
+void publishReplayStats(obs::StatsRegistry &reg,
+                        const CpiBreakdown &aggregate,
+                        const cache::BtbStats *btb,
+                        const sched::LoadDelayStats &loads,
+                        const WriteBufferStats *writeBuffer);
 
 } // namespace pipecache::cpusim
 

@@ -43,13 +43,20 @@ predictSourceName(sched::PredictSource s)
     return s == sched::PredictSource::Profile ? "profile" : "btfnt";
 }
 
+const char *
+replacementName(cache::Replacement r)
+{
+    return r == cache::Replacement::Random ? "random" : "lru";
+}
+
 void
 writeDesign(std::ostream &os, const core::DesignPoint &p)
 {
     os << "{\"b\":" << p.branchSlots << ",\"l\":" << p.loadSlots
        << ",\"l1i_kw\":" << p.l1iSizeKW << ",\"l1d_kw\":" << p.l1dSizeKW
        << ",\"block_words\":" << p.blockWords << ",\"assoc\":" << p.assoc
-       << ",\"penalty\":" << p.missPenaltyCycles << ",\"branch_scheme\":\""
+       << ",\"repl\":\"" << replacementName(p.repl)
+       << "\",\"penalty\":" << p.missPenaltyCycles << ",\"branch_scheme\":\""
        << branchSchemeName(p.branchScheme) << "\",\"load_scheme\":\""
        << loadSchemeName(p.loadScheme) << "\",\"predict\":\""
        << predictSourceName(p.predictSource) << "\",\"write_buffer\":"
@@ -149,7 +156,7 @@ void
 writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
          const SinkOptions &opts)
 {
-    os << "b,l,l1i_kw,l1d_kw,block_words,assoc,penalty,branch_scheme,"
+    os << "b,l,l1i_kw,l1d_kw,block_words,assoc,repl,penalty,branch_scheme,"
           "load_scheme,predict,write_buffer,cpi,branch_cpi,load_cpi,"
           "imiss_cpi,dmiss_cpi,l1i_miss_rate,l1d_miss_rate,t_cpu_ns,"
           "t_iside_ns,t_dside_ns,tpi_ns,cache_hit,failed,error_kind";
@@ -161,6 +168,7 @@ writeCsv(std::ostream &os, const std::vector<SweepRecord> &records,
         const core::PointMetrics &m = r.metrics;
         os << p.branchSlots << "," << p.loadSlots << "," << p.l1iSizeKW
            << "," << p.l1dSizeKW << "," << p.blockWords << "," << p.assoc
+           << "," << replacementName(p.repl)
            << "," << p.missPenaltyCycles << ","
            << branchSchemeName(p.branchScheme) << ","
            << loadSchemeName(p.loadScheme) << ","

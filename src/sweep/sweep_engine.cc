@@ -86,7 +86,10 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     // re-entrant with the lazy caches already populated.
     {
         obs::ScopedSpan span("sweep.prepare", "sweep");
-        model_.cpiModel().prepare(points);
+        if (opts_.factored)
+            model_.cpiModel().prepareFactored(points);
+        else
+            model_.cpiModel().prepare(points);
     }
 
     std::vector<SweepRecord> records(points.size());
@@ -206,6 +209,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
             pendingIdx.push_back(i);
 
     // Fan the pending points out in grain-sized chunks.
+    const std::uint64_t replaysBefore = model_.cpiModel().engineReplays();
     std::atomic<std::size_t> completed{0};
     const std::size_t total = pendingIdx.size();
     std::vector<std::future<void>> futures;
@@ -235,8 +239,13 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                 // PC_FAULT_POINT takes the same route as a real one.
                 try {
                     PC_FAULT_POINT("sweep.point.eval");
+                    const core::CpiModel &cpiModel =
+                        model_.cpiModel();
                     const core::CpiResult cpi =
-                        model_.cpiModel().evaluatePrepared(item.point);
+                        opts_.factored &&
+                                cpiModel.factorable(item.point)
+                            ? cpiModel.evaluateFactored(item.point)
+                            : cpiModel.evaluatePrepared(item.point);
                     item.metrics = core::makeMetrics(
                         cpi, model_.combineWithCpi(item.point,
                                                    cpi.cpi()));
@@ -308,6 +317,22 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     if (checkpointing) {
         std::lock_guard<std::mutex> lock(ckMutex);
         writeCheckpoint();
+    }
+
+    if (opts_.factored) {
+        // Replays actually performed vs one-replay-per-point: the
+        // count is a function of the grid alone (the claiming
+        // protocol runs each component exactly once), so this stays
+        // deterministic across thread counts.
+        const std::uint64_t replayDelta =
+            model_.cpiModel().engineReplays() - replaysBefore;
+        const std::uint64_t saved =
+            total > replayDelta ? total - replayDelta : 0;
+        stats_.replaysSaved += saved;
+        reg.addCounter("sweep.replays_saved",
+                       "full trace replays avoided by factored "
+                       "evaluation",
+                       StatKind::Deterministic, saved);
     }
 
     for (const WorkItem &item : work) {

@@ -77,6 +77,15 @@ struct SweepOptions
      * sweep's input + suite — a mismatch is a DataError.
      */
     bool resume = false;
+    /**
+     * Evaluate factorable points from shared components (one stack
+     * pass per access stream covers every cache geometry; see
+     * core::FactoredEvaluator) instead of one full replay per point.
+     * Results are bit-identical either way; this is purely a speed
+     * knob, with non-factorable points (write buffer, Random
+     * replacement, 3C) always taking the exact per-point replay.
+     */
+    bool factored = true;
 };
 
 /** One evaluated design point. */
@@ -112,6 +121,9 @@ struct SweepStats
     std::uint64_t cacheMisses = 0;
     /** Unique points whose evaluation threw (isolation mode). */
     std::uint64_t pointsFailed = 0;
+    /** Full trace replays avoided by factored evaluation (points
+     *  evaluated minus engine replays actually performed). */
+    std::uint64_t replaysSaved = 0;
     /** Sum of per-point evaluation wall times (CPU-parallel). */
     double evalWallMs = 0.0;
 

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * The factored-evaluation correctness contract, in two layers:
+ *
+ *  1. cache::StackSimulator's single-pass miss counts are
+ *     bit-identical to replaying the same stream through a real LRU
+ *     cache::Cache, geometry by geometry, on randomized streams —
+ *     including per-benchmark attribution, evictions, and dirty
+ *     evictions.
+ *  2. core::CpiModel::evaluateFactored() equals evaluatePrepared()
+ *     field-for-field over randomized (b, l, size, assoc, scheme)
+ *     grids, and the sweep engine's factored mode yields
+ *     byte-identical JSON to the monolithic mode (and across thread
+ *     counts) while performing strictly fewer trace replays than
+ *     points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/stack_sim.hh"
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+#include "util/random.hh"
+
+namespace pipecache {
+namespace {
+
+// ------------------------------------------------------- stack simulator
+
+struct Access
+{
+    std::size_t bench;
+    Addr addr;
+    bool write;
+};
+
+/** Random stream with temporal locality (hot + cold regions). */
+std::vector<Access>
+randomStream(std::uint64_t seed, std::size_t benches, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<Access> stream;
+    stream.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Access a;
+        a.bench = rng.next() % benches;
+        // 3/4 of accesses hit a small hot region so LRU depth varies;
+        // the rest roam, exercising evictions.
+        const bool hot = (rng.next() & 3u) != 0;
+        const std::uint32_t span = hot ? 0x4000u : 0x100000u;
+        a.addr = static_cast<Addr>((rng.next() % span) & ~3u);
+        a.write = (rng.next() % 10) < 3;
+        stream.push_back(a);
+    }
+    return stream;
+}
+
+struct BenchCounts
+{
+    std::vector<Counter> readMisses;
+    std::vector<Counter> writeMisses;
+};
+
+/** Exact reference: one LRU Cache per geometry, per-bench attribution
+ *  counted from the hit/miss return of each access. */
+BenchCounts
+referenceReplay(cache::Cache &c, const std::vector<Access> &stream,
+                std::size_t benches)
+{
+    BenchCounts counts;
+    counts.readMisses.assign(benches, 0);
+    counts.writeMisses.assign(benches, 0);
+    for (const Access &a : stream) {
+        if (!c.access(a.addr, a.write)) {
+            if (a.write)
+                ++counts.writeMisses[a.bench];
+            else
+                ++counts.readMisses[a.bench];
+        }
+    }
+    return counts;
+}
+
+TEST(StackSimTest, MatchesRealLruCachePerGeometry)
+{
+    constexpr std::uint32_t kBlockBytes = 16;
+    constexpr std::size_t kBenches = 3;
+    std::vector<cache::StackGeometry> ladder;
+    for (std::uint32_t log2Sets = 0; log2Sets <= 6; ++log2Sets)
+        for (std::uint32_t assoc : {1u, 2u, 4u})
+            ladder.push_back({log2Sets, assoc});
+
+    for (const std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        const std::vector<Access> stream =
+            randomStream(seed, kBenches, 20000);
+
+        cache::StackSimulator sim(kBlockBytes, ladder, kBenches);
+        for (const Access &a : stream)
+            sim.access(a.bench, a.addr, a.write);
+        sim.finish();
+
+        for (const cache::StackGeometry &g : ladder) {
+            cache::CacheConfig config;
+            config.sizeBytes = static_cast<std::uint64_t>(g.sets()) *
+                               g.assoc * kBlockBytes;
+            config.blockBytes = kBlockBytes;
+            config.assoc = g.assoc;
+            cache::Cache reference(config);
+            const BenchCounts expect =
+                referenceReplay(reference, stream, kBenches);
+
+            const auto &got = sim.counts(g.log2Sets, g.assoc);
+            for (std::size_t b = 0; b < kBenches; ++b) {
+                EXPECT_EQ(got.readMisses[b], expect.readMisses[b])
+                    << "seed " << seed << " sets 2^" << g.log2Sets
+                    << " assoc " << g.assoc << " bench " << b;
+                EXPECT_EQ(got.writeMisses[b], expect.writeMisses[b])
+                    << "seed " << seed << " sets 2^" << g.log2Sets
+                    << " assoc " << g.assoc << " bench " << b;
+            }
+            const cache::CacheStats &ref = reference.stats();
+            EXPECT_EQ(got.readMissTotal(), ref.readMisses);
+            EXPECT_EQ(got.writeMissTotal(), ref.writeMisses);
+            EXPECT_EQ(got.evictions, ref.evictions)
+                << "seed " << seed << " sets 2^" << g.log2Sets
+                << " assoc " << g.assoc;
+            EXPECT_EQ(got.dirtyEvictions, ref.dirtyEvictions)
+                << "seed " << seed << " sets 2^" << g.log2Sets
+                << " assoc " << g.assoc;
+        }
+    }
+}
+
+TEST(StackSimTest, TracksStreamTotals)
+{
+    cache::StackSimulator sim(16, {{2, 1}}, 2);
+    sim.access(0, 0x100, false);
+    sim.access(0, 0x200, true);
+    sim.access(1, 0x300, false);
+    sim.finish();
+    EXPECT_EQ(sim.accesses(), 3u);
+    EXPECT_EQ(sim.benchReads()[0], 1u);
+    EXPECT_EQ(sim.benchWrites()[0], 1u);
+    EXPECT_EQ(sim.benchReads()[1], 1u);
+    EXPECT_EQ(sim.benchWrites()[1], 0u);
+}
+
+// ------------------------------------------------------ factored vs exact
+
+core::SuiteConfig
+tinySuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0; // floor: 20k insts per benchmark
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+/** A grid crossing streams (b, scheme), sizes, assoc, and penalties. */
+std::vector<core::DesignPoint>
+mixedGrid()
+{
+    std::vector<core::DesignPoint> points;
+    for (const std::uint32_t b : {0u, 2u}) {
+        for (const std::uint32_t l : {0u, 2u}) {
+            for (const std::uint32_t kw : {1u, 4u}) {
+                for (const std::uint32_t assoc : {1u, 2u}) {
+                    core::DesignPoint p;
+                    p.branchSlots = b;
+                    p.loadSlots = l;
+                    p.l1iSizeKW = kw;
+                    p.l1dSizeKW = 2;
+                    p.assoc = assoc;
+                    p.missPenaltyCycles = 6;
+                    points.push_back(p);
+                    p.branchScheme = cpusim::BranchScheme::Btb;
+                    points.push_back(p);
+                }
+            }
+        }
+    }
+    return points;
+}
+
+void
+expectBreakdownEq(const cpusim::CpiBreakdown &a,
+                  const cpusim::CpiBreakdown &b, const std::string &what)
+{
+    EXPECT_EQ(a.usefulInsts, b.usefulInsts) << what;
+    EXPECT_EQ(a.fetches, b.fetches) << what;
+    EXPECT_EQ(a.iStallCycles, b.iStallCycles) << what;
+    EXPECT_EQ(a.dStallCycles, b.dStallCycles) << what;
+    EXPECT_EQ(a.branchWastedFetches, b.branchWastedFetches) << what;
+    EXPECT_EQ(a.btbPenaltyCycles, b.btbPenaltyCycles) << what;
+    EXPECT_EQ(a.loadStallCycles, b.loadStallCycles) << what;
+    EXPECT_EQ(a.ctis, b.ctis) << what;
+    EXPECT_EQ(a.predTakenCtis, b.predTakenCtis) << what;
+    EXPECT_EQ(a.predTakenCorrect, b.predTakenCorrect) << what;
+    EXPECT_EQ(a.predNotTakenCtis, b.predNotTakenCtis) << what;
+    EXPECT_EQ(a.predNotTakenCorrect, b.predNotTakenCorrect) << what;
+}
+
+void
+expectCacheStatsEq(const cache::CacheStats &a, const cache::CacheStats &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.reads, b.reads) << what;
+    EXPECT_EQ(a.writes, b.writes) << what;
+    EXPECT_EQ(a.readMisses, b.readMisses) << what;
+    EXPECT_EQ(a.writeMisses, b.writeMisses) << what;
+    EXPECT_EQ(a.evictions, b.evictions) << what;
+    EXPECT_EQ(a.dirtyEvictions, b.dirtyEvictions) << what;
+}
+
+TEST(FactoredEvalTest, EqualsMonolithicEvaluationFieldForField)
+{
+    core::CpiModel model(tinySuite());
+    const std::vector<core::DesignPoint> grid = mixedGrid();
+    model.prepareFactored(grid);
+
+    for (const core::DesignPoint &p : grid) {
+        ASSERT_TRUE(model.factorable(p));
+        const core::CpiResult exact = model.evaluatePrepared(p);
+        const core::CpiResult fact = model.evaluateFactored(p);
+        const std::string what = p.describe();
+
+        expectBreakdownEq(fact.aggregate, exact.aggregate, what);
+        ASSERT_EQ(fact.perBench.size(), exact.perBench.size());
+        for (std::size_t i = 0; i < exact.perBench.size(); ++i) {
+            expectBreakdownEq(fact.perBench[i], exact.perBench[i],
+                              what + " bench " + std::to_string(i));
+        }
+        expectCacheStatsEq(fact.l1i, exact.l1i, what + " l1i");
+        expectCacheStatsEq(fact.l1d, exact.l1d, what + " l1d");
+        EXPECT_EQ(fact.btb.lookups, exact.btb.lookups) << what;
+        EXPECT_EQ(fact.btb.hits, exact.btb.hits) << what;
+        EXPECT_EQ(fact.btb.correct, exact.btb.correct) << what;
+        EXPECT_EQ(fact.btb.allocations, exact.btb.allocations) << what;
+        // Exact double equality: assembly runs the same arithmetic on
+        // the same integers.
+        EXPECT_EQ(fact.cpi(), exact.cpi()) << what;
+        EXPECT_EQ(fact.weightedHarmonicMeanCpi(),
+                  exact.weightedHarmonicMeanCpi())
+            << what;
+    }
+}
+
+TEST(FactoredEvalTest, NonFactorablePointsAreRouted)
+{
+    core::CpiModel model(tinySuite());
+    core::DesignPoint base;
+
+    core::DesignPoint wbuf = base;
+    wbuf.writeThroughBuffer = true;
+    EXPECT_FALSE(model.factorable(wbuf));
+
+    core::DesignPoint random = base;
+    random.repl = cache::Replacement::Random;
+    EXPECT_FALSE(model.factorable(random));
+
+    EXPECT_TRUE(model.factorable(base));
+}
+
+TEST(FactoredEvalTest, SweepFallsBackForNonFactorablePoints)
+{
+    // A grid mixing factorable points with write-buffer and Random-
+    // replacement ones: the factored sweep must route the latter to
+    // the exact replay and still match the monolithic sweep.
+    std::vector<core::DesignPoint> grid;
+    for (const std::uint32_t kw : {1u, 4u}) {
+        core::DesignPoint p;
+        p.l1iSizeKW = kw;
+        p.loadSlots = 0;
+        grid.push_back(p);
+        p.writeThroughBuffer = true;
+        grid.push_back(p);
+        p.writeThroughBuffer = false;
+        p.repl = cache::Replacement::Random;
+        grid.push_back(p);
+    }
+
+    auto runSweep = [&](bool factored) {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        sweep::SweepOptions opts;
+        opts.threads = 2;
+        opts.factored = factored;
+        sweep::SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(grid);
+        return sweep::jsonString("grid", records, engine.stats(), {});
+    };
+
+    EXPECT_EQ(runSweep(true), runSweep(false));
+}
+
+TEST(FactoredEvalTest, SweepSavesReplaysAndIsThreadCountInvariant)
+{
+    // fig3-style grid: 3 sizes x 4 branch depths = 12 points but only
+    // 4 distinct access streams, so the factored sweep must do
+    // strictly fewer replays than points.
+    std::vector<core::DesignPoint> grid;
+    for (const std::uint32_t kw : {1u, 2u, 4u}) {
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            core::DesignPoint p;
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            p.loadSlots = 0;
+            grid.push_back(p);
+        }
+    }
+
+    std::string firstJson;
+    std::uint64_t firstSaved = 0;
+    for (const std::size_t threads : {1u, 4u}) {
+        core::CpiModel cpi(tinySuite());
+        core::TpiModel tpi(cpi);
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        sweep::SweepEngine engine(tpi, opts);
+        const auto records = engine.sweep(grid);
+
+        EXPECT_GT(engine.stats().replaysSaved, 0u);
+        EXPECT_LT(cpi.engineReplays(), grid.size());
+        EXPECT_EQ(engine.stats().replaysSaved,
+                  grid.size() - cpi.engineReplays());
+
+        const std::string json =
+            sweep::jsonString("grid", records, engine.stats(), {});
+        if (threads == 1) {
+            firstJson = json;
+            firstSaved = engine.stats().replaysSaved;
+        } else {
+            EXPECT_EQ(json, firstJson);
+            EXPECT_EQ(engine.stats().replaysSaved, firstSaved);
+        }
+    }
+}
+
+} // namespace
+} // namespace pipecache

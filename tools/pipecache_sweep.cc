@@ -37,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -69,6 +70,8 @@ struct CliOptions
     std::vector<std::uint32_t> dsizesKW{8};
     std::vector<std::uint32_t> blockWords{4};
     std::vector<std::uint32_t> penalties{10};
+    pipecache::cache::Replacement repl =
+        pipecache::cache::Replacement::LRU;
     double scaleDivisor = 2000.0;
     std::size_t threads = 0; // 0 = hardware concurrency
     std::string outPath = "-";
@@ -87,6 +90,7 @@ struct CliOptions
     std::size_t checkpointEvery = 16;
     bool resume = false;
     bool failFast = false;
+    bool factored = true;
     // Range flags given explicitly, so --preset can reject the ones it
     // would otherwise silently ignore.
     bool bSet = false;
@@ -107,6 +111,7 @@ usage(const char *argv0, int code)
        << "  --dsize RANGE    L1-D sizes in KW          (default 8)\n"
        << "  --block RANGE    block sizes in words      (default 4)\n"
        << "  --penalty RANGE  miss penalties in cycles  (default 10)\n"
+       << "  --repl POLICY    lru | random replacement  (default lru)\n"
        << "  --scale N        suite scale divisor >= 1  (default 2000)\n"
        << "  --threads N      worker threads, 0 = cores (default 0)\n"
        << "  --out PATH       JSON output, '-' = stdout (default -)\n"
@@ -135,6 +140,9 @@ usage(const char *argv0, int code)
        << "                   to an uninterrupted run\n"
        << "  --fail-fast      abort on the first failed point instead\n"
        << "                   of recording it and continuing\n"
+       << "  --no-factored    one full trace replay per point instead\n"
+       << "                   of shared-component (single-pass stack)\n"
+       << "                   evaluation; same results, slower\n"
        << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n"
        << "Exit codes: 0 ok; 1 internal error; 2 usage error;\n"
        << "3 data/io error; 4 completed with failed points.\n";
@@ -249,6 +257,17 @@ parseArgs(int argc, char **argv)
             pow2Arg(i, opts.blockWords);
         } else if (arg == "--penalty") {
             rangeArg(i, opts.penalties);
+        } else if (arg == "--repl") {
+            const std::string spec = next(i);
+            if (spec == "lru") {
+                opts.repl = pipecache::cache::Replacement::LRU;
+            } else if (spec == "random") {
+                opts.repl = pipecache::cache::Replacement::Random;
+            } else {
+                std::cerr << argv[0] << ": bad --repl '" << spec
+                          << "' (need lru or random)\n";
+                usage(argv[0], 2);
+            }
         } else if (arg == "--scale") {
             const std::string spec = next(i);
             char *end = nullptr;
@@ -299,6 +318,8 @@ parseArgs(int argc, char **argv)
             opts.resume = true;
         } else if (arg == "--fail-fast") {
             opts.failFast = true;
+        } else if (arg == "--no-factored") {
+            opts.factored = false;
         } else {
             std::cerr << argv[0] << ": unknown option '" << arg
                       << "'\n";
@@ -337,8 +358,11 @@ buildGrid(const CliOptions &opts)
     if (!opts.preset.empty()) {
         if (opts.preset == "fig3" || opts.preset == "fig4" ||
             opts.preset == "table6" || opts.preset == "paper") {
-            return pipecache::core::experiments::sizeDepthGrid(
+            auto grid = pipecache::core::experiments::sizeDepthGrid(
                 opts.blockWords.front(), opts.penalties.front());
+            for (DesignPoint &p : grid)
+                p.repl = opts.repl;
+            return grid;
         }
         std::cerr << "unknown preset '" << opts.preset << "'\n";
         std::exit(2);
@@ -358,6 +382,7 @@ buildGrid(const CliOptions &opts)
                             p.l1dSizeKW = dkw;
                             p.blockWords = bw;
                             p.missPenaltyCycles = pen;
+                            p.repl = opts.repl;
                             points.push_back(p);
                         }
     return points;
@@ -368,6 +393,12 @@ buildGrid(const CliOptions &opts)
  * Called concurrently from worker threads; the displayed count comes
  * from the sweep.points.evaluated registry counter. Throttled so a
  * fast sweep doesn't spend its time redrawing.
+ *
+ * The rate (and thus the ETA) comes from a sliding window of recent
+ * completions, not the since-start average: under factored (or
+ * heavily memoized) evaluation the first points amortize shared
+ * component replays and later ones assemble nearly for free, so a
+ * whole-run average would wildly overestimate the remaining time.
  */
 class ProgressReporter
 {
@@ -376,9 +407,12 @@ class ProgressReporter
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto now = std::chrono::steady_clock::now();
-        if (!started_) {
-            started_ = true;
-            start_ = now;
+        samples_.push_back({now, done});
+        // Keep ~10s of history (always >= 2 samples for a rate).
+        while (samples_.size() > 2 &&
+               now - samples_.front().when >
+                   std::chrono::seconds(10)) {
+            samples_.pop_front();
         }
         if (done < total &&
             now - last_ < std::chrono::milliseconds(100)) {
@@ -388,10 +422,13 @@ class ProgressReporter
         const std::uint64_t evaluated =
             pipecache::obs::StatsRegistry::global().counterValue(
                 "sweep.points.evaluated");
+        const Sample &oldest = samples_.front();
         const double secs =
-            std::chrono::duration<double>(now - start_).count();
+            std::chrono::duration<double>(now - oldest.when).count();
         const double rate =
-            secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+            secs > 0.0 && done > oldest.done
+                ? static_cast<double>(done - oldest.done) / secs
+                : 0.0;
         char line[128];
         if (rate > 0.0 && done < total) {
             const double eta =
@@ -413,9 +450,14 @@ class ProgressReporter
     }
 
   private:
+    struct Sample
+    {
+        std::chrono::steady_clock::time_point when;
+        std::size_t done;
+    };
+
     std::mutex mutex_;
-    bool started_ = false;
-    std::chrono::steady_clock::time_point start_;
+    std::deque<Sample> samples_;
     std::chrono::steady_clock::time_point last_;
 };
 
@@ -448,6 +490,7 @@ run(int argc, char **argv)
     engine_opts.checkpointPath = opts.checkpointPath;
     engine_opts.checkpointEvery = opts.checkpointEvery;
     engine_opts.resume = opts.resume;
+    engine_opts.factored = opts.factored;
     if (opts.progress) {
         engine_opts.onProgress = [&progress](std::size_t done,
                                              std::size_t total) {
@@ -508,6 +551,10 @@ run(int argc, char **argv)
                   << stats.cacheHits << " memo hits) on "
                   << engine.threadCount() << " threads in " << wall_ms
                   << " ms\n";
+        if (opts.factored) {
+            std::cerr << "factored evaluation saved "
+                      << stats.replaysSaved << " trace replay(s)\n";
+        }
         if (stats.pointsFailed > 0) {
             std::cerr << stats.pointsFailed
                       << " point(s) failed; see the \"error\" "

@@ -1,0 +1,48 @@
+#!/bin/sh
+# CLI validation for pipecache_sweep --scale.
+#
+# strtod happily parses "nan" and "inf", and NaN defeats a plain
+# `< 1.0` range check (every comparison with NaN is false), so the
+# tool must explicitly require a finite value >= 1. Rejections are
+# usage errors (exit 2); accepted values are probed with a trailing
+# --help so no sweep actually runs.
+#
+# Usage: scale_args_test.sh /path/to/pipecache_sweep
+set -u
+
+bin="$1"
+fail=0
+
+reject() {
+    "$bin" --scale "$1" >/dev/null 2>&1
+    code=$?
+    if [ "$code" -ne 2 ]; then
+        echo "FAIL: --scale '$1' exited $code, want 2 (usage error)" >&2
+        fail=1
+    fi
+}
+
+accept() {
+    # parseArgs handles flags in order, so --help exits 0 only after
+    # --scale has been validated.
+    "$bin" --scale "$1" --help >/dev/null 2>&1
+    code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "FAIL: --scale '$1' rejected (exit $code), want accept" >&2
+        fail=1
+    fi
+}
+
+for v in nan NaN NAN 'nan(x)' inf INF -inf infinity Infinity 1e999 \
+         -1e999 0.5 0 -3 abc '' '2000x'; do
+    reject "$v"
+done
+
+for v in 1 1.5 2000 40000 1e6; do
+    accept "$v"
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "ok: --scale validation"
+fi
+exit "$fail"

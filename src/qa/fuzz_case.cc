@@ -1,0 +1,493 @@
+#include "qa/fuzz_case.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "trace/benchmark.hh"
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace pipecache::qa {
+
+namespace {
+
+/** Cheap suite members only: fuzz throughput beats coverage-per-case
+ *  here, the case *count* supplies the coverage. */
+constexpr const char *kBenchPool[] = {"small",    "linpack", "yacc",
+                                      "integral", "sdiff",   "xwim"};
+
+constexpr double kScales[] = {40000.0, 20000.0, 10000.0};
+constexpr std::uint64_t kQuanta[] = {2000, 5000, 10000};
+
+template <typename T, std::size_t N>
+T
+pick(Rng &rng, const T (&pool)[N])
+{
+    return pool[rng.nextRange(N)];
+}
+
+core::DesignPoint
+randomPoint(Rng &rng)
+{
+    core::DesignPoint p;
+    p.branchSlots = static_cast<std::uint32_t>(rng.nextRange(4));
+    p.loadSlots = static_cast<std::uint32_t>(rng.nextRange(4));
+    p.l1iSizeKW = 1u << rng.nextRange(4);
+    p.l1dSizeKW = 1u << rng.nextRange(4);
+    p.blockWords = 2u << rng.nextRange(3);
+    p.assoc = 1u << rng.nextRange(3);
+    p.missPenaltyCycles =
+        static_cast<std::uint32_t>(2 + rng.nextRange(11));
+    if (rng.nextBool(0.2))
+        p.repl = cache::Replacement::Random;
+    if (rng.nextBool(1.0 / 3.0)) {
+        p.branchScheme = cpusim::BranchScheme::Btb;
+        p.btb.entries = 64u << (2 * rng.nextRange(3));
+        p.btb.assoc = 1u << rng.nextRange(3);
+    }
+    const std::uint64_t ls = rng.nextRange(3);
+    p.loadScheme = ls == 0   ? cpusim::LoadScheme::Static
+                   : ls == 1 ? cpusim::LoadScheme::Dynamic
+                             : cpusim::LoadScheme::None;
+    if (rng.nextBool(0.25))
+        p.predictSource = sched::PredictSource::Profile;
+    if (rng.nextBool(1.0 / 6.0)) {
+        p.writeThroughBuffer = true;
+        p.writeBufferConfig.entries =
+            2u << rng.nextRange(3);
+        p.writeBufferConfig.drainCycles =
+            static_cast<std::uint32_t>(1 + 2 * rng.nextRange(3));
+    }
+    return p;
+}
+
+// ------------------------------------------------------- serialization
+
+const char *
+replName(cache::Replacement r)
+{
+    return r == cache::Replacement::Random ? "random" : "lru";
+}
+
+const char *
+branchName(cpusim::BranchScheme s)
+{
+    return s == cpusim::BranchScheme::Btb ? "btb" : "squash";
+}
+
+const char *
+loadName(cpusim::LoadScheme s)
+{
+    switch (s) {
+    case cpusim::LoadScheme::Dynamic:
+        return "dynamic";
+    case cpusim::LoadScheme::None:
+        return "none";
+    default:
+        return "static";
+    }
+}
+
+const char *
+predictName(sched::PredictSource s)
+{
+    return s == sched::PredictSource::Profile ? "profile" : "btfnt";
+}
+
+[[noreturn]] void
+badSpec(const std::string &what)
+{
+    throw UsageError("bad fuzz case spec: " + what);
+}
+
+std::uint64_t
+parseU64(std::string_view tok, const std::string &what)
+{
+    std::uint64_t v = 0;
+    const auto r =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (r.ec != std::errc{} || r.ptr != tok.data() + tok.size())
+        badSpec("bad number '" + std::string(tok) + "' in " + what);
+    return v;
+}
+
+/** Split @p body at @p sep; empty input yields no parts. */
+std::vector<std::string_view>
+split(std::string_view body, char sep)
+{
+    std::vector<std::string_view> parts;
+    std::size_t begin = 0;
+    while (begin <= body.size()) {
+        const auto end = body.find(sep, begin);
+        if (end == std::string_view::npos) {
+            if (begin < body.size())
+                parts.push_back(body.substr(begin));
+            break;
+        }
+        parts.push_back(body.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return parts;
+}
+
+/** "key:value" -> pair; panics the parse otherwise. */
+std::pair<std::string_view, std::string_view>
+keyValue(std::string_view item, const std::string &what)
+{
+    const auto colon = item.find(':');
+    if (colon == std::string_view::npos)
+        badSpec("expected key:value, got '" + std::string(item) +
+                "' in " + what);
+    return {item.substr(0, colon), item.substr(colon + 1)};
+}
+
+core::SuiteConfig
+parseSuite(std::string_view body)
+{
+    core::SuiteConfig suite;
+    suite.benchmarks.clear();
+    for (const auto item : split(body, ',')) {
+        const auto [key, value] = keyValue(item, "suite");
+        if (key == "scale") {
+            suite.scaleDivisor =
+                static_cast<double>(parseU64(value, "suite.scale"));
+        } else if (key == "quantum") {
+            suite.quantum = parseU64(value, "suite.quantum");
+        } else if (key == "salt") {
+            suite.seedSalt = parseU64(value, "suite.salt");
+        } else if (key == "bench") {
+            for (const auto name : split(value, '+'))
+                suite.benchmarks.emplace_back(name);
+        } else {
+            badSpec("unknown suite key '" + std::string(key) + "'");
+        }
+    }
+    if (suite.benchmarks.empty())
+        badSpec("suite needs at least one benchmark");
+    // Fail typos at parse time, not mid-oracle.
+    for (const std::string &name : suite.benchmarks)
+        (void)trace::findBenchmark(name);
+    return suite;
+}
+
+core::DesignPoint
+parsePoint(std::string_view body)
+{
+    core::DesignPoint p;
+    for (const auto item : split(body, ',')) {
+        const auto [key, value] = keyValue(item, "point");
+        if (key == "b") {
+            p.branchSlots =
+                static_cast<std::uint32_t>(parseU64(value, "point.b"));
+        } else if (key == "l") {
+            p.loadSlots =
+                static_cast<std::uint32_t>(parseU64(value, "point.l"));
+        } else if (key == "i") {
+            p.l1iSizeKW =
+                static_cast<std::uint32_t>(parseU64(value, "point.i"));
+        } else if (key == "d") {
+            p.l1dSizeKW =
+                static_cast<std::uint32_t>(parseU64(value, "point.d"));
+        } else if (key == "blk") {
+            p.blockWords = static_cast<std::uint32_t>(
+                parseU64(value, "point.blk"));
+        } else if (key == "assoc") {
+            p.assoc = static_cast<std::uint32_t>(
+                parseU64(value, "point.assoc"));
+        } else if (key == "pen") {
+            p.missPenaltyCycles = static_cast<std::uint32_t>(
+                parseU64(value, "point.pen"));
+        } else if (key == "repl") {
+            if (value == "lru")
+                p.repl = cache::Replacement::LRU;
+            else if (value == "random")
+                p.repl = cache::Replacement::Random;
+            else
+                badSpec("bad repl '" + std::string(value) + "'");
+        } else if (key == "bs") {
+            if (value == "squash")
+                p.branchScheme = cpusim::BranchScheme::Squash;
+            else if (value == "btb")
+                p.branchScheme = cpusim::BranchScheme::Btb;
+            else
+                badSpec("bad branch scheme '" + std::string(value) +
+                        "'");
+        } else if (key == "ls") {
+            if (value == "static")
+                p.loadScheme = cpusim::LoadScheme::Static;
+            else if (value == "dynamic")
+                p.loadScheme = cpusim::LoadScheme::Dynamic;
+            else if (value == "none")
+                p.loadScheme = cpusim::LoadScheme::None;
+            else
+                badSpec("bad load scheme '" + std::string(value) +
+                        "'");
+        } else if (key == "ps") {
+            if (value == "btfnt")
+                p.predictSource = sched::PredictSource::Btfnt;
+            else if (value == "profile")
+                p.predictSource = sched::PredictSource::Profile;
+            else
+                badSpec("bad predict source '" + std::string(value) +
+                        "'");
+        } else if (key == "btb") {
+            const auto dot = value.find('.');
+            if (dot == std::string_view::npos)
+                badSpec("bad btb geometry '" + std::string(value) +
+                        "' (want entries.assoc)");
+            p.btb.entries = static_cast<std::uint32_t>(
+                parseU64(value.substr(0, dot), "point.btb"));
+            p.btb.assoc = static_cast<std::uint32_t>(
+                parseU64(value.substr(dot + 1), "point.btb"));
+        } else if (key == "wb") {
+            if (value == "0") {
+                p.writeThroughBuffer = false;
+            } else {
+                const auto dot = value.find('.');
+                if (dot == std::string_view::npos)
+                    badSpec("bad wb '" + std::string(value) +
+                            "' (want 0 or entries.drain)");
+                p.writeThroughBuffer = true;
+                p.writeBufferConfig.entries =
+                    static_cast<std::uint32_t>(parseU64(
+                        value.substr(0, dot), "point.wb"));
+                p.writeBufferConfig.drainCycles =
+                    static_cast<std::uint32_t>(parseU64(
+                        value.substr(dot + 1), "point.wb"));
+            }
+        } else {
+            badSpec("unknown point key '" + std::string(key) + "'");
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+bool
+operator==(const FuzzCase &a, const FuzzCase &b)
+{
+    return a.suite.scaleDivisor == b.suite.scaleDivisor &&
+           a.suite.quantum == b.suite.quantum &&
+           a.suite.seedSalt == b.suite.seedSalt &&
+           a.suite.benchmarks == b.suite.benchmarks &&
+           a.points == b.points && a.threads == b.threads &&
+           a.streamSeed == b.streamSeed &&
+           a.streamLength == b.streamLength &&
+           a.pipelineInsts == b.pipelineInsts;
+}
+
+FuzzCase
+randomCase(std::uint64_t seed, std::uint64_t index)
+{
+    // Decorrelate neighbouring indices: the Rng seed constructor
+    // splitmix-expands, so a simple odd-multiplier mix suffices.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+            index * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL);
+
+    FuzzCase c;
+    c.suite.scaleDivisor = pick(rng, kScales);
+    c.suite.quantum = pick(rng, kQuanta);
+    c.suite.seedSalt = rng.nextRange(4);
+    const std::size_t nBench = 1 + rng.nextRange(3);
+    std::vector<std::size_t> order(std::size(kBenchPool));
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextRange(i)]);
+    for (std::size_t i = 0; i < nBench; ++i)
+        c.suite.benchmarks.emplace_back(kBenchPool[order[i]]);
+
+    const std::size_t nPoints = 1 + rng.nextRange(3);
+    for (std::size_t i = 0; i < nPoints; ++i)
+        c.points.push_back(randomPoint(rng));
+
+    c.threads = 2 + rng.nextRange(4);
+    c.streamSeed = rng.next();
+    c.streamLength = 1000 + rng.nextRange(7001);
+    c.pipelineInsts = 8000 + rng.nextRange(22001);
+    return c;
+}
+
+std::string
+serializeCase(const FuzzCase &c)
+{
+    std::ostringstream os;
+    os << "suite=scale:"
+       << static_cast<std::uint64_t>(c.suite.scaleDivisor)
+       << ",quantum:" << c.suite.quantum << ",salt:"
+       << c.suite.seedSalt << ",bench:";
+    for (std::size_t i = 0; i < c.suite.benchmarks.size(); ++i)
+        os << (i ? "+" : "") << c.suite.benchmarks[i];
+    os << ";threads=" << c.threads << ";stream=seed:" << c.streamSeed
+       << ",len:" << c.streamLength << ",insts:" << c.pipelineInsts;
+    for (const core::DesignPoint &p : c.points) {
+        os << ";point=b:" << p.branchSlots << ",l:" << p.loadSlots
+           << ",i:" << p.l1iSizeKW << ",d:" << p.l1dSizeKW
+           << ",blk:" << p.blockWords << ",assoc:" << p.assoc
+           << ",pen:" << p.missPenaltyCycles << ",repl:"
+           << replName(p.repl) << ",bs:" << branchName(p.branchScheme)
+           << ",ls:" << loadName(p.loadScheme) << ",ps:"
+           << predictName(p.predictSource) << ",btb:" << p.btb.entries
+           << "." << p.btb.assoc << ",wb:";
+        if (p.writeThroughBuffer) {
+            os << p.writeBufferConfig.entries << "."
+               << p.writeBufferConfig.drainCycles;
+        } else {
+            os << "0";
+        }
+    }
+    return os.str();
+}
+
+FuzzCase
+parseCase(const std::string &spec)
+{
+    FuzzCase c;
+    bool haveSuite = false;
+    for (const auto section : split(spec, ';')) {
+        const auto eq = section.find('=');
+        if (eq == std::string_view::npos)
+            badSpec("expected name=body, got '" +
+                    std::string(section) + "'");
+        const auto name = section.substr(0, eq);
+        const auto body = section.substr(eq + 1);
+        if (name == "suite") {
+            c.suite = parseSuite(body);
+            haveSuite = true;
+        } else if (name == "threads") {
+            c.threads = parseU64(body, "threads");
+            if (c.threads == 0 || c.threads > 64)
+                badSpec("threads must be in 1..64");
+        } else if (name == "stream") {
+            for (const auto item : split(body, ',')) {
+                const auto [key, value] = keyValue(item, "stream");
+                if (key == "seed")
+                    c.streamSeed = parseU64(value, "stream.seed");
+                else if (key == "len")
+                    c.streamLength = parseU64(value, "stream.len");
+                else if (key == "insts")
+                    c.pipelineInsts = parseU64(value, "stream.insts");
+                else
+                    badSpec("unknown stream key '" + std::string(key) +
+                            "'");
+            }
+        } else if (name == "point") {
+            c.points.push_back(parsePoint(body));
+        } else {
+            badSpec("unknown section '" + std::string(name) + "'");
+        }
+    }
+    if (!haveSuite)
+        badSpec("missing suite section");
+    if (c.points.empty())
+        badSpec("need at least one point");
+    return c;
+}
+
+std::vector<FuzzCase>
+shrinkCandidates(const FuzzCase &c)
+{
+    std::vector<FuzzCase> out;
+    auto add = [&](FuzzCase v) { out.push_back(std::move(v)); };
+
+    // Whole-point removal first: the single biggest simplification.
+    if (c.points.size() > 1) {
+        for (std::size_t i = 0; i < c.points.size(); ++i) {
+            FuzzCase v = c;
+            v.points.erase(v.points.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            add(std::move(v));
+        }
+    }
+    // Then suite reduction.
+    if (c.suite.benchmarks.size() > 1) {
+        for (std::size_t i = 0; i < c.suite.benchmarks.size(); ++i) {
+            FuzzCase v = c;
+            v.suite.benchmarks.erase(
+                v.suite.benchmarks.begin() +
+                static_cast<std::ptrdiff_t>(i));
+            add(std::move(v));
+        }
+    }
+    if (c.suite.scaleDivisor < 40000.0) {
+        FuzzCase v = c;
+        v.suite.scaleDivisor = 40000.0; // smallest traces
+        add(std::move(v));
+    }
+    if (c.suite.seedSalt != 0) {
+        FuzzCase v = c;
+        v.suite.seedSalt = 0;
+        add(std::move(v));
+    }
+    // Stream / budget halving.
+    if (c.streamLength > 64) {
+        FuzzCase v = c;
+        v.streamLength = std::max<std::size_t>(64, c.streamLength / 2);
+        add(std::move(v));
+    }
+    if (c.pipelineInsts > 2000) {
+        FuzzCase v = c;
+        v.pipelineInsts =
+            std::max<std::uint64_t>(2000, c.pipelineInsts / 2);
+        add(std::move(v));
+    }
+    if (c.streamSeed != 1) {
+        FuzzCase v = c;
+        v.streamSeed = 1;
+        add(std::move(v));
+    }
+    if (c.threads > 2) {
+        FuzzCase v = c;
+        v.threads = 2;
+        add(std::move(v));
+    }
+    // Per-point field simplification, one field at a time.
+    for (std::size_t i = 0; i < c.points.size(); ++i) {
+        const core::DesignPoint &p = c.points[i];
+        auto withPoint = [&](auto &&mutate) {
+            FuzzCase v = c;
+            mutate(v.points[i]);
+            add(std::move(v));
+        };
+        if (p.branchSlots != 0)
+            withPoint([](auto &q) { q.branchSlots = 0; });
+        if (p.loadSlots != 0)
+            withPoint([](auto &q) { q.loadSlots = 0; });
+        if (p.l1iSizeKW != 1)
+            withPoint([](auto &q) { q.l1iSizeKW = 1; });
+        if (p.l1dSizeKW != 1)
+            withPoint([](auto &q) { q.l1dSizeKW = 1; });
+        if (p.blockWords != 4)
+            withPoint([](auto &q) { q.blockWords = 4; });
+        if (p.assoc != 1)
+            withPoint([](auto &q) { q.assoc = 1; });
+        if (p.missPenaltyCycles != 10)
+            withPoint([](auto &q) { q.missPenaltyCycles = 10; });
+        if (p.repl != cache::Replacement::LRU)
+            withPoint(
+                [](auto &q) { q.repl = cache::Replacement::LRU; });
+        if (p.branchScheme != cpusim::BranchScheme::Squash)
+            withPoint([](auto &q) {
+                q.branchScheme = cpusim::BranchScheme::Squash;
+                q.btb = {};
+            });
+        if (p.loadScheme != cpusim::LoadScheme::Static)
+            withPoint([](auto &q) {
+                q.loadScheme = cpusim::LoadScheme::Static;
+            });
+        if (p.predictSource != sched::PredictSource::Btfnt)
+            withPoint([](auto &q) {
+                q.predictSource = sched::PredictSource::Btfnt;
+            });
+        if (p.writeThroughBuffer)
+            withPoint([](auto &q) {
+                q.writeThroughBuffer = false;
+                q.writeBufferConfig = {};
+            });
+    }
+    return out;
+}
+
+} // namespace pipecache::qa

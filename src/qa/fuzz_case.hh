@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One differential-fuzz test case: a randomized suite configuration,
+ * a small set of design points, and the auxiliary knobs (thread
+ * count, synthetic-stream shape) the oracles draw on.
+ *
+ * Cases are a pure function of (seed, index) — the same pair always
+ * regenerates the same case on every platform — and round-trip
+ * through a compact one-line text form, so a failing case can be
+ * handed back to the pipecache_fuzz CLI verbatim:
+ *
+ *   pipecache_fuzz --oracle checkpoint --case \
+ *     'suite=scale:20000,quantum:5000,salt:0,bench:small;threads=2;\
+ *      stream=seed:7,len:4000,insts:20000;point=b:2,l:1,...'
+ *
+ * The shrinker (qa/fuzzer.hh) relies on shrinkCandidates(): the
+ * ordered list of strictly-simpler variants of a case.
+ */
+
+#ifndef PIPECACHE_QA_FUZZ_CASE_HH
+#define PIPECACHE_QA_FUZZ_CASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cpi_model.hh"
+
+namespace pipecache::qa {
+
+/** One fuzz case. Every field participates in serialization. */
+struct FuzzCase
+{
+    core::SuiteConfig suite;
+    std::vector<core::DesignPoint> points;
+    /** Worker threads for the sweep-identity oracle (>= 2 to make
+     *  thread-count invariance non-trivial). */
+    std::size_t threads = 2;
+    /** Seed of the synthetic access stream / checkpoint randomizer. */
+    std::uint64_t streamSeed = 1;
+    /** Synthetic access-stream length (stack oracle). */
+    std::size_t streamLength = 4000;
+    /** Instruction budget of the cycle-accurate pipeline replay. */
+    std::uint64_t pipelineInsts = 20000;
+};
+
+bool operator==(const FuzzCase &a, const FuzzCase &b);
+
+/** The deterministic case for (seed, index). */
+FuzzCase randomCase(std::uint64_t seed, std::uint64_t index);
+
+/** One-line text form accepted by parseCase() and --case. */
+std::string serializeCase(const FuzzCase &c);
+
+/** Inverse of serializeCase(). Throws UsageError on malformed input. */
+FuzzCase parseCase(const std::string &spec);
+
+/**
+ * Strictly-simpler variants of @p c, most aggressive first (dropping
+ * a whole design point precedes simplifying one field). The shrinker
+ * accepts the first variant that still fails the violated oracle.
+ */
+std::vector<FuzzCase> shrinkCandidates(const FuzzCase &c);
+
+} // namespace pipecache::qa
+
+#endif // PIPECACHE_QA_FUZZ_CASE_HH

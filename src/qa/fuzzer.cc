@@ -1,0 +1,128 @@
+#include "qa/fuzzer.hh"
+
+#include <ostream>
+
+#include "util/error.hh"
+
+namespace pipecache::qa {
+
+namespace {
+
+/** Hard ceiling on candidate evaluations per shrink, so a flaky
+ *  oracle cannot hang the harness. Generously above what the ~40
+ *  candidates per level ever need. */
+constexpr std::size_t kShrinkBudget = 4000;
+
+} // namespace
+
+OracleResult
+runCheck(Oracle &oracle, const FuzzCase &c)
+{
+    try {
+        if (!oracle.applies(c))
+            return OracleResult::pass();
+        return oracle.check(c);
+    } catch (const Error &e) {
+        return OracleResult::fail(std::string("uncaught ") +
+                                  e.kindName() + " error: " + e.what());
+    } catch (const std::exception &e) {
+        return OracleResult::fail(
+            std::string("uncaught exception: ") + e.what());
+    }
+}
+
+FuzzCase
+shrinkCase(Oracle &oracle, FuzzCase c, std::string *detail,
+           std::size_t *steps)
+{
+    OracleResult last = runCheck(oracle, c);
+    std::size_t accepted = 0;
+    std::size_t evaluations = 0;
+    bool progress = true;
+    while (progress && evaluations < kShrinkBudget) {
+        progress = false;
+        for (FuzzCase &candidate : shrinkCandidates(c)) {
+            if (++evaluations >= kShrinkBudget)
+                break;
+            OracleResult r = runCheck(oracle, candidate);
+            if (r.ok)
+                continue;
+            c = std::move(candidate);
+            last = std::move(r);
+            ++accepted;
+            progress = true;
+            break; // restart from the (simpler) case's candidates
+        }
+    }
+    if (detail)
+        *detail = last.detail;
+    if (steps)
+        *steps = accepted;
+    return c;
+}
+
+std::string
+reproducerLine(const std::string &oracleName, const FuzzCase &c)
+{
+    return "pipecache_fuzz --oracle " + oracleName + " --case '" +
+           serializeCase(c) + "'";
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &opts)
+{
+    const auto oracles = makeOracles(opts.oracleNames);
+    FuzzReport report;
+    for (std::uint64_t i = 0; i < opts.cases; ++i) {
+        const FuzzCase c = randomCase(opts.seed, i);
+        for (const auto &oracle : oracles) {
+            if (!oracle->applies(c))
+                continue;
+            ++report.checksRun;
+            OracleResult r = runCheck(*oracle, c);
+            if (r.ok)
+                continue;
+
+            FuzzFailure failure;
+            failure.caseIndex = i;
+            failure.oracleName = oracle->name();
+            failure.detail = r.detail;
+            failure.original = c;
+            failure.shrunk = c;
+            failure.shrunkDetail = r.detail;
+            if (opts.shrink) {
+                if (opts.log) {
+                    *opts.log << "FAIL: oracle '" << oracle->name()
+                              << "' on case " << i << " (seed "
+                              << opts.seed << "); shrinking...\n";
+                }
+                failure.shrunk =
+                    shrinkCase(*oracle, c, &failure.shrunkDetail,
+                               &failure.shrinkSteps);
+            }
+            failure.reproducer =
+                reproducerLine(failure.oracleName, failure.shrunk);
+            if (opts.log) {
+                *opts.log << "FAIL: oracle '" << failure.oracleName
+                          << "' case " << i << " (seed " << opts.seed
+                          << ", " << failure.shrinkSteps
+                          << " shrink steps)\n  " << failure.shrunkDetail
+                          << "\n  reproduce: " << failure.reproducer
+                          << "\n";
+            }
+            report.failures.push_back(std::move(failure));
+            report.casesRun = i + 1;
+            return report; // first violation wins; fix it, rerun
+        }
+        report.casesRun = i + 1;
+        if (opts.log && opts.progressEvery != 0 &&
+            (i + 1) % opts.progressEvery == 0) {
+            *opts.log << "fuzz: " << (i + 1) << "/" << opts.cases
+                      << " cases, " << report.checksRun
+                      << " oracle checks, 0 failures\n";
+        }
+    }
+    return report;
+}
+
+} // namespace pipecache::qa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The differential fuzz driver: deterministic case generation, the
+ * oracle loop, and greedy shrinking of failures down to a minimal
+ * reproducer.
+ *
+ * Determinism contract: runFuzz() is a pure function of FuzzOptions.
+ * Case i is randomCase(seed, i) — independent of every other case and
+ * of which oracles are enabled — so a failure report's `--seed N`
+ * index pair always replays, and the printed `--case` line replays
+ * the shrunk case without regenerating anything.
+ */
+
+#ifndef PIPECACHE_QA_FUZZER_HH
+#define PIPECACHE_QA_FUZZER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qa/oracle.hh"
+
+namespace pipecache::qa {
+
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+    std::uint64_t cases = 100;
+    /** Oracle names to run; empty = all (makeOracles order). */
+    std::vector<std::string> oracleNames;
+    /** Shrink failures to a minimal reproducer before reporting. */
+    bool shrink = true;
+    /** Progress notes / failure reports; nullptr = silent. */
+    std::ostream *log = nullptr;
+    /** Emit a progress line every N cases (0 = never). */
+    std::uint64_t progressEvery = 0;
+};
+
+/** One oracle violation, shrunk (when enabled) and replayable. */
+struct FuzzFailure
+{
+    std::uint64_t caseIndex = 0;
+    std::string oracleName;
+    /** Divergence detail of the original (unshrunk) case. */
+    std::string detail;
+    FuzzCase original;
+    /** Minimal still-failing case (== original when not shrunk). */
+    FuzzCase shrunk;
+    std::string shrunkDetail;
+    /** Accepted shrink steps (not candidate evaluations). */
+    std::size_t shrinkSteps = 0;
+    /** Ready-to-run CLI line reproducing the shrunk failure. */
+    std::string reproducer;
+};
+
+struct FuzzReport
+{
+    std::uint64_t casesRun = 0;
+    std::uint64_t checksRun = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Run @p oracle on @p c, converting any escaped exception into a
+ * failed OracleResult (an oracle that throws has found a bug too).
+ */
+OracleResult runCheck(Oracle &oracle, const FuzzCase &c);
+
+/**
+ * Greedily shrink @p c while @p oracle still fails: repeatedly adopt
+ * the first shrinkCandidates() variant that keeps failing, until none
+ * does (or an evaluation budget runs out). Returns the minimal case;
+ * @p detail / @p steps (optional) receive its divergence and the
+ * number of accepted steps.
+ */
+FuzzCase shrinkCase(Oracle &oracle, FuzzCase c,
+                    std::string *detail = nullptr,
+                    std::size_t *steps = nullptr);
+
+/** The `pipecache_fuzz --oracle X --case '...'` replay line. */
+std::string reproducerLine(const std::string &oracleName,
+                           const FuzzCase &c);
+
+/**
+ * The fuzz loop. Stops at the first violation (its report carries
+ * the shrunk reproducer); a clean run reports every case that ran.
+ */
+FuzzReport runFuzz(const FuzzOptions &opts);
+
+} // namespace pipecache::qa
+
+#endif // PIPECACHE_QA_FUZZER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Differential oracles: independent implementations of the same
+ * quantity, cross-checked on randomized cases.
+ *
+ * Each oracle owns one disagreement surface (see qa/oracles.cc):
+ *
+ *   factored   — CpiModel::evaluateFactored() field-for-field equal
+ *                to the monolithic evaluatePrepared() replay;
+ *   stack      — StackSimulator single-pass counts equal to a real
+ *                per-geometry cache::Cache replay of the same stream;
+ *   additive   — the additive CPI engine bounds (and where the probe
+ *                streams coincide, exactly matches) the cycle-
+ *                accurate PipelineSim;
+ *   checkpoint — saveCheckpoint/loadCheckpoint reach a byte fixpoint
+ *                after one round trip, failed entries included;
+ *   sweep      — sweep JSON is byte-identical across thread counts,
+ *                factored/monolithic evaluation, and checkpoint
+ *                resume (full and truncated).
+ *
+ * check() returns ok=false with a human-readable first-divergence
+ * description; it must be deterministic in the case (the shrinker
+ * re-runs it many times and relies on failures being stable).
+ */
+
+#ifndef PIPECACHE_QA_ORACLE_HH
+#define PIPECACHE_QA_ORACLE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qa/fuzz_case.hh"
+
+namespace pipecache::qa {
+
+/** Outcome of one oracle run on one case. */
+struct OracleResult
+{
+    bool ok = true;
+    /** First divergence, for humans; empty when ok. */
+    std::string detail;
+
+    static OracleResult pass() { return {}; }
+    static OracleResult fail(std::string d)
+    {
+        return {false, std::move(d)};
+    }
+};
+
+/** One differential check. Implementations are stateless. */
+class Oracle
+{
+  public:
+    virtual ~Oracle() = default;
+
+    /** Stable CLI name (--oracle NAME). */
+    virtual const char *name() const = 0;
+
+    /** Whether the case exercises this oracle at all. */
+    virtual bool applies(const FuzzCase &c) const
+    {
+        (void)c;
+        return true;
+    }
+
+    /** Run the differential check. Deterministic in @p c. */
+    virtual OracleResult check(const FuzzCase &c) = 0;
+};
+
+/** All registered oracles, in documentation order. */
+std::vector<std::unique_ptr<Oracle>> makeOracles();
+
+/** The subset named by @p names (empty = all). Throws UsageError on
+ *  an unknown name. */
+std::vector<std::unique_ptr<Oracle>>
+makeOracles(const std::vector<std::string> &names);
+
+} // namespace pipecache::qa
+
+#endif // PIPECACHE_QA_ORACLE_HH

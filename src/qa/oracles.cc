@@ -1,0 +1,669 @@
+/**
+ * @file
+ * The differential oracle set (see qa/oracle.hh for the contract).
+ * Every oracle builds its implementations fresh from the case, so a
+ * disagreement is attributable to the implementations themselves and
+ * never to shared mutable state.
+ */
+
+#include "qa/oracle.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/stack_sim.hh"
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "cpusim/cpi_engine.hh"
+#include "cpusim/pipeline_sim.hh"
+#include "sched/branch_sched.hh"
+#include "sweep/checkpoint.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+#include "trace/benchmark.hh"
+#include "trace/data_address_generator.hh"
+#include "trace/executor.hh"
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace pipecache::qa {
+
+namespace {
+
+// ---------------------------------------------------------- helpers
+
+/** Unique scratch path; the oracle removes it when done. */
+std::string
+tempPath(const char *tag)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("pipecache_qa_" + std::to_string(::getpid()) + "_" +
+                   tag + "_" +
+                   std::to_string(counter.fetch_add(1))))
+        .string();
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw IoError(path, "cannot read back oracle scratch file");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Human-readable first divergence of two byte strings. */
+std::string
+firstByteDiff(const std::string &a, const std::string &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    std::size_t i = 0;
+    while (i < n && a[i] == b[i])
+        ++i;
+    // Show the enclosing lines for context.
+    auto lineAround = [](const std::string &s, std::size_t pos) {
+        const std::size_t begin = s.rfind('\n', pos);
+        const std::size_t from =
+            begin == std::string::npos ? 0 : begin + 1;
+        std::size_t end = s.find('\n', pos);
+        if (end == std::string::npos)
+            end = s.size();
+        return s.substr(from, std::min<std::size_t>(end - from, 160));
+    };
+    std::ostringstream os;
+    os << "first divergence at byte " << i << " (sizes " << a.size()
+       << " vs " << b.size() << ")";
+    if (i < a.size())
+        os << "\n    lhs: " << lineAround(a, i);
+    if (i < b.size())
+        os << "\n    rhs: " << lineAround(b, i);
+    return os.str();
+}
+
+/** Appends "field: a vs b" mismatches to @p detail; true if equal. */
+class FieldComparer
+{
+  public:
+    explicit FieldComparer(std::string context)
+        : context_(std::move(context))
+    {
+    }
+
+    template <typename T>
+    void eq(const char *field, const T &a, const T &b)
+    {
+        if (a == b)
+            return;
+        std::ostringstream os;
+        if (!detail_.empty())
+            os << "; ";
+        os << context_ << "." << field << ": " << a << " vs " << b;
+        detail_ += os.str();
+    }
+
+    bool ok() const { return detail_.empty(); }
+    const std::string &detail() const { return detail_; }
+
+  private:
+    std::string context_;
+    std::string detail_;
+};
+
+void
+compareBreakdown(FieldComparer &cmp, const cpusim::CpiBreakdown &a,
+                 const cpusim::CpiBreakdown &b)
+{
+    cmp.eq("usefulInsts", a.usefulInsts, b.usefulInsts);
+    cmp.eq("fetches", a.fetches, b.fetches);
+    cmp.eq("iStallCycles", a.iStallCycles, b.iStallCycles);
+    cmp.eq("dStallCycles", a.dStallCycles, b.dStallCycles);
+    cmp.eq("branchWastedFetches", a.branchWastedFetches,
+           b.branchWastedFetches);
+    cmp.eq("btbPenaltyCycles", a.btbPenaltyCycles, b.btbPenaltyCycles);
+    cmp.eq("loadStallCycles", a.loadStallCycles, b.loadStallCycles);
+    cmp.eq("ctis", a.ctis, b.ctis);
+    cmp.eq("predTakenCtis", a.predTakenCtis, b.predTakenCtis);
+    cmp.eq("predTakenCorrect", a.predTakenCorrect, b.predTakenCorrect);
+    cmp.eq("predNotTakenCtis", a.predNotTakenCtis, b.predNotTakenCtis);
+    cmp.eq("predNotTakenCorrect", a.predNotTakenCorrect,
+           b.predNotTakenCorrect);
+}
+
+void
+compareCacheStats(FieldComparer &cmp, const cache::CacheStats &a,
+                  const cache::CacheStats &b)
+{
+    cmp.eq("reads", a.reads, b.reads);
+    cmp.eq("writes", a.writes, b.writes);
+    cmp.eq("readMisses", a.readMisses, b.readMisses);
+    cmp.eq("writeMisses", a.writeMisses, b.writeMisses);
+    cmp.eq("evictions", a.evictions, b.evictions);
+    cmp.eq("dirtyEvictions", a.dirtyEvictions, b.dirtyEvictions);
+}
+
+/** factorable() without a model: the same three exclusions. */
+bool
+pointFactorable(const core::DesignPoint &p)
+{
+    return !p.writeThroughBuffer &&
+           p.repl == cache::Replacement::LRU;
+}
+
+// ------------------------------------------- factored vs monolithic
+
+class FactoredOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "factored"; }
+
+    bool applies(const FuzzCase &c) const override
+    {
+        for (const core::DesignPoint &p : c.points)
+            if (pointFactorable(p))
+                return true;
+        return false;
+    }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        core::CpiModel model(c.suite);
+        std::vector<core::DesignPoint> pts;
+        for (const core::DesignPoint &p : c.points)
+            if (model.factorable(p))
+                pts.push_back(p);
+        if (pts.empty())
+            return OracleResult::pass();
+        model.prepareFactored(pts);
+
+        for (const core::DesignPoint &p : pts) {
+            const core::CpiResult exact = model.evaluatePrepared(p);
+            const core::CpiResult fact = model.evaluateFactored(p);
+
+            FieldComparer cmp("point{" + p.describe() + "}");
+            compareBreakdown(cmp, exact.aggregate, fact.aggregate);
+            cmp.eq("perBench.size", exact.perBench.size(),
+                   fact.perBench.size());
+            if (exact.perBench.size() == fact.perBench.size()) {
+                for (std::size_t i = 0; i < exact.perBench.size();
+                     ++i) {
+                    FieldComparer bcmp("bench" + std::to_string(i));
+                    compareBreakdown(bcmp, exact.perBench[i],
+                                     fact.perBench[i]);
+                    if (!bcmp.ok())
+                        return OracleResult::fail(
+                            "factored != monolithic: " +
+                            bcmp.detail() + " at " + p.describe());
+                }
+            }
+            compareCacheStats(cmp, exact.l1i, fact.l1i);
+            compareCacheStats(cmp, exact.l1d, fact.l1d);
+            cmp.eq("btb.lookups", exact.btb.lookups, fact.btb.lookups);
+            cmp.eq("btb.hits", exact.btb.hits, fact.btb.hits);
+            cmp.eq("btb.correct", exact.btb.correct, fact.btb.correct);
+            cmp.eq("btb.allocations", exact.btb.allocations,
+                   fact.btb.allocations);
+            // Bit-exact doubles: assembly performs the same arithmetic
+            // on the same integers.
+            cmp.eq("cpi", exact.cpi(), fact.cpi());
+            cmp.eq("whmCpi", exact.weightedHarmonicMeanCpi(),
+                   fact.weightedHarmonicMeanCpi());
+            if (!cmp.ok())
+                return OracleResult::fail("factored != monolithic: " +
+                                          cmp.detail());
+        }
+        return OracleResult::pass();
+    }
+};
+
+// --------------------------------------------- stack sim vs caches
+
+class StackOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "stack"; }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        struct Access
+        {
+            std::size_t bench;
+            Addr addr;
+            bool write;
+        };
+        const std::size_t benches =
+            std::max<std::size_t>(1, c.suite.benchmarks.size());
+        const std::uint32_t blockBytes =
+            c.points.front().blockWords * bytesPerWord;
+
+        Rng rng(c.streamSeed);
+        std::vector<Access> stream;
+        stream.reserve(c.streamLength);
+        for (std::size_t i = 0; i < c.streamLength; ++i) {
+            Access a;
+            a.bench = rng.nextRange(benches);
+            // Mostly a hot region (varied LRU depths), sometimes a
+            // roaming access (evictions, dirty writebacks).
+            const bool hot = (rng.next() & 3u) != 0;
+            const std::uint32_t span = hot ? 0x4000u : 0x100000u;
+            a.addr = static_cast<Addr>(rng.nextRange(span) & ~3u);
+            a.write = rng.nextBool(0.3);
+            stream.push_back(a);
+        }
+
+        std::vector<cache::StackGeometry> ladder;
+        for (std::uint32_t log2Sets = 0; log2Sets <= 5; ++log2Sets)
+            for (const std::uint32_t assoc : {1u, 2u, 4u})
+                ladder.push_back({log2Sets, assoc});
+
+        cache::StackSimulator sim(blockBytes, ladder, benches);
+        for (const Access &a : stream)
+            sim.access(a.bench, a.addr, a.write);
+        sim.finish();
+
+        for (const cache::StackGeometry &g : ladder) {
+            cache::CacheConfig config;
+            config.sizeBytes = g.sets() * g.assoc * blockBytes;
+            config.blockBytes = blockBytes;
+            config.assoc = g.assoc;
+            cache::Cache reference(config);
+            std::vector<Counter> readMiss(benches, 0);
+            std::vector<Counter> writeMiss(benches, 0);
+            for (const Access &a : stream) {
+                if (!reference.access(a.addr, a.write)) {
+                    if (a.write)
+                        ++writeMiss[a.bench];
+                    else
+                        ++readMiss[a.bench];
+                }
+            }
+
+            const auto &got = sim.counts(g.log2Sets, g.assoc);
+            FieldComparer cmp("geom{2^" +
+                              std::to_string(g.log2Sets) + " sets, " +
+                              std::to_string(g.assoc) + "-way}");
+            for (std::size_t b = 0; b < benches; ++b) {
+                const std::string tag = "[" + std::to_string(b) + "]";
+                cmp.eq(("readMisses" + tag).c_str(),
+                       got.readMisses[b], readMiss[b]);
+                cmp.eq(("writeMisses" + tag).c_str(),
+                       got.writeMisses[b], writeMiss[b]);
+            }
+            const cache::CacheStats &ref = reference.stats();
+            cmp.eq("evictions", got.evictions, ref.evictions);
+            cmp.eq("dirtyEvictions", got.dirtyEvictions,
+                   ref.dirtyEvictions);
+            if (!cmp.ok())
+                return OracleResult::fail("stack sim != cache replay: " +
+                                          cmp.detail());
+        }
+        return OracleResult::pass();
+    }
+};
+
+// ---------------------------------------- additive vs cycle-accurate
+
+class AdditiveOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "additive"; }
+
+    bool applies(const FuzzCase &c) const override
+    {
+        for (const core::DesignPoint &p : c.points)
+            if (p.branchScheme == cpusim::BranchScheme::Squash &&
+                !p.writeThroughBuffer)
+                return true;
+        return false;
+    }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        // One benchmark workload; the pipeline simulator is
+        // single-workload by design.
+        const trace::Benchmark &bench =
+            trace::findBenchmark(c.suite.benchmarks.front());
+        const isa::Program prog =
+            bench.makeProgram(0, c.suite.seedSalt);
+        trace::DataAddressGenerator dgen(
+            bench.dataConfig(0, c.suite.seedSalt));
+        trace::ExecConfig ec;
+        ec.maxInsts = c.pipelineInsts;
+        ec.seed = 11 + (c.streamSeed % 9973);
+        const trace::RecordedTrace trace =
+            trace::recordTrace(prog, dgen, ec);
+
+        // Near-infinite caches so both sides see the same compulsory
+        // misses; the flat penalty still scales their cost.
+        auto perfect = [](std::uint32_t penalty) {
+            cache::HierarchyConfig hc;
+            hc.l1i.sizeBytes = 1u << 20;
+            hc.l1d.sizeBytes = 1u << 20;
+            hc.flatPenalty = penalty;
+            return hc;
+        };
+
+        std::size_t checked = 0;
+        for (const core::DesignPoint &p : c.points) {
+            if (p.branchScheme != cpusim::BranchScheme::Squash ||
+                p.writeThroughBuffer) {
+                continue;
+            }
+            if (++checked > 2) // bound the per-case cost
+                break;
+            const std::uint32_t b = p.branchSlots;
+            const std::uint32_t l = p.loadSlots;
+            const sched::TranslationFile xlat =
+                sched::scheduleBranchDelays(prog, b);
+
+            // Additive upper bound: no load scheduling at all — every
+            // load stalls the full l cycles.
+            cache::CacheHierarchy h1(perfect(p.missPenaltyCycles));
+            cpusim::EngineConfig ecfg;
+            ecfg.branchSlots = b;
+            ecfg.loadSlots = l;
+            ecfg.loadScheme = cpusim::LoadScheme::None;
+            cpusim::CpiEngine engine(ecfg, h1,
+                                     {{&prog, &xlat, &trace}});
+            engine.runAll();
+            const cpusim::CpiBreakdown agg = engine.aggregate();
+
+            cache::CacheHierarchy h2(perfect(p.missPenaltyCycles));
+            cpusim::PipelineSim sim({b, l}, h2, prog, xlat, trace);
+            const cpusim::PipelineStats &s = sim.run();
+
+            FieldComparer cmp("b=" + std::to_string(b) +
+                              ",l=" + std::to_string(l));
+            // Exact agreements: same useful work, same probe streams.
+            cmp.eq("usefulInsts", s.usefulInsts, agg.usefulInsts);
+            cmp.eq("iMissCycles", s.iMissCycles, agg.iStallCycles);
+            cmp.eq("dMissCycles", s.dMissCycles, agg.dStallCycles);
+            // The pipeline's own cycle ledger must balance.
+            cmp.eq("cycleLedger", s.cycles,
+                   s.issueSlots + s.iMissCycles + s.dMissCycles +
+                       s.loadInterlockCycles);
+            if (!cmp.ok())
+                return OracleResult::fail(
+                    "additive != pipeline: " + cmp.detail());
+
+            // Bounds: the engine charges replicas of a never-executed
+            // final target as waste — at most b slots of end-of-trace
+            // slack; interlocks never exceed the unscheduled bound.
+            auto bound = [&](const char *what, Counter lo, Counter hi,
+                             Counter slack) -> OracleResult {
+                if (lo <= hi && hi - lo <= slack)
+                    return OracleResult::pass();
+                std::ostringstream os;
+                os << "additive vs pipeline bound '" << what
+                   << "' violated: pipeline " << lo << " additive "
+                   << hi << " allowed slack " << slack << " at b=" << b
+                   << " l=" << l;
+                return OracleResult::fail(os.str());
+            };
+            if (auto r = bound("issueSlots<=fetches", s.issueSlots,
+                               agg.fetches, b);
+                !r.ok) {
+                return r;
+            }
+            if (auto r = bound("wasteSlots<=wastedFetches",
+                               s.branchWasteSlots,
+                               agg.branchWastedFetches, b);
+                !r.ok) {
+                return r;
+            }
+            if (s.cycles > agg.totalCycles()) {
+                std::ostringstream os;
+                os << "pipeline cycles " << s.cycles
+                   << " exceed additive no-scheduling bound "
+                   << agg.totalCycles() << " at b=" << b
+                   << " l=" << l;
+                return OracleResult::fail(os.str());
+            }
+        }
+        return OracleResult::pass();
+    }
+};
+
+// ------------------------------------------- checkpoint byte fixpoint
+
+class CheckpointOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "checkpoint"; }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        Rng rng(c.streamSeed ^ 0x5bf03635ULL);
+        const sweep::Checkpoint ck = randomCheckpoint(rng);
+
+        const std::string p1 = tempPath("ck1");
+        const std::string p2 = tempPath("ck2");
+        sweep::saveCheckpoint(p1, ck);
+        const std::string bytes1 = readFileBytes(p1);
+        const sweep::Checkpoint loaded = sweep::loadCheckpoint(p1);
+        sweep::saveCheckpoint(p2, loaded);
+        const std::string bytes2 = readFileBytes(p2);
+        std::filesystem::remove(p1);
+        std::filesystem::remove(p2);
+
+        if (bytes1 != bytes2) {
+            return OracleResult::fail(
+                "checkpoint save->load->save is not a byte fixpoint: " +
+                firstByteDiff(bytes1, bytes2));
+        }
+        return OracleResult::pass();
+    }
+
+  private:
+    static double
+    randomMetric(Rng &rng)
+    {
+        switch (rng.nextRange(8)) {
+        case 0:
+            return 0.0;
+        case 1:
+            return -0.0;
+        case 2:
+            return rng.nextDouble() * 10.0;
+        case 3:
+            return rng.nextDouble() * 1e-300; // subnormal territory
+        case 4:
+            return rng.nextDouble() * 1e308;
+        case 5:
+            return -rng.nextDouble() * 1e3;
+        case 6:
+            // Raw bit pattern: exercises NaN/inf/denormal encodings.
+            return std::bit_cast<double>(rng.next());
+        default:
+            return static_cast<double>(rng.nextRange(1000000));
+        }
+    }
+
+    static sweep::Checkpoint
+    randomCheckpoint(Rng &rng)
+    {
+        // Messages deliberately include separators, tabs and newlines
+        // (the writer must keep one entry one line regardless).
+        static constexpr char kChars[] =
+            "abcXYZ 019 \t\r\n!\"\\,;:=  ..";
+        sweep::Checkpoint ck;
+        ck.gridKey = rng.next();
+        ck.uniquePoints = 1 + rng.nextRange(16);
+        std::vector<std::size_t> order(ck.uniquePoints);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextRange(i)]);
+        const std::size_t n = rng.nextRange(ck.uniquePoints + 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            sweep::CheckpointEntry entry;
+            entry.index = order[i];
+            if (rng.nextBool(1.0 / 3.0)) {
+                entry.failed = true;
+                static constexpr const char *kKinds[] = {
+                    "data", "io", "internal", "usage"};
+                entry.errorKind = kKinds[rng.nextRange(4)];
+                const std::size_t len = rng.nextRange(25);
+                for (std::size_t k = 0; k < len; ++k)
+                    entry.errorMessage +=
+                        kChars[rng.nextRange(sizeof kChars - 1)];
+            } else {
+                core::PointMetrics &m = entry.metrics;
+                m.cpi = randomMetric(rng);
+                m.branchCpi = randomMetric(rng);
+                m.loadCpi = randomMetric(rng);
+                m.iMissCpi = randomMetric(rng);
+                m.dMissCpi = randomMetric(rng);
+                m.l1iMissRate = randomMetric(rng);
+                m.l1dMissRate = randomMetric(rng);
+                m.tCpuNs = randomMetric(rng);
+                m.tIsideNs = randomMetric(rng);
+                m.tDsideNs = randomMetric(rng);
+                m.tpiNs = randomMetric(rng);
+            }
+            ck.entries.push_back(std::move(entry));
+        }
+        return ck;
+    }
+};
+
+// ------------------------------------------------ sweep JSON identity
+
+class SweepOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "sweep"; }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        std::vector<core::DesignPoint> grid = c.points;
+        // A duplicate exercises the deterministic cache-hit metadata.
+        grid.push_back(grid.front());
+
+        auto runJson = [&](sweep::SweepOptions opts) {
+            core::CpiModel cpi(c.suite);
+            core::TpiModel tpi(cpi);
+            sweep::SweepEngine engine(tpi, opts);
+            const auto records = engine.sweep(grid);
+            return sweep::jsonString("qa", records, engine.stats(),
+                                     {});
+        };
+
+        sweep::SweepOptions base;
+        base.threads = 1;
+        const std::string jsonBase = runJson(base);
+
+        sweep::SweepOptions threaded;
+        threaded.threads = c.threads;
+        if (const std::string json = runJson(threaded);
+            json != jsonBase) {
+            return OracleResult::fail(
+                "sweep JSON differs between --threads 1 and --threads " +
+                std::to_string(c.threads) + ": " +
+                firstByteDiff(jsonBase, json));
+        }
+
+        sweep::SweepOptions mono;
+        mono.threads = 1;
+        mono.factored = false;
+        if (const std::string json = runJson(mono); json != jsonBase) {
+            return OracleResult::fail(
+                "sweep JSON differs between factored and monolithic "
+                "evaluation: " +
+                firstByteDiff(jsonBase, json));
+        }
+
+        // Checkpointed run, then resume from the complete checkpoint
+        // and from a truncated (mid-sweep shaped) one.
+        const std::string ckPath = tempPath("sweepck");
+        sweep::SweepOptions ckOpts;
+        ckOpts.threads = c.threads;
+        ckOpts.checkpointPath = ckPath;
+        ckOpts.checkpointEvery = 1;
+        if (const std::string json = runJson(ckOpts);
+            json != jsonBase) {
+            std::filesystem::remove(ckPath);
+            return OracleResult::fail(
+                "sweep JSON differs when checkpointing is enabled: " +
+                firstByteDiff(jsonBase, json));
+        }
+
+        sweep::SweepOptions resumeOpts = ckOpts;
+        resumeOpts.resume = true;
+        if (const std::string json = runJson(resumeOpts);
+            json != jsonBase) {
+            std::filesystem::remove(ckPath);
+            return OracleResult::fail(
+                "sweep JSON differs after resuming a complete "
+                "checkpoint: " +
+                firstByteDiff(jsonBase, json));
+        }
+
+        sweep::Checkpoint ck = sweep::loadCheckpoint(ckPath);
+        ck.entries.resize(ck.entries.size() / 2);
+        sweep::saveCheckpoint(ckPath, ck);
+        const std::string json = runJson(resumeOpts);
+        std::filesystem::remove(ckPath);
+        if (json != jsonBase) {
+            return OracleResult::fail(
+                "sweep JSON differs after resuming a truncated "
+                "checkpoint: " +
+                firstByteDiff(jsonBase, json));
+        }
+        return OracleResult::pass();
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Oracle>>
+makeOracles()
+{
+    std::vector<std::unique_ptr<Oracle>> oracles;
+    oracles.push_back(std::make_unique<FactoredOracle>());
+    oracles.push_back(std::make_unique<StackOracle>());
+    oracles.push_back(std::make_unique<AdditiveOracle>());
+    oracles.push_back(std::make_unique<CheckpointOracle>());
+    oracles.push_back(std::make_unique<SweepOracle>());
+    return oracles;
+}
+
+std::vector<std::unique_ptr<Oracle>>
+makeOracles(const std::vector<std::string> &names)
+{
+    auto all = makeOracles();
+    if (names.empty())
+        return all;
+    std::vector<std::unique_ptr<Oracle>> out;
+    for (const std::string &name : names) {
+        bool found = false;
+        for (auto &oracle : all) {
+            if (oracle && name == oracle->name()) {
+                out.push_back(std::move(oracle));
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::string known;
+            for (const auto &oracle : makeOracles())
+                known += std::string(known.empty() ? "" : ", ") +
+                         oracle->name();
+            throw UsageError("unknown oracle '" + name +
+                             "' (known: " + known + ")");
+        }
+    }
+    return out;
+}
+
+} // namespace pipecache::qa

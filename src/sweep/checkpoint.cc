@@ -165,6 +165,9 @@ loadCheckpoint(const std::string &path)
             throw bad(lineno, "bad unique-point count");
     }
 
+    // A corrupted (e.g. concatenated) checkpoint must not restore a
+    // point twice: track which indices have already appeared.
+    std::vector<bool> seen(ck.uniquePoints, false);
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty())
@@ -182,6 +185,11 @@ loadCheckpoint(const std::string &path)
             throw bad(lineno, "bad point index");
         if (entry.index >= ck.uniquePoints)
             throw bad(lineno, "point index out of range");
+        if (seen[entry.index]) {
+            throw bad(lineno, "duplicate entry for point index " +
+                                  std::to_string(entry.index));
+        }
+        seen[entry.index] = true;
 
         if (tag == "ok") {
             double v[kMetricCount];
@@ -202,8 +210,12 @@ loadCheckpoint(const std::string &path)
             entry.errorKind = nextToken(p, end);
             if (entry.errorKind.empty())
                 throw bad(lineno, "missing error kind");
-            // Message = rest of line, leading whitespace trimmed.
-            while (p < end && (*p == ' ' || *p == '\t'))
+            // Message = rest of line after exactly one separator
+            // space. Consuming a whole whitespace run here would eat
+            // leading blanks out of the message and break the
+            // save->load->save byte fixpoint (found by the
+            // 'checkpoint' fuzz oracle).
+            if (p < end && *p == ' ')
                 ++p;
             entry.errorMessage.assign(p, end);
         } else {

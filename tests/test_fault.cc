@@ -326,6 +326,133 @@ TEST(CheckpointTest, LoadRejectsMalformedFiles)
     EXPECT_THROW(loadCheckpoint(path), IoError);
 }
 
+// Table-driven malformed-checkpoint corpus: every corruption is a
+// DataError that names the offending line.
+TEST(CheckpointTest, MalformedCheckpointTable)
+{
+    struct Corruption
+    {
+        const char *label;
+        const char *body;
+        std::size_t line;
+        const char *needle; //!< substring of the error message
+    };
+    static const Corruption kTable[] = {
+        {"truncated ok metric list",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "ok 0 1 2 3 4 5\n",
+         3, "bad metric value"},
+        {"surplus ok metric",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "ok 0 1 2 3 4 5 6 7 8 9 10 11 12\n",
+         3, "trailing tokens"},
+        {"duplicate point index",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "ok 2 1 2 3 4 5 6 7 8 9 10 11\n"
+         "fail 1 data boom\n"
+         "ok 2 1 2 3 4 5 6 7 8 9 10 11\n",
+         5, "duplicate entry for point index 2"},
+        {"duplicate failed index",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "fail 3 io disk on fire\n"
+         "fail 3 io disk still on fire\n",
+         4, "duplicate entry for point index 3"},
+        {"point index out of range",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "ok 4 1 2 3 4 5 6 7 8 9 10 11\n",
+         3, "out of range"},
+        {"bad hex grid key",
+         "pipecache-checkpoint 1\n"
+         "grid 0xnotahexkey unique 4\n",
+         2, "bad grid key"},
+        {"CRLF header",
+         "pipecache-checkpoint 1\r\n"
+         "grid 00000000000000ab unique 4\n",
+         1, "bad header"},
+        {"missing error kind",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "fail 1\n",
+         3, "missing error kind"},
+        {"unknown record tag",
+         "pipecache-checkpoint 1\n"
+         "grid 00000000000000ab unique 4\n"
+         "wat 1 2 3\n",
+         3, "unknown record"},
+    };
+
+    const std::string path = tmpPath("pipecache_ck_table");
+    for (const Corruption &c : kTable) {
+        SCOPED_TRACE(c.label);
+        {
+            std::ofstream out(path, std::ios::binary);
+            out << c.body;
+        }
+        try {
+            loadCheckpoint(path);
+            FAIL() << c.label << " accepted";
+        } catch (const DataError &e) {
+            EXPECT_EQ(e.source(), path);
+            EXPECT_EQ(e.line(), c.line);
+            EXPECT_NE(e.rawMessage().find(c.needle), std::string::npos)
+                << "got: " << e.rawMessage();
+        }
+    }
+    std::remove(path.c_str());
+}
+
+// Pinned regression (found by `pipecache_fuzz --oracle checkpoint`,
+// shrunk reproducer: suite=scale:40000,quantum:5000,salt:0,bench:yacc;
+// threads=2;stream=seed:1,len:64,insts:2000;point=b:0,l:0,i:1,d:1,
+// blk:4,assoc:1,pen:10,repl:lru,bs:squash,ls:static,ps:btfnt,
+// btb:256.1,wb:0): loadCheckpoint used to trim the whole leading
+// whitespace run from a fail-entry message, so a message starting
+// with ' ' or '\t' broke the save->load->save byte fixpoint.
+TEST(CheckpointTest, FailMessageLeadingWhitespaceRoundTrips)
+{
+    Checkpoint ck;
+    ck.gridKey = 0x12ab;
+    ck.uniquePoints = 16;
+    const char *kMessages[] = {
+        " leading space",
+        "\tleading tab",
+        "  two leading spaces",
+        " ",
+        "",
+    };
+    std::size_t index = 0;
+    for (const char *msg : kMessages) {
+        CheckpointEntry e;
+        e.index = index++;
+        e.failed = true;
+        e.errorKind = "internal";
+        e.errorMessage = msg;
+        ck.entries.push_back(e);
+    }
+
+    const std::string p1 = tmpPath("pipecache_ck_ws1");
+    const std::string p2 = tmpPath("pipecache_ck_ws2");
+    saveCheckpoint(p1, ck);
+    const Checkpoint loaded = loadCheckpoint(p1);
+    saveCheckpoint(p2, loaded);
+    const std::string bytes1 = slurp(p1);
+    const std::string bytes2 = slurp(p2);
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+
+    EXPECT_EQ(bytes1, bytes2);
+    ASSERT_EQ(loaded.entries.size(), std::size(kMessages));
+    for (std::size_t i = 0; i < std::size(kMessages); ++i) {
+        EXPECT_EQ(loaded.entries[i].errorMessage, kMessages[i])
+            << "entry " << i;
+    }
+}
+
 TEST(CheckpointTest, GridKeyBindsPointsAndSuite)
 {
     const auto points = smallGrid();

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * pipecache_fuzz — differential fuzzer for the simulator's
+ * independent implementations (see qa/oracle.hh for the oracle set).
+ *
+ * Generates deterministic random cases from (--seed, case index),
+ * cross-checks each through the enabled oracles, and on the first
+ * violation shrinks the case to a minimal reproducer printed as a
+ * ready-to-run command line:
+ *
+ *   pipecache_fuzz --seed 1 --cases 500
+ *   pipecache_fuzz --oracle checkpoint --oracle sweep --cases 200
+ *   pipecache_fuzz --case 'suite=scale:10000,...;point=b:0,...'
+ *
+ * Determinism: case i depends only on (--seed, i) — never on which
+ * oracles run or on any earlier case — so reported indices replay
+ * individually and a full run replays bit-for-bit on any platform.
+ *
+ * Exit codes: 0 clean; 1 oracle violation or internal error;
+ * 2 usage error; 3 data or I/O error.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qa/fuzzer.hh"
+#include "util/error.hh"
+
+namespace {
+
+using namespace pipecache;
+
+struct CliOptions
+{
+    qa::FuzzOptions fuzz;
+    /** Single-case replay (--case); bypasses generation. */
+    std::vector<std::string> caseSpecs;
+    bool listOracles = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0 << " [options]\n"
+       << "  --seed N         base seed                 (default 1)\n"
+       << "  --cases N        number of random cases    (default 100)\n"
+       << "  --oracle NAME    run only this oracle (repeatable;\n"
+       << "                   default: all -- see --list-oracles)\n"
+       << "  --case SPEC      replay one serialized case (repeatable;\n"
+       << "                   disables random generation)\n"
+       << "  --no-shrink      report the first failure unshrunk\n"
+       << "  --progress N     log a progress line every N cases\n"
+       << "  --quiet          suppress everything but failures\n"
+       << "  --list-oracles   print oracle names and exit\n"
+       << "  --help           this text\n"
+       << "Exit codes: 0 clean; 1 oracle violation or internal\n"
+       << "error; 2 usage error; 3 data or I/O error.\n";
+    std::exit(code);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            usage(argv[0], 2);
+        }
+        return argv[++i];
+    };
+    auto countArg = [&](int &i) -> std::uint64_t {
+        const std::string spec = next(i);
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(spec.c_str(), &end, 10);
+        if (end == spec.c_str() || *end != '\0') {
+            std::cerr << argv[0] << ": bad count '" << spec << "'\n";
+            usage(argv[0], 2);
+        }
+        return v;
+    };
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed") {
+            opts.fuzz.seed = countArg(i);
+        } else if (arg == "--cases") {
+            opts.fuzz.cases = countArg(i);
+        } else if (arg == "--oracle") {
+            opts.fuzz.oracleNames.push_back(next(i));
+        } else if (arg == "--case") {
+            opts.caseSpecs.push_back(next(i));
+        } else if (arg == "--no-shrink") {
+            opts.fuzz.shrink = false;
+        } else if (arg == "--progress") {
+            opts.fuzz.progressEvery = countArg(i);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-oracles") {
+            opts.listOracles = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::cerr << argv[0] << ": unknown option '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    opts.fuzz.log = quiet ? nullptr : &std::cerr;
+    return opts;
+}
+
+int
+replayCases(const CliOptions &opts)
+{
+    const auto oracles = qa::makeOracles(opts.fuzz.oracleNames);
+    int worst = 0;
+    for (const std::string &spec : opts.caseSpecs) {
+        const qa::FuzzCase c = qa::parseCase(spec);
+        for (const auto &oracle : oracles) {
+            if (!oracle->applies(c)) {
+                if (opts.fuzz.log) {
+                    *opts.fuzz.log << "skip: oracle '"
+                                   << oracle->name()
+                                   << "' does not apply\n";
+                }
+                continue;
+            }
+            const qa::OracleResult r = qa::runCheck(*oracle, c);
+            if (r.ok) {
+                if (opts.fuzz.log) {
+                    *opts.fuzz.log << "ok: oracle '" << oracle->name()
+                                   << "'\n";
+                }
+                continue;
+            }
+            std::cerr << "FAIL: oracle '" << oracle->name() << "'\n  "
+                      << r.detail << "\n  reproduce: "
+                      << qa::reproducerLine(oracle->name(), c) << "\n";
+            worst = 1;
+        }
+    }
+    return worst;
+}
+
+int
+run(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+    if (opts.listOracles) {
+        for (const auto &oracle : qa::makeOracles())
+            std::cout << oracle->name() << "\n";
+        return 0;
+    }
+    // Validate --oracle names eagerly, before any work.
+    (void)qa::makeOracles(opts.fuzz.oracleNames);
+
+    if (!opts.caseSpecs.empty())
+        return replayCases(opts);
+
+    const qa::FuzzReport report = qa::runFuzz(opts.fuzz);
+    if (!report.ok())
+        return 1;
+    if (opts.fuzz.log) {
+        *opts.fuzz.log << "fuzz: " << report.casesRun << " cases, "
+                       << report.checksRun
+                       << " oracle checks, 0 failures (seed "
+                       << opts.fuzz.seed << ")\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    try {
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::cerr << argv[0] << ": " << e.kindName()
+                  << " error: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": internal error: " << e.what()
+                  << "\n";
+        return 1;
+    }
+}

@@ -33,6 +33,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -272,10 +273,13 @@ parseArgs(int argc, char **argv)
             const std::string spec = next(i);
             char *end = nullptr;
             opts.scaleDivisor = std::strtod(spec.c_str(), &end);
+            // strtod accepts "nan"/"inf", and NaN slips through a
+            // plain `< 1.0` comparison — require a finite value.
             if (end == spec.c_str() || *end != '\0' ||
+                !std::isfinite(opts.scaleDivisor) ||
                 opts.scaleDivisor < 1.0) {
                 std::cerr << argv[0] << ": bad --scale '" << spec
-                          << "' (need a number >= 1)\n";
+                          << "' (need a finite number >= 1)\n";
                 usage(argv[0], 2);
             }
         } else if (arg == "--threads") {

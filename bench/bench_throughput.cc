@@ -13,6 +13,7 @@
 #include "core/tpi_model.hh"
 #include "cpusim/cpi_engine.hh"
 #include "sched/branch_sched.hh"
+#include "serve/service.hh"
 #include "sweep/sweep_engine.hh"
 #include "timing/cpu_circuit.hh"
 #include "trace/benchmark.hh"
@@ -193,6 +194,41 @@ BM_MonolithicSweep(benchmark::State &state)
     runSweepBench(state, false);
 }
 BENCHMARK(BM_MonolithicSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepdWarmVsCold(benchmark::State &state)
+{
+    // Arg(0): every request hits a cold service (what a CLI user
+    // pays). Arg(1): the service was warmed by one prior identical
+    // request, so the whole grid is memo-served — the daemon's value
+    // proposition in one number.
+    const bool warm = state.range(0) != 0;
+    const std::vector<core::DesignPoint> grid = sweepGrid();
+    const core::SuiteConfig suite = sweepSuite();
+    serve::ServiceOptions opts;
+    opts.threads = 1;
+    auto service = std::make_unique<serve::SweepService>(opts);
+    if (warm)
+        service->runPoints(grid, "bench", suite, 1, true);
+    for (auto _ : state) {
+        if (!warm) {
+            state.PauseTiming();
+            service = std::make_unique<serve::SweepService>(opts);
+            state.ResumeTiming();
+        }
+        const serve::SweepResponse resp =
+            service->runPoints(grid, "bench", suite, 1, true);
+        benchmark::DoNotOptimize(resp.json.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * grid.size()));
+    state.SetLabel(warm ? "warm daemon request (memo-served)"
+                        : "cold daemon request");
+}
+BENCHMARK(BM_SweepdWarmVsCold)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_TimingAnalysis(benchmark::State &state)

@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sweep daemon:
+#
+#   1. Start pipecache_sweepd on a Unix socket and wait for readiness.
+#   2. Cold and warm daemon sweeps must be byte-identical to the
+#      pipecache_sweep CLI on the same grid (the determinism contract).
+#   3. With --max-inflight 1 --max-queue 0, a request issued while a
+#      slow sweep holds the slot must be rejected (ctl exit 6) and the
+#      daemon must stay healthy.
+#   4. A client SIGKILLed mid-stream must not take the daemon down.
+#   5. SIGTERM while a request is in flight must drain: the in-flight
+#      client still gets its (byte-identical) result and the daemon
+#      exits 0.
+#
+# Usage: sweepd_smoke.sh <pipecache_sweepd> <pipecache_sweepctl> \
+#                        <pipecache_sweep> [workdir]
+set -euo pipefail
+
+DAEMON=${1:?usage: sweepd_smoke.sh <sweepd> <sweepctl> <sweep> [workdir]}
+CTL=${2:?usage: sweepd_smoke.sh <sweepd> <sweepctl> <sweep> [workdir]}
+SWEEP=${3:?usage: sweepd_smoke.sh <sweepd> <sweepctl> <sweep> [workdir]}
+WORK=${4:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+SOCK="$WORK/sweepd.sock"
+DAEMON_PID=
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+# A fast grid for the byte-identity checks and a slow one to hold the
+# admission slot while we provoke rejections and interruptions.
+FAST_CLI=(--b 0:3 --isize 1,2,4,8 --scale 2000 --threads 2 --quiet)
+FAST_CTL="b=0:3 isize=1,2,4,8 scale=2000 threads=2"
+SLOW_CTL="b=0:3 isize=1,2,4,8,16,32 scale=300 threads=2"
+
+echo "== start daemon"
+"$DAEMON" --socket "$SOCK" --threads 2 --max-inflight 1 \
+    --max-queue 0 >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 200); do
+    if "$CTL" --socket "$SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "FAIL: daemon died during startup"
+        cat "$WORK/daemon.err"
+        exit 1
+    }
+    sleep 0.05
+done
+"$CTL" --socket "$SOCK" ping >/dev/null
+
+echo "== cold daemon sweep vs CLI"
+"$SWEEP" "${FAST_CLI[@]}" --out "$WORK/reference.json"
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" --quiet sweep $FAST_CTL --out "$WORK/cold.json"
+cmp "$WORK/reference.json" "$WORK/cold.json" || {
+    echo "FAIL: cold daemon output differs from the CLI"
+    exit 1
+}
+
+echo "== warm daemon sweep (cross-request memo)"
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" sweep $FAST_CTL --out "$WORK/warm.json" \
+    2>"$WORK/warm.err"
+cmp "$WORK/reference.json" "$WORK/warm.json" || {
+    echo "FAIL: warm daemon output differs from the CLI"
+    exit 1
+}
+STATUS=$("$CTL" --socket "$SOCK" status)
+case "$STATUS" in
+*" cross_hits=0 "*)
+    echo "FAIL: warm request reported no cross-request memo hits"
+    echo "status: $STATUS"
+    exit 1
+    ;;
+esac
+
+echo "== admission rejection while the slot is held"
+REJECTED=0
+for _ in 1 2 3; do
+    # shellcheck disable=SC2086
+    "$CTL" --socket "$SOCK" --quiet sweep $SLOW_CTL \
+        --out "$WORK/slow.json" &
+    SLOW_PID=$!
+    sleep 0.3
+    if ! kill -0 "$SLOW_PID" 2>/dev/null; then
+        wait "$SLOW_PID" || true
+        echo "   (slow sweep finished before the probe; retrying)"
+        continue
+    fi
+    set +e
+    "$CTL" --socket "$SOCK" --quiet sweep $FAST_CTL \
+        --out "$WORK/rejected.json" 2>"$WORK/rejected.err"
+    RC=$?
+    set -e
+    wait "$SLOW_PID"
+    if [ "$RC" -eq 6 ]; then
+        REJECTED=1
+        break
+    fi
+    echo "   (probe exited $RC, want 6; retrying)"
+done
+if [ "$REJECTED" -ne 1 ]; then
+    echo "FAIL: never observed an admission rejection (exit 6)"
+    exit 1
+fi
+if [ -e "$WORK/rejected.json" ]; then
+    echo "FAIL: rejected request left an output file behind"
+    exit 1
+fi
+
+echo "== client killed mid-stream"
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" --quiet --progress sweep $SLOW_CTL \
+    --out "$WORK/interrupted.json" 2>/dev/null &
+VICTIM_PID=$!
+sleep 0.4
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+# The daemon must shrug it off and keep serving.
+for _ in $(seq 1 100); do
+    if "$CTL" --socket "$SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+"$CTL" --socket "$SOCK" ping >/dev/null
+"$CTL" --socket "$SOCK" status >"$WORK/status.after-kill"
+
+echo "== SIGTERM drain with a request in flight"
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" --quiet sweep $FAST_CTL \
+    --out "$WORK/drained.json" &
+DRAIN_PID=$!
+sleep 0.2
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DRAIN_PID"
+DRAIN_RC=$?
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+set -e
+if [ "$DRAIN_RC" -ne 0 ]; then
+    echo "FAIL: in-flight request did not survive the drain (exit $DRAIN_RC)"
+    exit 1
+fi
+cmp "$WORK/reference.json" "$WORK/drained.json" || {
+    echo "FAIL: drained request's output differs from the CLI"
+    exit 1
+}
+if [ "$DAEMON_RC" -ne 0 ]; then
+    echo "FAIL: daemon exited $DAEMON_RC after SIGTERM (want 0)"
+    cat "$WORK/daemon.err"
+    exit 1
+fi
+if [ -e "$SOCK" ]; then
+    echo "FAIL: daemon left its socket behind"
+    exit 1
+fi
+DAEMON_PID=
+
+echo "== rejected request after shutdown"
+set +e
+"$CTL" --socket "$SOCK" ping >/dev/null 2>&1
+RC=$?
+set -e
+if [ "$RC" -eq 0 ]; then
+    echo "FAIL: ping succeeded after the daemon drained"
+    exit 1
+fi
+
+echo "PASS: daemon smoke (cold/warm identity, rejection, disconnect, drain)"

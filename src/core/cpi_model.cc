@@ -175,9 +175,19 @@ void
 CpiModel::prepareFactored(const std::vector<DesignPoint> &points)
 {
     prepare(points);
-    if (!factored_)
+    if (!factored_) {
         factored_ = std::make_unique<FactoredEvaluator>(*this);
+        factored_->setComponentLimit(factoredComponentLimit_);
+    }
     factored_->plan(points);
+}
+
+void
+CpiModel::setFactoredComponentLimit(std::size_t limit)
+{
+    factoredComponentLimit_ = limit;
+    if (factored_)
+        factored_->setComponentLimit(limit);
 }
 
 CpiResult
@@ -251,23 +261,29 @@ CpiModel::evaluate(const DesignPoint &point)
 }
 
 std::uint64_t
-CpiModel::suiteKey() const
+suiteConfigKey(const SuiteConfig &config)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](std::uint64_t v) {
         h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     };
     std::uint64_t scale_bits = 0;
-    static_assert(sizeof scale_bits == sizeof config_.scaleDivisor);
-    std::memcpy(&scale_bits, &config_.scaleDivisor, sizeof scale_bits);
+    static_assert(sizeof scale_bits == sizeof config.scaleDivisor);
+    std::memcpy(&scale_bits, &config.scaleDivisor, sizeof scale_bits);
     mix(scale_bits);
-    mix(config_.quantum);
-    mix(config_.seedSalt);
-    mix(config_.benchmarks.size());
-    for (const std::string &name : config_.benchmarks)
+    mix(config.quantum);
+    mix(config.seedSalt);
+    mix(config.benchmarks.size());
+    for (const std::string &name : config.benchmarks)
         for (const char c : name)
             mix(static_cast<std::uint64_t>(c));
     return h;
+}
+
+std::uint64_t
+CpiModel::suiteKey() const
+{
+    return suiteConfigKey(config_);
 }
 
 } // namespace pipecache::core

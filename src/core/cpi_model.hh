@@ -43,6 +43,15 @@ struct SuiteConfig
     std::uint64_t seedSalt = 0;
 };
 
+/**
+ * Stable identity hash of a suite configuration (the value
+ * CpiModel::suiteKey() reports). Configurations with equal keys
+ * produce bit-identical results for the same design point — external
+ * caches (the sweep memo, the sweep service's suite-state map) key on
+ * it.
+ */
+std::uint64_t suiteConfigKey(const SuiteConfig &config);
+
 /** Evaluation result of one design point. */
 struct CpiResult
 {
@@ -117,6 +126,15 @@ class CpiModel
     CpiResult evaluateFactored(const DesignPoint &point) const;
 
     /**
+     * Bound the factored-evaluation component cache (0 = unbounded,
+     * the default; see FactoredEvaluator::setComponentLimit). Takes
+     * effect immediately if the evaluator exists and is remembered
+     * for the one prepareFactored() lazily creates otherwise. Meant
+     * for long-lived daemons; single-process sweeps stay unbounded.
+     */
+    void setFactoredComponentLimit(std::size_t limit);
+
+    /**
      * Full trace replays performed so far (monolithic evaluations plus
      * factored component replays). The sweep engine diffs this across
      * a run to report how many replays factoring saved.
@@ -184,6 +202,8 @@ class CpiModel
      *  artifacts above, hence the friendship). */
     friend class FactoredEvaluator;
     std::unique_ptr<FactoredEvaluator> factored_;
+    /** Applied to factored_ when it is (or has been) created. */
+    std::size_t factoredComponentLimit_ = 0;
     mutable std::atomic<std::uint64_t> engineReplays_{0};
 };
 

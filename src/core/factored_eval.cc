@@ -1,6 +1,7 @@
 #include "core/factored_eval.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "cpusim/load_model.hh"
@@ -143,6 +144,7 @@ FactoredEvaluator::claimLocked(const StreamKey &stream, Claims &claims)
         claim.sim = std::make_shared<cache::StackSimulator>(
             key.second, geoms, model_.numBenchmarks());
         passes_.emplace(pk, claim.promise.get_future().share());
+        evictOrder_.push_back(pk);
         claim.key = std::move(pk);
         claims.passes.push_back(std::move(claim));
     }
@@ -157,6 +159,7 @@ FactoredEvaluator::claimLocked(const StreamKey &stream, Claims &claims)
         claim.sim = std::make_shared<cache::StackSimulator>(
             blockBytes, geoms, model_.numBenchmarks());
         passes_.emplace(pk, claim.promise.get_future().share());
+        evictOrder_.push_back(pk);
         claim.key = std::move(pk);
         claims.passes.push_back(std::move(claim));
     }
@@ -165,6 +168,77 @@ FactoredEvaluator::claimLocked(const StreamKey &stream, Claims &claims)
         claims.claimedLoads = true;
         loads_ = claims.loads.get_future().share();
     }
+    enforceLimitLocked();
+}
+
+void
+FactoredEvaluator::enforceLimitLocked()
+{
+    if (componentLimit_ == 0)
+        return;
+    const auto ready = [](const auto &fut) {
+        return fut.valid() &&
+               fut.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+    };
+    // One bounded scan: keys whose computation is still in flight
+    // rotate to the back (evicting them would orphan their waiters);
+    // keys already erased by the poison path just drop out. If
+    // everything live is in flight the cache overshoots temporarily.
+    std::size_t scanned = 0;
+    const std::size_t maxScan = evictOrder_.size();
+    while (branch_.size() + passes_.size() > componentLimit_ &&
+           scanned < maxScan && !evictOrder_.empty()) {
+        ++scanned;
+        auto key = std::move(evictOrder_.front());
+        evictOrder_.pop_front();
+        bool evicted = false;
+        bool inFlight = false;
+        if (std::holds_alternative<BranchKey>(key)) {
+            const auto it = branch_.find(std::get<BranchKey>(key));
+            if (it != branch_.end()) {
+                if (ready(it->second)) {
+                    branch_.erase(it);
+                    evicted = true;
+                } else {
+                    inFlight = true;
+                }
+            }
+        } else {
+            const auto it = passes_.find(std::get<PassKey>(key));
+            if (it != passes_.end()) {
+                if (ready(it->second)) {
+                    passes_.erase(it);
+                    evicted = true;
+                } else {
+                    inFlight = true;
+                }
+            }
+        }
+        if (evicted) {
+            obs::StatsRegistry::global().addCounter(
+                "sweep.memo_evictions",
+                "factored components evicted by the cache bound",
+                obs::StatKind::Volatile);
+        } else if (inFlight) {
+            evictOrder_.push_back(std::move(key));
+        }
+    }
+}
+
+void
+FactoredEvaluator::setComponentLimit(std::size_t limit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    componentLimit_ = limit;
+    enforceLimitLocked();
+}
+
+std::size_t
+FactoredEvaluator::componentCount()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return branch_.size() + passes_.size();
 }
 
 void
@@ -313,6 +387,7 @@ FactoredEvaluator::getBranch(const DesignPoint &p)
             // duplicate a replay nor miss a pass.
             fut = pr.get_future().share();
             branch_.emplace(key, fut);
+            evictOrder_.push_back(key);
             claimLocked(streamKeyOf(p), claims);
             owner = true;
         }
@@ -354,8 +429,14 @@ FactoredEvaluator::getPass(const PassKey &key, const DesignPoint &p)
     }
     if (owner) {
         runReplay(p, claims, nullptr);
-        std::lock_guard<std::mutex> lock(mutex_);
-        fut = passes_.at(key);
+        // Serve from the claims directly: the map entry may already
+        // have been evicted by a concurrent insert now that its
+        // future is ready.
+        for (Claims::Pass &claim : claims.passes) {
+            if (claim.key == key)
+                return claim.sim;
+        }
+        PC_ASSERT(false, "claimLocked() missed the requested pass");
     }
     return fut.get();
 }

@@ -36,11 +36,13 @@
 #define PIPECACHE_CORE_FACTORED_EVAL_HH
 
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <tuple>
+#include <variant>
 #include <vector>
 
 #include "cache/stack_sim.hh"
@@ -68,6 +70,22 @@ class FactoredEvaluator
      * point and CpiModel::prepare() covering its translations.
      */
     CpiResult evaluate(const DesignPoint &point);
+
+    /**
+     * Bound the component cache to @p limit branch + pass entries
+     * (0 = unbounded, the default). When an insert pushes the cache
+     * past the limit, the oldest *completed* components are evicted
+     * (in-flight ones are never touched) and counted in the
+     * `sweep.memo_evictions` registry counter. Evicted components
+     * recompute bit-identically on the next request, so results are
+     * unaffected — only replay counts change — which is why a
+     * long-lived daemon bounds the cache while single-process sweeps
+     * leave it unbounded and byte-stable.
+     */
+    void setComponentLimit(std::size_t limit);
+
+    /** Cached branch + pass components (tests and STATUS lines). */
+    std::size_t componentCount();
 
   private:
     /** (scheme, xlat slots, predict source): what fixes the streams. */
@@ -132,6 +150,10 @@ class FactoredEvaluator
     /** Under mutex_: claim every unclaimed pass @p stream can feed. */
     void claimLocked(const StreamKey &stream, Claims &claims);
 
+    /** Under mutex_: evict oldest completed components while over
+     *  the limit (never in-flight ones; may overshoot then). */
+    void enforceLimitLocked();
+
     /** Replay the schedule once, feeding @p claims' simulators; fill
      *  @p branchOut when non-null. Fulfills/poisons the claims. */
     void runReplay(const DesignPoint &p, Claims &claims,
@@ -162,6 +184,11 @@ class FactoredEvaluator
     std::map<PassKey, PassFuture> passes_;
     bool loadsStarted_ = false;
     LoadFuture loads_;
+
+    /** 0 = unbounded. See setComponentLimit(). */
+    std::size_t componentLimit_ = 0;
+    /** Insertion order of branch_/passes_ keys (FIFO eviction). */
+    std::deque<std::variant<BranchKey, PassKey>> evictOrder_;
 };
 
 } // namespace pipecache::core

@@ -16,7 +16,12 @@
  *                after one round trip, failed entries included;
  *   sweep      — sweep JSON is byte-identical across thread counts,
  *                factored/monolithic evaluation, and checkpoint
- *                resume (full and truncated).
+ *                resume (full and truncated);
+ *   serve      — SweepService responses (concurrent and warm, with a
+ *                tight component-cache bound forcing evictions) are
+ *                byte-identical to a cold single-process run, and a
+ *                warm request is served entirely from the
+ *                cross-request memo.
  *
  * check() returns ok=false with a human-readable first-divergence
  * description; it must be deterministic in the case (the shrinker

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -25,6 +26,7 @@
 #include "cpusim/cpi_engine.hh"
 #include "cpusim/pipeline_sim.hh"
 #include "sched/branch_sched.hh"
+#include "serve/service.hh"
 #include "sweep/checkpoint.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
@@ -624,6 +626,106 @@ class SweepOracle final : public Oracle
     }
 };
 
+// ---------------------------------------- sweep service identity
+
+class ServeOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "serve"; }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        std::vector<core::DesignPoint> grid = c.points;
+        // A duplicate exercises the deterministic cache-hit metadata.
+        grid.push_back(grid.front());
+
+        // Cold reference: a fresh single-process engine, exactly what
+        // the pipecache_sweep CLI would serialize.
+        std::string jsonBase;
+        {
+            core::CpiModel cpi(c.suite);
+            core::TpiModel tpi(cpi);
+            sweep::SweepOptions opts;
+            opts.threads = 1;
+            sweep::SweepEngine engine(tpi, opts);
+            const auto records = engine.sweep(grid);
+            jsonBase =
+                sweep::jsonString("qa", records, engine.stats(), {});
+        }
+
+        serve::ServiceOptions sopts;
+        sopts.threads = c.threads;
+        sopts.maxInflight = 2;
+        sopts.maxQueued = 8;
+        // A tight bound exercises component eviction under load
+        // (evictions must never change results, only replay counts).
+        sopts.componentCacheLimit = 4;
+        serve::SweepService service(sopts);
+
+        // Concurrent requests over the same grid: every response must
+        // be byte-identical to the cold reference, warm or not.
+        constexpr std::size_t kConcurrent = 4;
+        std::vector<std::string> jsons(kConcurrent);
+        std::vector<std::string> errors(kConcurrent);
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(kConcurrent);
+            for (std::size_t i = 0; i < kConcurrent; ++i) {
+                threads.emplace_back([&, i] {
+                    try {
+                        jsons[i] = service
+                                       .runPoints(grid, "qa", c.suite,
+                                                  0, true)
+                                       .json;
+                    } catch (const std::exception &e) {
+                        errors[i] = e.what();
+                    }
+                });
+            }
+            for (std::thread &t : threads)
+                t.join();
+        }
+        for (std::size_t i = 0; i < kConcurrent; ++i) {
+            if (!errors[i].empty()) {
+                return OracleResult::fail(
+                    "concurrent service request " + std::to_string(i) +
+                    " threw: " + errors[i]);
+            }
+            if (jsons[i] != jsonBase) {
+                return OracleResult::fail(
+                    "service JSON of concurrent request " +
+                    std::to_string(i) +
+                    " differs from a cold CLI-equivalent run: " +
+                    firstByteDiff(jsonBase, jsons[i]));
+            }
+        }
+
+        // A warm sequential request: still byte-identical, and every
+        // unique point that previously succeeded must now be served
+        // from the cross-request memo.
+        const serve::SweepResponse warm =
+            service.runPoints(grid, "qa", c.suite, 0, true);
+        if (warm.json != jsonBase) {
+            return OracleResult::fail(
+                "warm service JSON differs from a cold "
+                "CLI-equivalent run: " +
+                firstByteDiff(jsonBase, warm.json));
+        }
+        const std::uint64_t memoizable =
+            warm.stats.cacheMisses - warm.stats.pointsFailed;
+        if (warm.memoHits != memoizable) {
+            return OracleResult::fail(
+                "warm request reported " +
+                std::to_string(warm.memoHits) +
+                " cross-request memo hits, expected " +
+                std::to_string(memoizable) + " (unique " +
+                std::to_string(warm.stats.cacheMisses) + ", failed " +
+                std::to_string(warm.stats.pointsFailed) + ")");
+        }
+        return OracleResult::pass();
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Oracle>>
@@ -635,6 +737,7 @@ makeOracles()
     oracles.push_back(std::make_unique<AdditiveOracle>());
     oracles.push_back(std::make_unique<CheckpointOracle>());
     oracles.push_back(std::make_unique<SweepOracle>());
+    oracles.push_back(std::make_unique<ServeOracle>());
     return oracles;
 }
 

@@ -1,0 +1,226 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/fd_io.hh"
+#include "serve/protocol.hh"
+#include "util/parse.hh"
+
+namespace pipecache::serve {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+bool
+consumePrefix(const std::string &line, const char *prefix,
+              std::string &rest)
+{
+    const std::size_t n = std::strlen(prefix);
+    if (line.compare(0, n, prefix) != 0)
+        return false;
+    rest = line.substr(n);
+    return true;
+}
+
+/** Parse the "key=value key=value ..." tail of ACK/DONE lines. */
+void
+parseFields(const std::string &rest,
+            const std::function<void(const std::string &,
+                                     const std::string &)> &apply)
+{
+    std::size_t begin = 0;
+    while (begin < rest.size()) {
+        while (begin < rest.size() && rest[begin] == ' ')
+            ++begin;
+        const std::size_t end = rest.find(' ', begin);
+        const std::string tok =
+            rest.substr(begin, end == std::string::npos
+                                   ? std::string::npos
+                                   : end - begin);
+        std::string key;
+        std::string value;
+        if (splitKeyValue(tok, key, value))
+            apply(key, value);
+        if (end == std::string::npos)
+            break;
+        begin = end + 1;
+    }
+}
+
+std::uint64_t
+fieldU64(const std::string &value)
+{
+    std::size_t out = 0;
+    if (!util::parseSize(value, out))
+        return 0;
+    return out;
+}
+
+} // namespace
+
+SweepClient::SweepClient(int fd)
+    : fd_(fd), io_(std::make_unique<FdStream>(fd))
+{
+}
+
+SweepClient::~SweepClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+SweepClient::SweepClient(SweepClient &&other) noexcept
+    : fd_(other.fd_), io_(std::move(other.io_))
+{
+    other.fd_ = -1;
+}
+
+SweepClient &
+SweepClient::operator=(SweepClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        io_ = std::move(other.io_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+SweepClient
+SweepClient::connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        throw IoError("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throwErrno("connect(" + path + ")");
+    }
+    return SweepClient(fd);
+}
+
+SweepClient
+SweepClient::connectTcp(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_INET)");
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throwErrno("connect(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    return SweepClient(fd);
+}
+
+SweepOutcome
+SweepClient::sweep(
+    const std::string &args,
+    const std::function<void(std::size_t, std::size_t)> &onProgress)
+{
+    std::string request = "SWEEP";
+    if (!args.empty())
+        request += " " + args;
+    io_->writeLine(request);
+
+    SweepOutcome outcome;
+    std::string line;
+    std::string rest;
+    for (;;) {
+        if (!io_->readLine(line))
+            throw IoError("daemon closed the connection mid-request");
+        if (consumePrefix(line, "ACK ", rest)) {
+            parseFields(rest, [&](const std::string &key,
+                                  const std::string &value) {
+                if (key == "points")
+                    outcome.points = fieldU64(value);
+            });
+        } else if (consumePrefix(line, "PROGRESS ", rest)) {
+            const auto slash = rest.find('/');
+            if (onProgress && slash != std::string::npos) {
+                std::size_t done = 0;
+                std::size_t total = 0;
+                if (util::parseSize(rest.substr(0, slash), done) &&
+                    util::parseSize(rest.substr(slash + 1), total)) {
+                    onProgress(done, total);
+                }
+            }
+        } else if (consumePrefix(line, "RESULT ", rest)) {
+            std::size_t nbytes = 0;
+            if (!util::parseSize(rest, nbytes))
+                throw IoError("malformed RESULT line: " + line);
+            outcome.json = io_->readExact(nbytes);
+        } else if (consumePrefix(line, "DONE", rest)) {
+            parseFields(rest, [&](const std::string &key,
+                                  const std::string &value) {
+                if (key == "evaluated") {
+                    outcome.evaluated = fieldU64(value);
+                } else if (key == "memo_hits") {
+                    outcome.memoHits = fieldU64(value);
+                } else if (key == "cross_hits") {
+                    outcome.crossHits = fieldU64(value);
+                } else if (key == "failed") {
+                    outcome.failed = fieldU64(value);
+                } else if (key == "wall_ms") {
+                    outcome.wallMs = std::strtod(value.c_str(), nullptr);
+                }
+            });
+            return outcome;
+        } else if (line.rfind("ERR ", 0) == 0) {
+            raiseErrLine(line);
+        } else {
+            throw IoError("unexpected daemon line: " + line);
+        }
+    }
+}
+
+std::string
+SweepClient::command(const std::string &verb)
+{
+    io_->writeLine(verb);
+    std::string line;
+    if (!io_->readLine(line))
+        throw IoError("daemon closed the connection");
+    std::string rest;
+    if (consumePrefix(line, "OK ", rest))
+        return rest;
+    if (line == "OK")
+        return "";
+    if (line.rfind("ERR ", 0) == 0)
+        raiseErrLine(line);
+    throw IoError("unexpected daemon line: " + line);
+}
+
+} // namespace pipecache::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Client side of the pipecache_sweepd protocol: connect to the
+ * daemon's Unix or loopback-TCP endpoint, submit requests, stream
+ * progress, and re-raise daemon `ERR <kind> ...` lines as the
+ * matching error-taxonomy exception — so pipecache_sweepctl exits
+ * with exactly the documented code for the kind (6 when the daemon
+ * rejected under admission control, 5 when the request was
+ * interrupted, and so on), the same way the local CLI would.
+ */
+
+#ifndef PIPECACHE_SERVE_CLIENT_HH
+#define PIPECACHE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace pipecache::serve {
+
+class FdStream;
+
+/** One completed sweep request as the daemon reported it. */
+struct SweepOutcome
+{
+    /** The RESULT payload — the cold-identical sweep JSON. */
+    std::string json;
+    /** Points from the ACK line. */
+    std::uint64_t points = 0;
+    /** DONE line fields. */
+    std::uint64_t evaluated = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t crossHits = 0;
+    /** Points recorded as failed (the CLI's exit-4 condition). */
+    std::uint64_t failed = 0;
+    double wallMs = 0.0;
+};
+
+/** A connected protocol client (one socket, serial requests). */
+class SweepClient
+{
+  public:
+    /** Connect to a Unix-domain endpoint. Throws IoError. */
+    static SweepClient connectUnix(const std::string &path);
+    /** Connect to 127.0.0.1:@p port. Throws IoError. */
+    static SweepClient connectTcp(int port);
+
+    ~SweepClient();
+    SweepClient(SweepClient &&other) noexcept;
+    SweepClient &operator=(SweepClient &&other) noexcept;
+    SweepClient(const SweepClient &) = delete;
+    SweepClient &operator=(const SweepClient &) = delete;
+
+    /**
+     * Submit `SWEEP @p args` (key=value tokens, already formatted;
+     * may be empty for the default grid) and block until DONE.
+     * @p onProgress (may be null) receives streamed PROGRESS lines —
+     * include progress=1 in @p args to get any. Throws the taxonomy
+     * error a daemon ERR line carries, or IoError on a broken
+     * connection.
+     */
+    SweepOutcome
+    sweep(const std::string &args,
+          const std::function<void(std::size_t, std::size_t)>
+              &onProgress = nullptr);
+
+    /**
+     * Send a no-argument verb ("PING", "STATUS", "SHUTDOWN") and
+     * return the OK payload (e.g. "pong"). Throws on ERR.
+     */
+    std::string command(const std::string &verb);
+
+  private:
+    explicit SweepClient(int fd);
+
+    int fd_ = -1;
+    /** Persistent read buffer (protocol read-ahead must survive
+     *  across calls). */
+    std::unique_ptr<FdStream> io_;
+};
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_CLIENT_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal buffered line I/O over a connected socket fd, shared by the
+ * daemon's connection handler and the client. Writes go through
+ * send(MSG_NOSIGNAL) so a peer that went away surfaces as an IoError
+ * (EPIPE) instead of a process-killing SIGPIPE — the daemon turns
+ * that into request cancellation, never a crash.
+ *
+ * Internal to src/serve (both sides of the wire live here); not a
+ * general-purpose stream.
+ */
+
+#ifndef PIPECACHE_SERVE_FD_IO_HH
+#define PIPECACHE_SERVE_FD_IO_HH
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+
+namespace pipecache::serve {
+
+/** Buffered reader + unbuffered writer on one socket fd (not owned). */
+class FdStream
+{
+  public:
+    explicit FdStream(int fd) : fd_(fd) {}
+
+    /**
+     * Read one '\n'-terminated line (terminator stripped, a final
+     * unterminated line is returned as-is). False on clean EOF with
+     * nothing buffered; throws IoError on a read error.
+     */
+    bool readLine(std::string &line)
+    {
+        for (;;) {
+            const auto nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(buf_, 0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            if (!fill()) {
+                if (buf_.empty())
+                    return false;
+                line = std::move(buf_);
+                buf_.clear();
+                return true;
+            }
+        }
+    }
+
+    /** Read exactly @p n bytes. Throws IoError on error or short EOF. */
+    std::string readExact(std::size_t n)
+    {
+        while (buf_.size() < n) {
+            if (!fill()) {
+                throw IoError("connection closed mid-payload (" +
+                              std::to_string(buf_.size()) + " of " +
+                              std::to_string(n) + " bytes)");
+            }
+        }
+        std::string out = buf_.substr(0, n);
+        buf_.erase(0, n);
+        return out;
+    }
+
+    /** Write all of @p data. Throws IoError (EPIPE = peer gone). */
+    void writeAll(const char *data, std::size_t n)
+    {
+        while (n > 0) {
+            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw IoError(std::string("socket write: ") +
+                              std::strerror(errno));
+            }
+            data += w;
+            n -= static_cast<std::size_t>(w);
+        }
+    }
+
+    /** Write @p line plus the '\n' terminator. */
+    void writeLine(const std::string &line)
+    {
+        std::string out = line;
+        out += '\n';
+        writeAll(out.data(), out.size());
+    }
+
+    int fd() const { return fd_; }
+
+  private:
+    /** Pull more bytes into buf_; false on EOF. */
+    bool fill()
+    {
+        char tmp[4096];
+        for (;;) {
+            const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw IoError(std::string("socket read: ") +
+                              std::strerror(errno));
+            }
+            if (r == 0)
+                return false;
+            buf_.append(tmp, static_cast<std::size_t>(r));
+            return true;
+        }
+    }
+
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_FD_IO_HH

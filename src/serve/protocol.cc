@@ -1,0 +1,157 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "util/parse.hh"
+
+namespace pipecache::serve {
+
+namespace {
+
+/** Split @p line on runs of spaces/tabs. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "0" || value == "false")
+        return false;
+    if (value == "1" || value == "true")
+        return true;
+    throw UsageError("bad " + key + " value '" + value +
+                     "' (need 0 or 1)");
+}
+
+} // namespace
+
+bool
+splitKeyValue(const std::string &tok, std::string &key,
+              std::string &value)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    key = tok.substr(0, eq);
+    value = tok.substr(eq + 1);
+    return true;
+}
+
+Request
+parseRequest(const std::string &line)
+{
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty())
+        throw UsageError("empty request line");
+
+    Request req;
+    const std::string &verb = toks.front();
+    if (verb == "PING") {
+        req.verb = Verb::Ping;
+    } else if (verb == "STATUS") {
+        req.verb = Verb::Status;
+    } else if (verb == "SHUTDOWN") {
+        req.verb = Verb::Shutdown;
+    } else if (verb == "SWEEP") {
+        req.verb = Verb::Sweep;
+    } else {
+        throw UsageError("unknown verb '" + verb +
+                         "' (known: SWEEP, PING, STATUS, SHUTDOWN)");
+    }
+    if (req.verb != Verb::Sweep) {
+        if (toks.size() > 1)
+            throw UsageError(verb + " takes no arguments");
+        return req;
+    }
+
+    SweepRequest &sw = req.sweep;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+        std::string key;
+        std::string value;
+        if (!splitKeyValue(toks[i], key, value)) {
+            throw UsageError("bad token '" + toks[i] +
+                             "' (need key=value)");
+        }
+        if (key == "scale") {
+            if (!util::parseFiniteDouble(value, sw.scaleDivisor) ||
+                sw.scaleDivisor < 1.0) {
+                throw UsageError("bad scale '" + value +
+                                 "' (need a finite number >= 1)");
+            }
+        } else if (key == "threads") {
+            if (!util::parseSize(value, sw.threads)) {
+                throw UsageError("bad threads '" + value + "'");
+            }
+        } else if (key == "progress") {
+            sw.progress = parseBool(key, value);
+        } else if (key == "factored") {
+            sw.factored = parseBool(key, value);
+        } else {
+            // Everything else is a grid key; GridSpec::set throws
+            // UsageError on unknown keys and bad values.
+            sw.grid.set(key, value);
+        }
+    }
+    sw.grid.validate();
+    return req;
+}
+
+std::string
+oneLine(const std::string &msg)
+{
+    std::string out = msg;
+    for (char &c : out) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return out;
+}
+
+std::string
+errLine(ErrorKind kind, const std::string &msg)
+{
+    return std::string("ERR ") + errorKindName(kind) + " " +
+           oneLine(msg);
+}
+
+void
+raiseErrLine(const std::string &line)
+{
+    // "ERR <kind> <message>"
+    if (line.rfind("ERR ", 0) != 0)
+        throw IoError("malformed daemon error line: " + line);
+    const auto kindBegin = 4U;
+    const auto kindEnd = line.find(' ', kindBegin);
+    const std::string kindName =
+        line.substr(kindBegin, kindEnd == std::string::npos
+                                   ? std::string::npos
+                                   : kindEnd - kindBegin);
+    const std::string msg = kindEnd == std::string::npos
+                                ? std::string("(no message)")
+                                : line.substr(kindEnd + 1);
+    switch (errorKindFromName(kindName)) {
+    case ErrorKind::Usage:
+        throw UsageError(msg);
+    case ErrorKind::Data:
+        throw DataError(msg);
+    case ErrorKind::Io:
+        throw IoError(msg);
+    case ErrorKind::Interrupted:
+        throw InterruptedError(msg);
+    case ErrorKind::Unavailable:
+        throw UnavailableError(msg);
+    default:
+        throw InternalError(msg);
+    }
+}
+
+} // namespace pipecache::serve

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The pipecache_sweepd wire protocol: line-oriented, human-typeable,
+ * transport-agnostic (the same grammar runs over a Unix socket or
+ * TCP). This header is pure parsing/formatting — no I/O — so the
+ * daemon, the client, the fuzz oracle, and the tests all share one
+ * definition.
+ *
+ * Requests (one line each, space-separated tokens):
+ *
+ *   SWEEP [key=value ...]     run a sweep; grid keys are exactly the
+ *                             GridSpec keys (b, l, isize, dsize,
+ *                             block, penalty, repl, preset) plus
+ *                             scale=N (suite scale divisor >= 1),
+ *                             threads=N (per-request worker budget,
+ *                             0 = server default), progress=0|1
+ *                             (stream PROGRESS lines), and
+ *                             factored=0|1 (default 1)
+ *   PING                      liveness probe
+ *   STATUS                    one-line service counters
+ *   SHUTDOWN                  ask the daemon to drain and exit
+ *
+ * Responses:
+ *
+ *   ACK id=<n> points=<m>                       sweep parsed; next
+ *                                               comes PROGRESS/RESULT
+ *                                               or ERR (admission may
+ *                                               still reject)
+ *   PROGRESS <done>/<total>                     streamed (progress=1)
+ *   RESULT <nbytes>\n<payload>                  exactly nbytes of
+ *                                               sweep JSON, byte-
+ *                                               identical to the
+ *                                               pipecache_sweep CLI
+ *   DONE evaluated=<n> memo_hits=<n> cross_hits=<n> failed=<n>
+ *        wall_ms=<x>                             (one line)
+ *   OK [text]                                   PING/STATUS/SHUTDOWN
+ *   ERR <kind> <message>                        error taxonomy kind
+ *                                               name + one-line
+ *                                               message; the client
+ *                                               re-raises it as the
+ *                                               matching Error class
+ *
+ * DONE is deliberately separate from the payload: evaluated/memo
+ * split and wall time are volatile request metadata, while the RESULT
+ * payload stays a pure function of the request (the byte-identity
+ * contract, DESIGN.md par. 13).
+ */
+
+#ifndef PIPECACHE_SERVE_PROTOCOL_HH
+#define PIPECACHE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/grid_spec.hh"
+#include "util/error.hh"
+
+namespace pipecache::serve {
+
+/** The request verbs. */
+enum class Verb
+{
+    Sweep,
+    Ping,
+    Status,
+    Shutdown,
+};
+
+/** A parsed SWEEP request. */
+struct SweepRequest
+{
+    sweep::GridSpec grid;
+    /** Suite scale divisor (selects/creates the daemon suite state). */
+    double scaleDivisor = 2000.0;
+    /** Worker budget carved from the shared pool; 0 = server default. */
+    std::size_t threads = 0;
+    /** Stream PROGRESS lines while the sweep runs. */
+    bool progress = false;
+    /** Factored (shared-component) evaluation; results identical. */
+    bool factored = true;
+};
+
+/** One parsed request line. */
+struct Request
+{
+    Verb verb = Verb::Ping;
+    /** Valid when verb == Verb::Sweep. */
+    SweepRequest sweep;
+};
+
+/**
+ * Parse one request line. Throws UsageError on an unknown verb, an
+ * unknown or malformed key=value pair, or a bad value — the daemon
+ * maps that onto an `ERR usage ...` response, never a dropped
+ * connection.
+ */
+Request parseRequest(const std::string &line);
+
+/** Collapse @p msg onto one line (the ERR grammar is line-oriented). */
+std::string oneLine(const std::string &msg);
+
+/** Format an `ERR <kind> <message>` line (no trailing newline). */
+std::string errLine(ErrorKind kind, const std::string &msg);
+
+/**
+ * Parse an `ERR <kind> <message>` line (without the "ERR " prefix
+ * already consumed or not — pass the full line) and throw the
+ * matching taxonomy error. Throws IoError if @p line is not an ERR
+ * line at all.
+ */
+[[noreturn]] void raiseErrLine(const std::string &line);
+
+/** Parse "key=value" into its halves; false when '=' is missing. */
+bool splitKeyValue(const std::string &tok, std::string &key,
+                   std::string &value);
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_PROTOCOL_HH

@@ -1,0 +1,358 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/fd_io.hh"
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+
+namespace pipecache::serve {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+void
+closeIfOpen(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+SweepServer::SweepServer(SweepService &service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts))
+{
+}
+
+SweepServer::~SweepServer()
+{
+    reapConnections(true);
+    for (int fd : listenFds_)
+        ::close(fd);
+    listenFds_.clear();
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    closeIfOpen(wakeRead_);
+    closeIfOpen(wakeWrite_);
+}
+
+void
+SweepServer::start()
+{
+    if (opts_.socketPath.empty() && opts_.tcpPort < 0)
+        throw UsageError("server needs a socket path or a TCP port");
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0)
+        throwErrno("pipe");
+    wakeRead_ = pipeFds[0];
+    wakeWrite_ = pipeFds[1];
+    ::fcntl(wakeRead_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wakeWrite_, F_SETFD, FD_CLOEXEC);
+
+    if (!opts_.socketPath.empty()) {
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        if (opts_.socketPath.size() >= sizeof addr.sun_path) {
+            throw UsageError("socket path too long (" +
+                             std::to_string(opts_.socketPath.size()) +
+                             " bytes, max " +
+                             std::to_string(sizeof addr.sun_path - 1) +
+                             "): " + opts_.socketPath);
+        }
+        std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                    opts_.socketPath.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throwErrno("socket(AF_UNIX)");
+        // The daemon owns its path; a stale socket from a killed
+        // predecessor must not block startup.
+        ::unlink(opts_.socketPath.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            ::close(fd);
+            throwErrno("bind(" + opts_.socketPath + ")");
+        }
+        if (::listen(fd, 16) != 0) {
+            ::close(fd);
+            throwErrno("listen(" + opts_.socketPath + ")");
+        }
+        listenFds_.push_back(fd);
+    }
+
+    if (opts_.tcpPort >= 0) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throwErrno("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opts_.tcpPort));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            ::close(fd);
+            throwErrno("bind(127.0.0.1:" +
+                       std::to_string(opts_.tcpPort) + ")");
+        }
+        if (::listen(fd, 16) != 0) {
+            ::close(fd);
+            throwErrno("listen");
+        }
+        socklen_t len = sizeof addr;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) != 0) {
+            ::close(fd);
+            throwErrno("getsockname");
+        }
+        boundPort_ = static_cast<int>(ntohs(addr.sin_port));
+        listenFds_.push_back(fd);
+    }
+}
+
+void
+SweepServer::requestShutdown()
+{
+    shutdown_.store(true, std::memory_order_relaxed);
+    if (wakeWrite_ >= 0) {
+        const char byte = 'x';
+        // Best-effort, async-signal-safe; a full pipe already means a
+        // wakeup is pending.
+        [[maybe_unused]] const ssize_t rc =
+            ::write(wakeWrite_, &byte, 1);
+    }
+}
+
+void
+SweepServer::serve()
+{
+    PC_ASSERT(!listenFds_.empty() && wakeRead_ >= 0,
+              "serve() before start()");
+    while (!shutdown_.load(std::memory_order_relaxed)) {
+        std::vector<pollfd> fds;
+        fds.push_back({wakeRead_, POLLIN, 0});
+        for (int fd : listenFds_)
+            fds.push_back({fd, POLLIN, 0});
+        const int rc = ::poll(fds.data(), fds.size(), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("poll");
+        }
+        if (fds[0].revents != 0)
+            break;
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if ((fds[i].revents & POLLIN) == 0)
+                continue;
+            const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (cfd < 0)
+                continue;
+            auto conn = std::make_unique<Conn>();
+            conn->fd = cfd;
+            Conn &ref = *conn;
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                conns_.push_back(std::move(conn));
+            }
+            ref.thread =
+                std::thread([this, &ref] { handleConnection(ref); });
+        }
+        reapConnections(false);
+    }
+
+    // Drain: no new connections or admissions; in-flight requests
+    // finish and stream their results. SHUT_RD unblocks idle readers
+    // without cutting the write side a finishing sweep still needs.
+    service_.beginDrain();
+    for (int fd : listenFds_)
+        ::close(fd);
+    listenFds_.clear();
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto &conn : conns_)
+            ::shutdown(conn->fd, SHUT_RD);
+    }
+    reapConnections(true);
+}
+
+void
+SweepServer::reapConnections(bool all)
+{
+    std::list<std::unique_ptr<Conn>> toJoin;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (all || (*it)->done.load(std::memory_order_acquire)) {
+                toJoin.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &conn : toJoin) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+}
+
+void
+SweepServer::handleConnection(Conn &conn)
+{
+    FdStream io(conn.fd);
+    // Every write is serialized: PROGRESS lines come from engine
+    // worker threads while RESULT/DONE come from this one.
+    std::mutex writeMutex;
+    auto sendLine = [&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        io.writeLine(line);
+    };
+
+    std::string line;
+    for (;;) {
+        try {
+            if (!io.readLine(line))
+                break;
+        } catch (const IoError &) {
+            break;
+        }
+        if (line.empty())
+            continue;
+
+        Request req;
+        try {
+            req = parseRequest(line);
+        } catch (const Error &e) {
+            try {
+                sendLine(errLine(e.kind(), e.what()));
+                continue;
+            } catch (const IoError &) {
+                break;
+            }
+        }
+
+        try {
+            switch (req.verb) {
+            case Verb::Ping:
+                sendLine("OK pong");
+                continue;
+            case Verb::Status:
+                sendLine("OK " + service_.statusLine());
+                continue;
+            case Verb::Shutdown:
+                sendLine("OK draining");
+                requestShutdown();
+                continue;
+            case Verb::Sweep:
+                break;
+            }
+        } catch (const IoError &) {
+            break;
+        }
+
+        // --- SWEEP ---
+        std::vector<core::DesignPoint> points;
+        try {
+            points = req.sweep.grid.build();
+            const std::uint64_t id = requestSeq_.fetch_add(
+                                         1, std::memory_order_relaxed) +
+                                     1;
+            sendLine("ACK id=" + std::to_string(id) +
+                     " points=" + std::to_string(points.size()));
+        } catch (const Error &e) {
+            try {
+                sendLine(errLine(e.kind(), e.what()));
+                continue;
+            } catch (const IoError &) {
+                break;
+            }
+        }
+
+        std::function<void(std::size_t, std::size_t)> progress;
+        if (req.sweep.progress) {
+            progress = [&](std::size_t done, std::size_t total) {
+                // Called on engine workers; a dead client turns into
+                // cancellation, never an exception into the pool.
+                try {
+                    sendLine("PROGRESS " + std::to_string(done) + "/" +
+                             std::to_string(total));
+                } catch (...) {
+                    conn.gone.store(true, std::memory_order_relaxed);
+                }
+            };
+        }
+
+        try {
+            core::SuiteConfig suite;
+            suite.scaleDivisor = req.sweep.scaleDivisor;
+            SweepResponse resp = service_.runPoints(
+                points, req.sweep.grid.name(), suite,
+                req.sweep.threads, req.sweep.factored, progress,
+                &conn.gone);
+            {
+                std::lock_guard<std::mutex> lock(writeMutex);
+                io.writeLine("RESULT " +
+                             std::to_string(resp.json.size()));
+                io.writeAll(resp.json.data(), resp.json.size());
+            }
+            sendLine("DONE evaluated=" +
+                     std::to_string(resp.stats.cacheMisses) +
+                     " memo_hits=" +
+                     std::to_string(resp.stats.cacheHits) +
+                     " cross_hits=" + std::to_string(resp.memoHits) +
+                     " failed=" +
+                     std::to_string(resp.stats.pointsFailed) +
+                     " wall_ms=" + std::to_string(resp.wallMs));
+        } catch (const IoError &) {
+            // Writing the result failed: the client is gone. Nothing
+            // to report to, so just close up.
+            conn.gone.store(true, std::memory_order_relaxed);
+            break;
+        } catch (const Error &e) {
+            try {
+                sendLine(errLine(e.kind(), e.what()));
+            } catch (const IoError &) {
+                break;
+            }
+            // A cancelled request means the client vanished — no
+            // point reading more from this connection.
+            if (conn.gone.load(std::memory_order_relaxed))
+                break;
+        } catch (const std::exception &e) {
+            try {
+                sendLine(errLine(ErrorKind::Internal, e.what()));
+            } catch (const IoError &) {
+                break;
+            }
+        }
+    }
+
+    conn.done.store(true, std::memory_order_release);
+}
+
+} // namespace pipecache::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The socket front end of pipecache_sweepd: listeners (Unix and/or
+ * loopback TCP), one handler thread per connection, and a poll-based
+ * accept loop that a signal handler can interrupt through a self-pipe
+ * — the piece that makes SIGTERM a *graceful* drain (stop accepting,
+ * reject queued work, let in-flight sweeps finish and stream their
+ * results, then exit) instead of an abort.
+ *
+ * All protocol logic lives in serve/protocol.*; all evaluation and
+ * admission logic in serve/service.*. This layer only moves lines and
+ * payload bytes, and maps everything thrown at it onto ERR lines —
+ * a client can be malformed, slow, or gone, and the daemon keeps
+ * serving the others.
+ *
+ * Client-disconnect handling: every connection owns a `gone` flag
+ * wired into the engine's cancellation poll. A failed write (EPIPE on
+ * a PROGRESS line or the RESULT payload) sets it, the engine winds
+ * down at the next point boundary, and the request is accounted as
+ * interrupted — the memo keeps whatever completed, so a retry is
+ * warm.
+ */
+
+#ifndef PIPECACHE_SERVE_SERVER_HH
+#define PIPECACHE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace pipecache::serve {
+
+/** Listener configuration. At least one of the two must be set. */
+struct ServerOptions
+{
+    /** Unix-domain socket path ("" = no Unix listener). The server
+     *  owns the path: it unlinks stale ones at bind and its own at
+     *  shutdown. */
+    std::string socketPath;
+    /** Loopback TCP port (-1 = no TCP listener; 0 = ephemeral, read
+     *  the bound port back via tcpPort()). */
+    int tcpPort = -1;
+};
+
+/** The daemon's accept loop + connection threads. */
+class SweepServer
+{
+  public:
+    SweepServer(SweepService &service, ServerOptions opts);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Bind + listen on the configured endpoints. Throws IoError. */
+    void start();
+
+    /** The TCP port actually bound (after start(); -1 if no TCP). */
+    int tcpPort() const { return boundPort_; }
+
+    /**
+     * Accept and serve until requestShutdown(), then drain: stop
+     * accepting, SweepService::beginDrain(), let in-flight requests
+     * finish streaming, join every connection. Call from the main
+     * thread after start().
+     */
+    void serve();
+
+    /**
+     * Ask serve() to wind down. Async-signal-safe (an atomic store
+     * plus one write() on the self-pipe) — call it from SIGTERM /
+     * SIGINT handlers.
+     */
+    void requestShutdown();
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::thread thread;
+        /** Set when the client is known gone (failed write); doubles
+         *  as the engine's cancellation flag. */
+        std::atomic<bool> gone{false};
+        /** Handler finished; the accept loop may join/reap it. */
+        std::atomic<bool> done{false};
+    };
+
+    void handleConnection(Conn &conn);
+    void reapConnections(bool all);
+
+    SweepService &service_;
+    ServerOptions opts_;
+    std::vector<int> listenFds_;
+    int boundPort_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::atomic<bool> shutdown_{false};
+
+    std::mutex connMutex_;
+    std::list<std::unique_ptr<Conn>> conns_;
+    std::atomic<std::uint64_t> requestSeq_{0};
+};
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_SERVER_HH

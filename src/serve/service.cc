@@ -1,0 +1,265 @@
+#include "serve/service.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
+#include "sweep/result_sink.hh"
+
+namespace pipecache::serve {
+
+/**
+ * FIFO admission ticket. Construction blocks until admitted and
+ * throws UnavailableError (queue full / draining) or
+ * InterruptedError (cancel observed while queued); destruction
+ * releases the slot. Lives on the request thread's stack, so every
+ * exit path — including evaluation exceptions — releases.
+ */
+class SweepService::Admission
+{
+  public:
+    Admission(SweepService &s, const std::atomic<bool> *cancel) : s_(s)
+    {
+        std::unique_lock<std::mutex> lock(s.admitMutex_);
+        depth_ = s.waiters_.size();
+        rejectIfDraining(lock);
+        if (s.inflight_ < s.opts_.maxInflight && s.waiters_.empty()) {
+            ++s.inflight_;
+        } else {
+            if (s.waiters_.size() >= s.opts_.maxQueued) {
+                s.rejected_.fetch_add(1, std::memory_order_relaxed);
+                throw UnavailableError(
+                    "admission queue full (" +
+                    std::to_string(s.inflight_) + " in flight, " +
+                    std::to_string(s.waiters_.size()) +
+                    " queued); retry later");
+            }
+            const std::uint64_t ticket = s.nextTicket_++;
+            s.waiters_.push_back(ticket);
+            // Bounded waits so a queued request notices its client's
+            // cancel flag without a dedicated wakeup channel.
+            for (;;) {
+                if (!s.waiters_.empty() &&
+                    s.waiters_.front() == ticket &&
+                    s.inflight_ < s.opts_.maxInflight) {
+                    s.waiters_.pop_front();
+                    ++s.inflight_;
+                    break;
+                }
+                s.admitCv_.wait_for(lock,
+                                    std::chrono::milliseconds(50));
+                if (s.draining_.load(std::memory_order_relaxed)) {
+                    dropTicket(ticket);
+                    s.rejected_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                    throw UnavailableError(
+                        "service is draining; request rejected");
+                }
+                if (cancel &&
+                    cancel->load(std::memory_order_relaxed)) {
+                    dropTicket(ticket);
+                    s.cancelled_.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    throw InterruptedError(
+                        "request cancelled while queued");
+                }
+            }
+        }
+        id_ = s.admitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    ~Admission()
+    {
+        std::lock_guard<std::mutex> lock(s_.admitMutex_);
+        --s_.inflight_;
+        s_.admitCv_.notify_all();
+    }
+
+    Admission(const Admission &) = delete;
+    Admission &operator=(const Admission &) = delete;
+
+    /** Waiters already queued when this request arrived. */
+    std::size_t depthAtArrival() const { return depth_; }
+    std::uint64_t id() const { return id_; }
+
+  private:
+    void rejectIfDraining(std::unique_lock<std::mutex> &)
+    {
+        if (s_.draining_.load(std::memory_order_relaxed)) {
+            s_.rejected_.fetch_add(1, std::memory_order_relaxed);
+            throw UnavailableError(
+                "service is draining; request rejected");
+        }
+    }
+
+    /** Caller holds admitMutex_. */
+    void dropTicket(std::uint64_t ticket)
+    {
+        for (auto it = s_.waiters_.begin(); it != s_.waiters_.end();
+             ++it) {
+            if (*it == ticket) {
+                s_.waiters_.erase(it);
+                break;
+            }
+        }
+        s_.admitCv_.notify_all();
+    }
+
+    SweepService &s_;
+    std::size_t depth_ = 0;
+    std::uint64_t id_ = 0;
+};
+
+SweepService::SweepService(ServiceOptions opts) : opts_(opts)
+{
+    if (opts_.maxInflight == 0)
+        opts_.maxInflight = 1;
+}
+
+SweepService::~SweepService() = default;
+
+SweepService::SuiteState &
+SweepService::stateFor(const core::SuiteConfig &suite)
+{
+    const std::uint64_t key = core::suiteConfigKey(suite);
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    auto it = states_.find(key);
+    if (it == states_.end()) {
+        sweep::SweepOptions engineOpts;
+        engineOpts.threads = opts_.threads;
+        auto state =
+            std::make_unique<SuiteState>(suite, engineOpts);
+        state->cpi.setFactoredComponentLimit(
+            opts_.componentCacheLimit);
+        it = states_.emplace(key, std::move(state)).first;
+    }
+    return *it->second;
+}
+
+SweepResponse
+SweepService::sweep(
+    const SweepRequest &req,
+    const std::function<void(std::size_t, std::size_t)> &onProgress,
+    const std::atomic<bool> *cancel)
+{
+    // Build (and thus validate) the grid before taking an admission
+    // slot: a malformed request must not occupy capacity.
+    const std::vector<core::DesignPoint> points = req.grid.build();
+    core::SuiteConfig suite;
+    suite.scaleDivisor = req.scaleDivisor;
+    return runPoints(points, req.grid.name(), suite, req.threads,
+                     req.factored, onProgress, cancel);
+}
+
+SweepResponse
+SweepService::runPoints(
+    const std::vector<core::DesignPoint> &points,
+    const std::string &name, const core::SuiteConfig &suite,
+    std::size_t threads, bool factored,
+    const std::function<void(std::size_t, std::size_t)> &onProgress,
+    const std::atomic<bool> *cancel)
+{
+    if (points.empty())
+        throw UsageError("empty sweep grid");
+
+    obs::ScopedSpan span("serve.request", "serve");
+    auto &reg = obs::StatsRegistry::global();
+
+    Admission admission(*this, cancel);
+    reg.addCounter("serve.requests", "sweep requests admitted",
+                   obs::StatKind::Volatile);
+    reg.sampleHistogram("serve.queue_depth",
+                        "admission queue depth seen by arrivals",
+                        obs::StatKind::Volatile, 16,
+                        admission.depthAtArrival());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SuiteState &state = stateFor(suite);
+
+    sweep::RunOptions run;
+    run.threadBudget = threads;
+    if (opts_.maxThreadsPerRequest != 0 &&
+        (run.threadBudget == 0 ||
+         run.threadBudget > opts_.maxThreadsPerRequest)) {
+        run.threadBudget = opts_.maxThreadsPerRequest;
+    }
+    run.onProgress = onProgress;
+    run.factored = factored;
+    run.cancel = cancel;
+    run.coldMetadata = true;
+
+    sweep::RunResult result;
+    {
+        std::lock_guard<std::mutex> runLock(state.runMutex);
+        result = state.engine.run(points, run);
+    }
+
+    SweepResponse resp;
+    resp.name = name;
+    resp.points = points.size();
+    resp.stats = result.stats;
+    resp.memoHits = result.memoHits;
+    resp.json = sweep::jsonString(name, result.records, result.stats);
+    const auto t1 = std::chrono::steady_clock::now();
+    resp.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    reg.sampleHistogram(
+        "serve.request_ms", "request latency (admission to result)",
+        obs::StatKind::Volatile, 64,
+        static_cast<std::uint64_t>(resp.wallMs));
+    return resp;
+}
+
+void
+SweepService::beginDrain()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(admitMutex_);
+    admitCv_.notify_all();
+}
+
+std::string
+SweepService::statusLine()
+{
+    std::size_t inflight = 0;
+    std::size_t queued = 0;
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        inflight = inflight_;
+        queued = waiters_.size();
+    }
+    std::size_t suites = 0;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        suites = states_.size();
+    }
+    const std::uint64_t crossHits =
+        obs::StatsRegistry::global().counterValue(
+            "sweep.memo.cross_request_hits");
+    const std::uint64_t evictions =
+        obs::StatsRegistry::global().counterValue(
+            "sweep.memo_evictions");
+    std::string out;
+    out += "inflight=" + std::to_string(inflight);
+    out += " queued=" + std::to_string(queued);
+    out += " max_inflight=" + std::to_string(opts_.maxInflight);
+    out += " max_queue=" + std::to_string(opts_.maxQueued);
+    out += " admitted=" +
+           std::to_string(admitted_.load(std::memory_order_relaxed));
+    out += " completed=" +
+           std::to_string(completed_.load(std::memory_order_relaxed));
+    out += " rejected=" +
+           std::to_string(rejected_.load(std::memory_order_relaxed));
+    out += " cancelled=" +
+           std::to_string(cancelled_.load(std::memory_order_relaxed));
+    out += " suites=" + std::to_string(suites);
+    out += " cross_hits=" + std::to_string(crossHits);
+    out += " memo_evictions=" + std::to_string(evictions);
+    out += std::string(" draining=") + (draining() ? "1" : "0");
+    return out;
+}
+
+} // namespace pipecache::serve

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SweepService: the transport-free heart of pipecache_sweepd.
+ *
+ * Holds the expensive state a cold CLI run pays for on every
+ * invocation — prepared CpiModels (traces, translations, schedules),
+ * the factored-evaluation component cache, and the sweep engine's
+ * point memo — and serves sweep requests against it, so a warm
+ * request skips straight to assembly. State is keyed by suite
+ * configuration (the scale divisor): requests with equal scale share
+ * one engine and therefore one memo.
+ *
+ * Admission control: at most maxInflight requests evaluate at once;
+ * up to maxQueued more wait in FIFO order (ticket numbers, so a
+ * burst drains in arrival order); beyond that — or once draining —
+ * requests are rejected with UnavailableError, which the protocol
+ * layer maps to `ERR unavailable ...` and exit code 6. A queued
+ * request whose client goes away leaves the queue via its cancel
+ * flag (InterruptedError).
+ *
+ * Determinism contract: responses carry RunOptions::coldMetadata
+ * output — the JSON payload is a pure function of the request, byte-
+ * identical to a cold `pipecache_sweep` run of the same grid, no
+ * matter how warm the service is, how many requests run concurrently,
+ * or what thread budget the request got. The warmth is reported out
+ * of band (SweepResponse::memoHits, the DONE line, and the volatile
+ * `sweep.memo.cross_request_hits` counter).
+ *
+ * Concurrency: one engine runs one sweep at a time (its runMutex) —
+ * prepareFactored()/plan() are serial-by-contract — so concurrent
+ * requests on the same suite serialize at the engine while requests
+ * on different suites run truly in parallel. The engine's own pool
+ * parallelizes within a request; RunOptions::threadBudget carves the
+ * per-request share.
+ *
+ * Observability (first-day): serve.requests / serve.rejected /
+ * serve.cancelled counters, serve.queue_depth and serve.request_ms
+ * histograms (volatile: they depend on arrival timing), and a
+ * "serve.request" Perfetto span per request.
+ */
+
+#ifndef PIPECACHE_SERVE_SERVICE_HH
+#define PIPECACHE_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "serve/protocol.hh"
+#include "sweep/sweep_engine.hh"
+
+namespace pipecache::serve {
+
+/** Service construction parameters. */
+struct ServiceOptions
+{
+    /** Worker threads per suite engine; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+    /** Requests evaluating at once (admission control). */
+    std::size_t maxInflight = 2;
+    /** Requests allowed to wait beyond that; more are rejected. */
+    std::size_t maxQueued = 8;
+    /**
+     * Hard cap on any request's thread budget (0 = uncapped). A
+     * request's own threads= value is clamped to this.
+     */
+    std::size_t maxThreadsPerRequest = 0;
+    /**
+     * Bound on the factored component cache per suite (see
+     * FactoredEvaluator::setComponentLimit). 0 = unbounded; the
+     * daemon default bounds it so an adversarial mix of geometries
+     * cannot grow memory without limit.
+     */
+    std::size_t componentCacheLimit = 256;
+};
+
+/** Outcome of one admitted, completed sweep request. */
+struct SweepResponse
+{
+    /** Byte-identical to the cold CLI's default JSON for this grid. */
+    std::string json;
+    /** As-if-cold stats (what the JSON header reports). */
+    sweep::SweepStats stats;
+    /** Unique points served from previous requests' memo. */
+    std::uint64_t memoHits = 0;
+    std::size_t points = 0;
+    double wallMs = 0.0;
+    std::string name;
+};
+
+/** The shared-state sweep service. */
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceOptions opts = {});
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Admit, evaluate, and serialize one sweep request. Blocks while
+     * queued and while evaluating. @p onProgress (may be null) is
+     * forwarded to the engine; @p cancel (may be null) is polled both
+     * in the queue and between point evaluations.
+     *
+     * Throws UsageError (bad grid), UnavailableError (admission),
+     * InterruptedError (cancelled), or whatever the evaluation threw
+     * under fail-fast semantics — per-point faults are recorded in
+     * the JSON instead (the engine's isolation default).
+     */
+    SweepResponse
+    sweep(const SweepRequest &req,
+          const std::function<void(std::size_t, std::size_t)>
+              &onProgress = nullptr,
+          const std::atomic<bool> *cancel = nullptr);
+
+    /**
+     * Same admission + evaluation path for an explicit point list and
+     * full suite configuration (the fuzz oracle's grids and suites
+     * are richer than the protocol exposes). @p name is the JSON
+     * sweep name.
+     */
+    SweepResponse
+    runPoints(const std::vector<core::DesignPoint> &points,
+              const std::string &name,
+              const core::SuiteConfig &suite, std::size_t threads,
+              bool factored,
+              const std::function<void(std::size_t, std::size_t)>
+                  &onProgress = nullptr,
+              const std::atomic<bool> *cancel = nullptr);
+
+    /**
+     * Stop admitting: queued requests are rejected, new ones refused,
+     * in-flight ones finish. Idempotent.
+     */
+    void beginDrain();
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    /** One-line counters for the STATUS verb. */
+    std::string statusLine();
+
+    /** Requests admitted so far (monotonic; ACK ids). */
+    std::uint64_t requestsAdmitted() const
+    {
+        return admitted_.load(std::memory_order_relaxed);
+    }
+
+    const ServiceOptions &options() const { return opts_; }
+
+  private:
+    /** Everything one suite configuration owns. */
+    struct SuiteState
+    {
+        core::CpiModel cpi;
+        core::TpiModel tpi;
+        sweep::SweepEngine engine;
+        /** One sweep at a time per engine (plan() is serial). */
+        std::mutex runMutex;
+
+        SuiteState(const core::SuiteConfig &suite,
+                   const sweep::SweepOptions &engineOpts)
+            : cpi(suite), tpi(cpi), engine(tpi, engineOpts)
+        {
+        }
+    };
+
+    /** RAII admission ticket: release on every exit path. */
+    class Admission;
+    friend class Admission;
+
+    SuiteState &stateFor(const core::SuiteConfig &suite);
+
+    ServiceOptions opts_;
+
+    std::mutex admitMutex_;
+    std::condition_variable admitCv_;
+    std::size_t inflight_ = 0;
+    /** FIFO of waiting tickets (front is next to admit). */
+    std::deque<std::uint64_t> waiters_;
+    std::uint64_t nextTicket_ = 1;
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> completed_{0};
+
+    std::mutex stateMutex_;
+    /** Keyed by core::suiteConfigKey(). */
+    std::map<std::uint64_t, std::unique_ptr<SuiteState>> states_;
+};
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_SERVICE_HH

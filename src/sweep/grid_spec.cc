@@ -1,0 +1,133 @@
+#include "sweep/grid_spec.hh"
+
+#include "core/experiments.hh"
+#include "util/error.hh"
+#include "util/parse.hh"
+
+namespace pipecache::sweep {
+
+namespace {
+
+std::vector<std::uint32_t>
+rangeValue(const std::string &key, const std::string &value)
+{
+    std::vector<std::uint32_t> out;
+    if (!util::parseRange(value, out)) {
+        throw UsageError("bad " + key + " range '" + value +
+                         "' (need 'lo:hi' or 'a,b,c')");
+    }
+    return out;
+}
+
+/** The simulator asserts on non-power-of-two cache geometry; reject
+ *  it at the spec layer with a usage error instead. */
+std::vector<std::uint32_t>
+pow2Value(const std::string &key, const std::string &value)
+{
+    std::vector<std::uint32_t> out = rangeValue(key, value);
+    for (const std::uint32_t v : out) {
+        if (v == 0 || (v & (v - 1)) != 0) {
+            throw UsageError("bad " + key + " value " +
+                             std::to_string(v) +
+                             " (need a nonzero power of two)");
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+GridSpec::set(const std::string &key, const std::string &value)
+{
+    if (key == "b") {
+        branchSlots = rangeValue(key, value);
+        bSet = true;
+    } else if (key == "l") {
+        loadSlots = rangeValue(key, value);
+        lSet = true;
+    } else if (key == "isize") {
+        isizesKW = pow2Value(key, value);
+        isizeSet = true;
+    } else if (key == "dsize") {
+        dsizesKW = pow2Value(key, value);
+        dsizeSet = true;
+    } else if (key == "block") {
+        blockWords = pow2Value(key, value);
+    } else if (key == "penalty") {
+        penalties = rangeValue(key, value);
+    } else if (key == "repl") {
+        if (value == "lru") {
+            repl = cache::Replacement::LRU;
+        } else if (value == "random") {
+            repl = cache::Replacement::Random;
+        } else {
+            throw UsageError("bad repl '" + value +
+                             "' (need lru or random)");
+        }
+    } else if (key == "preset") {
+        if (value != "fig3" && value != "fig4" && value != "table6" &&
+            value != "paper") {
+            throw UsageError(
+                "unknown preset '" + value +
+                "' (known: fig3, fig4, table6, paper)");
+        }
+        preset = value;
+    } else {
+        throw UsageError("unknown grid key '" + key + "'");
+    }
+}
+
+void
+GridSpec::validate() const
+{
+    if (preset.empty())
+        return;
+    // The presets define their own grid; a range key they would
+    // silently ignore is a usage error, not a no-op.
+    if (bSet || lSet || isizeSet || dsizeSet) {
+        throw UsageError("preset defines its own grid and cannot be "
+                         "combined with b/l/isize/dsize");
+    }
+    if (blockWords.size() > 1 || penalties.size() > 1) {
+        throw UsageError("preset takes a single block/penalty value, "
+                         "not a range");
+    }
+}
+
+std::vector<core::DesignPoint>
+GridSpec::build() const
+{
+    validate();
+    // The presets reuse the experiment registry's shared grid, so a
+    // preset sweep is point-for-point the one figs 3/4 and Table 6
+    // read (and overlapping presets hit the engine's memo cache).
+    if (!preset.empty()) {
+        auto grid = core::experiments::sizeDepthGrid(
+            blockWords.front(), penalties.front());
+        for (core::DesignPoint &p : grid)
+            p.repl = repl;
+        return grid;
+    }
+
+    std::vector<core::DesignPoint> points;
+    for (const std::uint32_t b : branchSlots)
+        for (const std::uint32_t l : loadSlots)
+            for (const std::uint32_t ikw : isizesKW)
+                for (const std::uint32_t dkw : dsizesKW)
+                    for (const std::uint32_t bw : blockWords)
+                        for (const std::uint32_t pen : penalties) {
+                            core::DesignPoint p;
+                            p.branchSlots = b;
+                            p.loadSlots = l;
+                            p.l1iSizeKW = ikw;
+                            p.l1dSizeKW = dkw;
+                            p.blockWords = bw;
+                            p.missPenaltyCycles = pen;
+                            p.repl = repl;
+                            points.push_back(p);
+                        }
+    return points;
+}
+
+} // namespace pipecache::sweep

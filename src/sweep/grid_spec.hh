@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A declarative sweep grid: the cross product of the requested
+ * parameter ranges (branch slots x load slots x L1-I size x L1-D
+ * size x block size x miss penalty) or one of the paper presets.
+ *
+ * This is the single definition shared by the pipecache_sweep CLI
+ * flags and the pipecache_sweepd request protocol, so a daemon
+ * request of `b=0:3 isize=1,2,4,8` builds exactly the point list the
+ * CLI builds for `--b 0:3 --isize 1,2,4,8` — the property behind the
+ * daemon-vs-CLI byte-identity contract.
+ *
+ * set() applies one key=value pair and throws UsageError on a bad
+ * key or value; build() validates cross-key constraints (preset
+ * conflicts) and returns the point list in canonical nesting order.
+ */
+
+#ifndef PIPECACHE_SWEEP_GRID_SPEC_HH
+#define PIPECACHE_SWEEP_GRID_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.hh"
+
+namespace pipecache::sweep {
+
+/** The declarative grid. Defaults mirror the CLI defaults. */
+struct GridSpec
+{
+    std::vector<std::uint32_t> branchSlots{0, 1, 2, 3};
+    std::vector<std::uint32_t> loadSlots{0};
+    std::vector<std::uint32_t> isizesKW{1, 2, 4, 8, 16, 32};
+    std::vector<std::uint32_t> dsizesKW{8};
+    std::vector<std::uint32_t> blockWords{4};
+    std::vector<std::uint32_t> penalties{10};
+    cache::Replacement repl = cache::Replacement::LRU;
+    /** "", or fig3 | fig4 | table6 | paper (shared size x depth
+     *  grid); a preset owns the b/l/isize/dsize axes. */
+    std::string preset;
+
+    /** Range keys given explicitly (so a preset can reject the ones
+     *  it would otherwise silently ignore). */
+    bool bSet = false;
+    bool lSet = false;
+    bool isizeSet = false;
+    bool dsizeSet = false;
+
+    /**
+     * Apply one key=value pair. Keys: b, l, isize, dsize, block,
+     * penalty (RANGE = "lo:hi" or "a,b,c"; the cache-geometry keys
+     * additionally require nonzero powers of two), repl (lru |
+     * random), preset. Throws UsageError on an unknown key or a bad
+     * value.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /**
+     * Cross-key validation: a preset conflicts with explicit
+     * b/l/isize/dsize ranges and with multi-valued block/penalty.
+     * Throws UsageError. build() calls this itself; the CLI calls it
+     * early to fail before constructing models.
+     */
+    void validate() const;
+
+    /** The point list, canonical nesting order. Throws UsageError. */
+    std::vector<core::DesignPoint> build() const;
+
+    /** Sweep name the result JSON carries ("grid" or the preset). */
+    std::string name() const
+    {
+        return preset.empty() ? "grid" : preset;
+    }
+};
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_GRID_SPEC_HH

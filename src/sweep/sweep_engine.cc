@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "obs/stats_registry.hh"
@@ -81,18 +82,37 @@ SweepEngine::insert(const core::DesignPoint &point,
 std::vector<SweepRecord>
 SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
 {
+    RunOptions run;
+    run.onProgress = opts_.onProgress;
+    run.failFast = opts_.failFast;
+    run.checkpointPath = opts_.checkpointPath;
+    run.checkpointEvery = opts_.checkpointEvery;
+    run.resume = opts_.resume;
+    run.factored = opts_.factored;
+    return this->run(points, run).records;
+}
+
+RunResult
+SweepEngine::run(const std::vector<core::DesignPoint> &points,
+                 const RunOptions &run)
+{
     // Build the shared artifacts once, on this thread, before any
     // worker touches the model: evaluatePrepared() is only
-    // re-entrant with the lazy caches already populated.
+    // re-entrant with the lazy caches already populated. Concurrent
+    // runs on one engine must be serialized by the caller (the
+    // service daemon holds a per-engine mutex across run()).
     {
         obs::ScopedSpan span("sweep.prepare", "sweep");
-        if (opts_.factored)
+        if (run.factored)
             model_.cpiModel().prepareFactored(points);
         else
             model_.cpiModel().prepare(points);
     }
 
-    std::vector<SweepRecord> records(points.size());
+    RunResult result;
+    result.records.resize(points.size());
+    std::vector<SweepRecord> &records = result.records;
+    SweepStats &runStats = result.stats;
 
     // Duplicate detection in input order, so cache-hit metadata is a
     // function of the input alone (thread-count independent).
@@ -103,33 +123,62 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         core::PointMetrics metrics;
         double wallMs = 0.0;
         bool failed = false;
+        /** Evaluation (or restore) finished; false only when the run
+         *  was cancelled before this item started. Written by one
+         *  worker, read after the futures drain. */
+        bool done = false;
         std::string errorKind;
         std::string errorMessage;
     };
+    // firstSeen value for points served from a previous run's memo
+    // (no work item, but later duplicates must still classify as
+    // within-run duplicates under coldMetadata).
+    constexpr std::size_t kMemoServed =
+        std::numeric_limits<std::size_t>::max();
     std::vector<WorkItem> work;
     std::unordered_map<core::DesignPoint, std::size_t,
                        core::DesignPointHash> firstSeen;
     for (std::size_t i = 0; i < points.size(); ++i) {
         records[i].point = points[i];
+        const auto seen = firstSeen.find(points[i]);
+        const bool dup = seen != firstSeen.end();
         core::PointMetrics cached;
         if (lookup(points[i], cached)) {
             records[i].metrics = cached;
-            records[i].cacheHit = true;
+            // A warm engine serves the point from a previous run's
+            // memo; under coldMetadata only within-run duplicates
+            // count as hits, so the serialized output matches a cold
+            // process byte for byte.
+            records[i].cacheHit = run.coldMetadata ? dup : true;
             ++stats_.cacheHits;
+            if (dup) {
+                ++runStats.cacheHits;
+            } else {
+                firstSeen.emplace(points[i], kMemoServed);
+                ++result.memoHits;
+                if (run.coldMetadata)
+                    ++runStats.cacheMisses;
+                else
+                    ++runStats.cacheHits;
+            }
             continue;
         }
-        const auto seen = firstSeen.find(points[i]);
-        if (seen != firstSeen.end()) {
-            // Duplicate within this sweep: filled in after its first
-            // occurrence evaluates; still a hit.
+        if (dup) {
+            // Duplicate within this run: filled in after its first
+            // occurrence evaluates; still a hit. (A duplicate of a
+            // memo-served point always takes the lookup branch
+            // above, so seen->second indexes a real work item here.)
             work[seen->second].recordIdx.push_back(i);
             records[i].cacheHit = true;
             ++stats_.cacheHits;
+            ++runStats.cacheHits;
             continue;
         }
         firstSeen.emplace(points[i], work.size());
-        work.push_back({points[i], {i}, {}, 0.0, false, {}, {}});
+        work.push_back(
+            {points[i], {i}, {}, 0.0, false, false, {}, {}});
         ++stats_.cacheMisses;
+        ++runStats.cacheMisses;
     }
 
     auto &reg = obs::StatsRegistry::global();
@@ -139,6 +188,14 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         reg.addCounter("sweep.memo.hits", "points served from memo",
                        StatKind::Deterministic, serial_hits);
     }
+    if (result.memoHits > 0) {
+        // Warmth from earlier runs on this engine: the daemon's
+        // cross-request signal. Volatile — it depends on request
+        // history, not on this run's input.
+        reg.addCounter("sweep.memo.cross_request_hits",
+                       "points served from a previous run's memo",
+                       StatKind::Volatile, result.memoHits);
+    }
     if (!work.empty()) {
         reg.addCounter("sweep.memo.misses", "points simulated fresh",
                        StatKind::Deterministic, work.size());
@@ -147,7 +204,9 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     // Checkpointing: `doneFlags` (guarded by ckMutex) marks work
     // items whose results are final; a snapshot of the done subset is
     // atomically rewritten every checkpointEvery completions.
-    const bool checkpointing = !opts_.checkpointPath.empty();
+    const bool checkpointing = !run.checkpointPath.empty();
+    const std::size_t checkpointEvery =
+        run.checkpointEvery == 0 ? 1 : run.checkpointEvery;
     const std::uint64_t key =
         checkpointing ? gridKey(points, suiteKey_) : 0;
     std::vector<char> doneFlags(work.size(), 0);
@@ -171,17 +230,17 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
             entry.errorMessage = work[i].errorMessage;
             ck.entries.push_back(std::move(entry));
         }
-        saveCheckpoint(opts_.checkpointPath, ck);
+        saveCheckpoint(run.checkpointPath, ck);
     };
 
     std::size_t restored = 0;
-    if (checkpointing && opts_.resume) {
-        const bool exists = std::ifstream(opts_.checkpointPath).good();
+    if (checkpointing && run.resume) {
+        const bool exists = std::ifstream(run.checkpointPath).good();
         if (exists) {
             const Checkpoint ck =
-                loadCheckpoint(opts_.checkpointPath);
+                loadCheckpoint(run.checkpointPath);
             if (ck.gridKey != key || ck.uniquePoints != work.size()) {
-                throw DataError(opts_.checkpointPath, 0,
+                throw DataError(run.checkpointPath, 0,
                                 "checkpoint does not match this sweep "
                                 "(different grid or suite)");
             }
@@ -193,6 +252,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                 item.failed = entry.failed;
                 item.errorKind = entry.errorKind;
                 item.errorMessage = entry.errorMessage;
+                item.done = true;
                 doneFlags[entry.index] = 1;
                 ++restored;
             }
@@ -208,23 +268,42 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         if (!doneFlags[i])
             pendingIdx.push_back(i);
 
-    // Fan the pending points out in grain-sized chunks.
+    // Fan the pending points out in grain-sized chunks. A per-run
+    // thread budget is enforced by chunk sizing: at most threadBudget
+    // chunks exist, so the run occupies at most that many workers of
+    // the shared pool regardless of how idle the rest of it is.
+    std::size_t grain = opts_.grain;
+    if (run.threadBudget > 0 && !pendingIdx.empty()) {
+        const std::size_t perWorker =
+            (pendingIdx.size() + run.threadBudget - 1) /
+            run.threadBudget;
+        grain = std::max(grain, perWorker);
+    }
     const std::uint64_t replaysBefore = model_.cpiModel().engineReplays();
     std::atomic<std::size_t> completed{0};
     const std::size_t total = pendingIdx.size();
     std::vector<std::future<void>> futures;
     for (std::size_t begin = 0; begin < pendingIdx.size();
-         begin += opts_.grain) {
+         begin += grain) {
         const std::size_t end =
-            std::min(begin + opts_.grain, pendingIdx.size());
+            std::min(begin + grain, pendingIdx.size());
         futures.push_back(pool_.submit([this, &work, &pendingIdx,
                                         &completed, &doneFlags,
                                         &ckMutex, &sinceCheckpoint,
                                         &writeCheckpoint, checkpointing,
+                                        checkpointEvery, &run,
                                         total, begin, end]() {
             obs::ScopedSpan chunk("sweep.chunk", "sweep");
             auto &reg = obs::StatsRegistry::global();
             for (std::size_t pi = begin; pi < end; ++pi) {
+                // Cancellation: once the flag reads true no further
+                // points start; points already evaluated stay done
+                // (and checkpointed), so the flush on interrupt
+                // loses nothing.
+                if (run.cancel &&
+                    run.cancel->load(std::memory_order_relaxed)) {
+                    return;
+                }
                 const std::size_t w = pendingIdx[pi];
                 WorkItem &item = work[w];
                 obs::ScopedSpan span(
@@ -242,7 +321,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                     const core::CpiModel &cpiModel =
                         model_.cpiModel();
                     const core::CpiResult cpi =
-                        opts_.factored &&
+                        run.factored &&
                                 cpiModel.factorable(item.point)
                             ? cpiModel.evaluateFactored(item.point)
                             : cpiModel.evaluatePrepared(item.point);
@@ -250,13 +329,13 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                         cpi, model_.combineWithCpi(item.point,
                                                    cpi.cpi()));
                 } catch (const Error &e) {
-                    if (opts_.failFast)
+                    if (run.failFast)
                         throw;
                     item.failed = true;
                     item.errorKind = e.kindName();
                     item.errorMessage = e.what();
                 } catch (const std::exception &e) {
-                    if (opts_.failFast)
+                    if (run.failFast)
                         throw;
                     item.failed = true;
                     item.errorKind =
@@ -267,6 +346,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                 item.wallMs =
                     std::chrono::duration<double, std::milli>(t1 - t0)
                         .count();
+                item.done = true;
                 reg.addCounter("sweep.points.evaluated",
                                "unique design points simulated",
                                obs::StatKind::Deterministic);
@@ -282,7 +362,7 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                 if (checkpointing) {
                     std::lock_guard<std::mutex> lock(ckMutex);
                     doneFlags[w] = 1;
-                    if (++sinceCheckpoint >= opts_.checkpointEvery) {
+                    if (++sinceCheckpoint >= checkpointEvery) {
                         sinceCheckpoint = 0;
                         writeCheckpoint();
                     }
@@ -291,8 +371,8 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
                     completed.fetch_add(1,
                                         std::memory_order_acq_rel) +
                     1;
-                if (opts_.onProgress)
-                    opts_.onProgress(d, total);
+                if (run.onProgress)
+                    run.onProgress(d, total);
             }
         }));
     }
@@ -313,13 +393,16 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         std::rethrow_exception(firstError);
 
     // One final checkpoint so a crash between here and the caller's
-    // output write resumes instantly.
+    // output write resumes instantly (and so an interrupt below
+    // flushes every completed point before unwinding).
     if (checkpointing) {
         std::lock_guard<std::mutex> lock(ckMutex);
         writeCheckpoint();
     }
 
-    if (opts_.factored) {
+    const std::size_t evaluated =
+        completed.load(std::memory_order_acquire);
+    if (run.factored) {
         // Replays actually performed vs one-replay-per-point: the
         // count is a function of the grid alone (the claiming
         // protocol runs each component exactly once), so this stays
@@ -327,8 +410,9 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
         const std::uint64_t replayDelta =
             model_.cpiModel().engineReplays() - replaysBefore;
         const std::uint64_t saved =
-            total > replayDelta ? total - replayDelta : 0;
+            evaluated > replayDelta ? evaluated - replayDelta : 0;
         stats_.replaysSaved += saved;
+        runStats.replaysSaved = saved;
         reg.addCounter("sweep.replays_saved",
                        "full trace replays avoided by factored "
                        "evaluation",
@@ -336,13 +420,20 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
     }
 
     for (const WorkItem &item : work) {
+        // Items the cancellation flag kept from starting carry
+        // zero-valued metrics; they must reach neither the memo nor
+        // the records (the InterruptedError below discards them).
+        if (!item.done)
+            continue;
         if (item.failed) {
             // Never memoize a failure: a later sweep retries it.
             ++stats_.pointsFailed;
+            ++runStats.pointsFailed;
         } else {
             insert(item.point, item.metrics);
         }
         stats_.evalWallMs += item.wallMs;
+        runStats.evalWallMs += item.wallMs;
         reg.addScalar("sweep.eval_wall_ms",
                       "summed per-point evaluation wall time",
                       StatKind::Volatile, item.wallMs);
@@ -356,7 +447,18 @@ SweepEngine::sweep(const std::vector<core::DesignPoint> &points)
             first = false;
         }
     }
-    return records;
+
+    if (run.cancel && run.cancel->load(std::memory_order_relaxed) &&
+        evaluated < total) {
+        std::string msg =
+            "sweep interrupted after " +
+            std::to_string(restored + evaluated) + "/" +
+            std::to_string(work.size()) + " unique points";
+        if (checkpointing)
+            msg += "; checkpoint flushed";
+        throw InterruptedError(msg);
+    }
+    return result;
 }
 
 std::vector<core::PointMetrics>
@@ -369,11 +471,7 @@ SweepEngine::evaluateBatch(const std::vector<core::DesignPoint> &points)
         // error channel; zero-valued metrics would silently corrupt
         // their results, so surface the first failure instead.
         if (record.failed) {
-            throw Error(record.errorKind == "data" ? ErrorKind::Data
-                        : record.errorKind == "io" ? ErrorKind::Io
-                        : record.errorKind == "usage"
-                            ? ErrorKind::Usage
-                            : ErrorKind::Internal,
+            throw Error(errorKindFromName(record.errorKind),
                         "design point '" + record.point.describe() +
                             "' failed: " + record.errorMessage);
         }

@@ -26,12 +26,22 @@
  * write; `resume` skips the persisted points and — because metrics
  * round-trip bit-exactly — yields results byte-identical to an
  * uninterrupted run.
+ *
+ * Long-lived callers (the sweep service daemon) use the per-run
+ * entry point run(): the same evaluation machinery, but with per-run
+ * options (thread budget carved out of the shared pool, cancellation
+ * flag) and per-run result metadata. RunOptions::coldMetadata makes
+ * the run's records and stats a function of the request's input
+ * alone — a warm request reports exactly what a cold process would,
+ * so its serialized JSON is byte-identical to the CLI's, while
+ * RunResult::memoHits still exposes how much the warm memo served.
  */
 
 #ifndef PIPECACHE_SWEEP_SWEEP_ENGINE_HH
 #define PIPECACHE_SWEEP_SWEEP_ENGINE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -137,6 +147,55 @@ struct SweepStats
     }
 };
 
+/**
+ * Per-run options for SweepEngine::run(). Engine-level SweepOptions
+ * provide the defaults a plain sweep() call uses; a service daemon
+ * builds one of these per request.
+ */
+struct RunOptions
+{
+    /**
+     * Cap on the pool workers this run may occupy (0 = the whole
+     * pool). Implemented by chunk sizing: at most threadBudget chunks
+     * are created, so the run can never run on more workers than its
+     * budget even while other runs share the pool.
+     */
+    std::size_t threadBudget = 0;
+    std::function<void(std::size_t done, std::size_t total)> onProgress;
+    bool failFast = false;
+    std::string checkpointPath;
+    std::size_t checkpointEvery = 16;
+    bool resume = false;
+    bool factored = true;
+    /**
+     * Polled between point evaluations when non-null. Once it reads
+     * true, no further points start; in-flight points finish, the
+     * final checkpoint (when checkpointing) is flushed, and run()
+     * throws InterruptedError. The memo keeps every completed point.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Report records and stats as a cold engine would: cache_hit is
+     * true only for duplicates within this run's input, and
+     * RunResult::stats counts memo-served unique points as misses.
+     * Makes warm output a function of the input alone — byte-
+     * identical to a cold single-process run — with the actual memo
+     * service still visible in RunResult::memoHits.
+     */
+    bool coldMetadata = false;
+};
+
+/** Outcome of one run(). */
+struct RunResult
+{
+    std::vector<SweepRecord> records;
+    /** This run only (not engine-lifetime); see coldMetadata. */
+    SweepStats stats;
+    /** Unique points served from a previous run's memo — the
+     *  cross-request warmth a service daemon reports. */
+    std::uint64_t memoHits = 0;
+};
+
 /** The engine. Bound to one TpiModel (and thus one suite config). */
 class SweepEngine : public core::BatchPointEvaluator
 {
@@ -146,6 +205,10 @@ class SweepEngine : public core::BatchPointEvaluator
     /** Evaluate @p points; records come back in input order. */
     std::vector<SweepRecord>
     sweep(const std::vector<core::DesignPoint> &points);
+
+    /** Evaluate @p points under per-run options (see RunOptions). */
+    RunResult run(const std::vector<core::DesignPoint> &points,
+                  const RunOptions &run);
 
     /** BatchPointEvaluator: metrics only, input order. */
     std::vector<core::PointMetrics>

@@ -12,15 +12,25 @@
  * code.
  *
  * Kinds and their CLI exit codes:
- *   UsageError    (2) — the caller asked for something the simulator
- *                       cannot do (bad flag value, unknown benchmark).
- *   DataError     (3) — external input is malformed (bad din line,
- *                       corrupt trace stream, mismatched checkpoint);
- *                       carries the source name and line when known.
- *   IoError       (3) — the environment failed us (cannot open,
- *                       short write, rename failure).
- *   InternalError (1) — a bug or an injected fault; nothing the user
- *                       did wrong.
+ *   UsageError       (2) — the caller asked for something the
+ *                          simulator cannot do (bad flag value,
+ *                          unknown benchmark).
+ *   DataError        (3) — external input is malformed (bad din line,
+ *                          corrupt trace stream, mismatched
+ *                          checkpoint); carries the source name and
+ *                          line when known.
+ *   IoError          (3) — the environment failed us (cannot open,
+ *                          short write, rename failure).
+ *   InterruptedError (5) — the operation was cancelled mid-flight
+ *                          (SIGINT/SIGTERM on a sweep, a daemon
+ *                          client that went away); completed work is
+ *                          flushed before the throw.
+ *   UnavailableError (6) — a service declined the request under
+ *                          admission control (queue full, draining);
+ *                          the request itself was well-formed and may
+ *                          be retried later.
+ *   InternalError    (1) — a bug or an injected fault; nothing the
+ *                          user did wrong.
  *
  * Every subclass derives from std::runtime_error, so pre-taxonomy
  * call sites catching std::runtime_error keep working.
@@ -35,7 +45,15 @@
 
 namespace pipecache {
 
-enum class ErrorKind { Usage, Data, Io, Internal };
+enum class ErrorKind
+{
+    Usage,
+    Data,
+    Io,
+    Internal,
+    Interrupted,
+    Unavailable,
+};
 
 /** Short stable name, used in JSON results and CLI diagnostics. */
 constexpr const char *
@@ -48,6 +66,10 @@ errorKindName(ErrorKind kind)
         return "data";
     case ErrorKind::Io:
         return "io";
+    case ErrorKind::Interrupted:
+        return "interrupted";
+    case ErrorKind::Unavailable:
+        return "unavailable";
     default:
         return "internal";
     }
@@ -63,9 +85,34 @@ errorExitCode(ErrorKind kind)
     case ErrorKind::Data:
     case ErrorKind::Io:
         return 3;
+    case ErrorKind::Interrupted:
+        return 5;
+    case ErrorKind::Unavailable:
+        return 6;
     default:
         return 1;
     }
+}
+
+/**
+ * Inverse of errorKindName(), for re-raising errors that crossed a
+ * process or wire boundary as their kind name (daemon ERR lines,
+ * checkpoint fail entries). Unknown names map to Internal.
+ */
+inline ErrorKind
+errorKindFromName(const std::string &name)
+{
+    if (name == "usage")
+        return ErrorKind::Usage;
+    if (name == "data")
+        return ErrorKind::Data;
+    if (name == "io")
+        return ErrorKind::Io;
+    if (name == "interrupted")
+        return ErrorKind::Interrupted;
+    if (name == "unavailable")
+        return ErrorKind::Unavailable;
+    return ErrorKind::Internal;
 }
 
 /** Base of the taxonomy; what() is the full human-readable message. */
@@ -169,6 +216,30 @@ class IoError : public Error
 
   private:
     std::string path_;
+};
+
+/**
+ * The operation was cancelled before finishing (signal, client
+ * disconnect). Work completed so far has been flushed (checkpoint,
+ * memo cache) before this is thrown.
+ */
+class InterruptedError : public Error
+{
+  public:
+    explicit InterruptedError(const std::string &msg)
+        : Error(ErrorKind::Interrupted, msg)
+    {
+    }
+};
+
+/** A service declined the request (admission control, draining). */
+class UnavailableError : public Error
+{
+  public:
+    explicit UnavailableError(const std::string &msg)
+        : Error(ErrorKind::Unavailable, msg)
+    {
+    }
 };
 
 /** A bug (or an injected fault) — nothing the user did wrong. */

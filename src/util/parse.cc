@@ -1,0 +1,85 @@
+#include "util/parse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace pipecache::util {
+
+bool
+parseU32(const std::string &tok, std::uint32_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (errno != 0 || end == tok.c_str() || *end != '\0' ||
+        v > 0xffffffffUL) {
+        return false;
+    }
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseSize(const std::string &tok, std::size_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v =
+        std::strtoull(tok.c_str(), &end, 10);
+    if (errno != 0 || end == tok.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool
+parseRange(const std::string &spec, std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        if (!parseU32(spec.substr(0, colon), lo) ||
+            !parseU32(spec.substr(colon + 1), hi) || hi < lo) {
+            return false;
+        }
+        for (std::uint32_t v = lo; v <= hi; ++v)
+            out.push_back(v);
+        return true;
+    }
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const auto comma = spec.find(',', begin);
+        const auto end =
+            comma == std::string::npos ? spec.size() : comma;
+        std::uint32_t v = 0;
+        if (!parseU32(spec.substr(begin, end - begin), v))
+            return false;
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return !out.empty();
+}
+
+bool
+parseFiniteDouble(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace pipecache::util

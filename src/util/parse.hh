@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small strict string-to-number parsers shared by the CLI tools and
+ * the sweep-service protocol. All of them validate the full token —
+ * trailing junk, overflow, and empty input are failures, never a
+ * silently truncated value.
+ */
+
+#ifndef PIPECACHE_UTIL_PARSE_HH
+#define PIPECACHE_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipecache::util {
+
+/** Parse a full decimal token into a uint32; false on any junk. */
+bool parseU32(const std::string &tok, std::uint32_t &out);
+
+/** Parse a full decimal token into a size_t; false on any junk. */
+bool parseSize(const std::string &tok, std::size_t &out);
+
+/**
+ * Parse "lo:hi" (inclusive) or "a,b,c" into a list. False on
+ * malformed input, an empty list, or hi < lo.
+ */
+bool parseRange(const std::string &spec,
+                std::vector<std::uint32_t> &out);
+
+/**
+ * Parse a full floating-point token; false on junk or a non-finite
+ * value (strtod accepts "nan"/"inf", which defeat range checks).
+ */
+bool parseFiniteDouble(const std::string &tok, double &out);
+
+} // namespace pipecache::util
+
+#endif // PIPECACHE_UTIL_PARSE_HH

@@ -172,7 +172,7 @@ TEST(FuzzerTest, UnknownOracleNameIsAUsageError)
 {
     EXPECT_THROW(makeOracles({"nosuch"}), UsageError);
     EXPECT_EQ(makeOracles({"checkpoint", "stack"}).size(), 2u);
-    EXPECT_EQ(makeOracles().size(), 5u);
+    EXPECT_EQ(makeOracles().size(), 6u);
 }
 
 TEST(FuzzerTest, SeededRunIsCleanAndDeterministic)

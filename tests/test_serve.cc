@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Tests for the sweep service subsystem: protocol parse/format round
+ * trips, SweepService admission control and cancellation, the
+ * daemon-vs-cold-CLI byte-identity contract (sequential, warm, and
+ * under concurrency), the bounded factored component cache, and a
+ * socket-level end-to-end pass through SweepServer + SweepClient —
+ * including a client that disconnects mid-stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/cpi_model.hh"
+#include "core/tpi_model.hh"
+#include "obs/stats_registry.hh"
+#include "serve/client.hh"
+#include "serve/fd_io.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "sweep/result_sink.hh"
+#include "sweep/sweep_engine.hh"
+#include "util/error.hh"
+
+namespace pipecache::serve {
+namespace {
+
+core::SuiteConfig
+tinySuite()
+{
+    core::SuiteConfig config;
+    config.scaleDivisor = 10000.0;
+    config.quantum = 5000;
+    config.benchmarks = {"small", "linpack", "yacc"};
+    return config;
+}
+
+std::vector<core::DesignPoint>
+smallGrid()
+{
+    std::vector<core::DesignPoint> points;
+    for (std::uint32_t kw : {1u, 2u, 4u}) {
+        for (std::uint32_t b = 0; b <= 3; ++b) {
+            core::DesignPoint p;
+            p.l1iSizeKW = kw;
+            p.branchSlots = b;
+            p.loadSlots = 0;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+/** What a cold single-threaded CLI run would print for @p points. */
+std::string
+coldJson(const core::SuiteConfig &suite,
+         const std::vector<core::DesignPoint> &points,
+         const std::string &name)
+{
+    core::CpiModel cpi(suite);
+    core::TpiModel tpi(cpi);
+    sweep::SweepOptions opts;
+    opts.threads = 1;
+    sweep::SweepEngine engine(tpi, opts);
+    const auto records = engine.sweep(points);
+    return sweep::jsonString(name, records, engine.stats());
+}
+
+// --- protocol ---------------------------------------------------------
+
+TEST(ServeProtocolTest, ParsesBareVerbs)
+{
+    EXPECT_EQ(parseRequest("PING").verb, Verb::Ping);
+    EXPECT_EQ(parseRequest("STATUS").verb, Verb::Status);
+    EXPECT_EQ(parseRequest("SHUTDOWN").verb, Verb::Shutdown);
+    EXPECT_EQ(parseRequest("  PING  ").verb, Verb::Ping);
+    EXPECT_THROW(parseRequest("PING now"), UsageError);
+    EXPECT_THROW(parseRequest(""), UsageError);
+    EXPECT_THROW(parseRequest("ping"), UsageError);
+    EXPECT_THROW(parseRequest("EVALUATE"), UsageError);
+}
+
+TEST(ServeProtocolTest, ParsesSweepKeys)
+{
+    const Request req = parseRequest(
+        "SWEEP scale=500 threads=2 progress=1 factored=0 "
+        "b=0:1 isize=1,2");
+    ASSERT_EQ(req.verb, Verb::Sweep);
+    EXPECT_DOUBLE_EQ(req.sweep.scaleDivisor, 500.0);
+    EXPECT_EQ(req.sweep.threads, 2u);
+    EXPECT_TRUE(req.sweep.progress);
+    EXPECT_FALSE(req.sweep.factored);
+    // b in {0,1} x isize in {1,2} x defaults (one d size, one block,
+    // one penalty).
+    EXPECT_EQ(req.sweep.grid.build().size(), 4u);
+
+    // Defaults: the bare verb is the CLI's default grid.
+    const Request bare = parseRequest("SWEEP");
+    EXPECT_DOUBLE_EQ(bare.sweep.scaleDivisor, 2000.0);
+    EXPECT_EQ(bare.sweep.threads, 0u);
+    EXPECT_FALSE(bare.sweep.progress);
+    EXPECT_TRUE(bare.sweep.factored);
+    EXPECT_EQ(bare.sweep.grid.build(),
+              sweep::GridSpec{}.build());
+}
+
+TEST(ServeProtocolTest, RejectsMalformedSweeps)
+{
+    EXPECT_THROW(parseRequest("SWEEP bogus=1"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP noequals"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP scale=nan"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP scale=0.5"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP progress=2"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP b=zero:3"), UsageError);
+    // Cross-key validation runs too (preset owns the b axis).
+    EXPECT_THROW(parseRequest("SWEEP preset=fig3 b=0:3"), UsageError);
+}
+
+TEST(ServeProtocolTest, ErrLineRoundTrip)
+{
+    const std::string line =
+        errLine(ErrorKind::Unavailable, "queue\nfull");
+    // oneLine() collapsed the newline: ERR stays one line on the wire.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_THROW(raiseErrLine(line), UnavailableError);
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Usage, "m")),
+                 UsageError);
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Data, "m")),
+                 DataError);
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Io, "m")), IoError);
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Interrupted, "m")),
+                 InterruptedError);
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Internal, "m")),
+                 InternalError);
+    EXPECT_THROW(raiseErrLine("DONE evaluated=3"), IoError);
+
+    try {
+        raiseErrLine(errLine(ErrorKind::Unavailable,
+                             "admission queue full"));
+        FAIL() << "raiseErrLine returned";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Unavailable);
+        EXPECT_STREQ(e.what(), "admission queue full");
+    }
+}
+
+TEST(ServeProtocolTest, SplitKeyValue)
+{
+    std::string k;
+    std::string v;
+    ASSERT_TRUE(splitKeyValue("b=0:3", k, v));
+    EXPECT_EQ(k, "b");
+    EXPECT_EQ(v, "0:3");
+    ASSERT_TRUE(splitKeyValue("scale=", k, v));
+    EXPECT_EQ(v, "");
+    EXPECT_FALSE(splitKeyValue("noequals", k, v));
+    EXPECT_FALSE(splitKeyValue("=value", k, v));
+}
+
+// --- service ----------------------------------------------------------
+
+TEST(SweepServiceTest, WarmAndConcurrentRequestsStayColdIdentical)
+{
+    const auto suite = tinySuite();
+    const auto points = smallGrid();
+    const std::string ref = coldJson(suite, points, "grid");
+
+    ServiceOptions opts;
+    opts.threads = 2;
+    opts.maxInflight = 2;
+    opts.maxQueued = 8;
+    opts.componentCacheLimit = 4;
+    SweepService service(opts);
+
+    // Four concurrent requests against the same (cold) suite state.
+    std::vector<std::string> jsons(4);
+    std::vector<std::string> errors(4);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < jsons.size(); ++i) {
+        threads.emplace_back([&, i] {
+            try {
+                jsons[i] =
+                    service.runPoints(points, "grid", suite, 0, true)
+                        .json;
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (std::size_t i = 0; i < jsons.size(); ++i) {
+        EXPECT_EQ(errors[i], "") << "request " << i;
+        EXPECT_EQ(jsons[i], ref) << "request " << i;
+    }
+
+    // A warm follow-up is byte-identical and fully memo-served.
+    const SweepResponse warm =
+        service.runPoints(points, "grid", suite, 0, true);
+    EXPECT_EQ(warm.json, ref);
+    EXPECT_EQ(warm.memoHits,
+              warm.stats.cacheMisses - warm.stats.pointsFailed);
+    EXPECT_GT(warm.memoHits, 0u);
+
+    // Thread budget must not leak into the payload either.
+    EXPECT_EQ(service.runPoints(points, "grid", suite, 1, true).json,
+              ref);
+    EXPECT_EQ(service.runPoints(points, "grid", suite, 4, false).json,
+              ref);
+
+    EXPECT_GE(service.requestsAdmitted(), 7u);
+}
+
+TEST(SweepServiceTest, AdmissionRejectsWhenFull)
+{
+    const auto suite = tinySuite();
+    const auto points = smallGrid();
+
+    ServiceOptions opts;
+    opts.threads = 1;
+    opts.maxInflight = 1;
+    opts.maxQueued = 0;
+    SweepService service(opts);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool inEval = false;
+    bool release = false;
+
+    // Occupy the only slot: the progress callback parks the sweep
+    // mid-evaluation until we let it go.
+    std::thread holder([&] {
+        service.runPoints(
+            points, "grid", suite, 1, true,
+            [&](std::size_t, std::size_t) {
+                std::unique_lock<std::mutex> lock(m);
+                inEval = true;
+                cv.notify_all();
+                cv.wait(lock, [&] { return release; });
+            });
+    });
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return inEval; });
+    }
+
+    try {
+        service.runPoints(points, "grid", suite, 1, true);
+        FAIL() << "second request was admitted past the queue bound";
+    } catch (const UnavailableError &e) {
+        EXPECT_NE(std::string(e.what()).find("admission queue full"),
+                  std::string::npos);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+        cv.notify_all();
+    }
+    holder.join();
+
+    // The rejection left the service healthy.
+    const SweepResponse after =
+        service.runPoints(points, "grid", suite, 1, true);
+    EXPECT_EQ(after.json, coldJson(suite, points, "grid"));
+    EXPECT_NE(service.statusLine().find("rejected=1"),
+              std::string::npos);
+}
+
+TEST(SweepServiceTest, QueuedRequestHonorsCancel)
+{
+    const auto suite = tinySuite();
+    const auto points = smallGrid();
+
+    ServiceOptions opts;
+    opts.threads = 1;
+    opts.maxInflight = 1;
+    opts.maxQueued = 4;
+    SweepService service(opts);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool inEval = false;
+    bool release = false;
+    std::thread holder([&] {
+        service.runPoints(
+            points, "grid", suite, 1, true,
+            [&](std::size_t, std::size_t) {
+                std::unique_lock<std::mutex> lock(m);
+                inEval = true;
+                cv.notify_all();
+                cv.wait(lock, [&] { return release; });
+            });
+    });
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return inEval; });
+    }
+
+    // The second request queues behind the parked one; its client
+    // vanishing (cancel flag) must pull it back out of the queue.
+    std::atomic<bool> cancel{false};
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        cancel.store(true);
+    });
+    EXPECT_THROW(service.runPoints(points, "grid", suite, 1, true,
+                                   nullptr, &cancel),
+                 InterruptedError);
+    canceller.join();
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+        cv.notify_all();
+    }
+    holder.join();
+    EXPECT_NE(service.statusLine().find("cancelled=1"),
+              std::string::npos);
+}
+
+TEST(SweepServiceTest, DrainRejectsNewRequests)
+{
+    SweepService service;
+    service.beginDrain();
+    EXPECT_TRUE(service.draining());
+    EXPECT_THROW(service.runPoints(smallGrid(), "grid", tinySuite(),
+                                   1, true),
+                 UnavailableError);
+    EXPECT_NE(service.statusLine().find("draining=1"),
+              std::string::npos);
+}
+
+TEST(SweepServiceTest, BoundedComponentCacheEvicts)
+{
+    const auto suite = tinySuite();
+    const auto points = smallGrid();
+
+    ServiceOptions opts;
+    opts.threads = 1;
+    opts.componentCacheLimit = 2;
+    SweepService service(opts);
+
+    auto &reg = obs::StatsRegistry::global();
+    const std::uint64_t before =
+        reg.counterValue("sweep.memo_evictions");
+    const SweepResponse resp =
+        service.runPoints(points, "grid", suite, 1, true);
+    const std::uint64_t after =
+        reg.counterValue("sweep.memo_evictions");
+
+    // 12 points worth of branch/pass components through a 2-entry
+    // cache must evict — and eviction must not bend the payload.
+    EXPECT_GT(after, before);
+    EXPECT_EQ(resp.json, coldJson(suite, points, "grid"));
+}
+
+TEST(SweepServiceTest, EmptyGridIsAUsageError)
+{
+    SweepService service;
+    EXPECT_THROW(service.runPoints({}, "grid", tinySuite(), 1, true),
+                 UsageError);
+}
+
+// --- server + client (socket end to end) ------------------------------
+
+/** Raw loopback connect, for the abrupt-disconnect test. */
+int
+rawConnect(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(SweepServerTest, EndToEndOverTcp)
+{
+    ServiceOptions sopts;
+    sopts.threads = 2;
+    sopts.maxInflight = 2;
+    SweepService service(sopts);
+
+    ServerOptions opts;
+    opts.tcpPort = 0; // ephemeral
+    SweepServer server(service, opts);
+    server.start();
+    ASSERT_GT(server.tcpPort(), 0);
+    std::thread loop([&] { server.serve(); });
+
+    const std::string args =
+        "scale=10000 threads=1 progress=1 b=0:1 isize=1,2";
+    {
+        SweepClient client = SweepClient::connectTcp(server.tcpPort());
+        EXPECT_EQ(client.command("PING"), "pong");
+
+        // Cold request: payload byte-identical to the cold CLI run of
+        // the same grid at the same scale.
+        sweep::GridSpec grid;
+        grid.set("b", "0:1");
+        grid.set("isize", "1,2");
+        core::SuiteConfig suite;
+        suite.scaleDivisor = 10000.0;
+        const std::string ref =
+            coldJson(suite, grid.build(), grid.name());
+
+        std::size_t lastDone = 0;
+        std::size_t lastTotal = 0;
+        const SweepOutcome cold = client.sweep(
+            args, [&](std::size_t done, std::size_t total) {
+                lastDone = done;
+                lastTotal = total;
+            });
+        EXPECT_EQ(cold.json, ref);
+        EXPECT_EQ(cold.points, 4u);
+        EXPECT_EQ(cold.failed, 0u);
+        EXPECT_EQ(cold.crossHits, 0u);
+        EXPECT_EQ(lastDone, lastTotal);
+        EXPECT_GT(lastTotal, 0u);
+
+        // Warm request on the same connection: identical bytes, and
+        // the DONE line owns up to the cross-request memo hits.
+        const SweepOutcome warm = client.sweep(args);
+        EXPECT_EQ(warm.json, ref);
+        EXPECT_GT(warm.crossHits, 0u);
+
+        // Protocol errors come back typed, and the connection
+        // survives them.
+        EXPECT_THROW(client.sweep("bogus=1"), UsageError);
+        EXPECT_THROW(client.sweep("scale=nan"), UsageError);
+        EXPECT_EQ(client.command("PING"), "pong");
+
+        const std::string status = client.command("STATUS");
+        EXPECT_NE(status.find("admitted="), std::string::npos);
+        EXPECT_NE(status.find("draining=0"), std::string::npos);
+    }
+
+    // A client that sends a sweep and slams the connection shut must
+    // not take the daemon down (the write failure becomes request
+    // cancellation).
+    {
+        const int fd = rawConnect(server.tcpPort());
+        ASSERT_GE(fd, 0);
+        FdStream io(fd);
+        io.writeLine("SWEEP scale=10000 threads=1 progress=1");
+        std::string ack;
+        ASSERT_TRUE(io.readLine(ack));
+        EXPECT_EQ(ack.rfind("ACK ", 0), 0u) << ack;
+        ::close(fd);
+    }
+
+    // The daemon still serves after the disconnect.
+    {
+        SweepClient client = SweepClient::connectTcp(server.tcpPort());
+        EXPECT_EQ(client.command("PING"), "pong");
+        const SweepOutcome again = client.sweep(args);
+        EXPECT_EQ(again.points, 4u);
+        EXPECT_EQ(client.command("SHUTDOWN"), "draining");
+    }
+
+    loop.join();
+    EXPECT_TRUE(service.draining());
+
+    // Drained: the listener is gone.
+    EXPECT_LT(rawConnect(server.tcpPort()), 0);
+}
+
+} // namespace
+} // namespace pipecache::serve

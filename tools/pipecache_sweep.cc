@@ -27,17 +27,23 @@
  * are written atomically (temp + fsync + rename), so a kill mid-write
  * never leaves a truncated artifact.
  *
+ * SIGINT/SIGTERM are handled cooperatively: in-flight points finish,
+ * the current checkpoint (with --checkpoint) is flushed, and the tool
+ * exits 5 — so an interrupted long sweep resumes from where it
+ * stopped instead of losing the partial work.
+ *
  * Exit codes: 0 success; 1 internal error; 2 usage error; 3 data or
- * I/O error; 4 sweep completed but some points failed.
+ * I/O error; 4 sweep completed but some points failed; 5 interrupted
+ * by a signal (completed work checkpointed when enabled).
  */
 
-#include <cerrno>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -45,15 +51,16 @@
 #include <string>
 #include <vector>
 
-#include "core/experiments.hh"
 #include "obs/env.hh"
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
+#include "sweep/grid_spec.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
 #include "util/atomic_file.hh"
 #include "util/error.hh"
 #include "util/fault_injection.hh"
+#include "util/parse.hh"
 
 namespace {
 
@@ -63,21 +70,24 @@ using pipecache::core::DesignPoint;
  *  low enough that a typo can't exhaust the OS spawning std::threads. */
 constexpr std::uint32_t kMaxThreads = 512;
 
+/** Set by the SIGINT/SIGTERM handler; polled by the sweep engine
+ *  between point evaluations. */
+std::atomic<bool> g_cancel{false};
+
+void
+onSignal(int)
+{
+    g_cancel.store(true, std::memory_order_relaxed);
+}
+
 struct CliOptions
 {
-    std::vector<std::uint32_t> branchSlots{0, 1, 2, 3};
-    std::vector<std::uint32_t> loadSlots{0};
-    std::vector<std::uint32_t> isizesKW{1, 2, 4, 8, 16, 32};
-    std::vector<std::uint32_t> dsizesKW{8};
-    std::vector<std::uint32_t> blockWords{4};
-    std::vector<std::uint32_t> penalties{10};
-    pipecache::cache::Replacement repl =
-        pipecache::cache::Replacement::LRU;
+    /** Grid ranges/preset (shared definition with the sweep daemon). */
+    pipecache::sweep::GridSpec grid;
     double scaleDivisor = 2000.0;
     std::size_t threads = 0; // 0 = hardware concurrency
     std::string outPath = "-";
     std::string csvPath;
-    std::string preset;
     /** Stats/trace outputs; the environment provides the defaults so
      *  PIPECACHE_STATS/PIPECACHE_TRACE work here like in the benches
      *  (but the tool dumps explicitly, not via atexit). */
@@ -92,12 +102,6 @@ struct CliOptions
     bool resume = false;
     bool failFast = false;
     bool factored = true;
-    // Range flags given explicitly, so --preset can reject the ones it
-    // would otherwise silently ignore.
-    bool bSet = false;
-    bool lSet = false;
-    bool isizeSet = false;
-    bool dsizeSet = false;
 };
 
 [[noreturn]] void
@@ -146,58 +150,10 @@ usage(const char *argv0, int code)
        << "                   evaluation; same results, slower\n"
        << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n"
        << "Exit codes: 0 ok; 1 internal error; 2 usage error;\n"
-       << "3 data/io error; 4 completed with failed points.\n";
+       << "3 data/io error; 4 completed with failed points;\n"
+       << "5 interrupted by SIGINT/SIGTERM (completed work is\n"
+       << "checkpointed first when --checkpoint is on).\n";
     std::exit(code);
-}
-
-/** strtoul with full-token validation. */
-bool
-parseU32(const std::string &tok, std::uint32_t &out)
-{
-    if (tok.empty())
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
-    if (errno != 0 || end == tok.c_str() || *end != '\0' ||
-        v > 0xffffffffUL) {
-        return false;
-    }
-    out = static_cast<std::uint32_t>(v);
-    return true;
-}
-
-/** Parse "lo:hi" or "a,b,c" into a list. */
-bool
-parseRange(const std::string &spec, std::vector<std::uint32_t> &out)
-{
-    out.clear();
-    const auto colon = spec.find(':');
-    if (colon != std::string::npos) {
-        std::uint32_t lo = 0;
-        std::uint32_t hi = 0;
-        if (!parseU32(spec.substr(0, colon), lo) ||
-            !parseU32(spec.substr(colon + 1), hi) || hi < lo) {
-            return false;
-        }
-        for (std::uint32_t v = lo; v <= hi; ++v)
-            out.push_back(v);
-        return true;
-    }
-    std::size_t begin = 0;
-    while (begin <= spec.size()) {
-        const auto comma = spec.find(',', begin);
-        const auto end =
-            comma == std::string::npos ? spec.size() : comma;
-        std::uint32_t v = 0;
-        if (!parseU32(spec.substr(begin, end - begin), v))
-            return false;
-        out.push_back(v);
-        if (comma == std::string::npos)
-            break;
-        begin = comma + 1;
-    }
-    return !out.empty();
 }
 
 CliOptions
@@ -217,24 +173,16 @@ parseArgs(int argc, char **argv)
         }
         return argv[++i];
     };
-    auto rangeArg = [&](int &i, std::vector<std::uint32_t> &out) {
+    // Grid flags delegate to the shared GridSpec (the same parser the
+    // sweep daemon's protocol uses); its UsageError carries the
+    // specific complaint.
+    auto gridArg = [&](int &i, const char *key) {
         const std::string spec = next(i);
-        if (!parseRange(spec, out)) {
-            std::cerr << argv[0] << ": bad range '" << spec << "'\n";
+        try {
+            opts.grid.set(key, spec);
+        } catch (const pipecache::Error &e) {
+            std::cerr << argv[0] << ": " << e.what() << "\n";
             usage(argv[0], 2);
-        }
-    };
-    // Cache geometry flags: the simulator asserts on sizes that are
-    // not powers of two, so reject them here with a usage error.
-    auto pow2Arg = [&](int &i, std::vector<std::uint32_t> &out) {
-        const std::string flag = argv[i];
-        rangeArg(i, out);
-        for (const std::uint32_t v : out) {
-            if (v == 0 || (v & (v - 1)) != 0) {
-                std::cerr << argv[0] << ": bad " << flag << " value "
-                          << v << " (need a nonzero power of two)\n";
-                usage(argv[0], 2);
-            }
         }
     };
 
@@ -243,40 +191,25 @@ parseArgs(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else if (arg == "--b") {
-            rangeArg(i, opts.branchSlots);
-            opts.bSet = true;
+            gridArg(i, "b");
         } else if (arg == "--l") {
-            rangeArg(i, opts.loadSlots);
-            opts.lSet = true;
+            gridArg(i, "l");
         } else if (arg == "--isize") {
-            pow2Arg(i, opts.isizesKW);
-            opts.isizeSet = true;
+            gridArg(i, "isize");
         } else if (arg == "--dsize") {
-            pow2Arg(i, opts.dsizesKW);
-            opts.dsizeSet = true;
+            gridArg(i, "dsize");
         } else if (arg == "--block") {
-            pow2Arg(i, opts.blockWords);
+            gridArg(i, "block");
         } else if (arg == "--penalty") {
-            rangeArg(i, opts.penalties);
+            gridArg(i, "penalty");
         } else if (arg == "--repl") {
-            const std::string spec = next(i);
-            if (spec == "lru") {
-                opts.repl = pipecache::cache::Replacement::LRU;
-            } else if (spec == "random") {
-                opts.repl = pipecache::cache::Replacement::Random;
-            } else {
-                std::cerr << argv[0] << ": bad --repl '" << spec
-                          << "' (need lru or random)\n";
-                usage(argv[0], 2);
-            }
+            gridArg(i, "repl");
+        } else if (arg == "--preset") {
+            gridArg(i, "preset");
         } else if (arg == "--scale") {
             const std::string spec = next(i);
-            char *end = nullptr;
-            opts.scaleDivisor = std::strtod(spec.c_str(), &end);
-            // strtod accepts "nan"/"inf", and NaN slips through a
-            // plain `< 1.0` comparison — require a finite value.
-            if (end == spec.c_str() || *end != '\0' ||
-                !std::isfinite(opts.scaleDivisor) ||
+            if (!pipecache::util::parseFiniteDouble(
+                    spec, opts.scaleDivisor) ||
                 opts.scaleDivisor < 1.0) {
                 std::cerr << argv[0] << ": bad --scale '" << spec
                           << "' (need a finite number >= 1)\n";
@@ -284,7 +217,8 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--threads") {
             std::uint32_t v = 0;
-            if (!parseU32(next(i), v) || v > kMaxThreads) {
+            if (!pipecache::util::parseU32(next(i), v) ||
+                v > kMaxThreads) {
                 std::cerr << argv[0] << ": bad --threads (need 0.."
                           << kMaxThreads << ")\n";
                 usage(argv[0], 2);
@@ -294,8 +228,6 @@ parseArgs(int argc, char **argv)
             opts.outPath = next(i);
         } else if (arg == "--csv") {
             opts.csvPath = next(i);
-        } else if (arg == "--preset") {
-            opts.preset = next(i);
         } else if (arg == "--stats-out") {
             opts.statsPath = next(i);
         } else if (arg == "--trace-out") {
@@ -312,7 +244,7 @@ parseArgs(int argc, char **argv)
             opts.checkpointPath = next(i);
         } else if (arg == "--checkpoint-every") {
             std::uint32_t v = 0;
-            if (!parseU32(next(i), v) || v == 0) {
+            if (!pipecache::util::parseU32(next(i), v) || v == 0) {
                 std::cerr << argv[0]
                           << ": bad --checkpoint-every (need >= 1)\n";
                 usage(argv[0], 2);
@@ -330,66 +262,17 @@ parseArgs(int argc, char **argv)
             usage(argv[0], 2);
         }
     }
-    if (!opts.preset.empty()) {
-        // The presets define their own grid; a range flag they would
-        // silently ignore is a usage error, not a no-op.
-        if (opts.bSet || opts.lSet || opts.isizeSet || opts.dsizeSet) {
-            std::cerr << argv[0]
-                      << ": --preset defines its own grid and cannot "
-                         "be combined with --b/--l/--isize/--dsize\n";
-            usage(argv[0], 2);
-        }
-        if (opts.blockWords.size() > 1 || opts.penalties.size() > 1) {
-            std::cerr << argv[0]
-                      << ": --preset takes a single --block/--penalty "
-                         "value, not a range\n";
-            usage(argv[0], 2);
-        }
+    try {
+        opts.grid.validate();
+    } catch (const pipecache::Error &e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        usage(argv[0], 2);
     }
     if (opts.resume && opts.checkpointPath.empty()) {
         std::cerr << argv[0] << ": --resume needs --checkpoint\n";
         usage(argv[0], 2);
     }
     return opts;
-}
-
-std::vector<DesignPoint>
-buildGrid(const CliOptions &opts)
-{
-    // The presets reuse the experiment registry's shared grid, so a
-    // preset sweep is point-for-point the one figs 3/4 and Table 6
-    // read (and overlapping presets hit the engine's memo cache).
-    if (!opts.preset.empty()) {
-        if (opts.preset == "fig3" || opts.preset == "fig4" ||
-            opts.preset == "table6" || opts.preset == "paper") {
-            auto grid = pipecache::core::experiments::sizeDepthGrid(
-                opts.blockWords.front(), opts.penalties.front());
-            for (DesignPoint &p : grid)
-                p.repl = opts.repl;
-            return grid;
-        }
-        std::cerr << "unknown preset '" << opts.preset << "'\n";
-        std::exit(2);
-    }
-
-    std::vector<DesignPoint> points;
-    for (const std::uint32_t b : opts.branchSlots)
-        for (const std::uint32_t l : opts.loadSlots)
-            for (const std::uint32_t ikw : opts.isizesKW)
-                for (const std::uint32_t dkw : opts.dsizesKW)
-                    for (const std::uint32_t bw : opts.blockWords)
-                        for (const std::uint32_t pen : opts.penalties) {
-                            DesignPoint p;
-                            p.branchSlots = b;
-                            p.loadSlots = l;
-                            p.l1iSizeKW = ikw;
-                            p.l1dSizeKW = dkw;
-                            p.blockWords = bw;
-                            p.missPenaltyCycles = pen;
-                            p.repl = opts.repl;
-                            points.push_back(p);
-                        }
-    return points;
 }
 
 /**
@@ -471,7 +354,7 @@ run(int argc, char **argv)
     using namespace pipecache;
 
     const CliOptions opts = parseArgs(argc, argv);
-    const std::vector<DesignPoint> points = buildGrid(opts);
+    const std::vector<DesignPoint> points = opts.grid.build();
     if (points.empty()) {
         std::cerr << "empty sweep grid\n";
         return 2;
@@ -482,6 +365,13 @@ run(int argc, char **argv)
     if (!opts.tracePath.empty())
         obs::Tracer::global().enable();
 
+    // Cooperative interruption: the engine finishes in-flight points,
+    // flushes the checkpoint, and throws InterruptedError (exit 5).
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
     core::SuiteConfig suite;
     suite.scaleDivisor = opts.scaleDivisor;
     core::CpiModel cpi(suite);
@@ -490,40 +380,45 @@ run(int argc, char **argv)
     ProgressReporter progress;
     sweep::SweepOptions engine_opts;
     engine_opts.threads = opts.threads;
-    engine_opts.failFast = opts.failFast;
-    engine_opts.checkpointPath = opts.checkpointPath;
-    engine_opts.checkpointEvery = opts.checkpointEvery;
-    engine_opts.resume = opts.resume;
-    engine_opts.factored = opts.factored;
+    sweep::SweepEngine engine(tpi, engine_opts);
+
+    sweep::RunOptions run_opts;
+    run_opts.failFast = opts.failFast;
+    run_opts.checkpointPath = opts.checkpointPath;
+    run_opts.checkpointEvery = opts.checkpointEvery;
+    run_opts.resume = opts.resume;
+    run_opts.factored = opts.factored;
+    run_opts.cancel = &g_cancel;
+    // A fresh engine is cold by definition; coldMetadata keeps the
+    // reported stats identical to the historical sweep() path.
+    run_opts.coldMetadata = true;
     if (opts.progress) {
-        engine_opts.onProgress = [&progress](std::size_t done,
-                                             std::size_t total) {
+        run_opts.onProgress = [&progress](std::size_t done,
+                                          std::size_t total) {
             progress.report(done, total);
         };
     }
-    sweep::SweepEngine engine(tpi, engine_opts);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<sweep::SweepRecord> records =
-        engine.sweep(points);
+    const sweep::RunResult result = engine.run(points, run_opts);
+    const std::vector<sweep::SweepRecord> &records = result.records;
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
 
     sweep::SinkOptions sink;
     sink.includeWallTimes = opts.timing;
-    const std::string name =
-        opts.preset.empty() ? "grid" : opts.preset;
+    const std::string name = opts.grid.name();
 
     // Every file artifact goes through the atomic write helper: a
     // crash mid-write leaves the previous complete file, never a
     // truncated one.
     if (opts.outPath == "-") {
-        sweep::writeJson(std::cout, name, records, engine.stats(),
+        sweep::writeJson(std::cout, name, records, result.stats,
                          sink);
     } else {
         util::writeFileAtomic(opts.outPath, [&](std::ostream &out) {
-            sweep::writeJson(out, name, records, engine.stats(),
+            sweep::writeJson(out, name, records, result.stats,
                              sink);
         });
     }
@@ -548,7 +443,7 @@ run(int argc, char **argv)
         });
     }
 
-    const auto &stats = engine.stats();
+    const sweep::SweepStats &stats = result.stats;
     if (!opts.quiet) {
         std::cerr << "swept " << records.size() << " points ("
                   << stats.cacheMisses << " evaluated, "

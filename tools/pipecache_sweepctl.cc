@@ -1,0 +1,225 @@
+/**
+ * @file
+ * pipecache_sweepctl — client for pipecache_sweepd.
+ *
+ *   pipecache_sweepctl --socket /tmp/pipecache.sock sweep \
+ *       preset=fig3 --out fig3.json
+ *   pipecache_sweepctl --port 7321 sweep b=0:3 isize=1,2,4,8 \
+ *       --progress
+ *   pipecache_sweepctl --socket /tmp/pipecache.sock ping
+ *   pipecache_sweepctl --socket /tmp/pipecache.sock status
+ *   pipecache_sweepctl --socket /tmp/pipecache.sock shutdown
+ *
+ * `sweep` takes the protocol's key=value tokens verbatim (b, l,
+ * isize, dsize, block, penalty, repl, preset, scale, threads,
+ * factored — see serve/protocol.hh) and writes the returned JSON —
+ * byte-identical to a cold `pipecache_sweep` run of the same grid —
+ * to --out (default stdout, atomically for files). --progress
+ * streams the daemon's PROGRESS lines as a live stderr ticker.
+ *
+ * Exit codes mirror the local CLI plus the service kinds: 0 ok;
+ * 1 internal error; 2 usage error; 3 data/io error (including a
+ * daemon that is not there); 4 sweep completed but some points
+ * failed; 5 request interrupted; 6 daemon rejected the request
+ * (admission control / draining) — retry later.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+#include "util/parse.hh"
+
+namespace {
+
+struct CtlOptions
+{
+    std::string socketPath;
+    int tcpPort = -1;
+    std::string command;
+    /** key=value tokens forwarded on the SWEEP line. */
+    std::vector<std::string> sweepArgs;
+    std::string outPath = "-";
+    bool progress = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0
+       << " (--socket PATH | --port N) COMMAND [args]\n"
+       << "commands:\n"
+       << "  sweep [key=value ...] [--out PATH] [--progress]\n"
+       << "        run a sweep; keys are the protocol's grid keys\n"
+       << "        (b, l, isize, dsize, block, penalty, repl,\n"
+       << "        preset) plus scale, threads, factored\n"
+       << "  ping      liveness probe\n"
+       << "  status    one-line service counters\n"
+       << "  shutdown  ask the daemon to drain and exit\n"
+       << "options:\n"
+       << "  --out PATH   JSON output, '-' = stdout (default -)\n"
+       << "  --progress   live progress line on stderr\n"
+       << "  --quiet      no summary on stderr\n"
+       << "Exit codes: 0 ok; 1 internal; 2 usage; 3 data/io;\n"
+       << "4 completed with failed points; 5 interrupted;\n"
+       << "6 rejected by admission control (retry later).\n";
+    std::exit(code);
+}
+
+CtlOptions
+parseArgs(int argc, char **argv)
+{
+    CtlOptions opts;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            usage(argv[0], 2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--socket") {
+            opts.socketPath = next(i);
+        } else if (arg == "--port") {
+            const std::string spec = next(i);
+            std::size_t v = 0;
+            if (!pipecache::util::parseSize(spec, v) || v > 65535) {
+                std::cerr << argv[0] << ": bad --port '" << spec
+                          << "'\n";
+                usage(argv[0], 2);
+            }
+            opts.tcpPort = static_cast<int>(v);
+        } else if (arg == "--out") {
+            opts.outPath = next(i);
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (opts.command.empty()) {
+            if (arg != "sweep" && arg != "ping" && arg != "status" &&
+                arg != "shutdown") {
+                std::cerr << argv[0] << ": unknown command '" << arg
+                          << "'\n";
+                usage(argv[0], 2);
+            }
+            opts.command = arg;
+        } else if (opts.command == "sweep" &&
+                   arg.find('=') != std::string::npos) {
+            opts.sweepArgs.push_back(arg);
+        } else {
+            std::cerr << argv[0] << ": unexpected argument '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    if (opts.command.empty()) {
+        std::cerr << argv[0] << ": need a command\n";
+        usage(argv[0], 2);
+    }
+    if (opts.socketPath.empty() && opts.tcpPort < 0) {
+        std::cerr << argv[0] << ": need --socket PATH or --port N\n";
+        usage(argv[0], 2);
+    }
+    return opts;
+}
+
+int
+run(int argc, char **argv)
+{
+    using namespace pipecache;
+
+    const CtlOptions opts = parseArgs(argc, argv);
+    serve::SweepClient client =
+        opts.socketPath.empty()
+            ? serve::SweepClient::connectTcp(opts.tcpPort)
+            : serve::SweepClient::connectUnix(opts.socketPath);
+
+    if (opts.command != "sweep") {
+        std::string verb = opts.command;
+        for (char &c : verb)
+            c = static_cast<char>(std::toupper(c));
+        const std::string reply = client.command(verb);
+        std::cout << reply << "\n";
+        return 0;
+    }
+
+    std::string args;
+    for (const std::string &tok : opts.sweepArgs) {
+        if (!args.empty())
+            args += " ";
+        args += tok;
+    }
+    if (opts.progress) {
+        if (!args.empty())
+            args += " ";
+        args += "progress=1";
+    }
+
+    std::function<void(std::size_t, std::size_t)> onProgress;
+    if (opts.progress) {
+        onProgress = [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r%zu/%zu points ", done, total);
+            if (done == total)
+                std::fputc('\n', stderr);
+            std::fflush(stderr);
+        };
+    }
+
+    const serve::SweepOutcome outcome =
+        client.sweep(args, onProgress);
+
+    if (opts.outPath == "-") {
+        std::cout << outcome.json;
+    } else {
+        util::writeFileAtomic(opts.outPath, [&](std::ostream &out) {
+            out << outcome.json;
+        });
+    }
+    if (!opts.quiet) {
+        std::cerr << "swept " << outcome.points << " points ("
+                  << outcome.evaluated << " evaluated, "
+                  << outcome.memoHits << " memo hits, "
+                  << outcome.crossHits
+                  << " served warm across requests) in "
+                  << outcome.wallMs << " ms\n";
+        if (outcome.failed > 0) {
+            std::cerr << outcome.failed
+                      << " point(s) failed; see the \"error\" "
+                         "objects in the JSON output\n";
+        }
+    }
+    return outcome.failed > 0 ? 4 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    try {
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::cerr << argv[0] << ": " << e.kindName()
+                  << " error: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": internal error: " << e.what()
+                  << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * pipecache_sweepd — the sweep service daemon.
+ *
+ * Listens on a Unix socket and/or loopback TCP port, accepts
+ * concurrent line-protocol requests (see serve/protocol.hh), and
+ * evaluates them through one shared serve::SweepService — so the
+ * factored-evaluation component cache, the sweep engine's point memo,
+ * and the prepared trace/translation state persist across requests.
+ * The first request on a suite pays the cold cost; later overlapping
+ * grids assemble from warm components, while every response's JSON
+ * stays byte-identical to a cold `pipecache_sweep` run of the same
+ * grid (the determinism contract, DESIGN.md par. 13).
+ *
+ *   pipecache_sweepd --socket /tmp/pipecache.sock
+ *   pipecache_sweepd --port 0            # ephemeral; port printed
+ *   pipecache_sweepctl --socket /tmp/pipecache.sock \
+ *       sweep preset=fig3 --out fig3.json
+ *
+ * Admission control: --max-inflight requests evaluate at once, up to
+ * --max-queue more wait FIFO, beyond that requests get `ERR
+ * unavailable` (client exit code 6). --request-threads caps any one
+ * request's worker budget so a big sweep cannot monopolize the pool.
+ *
+ * SIGTERM/SIGINT (or a SHUTDOWN request) drain gracefully: stop
+ * accepting, reject queued work, let in-flight sweeps finish and
+ * stream their results, then exit 0.
+ *
+ * Exit codes: 0 clean shutdown; 1 internal error; 2 usage error;
+ * 3 startup I/O error (bind/listen).
+ */
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/env.hh"
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+#include "util/parse.hh"
+
+namespace {
+
+/** Upper bound on --threads / --request-threads (typo guard). */
+constexpr std::size_t kMaxThreads = 512;
+
+pipecache::serve::SweepServer *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    // Async-signal-safe: atomic store + one write() on a self-pipe.
+    if (g_server != nullptr)
+        g_server->requestShutdown();
+}
+
+struct DaemonOptions
+{
+    std::string socketPath;
+    int tcpPort = -1;
+    pipecache::serve::ServiceOptions service;
+    std::string statsPath;
+    std::string tracePath;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0 << " [options]\n"
+       << "  --socket PATH       listen on a Unix socket\n"
+       << "  --port N            listen on 127.0.0.1:N (0 = pick an\n"
+       << "                      ephemeral port; printed on startup)\n"
+       << "  --threads N         worker threads per suite engine,\n"
+       << "                      0 = cores            (default 0)\n"
+       << "  --max-inflight N    concurrent requests   (default 2)\n"
+       << "  --max-queue N       queued requests beyond that before\n"
+       << "                      rejection             (default 8)\n"
+       << "  --request-threads N per-request worker-budget cap,\n"
+       << "                      0 = uncapped          (default 0)\n"
+       << "  --memo-limit N      factored component-cache bound per\n"
+       << "                      suite, 0 = unbounded  (default 256)\n"
+       << "  --stats-out PATH    write the stats registry as JSON\n"
+       << "                      (incl. volatile) at shutdown\n"
+       << "                      (default $PIPECACHE_STATS)\n"
+       << "  --trace-out PATH    write a Perfetto trace at shutdown\n"
+       << "                      (default $PIPECACHE_TRACE)\n"
+       << "  --quiet             no startup/shutdown lines on stderr\n"
+       << "At least one of --socket/--port is required.\n"
+       << "Protocol: SWEEP [key=value ...] | PING | STATUS | "
+          "SHUTDOWN\n"
+       << "Exit codes: 0 clean shutdown; 1 internal; 2 usage;\n"
+       << "3 startup I/O error.\n";
+    std::exit(code);
+}
+
+DaemonOptions
+parseArgs(int argc, char **argv)
+{
+    using pipecache::util::parseSize;
+
+    DaemonOptions opts;
+    if (const char *path = pipecache::obs::envStatsPath())
+        opts.statsPath = path;
+    if (const char *path = pipecache::obs::envTracePath())
+        opts.tracePath = path;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            usage(argv[0], 2);
+        }
+        return argv[++i];
+    };
+    auto sizeArg = [&](int &i, std::size_t max) -> std::size_t {
+        const std::string flag = argv[i];
+        const std::string spec = next(i);
+        std::size_t v = 0;
+        if (!parseSize(spec, v) || v > max) {
+            std::cerr << argv[0] << ": bad " << flag << " '" << spec
+                      << "' (need 0.." << max << ")\n";
+            usage(argv[0], 2);
+        }
+        return v;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--socket") {
+            opts.socketPath = next(i);
+        } else if (arg == "--port") {
+            opts.tcpPort = static_cast<int>(sizeArg(i, 65535));
+        } else if (arg == "--threads") {
+            opts.service.threads = sizeArg(i, kMaxThreads);
+        } else if (arg == "--max-inflight") {
+            opts.service.maxInflight = sizeArg(i, 1024);
+            if (opts.service.maxInflight == 0) {
+                std::cerr << argv[0]
+                          << ": --max-inflight must be >= 1\n";
+                usage(argv[0], 2);
+            }
+        } else if (arg == "--max-queue") {
+            opts.service.maxQueued = sizeArg(i, 65536);
+        } else if (arg == "--request-threads") {
+            opts.service.maxThreadsPerRequest =
+                sizeArg(i, kMaxThreads);
+        } else if (arg == "--memo-limit") {
+            opts.service.componentCacheLimit =
+                sizeArg(i, std::size_t(1) << 30);
+        } else if (arg == "--stats-out") {
+            opts.statsPath = next(i);
+        } else if (arg == "--trace-out") {
+            opts.tracePath = next(i);
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::cerr << argv[0] << ": unknown option '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    if (opts.socketPath.empty() && opts.tcpPort < 0) {
+        std::cerr << argv[0]
+                  << ": need --socket PATH and/or --port N\n";
+        usage(argv[0], 2);
+    }
+    return opts;
+}
+
+int
+run(int argc, char **argv)
+{
+    using namespace pipecache;
+
+    const DaemonOptions opts = parseArgs(argc, argv);
+    if (!opts.tracePath.empty())
+        obs::Tracer::global().enable();
+
+    serve::SweepService service(opts.service);
+    serve::ServerOptions serverOpts;
+    serverOpts.socketPath = opts.socketPath;
+    serverOpts.tcpPort = opts.tcpPort;
+    serve::SweepServer server(service, serverOpts);
+    server.start();
+
+    g_server = &server;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    // The startup line is the scripts' readiness signal: once it
+    // appears, connects succeed.
+    std::cout << "pipecache_sweepd listening";
+    if (!opts.socketPath.empty())
+        std::cout << " unix=" << opts.socketPath;
+    if (server.tcpPort() >= 0)
+        std::cout << " tcp=127.0.0.1:" << server.tcpPort();
+    std::cout << std::endl;
+
+    server.serve();
+    g_server = nullptr;
+
+    if (!opts.statsPath.empty()) {
+        util::writeFileAtomic(opts.statsPath, [&](std::ostream &out) {
+            // A daemon's interesting stats (latency, queue depth,
+            // cross-request hits) are volatile by nature — include
+            // them; this dump is operational, not a determinism
+            // artifact.
+            obs::DumpOptions dump;
+            dump.includeVolatile = true;
+            obs::StatsRegistry::global().dumpJson(out, dump);
+        });
+    }
+    if (!opts.tracePath.empty()) {
+        util::writeFileAtomic(opts.tracePath, [&](std::ostream &out) {
+            obs::Tracer::global().write(out);
+        });
+    }
+    if (!opts.quiet)
+        std::cerr << "pipecache_sweepd: drained ("
+                  << service.statusLine() << ")\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipecache;
+    try {
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::cerr << argv[0] << ": " << e.kindName()
+                  << " error: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": internal error: " << e.what()
+                  << "\n";
+        return 1;
+    }
+}

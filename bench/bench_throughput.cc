@@ -207,9 +207,11 @@ BM_SweepdWarmVsCold(benchmark::State &state)
     const core::SuiteConfig suite = sweepSuite();
     serve::ServiceOptions opts;
     opts.threads = 1;
+    serve::RequestOptions reqOpts;
+    reqOpts.threads = 1;
     auto service = std::make_unique<serve::SweepService>(opts);
     if (warm)
-        service->runPoints(grid, "bench", suite, 1, true);
+        service->runPoints(grid, "bench", suite, reqOpts);
     for (auto _ : state) {
         if (!warm) {
             state.PauseTiming();
@@ -217,7 +219,7 @@ BM_SweepdWarmVsCold(benchmark::State &state)
             state.ResumeTiming();
         }
         const serve::SweepResponse resp =
-            service->runPoints(grid, "bench", suite, 1, true);
+            service->runPoints(grid, "bench", suite, reqOpts);
         benchmark::DoNotOptimize(resp.json.size());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(

@@ -4,13 +4,23 @@
 #   1. Start pipecache_sweepd on a Unix socket and wait for readiness.
 #   2. Cold and warm daemon sweeps must be byte-identical to the
 #      pipecache_sweep CLI on the same grid (the determinism contract).
-#   3. With --max-inflight 1 --max-queue 0, a request issued while a
+#   3. A sweep with --deadline-ms 1 must come back as ERR timeout
+#      (ctl exit 7) and leave the daemon healthy.
+#   4. With --max-inflight 1 --max-queue 0, a request issued while a
 #      slow sweep holds the slot must be rejected (ctl exit 6) and the
 #      daemon must stay healthy.
-#   4. A client SIGKILLed mid-stream must not take the daemon down.
-#   5. SIGTERM while a request is in flight must drain: the in-flight
+#   5. A client SIGKILLed mid-stream must not take the daemon down.
+#   6. SIGTERM while a request is in flight must drain: the in-flight
 #      client still gets its (byte-identical) result and the daemon
 #      exits 0.
+#   7. A daemon SIGKILLed mid-sweep and restarted with --journal must
+#      recover: the client's --retries re-issue lands on the restarted
+#      daemon and its output is byte-identical to the CLI, while the
+#      journal replay re-warms the caches (STATUS recovered=1).
+#
+# All waits are bounded STATUS/ping polls — no fixed sleeps deciding
+# correctness, so the script is fast on fast machines and does not
+# flake on slow ones.
 #
 # Usage: sweepd_smoke.sh <pipecache_sweepd> <pipecache_sweepctl> \
 #                        <pipecache_sweep> [workdir]
@@ -32,29 +42,53 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Bounded readiness poll: succeed once ping answers, fail fast if the
+# daemon process died, fail after the budget otherwise.
+wait_ready() {
+    local sock=$1 pid=$2
+    for _ in $(seq 1 200); do
+        if "$CTL" --socket "$sock" ping >/dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || {
+            echo "FAIL: daemon died during startup"
+            return 1
+        }
+        sleep 0.05
+    done
+    echo "FAIL: daemon never became ready"
+    return 1
+}
+
+# Bounded poll until the daemon reports an in-flight request (the
+# moment a background sweep actually holds the admission slot), or the
+# background client in $2 already exited (its sweep outran the poll).
+wait_inflight_or_done() {
+    local sock=$1 pid=$2
+    for _ in $(seq 1 200); do
+        kill -0 "$pid" 2>/dev/null || return 0
+        case "$("$CTL" --socket "$sock" status 2>/dev/null)" in
+        inflight=0\ *) sleep 0.02 ;;
+        inflight=*) return 0 ;;
+        *) sleep 0.02 ;;
+        esac
+    done
+    echo "FAIL: no request became in-flight within the poll budget"
+    return 1
+}
+
 # A fast grid for the byte-identity checks and a slow one to hold the
 # admission slot while we provoke rejections and interruptions.
 FAST_CLI=(--b 0:3 --isize 1,2,4,8 --scale 2000 --threads 2 --quiet)
 FAST_CTL="b=0:3 isize=1,2,4,8 scale=2000 threads=2"
+SLOW_CLI=(--b 0:3 --isize 1,2,4,8,16,32 --scale 300 --threads 2 --quiet)
 SLOW_CTL="b=0:3 isize=1,2,4,8,16,32 scale=300 threads=2"
 
 echo "== start daemon"
 "$DAEMON" --socket "$SOCK" --threads 2 --max-inflight 1 \
     --max-queue 0 >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
 DAEMON_PID=$!
-
-for _ in $(seq 1 200); do
-    if "$CTL" --socket "$SOCK" ping >/dev/null 2>&1; then
-        break
-    fi
-    kill -0 "$DAEMON_PID" 2>/dev/null || {
-        echo "FAIL: daemon died during startup"
-        cat "$WORK/daemon.err"
-        exit 1
-    }
-    sleep 0.05
-done
-"$CTL" --socket "$SOCK" ping >/dev/null
+wait_ready "$SOCK" "$DAEMON_PID" || { cat "$WORK/daemon.err"; exit 1; }
 
 echo "== cold daemon sweep vs CLI"
 "$SWEEP" "${FAST_CLI[@]}" --out "$WORK/reference.json"
@@ -82,6 +116,31 @@ case "$STATUS" in
     ;;
 esac
 
+echo "== deadline expiry returns exit 7"
+set +e
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" --quiet --deadline-ms 1 sweep $SLOW_CTL \
+    --out "$WORK/deadline.json" 2>"$WORK/deadline.err"
+RC=$?
+set -e
+if [ "$RC" -ne 7 ]; then
+    echo "FAIL: 1 ms deadline exited $RC (want 7)"
+    cat "$WORK/deadline.err"
+    exit 1
+fi
+if [ -e "$WORK/deadline.json" ]; then
+    echo "FAIL: timed-out request left an output file behind"
+    exit 1
+fi
+STATUS=$("$CTL" --socket "$SOCK" status)
+case "$STATUS" in
+*" timeouts=0 "*)
+    echo "FAIL: deadline expiry not counted in STATUS"
+    echo "status: $STATUS"
+    exit 1
+    ;;
+esac
+
 echo "== admission rejection while the slot is held"
 REJECTED=0
 for _ in 1 2 3; do
@@ -89,7 +148,7 @@ for _ in 1 2 3; do
     "$CTL" --socket "$SOCK" --quiet sweep $SLOW_CTL \
         --out "$WORK/slow.json" &
     SLOW_PID=$!
-    sleep 0.3
+    wait_inflight_or_done "$SOCK" "$SLOW_PID" || exit 1
     if ! kill -0 "$SLOW_PID" 2>/dev/null; then
         wait "$SLOW_PID" || true
         echo "   (slow sweep finished before the probe; retrying)"
@@ -121,17 +180,11 @@ echo "== client killed mid-stream"
 "$CTL" --socket "$SOCK" --quiet --progress sweep $SLOW_CTL \
     --out "$WORK/interrupted.json" 2>/dev/null &
 VICTIM_PID=$!
-sleep 0.4
+wait_inflight_or_done "$SOCK" "$VICTIM_PID" || exit 1
 kill -9 "$VICTIM_PID" 2>/dev/null || true
 wait "$VICTIM_PID" 2>/dev/null || true
 # The daemon must shrug it off and keep serving.
-for _ in $(seq 1 100); do
-    if "$CTL" --socket "$SOCK" ping >/dev/null 2>&1; then
-        break
-    fi
-    sleep 0.1
-done
-"$CTL" --socket "$SOCK" ping >/dev/null
+wait_ready "$SOCK" "$DAEMON_PID" || exit 1
 "$CTL" --socket "$SOCK" status >"$WORK/status.after-kill"
 
 echo "== SIGTERM drain with a request in flight"
@@ -139,7 +192,7 @@ echo "== SIGTERM drain with a request in flight"
 "$CTL" --socket "$SOCK" --quiet sweep $FAST_CTL \
     --out "$WORK/drained.json" &
 DRAIN_PID=$!
-sleep 0.2
+wait_inflight_or_done "$SOCK" "$DRAIN_PID" || exit 1
 kill -TERM "$DAEMON_PID"
 set +e
 wait "$DRAIN_PID"
@@ -176,4 +229,87 @@ if [ "$RC" -eq 0 ]; then
     exit 1
 fi
 
-echo "PASS: daemon smoke (cold/warm identity, rejection, disconnect, drain)"
+echo "== daemon SIGKILL + restart: journal recovery, client retry"
+"$SWEEP" "${SLOW_CLI[@]}" --out "$WORK/slow-reference.json"
+SOCK2="$WORK/sweepd2.sock"
+JOURNAL="$WORK/journal.log"
+"$DAEMON" --socket "$SOCK2" --threads 2 --max-inflight 1 \
+    --max-queue 0 --journal "$JOURNAL" \
+    >"$WORK/daemon2.out" 2>"$WORK/daemon2.err" &
+DAEMON_PID=$!
+wait_ready "$SOCK2" "$DAEMON_PID" || { cat "$WORK/daemon2.err"; exit 1; }
+
+# The victim client re-issues on transport failures; the SIGKILL below
+# hits it mid-stream, before its first RESULT byte.
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK2" --quiet --retries 8 --retry-base-ms 100 \
+    --retry-seed 1 sweep $SLOW_CTL \
+    --out "$WORK/recovered.json" 2>"$WORK/recovered.err" &
+VICTIM_PID=$!
+wait_inflight_or_done "$SOCK2" "$VICTIM_PID" || exit 1
+if ! kill -0 "$VICTIM_PID" 2>/dev/null; then
+    echo "FAIL: victim sweep finished before the daemon was killed"
+    exit 1
+fi
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+
+"$DAEMON" --socket "$SOCK2" --threads 2 --max-inflight 1 \
+    --max-queue 0 --journal "$JOURNAL" \
+    >"$WORK/daemon2b.out" 2>"$WORK/daemon2b.err" &
+DAEMON_PID=$!
+wait_ready "$SOCK2" "$DAEMON_PID" || { cat "$WORK/daemon2b.err"; exit 1; }
+
+set +e
+wait "$VICTIM_PID"
+VICTIM_RC=$?
+set -e
+if [ "$VICTIM_RC" -ne 0 ]; then
+    echo "FAIL: retrying client exited $VICTIM_RC across the daemon restart"
+    cat "$WORK/recovered.err"
+    exit 1
+fi
+cmp "$WORK/slow-reference.json" "$WORK/recovered.json" || {
+    echo "FAIL: retried sweep's output differs from the CLI"
+    exit 1
+}
+if ! grep -q "retried" "$WORK/recovered.err"; then
+    echo "FAIL: client never reported its retries"
+    cat "$WORK/recovered.err"
+    exit 1
+fi
+if ! grep -q "recovering 1 journaled request" "$WORK/daemon2b.err"; then
+    echo "FAIL: restarted daemon did not pick up the journaled request"
+    cat "$WORK/daemon2b.err"
+    exit 1
+fi
+# The journal replay runs in the background; give it a bounded window
+# to show up in the recovered= counter.
+RECOVERED=0
+for _ in $(seq 1 200); do
+    STATUS=$("$CTL" --socket "$SOCK2" status 2>/dev/null || true)
+    case "$STATUS" in
+    *" recovered=0 "*) sleep 0.05 ;;
+    *" recovered="*) RECOVERED=1; break ;;
+    *) sleep 0.05 ;;
+    esac
+done
+if [ "$RECOVERED" -ne 1 ]; then
+    echo "FAIL: journal replay never showed up in STATUS recovered="
+    echo "status: $STATUS"
+    exit 1
+fi
+"$CTL" --socket "$SOCK2" shutdown >/dev/null
+set +e
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+set -e
+if [ "$DAEMON_RC" -ne 0 ]; then
+    echo "FAIL: recovered daemon exited $DAEMON_RC on shutdown (want 0)"
+    cat "$WORK/daemon2b.err"
+    exit 1
+fi
+DAEMON_PID=
+
+echo "PASS: daemon smoke (cold/warm identity, deadline, rejection," \
+    "disconnect, drain, kill/restart recovery)"

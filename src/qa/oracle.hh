@@ -21,7 +21,14 @@
  *                tight component-cache bound forcing evictions) are
  *                byte-identical to a cold single-process run, and a
  *                warm request is served entirely from the
- *                cross-request memo.
+ *                cross-request memo;
+ *   chaos      — under randomized socket faults (short reads/writes,
+ *                EINTR storms, resets, torn lines, accept failures)
+ *                and daemon crash/restart mid-stream, every client
+ *                attempt over the real socket path terminates with
+ *                either a byte-identical RESULT or a documented
+ *                taxonomy error — never a hang, crash, or torn
+ *                output (fault-injection builds only).
  *
  * check() returns ok=false with a human-readable first-divergence
  * description; it must be deterministic in the case (the shrinker

@@ -26,6 +26,8 @@
 #include "cpusim/cpi_engine.hh"
 #include "cpusim/pipeline_sim.hh"
 #include "sched/branch_sched.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "serve/service.hh"
 #include "sweep/checkpoint.hh"
 #include "sweep/result_sink.hh"
@@ -34,6 +36,7 @@
 #include "trace/data_address_generator.hh"
 #include "trace/executor.hh"
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 #include "util/random.hh"
 
 namespace pipecache::qa {
@@ -673,10 +676,9 @@ class ServeOracle final : public Oracle
             for (std::size_t i = 0; i < kConcurrent; ++i) {
                 threads.emplace_back([&, i] {
                     try {
-                        jsons[i] = service
-                                       .runPoints(grid, "qa", c.suite,
-                                                  0, true)
-                                       .json;
+                        jsons[i] =
+                            service.runPoints(grid, "qa", c.suite)
+                                .json;
                     } catch (const std::exception &e) {
                         errors[i] = e.what();
                     }
@@ -704,7 +706,7 @@ class ServeOracle final : public Oracle
         // unique point that previously succeeded must now be served
         // from the cross-request memo.
         const serve::SweepResponse warm =
-            service.runPoints(grid, "qa", c.suite, 0, true);
+            service.runPoints(grid, "qa", c.suite);
         if (warm.json != jsonBase) {
             return OracleResult::fail(
                 "warm service JSON differs from a cold "
@@ -726,6 +728,218 @@ class ServeOracle final : public Oracle
     }
 };
 
+// ------------------------------------------------ chaos robustness
+
+/**
+ * Chaos contract over the real socket path: with randomized socket
+ * faults (short reads/writes, EINTR storms, resets, torn lines,
+ * accept failures) and daemon crash/restart mid-stream, every sweep
+ * attempt must terminate with either a RESULT byte-identical to the
+ * undisturbed run or a documented taxonomy error — never a hang, a
+ * crash, or torn output accepted as truth. Needs the fault-injection
+ * build; applies() is false otherwise.
+ */
+class ChaosOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "chaos"; }
+
+    bool applies(const FuzzCase &) const override
+    {
+        return fi::compiledIn();
+    }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        // Sites are process-global; never leak an armed fault into
+        // other oracles (or a later case) on any exit path.
+        struct ClearFaults
+        {
+            ClearFaults() { fi::clear(); }
+            ~ClearFaults() { fi::clear(); }
+        } clearFaults;
+
+        // A small protocol-expressible grid: the wire path is what
+        // is under test, not the evaluation (the serve oracle covers
+        // daemon-vs-cold identity for rich grids).
+        const std::string baseArgs =
+            "b=0:1 isize=1,2 scale=20000 threads=1";
+
+        Daemon daemon;
+        std::atomic<int> port{daemon.port};
+
+        // Undisturbed reference through the real socket.
+        std::string jsonRef;
+        try {
+            serve::SweepClient client =
+                serve::SweepClient::connectTcp(port.load());
+            client.setIoTimeout(kIoTimeoutMs);
+            jsonRef = client.sweep(baseArgs).json;
+        } catch (const std::exception &e) {
+            return OracleResult::fail(
+                std::string("chaos reference sweep (no faults "
+                            "armed) failed: ") +
+                e.what());
+        }
+
+        Rng rng(c.streamSeed ^ 0x9e3779b97f4a7c15ULL);
+        const auto budgetStart = std::chrono::steady_clock::now();
+
+        for (std::size_t round = 0; round < kRounds; ++round) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - budgetStart)
+                    .count();
+            if (elapsed > kBudgetSeconds) {
+                return OracleResult::fail(
+                    "chaos case exceeded its " +
+                    std::to_string(kBudgetSeconds) +
+                    " s termination budget after " +
+                    std::to_string(round) + " rounds");
+            }
+
+            fi::clear();
+            std::string schedule;
+            const std::size_t nFaults = 1 + rng.nextRange(3);
+            for (std::size_t f = 0; f < nFaults; ++f) {
+                const char *site =
+                    kSites[rng.nextRange(kSiteCount)];
+                const std::uint64_t nth = 1 + rng.nextRange(30);
+                const std::uint64_t count = 1 + rng.nextRange(4);
+                fi::arm(site, nth, count);
+                schedule += std::string(schedule.empty() ? "" : ",") +
+                            site + ":" + std::to_string(nth) + ":" +
+                            std::to_string(count);
+            }
+
+            std::string args = baseArgs;
+            if (rng.nextBool(0.3))
+                args += " progress=1";
+            const bool deadlined = rng.nextBool(0.25);
+            if (deadlined)
+                args += " deadline_ms=1";
+            const bool crash = rng.nextBool(0.3);
+            schedule += crash ? " +crash" : "";
+            schedule += deadlined ? " +deadline" : "";
+
+            serve::RetryPolicy policy;
+            policy.maxAttempts = 6;
+            policy.baseDelayMs = 5;
+            policy.maxDelayMs = 50;
+            policy.seed = rng.next();
+            const auto connect = [&port] {
+                serve::SweepClient client =
+                    serve::SweepClient::connectTcp(port.load());
+                client.setIoTimeout(kIoTimeoutMs);
+                return client;
+            };
+
+            std::string json;
+            std::string error;
+            bool typed = true;
+            std::thread worker([&] {
+                try {
+                    json = serve::sweepWithRetry(connect, args,
+                                                 policy)
+                               .json;
+                } catch (const Error &e) {
+                    error = std::string(e.kindName()) + ": " +
+                            e.what();
+                } catch (const std::exception &e) {
+                    typed = false;
+                    error = e.what();
+                }
+            });
+
+            if (crash) {
+                // Crash/restart mid-stream: hard-drop every live
+                // connection, tear the daemon down, and bring a
+                // fresh one up on a new port for the retries.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1 + rng.nextRange(8)));
+                daemon.server->dropConnections();
+                daemon.restart();
+                port.store(daemon.port);
+            }
+            worker.join();
+
+            if (!typed) {
+                return OracleResult::fail(
+                    "chaos round " + std::to_string(round) + " [" +
+                    schedule +
+                    "] escaped the error taxonomy: " + error);
+            }
+            if (error.empty() && json != jsonRef) {
+                return OracleResult::fail(
+                    "chaos round " + std::to_string(round) + " [" +
+                    schedule +
+                    "] returned a RESULT that is not byte-identical "
+                    "to the undisturbed run: " +
+                    firstByteDiff(jsonRef, json));
+            }
+        }
+        return OracleResult::pass();
+    }
+
+  private:
+    static constexpr std::size_t kRounds = 5;
+    static constexpr int kIoTimeoutMs = 10000;
+    static constexpr long kBudgetSeconds = 120;
+
+    static constexpr const char *kSites[] = {
+        "serve.io.read.short",  "serve.io.read.eintr",
+        "serve.io.read.reset",  "serve.io.write.short",
+        "serve.io.write.eintr", "serve.io.write.reset",
+        "serve.io.write.torn",  "serve.accept.fail",
+    };
+    static constexpr std::size_t kSiteCount =
+        sizeof kSites / sizeof kSites[0];
+
+    /** An in-process daemon: service + server + serve() thread. */
+    struct Daemon
+    {
+        std::unique_ptr<serve::SweepService> service;
+        std::unique_ptr<serve::SweepServer> server;
+        std::thread thread;
+        int port = -1;
+
+        Daemon() { up(); }
+        ~Daemon() { down(); }
+
+        void up()
+        {
+            serve::ServiceOptions so;
+            so.threads = 1;
+            so.maxInflight = 2;
+            so.maxQueued = 8;
+            service = std::make_unique<serve::SweepService>(so);
+            serve::ServerOptions sv;
+            sv.tcpPort = 0;
+            server =
+                std::make_unique<serve::SweepServer>(*service, sv);
+            server->start();
+            port = server->tcpPort();
+            thread = std::thread([this] { server->serve(); });
+        }
+
+        void down()
+        {
+            if (server)
+                server->requestShutdown();
+            if (thread.joinable())
+                thread.join();
+            server.reset();
+            service.reset();
+        }
+
+        void restart()
+        {
+            down();
+            up();
+        }
+    };
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Oracle>>
@@ -738,6 +952,7 @@ makeOracles()
     oracles.push_back(std::make_unique<CheckpointOracle>());
     oracles.push_back(std::make_unique<SweepOracle>());
     oracles.push_back(std::make_unique<ServeOracle>());
+    oracles.push_back(std::make_unique<ChaosOracle>());
     return oracles;
 }
 

@@ -1,8 +1,10 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -75,6 +77,13 @@ fieldU64(const std::string &value)
 SweepClient::SweepClient(int fd)
     : fd_(fd), io_(std::make_unique<FdStream>(fd))
 {
+}
+
+void
+SweepClient::setIoTimeout(int ms)
+{
+    ioTimeoutMs_ = ms < 0 ? 0 : ms;
+    io_->setTimeout(ioTimeoutMs_);
 }
 
 SweepClient::~SweepClient()
@@ -153,14 +162,34 @@ SweepClient::sweep(
     std::string request = "SWEEP";
     if (!args.empty())
         request += " " + args;
-    io_->writeLine(request);
+
+    // Socket failures below become TransportError so retry logic can
+    // tell them from daemon-reported `ERR io` lines (plain IoError
+    // out of raiseErrLine): only the transport variety may re-issue.
+    // Once the RESULT line has been seen the response is in flight
+    // and the error is no longer marked retry-safe.
+    bool resultSeen = false;
+    try {
+        io_->writeLine(request);
+    } catch (const IoError &e) {
+        throw TransportError(e.what(), true);
+    }
 
     SweepOutcome outcome;
     std::string line;
     std::string rest;
     for (;;) {
-        if (!io_->readLine(line))
-            throw IoError("daemon closed the connection mid-request");
+        bool gotLine = false;
+        try {
+            gotLine = io_->readLine(line);
+        } catch (const IoError &e) {
+            throw TransportError(e.what(), !resultSeen);
+        }
+        if (!gotLine) {
+            throw TransportError(
+                "daemon closed the connection mid-request",
+                !resultSeen);
+        }
         if (consumePrefix(line, "ACK ", rest)) {
             parseFields(rest, [&](const std::string &key,
                                   const std::string &value) {
@@ -178,10 +207,21 @@ SweepClient::sweep(
                 }
             }
         } else if (consumePrefix(line, "RESULT ", rest)) {
+            resultSeen = true;
             std::size_t nbytes = 0;
             if (!util::parseSize(rest, nbytes))
                 throw IoError("malformed RESULT line: " + line);
-            outcome.json = io_->readExact(nbytes);
+            if (nbytes > kMaxPayloadBytes) {
+                throw DataError(
+                    "RESULT announces " + std::to_string(nbytes) +
+                    " bytes (cap " + std::to_string(kMaxPayloadBytes) +
+                    "); refusing the allocation");
+            }
+            try {
+                outcome.json = io_->readExact(nbytes);
+            } catch (const IoError &e) {
+                throw TransportError(e.what(), false);
+            }
         } else if (consumePrefix(line, "DONE", rest)) {
             parseFields(rest, [&](const std::string &key,
                                   const std::string &value) {
@@ -209,10 +249,15 @@ SweepClient::sweep(
 std::string
 SweepClient::command(const std::string &verb)
 {
-    io_->writeLine(verb);
     std::string line;
-    if (!io_->readLine(line))
-        throw IoError("daemon closed the connection");
+    try {
+        io_->writeLine(verb);
+        if (!io_->readLine(line))
+            throw IoError("daemon closed the connection");
+    } catch (const IoError &e) {
+        // Commands carry no state; any socket failure is retry-safe.
+        throw TransportError(e.what(), true);
+    }
     std::string rest;
     if (consumePrefix(line, "OK ", rest))
         return rest;
@@ -221,6 +266,84 @@ SweepClient::command(const std::string &verb)
     if (line.rfind("ERR ", 0) == 0)
         raiseErrLine(line);
     throw IoError("unexpected daemon line: " + line);
+}
+
+std::uint64_t
+retryDelayMs(const RetryPolicy &policy, const std::string &request,
+             std::size_t attempt)
+{
+    std::uint64_t cap = policy.baseDelayMs;
+    for (std::size_t i = 0; i < attempt && cap < policy.maxDelayMs;
+         ++i) {
+        cap *= 2;
+    }
+    if (cap > policy.maxDelayMs)
+        cap = policy.maxDelayMs;
+    if (cap == 0)
+        return 0;
+    // FNV-1a over (seed, request, attempt): the jitter is a pure
+    // function of what is being retried, so a replayed run backs off
+    // identically while distinct seeds decorrelate.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](const void *p, std::size_t n) {
+        const auto *bytes = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= bytes[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(&policy.seed, sizeof policy.seed);
+    mix(request.data(), request.size());
+    const std::uint64_t a = attempt;
+    mix(&a, sizeof a);
+    const std::uint64_t half = cap / 2;
+    return half + (half > 0 ? h % (half + 1) : 0);
+}
+
+SweepOutcome
+sweepWithRetry(
+    const std::function<SweepClient()> &connect,
+    const std::string &args, const RetryPolicy &policy,
+    const std::function<void(std::size_t, std::size_t)> &onProgress,
+    std::size_t *retriesOut)
+{
+    const std::size_t attempts =
+        policy.maxAttempts == 0 ? 1 : policy.maxAttempts;
+    if (retriesOut)
+        *retriesOut = 0;
+    std::string request = "SWEEP";
+    if (!args.empty())
+        request += " " + args;
+
+    for (std::size_t attempt = 0;; ++attempt) {
+        bool connected = false;
+        try {
+            SweepClient client = connect();
+            connected = true;
+            return client.sweep(args, onProgress);
+        } catch (const TransportError &e) {
+            // Daemon-reported errors are plain taxonomy exceptions
+            // and fall through to the caller; only transport-level
+            // failures that predate the first RESULT byte re-issue.
+            if (!e.retrySafe() || attempt + 1 >= attempts)
+                throw;
+        } catch (const IoError &) {
+            // A connect() failure surfaces as plain IoError: the
+            // daemon never saw the request, so retrying is safe. A
+            // plain IoError *after* connecting is a daemon-reported
+            // `ERR io` — a final answer, never retried.
+            if (connected || attempt + 1 >= attempts)
+                throw;
+        }
+        if (retriesOut)
+            ++*retriesOut;
+        const std::uint64_t delay =
+            retryDelayMs(policy, request, attempt);
+        if (delay > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
 }
 
 } // namespace pipecache::serve

@@ -17,9 +17,54 @@
 #include <memory>
 #include <string>
 
+#include "util/error.hh"
+
 namespace pipecache::serve {
 
 class FdStream;
+
+/**
+ * A client-side transport failure — connect refused, connection
+ * reset, unexpected EOF — as opposed to an `ERR io ...` the daemon
+ * itself reported (which stays a plain IoError). The distinction is
+ * what makes retry sound: a transport failure before the first
+ * RESULT byte means the daemon never answered, and sweeps are
+ * idempotent (the response is a pure function of the request), so
+ * re-issuing is safe; a daemon-reported error is a final answer and
+ * must not be retried into a different one. Same kind/exit code (io,
+ * 3) when it escapes.
+ */
+class TransportError : public IoError
+{
+  public:
+    TransportError(const std::string &msg, bool retrySafe)
+        : IoError(msg), retrySafe_(retrySafe)
+    {
+    }
+
+    /** True when the failure predates the first RESULT line. */
+    bool retrySafe() const { return retrySafe_; }
+
+  private:
+    bool retrySafe_;
+};
+
+/** Deterministic exponential-backoff retry for transport failures. */
+struct RetryPolicy
+{
+    /** Total attempts including the first (1 = never retry). */
+    std::size_t maxAttempts = 1;
+    /** First backoff; doubles per retry up to maxDelayMs. */
+    std::uint64_t baseDelayMs = 50;
+    std::uint64_t maxDelayMs = 2000;
+    /**
+     * Jitter seed. The actual delay for attempt k is drawn
+     * deterministically from (seed, request, k) — reproducible runs
+     * stay reproducible, while distinct clients (distinct seeds)
+     * decorrelate their retry storms.
+     */
+    std::uint64_t seed = 0;
+};
 
 /** One completed sweep request as the daemon reported it. */
 struct SweepOutcome
@@ -71,6 +116,15 @@ class SweepClient
      */
     std::string command(const std::string &verb);
 
+    /**
+     * Per-operation socket inactivity timeout in milliseconds (0 =
+     * block forever, the default). A read or write stalled past it
+     * throws TimeoutError (exit code 7). While a sweep evaluates the
+     * daemon is silent, so pair a read timeout with progress=1 or
+     * size it above the expected sweep duration.
+     */
+    void setIoTimeout(int ms);
+
   private:
     explicit SweepClient(int fd);
 
@@ -78,7 +132,37 @@ class SweepClient
     /** Persistent read buffer (protocol read-ahead must survive
      *  across calls). */
     std::unique_ptr<FdStream> io_;
+    int ioTimeoutMs_ = 0;
 };
+
+/**
+ * Issue `SWEEP @p args` with transport-failure retry: call
+ * @p connect for a fresh client, run the sweep, and on a retry-safe
+ * TransportError (connect failure, disconnect before the first
+ * RESULT byte) back off deterministically per @p policy and re-issue
+ * the identical request. The determinism contract makes the retried
+ * response byte-identical to the uninterrupted one. Daemon-reported
+ * errors (usage, unavailable, timeout, ...) propagate immediately —
+ * only transport failures retry. @p retriesOut (may be null) receives
+ * the number of retries performed, including on the throwing path.
+ */
+SweepOutcome
+sweepWithRetry(const std::function<SweepClient()> &connect,
+               const std::string &args, const RetryPolicy &policy,
+               const std::function<void(std::size_t, std::size_t)>
+                   &onProgress = nullptr,
+               std::size_t *retriesOut = nullptr);
+
+/**
+ * The deterministic backoff schedule sweepWithRetry sleeps between
+ * attempt @p attempt (0-based) and the next: half of
+ * min(maxDelayMs, baseDelayMs * 2^attempt), plus a jitter drawn by
+ * hashing (policy.seed, request, attempt) into the other half.
+ * Exposed for tests — determinism is only a property if it's pinned.
+ */
+std::uint64_t retryDelayMs(const RetryPolicy &policy,
+                           const std::string &request,
+                           std::size_t attempt);
 
 } // namespace pipecache::serve
 

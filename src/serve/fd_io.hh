@@ -6,6 +6,21 @@
  * (EPIPE) instead of a process-killing SIGPIPE — the daemon turns
  * that into request cancellation, never a crash.
  *
+ * Robustness contract (DESIGN.md §14):
+ *   - every read/write loop retries EINTR and resumes partial
+ *     transfers, so a signal or a short send() never tears a line;
+ *   - setTimeout() arms a per-operation deadline: a blocked read or
+ *     write past it throws TimeoutError (exit code 7) instead of
+ *     hanging forever on a stalled peer;
+ *   - a protocol line longer than kMaxLineBytes is rejected as
+ *     DataError rather than silently truncated — the stream cannot
+ *     be resynchronized after an oversized line, so callers close
+ *     the connection;
+ *   - with PIPECACHE_FAULT_INJECTION=ON, the serve.io.* sites let
+ *     tests and the chaos fuzz oracle inject short reads/writes,
+ *     EINTR storms, connection resets, and torn lines at exactly
+ *     these loops.
+ *
  * Internal to src/serve (both sides of the wire live here); not a
  * general-purpose stream.
  */
@@ -14,15 +29,27 @@
 #define PIPECACHE_SERVE_FD_IO_HH
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace pipecache::serve {
+
+/** Longest accepted protocol line (requests, ACK/DONE/ERR). The
+ *  RESULT payload is length-prefixed and goes through readExact(), so
+ *  this bounds only the line-oriented grammar. */
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/** Largest accepted RESULT payload announcement — a corrupt or
+ *  hostile length must not turn into a multi-gigabyte allocation. */
+constexpr std::size_t kMaxPayloadBytes = std::size_t(1) << 30;
 
 /** Buffered reader + unbuffered writer on one socket fd (not owned). */
 class FdStream
@@ -31,20 +58,35 @@ class FdStream
     explicit FdStream(int fd) : fd_(fd) {}
 
     /**
+     * Per-operation I/O timeout in milliseconds (0 = block forever).
+     * Applies to each readLine/readExact/writeAll call as a whole;
+     * expiry throws TimeoutError.
+     */
+    void setTimeout(int ms) { timeoutMs_ = ms; }
+    int timeout() const { return timeoutMs_; }
+
+    /**
      * Read one '\n'-terminated line (terminator stripped, a final
      * unterminated line is returned as-is). False on clean EOF with
-     * nothing buffered; throws IoError on a read error.
+     * nothing buffered; throws IoError on a read error, TimeoutError
+     * past the configured timeout, and DataError when the line
+     * exceeds kMaxLineBytes (the stream is then unrecoverable).
      */
     bool readLine(std::string &line)
     {
+        const Deadline deadline(timeoutMs_);
         for (;;) {
             const auto nl = buf_.find('\n');
             if (nl != std::string::npos) {
+                if (nl > kMaxLineBytes)
+                    throw overlongLine(nl);
                 line.assign(buf_, 0, nl);
                 buf_.erase(0, nl + 1);
                 return true;
             }
-            if (!fill()) {
+            if (buf_.size() > kMaxLineBytes)
+                throw overlongLine(buf_.size());
+            if (!fill(deadline)) {
                 if (buf_.empty())
                     return false;
                 line = std::move(buf_);
@@ -54,11 +96,13 @@ class FdStream
         }
     }
 
-    /** Read exactly @p n bytes. Throws IoError on error or short EOF. */
+    /** Read exactly @p n bytes. Throws IoError on error or short EOF,
+     *  TimeoutError past the configured timeout. */
     std::string readExact(std::size_t n)
     {
+        const Deadline deadline(timeoutMs_);
         while (buf_.size() < n) {
-            if (!fill()) {
+            if (!fill(deadline)) {
                 throw IoError("connection closed mid-payload (" +
                               std::to_string(buf_.size()) + " of " +
                               std::to_string(n) + " bytes)");
@@ -69,19 +113,31 @@ class FdStream
         return out;
     }
 
-    /** Write all of @p data. Throws IoError (EPIPE = peer gone). */
+    /** Write all of @p data. Throws IoError (EPIPE = peer gone) or
+     *  TimeoutError past the configured timeout. */
     void writeAll(const char *data, std::size_t n)
     {
+        const Deadline deadline(timeoutMs_);
         while (n > 0) {
-            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
-            if (w < 0) {
-                if (errno == EINTR)
-                    continue;
-                throw IoError(std::string("socket write: ") +
-                              std::strerror(errno));
+            if (fi::shouldFail("serve.io.write.reset")) {
+                throw IoError(
+                    "socket write: injected connection reset");
             }
+            if (fi::shouldFail("serve.io.write.torn")) {
+                // Leave a torn line on the wire: deliver a prefix,
+                // then fail as if the peer reset underneath us.
+                const std::size_t half = n / 2;
+                if (half > 0)
+                    writeChunk(data, half, deadline);
+                throw IoError("socket write: injected torn write "
+                              "(connection reset)");
+            }
+            std::size_t chunk = n;
+            if (fi::shouldFail("serve.io.write.short"))
+                chunk = 1;
+            const std::size_t w = writeChunk(data, chunk, deadline);
             data += w;
-            n -= static_cast<std::size_t>(w);
+            n -= w;
         }
     }
 
@@ -96,12 +152,109 @@ class FdStream
     int fd() const { return fd_; }
 
   private:
+    /** Absolute deadline of one logical operation (0 = none) — a
+     *  peer trickling one byte per poll cannot extend it. */
+    class Deadline
+    {
+      public:
+        explicit Deadline(int timeoutMs) : timeoutMs_(timeoutMs)
+        {
+            if (armed()) {
+                expiry_ = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+            }
+        }
+
+        /** poll() timeout argument for the time remaining; 0 when
+         *  already expired (poll returns immediately). */
+        int remainingMs() const
+        {
+            if (!armed())
+                return -1;
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    expiry_ - std::chrono::steady_clock::now())
+                    .count();
+            return left < 0 ? 0 : static_cast<int>(left);
+        }
+
+        bool armed() const { return timeoutMs_ > 0; }
+        int totalMs() const { return timeoutMs_; }
+
+      private:
+        int timeoutMs_;
+        std::chrono::steady_clock::time_point expiry_;
+    };
+
+    static DataError overlongLine(std::size_t n)
+    {
+        return DataError("protocol line exceeds " +
+                         std::to_string(kMaxLineBytes) + " bytes (" +
+                         std::to_string(n) +
+                         " and counting); closing the stream");
+    }
+
+    /** Wait until @p events is ready; throws TimeoutError on expiry. */
+    void waitReady(short events, const Deadline &deadline,
+                   const char *what)
+    {
+        for (;;) {
+            pollfd pfd{fd_, events, 0};
+            const int rc = ::poll(&pfd, 1, deadline.remainingMs());
+            if (rc > 0)
+                return;
+            if (rc == 0) {
+                throw TimeoutError(
+                    std::string("socket ") + what +
+                    " timed out after " +
+                    std::to_string(deadline.totalMs()) + " ms");
+            }
+            if (errno == EINTR)
+                continue;
+            throw IoError(std::string("poll(") + what +
+                          "): " + std::strerror(errno));
+        }
+    }
+
+    /** One send() of at most @p n bytes; returns bytes written. */
+    std::size_t writeChunk(const char *data, std::size_t n,
+                           const Deadline &deadline)
+    {
+        for (;;) {
+            if (deadline.armed())
+                waitReady(POLLOUT, deadline, "write");
+            if (fi::shouldFail("serve.io.write.eintr")) {
+                // Simulated EINTR: retry exactly like the real one.
+                continue;
+            }
+            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw IoError(std::string("socket write: ") +
+                              std::strerror(errno));
+            }
+            return static_cast<std::size_t>(w);
+        }
+    }
+
     /** Pull more bytes into buf_; false on EOF. */
-    bool fill()
+    bool fill(const Deadline &deadline)
     {
         char tmp[4096];
         for (;;) {
-            const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
+            if (deadline.armed())
+                waitReady(POLLIN, deadline, "read");
+            if (fi::shouldFail("serve.io.read.eintr"))
+                continue;
+            if (fi::shouldFail("serve.io.read.reset")) {
+                throw IoError(
+                    "socket read: injected connection reset");
+            }
+            std::size_t want = sizeof tmp;
+            if (fi::shouldFail("serve.io.read.short"))
+                want = 1;
+            const ssize_t r = ::recv(fd_, tmp, want, 0);
             if (r < 0) {
                 if (errno == EINTR)
                     continue;
@@ -116,6 +269,7 @@ class FdStream
     }
 
     int fd_;
+    int timeoutMs_ = 0;
     std::string buf_;
 };
 

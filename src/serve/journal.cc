@@ -1,0 +1,143 @@
+#include "serve/journal.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hh"
+
+namespace pipecache::serve {
+
+namespace {
+
+/** Parse "B <id> <request...>" / "E <id>"; false on anything else
+ *  (torn tail from a mid-append crash, stray garbage). */
+bool
+parseRecord(const std::string &line, char &tag, std::uint64_t &id,
+            std::string &request)
+{
+    if (line.size() < 3 || line[1] != ' ')
+        return false;
+    tag = line[0];
+    if (tag != 'B' && tag != 'E')
+        return false;
+    std::istringstream is(line.substr(2));
+    if (!(is >> id))
+        return false;
+    if (tag == 'B') {
+        // The request is everything after "B <id> ".
+        std::getline(is >> std::ws, request);
+        if (request.empty())
+            return false;
+    } else {
+        std::string extra;
+        if (is >> extra)
+            return false;
+        request.clear();
+    }
+    return true;
+}
+
+} // namespace
+
+RequestJournal::RequestJournal(const std::string &path,
+                               std::uint64_t firstId)
+    : path_(path), nextId_(firstId == 0 ? 1 : firstId)
+{
+    out_.open(path, std::ios::out | std::ios::app);
+    if (!out_)
+        throw IoError("cannot open journal '" + path + "' for append");
+}
+
+std::uint64_t
+RequestJournal::begin(const std::string &requestLine)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = nextId_++;
+    // The request line is newline-free by construction (it came off a
+    // line-oriented stream), so one record is one journal line.
+    out_ << "B " << id << ' ' << requestLine << '\n';
+    out_.flush();
+    if (!out_)
+        throw IoError("journal append failed ('" + path_ + "')");
+    return id;
+}
+
+void
+RequestJournal::end(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << "E " << id << '\n';
+    out_.flush();
+    if (!out_)
+        throw IoError("journal append failed ('" + path_ + "')");
+}
+
+std::vector<JournalEntry>
+RequestJournal::loadPending(const std::string &path)
+{
+    std::vector<JournalEntry> pending;
+    std::ifstream in(path);
+    if (!in)
+        return pending; // absent file = empty journal
+
+    // Insertion-ordered: map id -> index into `pending`; an E record
+    // tombstones its B. Ids are per-process-run sequential, so a
+    // journal that accumulated several runs (B 1 ... E 1 ... B 1)
+    // still resolves correctly as long as we match an E against the
+    // *latest* open B with that id — which the map overwrite gives us.
+    std::unordered_map<std::uint64_t, std::size_t> open;
+    std::string line;
+    while (std::getline(in, line)) {
+        char tag = 0;
+        std::uint64_t id = 0;
+        std::string request;
+        if (!parseRecord(line, tag, id, request))
+            continue;
+        if (tag == 'B') {
+            open[id] = pending.size();
+            pending.push_back(JournalEntry{id, std::move(request)});
+        } else {
+            const auto it = open.find(id);
+            if (it != open.end()) {
+                pending[it->second].request.clear();
+                open.erase(it);
+            }
+        }
+    }
+    // Compact out the tombstoned slots, preserving begin order.
+    std::vector<JournalEntry> out;
+    for (auto &e : pending) {
+        if (!e.request.empty())
+            out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::vector<JournalEntry>
+RequestJournal::compact(const std::string &path,
+                        const std::vector<JournalEntry> &pending)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+        if (!out)
+            throw IoError("cannot write journal '" + tmp + "'");
+        std::uint64_t id = 1;
+        for (const auto &e : pending)
+            out << "B " << id++ << ' ' << e.request << '\n';
+        out.flush();
+        if (!out)
+            throw IoError("journal compaction failed ('" + tmp + "')");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw IoError("cannot replace journal '" + path + "'");
+
+    std::vector<JournalEntry> out;
+    std::uint64_t id = 1;
+    for (const auto &e : pending)
+        out.push_back(JournalEntry{id++, e.request});
+    return out;
+}
+
+} // namespace pipecache::serve

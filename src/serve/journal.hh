@@ -1,0 +1,103 @@
+/**
+ * @file
+ * RequestJournal: a line-oriented write-ahead journal of in-flight
+ * SWEEP requests, so a daemon that crashes (SIGKILL, OOM, power)
+ * mid-request can recover its working set on restart.
+ *
+ * The daemon appends `B <id> <request line>` when a sweep request is
+ * admitted to the connection handler and `E <id>` when its response
+ * (RESULT or ERR) has been written. A `B` without a matching `E` is
+ * an in-flight request the crash orphaned. On startup the daemon
+ * loads those, rewrites the journal to contain only them (so the file
+ * stays bounded across restarts), and replays them through the
+ * service to re-warm the suite state — the retrying client's request
+ * then assembles from warm components instead of paying the cold
+ * cost again. Replay is warmth, not correctness: responses are byte-
+ * identical either way (the determinism contract), recovery only
+ * buys back the latency.
+ *
+ * The idempotency key is the request line itself (the grid key plus
+ * the protocol knobs); recovery strips the deadline before replaying
+ * so an orphaned deadline cannot expire a warm-up run.
+ *
+ * Robustness: entries are flushed to the kernel per append (SIGKILL
+ * cannot lose them; only power loss can), a torn final line from a
+ * mid-append crash is ignored on load, and a missing journal file is
+ * an empty journal, never an error.
+ */
+
+#ifndef PIPECACHE_SERVE_JOURNAL_HH
+#define PIPECACHE_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pipecache::serve {
+
+/** One orphaned (begun, never ended) request from a prior run. */
+struct JournalEntry
+{
+    std::uint64_t id = 0;
+    /** The raw request line ("SWEEP key=value ..."). */
+    std::string request;
+};
+
+/** Append-only journal of in-flight request lines. Thread-safe. */
+class RequestJournal
+{
+  public:
+    /**
+     * Open @p path for appending, creating it when absent. Opening is
+     * cheap and does not read existing content — run loadPending() +
+     * compact() first when restart recovery is wanted, and pass the
+     * first id after the compacted range as @p firstId so fresh
+     * requests never collide with the recovered entries' ids. Throws
+     * IoError when the path cannot be opened.
+     */
+    explicit RequestJournal(const std::string &path,
+                            std::uint64_t firstId = 1);
+
+    RequestJournal(const RequestJournal &) = delete;
+    RequestJournal &operator=(const RequestJournal &) = delete;
+
+    /** Journal a request as in-flight; returns its entry id. */
+    std::uint64_t begin(const std::string &requestLine);
+
+    /** Mark the entry @p id as completed (responded, even with ERR). */
+    void end(std::uint64_t id);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Read @p path and return every begun-but-never-ended request, in
+     * begin order. Malformed or torn lines are skipped; a missing
+     * file yields an empty list.
+     */
+    static std::vector<JournalEntry>
+    loadPending(const std::string &path);
+
+    /**
+     * Rewrite @p path to contain exactly @p pending as fresh `B`
+     * entries (new sequential ids starting at 1) and return them —
+     * the startup compaction step. A recovery pass then end()s each
+     * as it replays. Throws IoError on write failure.
+     */
+    static std::vector<JournalEntry>
+    compact(const std::string &path,
+            const std::vector<JournalEntry> &pending);
+
+  private:
+    void append(const std::string &record);
+
+    std::string path_;
+    std::mutex mutex_;
+    std::ofstream out_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace pipecache::serve
+
+#endif // PIPECACHE_SERVE_JOURNAL_HH

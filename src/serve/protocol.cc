@@ -95,6 +95,16 @@ parseRequest(const std::string &line)
             sw.progress = parseBool(key, value);
         } else if (key == "factored") {
             sw.factored = parseBool(key, value);
+        } else if (key == "deadline_ms") {
+            std::size_t ms = 0;
+            // Bounded so a deadline survives int-milliseconds math
+            // everywhere downstream (~24 days is "no deadline").
+            if (!util::parseSize(value, ms) || ms > (1u << 31)) {
+                throw UsageError("bad deadline_ms '" + value +
+                                 "' (need 0.." +
+                                 std::to_string(1u << 31) + ")");
+            }
+            sw.deadlineMs = ms;
         } else {
             // Everything else is a grid key; GridSpec::set throws
             // UsageError on unknown keys and bad values.
@@ -149,6 +159,8 @@ raiseErrLine(const std::string &line)
         throw InterruptedError(msg);
     case ErrorKind::Unavailable:
         throw UnavailableError(msg);
+    case ErrorKind::Timeout:
+        throw TimeoutError(msg);
     default:
         throw InternalError(msg);
     }

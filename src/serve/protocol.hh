@@ -14,8 +14,10 @@
  *                             scale=N (suite scale divisor >= 1),
  *                             threads=N (per-request worker budget,
  *                             0 = server default), progress=0|1
- *                             (stream PROGRESS lines), and
- *                             factored=0|1 (default 1)
+ *                             (stream PROGRESS lines), factored=0|1
+ *                             (default 1), and deadline_ms=N (server-
+ *                             side deadline; expiry cancels the run
+ *                             and answers `ERR timeout`; 0 = none)
  *   PING                      liveness probe
  *   STATUS                    one-line service counters
  *   SHUTDOWN                  ask the daemon to drain and exit
@@ -78,6 +80,13 @@ struct SweepRequest
     bool progress = false;
     /** Factored (shared-component) evaluation; results identical. */
     bool factored = true;
+    /**
+     * Server-side deadline in milliseconds (0 = none). The service's
+     * watchdog cancels the run at expiry — whether it is queued or
+     * evaluating — and the daemon answers `ERR timeout` (client exit
+     * code 7) instead of wedging the connection slot.
+     */
+    std::uint64_t deadlineMs = 0;
 };
 
 /** One parsed request line. */

@@ -12,7 +12,9 @@
 #include <unistd.h>
 
 #include "serve/fd_io.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace pipecache::serve {
@@ -137,10 +139,14 @@ SweepServer::requestShutdown()
     shutdown_.store(true, std::memory_order_relaxed);
     if (wakeWrite_ >= 0) {
         const char byte = 'x';
-        // Best-effort, async-signal-safe; a full pipe already means a
-        // wakeup is pending.
-        [[maybe_unused]] const ssize_t rc =
-            ::write(wakeWrite_, &byte, 1);
+        // Async-signal-safe. Retry EINTR: a signal landing on the
+        // signal handler's own write must not lose the only wakeup.
+        // Anything else (EAGAIN = pipe full) means a wakeup is
+        // already pending, which is all we need.
+        ssize_t rc;
+        do {
+            rc = ::write(wakeWrite_, &byte, 1);
+        } while (rc < 0 && errno == EINTR);
     }
 }
 
@@ -166,8 +172,18 @@ SweepServer::serve()
             if ((fds[i].revents & POLLIN) == 0)
                 continue;
             const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+            // EINTR/ECONNABORTED/EMFILE all land here: drop this
+            // round and keep accepting — a transient accept failure
+            // must never take down the loop.
             if (cfd < 0)
                 continue;
+            if (fi::shouldFail("serve.accept.fail")) {
+                // Simulate the kernel accepting but the daemon
+                // failing to take the connection (e.g. fd pressure):
+                // the client sees an immediate close and retries.
+                ::close(cfd);
+                continue;
+            }
             auto conn = std::make_unique<Conn>();
             conn->fd = cfd;
             Conn &ref = *conn;
@@ -196,6 +212,16 @@ SweepServer::serve()
             ::shutdown(conn->fd, SHUT_RD);
     }
     reapConnections(true);
+}
+
+void
+SweepServer::dropConnections()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto &conn : conns_) {
+        conn->gone.store(true, std::memory_order_relaxed);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
 }
 
 void
@@ -238,6 +264,14 @@ SweepServer::handleConnection(Conn &conn)
         try {
             if (!io.readLine(line))
                 break;
+        } catch (const DataError &e) {
+            // Oversized line: the stream cannot be resynchronized.
+            // Tell the client why, then close.
+            try {
+                sendLine(errLine(e.kind(), e.what()));
+            } catch (const IoError &) {
+            }
+            break;
         } catch (const IoError &) {
             break;
         }
@@ -307,13 +341,44 @@ SweepServer::handleConnection(Conn &conn)
             };
         }
 
+        // Journal the raw request line before evaluation: if the
+        // daemon dies anywhere in runPoints, a restart replays this
+        // line to re-warm the caches for the client's retry. The
+        // guard ends the entry on *every* exit — including ERR
+        // responses, which are final answers, not crashes.
+        struct JournalGuard
+        {
+            RequestJournal *j;
+            std::uint64_t id;
+            JournalGuard(RequestJournal *journal,
+                         const std::string &request)
+                : j(journal), id(j ? j->begin(request) : 0)
+            {
+            }
+            ~JournalGuard()
+            {
+                // Unwinding must not terminate on a full disk; a
+                // stale B record only costs one redundant replay.
+                try {
+                    if (j)
+                        j->end(id);
+                } catch (...) {
+                }
+            }
+        };
+
         try {
+            JournalGuard journal(opts_.journal, line);
             core::SuiteConfig suite;
             suite.scaleDivisor = req.sweep.scaleDivisor;
+            RequestOptions reqOpts;
+            reqOpts.threads = req.sweep.threads;
+            reqOpts.factored = req.sweep.factored;
+            reqOpts.deadlineMs = req.sweep.deadlineMs;
+            reqOpts.onProgress = progress;
+            reqOpts.cancel = &conn.gone;
             SweepResponse resp = service_.runPoints(
-                points, req.sweep.grid.name(), suite,
-                req.sweep.threads, req.sweep.factored, progress,
-                &conn.gone);
+                points, req.sweep.grid.name(), suite, reqOpts);
             {
                 std::lock_guard<std::mutex> lock(writeMutex);
                 io.writeLine("RESULT " +

@@ -37,6 +37,8 @@
 
 namespace pipecache::serve {
 
+class RequestJournal;
+
 /** Listener configuration. At least one of the two must be set. */
 struct ServerOptions
 {
@@ -47,6 +49,13 @@ struct ServerOptions
     /** Loopback TCP port (-1 = no TCP listener; 0 = ephemeral, read
      *  the bound port back via tcpPort()). */
     int tcpPort = -1;
+    /**
+     * Crash-recovery journal (may be null). When set, every SWEEP
+     * request is journaled from admission to response, so a daemon
+     * killed mid-request can re-warm those sweeps on restart (see
+     * serve/journal.hh). Not owned.
+     */
+    RequestJournal *journal = nullptr;
 };
 
 /** The daemon's accept loop + connection threads. */
@@ -79,6 +88,15 @@ class SweepServer
      * SIGINT handlers.
      */
     void requestShutdown();
+
+    /**
+     * Hard-close every live connection (shutdown(SHUT_RDWR)), as if
+     * the daemon's network vanished mid-stream. Clients see EOF or
+     * ECONNRESET at an arbitrary protocol position; the engine winds
+     * down through the normal client-gone path. A chaos/test hook —
+     * the production path never calls it.
+     */
+    void dropConnections();
 
   private:
     struct Conn

@@ -1,5 +1,6 @@
 #include "serve/service.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -8,6 +9,66 @@
 #include "sweep/result_sink.hh"
 
 namespace pipecache::serve {
+
+/**
+ * Registers one request with the watchdog for the lifetime of the
+ * request. With no deadline this is a pass-through (cancel() returns
+ * the client's own flag and nothing is registered); with one, the
+ * watchdog folds client-gone and expiry into the combined flag the
+ * queue wait and the engine poll, and expired() tells the caller
+ * which cause fired so InterruptedError can be upgraded to
+ * TimeoutError.
+ */
+class SweepService::DeadlineGuard
+{
+  public:
+    DeadlineGuard(SweepService &s, std::uint64_t deadlineMs,
+                  const std::atomic<bool> *clientCancel)
+        : s_(s), armed_(deadlineMs != 0), deadlineMs_(deadlineMs)
+    {
+        if (!armed_) {
+            flag_ = clientCancel;
+            return;
+        }
+        watch_.clientCancel = clientCancel;
+        watch_.expiry = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadlineMs);
+        flag_ = &watch_.combined;
+        std::lock_guard<std::mutex> lock(s_.watchMutex_);
+        s_.watches_.push_back(&watch_);
+        s_.ensureWatchdogLocked();
+        s_.watchCv_.notify_all();
+    }
+
+    ~DeadlineGuard()
+    {
+        if (!armed_)
+            return;
+        std::lock_guard<std::mutex> lock(s_.watchMutex_);
+        auto &v = s_.watches_;
+        v.erase(std::remove(v.begin(), v.end(), &watch_), v.end());
+    }
+
+    DeadlineGuard(const DeadlineGuard &) = delete;
+    DeadlineGuard &operator=(const DeadlineGuard &) = delete;
+
+    /** The flag the queue wait and the engine should poll. */
+    const std::atomic<bool> *cancel() const { return flag_; }
+
+    bool expired() const
+    {
+        return armed_ && watch_.expired.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t deadlineMs() const { return deadlineMs_; }
+
+  private:
+    SweepService &s_;
+    bool armed_;
+    std::uint64_t deadlineMs_;
+    Watch watch_;
+    const std::atomic<bool> *flag_ = nullptr;
+};
 
 /**
  * FIFO admission ticket. Construction blocks until admitted and
@@ -117,7 +178,48 @@ SweepService::SweepService(ServiceOptions opts) : opts_(opts)
         opts_.maxInflight = 1;
 }
 
-SweepService::~SweepService() = default;
+SweepService::~SweepService()
+{
+    {
+        std::lock_guard<std::mutex> lock(watchMutex_);
+        watchStop_ = true;
+        watchCv_.notify_all();
+    }
+    if (watchdog_.joinable())
+        watchdog_.join();
+}
+
+void
+SweepService::ensureWatchdogLocked()
+{
+    if (watchdog_.joinable())
+        return;
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+}
+
+void
+SweepService::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(watchMutex_);
+    while (!watchStop_) {
+        const auto now = std::chrono::steady_clock::now();
+        for (Watch *w : watches_) {
+            if (w->clientCancel &&
+                w->clientCancel->load(std::memory_order_relaxed)) {
+                w->combined.store(true, std::memory_order_relaxed);
+            }
+            if (now >= w->expiry &&
+                !w->expired.load(std::memory_order_relaxed)) {
+                w->expired.store(true, std::memory_order_relaxed);
+                w->combined.store(true, std::memory_order_relaxed);
+            }
+        }
+        // A 10 ms tick bounds deadline overshoot; the engine polls
+        // the combined flag between points, so total detection
+        // latency is tick + one point evaluation.
+        watchCv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+}
 
 SweepService::SuiteState &
 SweepService::stateFor(const core::SuiteConfig &suite)
@@ -148,17 +250,20 @@ SweepService::sweep(
     const std::vector<core::DesignPoint> points = req.grid.build();
     core::SuiteConfig suite;
     suite.scaleDivisor = req.scaleDivisor;
-    return runPoints(points, req.grid.name(), suite, req.threads,
-                     req.factored, onProgress, cancel);
+    RequestOptions reqOpts;
+    reqOpts.threads = req.threads;
+    reqOpts.factored = req.factored;
+    reqOpts.deadlineMs = req.deadlineMs;
+    reqOpts.onProgress = onProgress;
+    reqOpts.cancel = cancel;
+    return runPoints(points, req.grid.name(), suite, reqOpts);
 }
 
 SweepResponse
-SweepService::runPoints(
-    const std::vector<core::DesignPoint> &points,
-    const std::string &name, const core::SuiteConfig &suite,
-    std::size_t threads, bool factored,
-    const std::function<void(std::size_t, std::size_t)> &onProgress,
-    const std::atomic<bool> *cancel)
+SweepService::runPoints(const std::vector<core::DesignPoint> &points,
+                        const std::string &name,
+                        const core::SuiteConfig &suite,
+                        const RequestOptions &reqOpts)
 {
     if (points.empty())
         throw UsageError("empty sweep grid");
@@ -166,27 +271,95 @@ SweepService::runPoints(
     obs::ScopedSpan span("serve.request", "serve");
     auto &reg = obs::StatsRegistry::global();
 
-    Admission admission(*this, cancel);
-    reg.addCounter("serve.requests", "sweep requests admitted",
-                   obs::StatKind::Volatile);
-    reg.sampleHistogram("serve.queue_depth",
-                        "admission queue depth seen by arrivals",
-                        obs::StatKind::Volatile, 16,
-                        admission.depthAtArrival());
+    DeadlineGuard guard(*this, reqOpts.deadlineMs, reqOpts.cancel);
+    try {
+        Admission admission(*this, guard.cancel());
+        reg.addCounter("serve.requests", "sweep requests admitted",
+                       obs::StatKind::Volatile);
+        reg.sampleHistogram("serve.queue_depth",
+                            "admission queue depth seen by arrivals",
+                            obs::StatKind::Volatile, 16,
+                            admission.depthAtArrival());
 
+        const auto t0 = std::chrono::steady_clock::now();
+        SuiteState &state = stateFor(suite);
+
+        sweep::RunOptions run;
+        run.threadBudget = reqOpts.threads;
+        if (opts_.maxThreadsPerRequest != 0 &&
+            (run.threadBudget == 0 ||
+             run.threadBudget > opts_.maxThreadsPerRequest)) {
+            run.threadBudget = opts_.maxThreadsPerRequest;
+        }
+        run.onProgress = reqOpts.onProgress;
+        run.factored = reqOpts.factored;
+        run.cancel = guard.cancel();
+        run.coldMetadata = true;
+
+        sweep::RunResult result;
+        {
+            std::lock_guard<std::mutex> runLock(state.runMutex);
+            result = state.engine.run(points, run);
+        }
+
+        SweepResponse resp;
+        resp.name = name;
+        resp.points = points.size();
+        resp.stats = result.stats;
+        resp.memoHits = result.memoHits;
+        resp.json =
+            sweep::jsonString(name, result.records, result.stats);
+        const auto t1 = std::chrono::steady_clock::now();
+        resp.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        reg.sampleHistogram(
+            "serve.request_ms",
+            "request latency (admission to result)",
+            obs::StatKind::Volatile, 64,
+            static_cast<std::uint64_t>(resp.wallMs));
+        return resp;
+    } catch (const InterruptedError &) {
+        // The combined flag fired; disambiguate the cause. A run
+        // that finished before expiry returned above — a deadline is
+        // a cancellation point, not a result-discarding gate.
+        if (guard.expired()) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            reg.addCounter("serve.timeouts",
+                           "requests that hit their deadline",
+                           obs::StatKind::Volatile);
+            throw TimeoutError("deadline of " +
+                               std::to_string(guard.deadlineMs()) +
+                               " ms expired before the sweep "
+                               "finished");
+        }
+        throw;
+    }
+}
+
+SweepResponse
+SweepService::warm(const SweepRequest &req)
+{
+    const std::vector<core::DesignPoint> points = req.grid.build();
+    if (points.empty())
+        throw UsageError("empty sweep grid");
+    core::SuiteConfig suite;
+    suite.scaleDivisor = req.scaleDivisor;
+
+    obs::ScopedSpan span("serve.recover", "serve");
     const auto t0 = std::chrono::steady_clock::now();
     SuiteState &state = stateFor(suite);
 
     sweep::RunOptions run;
-    run.threadBudget = threads;
+    run.threadBudget = req.threads;
     if (opts_.maxThreadsPerRequest != 0 &&
         (run.threadBudget == 0 ||
          run.threadBudget > opts_.maxThreadsPerRequest)) {
         run.threadBudget = opts_.maxThreadsPerRequest;
     }
-    run.onProgress = onProgress;
-    run.factored = factored;
-    run.cancel = cancel;
+    run.factored = req.factored;
     run.coldMetadata = true;
 
     sweep::RunResult result;
@@ -195,21 +368,21 @@ SweepService::runPoints(
         result = state.engine.run(points, run);
     }
 
+    recovered_.fetch_add(1, std::memory_order_relaxed);
+    obs::StatsRegistry::global().addCounter(
+        "serve.recovered", "journaled requests replayed on restart",
+        obs::StatKind::Volatile);
+
     SweepResponse resp;
-    resp.name = name;
+    resp.name = req.grid.name();
     resp.points = points.size();
     resp.stats = result.stats;
     resp.memoHits = result.memoHits;
-    resp.json = sweep::jsonString(name, result.records, result.stats);
+    resp.json = sweep::jsonString(req.grid.name(), result.records,
+                                  result.stats);
     const auto t1 = std::chrono::steady_clock::now();
     resp.wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    reg.sampleHistogram(
-        "serve.request_ms", "request latency (admission to result)",
-        obs::StatKind::Volatile, 64,
-        static_cast<std::uint64_t>(resp.wallMs));
     return resp;
 }
 
@@ -255,6 +428,10 @@ SweepService::statusLine()
            std::to_string(rejected_.load(std::memory_order_relaxed));
     out += " cancelled=" +
            std::to_string(cancelled_.load(std::memory_order_relaxed));
+    out += " timeouts=" +
+           std::to_string(timeouts_.load(std::memory_order_relaxed));
+    out += " recovered=" +
+           std::to_string(recovered_.load(std::memory_order_relaxed));
     out += " suites=" + std::to_string(suites);
     out += " cross_hits=" + std::to_string(crossHits);
     out += " memo_evictions=" + std::to_string(evictions);

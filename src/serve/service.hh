@@ -43,6 +43,7 @@
 #define PIPECACHE_SERVE_SERVICE_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cpi_model.hh"
@@ -83,6 +85,26 @@ struct ServiceOptions
     std::size_t componentCacheLimit = 256;
 };
 
+/** Per-request knobs shared by the protocol and oracle entry points. */
+struct RequestOptions
+{
+    /** Worker budget carved from the shared pool; 0 = server default. */
+    std::size_t threads = 0;
+    /** Factored (shared-component) evaluation; results identical. */
+    bool factored = true;
+    /**
+     * Deadline in milliseconds (0 = none). The service watchdog
+     * cancels the request at expiry — while it is queued or while it
+     * is evaluating — and the request fails with TimeoutError instead
+     * of occupying its slot indefinitely.
+     */
+    std::uint64_t deadlineMs = 0;
+    /** Forwarded to the engine (may be empty). */
+    std::function<void(std::size_t, std::size_t)> onProgress;
+    /** Client-gone flag, polled while queued and between points. */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
 /** Outcome of one admitted, completed sweep request. */
 struct SweepResponse
 {
@@ -109,20 +131,22 @@ class SweepService
 
     /**
      * Admit, evaluate, and serialize one sweep request. Blocks while
-     * queued and while evaluating. @p onProgress (may be null) is
-     * forwarded to the engine; @p cancel (may be null) is polled both
-     * in the queue and between point evaluations.
+     * queued and while evaluating. RequestOptions::onProgress is
+     * forwarded to the engine; RequestOptions::cancel is polled both
+     * in the queue and between point evaluations; a nonzero
+     * RequestOptions::deadlineMs arms the watchdog.
      *
      * Throws UsageError (bad grid), UnavailableError (admission),
-     * InterruptedError (cancelled), or whatever the evaluation threw
+     * InterruptedError (cancelled), TimeoutError (deadline expired
+     * while queued or evaluating), or whatever the evaluation threw
      * under fail-fast semantics — per-point faults are recorded in
      * the JSON instead (the engine's isolation default).
      */
-    SweepResponse
-    sweep(const SweepRequest &req,
-          const std::function<void(std::size_t, std::size_t)>
-              &onProgress = nullptr,
-          const std::atomic<bool> *cancel = nullptr);
+    SweepResponse sweep(const SweepRequest &req,
+                        const std::function<void(std::size_t,
+                                                 std::size_t)>
+                            &onProgress = nullptr,
+                        const std::atomic<bool> *cancel = nullptr);
 
     /**
      * Same admission + evaluation path for an explicit point list and
@@ -133,11 +157,19 @@ class SweepService
     SweepResponse
     runPoints(const std::vector<core::DesignPoint> &points,
               const std::string &name,
-              const core::SuiteConfig &suite, std::size_t threads,
-              bool factored,
-              const std::function<void(std::size_t, std::size_t)>
-                  &onProgress = nullptr,
-              const std::atomic<bool> *cancel = nullptr);
+              const core::SuiteConfig &suite,
+              const RequestOptions &reqOpts = {});
+
+    /**
+     * Replay a journaled request from a previous daemon run to
+     * re-warm the suite state, bypassing admission control: recovery
+     * must not consume the live slots a retrying client is about to
+     * need (the engine's runMutex still serializes per suite, and the
+     * memo dedups the work either way). No deadline, no progress —
+     * the original client is gone; this run exists for its side
+     * effects on the caches. Counted as serve.recovered.
+     */
+    SweepResponse warm(const SweepRequest &req);
 
     /**
      * Stop admitting: queued requests are rejected, new ones refused,
@@ -181,7 +213,29 @@ class SweepService
     class Admission;
     friend class Admission;
 
+    /**
+     * One watchdog-monitored request. The watchdog thread folds the
+     * client-gone flag and deadline expiry into `combined`, which is
+     * what the queue wait and the engine actually poll — one flag,
+     * two causes, disambiguated by `expired` after the fact.
+     */
+    struct Watch
+    {
+        std::atomic<bool> combined{false};
+        std::atomic<bool> expired{false};
+        const std::atomic<bool> *clientCancel = nullptr;
+        std::chrono::steady_clock::time_point expiry;
+    };
+
+    /** RAII watchdog registration for one deadline'd request. */
+    class DeadlineGuard;
+    friend class DeadlineGuard;
+
     SuiteState &stateFor(const core::SuiteConfig &suite);
+
+    /** Caller holds watchMutex_. Starts the watchdog thread once. */
+    void ensureWatchdogLocked();
+    void watchdogLoop();
 
     ServiceOptions opts_;
 
@@ -196,6 +250,15 @@ class SweepService
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> cancelled_{0};
     std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> recovered_{0};
+
+    /** Watchdog: lazily started on the first deadline'd request. */
+    std::mutex watchMutex_;
+    std::condition_variable watchCv_;
+    std::vector<Watch *> watches_;
+    bool watchStop_ = false;
+    std::thread watchdog_;
 
     std::mutex stateMutex_;
     /** Keyed by core::suiteConfigKey(). */

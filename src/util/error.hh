@@ -29,6 +29,11 @@
  *                          admission control (queue full, draining);
  *                          the request itself was well-formed and may
  *                          be retried later.
+ *   TimeoutError     (7) — a deadline expired before the operation
+ *                          finished (a request's deadline_ms, a
+ *                          client-side socket timeout); distinct from
+ *                          Interrupted because nobody asked for the
+ *                          cancellation — time did.
  *   InternalError    (1) — a bug or an injected fault; nothing the
  *                          user did wrong.
  *
@@ -53,6 +58,7 @@ enum class ErrorKind
     Internal,
     Interrupted,
     Unavailable,
+    Timeout,
 };
 
 /** Short stable name, used in JSON results and CLI diagnostics. */
@@ -70,6 +76,8 @@ errorKindName(ErrorKind kind)
         return "interrupted";
     case ErrorKind::Unavailable:
         return "unavailable";
+    case ErrorKind::Timeout:
+        return "timeout";
     default:
         return "internal";
     }
@@ -89,6 +97,8 @@ errorExitCode(ErrorKind kind)
         return 5;
     case ErrorKind::Unavailable:
         return 6;
+    case ErrorKind::Timeout:
+        return 7;
     default:
         return 1;
     }
@@ -112,6 +122,8 @@ errorKindFromName(const std::string &name)
         return ErrorKind::Interrupted;
     if (name == "unavailable")
         return ErrorKind::Unavailable;
+    if (name == "timeout")
+        return ErrorKind::Timeout;
     return ErrorKind::Internal;
 }
 
@@ -228,6 +240,20 @@ class InterruptedError : public Error
   public:
     explicit InterruptedError(const std::string &msg)
         : Error(ErrorKind::Interrupted, msg)
+    {
+    }
+};
+
+/**
+ * A deadline expired before the operation finished (request
+ * deadline_ms on the daemon, socket I/O timeout on the client). The
+ * work done so far is abandoned; a retry restarts from scratch.
+ */
+class TimeoutError : public Error
+{
+  public:
+    explicit TimeoutError(const std::string &msg)
+        : Error(ErrorKind::Timeout, msg)
     {
     }
 };

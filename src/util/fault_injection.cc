@@ -17,7 +17,8 @@ struct Site
     std::uint64_t hits = 0;
     /** Fire when hits reaches this value; 0 = disarmed. */
     std::uint64_t armedAt = 0;
-    bool fired = false;
+    /** Consecutive firings left once armedAt is reached. */
+    std::uint64_t remaining = 0;
 };
 
 std::mutex sitesMutex;
@@ -31,12 +32,12 @@ sites()
 } // namespace
 
 void
-arm(const std::string &site, std::uint64_t nth)
+arm(const std::string &site, std::uint64_t nth, std::uint64_t count)
 {
     std::lock_guard<std::mutex> lock(sitesMutex);
     Site &s = sites()[site];
     s.armedAt = s.hits + (nth == 0 ? 1 : nth);
-    s.fired = false;
+    s.remaining = count == 0 ? 1 : count;
 }
 
 void
@@ -51,17 +52,29 @@ armFromEnv()
         const std::string entry = rest.substr(0, comma);
         rest = comma == std::string::npos ? ""
                                           : rest.substr(comma + 1);
-        const auto colon = entry.rfind(':');
-        if (colon == std::string::npos || colon == 0)
+        // site:nth or site:nth:count (site names contain dots but
+        // never colons).
+        const auto firstColon = entry.find(':');
+        if (firstColon == std::string::npos || firstColon == 0)
             throw UsageError("bad PIPECACHE_FAULTS entry '" + entry +
-                             "' (want site:nth)");
+                             "' (want site:nth[:count])");
         char *end = nullptr;
         const unsigned long long nth =
-            std::strtoull(entry.c_str() + colon + 1, &end, 10);
-        if (*end != '\0' || nth == 0)
+            std::strtoull(entry.c_str() + firstColon + 1, &end, 10);
+        if (end == entry.c_str() + firstColon + 1 || nth == 0 ||
+            (*end != '\0' && *end != ':')) {
             throw UsageError("bad PIPECACHE_FAULTS count in '" + entry +
                              "'");
-        arm(entry.substr(0, colon), nth);
+        }
+        unsigned long long count = 1;
+        if (*end == ':') {
+            char *end2 = nullptr;
+            count = std::strtoull(end + 1, &end2, 10);
+            if (end2 == end + 1 || *end2 != '\0' || count == 0)
+                throw UsageError("bad PIPECACHE_FAULTS count in '" +
+                                 entry + "'");
+        }
+        arm(entry.substr(0, firstColon), nth, count);
     }
 }
 
@@ -86,8 +99,8 @@ shouldFail(const char *site)
     std::lock_guard<std::mutex> lock(sitesMutex);
     Site &s = sites()[site];
     ++s.hits;
-    if (s.armedAt != 0 && !s.fired && s.hits >= s.armedAt) {
-        s.fired = true;
+    if (s.armedAt != 0 && s.remaining > 0 && s.hits >= s.armedAt) {
+        --s.remaining;
         return true;
     }
     return false;

@@ -12,9 +12,19 @@
  *
  * Arming:
  *   - test API: fi::arm("sweep.point.eval", 3) — fire on the 3rd hit
- *     (1-based), once; fi::clear() resets everything.
- *   - environment: PIPECACHE_FAULTS="site:nth[,site:nth...]" parsed
+ *     (1-based), once; fi::arm(site, nth, count) fires on `count`
+ *     consecutive hits starting at the nth (an "EINTR storm");
+ *     fi::clear() resets everything.
+ *   - environment: PIPECACHE_FAULTS="site:nth[:count][,...]" parsed
  *     by fi::armFromEnv() (the CLI calls it at startup).
+ *
+ * Besides the throwing PC_FAULT_POINT sites, the socket layer
+ * (serve/fd_io.hh, serve/server.cc) polls fi::shouldFail() on
+ * behavioral sites — serve.io.read.short, serve.io.read.eintr,
+ * serve.io.read.reset, serve.io.write.short, serve.io.write.eintr,
+ * serve.io.write.reset, serve.io.write.torn, serve.accept.fail —
+ * where firing does not throw InternalError but simulates the
+ * corresponding I/O failure (see DESIGN.md §14 for the catalog).
  *
  * Counting is process-global and thread-safe; with a single worker
  * thread the n-th hit is fully deterministic.
@@ -41,10 +51,13 @@ compiledIn()
 
 #ifdef PIPECACHE_FAULT_INJECTION
 
-/** Arm @p site to fire on its @p nth hit from now (1-based). */
-void arm(const std::string &site, std::uint64_t nth);
+/** Arm @p site to fire on @p count consecutive hits starting at its
+ *  @p nth hit from now (1-based). count = 1 is a single fault;
+ *  count > 1 models a storm (e.g. repeated EINTR). */
+void arm(const std::string &site, std::uint64_t nth,
+         std::uint64_t count = 1);
 
-/** Parse PIPECACHE_FAULTS ("site:nth[,site:nth...]"); unset = no-op.
+/** Parse PIPECACHE_FAULTS ("site:nth[:count][,...]"); unset = no-op.
  *  Throws UsageError on a malformed spec. */
 void armFromEnv();
 
@@ -64,7 +77,9 @@ void injectionPoint(const char *site);
 
 #else
 
-inline void arm(const std::string &, std::uint64_t) {}
+inline void arm(const std::string &, std::uint64_t, std::uint64_t = 1)
+{
+}
 inline void armFromEnv() {}
 inline void clear() {}
 inline std::uint64_t hitCount(const std::string &) { return 0; }

@@ -172,7 +172,8 @@ TEST(FuzzerTest, UnknownOracleNameIsAUsageError)
 {
     EXPECT_THROW(makeOracles({"nosuch"}), UsageError);
     EXPECT_EQ(makeOracles({"checkpoint", "stack"}).size(), 2u);
-    EXPECT_EQ(makeOracles().size(), 6u);
+    EXPECT_EQ(makeOracles({"chaos"}).size(), 1u);
+    EXPECT_EQ(makeOracles().size(), 7u);
 }
 
 TEST(FuzzerTest, SeededRunIsCleanAndDeterministic)

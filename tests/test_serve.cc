@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,12 +31,14 @@
 #include "obs/stats_registry.hh"
 #include "serve/client.hh"
 #include "serve/fd_io.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace pipecache::serve {
 namespace {
@@ -77,6 +82,16 @@ coldJson(const core::SuiteConfig &suite,
     sweep::SweepEngine engine(tpi, opts);
     const auto records = engine.sweep(points);
     return sweep::jsonString(name, records, engine.stats());
+}
+
+/** Shorthand for the common thread/factored request shapes. */
+RequestOptions
+reqOpts(std::size_t threads, bool factored = true)
+{
+    RequestOptions ro;
+    ro.threads = threads;
+    ro.factored = factored;
+    return ro;
 }
 
 // --- protocol ---------------------------------------------------------
@@ -157,6 +172,51 @@ TEST(ServeProtocolTest, ErrLineRoundTrip)
     }
 }
 
+TEST(ServeProtocolTest, ParsesDeadline)
+{
+    EXPECT_EQ(parseRequest("SWEEP").sweep.deadlineMs, 0u);
+    EXPECT_EQ(parseRequest("SWEEP deadline_ms=250").sweep.deadlineMs,
+              250u);
+    EXPECT_EQ(parseRequest("SWEEP deadline_ms=0").sweep.deadlineMs,
+              0u);
+    EXPECT_THROW(parseRequest("SWEEP deadline_ms=abc"), UsageError);
+    EXPECT_THROW(parseRequest("SWEEP deadline_ms=-1"), UsageError);
+    // Bounded so int-milliseconds math downstream cannot overflow.
+    EXPECT_THROW(parseRequest("SWEEP deadline_ms=2147483649"),
+                 UsageError);
+}
+
+TEST(ServeProtocolTest, TimeoutKindRoundTrip)
+{
+    EXPECT_THROW(raiseErrLine(errLine(ErrorKind::Timeout, "m")),
+                 TimeoutError);
+    EXPECT_EQ(errorKindFromName("timeout"), ErrorKind::Timeout);
+    EXPECT_STREQ(errorKindName(ErrorKind::Timeout), "timeout");
+    EXPECT_EQ(TimeoutError("m").exitCode(), 7);
+}
+
+TEST(ServeProtocolTest, MalformedErrLinesStayTyped)
+{
+    // A torn or garbled daemon line must surface as a typed IoError,
+    // never as a silently-wrong parse.
+    EXPECT_THROW(raiseErrLine("ERR"), IoError);
+    EXPECT_THROW(raiseErrLine("ERRX usage m"), IoError);
+    EXPECT_THROW(raiseErrLine("garbage"), IoError);
+    // Unknown kind names (an older client talking to a newer daemon)
+    // degrade to InternalError rather than being dropped.
+    EXPECT_THROW(raiseErrLine("ERR bogus something broke"),
+                 InternalError);
+    EXPECT_THROW(raiseErrLine("ERR timeout deadline expired"),
+                 TimeoutError);
+    // Kind without a message still carries the kind.
+    try {
+        raiseErrLine("ERR unavailable");
+        FAIL() << "raiseErrLine returned";
+    } catch (const UnavailableError &e) {
+        EXPECT_STREQ(e.what(), "(no message)");
+    }
+}
+
 TEST(ServeProtocolTest, SplitKeyValue)
 {
     std::string k;
@@ -193,8 +253,7 @@ TEST(SweepServiceTest, WarmAndConcurrentRequestsStayColdIdentical)
         threads.emplace_back([&, i] {
             try {
                 jsons[i] =
-                    service.runPoints(points, "grid", suite, 0, true)
-                        .json;
+                    service.runPoints(points, "grid", suite).json;
             } catch (const std::exception &e) {
                 errors[i] = e.what();
             }
@@ -209,17 +268,20 @@ TEST(SweepServiceTest, WarmAndConcurrentRequestsStayColdIdentical)
 
     // A warm follow-up is byte-identical and fully memo-served.
     const SweepResponse warm =
-        service.runPoints(points, "grid", suite, 0, true);
+        service.runPoints(points, "grid", suite);
     EXPECT_EQ(warm.json, ref);
     EXPECT_EQ(warm.memoHits,
               warm.stats.cacheMisses - warm.stats.pointsFailed);
     EXPECT_GT(warm.memoHits, 0u);
 
     // Thread budget must not leak into the payload either.
-    EXPECT_EQ(service.runPoints(points, "grid", suite, 1, true).json,
-              ref);
-    EXPECT_EQ(service.runPoints(points, "grid", suite, 4, false).json,
-              ref);
+    EXPECT_EQ(
+        service.runPoints(points, "grid", suite, reqOpts(1)).json,
+        ref);
+    EXPECT_EQ(
+        service.runPoints(points, "grid", suite, reqOpts(4, false))
+            .json,
+        ref);
 
     EXPECT_GE(service.requestsAdmitted(), 7u);
 }
@@ -243,14 +305,14 @@ TEST(SweepServiceTest, AdmissionRejectsWhenFull)
     // Occupy the only slot: the progress callback parks the sweep
     // mid-evaluation until we let it go.
     std::thread holder([&] {
-        service.runPoints(
-            points, "grid", suite, 1, true,
-            [&](std::size_t, std::size_t) {
-                std::unique_lock<std::mutex> lock(m);
-                inEval = true;
-                cv.notify_all();
-                cv.wait(lock, [&] { return release; });
-            });
+        RequestOptions ro = reqOpts(1);
+        ro.onProgress = [&](std::size_t, std::size_t) {
+            std::unique_lock<std::mutex> lock(m);
+            inEval = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        };
+        service.runPoints(points, "grid", suite, ro);
     });
     {
         std::unique_lock<std::mutex> lock(m);
@@ -258,7 +320,7 @@ TEST(SweepServiceTest, AdmissionRejectsWhenFull)
     }
 
     try {
-        service.runPoints(points, "grid", suite, 1, true);
+        service.runPoints(points, "grid", suite, reqOpts(1));
         FAIL() << "second request was admitted past the queue bound";
     } catch (const UnavailableError &e) {
         EXPECT_NE(std::string(e.what()).find("admission queue full"),
@@ -274,7 +336,7 @@ TEST(SweepServiceTest, AdmissionRejectsWhenFull)
 
     // The rejection left the service healthy.
     const SweepResponse after =
-        service.runPoints(points, "grid", suite, 1, true);
+        service.runPoints(points, "grid", suite, reqOpts(1));
     EXPECT_EQ(after.json, coldJson(suite, points, "grid"));
     EXPECT_NE(service.statusLine().find("rejected=1"),
               std::string::npos);
@@ -296,14 +358,14 @@ TEST(SweepServiceTest, QueuedRequestHonorsCancel)
     bool inEval = false;
     bool release = false;
     std::thread holder([&] {
-        service.runPoints(
-            points, "grid", suite, 1, true,
-            [&](std::size_t, std::size_t) {
-                std::unique_lock<std::mutex> lock(m);
-                inEval = true;
-                cv.notify_all();
-                cv.wait(lock, [&] { return release; });
-            });
+        RequestOptions ro = reqOpts(1);
+        ro.onProgress = [&](std::size_t, std::size_t) {
+            std::unique_lock<std::mutex> lock(m);
+            inEval = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        };
+        service.runPoints(points, "grid", suite, ro);
     });
     {
         std::unique_lock<std::mutex> lock(m);
@@ -317,9 +379,11 @@ TEST(SweepServiceTest, QueuedRequestHonorsCancel)
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         cancel.store(true);
     });
-    EXPECT_THROW(service.runPoints(points, "grid", suite, 1, true,
-                                   nullptr, &cancel),
-                 InterruptedError);
+    RequestOptions cancellable = reqOpts(1);
+    cancellable.cancel = &cancel;
+    EXPECT_THROW(
+        service.runPoints(points, "grid", suite, cancellable),
+        InterruptedError);
     canceller.join();
 
     {
@@ -338,7 +402,7 @@ TEST(SweepServiceTest, DrainRejectsNewRequests)
     service.beginDrain();
     EXPECT_TRUE(service.draining());
     EXPECT_THROW(service.runPoints(smallGrid(), "grid", tinySuite(),
-                                   1, true),
+                                   reqOpts(1)),
                  UnavailableError);
     EXPECT_NE(service.statusLine().find("draining=1"),
               std::string::npos);
@@ -358,7 +422,7 @@ TEST(SweepServiceTest, BoundedComponentCacheEvicts)
     const std::uint64_t before =
         reg.counterValue("sweep.memo_evictions");
     const SweepResponse resp =
-        service.runPoints(points, "grid", suite, 1, true);
+        service.runPoints(points, "grid", suite, reqOpts(1));
     const std::uint64_t after =
         reg.counterValue("sweep.memo_evictions");
 
@@ -371,8 +435,9 @@ TEST(SweepServiceTest, BoundedComponentCacheEvicts)
 TEST(SweepServiceTest, EmptyGridIsAUsageError)
 {
     SweepService service;
-    EXPECT_THROW(service.runPoints({}, "grid", tinySuite(), 1, true),
-                 UsageError);
+    EXPECT_THROW(
+        service.runPoints({}, "grid", tinySuite(), reqOpts(1)),
+        UsageError);
 }
 
 // --- server + client (socket end to end) ------------------------------
@@ -486,6 +551,454 @@ TEST(SweepServerTest, EndToEndOverTcp)
 
     // Drained: the listener is gone.
     EXPECT_LT(rawConnect(server.tcpPort()), 0);
+}
+
+// --- fd_io robustness -------------------------------------------------
+
+/** A connected AF_UNIX pair; closes what is left open on teardown. */
+struct SocketPair
+{
+    int a = -1;
+    int b = -1;
+
+    SocketPair()
+    {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+            ADD_FAILURE() << "socketpair: " << std::strerror(errno);
+            return;
+        }
+        a = fds[0];
+        b = fds[1];
+    }
+    ~SocketPair()
+    {
+        closeA();
+        closeB();
+    }
+    void closeA()
+    {
+        if (a >= 0)
+            ::close(a);
+        a = -1;
+    }
+    void closeB()
+    {
+        if (b >= 0)
+            ::close(b);
+        b = -1;
+    }
+};
+
+TEST(FdIoTest, ReadTimeoutThrowsTimeoutError)
+{
+    SocketPair sp;
+    ASSERT_GE(sp.a, 0);
+    FdStream io(sp.a);
+    io.setTimeout(50);
+    std::string line;
+    EXPECT_THROW(io.readLine(line), TimeoutError);
+    EXPECT_THROW(io.readExact(16), TimeoutError);
+}
+
+TEST(FdIoTest, OverlongLineIsDataErrorNotTruncation)
+{
+    SocketPair sp;
+    ASSERT_GE(sp.a, 0);
+
+    // The writer never sends a newline: the reader must reject the
+    // stream once the line exceeds the cap instead of returning a
+    // silently truncated prefix.
+    std::thread writer([&] {
+        const std::string blob(kMaxLineBytes + 100, 'a');
+        FdStream out(sp.a);
+        try {
+            out.writeAll(blob.data(), blob.size());
+        } catch (const Error &) {
+            // Reader may close first; EPIPE here is fine.
+        }
+    });
+
+    FdStream in(sp.b);
+    std::string line;
+    EXPECT_THROW(in.readLine(line), DataError);
+    sp.closeB(); // unblock the writer if it is still sending
+    writer.join();
+}
+
+TEST(FdIoTest, LinesSurviveShortWritesAndEintrStorms)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "needs -DPIPECACHE_FAULT_INJECTION=ON";
+
+    SocketPair sp;
+    ASSERT_GE(sp.a, 0);
+    fi::clear();
+
+    // S1 pin: partial writes must resume where they left off and
+    // EINTR (real or injected) must retry, so the peer still sees one
+    // intact line. The short-write site clamps send() to 1 byte.
+    fi::arm("serve.io.write.short", 1, 3);
+    fi::arm("serve.io.write.eintr", 2, 5);
+    fi::arm("serve.io.read.short", 1, 2);
+    fi::arm("serve.io.read.eintr", 1, 3);
+
+    const std::string line(2000, 'x');
+    std::thread writer([&] {
+        FdStream out(sp.a);
+        out.writeLine(line);
+    });
+
+    FdStream in(sp.b);
+    std::string got;
+    ASSERT_TRUE(in.readLine(got));
+    EXPECT_EQ(got, line);
+    writer.join();
+
+    EXPECT_GE(fi::hitCount("serve.io.write.short"), 3u);
+    EXPECT_GE(fi::hitCount("serve.io.read.eintr"), 3u);
+    fi::clear();
+}
+
+TEST(FdIoTest, InjectedResetAndTornWritesSurfaceAsIoErrors)
+{
+    if (!fi::compiledIn())
+        GTEST_SKIP() << "needs -DPIPECACHE_FAULT_INJECTION=ON";
+
+    const std::string line(64, 'y');
+    {
+        SocketPair sp;
+        ASSERT_GE(sp.a, 0);
+        fi::clear();
+        fi::arm("serve.io.write.reset", 1);
+        FdStream out(sp.a);
+        EXPECT_THROW(out.writeLine(line), IoError);
+    }
+    {
+        SocketPair sp;
+        ASSERT_GE(sp.a, 0);
+        fi::clear();
+        fi::arm("serve.io.write.torn", 1);
+        FdStream out(sp.a);
+        EXPECT_THROW(out.writeLine(line), IoError);
+        // The tear left a prefix on the wire — the reader sees the
+        // torn bytes, then EOF once the writer side closes.
+        sp.closeA();
+        FdStream in(sp.b);
+        std::string got;
+        ASSERT_TRUE(in.readLine(got));
+        EXPECT_LT(got.size(), line.size() + 1);
+    }
+    fi::clear();
+}
+
+// --- retry schedule ---------------------------------------------------
+
+TEST(RetryScheduleTest, DeterministicAndBounded)
+{
+    RetryPolicy policy;
+    policy.baseDelayMs = 50;
+    policy.maxDelayMs = 2000;
+    policy.seed = 7;
+
+    for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+        const std::uint64_t cap = std::min<std::uint64_t>(
+            2000, 50ull << attempt);
+        const std::uint64_t d =
+            retryDelayMs(policy, "SWEEP b=0:1", attempt);
+        // Same inputs, same delay: reproducible runs stay
+        // reproducible.
+        EXPECT_EQ(d, retryDelayMs(policy, "SWEEP b=0:1", attempt));
+        // Bounded to [cap/2, cap]: jitter decorrelates clients
+        // without ever waiting longer than the exponential envelope.
+        EXPECT_GE(d, cap / 2) << "attempt " << attempt;
+        EXPECT_LE(d, cap) << "attempt " << attempt;
+    }
+
+    // Zero base means no waiting at all.
+    RetryPolicy zero;
+    zero.baseDelayMs = 0;
+    zero.maxDelayMs = 0;
+    EXPECT_EQ(retryDelayMs(zero, "SWEEP", 0), 0u);
+}
+
+// --- journal ----------------------------------------------------------
+
+TEST(JournalTest, LoadPendingAndCompactRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "pipecache_journal_test.log";
+    std::remove(path.c_str());
+
+    {
+        RequestJournal j(path);
+        const auto first = j.begin("SWEEP b=0:1");
+        j.begin("SWEEP isize=1,2");
+        j.begin("SWEEP preset=fig3");
+        j.end(first);
+    }
+    // Torn tail and stray garbage from a mid-append crash must be
+    // skipped, not fatal.
+    {
+        std::ofstream app(path, std::ios::app);
+        app << "garbage line\n"
+            << "E 2 unexpected-extra\n"
+            << "B 9\n"
+            << "B "; // torn mid-record, no newline
+    }
+
+    const auto pending = RequestJournal::loadPending(path);
+    ASSERT_EQ(pending.size(), 2u);
+    EXPECT_EQ(pending[0].request, "SWEEP isize=1,2");
+    EXPECT_EQ(pending[1].request, "SWEEP preset=fig3");
+
+    // Compaction rewrites the file down to exactly the pending set
+    // with fresh sequential ids.
+    const auto compacted = RequestJournal::compact(path, pending);
+    ASSERT_EQ(compacted.size(), 2u);
+    EXPECT_EQ(compacted[0].id, 1u);
+    EXPECT_EQ(compacted[1].id, 2u);
+    const auto reloaded = RequestJournal::loadPending(path);
+    ASSERT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded[0].request, "SWEEP isize=1,2");
+
+    // A fresh journal seeded past the recovered range: ending the
+    // recovered entries and the new ones must not collide.
+    {
+        RequestJournal j(path, compacted.size() + 1);
+        const auto fresh = j.begin("SWEEP dsize=1");
+        EXPECT_EQ(fresh, 3u);
+        j.end(fresh);
+        for (const auto &e : compacted)
+            j.end(e.id);
+    }
+    EXPECT_TRUE(RequestJournal::loadPending(path).empty());
+
+    // Absent file = empty journal, never an error.
+    std::remove(path.c_str());
+    EXPECT_TRUE(RequestJournal::loadPending(path).empty());
+}
+
+// --- deadlines --------------------------------------------------------
+
+TEST(SweepServiceTest, DeadlineExpiryBecomesTimeoutError)
+{
+    const auto suite = tinySuite();
+    const auto points = smallGrid();
+
+    ServiceOptions opts;
+    opts.threads = 1;
+    SweepService service(opts);
+
+    // Each point's progress callback stalls long enough that the
+    // 12-point sweep cannot finish inside the deadline; the watchdog
+    // must cancel it and the service must report the interruption as
+    // a timeout, not a generic cancel.
+    RequestOptions ro = reqOpts(1);
+    ro.deadlineMs = 40;
+    ro.onProgress = [](std::size_t, std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    };
+    EXPECT_THROW(service.runPoints(points, "grid", suite, ro),
+                 TimeoutError);
+    EXPECT_NE(service.statusLine().find(" timeouts=1 "),
+              std::string::npos)
+        << service.statusLine();
+
+    // The timeout left the service healthy, and a deadline generous
+    // enough for the sweep changes nothing about the payload.
+    RequestOptions relaxed = reqOpts(1);
+    relaxed.deadlineMs = 60'000;
+    EXPECT_EQ(
+        service.runPoints(points, "grid", suite, relaxed).json,
+        coldJson(suite, points, "grid"));
+}
+
+// --- client retry over real sockets -----------------------------------
+
+/** Listen on an ephemeral loopback port; returns the fd, fills
+ *  @p port. */
+int
+listenLoopback(int &port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, 1) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    port = ntohs(addr.sin_port);
+    return fd;
+}
+
+/** Accept one connection on @p lfd, run @p script over it, close. */
+std::thread
+serveOnce(int lfd, std::function<void(FdStream &)> script)
+{
+    return std::thread([lfd, script = std::move(script)] {
+        const int cfd = ::accept(lfd, nullptr, nullptr);
+        if (cfd < 0)
+            return;
+        FdStream io(cfd);
+        try {
+            script(io);
+        } catch (...) {
+        }
+        ::close(cfd);
+    });
+}
+
+TEST(SweepClientRetryTest, RetriesTransportFailuresIdentically)
+{
+    // Real daemon for the good path.
+    ServiceOptions sopts;
+    sopts.threads = 1;
+    SweepService service(sopts);
+    ServerOptions opts;
+    opts.tcpPort = 0;
+    SweepServer server(service, opts);
+    server.start();
+    std::thread loop([&] { server.serve(); });
+
+    const std::string args = "scale=10000 threads=1 b=0:1 isize=1,2";
+    sweep::GridSpec grid;
+    grid.set("b", "0:1");
+    grid.set("isize", "1,2");
+    core::SuiteConfig suite;
+    suite.scaleDivisor = 10000.0;
+    const std::string ref =
+        coldJson(suite, grid.build(), grid.name());
+
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.baseDelayMs = 1;
+    policy.maxDelayMs = 2;
+    policy.seed = 1;
+
+    // Connect refusals retry and the eventual response is
+    // byte-identical to a first-try run.
+    {
+        std::atomic<int> attempts{0};
+        std::size_t retried = 0;
+        const SweepOutcome out = sweepWithRetry(
+            [&] {
+                if (attempts.fetch_add(1) < 2)
+                    throw IoError("connect: injected refusal");
+                return SweepClient::connectTcp(server.tcpPort());
+            },
+            args, policy, nullptr, &retried);
+        EXPECT_EQ(retried, 2u);
+        EXPECT_EQ(out.json, ref);
+    }
+
+    // A daemon that dies after ACK but before RESULT is a retry-safe
+    // transport failure: the re-issued request lands on the healthy
+    // daemon and the bytes do not change.
+    {
+        int fakePort = 0;
+        const int lfd = listenLoopback(fakePort);
+        ASSERT_GE(lfd, 0);
+        std::thread fake = serveOnce(lfd, [](FdStream &io) {
+            std::string line;
+            io.readLine(line);
+            io.writeLine("ACK id=1 points=4");
+        });
+
+        std::atomic<int> attempts{0};
+        std::size_t retried = 0;
+        const SweepOutcome out = sweepWithRetry(
+            [&] {
+                const int port = attempts.fetch_add(1) == 0
+                                     ? fakePort
+                                     : server.tcpPort();
+                return SweepClient::connectTcp(port);
+            },
+            args, policy, nullptr, &retried);
+        EXPECT_EQ(retried, 1u);
+        EXPECT_EQ(out.json, ref);
+        fake.join();
+        ::close(lfd);
+    }
+
+    // A daemon-reported ERR is a final answer: no retry, even with
+    // budget left.
+    {
+        int fakePort = 0;
+        const int lfd = listenLoopback(fakePort);
+        ASSERT_GE(lfd, 0);
+        std::thread fake = serveOnce(lfd, [](FdStream &io) {
+            std::string line;
+            io.readLine(line);
+            io.writeLine("ERR io daemon-side failure");
+        });
+
+        std::atomic<int> attempts{0};
+        std::size_t retried = 0;
+        EXPECT_THROW(
+            sweepWithRetry(
+                [&] {
+                    attempts.fetch_add(1);
+                    return SweepClient::connectTcp(fakePort);
+                },
+                args, policy, nullptr, &retried),
+            IoError);
+        EXPECT_EQ(attempts.load(), 1);
+        EXPECT_EQ(retried, 0u);
+        fake.join();
+        ::close(lfd);
+    }
+
+    // Exhausted retries propagate the transport failure.
+    {
+        RetryPolicy two = policy;
+        two.maxAttempts = 2;
+        std::size_t retried = 0;
+        EXPECT_THROW(
+            sweepWithRetry(
+                [&]() -> SweepClient {
+                    throw IoError("connect: injected refusal");
+                },
+                args, two, nullptr, &retried),
+            IoError);
+        EXPECT_EQ(retried, 1u);
+    }
+
+    SweepClient::connectTcp(server.tcpPort()).command("SHUTDOWN");
+    loop.join();
+}
+
+TEST(SweepClientTest, OversizedResultAnnouncementIsDataError)
+{
+    // A corrupt RESULT length must be rejected before any allocation,
+    // not trusted into a multi-gigabyte buffer.
+    int fakePort = 0;
+    const int lfd = listenLoopback(fakePort);
+    ASSERT_GE(lfd, 0);
+    std::thread fake = serveOnce(lfd, [](FdStream &io) {
+        std::string line;
+        io.readLine(line);
+        io.writeLine("ACK id=1 points=1");
+        io.writeLine("RESULT 1073741825"); // kMaxPayloadBytes + 1
+    });
+
+    SweepClient client = SweepClient::connectTcp(fakePort);
+    EXPECT_THROW(client.sweep(""), DataError);
+    fake.join();
+    ::close(lfd);
 }
 
 } // namespace

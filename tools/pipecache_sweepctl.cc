@@ -17,11 +17,25 @@
  * to --out (default stdout, atomically for files). --progress
  * streams the daemon's PROGRESS lines as a live stderr ticker.
  *
+ * Robustness knobs: --deadline-ms N asks the daemon to cancel the
+ * sweep server-side at N ms (exit 7); --io-timeout-ms N bounds each
+ * socket operation client-side (also exit 7); --retries K re-issues
+ * the request up to K times on transport failures — connect refused,
+ * daemon killed before the first RESULT byte — with deterministic
+ * exponential backoff (--retry-base-ms, --retry-seed). Sweeps are
+ * idempotent, so a retried response is byte-identical to an
+ * uninterrupted one; when any retries happened the summary line on
+ * stderr says how many.
+ *
  * Exit codes mirror the local CLI plus the service kinds: 0 ok;
  * 1 internal error; 2 usage error; 3 data/io error (including a
- * daemon that is not there); 4 sweep completed but some points
- * failed; 5 request interrupted; 6 daemon rejected the request
- * (admission control / draining) — retry later.
+ * daemon that is not there, after retries); 4 sweep completed but
+ * some points failed; 5 request interrupted; 6 daemon rejected the
+ * request (admission control / draining) — retry later; 7 deadline
+ * or I/O timeout expired. 6 and 7 are deliberately distinct from 3:
+ * a rejection or timeout means the daemon is alive and the request
+ * was sound — back off and retry — while 3 means something is
+ * actually broken.
  */
 
 #include <cctype>
@@ -29,6 +43,7 @@
 #include <cstdio>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -49,6 +64,14 @@ struct CtlOptions
     std::string outPath = "-";
     bool progress = false;
     bool quiet = false;
+    /** Server-side deadline (0 = none), forwarded as deadline_ms=. */
+    std::size_t deadlineMs = 0;
+    /** Client-side per-operation socket timeout (0 = none). */
+    std::size_t ioTimeoutMs = 0;
+    /** Transport-failure retries (0 = single attempt). */
+    std::size_t retries = 0;
+    std::size_t retryBaseMs = 50;
+    std::size_t retrySeed = 0;
 };
 
 [[noreturn]] void
@@ -69,9 +92,19 @@ usage(const char *argv0, int code)
        << "  --out PATH   JSON output, '-' = stdout (default -)\n"
        << "  --progress   live progress line on stderr\n"
        << "  --quiet      no summary on stderr\n"
+       << "  --deadline-ms N    server cancels the sweep at N ms\n"
+       << "                     and answers ERR timeout (exit 7)\n"
+       << "  --io-timeout-ms N  client-side per-operation socket\n"
+       << "                     timeout (exit 7; 0 = none)\n"
+       << "  --retries K        re-issue up to K times on transport\n"
+       << "                     failures (never on daemon errors)\n"
+       << "  --retry-base-ms N  first backoff, doubling per retry\n"
+       << "                     (default 50)\n"
+       << "  --retry-seed N     deterministic jitter seed\n"
        << "Exit codes: 0 ok; 1 internal; 2 usage; 3 data/io;\n"
        << "4 completed with failed points; 5 interrupted;\n"
-       << "6 rejected by admission control (retry later).\n";
+       << "6 rejected by admission control (retry later);\n"
+       << "7 deadline or I/O timeout expired.\n";
     std::exit(code);
 }
 
@@ -105,6 +138,27 @@ parseArgs(int argc, char **argv)
             opts.tcpPort = static_cast<int>(v);
         } else if (arg == "--out") {
             opts.outPath = next(i);
+        } else if (arg == "--deadline-ms" ||
+                   arg == "--io-timeout-ms" || arg == "--retries" ||
+                   arg == "--retry-base-ms" ||
+                   arg == "--retry-seed") {
+            const std::string spec = next(i);
+            std::size_t v = 0;
+            if (!pipecache::util::parseSize(spec, v)) {
+                std::cerr << argv[0] << ": bad " << arg << " '"
+                          << spec << "'\n";
+                usage(argv[0], 2);
+            }
+            if (arg == "--deadline-ms")
+                opts.deadlineMs = v;
+            else if (arg == "--io-timeout-ms")
+                opts.ioTimeoutMs = v;
+            else if (arg == "--retries")
+                opts.retries = v;
+            else if (arg == "--retry-base-ms")
+                opts.retryBaseMs = v;
+            else
+                opts.retrySeed = v;
         } else if (arg == "--progress") {
             opts.progress = true;
         } else if (arg == "--quiet") {
@@ -143,15 +197,25 @@ run(int argc, char **argv)
     using namespace pipecache;
 
     const CtlOptions opts = parseArgs(argc, argv);
-    serve::SweepClient client =
-        opts.socketPath.empty()
-            ? serve::SweepClient::connectTcp(opts.tcpPort)
-            : serve::SweepClient::connectUnix(opts.socketPath);
+    const int ioTimeout =
+        opts.ioTimeoutMs > static_cast<std::size_t>(
+                               std::numeric_limits<int>::max())
+            ? std::numeric_limits<int>::max()
+            : static_cast<int>(opts.ioTimeoutMs);
+    const auto connect = [&opts, ioTimeout]() {
+        serve::SweepClient client =
+            opts.socketPath.empty()
+                ? serve::SweepClient::connectTcp(opts.tcpPort)
+                : serve::SweepClient::connectUnix(opts.socketPath);
+        client.setIoTimeout(ioTimeout);
+        return client;
+    };
 
     if (opts.command != "sweep") {
         std::string verb = opts.command;
         for (char &c : verb)
             c = static_cast<char>(std::toupper(c));
+        serve::SweepClient client = connect();
         const std::string reply = client.command(verb);
         std::cout << reply << "\n";
         return 0;
@@ -168,6 +232,11 @@ run(int argc, char **argv)
             args += " ";
         args += "progress=1";
     }
+    if (opts.deadlineMs > 0) {
+        if (!args.empty())
+            args += " ";
+        args += "deadline_ms=" + std::to_string(opts.deadlineMs);
+    }
 
     std::function<void(std::size_t, std::size_t)> onProgress;
     if (opts.progress) {
@@ -179,8 +248,17 @@ run(int argc, char **argv)
         };
     }
 
-    const serve::SweepOutcome outcome =
-        client.sweep(args, onProgress);
+    serve::RetryPolicy policy;
+    policy.maxAttempts = opts.retries + 1;
+    policy.baseDelayMs = opts.retryBaseMs;
+    policy.seed = opts.retrySeed;
+    std::size_t retried = 0;
+    const serve::SweepOutcome outcome = serve::sweepWithRetry(
+        connect, args, policy, onProgress, &retried);
+    if (retried > 0) {
+        std::cerr << "retried " << retried << " time(s) after "
+                  << "transport failures\n";
+    }
 
     if (opts.outPath == "-") {
         std::cout << outcome.json;

@@ -26,19 +26,32 @@
  * accepting, reject queued work, let in-flight sweeps finish and
  * stream their results, then exit 0.
  *
+ * Crash recovery: with --journal PATH every in-flight SWEEP request
+ * is journaled (serve/journal.hh). After a SIGKILL the next start
+ * finds the orphaned entries and replays them in the background —
+ * bypassing admission control, so a retrying client is never
+ * rejected by its own recovery — re-warming the caches the killed
+ * run had built. The replay strips any deadline (the original client
+ * is gone; expiry would only waste the warm-up).
+ *
  * Exit codes: 0 clean shutdown; 1 internal error; 2 usage error;
- * 3 startup I/O error (bind/listen).
+ * 3 startup I/O error (bind/listen/journal).
  */
 
 #include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/env.hh"
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
+#include "serve/journal.hh"
+#include "serve/protocol.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "util/atomic_file.hh"
@@ -67,6 +80,7 @@ struct DaemonOptions
     pipecache::serve::ServiceOptions service;
     std::string statsPath;
     std::string tracePath;
+    std::string journalPath;
     bool quiet = false;
 };
 
@@ -87,6 +101,9 @@ usage(const char *argv0, int code)
        << "                      0 = uncapped          (default 0)\n"
        << "  --memo-limit N      factored component-cache bound per\n"
        << "                      suite, 0 = unbounded  (default 256)\n"
+       << "  --journal PATH      journal in-flight requests; after a\n"
+       << "                      crash the next start replays them to\n"
+       << "                      re-warm the caches\n"
        << "  --stats-out PATH    write the stats registry as JSON\n"
        << "                      (incl. volatile) at shutdown\n"
        << "                      (default $PIPECACHE_STATS)\n"
@@ -156,6 +173,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--memo-limit") {
             opts.service.componentCacheLimit =
                 sizeArg(i, std::size_t(1) << 30);
+        } else if (arg == "--journal") {
+            opts.journalPath = next(i);
         } else if (arg == "--stats-out") {
             opts.statsPath = next(i);
         } else if (arg == "--trace-out") {
@@ -186,11 +205,65 @@ run(int argc, char **argv)
         obs::Tracer::global().enable();
 
     serve::SweepService service(opts.service);
+
+    // Journal recovery: find what a killed predecessor left
+    // in-flight, compact the journal down to exactly those entries,
+    // and replay them in the background once the listener is up.
+    std::unique_ptr<serve::RequestJournal> journal;
+    std::vector<serve::JournalEntry> recoverable;
+    if (!opts.journalPath.empty()) {
+        recoverable = serve::RequestJournal::compact(
+            opts.journalPath,
+            serve::RequestJournal::loadPending(opts.journalPath));
+        journal = std::make_unique<serve::RequestJournal>(
+            opts.journalPath, recoverable.size() + 1);
+    }
+
     serve::ServerOptions serverOpts;
     serverOpts.socketPath = opts.socketPath;
     serverOpts.tcpPort = opts.tcpPort;
+    serverOpts.journal = journal.get();
     serve::SweepServer server(service, serverOpts);
     server.start();
+
+    std::thread recovery;
+    if (!recoverable.empty()) {
+        if (!opts.quiet) {
+            std::cerr << "pipecache_sweepd: recovering "
+                      << recoverable.size()
+                      << " journaled request(s)\n";
+        }
+        recovery = std::thread([&service, &journal, &recoverable,
+                                quiet = opts.quiet] {
+            for (const auto &entry : recoverable) {
+                try {
+                    serve::Request req =
+                        serve::parseRequest(entry.request);
+                    if (req.verb != serve::Verb::Sweep)
+                        continue;
+                    // The original client is gone: no deadline (it
+                    // would only cut the warm-up short), and replay
+                    // errors are logged, never fatal — a request
+                    // that was broken before the crash is broken
+                    // after it too.
+                    req.sweep.deadlineMs = 0;
+                    service.warm(req.sweep);
+                } catch (const std::exception &e) {
+                    if (!quiet) {
+                        std::cerr << "pipecache_sweepd: recovery of '"
+                                  << entry.request
+                                  << "' failed: " << e.what() << "\n";
+                    }
+                }
+                try {
+                    journal->end(entry.id);
+                } catch (const std::exception &) {
+                    // A stale B record costs one redundant replay
+                    // next start; never kill the daemon over it.
+                }
+            }
+        });
+    }
 
     g_server = &server;
     struct sigaction sa;
@@ -211,6 +284,8 @@ run(int argc, char **argv)
 
     server.serve();
     g_server = nullptr;
+    if (recovery.joinable())
+        recovery.join();
 
     if (!opts.statsPath.empty()) {
         util::writeFileAtomic(opts.statsPath, [&](std::ostream &out) {

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files on the hot kernels.
+
+    scripts/bench_compare.py BASELINE.json NEW.json [--report OUT.md]
+                             [--max-regression 0.30]
+
+Checks items_per_second of the guarded benchmarks (BM_StackSim and
+every BM_CacheAccess variant) and fails (exit 1) if any regresses by
+more than --max-regression relative to the baseline. Benchmarks absent
+from either file are reported but do not fail the check (the guard
+must not block adding or renaming benchmarks). Writes a Markdown
+report for CI artifact upload when --report is given.
+"""
+
+import argparse
+import json
+import sys
+
+GUARDED_PREFIXES = ("BM_StackSim", "BM_CacheAccess")
+
+
+def items_per_second(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if not name.startswith(GUARDED_PREFIXES):
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[name] = float(ips)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--report", default=None)
+    ap.add_argument("--max-regression", type=float, default=0.30)
+    args = ap.parse_args()
+
+    base = items_per_second(args.baseline)
+    new = items_per_second(args.new)
+
+    rows = []
+    failures = []
+    for name in sorted(set(base) | set(new)):
+        if name not in base:
+            rows.append((name, None, new[name], None, "new"))
+            continue
+        if name not in new:
+            rows.append((name, base[name], None, None, "removed"))
+            continue
+        ratio = new[name] / base[name]
+        status = "ok"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {base[name]:.3g} -> {new[name]:.3g} items/s "
+                f"({ratio:.2f}x, limit {1.0 - args.max_regression:.2f}x)")
+        rows.append((name, base[name], new[name], ratio, status))
+
+    lines = ["| benchmark | baseline items/s | new items/s | ratio | status |",
+             "|---|---|---|---|---|"]
+    for name, b, n, r, status in rows:
+        fmt = lambda v: f"{v:.4g}" if v is not None else "-"
+        lines.append(f"| {name} | {fmt(b)} | {fmt(n)} | "
+                     f"{f'{r:.2f}x' if r is not None else '-'} | {status} |")
+    report = "\n".join(["# Perf-smoke comparison", ""] + lines) + "\n"
+
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+
+    if not rows:
+        print("bench_compare: no guarded benchmarks found", file=sys.stderr)
+        return 1
+    if failures:
+        print("bench_compare: throughput regression beyond "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for f_ in failures:
+            print("  " + f_, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,29 +5,61 @@
 #
 #   scripts/run_bench.sh [build-dir] [extra benchmark args...]
 #
+# The baseline must mean something: if the binary is missing, a
+# Release build is configured and built at [build-dir] (default
+# build-bench/); if the binary self-reports as unoptimized (the
+# pipecache_optimized context key stamped by bench_throughput's main),
+# the run is discarded rather than published.
+#
 # Examples:
-#   scripts/run_bench.sh                       # default build/, full run
-#   scripts/run_bench.sh build --benchmark_min_time=0.05s   # CI smoke
+#   scripts/run_bench.sh                       # Release build, full run
+#   scripts/run_bench.sh build-bench --benchmark_min_time=0.05   # smoke
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="${1:-$repo_root/build-bench}"
 shift || true
 
 bench_bin="$build_dir/bench/bench_throughput"
 if [[ ! -x "$bench_bin" ]]; then
     # Layouts differ between generators; fall back to a search.
-    bench_bin="$(find "$build_dir" -name bench_throughput -type f | head -n1)"
+    bench_bin="$(find "$build_dir" -name bench_throughput -type f 2>/dev/null | head -n1 || true)"
 fi
 if [[ -z "$bench_bin" || ! -x "$bench_bin" ]]; then
-    echo "run_bench.sh: bench_throughput not found under $build_dir" >&2
-    echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
-    exit 1
+    echo "run_bench.sh: bench_throughput not found under $build_dir; configuring a Release build" >&2
+    cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build_dir" -j --target bench_throughput
+    bench_bin="$build_dir/bench/bench_throughput"
 fi
 
 out="$repo_root/BENCH_throughput.json"
+tmp="$(mktemp "${TMPDIR:-/tmp}/BENCH_throughput.XXXXXX.json")"
+trap 'rm -f "$tmp"' EXIT
+
 "$bench_bin" \
-    --benchmark_out="$out" \
+    --benchmark_out="$tmp" \
     --benchmark_out_format=json \
     "$@"
+
+# Refuse to publish numbers measured from an unoptimized binary. The
+# gate is our own context key: the library's "library_build_type"
+# describes the installed libbenchmark, not this code.
+python3 - "$tmp" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    ctx = json.load(f)["context"]
+opt = ctx.get("pipecache_optimized")
+build = ctx.get("pipecache_build_type", "unknown")
+if opt != "1":
+    sys.stderr.write(
+        "run_bench.sh: refusing to write BENCH_throughput.json from an "
+        f"unoptimized binary (pipecache_build_type={build!r}, "
+        f"pipecache_optimized={opt!r}).\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release and rerun.\n")
+    sys.exit(1)
+EOF
+
+mv "$tmp" "$out"
+trap - EXIT
 echo "wrote $out" >&2

@@ -1,8 +1,36 @@
 #include "cache/cache.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace pipecache::cache {
+
+namespace {
+
+/**
+ * Compare-mask over a compile-time-width row: bit w set iff lane[w]
+ * equals tag. Fully unrolled, no data-dependent branches — the
+ * vectorizer turns the power-of-two widths into single packed
+ * compares.
+ */
+template <std::uint32_t W>
+inline std::uint32_t
+fixedMask(const Addr *lane, Addr tag)
+{
+    std::uint32_t mask = 0;
+    for (std::uint32_t w = 0; w < W; ++w)
+        mask |= static_cast<std::uint32_t>(lane[w] == tag) << w;
+    return mask;
+}
+
+inline std::uint32_t
+roundUpPow2(std::uint32_t x)
+{
+    return std::bit_ceil(x);
+}
+
+} // namespace
 
 void
 CacheConfig::validate() const
@@ -20,62 +48,79 @@ Cache::Cache(const CacheConfig &config, std::uint64_t seed)
     : config_(config), rng_(seed ^ 0x9d39247e33776d41ULL)
 {
     config_.validate();
-    lines_.resize(config_.sets() * config_.assoc);
+    wayStride_ = roundUpPow2(config_.assoc);
+    const std::size_t lanes = config_.sets() * wayStride_;
+    tags_.assign(lanes, kInvalidTag);
+    stamps_.assign(lanes, 0);
+    dirty_.assign(lanes, 0);
     setShift_ = floorLog2(config_.blockBytes);
     setMask_ = config_.sets() - 1;
 }
 
-Cache::Line *
-Cache::findLine(Addr addr)
+std::uint32_t
+Cache::findWay(const Addr *lane, Addr tag) const
 {
-    const std::uint64_t set = (addr >> setShift_) & setMask_;
-    const Addr tag = addr >> setShift_;
-    Line *base = &lines_[set * config_.assoc];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
+    switch (wayStride_) {
+      case 1:
+        return lane[0] == tag ? 0 : kNoWay;
+      case 2: {
+        const std::uint32_t m = fixedMask<2>(lane, tag);
+        return m != 0 ? std::countr_zero(m) : kNoWay;
+      }
+      case 4: {
+        const std::uint32_t m = fixedMask<4>(lane, tag);
+        return m != 0 ? std::countr_zero(m) : kNoWay;
+      }
+      case 8: {
+        const std::uint32_t m = fixedMask<8>(lane, tag);
+        return m != 0 ? std::countr_zero(m) : kNoWay;
+      }
+      case 16: {
+        const std::uint32_t m = fixedMask<16>(lane, tag);
+        return m != 0 ? std::countr_zero(m) : kNoWay;
+      }
+      default:
+        // Strides past 32 come in multiples of 32 (powers of two).
+        for (std::uint32_t base = 0; base < wayStride_; base += 32) {
+            const std::uint32_t m = fixedMask<32>(lane + base, tag);
+            if (m != 0)
+                return base + std::countr_zero(m);
+        }
+        return kNoWay;
     }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr addr) const
-{
-    return const_cast<Cache *>(this)->findLine(addr);
 }
 
 bool
-Cache::access(Addr addr, bool write)
+Cache::accessDirectMiss(std::uint64_t set, Addr tag, bool write)
+{
+    const bool evict = tags_[set] != kInvalidTag;
+    if (evict && config_.repl == Replacement::Random)
+        rng_.nextRange(1); // keep the Random draw stream identical
+    stats_.readMisses += write ? 0 : 1;
+    stats_.writeMisses += write ? 1 : 0;
+    stats_.evictions += evict ? 1 : 0;
+    stats_.dirtyEvictions += (evict && dirty_[set] != 0) ? 1 : 0;
+    dirty_[set] = write ? 1 : 0;
+    tags_[set] = tag;
+    return false;
+}
+
+bool
+Cache::accessGeneral(Addr addr, bool write)
 {
     ++tick_;
-    stats_.reads += write ? 0 : 1;
-    stats_.writes += write ? 1 : 0;
-
-    // One scan serves lookup and victim selection: the tag/set pair
-    // is computed once, and on a miss the invalid way and the LRU way
-    // are already known — no second walk over the set.
     const Addr tag = addr >> setShift_;
     const std::uint64_t set = tag & setMask_;
-    Line *const base = &lines_[set * config_.assoc];
+    const std::size_t base = set * wayStride_;
+    Addr *const tagLane = &tags_[base];
+    std::uint64_t *const stampLane = &stamps_[base];
+    std::uint8_t *const dirtyLane = &dirty_[base];
 
-    Line *firstInvalid = nullptr;
-    Line *lru = nullptr;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
-            if (!firstInvalid)
-                firstInvalid = &line;
-            continue;
-        }
-        if (line.tag == tag) {
-            line.stamp = tick_;
-            line.dirty = line.dirty || write;
-            return true;
-        }
-        // Strict < keeps the lowest index on equal stamps, matching
-        // a front-to-back minimum scan.
-        if (!lru || line.stamp < lru->stamp)
-            lru = &line;
+    const std::uint32_t hitWay = findWay(tagLane, tag);
+    if (hitWay != kNoWay) {
+        stampLane[hitWay] = tick_;
+        dirtyLane[hitWay] |= write ? 1 : 0;
+        return true;
     }
 
     stats_.readMisses += write ? 0 : 1;
@@ -84,35 +129,58 @@ Cache::access(Addr addr, bool write)
     if (write && !config_.writeAllocate)
         return false;
 
-    Line *victim = firstInvalid;
-    if (!victim) {
-        victim = config_.repl == Replacement::Random
-                     ? &base[rng_.nextRange(config_.assoc)]
-                     : lru;
+    // Victim selection walks only the real ways (padding lanes stay
+    // kInvalidTag but must never be filled). Preference order matches
+    // the AoS scan it replaces: first invalid way, else the
+    // front-to-back minimum stamp (strict <), else a Random draw.
+    const std::uint32_t assoc = config_.assoc;
+    std::uint32_t victim;
+    bool evicting;
+    if (config_.repl == Replacement::LRU) {
+        // Invalid ways keep stamp 0 and live lines are stamped from
+        // tick 1 up, so a single branchless argmin finds the first
+        // invalid way when one exists and the true LRU way otherwise.
+        victim = 0;
+        for (std::uint32_t w = 1; w < assoc; ++w)
+            victim = stampLane[w] < stampLane[victim] ? w : victim;
+        evicting = tagLane[victim] != kInvalidTag;
+    } else {
+        victim = kNoWay;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (tagLane[w] == kInvalidTag) {
+                victim = w;
+                break;
+            }
+        }
+        evicting = victim == kNoWay;
+        if (evicting)
+            victim = static_cast<std::uint32_t>(rng_.nextRange(assoc));
     }
-    if (victim->valid) {
+    if (evicting) {
         ++stats_.evictions;
-        if (victim->dirty)
+        if (dirtyLane[victim] != 0)
             ++stats_.dirtyEvictions;
     }
-    victim->valid = true;
-    victim->dirty = write;
-    victim->tag = tag;
-    victim->stamp = tick_;
+    tagLane[victim] = tag;
+    dirtyLane[victim] = write ? 1 : 0;
+    stampLane[victim] = tick_;
     return false;
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    return findLine(addr) != nullptr;
+    const Addr tag = addr >> setShift_;
+    const std::uint64_t set = tag & setMask_;
+    return findWay(&tags_[set * wayStride_], tag) != kNoWay;
 }
 
 void
 Cache::flush()
 {
-    for (auto &line : lines_)
-        line = Line();
+    tags_.assign(tags_.size(), kInvalidTag);
+    stamps_.assign(stamps_.size(), 0);
+    dirty_.assign(dirty_.size(), 0);
 }
 
 } // namespace pipecache::cache

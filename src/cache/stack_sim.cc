@@ -7,6 +7,54 @@
 
 namespace pipecache::cache {
 
+namespace {
+
+/** Fibonacci multiplier: an odd constant makes the low-bit slot map a
+ *  bijection, so linear probing sees well-spread keys. */
+constexpr std::uint32_t kHashMul = 2654435761u;
+
+constexpr std::size_t kInitialIndexCap = 1024;
+constexpr std::uint32_t kInitialBlockCap = 1024;
+
+/**
+ * Reuse depth + move-to-front over one window row at compile-time
+ * width: a fully unrolled compare mask (one packed compare for the
+ * SIMD-width cases), then an unconditional rewrite of the whole row —
+ * every lane is a select, no data-dependent branches. Returns the
+ * depth (W if the block was absent).
+ */
+template <std::uint32_t W>
+inline std::uint32_t
+depthAndRotate(std::uint32_t *win, std::uint32_t bi)
+{
+    std::uint32_t m = 0;
+    for (std::uint32_t p = 0; p < W; ++p)
+        m |= static_cast<std::uint32_t>(win[p] == bi) << p;
+    const std::uint32_t d =
+        m != 0 ? static_cast<std::uint32_t>(std::countr_zero(m)) : W;
+    if constexpr (W > 1) {
+        const std::uint32_t rot = std::min(d, W - 1);
+        for (std::uint32_t p = W - 1; p > 0; --p)
+            win[p] = p <= rot ? win[p - 1] : win[p];
+    }
+    win[0] = bi;
+    return d;
+}
+
+inline std::uint32_t
+depthAndRotateAny(std::uint32_t *win, std::uint32_t bi, std::uint32_t w)
+{
+    std::uint32_t d = w;
+    for (std::uint32_t p = 0; p < w; ++p)
+        d = win[p] == bi ? p : d;
+    for (std::uint32_t p = std::min(d, w - 1); p > 0; --p)
+        win[p] = win[p - 1];
+    win[0] = bi;
+    return d;
+}
+
+} // namespace
+
 Counter
 StackSimulator::GeomCounts::readMissTotal() const
 {
@@ -27,8 +75,9 @@ StackSimulator::GeomCounts::writeMissTotal() const
 
 StackSimulator::StackSimulator(std::uint32_t blockBytes,
                                std::vector<StackGeometry> geometries,
-                               std::size_t numBenches)
-    : blockBytes_(blockBytes), numBenches_(numBenches),
+                               std::size_t numBenches,
+                               StackSimImpl impl)
+    : blockBytes_(blockBytes), numBenches_(numBenches), impl_(impl),
       geoms_(std::move(geometries))
 {
     PC_ASSERT(isPowerOfTwo(blockBytes_) && blockBytes_ >= 4,
@@ -48,6 +97,8 @@ StackSimulator::StackSimulator(std::uint32_t blockBytes,
 
     for (std::uint32_t g = 0; g < geoms_.size(); ++g) {
         PC_ASSERT(geoms_[g].assoc >= 1, "stack sim: assoc must be >= 1");
+        PC_ASSERT(geoms_[g].assoc < 0xFFFF,
+                  "stack sim: associativity too large");
         PC_ASSERT(geoms_[g].log2Sets < 32, "stack sim: set count too big");
         if (levels_.empty() ||
             levels_.back().log2Sets != geoms_[g].log2Sets) {
@@ -55,7 +106,6 @@ StackSimulator::StackSimulator(std::uint32_t blockBytes,
             lv.log2Sets = geoms_[g].log2Sets;
             lv.setMask =
                 static_cast<std::uint32_t>((1ULL << lv.log2Sets) - 1);
-            lv.head.assign(1ULL << lv.log2Sets, kNull);
             lv.len.assign(1ULL << lv.log2Sets, 0);
             levels_.push_back(std::move(lv));
         }
@@ -69,12 +119,198 @@ StackSimulator::StackSimulator(std::uint32_t blockBytes,
                          : (1u << lv.geomIdx.size()) - 1;
     }
 
+    // Second pass, once each level's maxAssoc is final: the
+    // depth-indexed miss-mask table and the engine's storage.
+    for (Level &lv : levels_) {
+        lv.missMaskByDepth.assign(lv.maxAssoc + 1, 0);
+        for (std::uint32_t d = 0; d <= lv.maxAssoc; ++d) {
+            std::uint32_t mask = 0;
+            for (std::uint32_t k = 0; k < lv.geomIdx.size(); ++k) {
+                if (d >= geoms_[lv.geomIdx[k]].assoc)
+                    mask |= 1u << k;
+            }
+            lv.missMaskByDepth[d] = mask;
+        }
+        if (impl_ == StackSimImpl::Vectorized) {
+            lv.window.assign(lv.len.size() *
+                                 static_cast<std::size_t>(lv.maxAssoc),
+                             kNoBlock);
+            lv.hist.assign(static_cast<std::size_t>(lv.maxAssoc + 1) *
+                               numBenches_ * 2,
+                           0);
+            lv.dirtyEv.assign(lv.geomIdx.size(), 0);
+        } else {
+            lv.head.assign(lv.len.size(), kNull);
+        }
+    }
+
+    if (impl_ == StackSimImpl::Vectorized) {
+        index_.assign(kInitialIndexCap, IdxEntry{kEmptyKey, 0});
+        indexMask_ = kInitialIndexCap - 1;
+    }
+
     reads_.assign(numBenches_, 0);
     writes_.assign(numBenches_, 0);
 }
 
 void
-StackSimulator::access(std::size_t bench, Addr addr, bool write)
+StackSimulator::growIndex()
+{
+    const std::size_t newCap =
+        (static_cast<std::size_t>(indexMask_) + 1) * 2;
+    std::vector<IdxEntry> fresh(newCap, IdxEntry{kEmptyKey, 0});
+    const std::uint32_t newMask =
+        static_cast<std::uint32_t>(newCap - 1);
+    for (const IdxEntry &e : index_) {
+        if (e.key == kEmptyKey)
+            continue;
+        std::uint32_t slot = (e.key * kHashMul) & newMask;
+        while (fresh[slot].key != kEmptyKey)
+            slot = (slot + 1) & newMask;
+        fresh[slot] = e;
+    }
+    index_ = std::move(fresh);
+    indexMask_ = newMask;
+}
+
+void
+StackSimulator::growBlockArrays()
+{
+    blockCap_ = blockCap_ == 0 ? kInitialBlockCap : blockCap_ * 2;
+    dirtyRows_.resize(static_cast<std::size_t>(blockCap_) *
+                          levels_.size(),
+                      0);
+    dirtyFlag_.resize(blockCap_, 0);
+}
+
+std::uint32_t
+StackSimulator::lookupOrInsert(std::uint32_t blk, bool &inserted)
+{
+    std::uint32_t slot = (blk * kHashMul) & indexMask_;
+    while (true) {
+        const IdxEntry e = index_[slot];
+        if (e.key == blk) {
+            inserted = false;
+            return e.val;
+        }
+        if (e.key == kEmptyKey)
+            break;
+        slot = (slot + 1) & indexMask_;
+    }
+    if ((indexSize_ + 1) * 8 >
+        (static_cast<std::size_t>(indexMask_) + 1) * 7) {
+        growIndex();
+        slot = (blk * kHashMul) & indexMask_;
+        while (index_[slot].key != kEmptyKey)
+            slot = (slot + 1) & indexMask_;
+    }
+    if (numBlocks_ == blockCap_)
+        growBlockArrays();
+    index_[slot] = IdxEntry{blk, numBlocks_};
+    ++indexSize_;
+    inserted = true;
+    return numBlocks_++;
+}
+
+void
+StackSimulator::accessFast(std::size_t bench, Addr addr, bool write)
+{
+    const std::uint32_t blk =
+        static_cast<std::uint32_t>(addr) >> blockShift_;
+    ++accesses_;
+    reads_[bench] += write ? 0 : 1;
+    writes_[bench] += write ? 1 : 0;
+
+    const std::size_t numLevels = levels_.size();
+
+    // Repeat of the previous block: depth 0 in every level. The
+    // windows already have it in front, depth 0 misses nowhere (assoc
+    // >= 1), and hist[0] never feeds a counter — only the dirty state
+    // can change, and only on a write (hit + write => all masks go
+    // full, exactly the dm update below with missMask = 0).
+    if (blk == lastBlk_) {
+        if (write) {
+            dirtyFlag_[lastBi_] = 1;
+            std::uint32_t *const row =
+                &dirtyRows_[static_cast<std::size_t>(lastBi_) *
+                            numLevels];
+            for (std::size_t li = 0; li < numLevels; ++li)
+                row[li] = levels_[li].allMask;
+        }
+        return;
+    }
+
+    bool inserted = false;
+    const std::uint32_t bi = lookupOrInsert(blk, inserted);
+    lastBlk_ = blk;
+    lastBi_ = bi;
+
+    // Clean blocks carry no dirty history: their rows are all-zero,
+    // so the dirty-eviction scan and the mask update are no-ops and
+    // the row (the one per-block structure too big to stay cached)
+    // need not be touched at all.
+    const bool dirtyWork = write || dirtyFlag_[bi] != 0;
+    std::uint32_t *const dirtyRow =
+        &dirtyRows_[static_cast<std::size_t>(bi) * numLevels];
+
+    for (std::size_t li = 0; li < numLevels; ++li) {
+        Level &lv = levels_[li];
+        const std::uint32_t set = blk & lv.setMask;
+        const std::uint32_t wa = lv.maxAssoc;
+        std::uint32_t *const win =
+            &lv.window[static_cast<std::size_t>(set) * wa];
+
+        // Reuse depth + move-to-front, dispatched on the row width so
+        // the common widths run the unrolled packed-compare kernel.
+        // A depth of wa means absent: the rotation pushed the last
+        // entry out, which is already a miss in every geometry here.
+        std::uint32_t d;
+        switch (wa) {
+          case 1:
+            d = depthAndRotate<1>(win, bi);
+            break;
+          case 2:
+            d = depthAndRotate<2>(win, bi);
+            break;
+          case 4:
+            d = depthAndRotate<4>(win, bi);
+            break;
+          case 8:
+            d = depthAndRotate<8>(win, bi);
+            break;
+          case 16:
+            d = depthAndRotate<16>(win, bi);
+            break;
+          default:
+            d = depthAndRotateAny(win, bi, wa);
+            break;
+        }
+
+        if (inserted)
+            ++lv.len[set];
+
+        lv.hist[(static_cast<std::size_t>(d) * numBenches_ + bench) *
+                    2 +
+                (write ? 1 : 0)] += 1;
+
+        if (dirtyWork) {
+            const std::uint32_t missMask = lv.missMaskByDepth[d];
+            std::uint32_t &dm = dirtyRow[li];
+            // A miss at geometry k means the previous incarnation of
+            // this block was evicted there since its last touch; if
+            // it was dirty then, that eviction was a dirty one.
+            for (std::uint32_t m = dm & missMask; m != 0; m &= m - 1)
+                ++lv.dirtyEv[std::countr_zero(m)];
+            // Hit: dirty |= write. Miss: refilled with dirty = write.
+            dm = write ? lv.allMask : (dm & ~missMask);
+        }
+    }
+    if (write)
+        dirtyFlag_[bi] = 1;
+}
+
+void
+StackSimulator::accessRef(std::size_t bench, Addr addr, bool write)
 {
     const std::uint32_t blk =
         static_cast<std::uint32_t>(addr) >> blockShift_;
@@ -152,12 +388,84 @@ StackSimulator::access(std::size_t bench, Addr addr, bool write)
 }
 
 void
-StackSimulator::finish()
+StackSimulator::access(std::size_t bench, Addr addr, bool write)
 {
-    if (finished_)
-        return;
-    finished_ = true;
+    if (impl_ == StackSimImpl::Vectorized)
+        accessFast(bench, addr, write);
+    else
+        accessRef(bench, addr, write);
+}
 
+void
+StackSimulator::accessBatch(std::span<const AccessRecord> records)
+{
+    if (impl_ == StackSimImpl::Vectorized) {
+        for (const AccessRecord &r : records)
+            accessFast(r.bench, r.addr, r.store != 0);
+    } else {
+        for (const AccessRecord &r : records)
+            accessRef(r.bench, r.addr, r.store != 0);
+    }
+}
+
+void
+StackSimulator::finishFast()
+{
+    const std::size_t numLevels = levels_.size();
+    for (std::size_t li = 0; li < numLevels; ++li) {
+        Level &lv = levels_[li];
+        // Fold the depth histogram into per-geometry miss counts: a
+        // reuse at depth d missed every geometry with assoc <= d, so
+        // geometry k's misses are the histogram tail d >= assoc.
+        for (std::size_t k = 0; k < lv.geomIdx.size(); ++k) {
+            GeomCounts &gc = counts_[lv.geomIdx[k]];
+            const std::uint32_t a = geoms_[lv.geomIdx[k]].assoc;
+            for (std::uint32_t d = a; d <= lv.maxAssoc; ++d) {
+                for (std::size_t b = 0; b < numBenches_; ++b) {
+                    const std::size_t at =
+                        (static_cast<std::size_t>(d) * numBenches_ +
+                         b) *
+                        2;
+                    gc.readMisses[b] += lv.hist[at];
+                    gc.writeMisses[b] += lv.hist[at + 1];
+                }
+            }
+            gc.dirtyEvictions += lv.dirtyEv[k];
+        }
+        // Resident depth of every block still in a window; absent
+        // blocks sit beyond every geometry's associativity.
+        std::vector<std::uint16_t> depth(numBlocks_, 0xFFFF);
+        const std::size_t numSets = lv.len.size();
+        for (std::size_t set = 0; set < numSets; ++set) {
+            const std::uint32_t *win =
+                &lv.window[set * static_cast<std::size_t>(lv.maxAssoc)];
+            for (std::uint32_t p = 0; p < lv.maxAssoc; ++p) {
+                if (win[p] != kNoBlock)
+                    depth[win[p]] = static_cast<std::uint16_t>(p);
+            }
+        }
+        // Blocks sitting beyond depth A that still carry a dirty bit
+        // were evicted dirty and never missed again.
+        for (std::uint32_t bi = 0; bi < numBlocks_; ++bi) {
+            const std::uint32_t dm =
+                dirtyRows_[static_cast<std::size_t>(bi) * numLevels +
+                           li];
+            if (dm == 0)
+                continue;
+            const std::uint32_t pos = depth[bi];
+            for (std::uint32_t m = dm; m != 0; m &= m - 1) {
+                const std::uint32_t k =
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+                if (pos >= geoms_[lv.geomIdx[k]].assoc)
+                    ++counts_[lv.geomIdx[k]].dirtyEvictions;
+            }
+        }
+    }
+}
+
+void
+StackSimulator::finishRef()
+{
     for (Level &lv : levels_) {
         const std::size_t numSets = lv.head.size();
         // Blocks sitting beyond depth A that still carry a dirty bit
@@ -177,8 +485,25 @@ StackSimulator::finish()
                 }
             }
         }
-        // Every fill either grew occupancy (until the set was full)
-        // or evicted: evictions = fills - final occupancy.
+    }
+}
+
+void
+StackSimulator::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    if (impl_ == StackSimImpl::Vectorized)
+        finishFast();
+    else
+        finishRef();
+
+    // Every fill either grew occupancy (until the set was full) or
+    // evicted: evictions = fills - final occupancy.
+    for (Level &lv : levels_) {
+        const std::size_t numSets = lv.len.size();
         for (const std::uint32_t g : lv.geomIdx) {
             const std::uint32_t a = geoms_[g].assoc;
             Counter resident = 0;

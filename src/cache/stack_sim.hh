@@ -23,12 +23,33 @@
  *  - dirty evictions via per-block dirty bitmasks resolved at the
  *    next miss of the same block (or at finish() for blocks that are
  *    evicted dirty and never return).
+ *
+ * Two interchangeable engines compute the same counters:
+ *
+ *  - StackSimImpl::Vectorized (default): an open-addressing
+ *    power-of-two block index (one linear-probe loop, no hash-node
+ *    chasing), per-set recency *windows* — contiguous maxAssoc-entry
+ *    rows scanned and rotated in place instead of walking an
+ *    intrusive linked list — per-block dirty masks flattened into one
+ *    row per block across levels, and a depth-indexed miss-mask
+ *    table. Feed it in blocks via accessBatch() to keep these
+ *    structures hot.
+ *
+ *  - StackSimImpl::ScalarReference: the pre-refactor walk
+ *    (std::unordered_map block index, per-level intrusive lists),
+ *    kept as an independently-coded reference the differential fuzz
+ *    oracle runs against the vectorized engine.
+ *
+ * Results are bit-identical between the two engines and between
+ * access() and accessBatch() in any batching: both process the
+ * stream strictly in order.
  */
 
 #ifndef PIPECACHE_CACHE_STACK_SIM_HH
 #define PIPECACHE_CACHE_STACK_SIM_HH
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +71,21 @@ struct StackGeometry
                             const StackGeometry &) = default;
 };
 
+/** Which access engine a StackSimulator runs (see file comment). */
+enum class StackSimImpl : std::uint8_t
+{
+    Vectorized,      //!< SoA windows + open addressing (default)
+    ScalarReference, //!< pre-refactor walk, oracle reference
+};
+
+/** One element of a batched access stream. */
+struct AccessRecord
+{
+    Addr addr = 0;
+    std::uint16_t bench = 0;
+    std::uint8_t store = 0;
+};
+
 /** The one-pass multi-geometry simulator. */
 class StackSimulator
 {
@@ -59,13 +95,23 @@ class StackSimulator
      * @param geometries  The ladder (deduplicated and sorted inside).
      * @param numBenches  Streams are multi-benchmark; misses are
      *                    attributed to the accessing benchmark.
+     * @param impl        Access engine; ScalarReference exists for
+     *                    differential testing.
      */
     StackSimulator(std::uint32_t blockBytes,
                    std::vector<StackGeometry> geometries,
-                   std::size_t numBenches);
+                   std::size_t numBenches,
+                   StackSimImpl impl = StackSimImpl::Vectorized);
 
     /** Replay one access of the shared stream. */
     void access(std::size_t bench, Addr addr, bool write);
+
+    /**
+     * Replay a block of accesses in order. Identical results to
+     * per-access calls — batching only amortizes dispatch and keeps
+     * the index/window structures hot.
+     */
+    void accessBatch(std::span<const AccessRecord> records);
 
     /** Resolve end-state eviction counts. Call once, after the
      *  stream; access() afterwards is a logic error. */
@@ -99,16 +145,25 @@ class StackSimulator
     std::uint32_t blockBytes() const { return blockBytes_; }
     std::size_t numBenches() const { return numBenches_; }
     bool finished() const { return finished_; }
+    StackSimImpl impl() const { return impl_; }
 
   private:
     static constexpr std::int32_t kNull = -1;
+    static constexpr std::uint32_t kNoBlock = ~0u;
+    /** Block numbers are addr >> blockShift_ with blockShift_ >= 2,
+     *  so all-ones can never be a real key. */
+    static constexpr std::uint32_t kEmptyKey = ~0u;
 
     /**
-     * All geometries sharing a set count form one level: one per-set
-     * LRU list (intrusive, indexed by dense block id), walked at most
-     * maxAssoc deep per access. Blocks are never unlinked — the list
-     * is the recency *stack*, and position >= A means "not resident
-     * in the A-way cache".
+     * All geometries sharing a set count form one level. The
+     * vectorized engine keeps, per set, a *window*: the top maxAssoc
+     * entries of the true LRU recency stack as one contiguous row
+     * (scan for the reuse depth, rotate to the front in place).
+     * Depth >= maxAssoc means "miss in every geometry here", so
+     * nothing deeper ever needs to be represented. The reference
+     * engine keeps the full intrusive recency list (blocks are never
+     * unlinked; position >= A means "not resident in the A-way
+     * cache").
      */
     struct Level
     {
@@ -118,11 +173,32 @@ class StackSimulator
         std::uint32_t allMask = 0;
         /** Geometries at this level (indices into geoms_). */
         std::vector<std::uint32_t> geomIdx;
-        /** Per set: front of the recency list / resident-bound. */
-        std::vector<std::int32_t> head;
+        /** missMaskByDepth[d] = geometries whose assoc <= d, i.e.
+         *  the miss set of a reuse at depth d (d capped at
+         *  maxAssoc). */
+        std::vector<std::uint32_t> missMaskByDepth;
+        /** Vectorized engine: reuse-depth histogram,
+         *  [(d * numBenches + bench) * 2 + isWrite]. Misses per
+         *  geometry fall out at finish() as the tail sum d >= assoc —
+         *  the hot loop does one increment where per-geometry
+         *  attribution would chase counts_ vectors. */
+        std::vector<Counter> hist;
+        /** Vectorized engine: dirty evictions per geometry of this
+         *  level (index = bit position in the masks), folded into
+         *  counts_ at finish(). */
+        std::vector<Counter> dirtyEv;
+        /** Per set: distinct blocks ever mapped here (never
+         *  shrinks); resident count in an A-way cache is
+         *  min(A, len). */
         std::vector<std::uint32_t> len;
-        /** Per dense block id: list links and the per-geometry dirty
-         *  bitmask (bit k = line dirty in geomIdx[k]'s cache). */
+
+        // --- vectorized engine: sets() rows of maxAssoc entries,
+        //     kNoBlock-padded, exact recency order front-to-back.
+        std::vector<std::uint32_t> window;
+
+        // --- reference engine: intrusive per-set lists over dense
+        //     block ids, plus that engine's own dirty masks.
+        std::vector<std::int32_t> head;
         std::vector<std::int32_t> prev;
         std::vector<std::int32_t> next;
         std::vector<std::uint32_t> dirty;
@@ -131,18 +207,56 @@ class StackSimulator
     std::uint32_t blockBytes_;
     std::uint32_t blockShift_;
     std::size_t numBenches_;
+    StackSimImpl impl_;
     std::vector<StackGeometry> geoms_;
     std::vector<GeomCounts> counts_;
     std::vector<Level> levels_;
 
+    // ------------------------------------- vectorized block index
+    /** Open-addressing (key, dense id) pairs, power-of-two sized,
+     *  linear probing, grown at 7/8 load. */
+    struct IdxEntry
+    {
+        std::uint32_t key;
+        std::uint32_t val;
+    };
+    std::vector<IdxEntry> index_;
+    std::uint32_t indexMask_ = 0;
+    std::size_t indexSize_ = 0;
+    /** Capacity of the per-block arrays (amortized doubling). */
+    std::uint32_t blockCap_ = 0;
+    /** Per block: one row of levels_.size() dirty masks, so one
+     *  access touches one cache line of dirty state, not one array
+     *  per level. */
+    std::vector<std::uint32_t> dirtyRows_;
+    /** Per block: nonzero iff its dirty row may be nonzero. Clean
+     *  blocks (never written since their last full miss cycle) skip
+     *  the row entirely — on read-only streams the rows are never
+     *  touched at all. */
+    std::vector<std::uint8_t> dirtyFlag_;
+    /** Last block accessed (vectorized): a repeat sits at depth 0 in
+     *  every level — nothing to scan, rotate, or record. */
+    std::uint32_t lastBlk_ = kNoBlock;
+    std::uint32_t lastBi_ = 0;
+
+    // ------------------------------------- reference block index
     /** addr >> blockShift_ -> dense block id (one hash per access). */
     std::unordered_map<std::uint32_t, std::uint32_t> blockIndex_;
+
     std::uint32_t numBlocks_ = 0;
 
     std::vector<Counter> reads_;
     std::vector<Counter> writes_;
     Counter accesses_ = 0;
     bool finished_ = false;
+
+    void accessFast(std::size_t bench, Addr addr, bool write);
+    void accessRef(std::size_t bench, Addr addr, bool write);
+    std::uint32_t lookupOrInsert(std::uint32_t blk, bool &inserted);
+    void growIndex();
+    void growBlockArrays();
+    void finishFast();
+    void finishRef();
 };
 
 } // namespace pipecache::cache

@@ -36,23 +36,31 @@ geometryOf(std::uint32_t sizeKW, std::uint32_t blockWords,
     return true;
 }
 
-/** Fan one engine access stream out to the claimed stack passes. */
-class MuxSink final : public cpusim::AccessStreamSink
+/**
+ * Fan the engine's batched access stream out to the claimed stack
+ * passes. Each pass consumes whole blocks via accessBatch(), so the
+ * simulator's per-call setup amortizes across a block; the I and D
+ * streams feed disjoint simulators, so buffering them independently
+ * preserves each pass's stream order exactly.
+ */
+class BatchMuxSink final : public cpusim::BatchStreamSink
 {
   public:
     std::vector<cache::StackSimulator *> iSims;
     std::vector<cache::StackSimulator *> dSims;
 
-    void instFetch(std::size_t bench, Addr addr) override
+    void instBatch(
+        std::span<const cache::AccessRecord> records) override
     {
         for (cache::StackSimulator *sim : iSims)
-            sim->access(bench, addr, false);
+            sim->accessBatch(records);
     }
 
-    void dataRef(std::size_t bench, Addr addr, bool store) override
+    void dataBatch(
+        std::span<const cache::AccessRecord> records) override
     {
         for (cache::StackSimulator *sim : dSims)
-            sim->access(bench, addr, store);
+            sim->accessBatch(records);
     }
 };
 
@@ -287,16 +295,18 @@ FactoredEvaluator::runReplay(const DesignPoint &p, Claims &claims,
         ec.btb = p.btb;
         cpusim::CpiEngine engine(ec, hierarchy, std::move(workloads));
 
-        MuxSink mux;
+        BatchMuxSink mux;
         for (Claims::Pass &claim : claims.passes) {
             (claim.isData ? mux.dSims : mux.iSims)
                 .push_back(claim.sim.get());
         }
+        cpusim::BufferedStreamSink buffer(mux);
         if (!mux.iSims.empty() || !mux.dSims.empty())
-            engine.setStreamSink(&mux);
+            engine.setStreamSink(&buffer);
 
         model_.engineReplays_.fetch_add(1, std::memory_order_relaxed);
         engine.run(*model_.schedule_);
+        buffer.flush();
 
         if (branchOut != nullptr) {
             branchOut->perBench.reserve(n);
@@ -336,6 +346,10 @@ FactoredEvaluator::runReplay(const DesignPoint &p, Claims &claims,
             reg.addCounter("stack_sim.geometries",
                            "cache geometries served by stack passes",
                            StatKind::Deterministic, geometries);
+            reg.addCounter(
+                "stack_sim.batch_flushes",
+                "access batches delivered to stack passes",
+                StatKind::Deterministic, buffer.flushes());
         }
 
         if (claims.claimedLoads) {

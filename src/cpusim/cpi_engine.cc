@@ -16,6 +16,52 @@ ratio(Counter num, Counter den)
 
 } // namespace
 
+BufferedStreamSink::BufferedStreamSink(BatchStreamSink &downstream)
+    : downstream_(downstream)
+{
+    iBuf_.reserve(kCapacity);
+    dBuf_.reserve(kCapacity);
+}
+
+void
+BufferedStreamSink::instFetch(std::size_t bench, Addr addr)
+{
+    iBuf_.push_back(
+        {addr, static_cast<std::uint16_t>(bench), 0});
+    if (iBuf_.size() == kCapacity) {
+        downstream_.instBatch(iBuf_);
+        iBuf_.clear();
+        ++flushes_;
+    }
+}
+
+void
+BufferedStreamSink::dataRef(std::size_t bench, Addr addr, bool store)
+{
+    dBuf_.push_back({addr, static_cast<std::uint16_t>(bench),
+                     static_cast<std::uint8_t>(store ? 1 : 0)});
+    if (dBuf_.size() == kCapacity) {
+        downstream_.dataBatch(dBuf_);
+        dBuf_.clear();
+        ++flushes_;
+    }
+}
+
+void
+BufferedStreamSink::flush()
+{
+    if (!iBuf_.empty()) {
+        downstream_.instBatch(iBuf_);
+        iBuf_.clear();
+        ++flushes_;
+    }
+    if (!dBuf_.empty()) {
+        downstream_.dataBatch(dBuf_);
+        dBuf_.clear();
+        ++flushes_;
+    }
+}
+
 double
 CpiBreakdown::cpi() const
 {

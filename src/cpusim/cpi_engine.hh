@@ -30,6 +30,7 @@
 
 #include "cache/btb.hh"
 #include "cache/hierarchy.hh"
+#include "cache/stack_sim.hh"
 #include "cpusim/branch_model.hh"
 #include "cpusim/load_model.hh"
 #include "cpusim/write_buffer.hh"
@@ -116,6 +117,54 @@ class AccessStreamSink
     virtual void instFetch(std::size_t bench, Addr addr) = 0;
     /** One data reference by @p bench. */
     virtual void dataRef(std::size_t bench, Addr addr, bool store) = 0;
+};
+
+/**
+ * Batched counterpart of AccessStreamSink: receives the same two
+ * streams as contiguous blocks of records, in stream order. The
+ * instruction and data streams are delivered independently — a
+ * consumer that needs their interleaving preserved must take the
+ * per-access interface instead.
+ */
+class BatchStreamSink
+{
+  public:
+    virtual ~BatchStreamSink() = default;
+
+    /** A block of instruction fetches, in fetch order. */
+    virtual void instBatch(std::span<const cache::AccessRecord>) = 0;
+    /** A block of data references, in reference order. */
+    virtual void dataBatch(std::span<const cache::AccessRecord>) = 0;
+};
+
+/**
+ * AccessStreamSink adapter that accumulates records and forwards them
+ * to a BatchStreamSink in blocks of up to kCapacity, so per-access
+ * virtual dispatch and consumer setup amortize across a whole block.
+ * Call flush() after the replay: the engine does not know when the
+ * stream ends.
+ */
+class BufferedStreamSink final : public AccessStreamSink
+{
+  public:
+    static constexpr std::size_t kCapacity = 256;
+
+    explicit BufferedStreamSink(BatchStreamSink &downstream);
+
+    void instFetch(std::size_t bench, Addr addr) override;
+    void dataRef(std::size_t bench, Addr addr, bool store) override;
+
+    /** Deliver any partial buffers (instructions first, then data). */
+    void flush();
+
+    /** Batches delivered downstream, full and partial. */
+    Counter flushes() const { return flushes_; }
+
+  private:
+    BatchStreamSink &downstream_;
+    std::vector<cache::AccessRecord> iBuf_;
+    std::vector<cache::AccessRecord> dBuf_;
+    Counter flushes_ = 0;
 };
 
 /** One benchmark's replay inputs. */

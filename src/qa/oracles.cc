@@ -276,6 +276,66 @@ class StackOracle final : public Oracle
             sim.access(a.bench, a.addr, a.write);
         sim.finish();
 
+        // Differential engines: the same stream fed to the scalar
+        // reference engine per access, and to a second vectorized
+        // instance through accessBatch() in randomly sized blocks.
+        // All three must agree field for field.
+        cache::StackSimulator refSim(
+            blockBytes, ladder, benches,
+            cache::StackSimImpl::ScalarReference);
+        for (const Access &a : stream)
+            refSim.access(a.bench, a.addr, a.write);
+        refSim.finish();
+
+        cache::StackSimulator batchSim(blockBytes, ladder, benches);
+        {
+            std::vector<cache::AccessRecord> records;
+            records.reserve(stream.size());
+            for (const Access &a : stream) {
+                records.push_back(
+                    {a.addr, static_cast<std::uint16_t>(a.bench),
+                     static_cast<std::uint8_t>(a.write ? 1 : 0)});
+            }
+            std::size_t at = 0;
+            while (at < records.size()) {
+                const std::size_t len = std::min<std::size_t>(
+                    1 + rng.nextRange(257), records.size() - at);
+                batchSim.accessBatch(
+                    std::span<const cache::AccessRecord>(
+                        records.data() + at, len));
+                at += len;
+            }
+        }
+        batchSim.finish();
+
+        for (const cache::StackGeometry &g : ladder) {
+            const auto &vec = sim.counts(g.log2Sets, g.assoc);
+            for (const cache::StackSimulator *other :
+                 {&refSim, &batchSim}) {
+                const auto &oc = other->counts(g.log2Sets, g.assoc);
+                FieldComparer icmp(
+                    std::string(other == &refSim ? "scalar-ref"
+                                                 : "batched") +
+                    " geom{2^" + std::to_string(g.log2Sets) +
+                    " sets, " + std::to_string(g.assoc) + "-way}");
+                for (std::size_t b = 0; b < benches; ++b) {
+                    const std::string tag =
+                        "[" + std::to_string(b) + "]";
+                    icmp.eq(("readMisses" + tag).c_str(),
+                            vec.readMisses[b], oc.readMisses[b]);
+                    icmp.eq(("writeMisses" + tag).c_str(),
+                            vec.writeMisses[b], oc.writeMisses[b]);
+                }
+                icmp.eq("evictions", vec.evictions, oc.evictions);
+                icmp.eq("dirtyEvictions", vec.dirtyEvictions,
+                        oc.dirtyEvictions);
+                if (!icmp.ok())
+                    return OracleResult::fail(
+                        "stack sim engines disagree: " +
+                        icmp.detail());
+            }
+        }
+
         for (const cache::StackGeometry &g : ladder) {
             cache::CacheConfig config;
             config.sizeBytes = g.sets() * g.assoc * blockBytes;

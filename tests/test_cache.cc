@@ -159,6 +159,116 @@ TEST(CacheTest, RandomReplacementStaysInSet)
 
 // ---------------------------------------------------------------- three-c
 
+/**
+ * Naive array-of-lines LRU model — the shape the SoA lanes replaced.
+ * Guards the lane layout refactor: Cache must stay access-for-access
+ * identical to the obvious implementation.
+ */
+class NaiveLruCache
+{
+  public:
+    explicit NaiveLruCache(const CacheConfig &config) : config_(config)
+    {
+        lines_.resize(config_.sets() * config_.assoc);
+    }
+
+    bool access(Addr addr, bool write)
+    {
+        ++tick_;
+        stats_.reads += write ? 0 : 1;
+        stats_.writes += write ? 1 : 0;
+        const Addr tag = addr >> floorLog2(config_.blockBytes);
+        const std::uint64_t set = tag % config_.sets();
+        Line *const row = &lines_[set * config_.assoc];
+        for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+            if (row[w].valid && row[w].tag == tag) {
+                row[w].stamp = tick_;
+                row[w].dirty = row[w].dirty || write;
+                return true;
+            }
+        }
+        stats_.readMisses += write ? 0 : 1;
+        stats_.writeMisses += write ? 1 : 0;
+        if (write && !config_.writeAllocate)
+            return false;
+        std::uint32_t victim = config_.assoc;
+        for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+            if (!row[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == config_.assoc) {
+            victim = 0;
+            for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+                if (row[w].stamp < row[victim].stamp)
+                    victim = w;
+            }
+            ++stats_.evictions;
+            if (row[victim].dirty)
+                ++stats_.dirtyEvictions;
+        }
+        row[victim] = {tag, tick_, true, write};
+        return false;
+    }
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+};
+
+TEST(CacheTest, SoaLanesMatchNaiveModelAccessForAccess)
+{
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        for (const bool writeAllocate : {true, false}) {
+            CacheConfig config;
+            config.sizeBytes = 4096;
+            config.blockBytes = 16;
+            config.assoc = assoc;
+            config.writeAllocate = writeAllocate;
+            Cache cache(config);
+            NaiveLruCache naive(config);
+
+            Rng rng(assoc * 31 + (writeAllocate ? 7 : 0));
+            Addr cursor = 0;
+            for (int i = 0; i < 50000; ++i) {
+                cursor = rng.nextBool(0.7)
+                             ? cursor + 4
+                             : static_cast<Addr>(
+                                   rng.nextRange(1 << 16) & ~3u);
+                const bool write = rng.nextBool(0.3);
+                ASSERT_EQ(cache.access(cursor, write),
+                          naive.access(cursor, write))
+                    << "assoc " << assoc << " access " << i;
+            }
+            const CacheStats &got = cache.stats();
+            const CacheStats &want = naive.stats();
+            EXPECT_EQ(got.reads, want.reads) << "assoc " << assoc;
+            EXPECT_EQ(got.writes, want.writes) << "assoc " << assoc;
+            EXPECT_EQ(got.readMisses, want.readMisses)
+                << "assoc " << assoc;
+            EXPECT_EQ(got.writeMisses, want.writeMisses)
+                << "assoc " << assoc;
+            EXPECT_EQ(got.evictions, want.evictions)
+                << "assoc " << assoc;
+            EXPECT_EQ(got.dirtyEvictions, want.dirtyEvictions)
+                << "assoc " << assoc;
+        }
+    }
+}
+
 TEST(ThreeCTest, FirstTouchIsCompulsory)
 {
     ThreeCCache cache(smallCache());

@@ -24,6 +24,7 @@
 #include "cache/cache.hh"
 #include "cache/stack_sim.hh"
 #include "core/cpi_model.hh"
+#include "cpusim/cpi_engine.hh"
 #include "core/tpi_model.hh"
 #include "sweep/result_sink.hh"
 #include "sweep/sweep_engine.hh"
@@ -150,6 +151,233 @@ TEST(StackSimTest, TracksStreamTotals)
     EXPECT_EQ(sim.benchWrites()[0], 1u);
     EXPECT_EQ(sim.benchReads()[1], 1u);
     EXPECT_EQ(sim.benchWrites()[1], 0u);
+}
+
+// --------------------------------------------- batching / dual engine
+
+std::vector<cache::AccessRecord>
+toRecords(const std::vector<Access> &stream)
+{
+    std::vector<cache::AccessRecord> records;
+    records.reserve(stream.size());
+    for (const Access &a : stream) {
+        records.push_back({a.addr,
+                           static_cast<std::uint16_t>(a.bench),
+                           static_cast<std::uint8_t>(a.write ? 1 : 0)});
+    }
+    return records;
+}
+
+/** Every observable field of two finished simulators must agree. */
+void
+expectIdenticalResults(const cache::StackSimulator &got,
+                       const cache::StackSimulator &want,
+                       const std::vector<cache::StackGeometry> &ladder,
+                       std::size_t benches, const char *label)
+{
+    EXPECT_EQ(got.accesses(), want.accesses()) << label;
+    for (std::size_t b = 0; b < benches; ++b) {
+        EXPECT_EQ(got.benchReads()[b], want.benchReads()[b])
+            << label << " bench " << b;
+        EXPECT_EQ(got.benchWrites()[b], want.benchWrites()[b])
+            << label << " bench " << b;
+    }
+    for (const cache::StackGeometry &g : ladder) {
+        const auto &gc = got.counts(g.log2Sets, g.assoc);
+        const auto &wc = want.counts(g.log2Sets, g.assoc);
+        for (std::size_t b = 0; b < benches; ++b) {
+            EXPECT_EQ(gc.readMisses[b], wc.readMisses[b])
+                << label << " sets 2^" << g.log2Sets << " assoc "
+                << g.assoc << " bench " << b;
+            EXPECT_EQ(gc.writeMisses[b], wc.writeMisses[b])
+                << label << " sets 2^" << g.log2Sets << " assoc "
+                << g.assoc << " bench " << b;
+        }
+        EXPECT_EQ(gc.evictions, wc.evictions)
+            << label << " sets 2^" << g.log2Sets << " assoc "
+            << g.assoc;
+        EXPECT_EQ(gc.dirtyEvictions, wc.dirtyEvictions)
+            << label << " sets 2^" << g.log2Sets << " assoc "
+            << g.assoc;
+    }
+}
+
+std::vector<cache::StackGeometry>
+batchLadder()
+{
+    std::vector<cache::StackGeometry> ladder;
+    for (std::uint32_t log2Sets = 0; log2Sets <= 5; ++log2Sets)
+        for (std::uint32_t assoc : {1u, 2u, 4u})
+            ladder.push_back({log2Sets, assoc});
+    return ladder;
+}
+
+/** Unbatched vectorized replay of @p stream, finished. */
+cache::StackSimulator
+replayUnbatched(const std::vector<Access> &stream,
+                const std::vector<cache::StackGeometry> &ladder,
+                std::size_t benches)
+{
+    cache::StackSimulator sim(16, ladder, benches);
+    for (const Access &a : stream)
+        sim.access(a.bench, a.addr, a.write);
+    sim.finish();
+    return sim;
+}
+
+TEST(StackSimBatchTest, PartialFinalBatchMatchesUnbatched)
+{
+    const auto ladder = batchLadder();
+    constexpr std::size_t kBenches = 2;
+    const std::vector<Access> stream =
+        randomStream(11, kBenches, 1000);
+    const auto records = toRecords(stream);
+
+    cache::StackSimulator batched(16, ladder, kBenches);
+    std::size_t at = 0;
+    while (at < records.size()) {
+        // 256, 256, 256, then a partial 232-record tail.
+        const std::size_t len =
+            std::min<std::size_t>(256, records.size() - at);
+        batched.accessBatch({records.data() + at, len});
+        at += len;
+    }
+    batched.finish();
+
+    const auto want = replayUnbatched(stream, ladder, kBenches);
+    expectIdenticalResults(batched, want, ladder, kBenches,
+                           "partial final batch");
+}
+
+TEST(StackSimBatchTest, SingleAccessStream)
+{
+    const auto ladder = batchLadder();
+    const std::vector<Access> stream = {{0, 0x1230, true}};
+    const auto records = toRecords(stream);
+
+    cache::StackSimulator batched(16, ladder, 1);
+    batched.accessBatch(records);
+    batched.finish();
+
+    const auto want = replayUnbatched(stream, ladder, 1);
+    expectIdenticalResults(batched, want, ladder, 1,
+                           "single-access stream");
+}
+
+TEST(StackSimBatchTest, InterleavedBenchesAcrossBatchEdges)
+{
+    // Benchmarks strictly alternate, so every odd batch length cuts
+    // between two benchmarks' neighboring accesses; attribution must
+    // still land exactly as in the unbatched replay.
+    const auto ladder = batchLadder();
+    constexpr std::size_t kBenches = 3;
+    Rng rng(23);
+    std::vector<Access> stream;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        Access a;
+        a.bench = i % kBenches;
+        a.addr = static_cast<Addr>(rng.nextRange(0x8000) & ~3u);
+        a.write = rng.nextBool(0.4);
+        stream.push_back(a);
+    }
+    const auto records = toRecords(stream);
+
+    cache::StackSimulator batched(16, ladder, kBenches);
+    std::size_t at = 0;
+    std::size_t len = 1;
+    while (at < records.size()) {
+        const std::size_t take =
+            std::min<std::size_t>(len, records.size() - at);
+        batched.accessBatch({records.data() + at, take});
+        at += take;
+        len = len % 7 + 3; // 1, 4, 7, 3, 6, 2, 5, ...
+    }
+    batched.finish();
+
+    const auto want = replayUnbatched(stream, ladder, kBenches);
+    expectIdenticalResults(batched, want, ladder, kBenches,
+                           "interleaved benches");
+}
+
+/** Minimal downstream: every batch goes straight into one sim pair. */
+struct SimPairSink final : cpusim::BatchStreamSink
+{
+    cache::StackSimulator *iSim = nullptr;
+    cache::StackSimulator *dSim = nullptr;
+
+    void instBatch(std::span<const cache::AccessRecord> r) override
+    {
+        iSim->accessBatch(r);
+    }
+    void dataBatch(std::span<const cache::AccessRecord> r) override
+    {
+        dSim->accessBatch(r);
+    }
+};
+
+TEST(StackSimBatchTest, BufferedSinkFlushDeliversPartialBuffers)
+{
+    // 600 fetches and 300 data refs: two full instruction batches plus
+    // an 88-record tail, one full data batch plus a 44-record tail.
+    // Without the flush the tails would be lost; with it the counts
+    // equal the unbatched replays exactly.
+    const auto ladder = batchLadder();
+    cache::StackSimulator iSim(16, ladder, 1);
+    cache::StackSimulator dSim(16, ladder, 1);
+    SimPairSink mux;
+    mux.iSim = &iSim;
+    mux.dSim = &dSim;
+    cpusim::BufferedStreamSink buffer(mux);
+
+    Rng rng(29);
+    std::vector<Access> iStream;
+    std::vector<Access> dStream;
+    for (std::size_t i = 0; i < 600; ++i) {
+        const Addr a = static_cast<Addr>(rng.nextRange(0x4000) & ~3u);
+        iStream.push_back({0, a, false});
+        buffer.instFetch(0, a);
+        if (i < 300) {
+            const Addr da =
+                static_cast<Addr>(rng.nextRange(0x4000) & ~3u);
+            const bool store = rng.nextBool(0.3);
+            dStream.push_back({0, da, store});
+            buffer.dataRef(0, da, store);
+        }
+    }
+    EXPECT_EQ(buffer.flushes(), 3u); // full batches so far: 2 I + 1 D
+    buffer.flush();
+    EXPECT_EQ(buffer.flushes(), 5u); // + one partial tail per stream
+    buffer.flush();
+    EXPECT_EQ(buffer.flushes(), 5u); // empty buffers: no-op
+    iSim.finish();
+    dSim.finish();
+
+    const auto iWant = replayUnbatched(iStream, ladder, 1);
+    const auto dWant = replayUnbatched(dStream, ladder, 1);
+    expectIdenticalResults(iSim, iWant, ladder, 1, "buffered I stream");
+    expectIdenticalResults(dSim, dWant, ladder, 1, "buffered D stream");
+}
+
+TEST(StackSimBatchTest, ScalarReferenceEngineAgrees)
+{
+    const auto ladder = batchLadder();
+    constexpr std::size_t kBenches = 2;
+    for (const std::uint64_t seed : {3ull, 17ull}) {
+        const std::vector<Access> stream =
+            randomStream(seed, kBenches, 8000);
+        cache::StackSimulator ref(
+            16, ladder, kBenches,
+            cache::StackSimImpl::ScalarReference);
+        EXPECT_EQ(ref.impl(),
+                  cache::StackSimImpl::ScalarReference);
+        for (const Access &a : stream)
+            ref.access(a.bench, a.addr, a.write);
+        ref.finish();
+
+        const auto want = replayUnbatched(stream, ladder, kBenches);
+        expectIdenticalResults(ref, want, ladder, kBenches,
+                               "scalar reference engine");
+    }
 }
 
 // ------------------------------------------------------ factored vs exact

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <sstream>
 #include <string>
 
 #include "cache/cache.hh"
@@ -16,10 +18,15 @@
 #include "cpusim/cpi_engine.hh"
 #include "sched/branch_sched.hh"
 #include "serve/service.hh"
+#include "sweep/grid_spec.hh"
+#include "sweep/stream_sweep.hh"
 #include "sweep/sweep_engine.hh"
 #include "timing/cpu_circuit.hh"
 #include "trace/benchmark.hh"
+#include "trace/source.hh"
+#include "trace/trace_io.hh"
 #include "util/random.hh"
+#include "workloads/registry.hh"
 
 using namespace pipecache;
 
@@ -335,6 +342,74 @@ BM_DelaySlotScheduling(benchmark::State &state)
         static_cast<std::int64_t>(prog.staticInstCount())));
 }
 BENCHMARK(BM_DelaySlotScheduling);
+
+void
+BM_DinParse(benchmark::State &state)
+{
+    // A representative recorded stream, serialized once; the
+    // measurement is the parser (readDin), per record.
+    workloads::WorkloadOptions wopts;
+    wopts.records = 1 << 16;
+    auto source = workloads::openWorkload("zipf-hot", wopts);
+    const auto records = trace::drain(*source);
+    std::ostringstream os;
+    trace::writeDinRecords(os, records);
+    const std::string text = os.str();
+
+    for (auto _ : state) {
+        std::istringstream is(text);
+        const auto back = trace::readDin(is);
+        benchmark::DoNotOptimize(back.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * records.size()));
+}
+BENCHMARK(BM_DinParse);
+
+void
+BM_WorkloadStream(benchmark::State &state)
+{
+    // Registry workload generation throughput: how fast a named
+    // scenario can emit records through the TraceSource interface.
+    workloads::WorkloadOptions wopts;
+    wopts.records = 1 << 16;
+    for (auto _ : state) {
+        auto source = workloads::openWorkload("random-mix", wopts);
+        std::array<trace::TraceRecord, 4096> batch;
+        std::size_t total = 0;
+        std::size_t got = 0;
+        while ((got = source->fill(batch)) != 0)
+            total += got;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * (std::size_t{1} << 16)));
+}
+BENCHMARK(BM_WorkloadStream);
+
+void
+BM_StreamSweep(benchmark::State &state)
+{
+    // The full external-stream evaluation path: one recorded stream
+    // against a small design grid, per record.
+    workloads::WorkloadOptions wopts;
+    wopts.records = 1 << 15;
+    auto source = workloads::openWorkload("hot-cold", wopts);
+    const auto stream = trace::drain(*source);
+
+    sweep::GridSpec grid;
+    grid.set("isize", "1,4,16");
+    grid.set("dsize", "1,4,16");
+    const auto points = grid.build();
+
+    for (auto _ : state) {
+        const auto result = sweep::sweepStream(stream, points);
+        benchmark::DoNotOptimize(result.records.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * stream.size()));
+}
+BENCHMARK(BM_StreamSweep);
 
 } // namespace
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# External-trace ingestion smoke test:
+#
+#   1. --list-workloads prints at least 10 registry scenarios.
+#   2. The checked-in din and oracleGeneral fixtures sweep to
+#      byte-identical JSON with --threads 1 and --threads 4 (the
+#      stream path's determinism contract).
+#   3. A named workload sweeps to byte-identical JSON across the same
+#      thread counts.
+#   4. Malformed din input fails with exit code 3 (DataError) and an
+#      error message carrying the file:line attribution.
+#
+# Usage: trace_smoke.sh <pipecache_sweep> <fixture_dir> [workdir]
+set -euo pipefail
+
+SWEEP=${1:?usage: trace_smoke.sh <pipecache_sweep> <fixture_dir> [workdir]}
+FIXTURES=${2:?usage: trace_smoke.sh <pipecache_sweep> <fixture_dir> [workdir]}
+WORK=${3:-$(mktemp -d)}
+trap 'rm -rf "$WORK"' EXIT
+
+GRID=(--b 0 --isize 1,4 --dsize 1,8)
+
+echo "== workload registry =="
+"$SWEEP" --list-workloads > "$WORK/workloads.txt"
+count=$(wc -l < "$WORK/workloads.txt")
+if [ "$count" -lt 10 ]; then
+    echo "FAIL: --list-workloads printed $count scenarios (< 10)"
+    exit 1
+fi
+echo "ok: $count workloads registered"
+
+echo "== trace fixtures are thread-count invariant =="
+for fixture in fixture.din fixture.oracleGeneral; do
+    "$SWEEP" --trace "$FIXTURES/$fixture" "${GRID[@]}" \
+        --threads 1 --quiet --out "$WORK/t1.json"
+    "$SWEEP" --trace "$FIXTURES/$fixture" "${GRID[@]}" \
+        --threads 4 --quiet --out "$WORK/t4.json"
+    cmp "$WORK/t1.json" "$WORK/t4.json" || {
+        echo "FAIL: $fixture JSON differs across thread counts"
+        exit 1
+    }
+    grep -q '"mode":"stream"' "$WORK/t1.json" || {
+        echo "FAIL: $fixture output is not stream-mode JSON"
+        exit 1
+    }
+    echo "ok: $fixture byte-stable"
+done
+
+echo "== workload sweep is thread-count invariant =="
+"$SWEEP" --workload zipf-hot "${GRID[@]}" \
+    --threads 1 --quiet --out "$WORK/w1.json"
+"$SWEEP" --workload zipf-hot "${GRID[@]}" \
+    --threads 4 --quiet --out "$WORK/w4.json"
+cmp "$WORK/w1.json" "$WORK/w4.json" || {
+    echo "FAIL: workload JSON differs across thread counts"
+    exit 1
+}
+echo "ok: zipf-hot byte-stable"
+
+echo "== malformed din is a DataError (exit 3) with line attribution =="
+printf '2 400\n9 broken\n' > "$WORK/bad.din"
+set +e
+err=$("$SWEEP" --trace "$WORK/bad.din" "${GRID[@]}" --quiet \
+      --out "$WORK/bad.json" 2>&1)
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: malformed din exited $rc (want 3); output: $err"
+    exit 1
+fi
+case "$err" in
+*bad.din:2:*) ;;
+*)
+    echo "FAIL: error message lacks file:line attribution: $err"
+    exit 1
+    ;;
+esac
+echo "ok: malformed din rejected with '$err'"
+
+echo "trace smoke: all checks passed"

@@ -28,7 +28,12 @@
  *                attempt over the real socket path terminates with
  *                either a byte-identical RESULT or a documented
  *                taxonomy error — never a hang, crash, or torn
- *                output (fault-injection builds only).
+ *                output (fault-injection builds only);
+ *   extstream  — a registry workload's record stream survives a din
+ *                serialize/parse round trip bit-exactly, and its
+ *                batched StackSimulator replay (partial final batch
+ *                included) matches a per-geometry cache::Cache replay
+ *                field for field.
  *
  * check() returns ok=false with a human-readable first-divergence
  * description; it must be deterministic in the case (the shrinker

@@ -35,6 +35,9 @@
 #include "trace/benchmark.hh"
 #include "trace/data_address_generator.hh"
 #include "trace/executor.hh"
+#include "trace/source.hh"
+#include "trace/trace_io.hh"
+#include "workloads/registry.hh"
 #include "util/error.hh"
 #include "util/fault_injection.hh"
 #include "util/random.hh"
@@ -1000,6 +1003,137 @@ class ChaosOracle final : public Oracle
     };
 };
 
+// -------------------------------------- external streams vs caches
+
+/**
+ * External-stream replay oracle: a registry workload's record stream
+ * (a) survives a din serialize/parse round trip bit-exactly, and
+ * (b) produces StackSimulator counts — fed through accessBatch() in
+ * fixed blocks with a partial final batch, exactly how the stream
+ * sweep consumes TraceSources — that match a per-geometry
+ * cache::Cache replay field for field.
+ */
+class ExtStreamOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "extstream"; }
+
+    OracleResult check(const FuzzCase &c) override
+    {
+        const auto infos = workloads::listWorkloads();
+        const auto &info =
+            infos[c.streamSeed % infos.size()];
+
+        workloads::WorkloadOptions wopts;
+        wopts.seed = c.streamSeed;
+        wopts.records = std::max<std::size_t>(
+            256, std::min<std::size_t>(c.streamLength, 20000));
+        auto source = workloads::openWorkload(info.name, wopts);
+        const std::vector<trace::TraceRecord> stream =
+            trace::drain(*source, wopts.records);
+        if (stream.empty())
+            return OracleResult::fail("workload '" + info.name +
+                                      "' produced an empty stream");
+
+        // (a) din round trip: what writeDinRecords emits, readDin
+        // recovers record for record.
+        {
+            std::ostringstream os;
+            trace::writeDinRecords(os, stream);
+            std::istringstream is(os.str());
+            const std::vector<trace::TraceRecord> back =
+                trace::readDin(is);
+            if (back.size() != stream.size()) {
+                return OracleResult::fail(
+                    "din round trip: " + std::to_string(stream.size()) +
+                    " records in, " + std::to_string(back.size()) +
+                    " out (workload " + info.name + ")");
+            }
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                if (back[i] != stream[i]) {
+                    std::ostringstream detail;
+                    detail << "din round trip: record " << i
+                           << " diverged (kind "
+                           << int(static_cast<std::uint8_t>(
+                                  stream[i].kind))
+                           << " addr " << std::hex << stream[i].addr
+                           << " -> kind "
+                           << int(static_cast<std::uint8_t>(
+                                  back[i].kind))
+                           << " addr " << back[i].addr << std::dec
+                           << ", workload " << info.name << ")";
+                    return OracleResult::fail(detail.str());
+                }
+            }
+        }
+
+        // (b) batched stack simulation of the data side vs a real
+        // cache replay. One bench; fetches fold in as reads so the
+        // whole stream participates.
+        const std::uint32_t blockBytes =
+            c.points.front().blockWords * bytesPerWord;
+        std::vector<cache::AccessRecord> records;
+        records.reserve(stream.size());
+        for (const trace::TraceRecord &r : stream) {
+            records.push_back(
+                {r.addr, 0,
+                 static_cast<std::uint8_t>(
+                     r.kind == trace::RefKind::Write ? 1 : 0)});
+        }
+
+        std::vector<cache::StackGeometry> ladder;
+        for (std::uint32_t log2Sets = 0; log2Sets <= 4; ++log2Sets)
+            for (const std::uint32_t assoc : {1u, 2u})
+                ladder.push_back({log2Sets, assoc});
+
+        cache::StackSimulator sim(blockBytes, ladder, 1);
+        // Fixed 256-record blocks; the final one is almost always
+        // partial — exactly the shape sweepStream() feeds.
+        std::size_t at = 0;
+        while (at < records.size()) {
+            const std::size_t len =
+                std::min<std::size_t>(256, records.size() - at);
+            sim.accessBatch(std::span<const cache::AccessRecord>(
+                records.data() + at, len));
+            at += len;
+        }
+        sim.finish();
+
+        for (const cache::StackGeometry &g : ladder) {
+            cache::CacheConfig config;
+            config.sizeBytes = g.sets() * g.assoc * blockBytes;
+            config.blockBytes = blockBytes;
+            config.assoc = g.assoc;
+            cache::Cache reference(config);
+            Counter readMiss = 0;
+            Counter writeMiss = 0;
+            for (const cache::AccessRecord &r : records) {
+                if (!reference.access(r.addr, r.store != 0)) {
+                    if (r.store)
+                        ++writeMiss;
+                    else
+                        ++readMiss;
+                }
+            }
+            const auto &got = sim.counts(g.log2Sets, g.assoc);
+            FieldComparer cmp("workload " + info.name + " geom{2^" +
+                              std::to_string(g.log2Sets) + " sets, " +
+                              std::to_string(g.assoc) + "-way}");
+            cmp.eq("readMisses", got.readMisses[0], readMiss);
+            cmp.eq("writeMisses", got.writeMisses[0], writeMiss);
+            const cache::CacheStats &ref = reference.stats();
+            cmp.eq("evictions", got.evictions, ref.evictions);
+            cmp.eq("dirtyEvictions", got.dirtyEvictions,
+                   ref.dirtyEvictions);
+            if (!cmp.ok())
+                return OracleResult::fail(
+                    "external stream replay != cache replay: " +
+                    cmp.detail());
+        }
+        return OracleResult::pass();
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Oracle>>
@@ -1013,6 +1147,7 @@ makeOracles()
     oracles.push_back(std::make_unique<SweepOracle>());
     oracles.push_back(std::make_unique<ServeOracle>());
     oracles.push_back(std::make_unique<ChaosOracle>());
+    oracles.push_back(std::make_unique<ExtStreamOracle>());
     return oracles;
 }
 

@@ -105,12 +105,28 @@ parseRequest(const std::string &line)
                                  std::to_string(1u << 31) + ")");
             }
             sw.deadlineMs = ms;
+        } else if (key == "workload") {
+            if (value.empty())
+                throw UsageError("bad workload '' (need a name)");
+            sw.workload = value;
+        } else if (key == "trace") {
+            if (value.empty())
+                throw UsageError("bad trace '' (need a path)");
+            sw.tracePath = value;
+        } else if (key == "workload_seed") {
+            std::size_t seed = 0;
+            if (!util::parseSize(value, seed)) {
+                throw UsageError("bad workload_seed '" + value + "'");
+            }
+            sw.workloadSeed = seed;
         } else {
             // Everything else is a grid key; GridSpec::set throws
             // UsageError on unknown keys and bad values.
             sw.grid.set(key, value);
         }
     }
+    if (!sw.workload.empty() && !sw.tracePath.empty())
+        throw UsageError("workload= and trace= are exclusive");
     sw.grid.validate();
     return req;
 }

@@ -15,9 +15,13 @@
  *                             threads=N (per-request worker budget,
  *                             0 = server default), progress=0|1
  *                             (stream PROGRESS lines), factored=0|1
- *                             (default 1), and deadline_ms=N (server-
+ *                             (default 1), deadline_ms=N (server-
  *                             side deadline; expiry cancels the run
- *                             and answers `ERR timeout`; 0 = none)
+ *                             and answers `ERR timeout`; 0 = none),
+ *                             and the external-stream keys
+ *                             workload=NAME (registry scenario),
+ *                             trace=PATH (server-side .din or
+ *                             .oracleGeneral file), workload_seed=N
  *   PING                      liveness probe
  *   STATUS                    one-line service counters
  *   SHUTDOWN                  ask the daemon to drain and exit
@@ -87,6 +91,22 @@ struct SweepRequest
      * code 7) instead of wedging the connection slot.
      */
     std::uint64_t deadlineMs = 0;
+    /**
+     * External stream mode (at most one may be set): evaluate the
+     * grid against a named registry workload or a trace file readable
+     * by the *server* process instead of the synthetic suite. The
+     * RESULT payload is the stream-sweep JSON, byte-identical to the
+     * CLI's --workload/--trace output.
+     */
+    std::string workload;
+    std::string tracePath;
+    /** Workload stream seed (workload mode only). */
+    std::uint64_t workloadSeed = 1;
+
+    bool streamMode() const
+    {
+        return !workload.empty() || !tracePath.empty();
+    }
 };
 
 /** One parsed request line. */

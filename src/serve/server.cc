@@ -377,8 +377,12 @@ SweepServer::handleConnection(Conn &conn)
             reqOpts.deadlineMs = req.sweep.deadlineMs;
             reqOpts.onProgress = progress;
             reqOpts.cancel = &conn.gone;
-            SweepResponse resp = service_.runPoints(
-                points, req.sweep.grid.name(), suite, reqOpts);
+            SweepResponse resp =
+                req.sweep.streamMode()
+                    ? service_.runStream(req.sweep, reqOpts)
+                    : service_.runPoints(points,
+                                         req.sweep.grid.name(), suite,
+                                         reqOpts);
             {
                 std::lock_guard<std::mutex> lock(writeMutex);
                 io.writeLine("RESULT " +

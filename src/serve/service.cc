@@ -7,6 +7,9 @@
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
 #include "sweep/result_sink.hh"
+#include "sweep/stream_sweep.hh"
+#include "trace/source.hh"
+#include "workloads/registry.hh"
 
 namespace pipecache::serve {
 
@@ -245,17 +248,19 @@ SweepService::sweep(
     const std::function<void(std::size_t, std::size_t)> &onProgress,
     const std::atomic<bool> *cancel)
 {
-    // Build (and thus validate) the grid before taking an admission
-    // slot: a malformed request must not occupy capacity.
-    const std::vector<core::DesignPoint> points = req.grid.build();
-    core::SuiteConfig suite;
-    suite.scaleDivisor = req.scaleDivisor;
     RequestOptions reqOpts;
     reqOpts.threads = req.threads;
     reqOpts.factored = req.factored;
     reqOpts.deadlineMs = req.deadlineMs;
     reqOpts.onProgress = onProgress;
     reqOpts.cancel = cancel;
+    if (req.streamMode())
+        return runStream(req, reqOpts);
+    // Build (and thus validate) the grid before taking an admission
+    // slot: a malformed request must not occupy capacity.
+    const std::vector<core::DesignPoint> points = req.grid.build();
+    core::SuiteConfig suite;
+    suite.scaleDivisor = req.scaleDivisor;
     return runPoints(points, req.grid.name(), suite, reqOpts);
 }
 
@@ -339,9 +344,93 @@ SweepService::runPoints(const std::vector<core::DesignPoint> &points,
     }
 }
 
+namespace {
+
+/** Evaluate one external-stream request (the shared core of
+ *  runStream and stream-request recovery). */
+SweepResponse
+evaluateStream(const SweepRequest &req)
+{
+    const std::vector<core::DesignPoint> points = req.grid.build();
+    if (points.empty())
+        throw UsageError("empty sweep grid");
+
+    std::unique_ptr<trace::TraceSource> source;
+    if (!req.tracePath.empty()) {
+        source = trace::openTraceFile(req.tracePath);
+    } else {
+        workloads::WorkloadOptions wopts;
+        wopts.seed = req.workloadSeed;
+        source = workloads::openWorkload(req.workload, wopts);
+    }
+    const std::vector<trace::TraceRecord> stream =
+        trace::drain(*source);
+    const sweep::StreamSweepResult result =
+        sweep::sweepStream(stream, points);
+
+    SweepResponse resp;
+    resp.name = req.grid.name();
+    resp.points = points.size();
+    resp.json = sweep::streamJsonString(req.grid.name(),
+                                        source->name(), result);
+    return resp;
+}
+
+} // namespace
+
+SweepResponse
+SweepService::runStream(const SweepRequest &req,
+                        const RequestOptions &reqOpts)
+{
+    obs::ScopedSpan span("serve.stream_request", "serve");
+    auto &reg = obs::StatsRegistry::global();
+
+    DeadlineGuard guard(*this, reqOpts.deadlineMs, reqOpts.cancel);
+    try {
+        Admission admission(*this, guard.cancel());
+        reg.addCounter("serve.requests", "sweep requests admitted",
+                       obs::StatKind::Volatile);
+        reg.sampleHistogram("serve.queue_depth",
+                            "admission queue depth seen by arrivals",
+                            obs::StatKind::Volatile, 16,
+                            admission.depthAtArrival());
+
+        const auto t0 = std::chrono::steady_clock::now();
+        SweepResponse resp = evaluateStream(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        resp.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        reg.sampleHistogram(
+            "serve.request_ms",
+            "request latency (admission to result)",
+            obs::StatKind::Volatile, 64,
+            static_cast<std::uint64_t>(resp.wallMs));
+        return resp;
+    } catch (const InterruptedError &) {
+        if (guard.expired()) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            reg.addCounter("serve.timeouts",
+                           "requests that hit their deadline",
+                           obs::StatKind::Volatile);
+            throw TimeoutError("deadline of " +
+                               std::to_string(guard.deadlineMs()) +
+                               " ms expired before the sweep "
+                               "finished");
+        }
+        throw;
+    }
+}
+
 SweepResponse
 SweepService::warm(const SweepRequest &req)
 {
+    // Stream requests carry no suite state, so recovery is just a
+    // straight re-evaluation (bounded: streams are finite).
+    if (req.streamMode())
+        return evaluateStream(req);
     const std::vector<core::DesignPoint> points = req.grid.build();
     if (points.empty())
         throw UsageError("empty sweep grid");

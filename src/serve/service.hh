@@ -161,6 +161,16 @@ class SweepService
               const RequestOptions &reqOpts = {});
 
     /**
+     * Admission + evaluation for an external-stream request
+     * (workload= / trace=). Stateless per request — no suite state,
+     * no memo — but it occupies an admission slot like any other
+     * sweep. The stream evaluation is one uninterruptible pass, so a
+     * deadline or cancel takes effect while queued, not mid-pass.
+     */
+    SweepResponse runStream(const SweepRequest &req,
+                            const RequestOptions &reqOpts = {});
+
+    /**
      * Replay a journaled request from a previous daemon run to
      * re-warm the suite state, bypassing admission control: recovery
      * must not consume the live slots a retrying client is about to

@@ -7,15 +7,21 @@
 
 namespace pipecache::sweep {
 
-namespace {
-
-/** Shortest round-trip decimal form of @p v (locale-independent). */
 std::string
-fmt(double v)
+fmtDouble(double v)
 {
     char buf[32];
     const auto res = std::to_chars(buf, buf + sizeof buf, v);
     return std::string(buf, res.ptr);
+}
+
+namespace {
+
+/** Local shorthand for the public formatter. */
+std::string
+fmt(double v)
+{
+    return fmtDouble(v);
 }
 
 const char *
@@ -49,8 +55,10 @@ replacementName(cache::Replacement r)
     return r == cache::Replacement::Random ? "random" : "lru";
 }
 
+} // namespace
+
 void
-writeDesign(std::ostream &os, const core::DesignPoint &p)
+writeDesignJson(std::ostream &os, const core::DesignPoint &p)
 {
     os << "{\"b\":" << p.branchSlots << ",\"l\":" << p.loadSlots
        << ",\"l1i_kw\":" << p.l1iSizeKW << ",\"l1d_kw\":" << p.l1dSizeKW
@@ -62,6 +70,8 @@ writeDesign(std::ostream &os, const core::DesignPoint &p)
        << predictSourceName(p.predictSource) << "\",\"write_buffer\":"
        << (p.writeThroughBuffer ? "true" : "false") << "}";
 }
+
+namespace {
 
 void
 writeMetrics(std::ostream &os, const core::PointMetrics &m)
@@ -131,7 +141,7 @@ writeJson(std::ostream &os, const std::string &name,
     for (std::size_t i = 0; i < records.size(); ++i) {
         const SweepRecord &r = records[i];
         os << "    {\"design\":";
-        writeDesign(os, r.point);
+        writeDesignJson(os, r.point);
         os << ",\"metrics\":";
         if (r.failed) {
             // Metrics of a failed point are zero-valued noise; emit

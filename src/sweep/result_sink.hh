@@ -35,6 +35,16 @@ struct SinkOptions
     bool includeWallTimes = false;
 };
 
+/**
+ * Shortest round-trip decimal form of @p v — the double format every
+ * sink in this module uses. Exposed so sibling emitters (the stream
+ * sweep) produce byte-identical formatting.
+ */
+std::string fmtDouble(double v);
+
+/** Emit one DesignPoint as the sinks' JSON design object. */
+void writeDesignJson(std::ostream &os, const core::DesignPoint &p);
+
 /** Write one sweep as a JSON document. */
 void writeJson(std::ostream &os, const std::string &name,
                const std::vector<SweepRecord> &records,

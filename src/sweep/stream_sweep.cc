@@ -1,0 +1,263 @@
+#include "sweep/stream_sweep.hh"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "cache/stack_sim.hh"
+#include "sweep/result_sink.hh"
+#include "util/error.hh"
+
+namespace pipecache::sweep {
+
+namespace {
+
+using cache::CacheStats;
+using cache::Replacement;
+using cache::StackGeometry;
+using cache::StackSimulator;
+
+/** One cache shape; the memo key for both evaluation engines. */
+using GeomKey = std::tuple<std::uint32_t /*blockBytes*/,
+                           std::uint32_t /*log2Sets*/,
+                           std::uint32_t /*assoc*/, int /*repl*/>;
+
+struct SideGeom
+{
+    std::uint32_t blockBytes = 0;
+    std::uint32_t log2Sets = 0;
+    std::uint32_t assoc = 0;
+    Replacement repl = Replacement::LRU;
+
+    GeomKey key() const
+    {
+        return {blockBytes, log2Sets, assoc, static_cast<int>(repl)};
+    }
+};
+
+/** Derive one side's geometry from a design point; throws UsageError. */
+SideGeom
+sideGeometry(const core::DesignPoint &p, std::uint32_t sizeKW,
+             const char *side)
+{
+    SideGeom g;
+    g.blockBytes = p.blockWords * 4;
+    g.assoc = p.assoc;
+    g.repl = p.repl;
+    const std::uint64_t sizeBytes = kiloWordsToBytes(sizeKW);
+    const std::uint64_t wayBytes =
+        static_cast<std::uint64_t>(g.blockBytes) * g.assoc;
+    if (wayBytes == 0 || sizeBytes % wayBytes != 0 ||
+        !isPowerOfTwo(sizeBytes / wayBytes))
+        throw UsageError(std::string(side) + " geometry invalid: " +
+                         std::to_string(sizeKW) + " KW with block " +
+                         std::to_string(g.blockBytes) + " B assoc " +
+                         std::to_string(g.assoc));
+    g.log2Sets = static_cast<std::uint32_t>(floorLog2(sizeBytes / wayBytes));
+    return g;
+}
+
+/** Replay @p recs against one concrete cache (Random fallback). */
+CacheStats
+replayCache(const std::vector<cache::AccessRecord> &recs,
+            const SideGeom &g)
+{
+    cache::CacheConfig cfg;
+    cfg.name = "stream";
+    cfg.blockBytes = g.blockBytes;
+    cfg.assoc = g.assoc;
+    cfg.sizeBytes = static_cast<std::uint64_t>(g.blockBytes) * g.assoc
+                    << g.log2Sets;
+    cfg.repl = g.repl;
+    cache::Cache sim(cfg, /*seed=*/0x5eedu);
+    for (const auto &r : recs)
+        sim.access(r.addr, r.store != 0);
+    return sim.stats();
+}
+
+/**
+ * Evaluate all geometries of one stream side: one stack-sim ladder
+ * per block size for the LRU shapes, per-shape replay for Random.
+ */
+std::map<GeomKey, CacheStats>
+evaluateSide(const std::vector<cache::AccessRecord> &recs,
+             const std::set<GeomKey> &keys)
+{
+    // Group the LRU shapes into one ladder per block size.
+    std::map<std::uint32_t, std::vector<StackGeometry>> ladders;
+    for (const GeomKey &k : keys) {
+        auto [blockBytes, log2Sets, assoc, repl] = k;
+        if (static_cast<Replacement>(repl) == Replacement::LRU)
+            ladders[blockBytes].push_back({log2Sets, assoc});
+    }
+
+    std::map<GeomKey, CacheStats> out;
+    for (auto &[blockBytes, geoms] : ladders) {
+        StackSimulator sim(blockBytes, geoms, /*numBenches=*/1);
+        sim.accessBatch(recs);
+        sim.finish();
+        for (const StackGeometry &g : geoms) {
+            const auto &c = sim.counts(g.log2Sets, g.assoc);
+            CacheStats s;
+            s.reads = sim.benchReads()[0];
+            s.writes = sim.benchWrites()[0];
+            s.readMisses = c.readMisses[0];
+            s.writeMisses = c.writeMisses[0];
+            s.evictions = c.evictions;
+            s.dirtyEvictions = c.dirtyEvictions;
+            out[{blockBytes, g.log2Sets, g.assoc,
+                 static_cast<int>(Replacement::LRU)}] = s;
+        }
+    }
+    for (const GeomKey &k : keys) {
+        auto [blockBytes, log2Sets, assoc, repl] = k;
+        if (static_cast<Replacement>(repl) == Replacement::LRU)
+            continue;
+        SideGeom g{blockBytes, log2Sets, assoc,
+                   static_cast<Replacement>(repl)};
+        out[k] = replayCache(recs, g);
+    }
+    return out;
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &v)
+{
+    os << '"';
+    for (char c : v) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+StreamSweepResult
+sweepStream(const std::vector<trace::TraceRecord> &stream,
+            const std::vector<core::DesignPoint> &points)
+{
+    StreamSweepResult result;
+
+    // Split the flat stream into its fetch and data halves.
+    std::vector<cache::AccessRecord> fetches;
+    std::vector<cache::AccessRecord> data;
+    for (const trace::TraceRecord &rec : stream) {
+        if (rec.kind == trace::RefKind::Fetch)
+            fetches.push_back({rec.addr, 0, 0});
+        else
+            data.push_back(
+                {rec.addr, 0,
+                 static_cast<std::uint8_t>(
+                     rec.kind == trace::RefKind::Write ? 1 : 0)});
+        switch (rec.kind) {
+        case trace::RefKind::Fetch:
+            ++result.stream.fetches;
+            break;
+        case trace::RefKind::Read:
+            ++result.stream.reads;
+            break;
+        case trace::RefKind::Write:
+            ++result.stream.writes;
+            break;
+        }
+    }
+    result.stream.records = stream.size();
+
+    // Collect every geometry each side needs, then evaluate each side
+    // once.
+    std::set<GeomKey> ikeys;
+    std::set<GeomKey> dkeys;
+    for (const core::DesignPoint &p : points) {
+        ikeys.insert(sideGeometry(p, p.l1iSizeKW, "l1i").key());
+        dkeys.insert(sideGeometry(p, p.l1dSizeKW, "l1d").key());
+    }
+    std::map<GeomKey, CacheStats> istats = evaluateSide(fetches, ikeys);
+    std::map<GeomKey, CacheStats> dstats = evaluateSide(data, dkeys);
+
+    for (const core::DesignPoint &p : points) {
+        StreamRecord rec;
+        rec.point = p;
+        rec.metrics.l1i =
+            istats.at(sideGeometry(p, p.l1iSizeKW, "l1i").key());
+        rec.metrics.l1d =
+            dstats.at(sideGeometry(p, p.l1dSizeKW, "l1d").key());
+        rec.metrics.l1iMissRate = rec.metrics.l1i.missRate();
+        rec.metrics.l1dMissRate = rec.metrics.l1d.missRate();
+        const Counter misses =
+            rec.metrics.l1i.misses() + rec.metrics.l1d.misses();
+        rec.metrics.stallCycles = p.missPenaltyCycles * misses;
+        if (result.stream.fetches > 0)
+            rec.metrics.memCpi =
+                1.0 + static_cast<double>(rec.metrics.stallCycles) /
+                          static_cast<double>(result.stream.fetches);
+        result.records.push_back(rec);
+    }
+    return result;
+}
+
+void
+writeStreamJson(std::ostream &os, const std::string &name,
+                const std::string &source, const StreamSweepResult &result)
+{
+    os << "{\"sweep\":";
+    writeEscaped(os, name);
+    os << ",\"mode\":\"stream\",\"source\":";
+    writeEscaped(os, source);
+    const StreamStats &st = result.stream;
+    os << ",\"stream\":{\"records\":" << st.records
+       << ",\"fetches\":" << st.fetches << ",\"reads\":" << st.reads
+       << ",\"writes\":" << st.writes << "}";
+    os << ",\"points\":" << result.records.size() << ",\"results\":[";
+    bool first = true;
+    for (const StreamRecord &r : result.records) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"design\":";
+        writeDesignJson(os, r.point);
+        const StreamMetrics &m = r.metrics;
+        os << ",\"metrics\":{\"l1i\":{\"fetches\":" << m.l1i.reads
+           << ",\"misses\":" << m.l1i.misses()
+           << ",\"miss_rate\":" << fmtDouble(m.l1iMissRate)
+           << ",\"evictions\":" << m.l1i.evictions
+           << "},\"l1d\":{\"reads\":" << m.l1d.reads
+           << ",\"writes\":" << m.l1d.writes
+           << ",\"misses\":" << m.l1d.misses()
+           << ",\"miss_rate\":" << fmtDouble(m.l1dMissRate)
+           << ",\"evictions\":" << m.l1d.evictions
+           << ",\"dirty_evictions\":" << m.l1d.dirtyEvictions
+           << "},\"stall_cycles\":" << m.stallCycles
+           << ",\"mem_cpi\":" << fmtDouble(m.memCpi) << "}}";
+    }
+    os << "]}\n";
+}
+
+std::string
+streamJsonString(const std::string &name, const std::string &source,
+                 const StreamSweepResult &result)
+{
+    std::ostringstream os;
+    writeStreamJson(os, name, source, result);
+    return os.str();
+}
+
+} // namespace pipecache::sweep

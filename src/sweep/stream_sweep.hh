@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sweeping cache design points against an external access stream.
+ *
+ * External traces and named workloads arrive as flat TraceRecord
+ * streams — no basic blocks, no schedules — so the block-level CPI
+ * machinery (translation files, factored evaluation) does not apply.
+ * Instead the stream splits into its fetch and data halves and each
+ * design point's I- and D-cache are measured directly:
+ *
+ *  - LRU points ride the single-pass Mattson stack simulator: all
+ *    points sharing a block size form one ladder per side, so the
+ *    stream is replayed once per (side, block size) regardless of how
+ *    many sizes/associativities the grid asks for.
+ *  - Random-replacement points fall back to a per-geometry Cache
+ *    replay (inclusion does not hold for Random).
+ *
+ * Derived metrics per point: miss rates, a memory-stall cycle count
+ * (penalty × total misses), and a memory-only CPI (1 + stalls per
+ * fetch) when the stream contains fetches. The evaluation is
+ * sequential and deterministic, so the JSON emitted here is
+ * byte-stable across runs and thread counts by construction.
+ */
+
+#ifndef PIPECACHE_SWEEP_STREAM_SWEEP_HH
+#define PIPECACHE_SWEEP_STREAM_SWEEP_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/design_point.hh"
+#include "trace/trace_record.hh"
+#include "util/units.hh"
+
+namespace pipecache::sweep {
+
+/** Stream-wide composition totals. */
+struct StreamStats
+{
+    Counter records = 0;
+    Counter fetches = 0;
+    Counter reads = 0;
+    Counter writes = 0;
+};
+
+/** Per-point results of a stream sweep. */
+struct StreamMetrics
+{
+    cache::CacheStats l1i;
+    cache::CacheStats l1d;
+    double l1iMissRate = 0.0;
+    double l1dMissRate = 0.0;
+    /** penalty × (I misses + D misses). */
+    Counter stallCycles = 0;
+    /** 1 + stalls/fetch; 0 when the stream has no fetches. */
+    double memCpi = 0.0;
+};
+
+struct StreamRecord
+{
+    core::DesignPoint point;
+    StreamMetrics metrics;
+};
+
+struct StreamSweepResult
+{
+    StreamStats stream;
+    std::vector<StreamRecord> records;
+};
+
+/**
+ * Evaluate every design point against @p stream. Throws UsageError if
+ * a point's geometry cannot be formed (cache smaller than one way's
+ * worth of blocks).
+ */
+StreamSweepResult sweepStream(const std::vector<trace::TraceRecord> &stream,
+                              const std::vector<core::DesignPoint> &points);
+
+/**
+ * Emit the result as the sinks' byte-stable JSON dialect. @p source
+ * names where the stream came from (file path or workload name).
+ */
+void writeStreamJson(std::ostream &os, const std::string &name,
+                     const std::string &source,
+                     const StreamSweepResult &result);
+
+/** writeStreamJson into a string. */
+std::string streamJsonString(const std::string &name,
+                             const std::string &source,
+                             const StreamSweepResult &result);
+
+} // namespace pipecache::sweep
+
+#endif // PIPECACHE_SWEEP_STREAM_SWEEP_HH

@@ -98,7 +98,7 @@ struct Benchmark
 /** The 16-benchmark suite of Table 1, in the paper's order. */
 const std::vector<Benchmark> &table1Suite();
 
-/** Look up a suite benchmark by name; fatal() if absent. */
+/** Look up a suite benchmark by name; throws UsageError if absent. */
 const Benchmark &findBenchmark(std::string_view name);
 
 /** Per-process address-space stride (16 MB). */

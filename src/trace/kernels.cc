@@ -1,0 +1,190 @@
+#include "trace/kernels.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "isa/opcode.hh"
+#include "util/logging.hh"
+
+namespace pipecache::trace {
+
+namespace {
+
+using isa::AddrClass;
+using isa::BasicBlock;
+using isa::Instruction;
+using isa::Opcode;
+using isa::TermKind;
+
+/** Loop bodies per kernel; the CTI is appended by the builder. */
+std::vector<Instruction>
+loopBody(KernelKind kind)
+{
+    switch (kind) {
+    case KernelKind::Sequential:
+        // Sequential walk, alternating read and write on one stream
+        // (each access advances the walk). One stream, not two: the
+        // generator spaces array streams a power of two apart, so a
+        // two-stream copy would ping-pong every direct-mapped set —
+        // the conflict-storm workload covers that adversary already.
+        return {
+            Instruction::makeLoad(8, 16, 0, AddrClass::Array, 0),
+            Instruction::makeAluImm(Opcode::ADDIU, 9, 8, 1),
+            Instruction::makeStore(9, 16, 0, AddrClass::Array, 0),
+            Instruction::makeAluImm(Opcode::ADDIU, 16, 16, 4),
+        };
+    case KernelKind::Strided:
+        // Strided read walk with a little index arithmetic.
+        return {
+            Instruction::makeAluImm(Opcode::SLL, 10, 10, 2),
+            Instruction::makeLoad(8, 16, 0, AddrClass::Array, 0),
+            Instruction::makeAlu(Opcode::ADDU, 11, 11, 8),
+            Instruction::makeAluImm(Opcode::ADDIU, 16, 16, 1),
+        };
+    case KernelKind::Random:
+        // Near-uniform reads and writes over the heap working set.
+        return {
+            Instruction::makeLoad(8, 16, 0, AddrClass::Heap, 0),
+            Instruction::makeAlu(Opcode::XOR, 9, 9, 8),
+            Instruction::makeStore(9, 17, 0, AddrClass::Heap, 0),
+            Instruction::makeAluImm(Opcode::ADDIU, 16, 16, 1),
+        };
+    case KernelKind::PointerChase:
+        // Dependent load: the loaded value is the next address.
+        return {
+            Instruction::makeLoad(8, 8, 0, AddrClass::Heap, 0),
+            Instruction::makeAlu(Opcode::ADDU, 9, 9, 8),
+        };
+    }
+    PC_FATAL("unreachable kernel kind");
+}
+
+} // namespace
+
+isa::Program
+makeKernelProgram(const KernelConfig &config)
+{
+    isa::Program program;
+
+    // Block 0: setup, falls through into the hot loop.
+    BasicBlock setup;
+    setup.insts = {
+        Instruction::makeAluImm(Opcode::ADDIU, 16, 0, 0),
+        Instruction::makeAluImm(Opcode::ADDIU, 17, 0, 0),
+        Instruction::makeAluImm(Opcode::LUI, 8, 0, 1),
+    };
+    setup.term = TermKind::FallThrough;
+
+    // Block 1: the hot loop, a backward branch to itself.
+    BasicBlock loop;
+    loop.insts = loopBody(config.kind);
+    loop.insts.push_back(Instruction::makeBranch(Opcode::BNE, 16, 0));
+    loop.term = TermKind::CondBranch;
+    loop.profile.backward = true;
+    // Effectively loop forever; the executor's maxInsts is the budget.
+    loop.profile.meanTrip = 1 << 18;
+
+    // Block 2: restart the loop if the trip count ever runs out.
+    BasicBlock restart;
+    restart.insts = {Instruction::makeJump(Opcode::J)};
+    restart.term = TermKind::Jump;
+
+    isa::BlockId b0 = program.addBlock(std::move(setup));
+    isa::BlockId b1 = program.addBlock(std::move(loop));
+    isa::BlockId b2 = program.addBlock(std::move(restart));
+
+    program.block(b0).fallthrough = b1;
+    program.block(b1).target = b1;
+    program.block(b1).fallthrough = b2;
+    program.block(b2).target = b1;
+
+    program.setEntry(b0);
+    program.layout();
+    program.validate();
+    return program;
+}
+
+DataGenConfig
+kernelDataConfig(const KernelConfig &config)
+{
+    DataGenConfig dcfg;
+    dcfg.seed = config.seed;
+    switch (config.kind) {
+    case KernelKind::Sequential:
+        dcfg.arrayBytes = {config.footprintBytes};
+        dcfg.arrayStride = 4;
+        break;
+    case KernelKind::Strided:
+        dcfg.arrayBytes = {config.footprintBytes};
+        dcfg.arrayStride = config.strideBytes;
+        break;
+    case KernelKind::Random:
+        dcfg.heapBytes = config.footprintBytes;
+        dcfg.heapObjBytes = 32;
+        // Near-zero skew: close to uniform over the footprint.
+        dcfg.heapTheta = 0.05;
+        break;
+    case KernelKind::PointerChase:
+        dcfg.heapBytes = config.footprintBytes;
+        dcfg.heapObjBytes = 16;
+        dcfg.heapTheta = 0.6;
+        break;
+    }
+    return dcfg;
+}
+
+ProgramSource::ProgramSource(std::string name, const KernelConfig &config)
+    : TraceSource(std::move(name)), program_(makeKernelProgram(config)),
+      dgen_(kernelDataConfig(config)),
+      exec_(program_, dgen_,
+            ExecConfig{.seed = config.seed, .maxInsts = config.maxInsts})
+{
+}
+
+bool
+ProgramSource::refillPending()
+{
+    pending_.clear();
+    pendingAt_ = 0;
+    if (done_ || !exec_.next(event_)) {
+        done_ = true;
+        return false;
+    }
+    // Const access matters: the mutable Program::block() overload
+    // invalidates the layout.
+    const isa::Program &prog = program_;
+    const BasicBlock &bb = prog.block(event_.block);
+    std::size_t mem = 0;
+    for (std::size_t pos = 0; pos < bb.size(); ++pos) {
+        pending_.push_back(
+            {RefKind::Fetch, prog.instAddr(event_.block, pos)});
+        while (mem < event_.memRefs.size() &&
+               event_.memRefs[mem].pos == pos) {
+            const MemRef &ref = event_.memRefs[mem];
+            pending_.push_back(
+                {ref.store ? RefKind::Write : RefKind::Read, ref.addr});
+            ++mem;
+        }
+    }
+    return true;
+}
+
+std::size_t
+ProgramSource::fill(std::span<TraceRecord> out)
+{
+    std::size_t n = 0;
+    while (n < out.size()) {
+        if (pendingAt_ == pending_.size() && !refillPending())
+            break;
+        std::size_t take = std::min(out.size() - n,
+                                    pending_.size() - pendingAt_);
+        std::copy_n(pending_.begin() +
+                        static_cast<std::ptrdiff_t>(pendingAt_),
+                    take, out.begin() + static_cast<std::ptrdiff_t>(n));
+        pendingAt_ += take;
+        n += take;
+    }
+    return n;
+}
+
+} // namespace pipecache::trace

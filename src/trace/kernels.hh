@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Classic memory-benchmark kernels assembled as isa/ programs.
+ *
+ * Each kernel is a tiny hand-built control-flow graph — setup block,
+ * hot loop, restart block — whose loads and stores carry the
+ * AddrClass that reproduces the kernel's access pattern through
+ * DataAddressGenerator: sequential and strided walks use Array
+ * streams, random and pointer-chase use the Zipf heap. Running a
+ * kernel through the trace executor yields the same flat
+ * fetch+data record stream an external trace file would, so the
+ * workload registry can mix synthetic kernels and real traces behind
+ * one TraceSource interface.
+ */
+
+#ifndef PIPECACHE_TRACE_KERNELS_HH
+#define PIPECACHE_TRACE_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+#include "trace/data_address_generator.hh"
+#include "trace/executor.hh"
+#include "trace/source.hh"
+#include "util/units.hh"
+
+namespace pipecache::trace {
+
+/** The classic kernels. */
+enum class KernelKind : std::uint8_t
+{
+    Sequential,   //!< stream copy: sequential read + sequential write
+    Strided,      //!< fixed-stride array walk (read-only)
+    Random,       //!< near-uniform random reads and writes over a heap
+    PointerChase, //!< dependent loads over a small hot working set
+};
+
+/** Kernel shape knobs. */
+struct KernelConfig
+{
+    KernelKind kind = KernelKind::Sequential;
+    /** Data footprint (array or heap working set) in bytes. */
+    std::uint32_t footprintBytes = 256 * 1024;
+    /** Walk stride in bytes (Strided only). */
+    std::uint32_t strideBytes = 64;
+    /** Instruction budget for the executor run. */
+    Counter maxInsts = 120000;
+    std::uint64_t seed = 1;
+};
+
+/** Assemble the kernel's program (laid out and validated). */
+isa::Program makeKernelProgram(const KernelConfig &config);
+
+/** The data-space configuration matching the kernel's pattern. */
+DataGenConfig kernelDataConfig(const KernelConfig &config);
+
+/**
+ * TraceSource that executes a kernel incrementally through the
+ * isa/ executor, flattening block events into fetch records
+ * interleaved with their data references (din record order).
+ */
+class ProgramSource final : public TraceSource
+{
+  public:
+    ProgramSource(std::string name, const KernelConfig &config);
+
+    std::size_t fill(std::span<TraceRecord> out) override;
+
+  private:
+    isa::Program program_;
+    DataAddressGenerator dgen_;
+    Executor exec_;
+    BlockEvent event_;
+    std::vector<TraceRecord> pending_;
+    std::size_t pendingAt_ = 0;
+    bool done_ = false;
+
+    bool refillPending();
+};
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_KERNELS_HH

@@ -1,0 +1,161 @@
+#include "trace/source.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <string_view>
+
+#include "trace/trace_io.hh"
+#include "util/error.hh"
+
+namespace pipecache::trace {
+
+namespace {
+
+/** Case-insensitive extension match against the end of @p path. */
+bool
+hasExtension(const std::string &path, std::string_view ext)
+{
+    if (path.size() < ext.size())
+        return false;
+    std::size_t off = path.size() - ext.size();
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+        char a = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(path[off + i])));
+        char b = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ext[i])));
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+VectorSource::VectorSource(std::vector<TraceRecord> records, std::string name)
+    : TraceSource(std::move(name)), records_(std::move(records))
+{
+}
+
+std::size_t
+VectorSource::fill(std::span<TraceRecord> out)
+{
+    std::size_t n = std::min(out.size(), records_.size() - at_);
+    std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(at_), n,
+                out.begin());
+    at_ += n;
+    return n;
+}
+
+DinSource::DinSource(std::istream &is, std::string name)
+    : TraceSource(std::move(name)), is_(&is)
+{
+}
+
+DinSource::DinSource(std::unique_ptr<std::istream> is, std::string name)
+    : TraceSource(std::move(name)), owned_(std::move(is)),
+      is_(owned_.get())
+{
+}
+
+std::size_t
+DinSource::fill(std::span<TraceRecord> out)
+{
+    std::size_t n = 0;
+    while (n < out.size() && std::getline(*is_, line_)) {
+        ++lineno_;
+        try {
+            if (parseDinLine(line_, lineno_, out[n]))
+                ++n;
+        } catch (const DataError &e) {
+            throw e.withSource(name());
+        }
+    }
+    return n;
+}
+
+OracleGeneralSource::OracleGeneralSource(std::istream &is, std::string name)
+    : TraceSource(std::move(name)), is_(&is)
+{
+}
+
+OracleGeneralSource::OracleGeneralSource(std::unique_ptr<std::istream> is,
+                                         std::string name)
+    : TraceSource(std::move(name)), owned_(std::move(is)),
+      is_(owned_.get())
+{
+}
+
+Addr
+OracleGeneralSource::objIdToAddr(std::uint64_t objId)
+{
+    // Fold the 64-bit key down to 26 bits (high half is usually zero
+    // for dense integer ids, so those survive intact), then place each
+    // object on its own 64-byte-aligned line in the 4 GiB space.
+    std::uint64_t folded = objId ^ (objId >> 32);
+    folded ^= folded >> 26;
+    return static_cast<Addr>((folded & 0x03ffffffu) << 6);
+}
+
+std::size_t
+OracleGeneralSource::fill(std::span<TraceRecord> out)
+{
+    std::size_t n = 0;
+    unsigned char raw[kRecordBytes];
+    while (n < out.size()) {
+        is_->read(reinterpret_cast<char *>(raw), kRecordBytes);
+        std::size_t got = static_cast<std::size_t>(is_->gcount());
+        if (got == 0)
+            break;
+        if (got < kRecordBytes)
+            throw DataError(
+                name(), 0,
+                "truncated oracleGeneral record #" +
+                    std::to_string(recordIndex_) +
+                    " (stream length is not a multiple of 24 bytes)");
+        // Little-endian u64 obj_id at byte offset 4; clock_time,
+        // obj_size, and next_access_vtime are ignored.
+        std::uint64_t objId = 0;
+        for (int i = 7; i >= 0; --i)
+            objId = (objId << 8) | raw[4 + i];
+        out[n++] = {RefKind::Read, objIdToAddr(objId)};
+        ++recordIndex_;
+    }
+    return n;
+}
+
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path)
+{
+    bool din = hasExtension(path, ".din");
+    bool oracle = hasExtension(path, ".oracleGeneral");
+    if (!din && !oracle)
+        throw UsageError("unknown trace format for '" + path +
+                         "' (expected .din or .oracleGeneral)");
+
+    auto mode = oracle ? std::ios::in | std::ios::binary : std::ios::in;
+    auto file = std::make_unique<std::ifstream>(path, mode);
+    if (!*file)
+        throw IoError(path, "cannot open trace file");
+    if (din)
+        return std::make_unique<DinSource>(std::move(file), path);
+    return std::make_unique<OracleGeneralSource>(std::move(file), path);
+}
+
+std::vector<TraceRecord>
+drain(TraceSource &source, std::size_t maxRecords)
+{
+    std::vector<TraceRecord> records;
+    TraceRecord buf[4096];
+    while (records.size() < maxRecords) {
+        std::size_t got = source.fill(buf);
+        if (got == 0)
+            break;
+        std::size_t take =
+            std::min(got, maxRecords - records.size());
+        records.insert(records.end(), buf, buf + take);
+    }
+    return records;
+}
+
+} // namespace pipecache::trace

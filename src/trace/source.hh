@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pluggable trace sources: batched readers of flat access streams.
+ *
+ * A TraceSource produces TraceRecords in caller-sized batches —
+ * fill(span) returns how many records it wrote, 0 meaning end of
+ * stream — matching the batched front end the cache layer consumes
+ * (BufferedStreamSink / StackSimulator::accessBatch). Three families
+ * of sources exist:
+ *
+ *  - VectorSource replays an in-memory record vector (tests, fuzz).
+ *  - DinSource streams the dinero "din" text format (trace_io.hh),
+ *    sharing its line parser so both paths reject the same inputs.
+ *  - OracleGeneralSource streams the CacheLib/libCacheSim
+ *    "oracleGeneral" binary format: packed little-endian 24-byte
+ *    records {u32 clock_time; u64 obj_id; u32 obj_size; i64
+ *    next_access_vtime}. Each record becomes one data read of a
+ *    64-byte-aligned pseudo-address derived from obj_id (the id is a
+ *    key, not an address; folding it keeps distinct objects in
+ *    distinct cache blocks). obj_size and the oracle fields are
+ *    ignored. A trailing partial record is a DataError.
+ *
+ * ProgramSource (kernels.hh) is the fourth implementation: it runs a
+ * synthetic benchmark kernel through the isa/ executor on demand.
+ *
+ * Malformed stream content throws DataError attributed to the source
+ * name; openTraceFile throws IoError when the file cannot be opened
+ * and UsageError for an unrecognized extension.
+ */
+
+#ifndef PIPECACHE_TRACE_SOURCE_HH
+#define PIPECACHE_TRACE_SOURCE_HH
+
+#include <cstddef>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hh"
+
+namespace pipecache::trace {
+
+/** Batched producer of flat trace records. */
+class TraceSource
+{
+  public:
+    explicit TraceSource(std::string name) : name_(std::move(name)) {}
+    virtual ~TraceSource() = default;
+
+    TraceSource(const TraceSource &) = delete;
+    TraceSource &operator=(const TraceSource &) = delete;
+
+    /** Diagnostic name (file path, workload name, …). */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Write up to out.size() records into @p out; returns the number
+     * written. 0 means end of stream (and all later calls return 0).
+     */
+    virtual std::size_t fill(std::span<TraceRecord> out) = 0;
+
+  private:
+    std::string name_;
+};
+
+/** Replays an in-memory record vector. */
+class VectorSource final : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceRecord> records,
+                          std::string name = "memory");
+
+    std::size_t fill(std::span<TraceRecord> out) override;
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t at_ = 0;
+};
+
+/** Streams din text; shares the trace_io.hh line parser. */
+class DinSource final : public TraceSource
+{
+  public:
+    /** Borrow @p is; the caller keeps it alive. */
+    DinSource(std::istream &is, std::string name);
+    /** Own the stream (file sources). */
+    DinSource(std::unique_ptr<std::istream> is, std::string name);
+
+    std::size_t fill(std::span<TraceRecord> out) override;
+
+  private:
+    std::unique_ptr<std::istream> owned_;
+    std::istream *is_;
+    std::string line_;
+    std::size_t lineno_ = 0;
+};
+
+/** Streams oracleGeneral binary records (format above). */
+class OracleGeneralSource final : public TraceSource
+{
+  public:
+    /** Bytes per packed record. */
+    static constexpr std::size_t kRecordBytes = 24;
+
+    OracleGeneralSource(std::istream &is, std::string name);
+    OracleGeneralSource(std::unique_ptr<std::istream> is, std::string name);
+
+    std::size_t fill(std::span<TraceRecord> out) override;
+
+    /** The obj_id → pseudo-address mapping, exposed for tests. */
+    static Addr objIdToAddr(std::uint64_t objId);
+
+  private:
+    std::unique_ptr<std::istream> owned_;
+    std::istream *is_;
+    std::uint64_t recordIndex_ = 0;
+};
+
+/**
+ * Open a trace file, dispatching on extension: ".din" → DinSource,
+ * ".oracleGeneral" (case-insensitive) → OracleGeneralSource. Throws
+ * IoError if the file cannot be opened, UsageError for an
+ * unrecognized extension.
+ */
+std::unique_ptr<TraceSource> openTraceFile(const std::string &path);
+
+/**
+ * Drain @p source into a vector, at most @p maxRecords. Reads in
+ * fixed 4096-record batches, so the drained prefix is independent of
+ * the cap's batch alignment.
+ */
+std::vector<TraceRecord>
+drain(TraceSource &source,
+      std::size_t maxRecords = std::numeric_limits<std::size_t>::max());
+
+} // namespace pipecache::trace
+
+#endif // PIPECACHE_TRACE_SOURCE_HH

@@ -37,6 +37,18 @@ forEachFlatRecord(const isa::Program &program, const RecordedTrace &trace,
     }
 }
 
+void
+emitDinRecord(std::ostream &os, const TraceRecord &rec)
+{
+    char buf[32];
+    char *p = buf;
+    *p++ = static_cast<char>('0' + static_cast<int>(rec.kind));
+    *p++ = ' ';
+    auto res = std::to_chars(p, buf + sizeof(buf), rec.addr, 16);
+    *res.ptr++ = '\n';
+    os.write(buf, res.ptr - buf);
+}
+
 } // namespace
 
 void
@@ -44,15 +56,70 @@ writeDin(std::ostream &os, const isa::Program &program,
          const RecordedTrace &trace)
 {
     PC_ASSERT(program.laidOut(), "program must be laid out");
-    char buf[32];
     forEachFlatRecord(program, trace, [&](const TraceRecord &rec) {
-        char *p = buf;
-        *p++ = static_cast<char>('0' + static_cast<int>(rec.kind));
-        *p++ = ' ';
-        auto res = std::to_chars(p, buf + sizeof(buf), rec.addr, 16);
-        *res.ptr++ = '\n';
-        os.write(buf, res.ptr - buf);
+        emitDinRecord(os, rec);
     });
+}
+
+void
+writeDinRecords(std::ostream &os, std::span<const TraceRecord> records)
+{
+    for (const TraceRecord &rec : records)
+        emitDinRecord(os, rec);
+}
+
+bool
+parseDinLine(std::string_view line, std::size_t lineno, TraceRecord &out)
+{
+    // Tolerate CRLF input: getline leaves the '\r' on the line.
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+
+    // Skip blank lines and comments.
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string_view::npos || line[start] == '#')
+        return false;
+
+    const char *begin = line.data() + start;
+    const char *end = line.data() + line.size();
+
+    // Malformed records are a property of the input, not a simulator
+    // failure: throw DataError with the line number so a long run can
+    // skip or report the file instead of dying.
+    auto fail = [&](const std::string &what) -> DataError {
+        return DataError("", lineno,
+                         what + " in '" + std::string(line) + "'");
+    };
+
+    int label = -1;
+    auto lr = std::from_chars(begin, end, label);
+    if (lr.ec != std::errc{} || label < 0 || label > 2)
+        throw fail("bad label");
+
+    const char *ap = lr.ptr;
+    if (ap == end)
+        throw fail("truncated record");
+    if (!std::isspace(static_cast<unsigned char>(*ap)))
+        throw fail("bad label");
+    while (ap < end && std::isspace(static_cast<unsigned char>(*ap)))
+        ++ap;
+    if (ap == end)
+        throw fail("truncated record");
+    Addr addr = 0;
+    auto ar = std::from_chars(ap, end, addr, 16);
+    if (ar.ec == std::errc::result_out_of_range)
+        throw fail("address out of range (wider than 32 bits)");
+    if (ar.ec != std::errc{} || ap == ar.ptr)
+        throw fail("bad address");
+
+    // Only whitespace may follow the address; "0 ff junk" used to
+    // silently parse as addr 0xff.
+    for (const char *tp = ar.ptr; tp < end; ++tp)
+        if (!std::isspace(static_cast<unsigned char>(*tp)))
+            throw fail("trailing garbage");
+
+    out = {static_cast<RefKind>(label), addr};
+    return true;
 }
 
 std::vector<TraceRecord>
@@ -61,36 +128,11 @@ readDin(std::istream &is)
     std::vector<TraceRecord> records;
     std::string line;
     std::size_t lineno = 0;
+    TraceRecord rec;
     while (std::getline(is, line)) {
         ++lineno;
-        // Skip blank lines and comments.
-        std::size_t start = line.find_first_not_of(" \t");
-        if (start == std::string::npos || line[start] == '#')
-            continue;
-
-        const char *begin = line.data() + start;
-        const char *end = line.data() + line.size();
-
-        // Malformed records are a property of the input, not a
-        // simulator failure: throw DataError with the line number so
-        // a long run can skip or report the file instead of dying.
-        int label = -1;
-        auto lr = std::from_chars(begin, end, label);
-        if (lr.ec != std::errc{} || label < 0 || label > 2)
-            throw DataError("", lineno, "bad label in '" + line + "'");
-
-        const char *ap = lr.ptr;
-        if (ap == end)
-            throw DataError("", lineno,
-                            "truncated record '" + line + "'");
-        while (ap < end && std::isspace(static_cast<unsigned char>(*ap)))
-            ++ap;
-        Addr addr = 0;
-        auto ar = std::from_chars(ap, end, addr, 16);
-        if (ar.ec != std::errc{} || ap == ar.ptr)
-            throw DataError("", lineno, "bad address in '" + line + "'");
-
-        records.push_back({static_cast<RefKind>(label), addr});
+        if (parseDinLine(line, lineno, rec))
+            records.push_back(rec);
     }
     return records;
 }

@@ -9,13 +9,22 @@
  * records interleaved with their data references, so external cache
  * tools can consume our workloads and our cache model can consume
  * external traces.
+ *
+ * Malformed input is a property of the data, not a simulator bug, so
+ * the readers throw DataError (with 1-based line attribution) rather
+ * than aborting; the file wrappers throw IoError when the file itself
+ * cannot be opened or written. CRLF line endings and trailing blank
+ * lines are accepted; trailing garbage after the address, labels
+ * outside {0,1,2}, and addresses wider than 32 bits are rejected.
  */
 
 #ifndef PIPECACHE_TRACE_TRACE_IO_HH
 #define PIPECACHE_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/program.hh"
@@ -31,13 +40,29 @@ namespace pipecache::trace {
 void writeDin(std::ostream &os, const isa::Program &program,
               const RecordedTrace &trace);
 
+/** Emit an already-flat record stream as din lines on @p os. */
+void writeDinRecords(std::ostream &os, std::span<const TraceRecord> records);
+
 /**
- * Parse a din trace. fatal()s on malformed input, identifying the
- * offending line.
+ * Parse one din line (no trailing newline; a trailing '\r' from CRLF
+ * input is tolerated). Returns false for blank and comment lines,
+ * true with @p out filled for a data line. Throws DataError — with
+ * @p lineno attribution and an empty source, so callers can attach a
+ * file name via withSource() — on malformed input.
+ */
+bool parseDinLine(std::string_view line, std::size_t lineno,
+                  TraceRecord &out);
+
+/**
+ * Parse a din trace. Throws DataError on malformed input, identifying
+ * the offending 1-based line.
  */
 std::vector<TraceRecord> readDin(std::istream &is);
 
-/** Convenience file wrappers; fatal() on I/O failure. */
+/**
+ * Convenience file wrappers. Throw IoError when the file cannot be
+ * opened or written; the reader attributes DataError to the path.
+ */
 void writeDinFile(const std::string &path, const isa::Program &program,
                   const RecordedTrace &trace);
 std::vector<TraceRecord> readDinFile(const std::string &path);

@@ -31,12 +31,15 @@ namespace pipecache::trace {
 void saveTrace(std::ostream &os, const RecordedTrace &trace);
 
 /**
- * Read a trace written by saveTrace. fatal()s on a bad magic,
+ * Read a trace written by saveTrace. Throws DataError on a bad magic,
  * truncated stream, or checksum mismatch.
  */
 RecordedTrace loadTrace(std::istream &is);
 
-/** File wrappers; fatal() on I/O failure. */
+/**
+ * File wrappers. Throw IoError when the file cannot be opened or
+ * written; the reader attributes DataError to the path.
+ */
 void saveTraceFile(const std::string &path, const RecordedTrace &trace);
 RecordedTrace loadTraceFile(const std::string &path);
 

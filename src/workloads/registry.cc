@@ -1,0 +1,392 @@
+#include "workloads/registry.hh"
+
+#include <functional>
+#include <utility>
+
+#include "trace/kernels.hh"
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace pipecache::workloads {
+
+namespace {
+
+using trace::KernelConfig;
+using trace::KernelKind;
+using trace::ProgramSource;
+using trace::RefKind;
+using trace::TraceRecord;
+using trace::TraceSource;
+
+/** Default record budget for pattern workloads. */
+constexpr std::size_t kDefaultRecords = 1u << 18;
+
+/**
+ * TraceSource driven by a generator callback. The callback fills one
+ * record per call; the source stops after the record budget.
+ */
+class PatternSource final : public TraceSource
+{
+  public:
+    using Step = std::function<void(TraceRecord &)>;
+
+    PatternSource(std::string name, std::size_t budget, Step step)
+        : TraceSource(std::move(name)), left_(budget),
+          step_(std::move(step))
+    {
+    }
+
+    std::size_t fill(std::span<TraceRecord> out) override
+    {
+        std::size_t n = 0;
+        while (n < out.size() && left_ > 0) {
+            step_(out[n]);
+            ++n;
+            --left_;
+        }
+        return n;
+    }
+
+  private:
+    std::size_t left_;
+    Step step_;
+};
+
+std::size_t
+budgetOr(const WorkloadOptions &o, std::size_t fallback)
+{
+    return o.records != 0 ? o.records : fallback;
+}
+
+std::unique_ptr<TraceSource>
+kernelSource(std::string name, KernelKind kind, std::uint32_t footprint,
+             std::uint32_t stride, const WorkloadOptions &o)
+{
+    KernelConfig cfg;
+    cfg.kind = kind;
+    cfg.footprintBytes = footprint;
+    cfg.strideBytes = stride;
+    cfg.seed = o.seed;
+    // Records ≈ insts × (1 + mem refs per inst); the instruction
+    // budget is the coarse knob, exactness does not matter here.
+    if (o.records != 0)
+        cfg.maxInsts = static_cast<Counter>(o.records);
+    return std::make_unique<ProgramSource>(std::move(name), cfg);
+}
+
+template <typename State>
+std::unique_ptr<TraceSource>
+patternSource(std::string name, std::size_t budget, State state,
+              void (*step)(State &, TraceRecord &))
+{
+    auto shared = std::make_shared<State>(std::move(state));
+    return std::make_unique<PatternSource>(
+        std::move(name), budget,
+        [shared, step](TraceRecord &rec) { step(*shared, rec); });
+}
+
+// ---- Pattern workloads ------------------------------------------------
+
+struct StreamCopyState
+{
+    Addr i = 0;
+    bool write = false;
+    static constexpr Addr kFootprint = 1u << 20;
+    // One cache line past a giant power of two: source and
+    // destination land in *adjacent* sets instead of ping-ponging in
+    // the same one (power-of-two-aligned bases would give a flat 100%
+    // miss curve on every direct-mapped size).
+    static constexpr Addr kDstBase = 0x4000'0040;
+};
+
+void
+streamCopyStep(StreamCopyState &s, TraceRecord &rec)
+{
+    if (!s.write) {
+        rec = {RefKind::Read, s.i};
+    } else {
+        rec = {RefKind::Write, StreamCopyState::kDstBase + s.i};
+        s.i = (s.i + 4) % StreamCopyState::kFootprint;
+    }
+    s.write = !s.write;
+}
+
+struct WriteBurstState
+{
+    Rng rng;
+    Addr region = 0;
+    std::uint32_t pos = 0;
+    bool writing = true;
+    static constexpr std::uint32_t kBurst = 1024;
+    static constexpr Addr kRegionBytes = 4096;
+    static constexpr Addr kFootprint = 1u << 20;
+};
+
+void
+writeBurstStep(WriteBurstState &s, TraceRecord &rec)
+{
+    Addr addr = s.region + (s.pos * 4) % WriteBurstState::kRegionBytes;
+    rec = {s.writing ? RefKind::Write : RefKind::Read, addr};
+    if (++s.pos == WriteBurstState::kBurst) {
+        s.pos = 0;
+        if (!s.writing)
+            s.region = (s.region + WriteBurstState::kRegionBytes) %
+                       WriteBurstState::kFootprint;
+        s.writing = !s.writing;
+    }
+}
+
+struct MatrixTileState
+{
+    // 512×512 matrix of 4-byte words walked in 16×16 tiles.
+    std::uint32_t n = 0;
+    static constexpr std::uint32_t kDim = 512;
+    static constexpr std::uint32_t kTile = 16;
+};
+
+void
+matrixTileStep(MatrixTileState &s, TraceRecord &rec)
+{
+    constexpr std::uint32_t dim = MatrixTileState::kDim;
+    constexpr std::uint32_t t = MatrixTileState::kTile;
+    constexpr std::uint32_t tilesPerSide = dim / t;
+    std::uint32_t idx = s.n++;
+    std::uint32_t c = idx % t;
+    idx /= t;
+    std::uint32_t r = idx % t;
+    idx /= t;
+    std::uint32_t tc = idx % tilesPerSide;
+    idx /= tilesPerSide;
+    std::uint32_t tr = idx % tilesPerSide;
+    Addr addr = ((tr * t + r) * dim + tc * t + c) * 4;
+    rec = {RefKind::Read, addr};
+}
+
+struct PhaseChangeState
+{
+    Rng rng;
+    std::uint32_t n = 0;
+    Addr seq = 0;
+    static constexpr std::uint32_t kPhase = 4096;
+    static constexpr Addr kHotBytes = 2048;
+    static constexpr Addr kStreamBytes = 256 * 1024;
+};
+
+void
+phaseChangeStep(PhaseChangeState &s, TraceRecord &rec)
+{
+    bool hot = (s.n / PhaseChangeState::kPhase) % 2 == 0;
+    ++s.n;
+    if (hot) {
+        Addr addr = static_cast<Addr>(
+            s.rng.nextRange(PhaseChangeState::kHotBytes / 4) * 4);
+        rec = {RefKind::Read, addr};
+    } else {
+        rec = {RefKind::Read, 0x1000'0000 + s.seq};
+        s.seq = (s.seq + 4) % PhaseChangeState::kStreamBytes;
+    }
+}
+
+struct ConflictStormState
+{
+    std::uint32_t n = 0;
+    // Lines spaced 64 KiB apart map to the same set in any cache of
+    // ≤ 64 KiB per way — the classic conflict-miss adversary.
+    static constexpr std::uint32_t kWays = 16;
+    static constexpr Addr kSpacing = 64 * 1024;
+};
+
+void
+conflictStormStep(ConflictStormState &s, TraceRecord &rec)
+{
+    Addr addr = (s.n % ConflictStormState::kWays) *
+                ConflictStormState::kSpacing;
+    rec = {s.n % 4 == 3 ? RefKind::Write : RefKind::Read, addr};
+    ++s.n;
+}
+
+struct ZipfHotState
+{
+    Rng rng;
+    static constexpr std::uint64_t kObjects = 65536;
+    static constexpr Addr kObjBytes = 32;
+};
+
+void
+zipfHotStep(ZipfHotState &s, TraceRecord &rec)
+{
+    std::uint64_t obj = s.rng.nextZipf(ZipfHotState::kObjects, 0.9);
+    bool write = s.rng.nextBool(0.1);
+    rec = {write ? RefKind::Write : RefKind::Read,
+           static_cast<Addr>(obj * ZipfHotState::kObjBytes)};
+}
+
+struct HotColdState
+{
+    Rng rng;
+    static constexpr Addr kHotBytes = 4096;
+    static constexpr Addr kColdBytes = 4u << 20;
+};
+
+void
+hotColdStep(HotColdState &s, TraceRecord &rec)
+{
+    if (s.rng.nextBool(0.9)) {
+        Addr addr = static_cast<Addr>(
+            s.rng.nextRange(HotColdState::kHotBytes / 4) * 4);
+        rec = {RefKind::Read, addr};
+    } else {
+        Addr addr = 0x2000'0000 + static_cast<Addr>(
+            s.rng.nextRange(HotColdState::kColdBytes / 4) * 4);
+        rec = {RefKind::Write, addr};
+    }
+}
+
+struct FetchLoopState
+{
+    std::uint32_t n = 0;
+    Addr data = 0;
+    // A 1024-instruction loop body: 4 KiB of straight-line code.
+    static constexpr std::uint32_t kLoopInsts = 1024;
+    static constexpr Addr kDataBytes = 64 * 1024;
+};
+
+void
+fetchLoopStep(FetchLoopState &s, TraceRecord &rec)
+{
+    std::uint32_t idx = s.n++;
+    if (idx % 8 == 7) {
+        rec = {RefKind::Read, 0x3000'0000 + s.data};
+        s.data = (s.data + 4) % FetchLoopState::kDataBytes;
+    } else {
+        Addr pc = (idx % FetchLoopState::kLoopInsts) * 4;
+        rec = {RefKind::Fetch, 0x0040'0000 + pc};
+    }
+}
+
+// ---- Registry table ---------------------------------------------------
+
+struct Entry
+{
+    const char *name;
+    const char *description;
+    std::unique_ptr<TraceSource> (*make)(const WorkloadOptions &);
+};
+
+const Entry kEntries[] = {
+    {"seq-copy",
+     "sequential read/write array walk kernel through the isa/ "
+     "executor",
+     [](const WorkloadOptions &o) {
+         return kernelSource("seq-copy", KernelKind::Sequential,
+                             256 * 1024, 4, o);
+     }},
+    {"stride-64",
+     "64-byte strided array walk kernel (one touch per cache line)",
+     [](const WorkloadOptions &o) {
+         return kernelSource("stride-64", KernelKind::Strided, 256 * 1024,
+                             64, o);
+     }},
+    {"random-mix",
+     "near-uniform random read/write kernel over a 256 KiB heap",
+     [](const WorkloadOptions &o) {
+         return kernelSource("random-mix", KernelKind::Random, 256 * 1024,
+                             4, o);
+     }},
+    {"pointer-chase",
+     "dependent-load kernel chasing Zipf-hot objects in a 32 KiB set",
+     [](const WorkloadOptions &o) {
+         return kernelSource("pointer-chase", KernelKind::PointerChase,
+                             32 * 1024, 4, o);
+     }},
+    {"stream-copy",
+     "pure data stream: read a[i] / write b[i] over 1 MiB arrays",
+     [](const WorkloadOptions &o) {
+         return patternSource("stream-copy",
+                              budgetOr(o, kDefaultRecords),
+                              StreamCopyState{}, streamCopyStep);
+     }},
+    {"write-burst",
+     "alternating 1024-record write bursts and read-back scans over "
+     "4 KiB regions",
+     [](const WorkloadOptions &o) {
+         return patternSource("write-burst",
+                              budgetOr(o, kDefaultRecords),
+                              WriteBurstState{Rng(o.seed)},
+                              writeBurstStep);
+     }},
+    {"matrix-tile",
+     "16x16 tiled walk of a 512x512 word matrix (1 MiB, read-only)",
+     [](const WorkloadOptions &o) {
+         return patternSource("matrix-tile",
+                              budgetOr(o, kDefaultRecords),
+                              MatrixTileState{}, matrixTileStep);
+     }},
+    {"phase-change",
+     "alternating phases: 2 KiB hot random reads, then 256 KiB "
+     "streaming",
+     [](const WorkloadOptions &o) {
+         return patternSource("phase-change",
+                              budgetOr(o, kDefaultRecords),
+                              PhaseChangeState{Rng(o.seed)},
+                              phaseChangeStep);
+     }},
+    {"conflict-storm",
+     "adversarial round-robin over 16 lines spaced 64 KiB apart "
+     "(same-set conflicts)",
+     [](const WorkloadOptions &o) {
+         return patternSource("conflict-storm",
+                              budgetOr(o, kDefaultRecords),
+                              ConflictStormState{}, conflictStormStep);
+     }},
+    {"zipf-hot",
+     "Zipf(0.9) object references over 64 Ki 32-byte objects, 10% "
+     "writes",
+     [](const WorkloadOptions &o) {
+         return patternSource("zipf-hot", budgetOr(o, kDefaultRecords),
+                              ZipfHotState{Rng(o.seed)}, zipfHotStep);
+     }},
+    {"hot-cold",
+     "90% reads in a 4 KiB hot set, 10% writes uniform over 4 MiB",
+     [](const WorkloadOptions &o) {
+         return patternSource("hot-cold", budgetOr(o, kDefaultRecords),
+                              HotColdState{Rng(o.seed)}, hotColdStep);
+     }},
+    {"fetch-loop",
+     "instruction-fetch loop over 4 KiB of code with a data read "
+     "every 8th record",
+     [](const WorkloadOptions &o) {
+         return patternSource("fetch-loop", budgetOr(o, kDefaultRecords),
+                              FetchLoopState{}, fetchLoopStep);
+     }},
+};
+
+} // namespace
+
+std::vector<WorkloadInfo>
+listWorkloads()
+{
+    std::vector<WorkloadInfo> infos;
+    for (const Entry &e : kEntries)
+        infos.push_back({e.name, e.description});
+    return infos;
+}
+
+std::unique_ptr<trace::TraceSource>
+openWorkload(std::string_view name, const WorkloadOptions &options)
+{
+    for (const Entry &e : kEntries)
+        if (name == e.name)
+            return e.make(options);
+
+    std::string known;
+    for (const Entry &e : kEntries) {
+        if (!known.empty())
+            known += ", ";
+        known += e.name;
+    }
+    throw UsageError("unknown workload '" + std::string(name) +
+                     "' (known: " + known + ")");
+}
+
+} // namespace pipecache::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named workload registry: the scenario zoo behind --workload.
+ *
+ * Every workload is a deterministic TraceSource factory: given a seed
+ * it reproduces the exact same record stream, so sweep output stays
+ * byte-stable and the fuzz oracles can replay a scenario from a case
+ * id. Four workloads execute benchmark kernels through the isa/
+ * executor (trace/kernels.hh); the rest synthesize classic access
+ * patterns directly — streaming, bursts, matrix tiling, phase
+ * changes, adversarial same-set conflicts, Zipf and hot/cold
+ * mixes — each a handful of lines in registry.cc.
+ *
+ * To add a scenario: append an entry to the table in registry.cc with
+ * a name, a one-line description, and a factory returning a
+ * TraceSource; it then shows up in --list-workloads, the sweepd
+ * `workload=` key, and the extstream fuzz oracle automatically.
+ */
+
+#ifndef PIPECACHE_WORKLOADS_REGISTRY_HH
+#define PIPECACHE_WORKLOADS_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/units.hh"
+
+namespace pipecache::workloads {
+
+/** Registry row, as shown by --list-workloads. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/** Per-instantiation knobs common to all workloads. */
+struct WorkloadOptions
+{
+    std::uint64_t seed = 1;
+    /** Record budget for pattern workloads (0 = per-workload default);
+     *  kernel workloads derive their instruction budget from it. */
+    std::size_t records = 0;
+};
+
+/** All registered workloads, in registration order. */
+std::vector<WorkloadInfo> listWorkloads();
+
+/**
+ * Instantiate a workload by name. Throws UsageError for an unknown
+ * name (listing the known ones).
+ */
+std::unique_ptr<trace::TraceSource>
+openWorkload(std::string_view name, const WorkloadOptions &options = {});
+
+} // namespace pipecache::workloads
+
+#endif // PIPECACHE_WORKLOADS_REGISTRY_HH

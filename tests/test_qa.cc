@@ -173,7 +173,8 @@ TEST(FuzzerTest, UnknownOracleNameIsAUsageError)
     EXPECT_THROW(makeOracles({"nosuch"}), UsageError);
     EXPECT_EQ(makeOracles({"checkpoint", "stack"}).size(), 2u);
     EXPECT_EQ(makeOracles({"chaos"}).size(), 1u);
-    EXPECT_EQ(makeOracles().size(), 7u);
+    EXPECT_EQ(makeOracles({"extstream"}).size(), 1u);
+    EXPECT_EQ(makeOracles().size(), 8u);
 }
 
 TEST(FuzzerTest, SeededRunIsCleanAndDeterministic)

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Unit tests for the pluggable trace-source layer (trace/source.hh):
+ * the din line parser's malformed-input corpus, serialize/parse round
+ * trips, the oracleGeneral binary reader, file-extension dispatch,
+ * and the batched delivery path (BufferedStreamSink and
+ * StackSimulator::accessBatch) on stream lengths that do not divide
+ * the batch capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "cache/stack_sim.hh"
+#include "cpusim/cpi_engine.hh"
+#include "trace/source.hh"
+#include "trace/trace_io.hh"
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace pipecache::trace {
+namespace {
+
+// ------------------------------------------- malformed din corpus
+
+struct BadDin
+{
+    const char *tag;
+    const char *text;
+    std::size_t line;     //!< expected 1-based line attribution
+    const char *fragment; //!< expected rawMessage() substring
+};
+
+TEST(DinCorpusTest, MalformedInputsCarryLineAttribution)
+{
+    // Every malformed shape the reader must reject, with the exact
+    // line it must blame. Blank lines, comments, and CRLF endings
+    // before the bad record still count toward the line number.
+    const BadDin corpus[] = {
+        {"label outside {0,1,2}", "7 400\n", 1, "bad label"},
+        {"label 3", "2 400\n3 10\n", 2, "bad label"},
+        {"negative label", "-1 5\n", 1, "bad label"},
+        {"label glued to address", "0ff\n", 1, "bad label"},
+        {"label alone", "0 100\n1\n", 2, "truncated record"},
+        {"label then spaces", "2\t \n", 1, "truncated record"},
+        {"non-hex address", "2 400\n# c\n\n2 zz\n", 4, "bad address"},
+        {"address wider than 32 bits", "0 1ffffffff\n", 1,
+         "address out of range"},
+        {"trailing garbage", "0 100 again\n", 1, "trailing garbage"},
+        {"garbage glued to address", "0 100x\n", 1, "trailing garbage"},
+        {"crlf before the bad line", "2 400\r\n8 10\r\n", 2,
+         "bad label"},
+    };
+
+    for (const BadDin &bad : corpus) {
+        std::istringstream is(bad.text);
+        try {
+            readDin(is);
+            FAIL() << bad.tag << ": accepted";
+        } catch (const DataError &e) {
+            EXPECT_EQ(e.line(), bad.line) << bad.tag;
+            EXPECT_NE(e.rawMessage().find(bad.fragment),
+                      std::string::npos)
+                << bad.tag << ": got '" << e.rawMessage() << "'";
+        }
+    }
+}
+
+TEST(DinCorpusTest, EdgeShapesAreAccepted)
+{
+    // CRLF line endings, a trailing blank line, tabs as separators,
+    // and the widest representable address all parse.
+    std::istringstream is(
+        "2 400\r\n"
+        "0\tffffffff\r\n"
+        "1 0\n"
+        "\n");
+    const auto records = readDin(is);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].kind, RefKind::Fetch);
+    EXPECT_EQ(records[0].addr, 0x400u);
+    EXPECT_EQ(records[1].kind, RefKind::Read);
+    EXPECT_EQ(records[1].addr, 0xffffffffu);
+    EXPECT_EQ(records[2].kind, RefKind::Write);
+    EXPECT_EQ(records[2].addr, 0u);
+}
+
+// --------------------------------------------- round-trip fuzzing
+
+TEST(DinRoundTripTest, RandomRecordStreamsSurviveSerialization)
+{
+    // writeDinRecords -> readDin is the identity on arbitrary record
+    // vectors: every kind, addresses across the whole 32-bit range,
+    // lengths that are not batch multiples.
+    for (const std::uint64_t seed : {1u, 7u, 42u}) {
+        Rng rng(seed);
+        std::vector<TraceRecord> records(1 + rng.nextRange(3000));
+        for (TraceRecord &r : records) {
+            r.kind = static_cast<RefKind>(rng.nextRange(3));
+            r.addr = static_cast<Addr>(rng.next());
+        }
+
+        std::ostringstream os;
+        writeDinRecords(os, records);
+        std::istringstream is(os.str());
+        const auto back = readDin(is);
+        ASSERT_EQ(back.size(), records.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < records.size(); ++i)
+            ASSERT_EQ(back[i], records[i])
+                << "seed " << seed << " record " << i;
+    }
+}
+
+TEST(DinRoundTripTest, DinSourceMatchesReadDin)
+{
+    // The streaming reader and the one-shot reader share the parser;
+    // they must also agree record for record, whatever batch size the
+    // consumer picks.
+    Rng rng(11);
+    std::vector<TraceRecord> records(777);
+    for (TraceRecord &r : records) {
+        r.kind = static_cast<RefKind>(rng.nextRange(3));
+        r.addr = static_cast<Addr>(rng.next());
+    }
+    std::ostringstream os;
+    writeDinRecords(os, records);
+
+    std::istringstream is(os.str());
+    DinSource source(is, "round-trip");
+    const auto streamed = drain(source);
+    EXPECT_EQ(streamed, records);
+}
+
+TEST(DinSourceTest, ErrorsNameTheSource)
+{
+    std::istringstream is("2 400\n9 10\n");
+    DinSource source(is, "bad.din");
+    std::array<TraceRecord, 16> batch;
+    try {
+        while (source.fill(batch) != 0) {
+        }
+        FAIL() << "bad label accepted";
+    } catch (const DataError &e) {
+        EXPECT_EQ(e.source(), "bad.din");
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+// -------------------------------------------- oracleGeneral binary
+
+std::string
+packOracleRecord(std::uint32_t clock, std::uint64_t objId,
+                 std::uint32_t objSize, std::int64_t nextVtime)
+{
+    std::string out(OracleGeneralSource::kRecordBytes, '\0');
+    std::memcpy(out.data() + 0, &clock, 4);
+    std::memcpy(out.data() + 4, &objId, 8);
+    std::memcpy(out.data() + 12, &objSize, 4);
+    std::memcpy(out.data() + 16, &nextVtime, 8);
+    return out;
+}
+
+TEST(OracleGeneralTest, RecordsBecomeAlignedReads)
+{
+    std::string bytes;
+    bytes += packOracleRecord(1, 0x1234, 64, -1);
+    bytes += packOracleRecord(2, 0xdeadbeefcafef00dull, 100, 7);
+    bytes += packOracleRecord(3, 0x1234, 64, -1);
+
+    std::istringstream is(bytes);
+    OracleGeneralSource source(is, "t.oracleGeneral");
+    const auto records = drain(source);
+    ASSERT_EQ(records.size(), 3u);
+    for (const TraceRecord &r : records) {
+        EXPECT_EQ(r.kind, RefKind::Read);
+        EXPECT_EQ(r.addr % 64, 0u) << "pseudo-addresses are 64B-aligned";
+    }
+    // Same object id, same pseudo-address; distinct ids map apart.
+    EXPECT_EQ(records[0].addr, OracleGeneralSource::objIdToAddr(0x1234));
+    EXPECT_EQ(records[0].addr, records[2].addr);
+    EXPECT_NE(records[0].addr, records[1].addr);
+}
+
+TEST(OracleGeneralTest, TruncatedTailIsADataError)
+{
+    std::string bytes = packOracleRecord(1, 42, 64, -1);
+    bytes += "abc"; // 3 stray bytes
+    std::istringstream is(bytes);
+    OracleGeneralSource source(is, "short.oracleGeneral");
+    EXPECT_THROW(drain(source), DataError);
+}
+
+TEST(OpenTraceFileTest, DispatchesOnExtension)
+{
+    const std::string dinPath = "/tmp/pipecache_test_open.din";
+    {
+        std::ofstream out(dinPath);
+        out << "2 400\n0 100\n";
+    }
+    auto source = openTraceFile(dinPath);
+    EXPECT_EQ(drain(*source).size(), 2u);
+    std::remove(dinPath.c_str());
+
+    // Case-insensitive oracleGeneral extension.
+    const std::string oPath = "/tmp/pipecache_test_open.ORACLEGENERAL";
+    {
+        std::ofstream out(oPath, std::ios::binary);
+        const std::string rec = packOracleRecord(1, 9, 64, -1);
+        out.write(rec.data(),
+                  static_cast<std::streamsize>(rec.size()));
+    }
+    auto oracle = openTraceFile(oPath);
+    EXPECT_EQ(drain(*oracle).size(), 1u);
+    std::remove(oPath.c_str());
+
+    EXPECT_THROW(openTraceFile("/tmp/absent.din"), IoError);
+    EXPECT_THROW(openTraceFile("/tmp/trace.txt"), UsageError);
+}
+
+// ------------------------------ batched delivery on awkward lengths
+
+/** Records every batch it is handed, preserving order and sizes. */
+class RecordingBatchSink final : public cpusim::BatchStreamSink
+{
+  public:
+    void instBatch(std::span<const cache::AccessRecord> r) override
+    {
+        take(instRecords, instBatches, r);
+    }
+    void dataBatch(std::span<const cache::AccessRecord> r) override
+    {
+        take(dataRecords, dataBatches, r);
+    }
+
+    std::vector<cache::AccessRecord> instRecords;
+    std::vector<cache::AccessRecord> dataRecords;
+    std::vector<std::size_t> instBatches;
+    std::vector<std::size_t> dataBatches;
+
+  private:
+    static void take(std::vector<cache::AccessRecord> &out,
+                     std::vector<std::size_t> &sizes,
+                     std::span<const cache::AccessRecord> r)
+    {
+        out.insert(out.end(), r.begin(), r.end());
+        sizes.push_back(r.size());
+    }
+};
+
+/** Push a TraceSource through a BufferedStreamSink (fetches to the
+ *  instruction side, reads/writes to the data side). */
+void
+pump(TraceSource &source, cpusim::BufferedStreamSink &sink)
+{
+    std::array<TraceRecord, 100> batch; // deliberately not 256
+    std::size_t got = 0;
+    while ((got = source.fill(batch)) != 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const TraceRecord &r = batch[i];
+            if (r.kind == RefKind::Fetch)
+                sink.instFetch(0, r.addr);
+            else
+                sink.dataRef(0, r.addr, r.kind == RefKind::Write);
+        }
+    }
+    sink.flush();
+}
+
+std::vector<TraceRecord>
+syntheticStream(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TraceRecord> records(n);
+    for (TraceRecord &r : records) {
+        r.kind = static_cast<RefKind>(rng.nextRange(3));
+        r.addr = static_cast<Addr>(rng.nextRange(1 << 20)) & ~3u;
+    }
+    return records;
+}
+
+TEST(BatchedDeliveryTest, PartialFinalBatchesArriveIntact)
+{
+    // Stream lengths around the 256-record capacity: empty, single
+    // record, one short of a full buffer, exact, one over, and a
+    // large non-multiple. Order and content must survive, and every
+    // batch but the last must be full.
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{255}, std::size_t{256},
+                                std::size_t{257}, std::size_t{1000}}) {
+        const auto stream = syntheticStream(n, 5 + n);
+        VectorSource source(stream);
+        RecordingBatchSink recorder;
+        cpusim::BufferedStreamSink sink(recorder);
+        pump(source, sink);
+
+        std::vector<cache::AccessRecord> wantInst;
+        std::vector<cache::AccessRecord> wantData;
+        for (const TraceRecord &r : stream) {
+            if (r.kind == RefKind::Fetch)
+                wantInst.push_back({r.addr, 0, 0});
+            else
+                wantData.push_back(
+                    {r.addr, 0,
+                     static_cast<std::uint8_t>(
+                         r.kind == RefKind::Write ? 1 : 0)});
+        }
+
+        ASSERT_EQ(recorder.instRecords.size(), wantInst.size())
+            << "n=" << n;
+        ASSERT_EQ(recorder.dataRecords.size(), wantData.size())
+            << "n=" << n;
+        for (std::size_t i = 0; i < wantInst.size(); ++i)
+            ASSERT_EQ(recorder.instRecords[i].addr, wantInst[i].addr);
+        for (std::size_t i = 0; i < wantData.size(); ++i) {
+            ASSERT_EQ(recorder.dataRecords[i].addr, wantData[i].addr);
+            ASSERT_EQ(recorder.dataRecords[i].store,
+                      wantData[i].store);
+        }
+        for (const auto &sizes :
+             {recorder.instBatches, recorder.dataBatches}) {
+            for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+                EXPECT_EQ(sizes[i],
+                          cpusim::BufferedStreamSink::kCapacity)
+                    << "n=" << n;
+            if (!sizes.empty()) {
+                EXPECT_GT(sizes.back(), 0u);
+                EXPECT_LE(sizes.back(),
+                          cpusim::BufferedStreamSink::kCapacity);
+            }
+        }
+    }
+}
+
+TEST(BatchedDeliveryTest, AccessBatchMatchesPerAccessOnOddLengths)
+{
+    // accessBatch() in non-multiple-of-256 chunks is count-for-count
+    // identical to per-access delivery of the same stream.
+    const auto stream = syntheticStream(1003, 21);
+
+    std::vector<cache::StackGeometry> ladder{{2, 1}, {3, 2}};
+    cache::StackSimulator perAccess(64, ladder, 1);
+    cache::StackSimulator batched(64, ladder, 1);
+
+    std::vector<cache::AccessRecord> records;
+    for (const TraceRecord &r : stream) {
+        const bool write = r.kind == RefKind::Write;
+        perAccess.access(0, r.addr, write);
+        records.push_back(
+            {r.addr, 0, static_cast<std::uint8_t>(write ? 1 : 0)});
+    }
+    std::size_t at = 0;
+    for (const std::size_t len : {std::size_t{1}, std::size_t{100},
+                                  std::size_t{256}, std::size_t{257}}) {
+        batched.accessBatch(std::span<const cache::AccessRecord>(
+            records.data() + at, len));
+        at += len;
+    }
+    batched.accessBatch(std::span<const cache::AccessRecord>(
+        records.data() + at, records.size() - at));
+    perAccess.finish();
+    batched.finish();
+
+    for (const cache::StackGeometry &g : ladder) {
+        const auto &a = perAccess.counts(g.log2Sets, g.assoc);
+        const auto &b = batched.counts(g.log2Sets, g.assoc);
+        EXPECT_EQ(a.readMisses[0], b.readMisses[0]);
+        EXPECT_EQ(a.writeMisses[0], b.writeMisses[0]);
+        EXPECT_EQ(a.evictions, b.evictions);
+        EXPECT_EQ(a.dirtyEvictions, b.dirtyEvictions);
+    }
+}
+
+} // namespace
+} // namespace pipecache::trace

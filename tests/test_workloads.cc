@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the workload registry (workloads/registry.hh) and
+ * the external-stream sweep (sweep/stream_sweep.hh): determinism,
+ * registry coverage, per-scenario character, and JSON byte-stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sweep/grid_spec.hh"
+#include "sweep/stream_sweep.hh"
+#include "trace/source.hh"
+#include "util/error.hh"
+#include "workloads/registry.hh"
+
+namespace pipecache::workloads {
+namespace {
+
+TEST(RegistryTest, ListsAtLeastTenUniqueNamedScenarios)
+{
+    const auto infos = listWorkloads();
+    EXPECT_GE(infos.size(), 10u);
+    std::set<std::string> names;
+    for (const auto &info : infos) {
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_FALSE(info.description.empty());
+        names.insert(info.name);
+    }
+    EXPECT_EQ(names.size(), infos.size()) << "duplicate workload name";
+}
+
+TEST(RegistryTest, UnknownNameListsTheKnownOnes)
+{
+    try {
+        openWorkload("no-such-scenario");
+        FAIL() << "unknown workload accepted";
+    } catch (const UsageError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-scenario"), std::string::npos);
+        EXPECT_NE(msg.find("zipf-hot"), std::string::npos)
+            << "error should list known workloads";
+    }
+}
+
+TEST(RegistryTest, EveryWorkloadIsDeterministicInItsSeed)
+{
+    WorkloadOptions opts;
+    opts.records = 2048;
+    for (const auto &info : listWorkloads()) {
+        auto a = openWorkload(info.name, opts);
+        auto b = openWorkload(info.name, opts);
+        const auto sa = trace::drain(*a);
+        const auto sb = trace::drain(*b);
+        EXPECT_FALSE(sa.empty()) << info.name;
+        EXPECT_EQ(sa, sb) << info.name
+                          << ": same seed, different stream";
+
+        WorkloadOptions other = opts;
+        other.seed = 99;
+        auto c = openWorkload(info.name, other);
+        const auto sc = trace::drain(*c);
+        EXPECT_FALSE(sc.empty()) << info.name;
+    }
+}
+
+TEST(RegistryTest, KernelWorkloadsEmitFetchAndDataStreams)
+{
+    // The executor-backed scenarios interleave instruction fetches
+    // with data references; pattern scenarios need not.
+    for (const char *name :
+         {"seq-copy", "stride-64", "random-mix", "pointer-chase"}) {
+        WorkloadOptions opts;
+        opts.records = 4096;
+        auto source = openWorkload(name, opts);
+        const auto stream = trace::drain(*source);
+        ASSERT_FALSE(stream.empty()) << name;
+        std::size_t fetches = 0;
+        std::size_t data = 0;
+        for (const auto &r : stream) {
+            if (r.kind == trace::RefKind::Fetch)
+                ++fetches;
+            else
+                ++data;
+        }
+        EXPECT_GT(fetches, 0u) << name;
+        EXPECT_GT(data, 0u) << name;
+    }
+}
+
+std::vector<core::DesignPoint>
+dcachePoints(const std::string &dsizes)
+{
+    sweep::GridSpec grid;
+    grid.set("b", "0");
+    grid.set("isize", "8");
+    grid.set("dsize", dsizes);
+    return grid.build();
+}
+
+TEST(StreamSweepTest, ConflictStormThrashesADirectMappedCache)
+{
+    // 16 lines spaced one 64 KiB stride apart all land in the same
+    // set of any direct-mapped cache up to 64 KiB: miss rate 1.
+    WorkloadOptions opts;
+    opts.records = 8192;
+    auto source = openWorkload("conflict-storm", opts);
+    const auto stream = trace::drain(*source);
+
+    const auto result =
+        sweep::sweepStream(stream, dcachePoints("1,8"));
+    ASSERT_EQ(result.records.size(), 2u);
+    for (const auto &rec : result.records)
+        EXPECT_DOUBLE_EQ(rec.metrics.l1dMissRate, 1.0);
+}
+
+TEST(StreamSweepTest, MissRateIsMonotonicInCacheSizeForLru)
+{
+    // Mattson inclusion: for LRU, a larger cache of the same block
+    // size and associativity never misses more.
+    WorkloadOptions opts;
+    opts.records = 16384;
+    auto source = openWorkload("zipf-hot", opts);
+    const auto stream = trace::drain(*source);
+
+    const auto result =
+        sweep::sweepStream(stream, dcachePoints("1,2,4,8,16,32"));
+    ASSERT_EQ(result.records.size(), 6u);
+    for (std::size_t i = 1; i < result.records.size(); ++i) {
+        EXPECT_LE(result.records[i].metrics.l1dMissRate,
+                  result.records[i - 1].metrics.l1dMissRate)
+            << "dsize step " << i;
+    }
+}
+
+TEST(StreamSweepTest, JsonIsByteStableAcrossRuns)
+{
+    WorkloadOptions opts;
+    opts.records = 4096;
+    const auto points = dcachePoints("1,4");
+
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        auto source = openWorkload("phase-change", opts);
+        const auto stream = trace::drain(*source);
+        const std::string json = sweep::streamJsonString(
+            "grid", "phase-change", sweep::sweepStream(stream, points));
+        if (run == 0) {
+            first = json;
+            EXPECT_EQ(json.find("\"mode\":\"stream\""),
+                      json.find("\"mode\""))
+                << "stream mode marker missing";
+            EXPECT_EQ(json.back(), '\n');
+        } else {
+            EXPECT_EQ(json, first) << "stream JSON not byte-stable";
+        }
+    }
+}
+
+TEST(StreamSweepTest, StreamTotalsMatchTheRecordMix)
+{
+    std::vector<trace::TraceRecord> stream = {
+        {trace::RefKind::Fetch, 0x0},
+        {trace::RefKind::Read, 0x100},
+        {trace::RefKind::Write, 0x104},
+        {trace::RefKind::Fetch, 0x4},
+        {trace::RefKind::Read, 0x100},
+    };
+    const auto result = sweep::sweepStream(stream, dcachePoints("1"));
+    EXPECT_EQ(result.stream.records, 5u);
+    EXPECT_EQ(result.stream.fetches, 2u);
+    EXPECT_EQ(result.stream.reads, 2u);
+    EXPECT_EQ(result.stream.writes, 1u);
+    ASSERT_EQ(result.records.size(), 1u);
+    const auto &m = result.records.front().metrics;
+    EXPECT_EQ(m.l1d.reads + m.l1d.writes, 3u);
+    // penalty × misses, and 1 + stalls/fetch.
+    const Counter misses = m.l1i.misses() + m.l1d.misses();
+    EXPECT_EQ(m.stallCycles,
+              misses *
+                  result.records.front().point.missPenaltyCycles);
+    EXPECT_GT(m.memCpi, 1.0 - 1e-12);
+}
+
+} // namespace
+} // namespace pipecache::workloads

@@ -16,6 +16,13 @@
  *                   --trace-out trace.json --progress
  *   pipecache_sweep --preset paper --checkpoint sweep.ck --resume \
  *                   --out sweep.json
+ *   pipecache_sweep --trace prog.din --dsize 1,2,4,8 --out -
+ *   pipecache_sweep --workload zipf-hot --isize 1:8 --out -
+ *
+ * --trace/--workload switch to external-stream mode: the grid is
+ * evaluated against a flat access stream (a .din/.oracleGeneral file
+ * or a registry workload) by direct cache measurement instead of the
+ * synthetic benchmark suite; see --list-workloads for the zoo.
  *
  * Range syntax: "lo:hi" (inclusive) or a comma-separated list.
  *
@@ -47,6 +54,7 @@
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -56,11 +64,14 @@
 #include "obs/tracer.hh"
 #include "sweep/grid_spec.hh"
 #include "sweep/result_sink.hh"
+#include "sweep/stream_sweep.hh"
 #include "sweep/sweep_engine.hh"
+#include "trace/source.hh"
 #include "util/atomic_file.hh"
 #include "util/error.hh"
 #include "util/fault_injection.hh"
 #include "util/parse.hh"
+#include "workloads/registry.hh"
 
 namespace {
 
@@ -102,6 +113,15 @@ struct CliOptions
     bool resume = false;
     bool failFast = false;
     bool factored = true;
+    /** External stream mode: exactly one of these may be set. */
+    std::string traceFile;
+    std::string workload;
+    std::uint64_t workloadSeed = 1;
+
+    bool streamMode() const
+    {
+        return !traceFile.empty() || !workload.empty();
+    }
 };
 
 [[noreturn]] void
@@ -148,6 +168,13 @@ usage(const char *argv0, int code)
        << "  --no-factored    one full trace replay per point instead\n"
        << "                   of shared-component (single-pass stack)\n"
        << "                   evaluation; same results, slower\n"
+       << "  --trace PATH     evaluate the grid against an external\n"
+       << "                   trace file (.din text or .oracleGeneral\n"
+       << "                   binary) instead of the synthetic suite\n"
+       << "  --workload NAME  evaluate the grid against a named\n"
+       << "                   workload from the registry\n"
+       << "  --workload-seed N  workload stream seed (default 1)\n"
+       << "  --list-workloads print the workload registry and exit\n"
        << "RANGE is 'lo:hi' (inclusive) or 'a,b,c'.\n"
        << "Exit codes: 0 ok; 1 internal error; 2 usage error;\n"
        << "3 data/io error; 4 completed with failed points;\n"
@@ -256,6 +283,21 @@ parseArgs(int argc, char **argv)
             opts.failFast = true;
         } else if (arg == "--no-factored") {
             opts.factored = false;
+        } else if (arg == "--trace") {
+            opts.traceFile = next(i);
+        } else if (arg == "--workload") {
+            opts.workload = next(i);
+        } else if (arg == "--workload-seed") {
+            std::uint32_t v = 0;
+            if (!pipecache::util::parseU32(next(i), v)) {
+                std::cerr << argv[0] << ": bad --workload-seed\n";
+                usage(argv[0], 2);
+            }
+            opts.workloadSeed = v;
+        } else if (arg == "--list-workloads") {
+            for (const auto &w : pipecache::workloads::listWorkloads())
+                std::cout << w.name << "\t" << w.description << "\n";
+            std::exit(0);
         } else {
             std::cerr << argv[0] << ": unknown option '" << arg
                       << "'\n";
@@ -270,6 +312,21 @@ parseArgs(int argc, char **argv)
     }
     if (opts.resume && opts.checkpointPath.empty()) {
         std::cerr << argv[0] << ": --resume needs --checkpoint\n";
+        usage(argv[0], 2);
+    }
+    if (!opts.traceFile.empty() && !opts.workload.empty()) {
+        std::cerr << argv[0]
+                  << ": --trace and --workload are exclusive\n";
+        usage(argv[0], 2);
+    }
+    if (opts.streamMode() && !opts.checkpointPath.empty()) {
+        std::cerr << argv[0] << ": --checkpoint is not supported with "
+                  << "--trace/--workload\n";
+        usage(argv[0], 2);
+    }
+    if (opts.streamMode() && !opts.csvPath.empty()) {
+        std::cerr << argv[0] << ": --csv is not supported with "
+                  << "--trace/--workload\n";
         usage(argv[0], 2);
     }
     return opts;
@@ -358,6 +415,51 @@ run(int argc, char **argv)
     if (points.empty()) {
         std::cerr << "empty sweep grid\n";
         return 2;
+    }
+
+    if (opts.streamMode()) {
+        // External stream mode: flat records, direct cache
+        // measurement (sweep/stream_sweep.hh). The evaluation is
+        // sequential and deterministic, so --threads has no effect on
+        // the output — which is exactly the byte-stability contract
+        // the default path makes.
+        std::unique_ptr<trace::TraceSource> source;
+        if (!opts.traceFile.empty()) {
+            source = trace::openTraceFile(opts.traceFile);
+        } else {
+            workloads::WorkloadOptions wopts;
+            wopts.seed = opts.workloadSeed;
+            source = workloads::openWorkload(opts.workload, wopts);
+        }
+        const std::vector<trace::TraceRecord> stream =
+            trace::drain(*source);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const sweep::StreamSweepResult result =
+            sweep::sweepStream(stream, points);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        const std::string name = opts.grid.name();
+        if (opts.outPath == "-") {
+            sweep::writeStreamJson(std::cout, name, source->name(),
+                                   result);
+        } else {
+            util::writeFileAtomic(
+                opts.outPath, [&](std::ostream &out) {
+                    sweep::writeStreamJson(out, name, source->name(),
+                                           result);
+                });
+        }
+        if (!opts.quiet) {
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            std::cerr << "swept " << result.records.size()
+                      << " points against " << stream.size()
+                      << " records from " << source->name() << " in "
+                      << wall_ms << " ms\n";
+        }
+        return 0;
     }
 
     if (opts.classify3C)
